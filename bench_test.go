@@ -1,0 +1,411 @@
+package sap_test
+
+// Benchmark harness: one benchmark per paper artifact (Figures 2-6) plus
+// the repository's ablations and component micro-benchmarks. The figure
+// benchmarks run reduced-size configurations so `go test -bench=.` finishes
+// on a laptop; cmd/sapexp exposes the paper-scale knobs (e.g. -rounds 100).
+// Each figure benchmark logs the same series the paper plots and reports
+// its headline quantity as a custom metric.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	sap "repro"
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// benchCfg keeps figure benchmarks laptop-sized.
+func benchCfg() experiment.Config {
+	return experiment.Config{
+		Seed:          1,
+		Rounds:        8,
+		Parties:       4,
+		Repeats:       1,
+		OptCandidates: 3,
+		OptLocalSteps: 2,
+	}
+}
+
+func BenchmarkFigure2OptimizedVsRandom(b *testing.B) {
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig2(benchCfg(), "Diabetes")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lift = res.Optimized.Mean - res.Random.Mean
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+	b.ReportMetric(lift, "mean-guarantee-lift")
+}
+
+func BenchmarkFigure3OptimalityRates(b *testing.B) {
+	var meanRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig3(benchCfg(), []int{5, 7, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, p := range res.Points {
+			sum += p.Rate
+		}
+		meanRate = sum / float64(len(res.Points))
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+	b.ReportMetric(meanRate, "mean-optimality-rate")
+}
+
+func BenchmarkFigure4PartyBounds(b *testing.B) {
+	var maxParties int
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig4(benchCfg(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxParties = 0
+		for _, p := range res.Points {
+			if p.MinParties > maxParties {
+				maxParties = p.MinParties
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+	b.ReportMetric(float64(maxParties), "max-min-parties")
+}
+
+// benchAccuracySubset keeps the per-iteration cost of the Figure 5/6
+// benches bounded; sapexp runs all twelve datasets.
+var benchAccuracySubset = []string{"Diabetes", "Iris", "Votes"}
+
+func BenchmarkFigure5KNNDeviation(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig5(benchCfg(), benchAccuracySubset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range res.Points {
+			if dev := -p.Deviation; dev > worst {
+				worst = dev
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+	b.ReportMetric(worst, "worst-accuracy-drop-pp")
+}
+
+func BenchmarkFigure6SVMDeviation(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig6(benchCfg(), benchAccuracySubset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range res.Points {
+			if dev := -p.Deviation; dev > worst {
+				worst = dev
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+	b.ReportMetric(worst, "worst-accuracy-drop-pp")
+}
+
+func BenchmarkAblationRisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.AblationRisk(0.95, 0.9, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiment.RenderRiskAblation(points))
+		}
+	}
+}
+
+func BenchmarkAblationAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationAttacks(benchCfg(), []string{"Diabetes"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiment.RenderAttackAblation(rows))
+		}
+	}
+}
+
+func BenchmarkAblationNoiseSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.AblationNoiseSweep(benchCfg(), "Iris", []float64{0.02, 0.1, 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiment.RenderNoiseSweep(points))
+		}
+	}
+}
+
+func BenchmarkAblationIdentifiability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunIdentifiability(benchCfg(), "Iris", 4, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		b.ReportMetric(res.MaxDeviation, "max-deviation-from-uniform")
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func BenchmarkPerturbApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.RandomUniform(rng, 16, 1000, 0, 1)
+	p, err := perturb.NewRandom(rng, 16, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Apply(rng, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptorApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := matrix.RandomUniform(rng, 16, 1000, 0, 1)
+	gi, _ := perturb.NewRandom(rng, 16, 0.05)
+	gt, _ := perturb.NewRandom(rng, 16, 0)
+	a, err := perturb.NewAdaptor(gi, gt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Apply(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomOrthogonal(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.RandomOrthogonal(rng, 16)
+	}
+}
+
+func BenchmarkOptimizerRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := dataset.GenerateByName("Diabetes", rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := norm.FeaturesT()
+	opt := privacy.NewOptimizer(privacy.OptimizerConfig{Candidates: 4, LocalSteps: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opt.Optimize(rng, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttackSuiteEvaluation(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	d, _ := dataset.GenerateByName("Diabetes", rng)
+	norm, _, _ := dataset.Normalize(d)
+	x := norm.FeaturesT()
+	p, _ := perturb.NewRandom(rng, x.Rows(), 0.05)
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	know := privacy.Knowledge{
+		Original:       x,
+		KnownOriginal:  x.Slice(0, x.Rows(), 0, 8),
+		KnownPerturbed: y.Slice(0, y.Rows(), 0, 8),
+	}
+	ev := privacy.DefaultEvaluator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(x, y, know); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSAPSession(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	d, _ := dataset.GenerateByName("Diabetes", rng)
+	norm, _, _ := dataset.Normalize(d)
+	parts, err := dataset.Partition(norm, rng, 5, dataset.PartitionUniform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parties := make([]protocol.PartyInput, len(parts))
+	for i, part := range parts {
+		p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+		parties[i] = protocol.PartyInput{Name: partyBenchName(i), Data: part, Perturbation: p}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.RunLocal(ctx, protocol.SessionConfig{Parties: parties, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func partyBenchName(i int) string { return string(rune('a'+i)) + "-bench" }
+
+func BenchmarkSVMTrainRBF(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	d, _ := dataset.GenerateByName("Heart", rng)
+	norm, _, _ := dataset.Normalize(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svm := classify.NewSVM(classify.SVMConfig{})
+		if err := svm.Fit(norm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPredictKDTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	d, _ := dataset.GenerateByName("Shuttle", rng)
+	norm, _, _ := dataset.Normalize(d)
+	knn := classify.NewKNN(5)
+	if err := knn.Fit(norm); err != nil {
+		b.Fatal(err)
+	}
+	query := norm.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knn.Predict(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerturbCompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g1, _ := perturb.NewRandom(rng, 16, 0.05)
+	g2, _ := perturb.NewRandom(rng, 16, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perturb.Compose(g1, g2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceInferenceAttack(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	x := norm.FeaturesT()
+	p, _ := perturb.NewRandom(rng, x.Rows(), 0.05)
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk := privacy.NewDistanceInferenceAttack(privacy.DistanceInferenceConfig{})
+	know := privacy.Knowledge{Original: x, KnownOriginal: x.Slice(0, x.Rows(), 0, 8)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atk.Estimate(y, know); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixCholesky(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	g := matrix.RandomGaussian(rng, 16, 16, 1)
+	a := g.Mul(g.T()).Add(matrix.Identity(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAESCodecSeal(b *testing.B) {
+	codec, err := transport.NewAESCodec("bench-key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := codec.Seal(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pool, err := sap.GenerateDataset("Iris", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parties, err := sap.Split(pool, 3, sap.PartitionUniform, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sap.Run(context.Background(), sap.RunConfig{
+			Parties:  parties,
+			Seed:     3,
+			Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := sap.NewKNN(5)
+		if err := model.Fit(res.Unified); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command sapexp regenerates the paper's evaluation: Figures 2-6 plus the
+// repository's ablations, printing the same series the paper plots.
+//
+// Usage:
+//
+//	sapexp -fig all                 # everything, quick settings
+//	sapexp -fig 3 -rounds 100       # paper-scale Figure 3
+//	sapexp -ablation attacks        # per-attack optimizer ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sapexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sapexp", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to reproduce: 2, 3, 4, 5, 6 or all")
+		ablation = fs.String("ablation", "", "ablation to run: risk, attacks, noise, satisfaction")
+		seed     = fs.Int64("seed", 1, "random seed")
+		rounds   = fs.Int("rounds", 20, "optimization rounds (paper: 100)")
+		parties  = fs.Int("parties", 6, "number of data providers for Figures 5/6")
+		repeats  = fs.Int("repeats", 3, "averaging repeats for Figures 5/6")
+		cands    = fs.Int("candidates", 4, "optimizer random restarts per round")
+		steps    = fs.Int("steps", 4, "optimizer refinement steps per round")
+		names    = fs.String("datasets", "", "comma-separated dataset subset (default: figure-appropriate)")
+		fig2ds   = fs.String("fig2-dataset", "Diabetes", "dataset for Figure 2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiment.Config{
+		Seed:          *seed,
+		Rounds:        *rounds,
+		Parties:       *parties,
+		Repeats:       *repeats,
+		OptCandidates: *cands,
+		OptLocalSteps: *steps,
+	}
+	var subset []string
+	if *names != "" {
+		subset = strings.Split(*names, ",")
+		for _, n := range subset {
+			if _, err := dataset.ProfileByName(n); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *ablation != "" {
+		return runAblation(cfg, *ablation, subset, out)
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		switch f {
+		case "2":
+			res, err := experiment.RunFig2(cfg, *fig2ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Render())
+		case "3":
+			res, err := experiment.RunFig3(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Render())
+		case "4":
+			res, err := experiment.RunFig4(cfg, nil, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Render())
+		case "5":
+			res, err := experiment.RunFig5(cfg, subset)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Render())
+		case "6":
+			res, err := experiment.RunFig6(cfg, subset)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res.Render())
+		case "ext":
+			results, err := experiment.RunExtensionClassifiers(cfg, subset)
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				fmt.Fprintln(out, res.Render())
+			}
+		case "all":
+			return runAll(cfg, *fig2ds, subset, out)
+		default:
+			return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, 6, ext or all)", f)
+		}
+	}
+	return nil
+}
+
+func runAll(cfg experiment.Config, fig2ds string, subset []string, out io.Writer) error {
+	f2, err := experiment.RunFig2(cfg, fig2ds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, f2.Render())
+
+	f3, err := experiment.RunFig3(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, f3.Render())
+
+	f4, err := experiment.RunFig4(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, f4.Render())
+
+	f5, err := experiment.RunFig5(cfg, subset)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, f5.Render())
+
+	f6, err := experiment.RunFig6(cfg, subset)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, f6.Render())
+	return nil
+}
+
+func runAblation(cfg experiment.Config, kind string, subset []string, out io.Writer) error {
+	switch kind {
+	case "risk":
+		points, err := experiment.AblationRisk(0.95, 0.9, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiment.RenderRiskAblation(points))
+	case "attacks":
+		rows, err := experiment.AblationAttacks(cfg, subset)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiment.RenderAttackAblation(rows))
+	case "noise":
+		ds := "Diabetes"
+		if len(subset) > 0 {
+			ds = subset[0]
+		}
+		points, err := experiment.AblationNoiseSweep(cfg, ds, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiment.RenderNoiseSweep(points))
+	case "satisfaction":
+		ds := "Diabetes"
+		if len(subset) > 0 {
+			ds = subset[0]
+		}
+		reports, err := experiment.MeasureSatisfaction(cfg, ds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiment.RenderSatisfaction(reports))
+	case "identifiability":
+		ds := "Diabetes"
+		if len(subset) > 0 {
+			ds = subset[0]
+		}
+		res, err := experiment.RunIdentifiability(cfg, ds, cfg.Parties, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	default:
+		return fmt.Errorf("unknown ablation %q (want risk, attacks, noise, satisfaction or identifiability)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4Analytic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Shuttle (o=0.89)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunFig2Small(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-fig", "2", "-rounds", "3", "-candidates", "2", "-steps", "1", "-fig2-dataset", "Iris"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig5SubsetSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-fig", "5", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-repeats", "1", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Iris") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunMultipleFigs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4,4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "Figure 4") != 2 {
+		t.Fatalf("expected two Figure 4 tables:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationRisk(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ablation", "risk"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shared-perturbation") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationSatisfactionSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-ablation", "satisfaction", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "satisfaction") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 3 sweep is seconds-long")
+	}
+	var buf bytes.Buffer
+	args := []string{"-fig", "3", "-rounds", "2", "-candidates", "2", "-steps", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "Shuttle-Uniform") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunFig6SubsetSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-fig", "6", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-repeats", "1", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFigExtSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-fig", "ext", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-repeats", "1", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Perceptron") || !strings.Contains(out, "Logistic") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunAblationNoiseSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-ablation", "noise", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-repeats", "1", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sigma") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationAttacksSmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-ablation", "attacks", "-datasets", "Iris", "-rounds", "2",
+		"-candidates", "2", "-steps", "1", "-repeats", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "naive") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationIdentifiabilitySmall(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-ablation", "identifiability", "-datasets", "Iris", "-parties", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Identifiability validation") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown figure", []string{"-fig", "9"}},
+		{"unknown ablation", []string{"-ablation", "nope"}},
+		{"unknown dataset", []string{"-fig", "5", "-datasets", "NoSuch"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

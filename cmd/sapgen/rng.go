@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRng builds a deterministic source for the generator.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,208 @@
+// Command sapnode runs one SAP party as a network daemon over TCP with
+// AES-GCM-sealed frames: a data provider, the coordinator, or the mining
+// service provider. A k-party deployment runs k+1 sapnode processes.
+//
+// Example 4-party run on one host (see examples/tcpcluster for a scripted
+// version):
+//
+//	sapnode -role miner       -name miner -listen :9100 -parties 3 \
+//	        -coordinator coord -peers coord=:9101 -key s3cret -out unified.csv
+//	sapnode -role coordinator -name coord -listen :9101 -data dp3.csv \
+//	        -providers dp1,dp2 -miner miner \
+//	        -peers dp1=:9102,dp2=:9103,miner=:9100 -key s3cret
+//	sapnode -role provider    -name dp1 -listen :9102 -data dp1.csv \
+//	        -coordinator coord -miner miner \
+//	        -peers coord=:9101,dp2=:9103,miner=:9100 -key s3cret
+//	sapnode -role provider    -name dp2 -listen :9103 -data dp2.csv \
+//	        -coordinator coord -miner miner \
+//	        -peers coord=:9101,dp1=:9102,miner=:9100 -key s3cret
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sapnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sapnode", flag.ContinueOnError)
+	var (
+		role        = fs.String("role", "", "provider, coordinator or miner")
+		name        = fs.String("name", "", "this node's endpoint name")
+		listen      = fs.String("listen", "127.0.0.1:0", "listen address")
+		peersFlag   = fs.String("peers", "", "comma-separated name=addr peer list")
+		key         = fs.String("key", "", "shared AES session key (empty: plaintext frames)")
+		dataPath    = fs.String("data", "", "local dataset CSV (providers and coordinator)")
+		providers   = fs.String("providers", "", "comma-separated provider names (coordinator)")
+		coordinator = fs.String("coordinator", "", "coordinator endpoint name (providers and miner)")
+		miner       = fs.String("miner", "", "miner endpoint name (providers and coordinator)")
+		parties     = fs.Int("parties", 0, "total provider count k (miner)")
+		outPath     = fs.String("out", "", "unified dataset output CSV (miner)")
+		seed        = fs.Int64("seed", time.Now().UnixNano(), "random seed")
+		sigma       = fs.Float64("sigma", 0.05, "common noise component σ")
+		cands       = fs.Int("candidates", 8, "perturbation optimizer restarts")
+		steps       = fs.Int("steps", 8, "perturbation optimizer refinement steps")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "protocol deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+
+	var codec transport.Codec
+	if *key != "" {
+		aes, err := transport.NewAESCodec(*key)
+		if err != nil {
+			return err
+		}
+		codec = aes
+	}
+	node, err := transport.NewTCPNode(*name, *listen, codec)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("sapnode %s (%s) listening on %s\n", *name, *role, node.Addr())
+
+	if *peersFlag != "" {
+		for _, pair := range strings.Split(*peersFlag, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+				return fmt.Errorf("bad peer %q (want name=addr)", pair)
+			}
+			node.AddPeer(kv[0], kv[1])
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *role {
+	case "provider":
+		data, pert, err := loadAndOptimize(*dataPath, rng, *sigma, *cands, *steps)
+		if err != nil {
+			return err
+		}
+		prov, err := protocol.NewProvider(node, protocol.ProviderConfig{
+			Coordinator:  *coordinator,
+			Miner:        *miner,
+			Data:         data,
+			Perturbation: pert,
+			Rng:          rng,
+		})
+		if err != nil {
+			return err
+		}
+		if err := prov.Run(ctx); err != nil {
+			return err
+		}
+		fmt.Println("provider done: dataset exchanged, adaptor delivered")
+		return nil
+
+	case "coordinator":
+		data, pert, err := loadAndOptimize(*dataPath, rng, *sigma, *cands, *steps)
+		if err != nil {
+			return err
+		}
+		if *providers == "" {
+			return fmt.Errorf("coordinator needs -providers")
+		}
+		coord, err := protocol.NewCoordinator(node, protocol.CoordinatorConfig{
+			Providers:    strings.Split(*providers, ","),
+			Miner:        *miner,
+			Data:         data,
+			Perturbation: pert,
+			Rng:          rng,
+		})
+		if err != nil {
+			return err
+		}
+		if err := coord.Run(ctx); err != nil {
+			return err
+		}
+		fmt.Println("coordinator done: adaptor map delivered to the miner")
+		return nil
+
+	case "miner":
+		m, err := protocol.NewMiner(node, protocol.MinerConfig{
+			Coordinator: *coordinator,
+			Parties:     *parties,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := m.Run(ctx)
+		if err != nil {
+			return err
+		}
+		pi, err := protocol.Identifiability(*parties)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("miner done: unified %d records × %d features (source identifiability %.3f)\n",
+			res.Unified.Len(), res.Unified.Dim(), pi)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := res.Unified.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("unified dataset written to %s\n", *outPath)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q (want provider, coordinator or miner)", *role)
+	}
+}
+
+// loadAndOptimize reads a local CSV dataset and optimizes its geometric
+// perturbation against the fast attack suite.
+func loadAndOptimize(path string, rng *rand.Rand, sigma float64, cands, steps int) (*dataset.Dataset, *perturb.Perturbation, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("missing -data")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := privacy.NewOptimizer(privacy.OptimizerConfig{
+		Candidates: cands,
+		LocalSteps: steps,
+		NoiseSigma: sigma,
+	})
+	p, res, err := opt.Optimize(rng, d.FeaturesT())
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("local perturbation optimized: minimum privacy guarantee %.4f\n", res.Guarantee)
+	return d, p, nil
+}

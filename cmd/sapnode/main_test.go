@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeDatasetCSV(t *testing.T, name string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d, err := dataset.GenerateByName(name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := norm.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndOptimize(t *testing.T) {
+	path := writeDatasetCSV(t, "Iris")
+	rng := rand.New(rand.NewSource(2))
+	d, p, err := loadAndOptimize(path, rng, 0.05, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 150 {
+		t.Fatalf("loaded %d records, want 150", d.Len())
+	}
+	if p.Dim() != 4 {
+		t.Fatalf("perturbation dim %d, want 4", p.Dim())
+	}
+	if p.NoiseSigma != 0.05 {
+		t.Fatalf("sigma %v, want 0.05", p.NoiseSigma)
+	}
+}
+
+func TestLoadAndOptimizeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, _, err := loadAndOptimize("", rng, 0.05, 2, 1); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, _, err := loadAndOptimize("/nonexistent.csv", rng, 0.05, 2, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(garbage, []byte("not,a\nvalid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadAndOptimize(garbage, rng, 0.05, 2, 1); err == nil {
+		t.Error("garbage CSV accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing name", []string{"-role", "miner"}, "missing -name"},
+		{"unknown role", []string{"-name", "x", "-role", "wizard"}, "unknown role"},
+		{"bad peer", []string{"-name", "x", "-role", "miner", "-peers", "broken", "-coordinator", "c", "-parties", "3"}, "bad peer"},
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"provider without data", []string{"-name", "x", "-role", "provider", "-coordinator", "c", "-miner", "m"}, "missing -data"},
+		{"coordinator without data", []string{"-name", "x", "-role", "coordinator", "-providers", "a,b", "-miner", "m"}, "missing -data"},
+		{"miner too few parties", []string{"-name", "x", "-role", "miner", "-coordinator", "c", "-parties", "2"}, "need at least 3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunCoordinatorNeedsProviders(t *testing.T) {
+	path := writeDatasetCSV(t, "Iris")
+	err := run([]string{"-name", "c", "-role", "coordinator", "-data", path,
+		"-miner", "m", "-candidates", "2", "-steps", "1"})
+	if err == nil || !strings.Contains(err.Error(), "-providers") {
+		t.Fatalf("err = %v, want -providers complaint", err)
+	}
+}

@@ -1,0 +1,34 @@
+// Package sap is a from-scratch reproduction of "Space Adaptation:
+// Privacy-preserving Multiparty Collaborative Mining with Geometric
+// Perturbation" (Chen & Liu, PODC 2007).
+//
+// It provides, as a single importable facade:
+//
+//   - Geometric data perturbation G(X) = RX + Ψ + Δ with random orthogonal
+//     rotations, random translations and i.i.d. noise (the paper's §2).
+//   - A privacy evaluator running the attack models of the companion work
+//     (naive re-normalization, PCA re-alignment, FastICA reconstruction,
+//     known-sample Procrustes) and the "minimum privacy guarantee" metric.
+//   - A randomized perturbation optimizer maximizing that guarantee.
+//   - The Space Adaptation Protocol (§3): k data providers and a mining
+//     service provider securely unify their perturbations via space
+//     adaptors, random exchange and a coordinator that never touches data.
+//   - Rotation-invariant classifiers (KNN, SMO-trained SVM with RBF
+//     kernel) for mining the unified data.
+//   - Risk accounting: the paper's Eq. 1 and Eq. 2 plus the party-count
+//     bounds behind its Figure 4.
+//
+// # Quickstart
+//
+//	pool, _ := sap.GenerateDataset("Diabetes", 1)
+//	parties, _ := sap.Split(pool, 4, sap.PartitionUniform, 1)
+//	result, _ := sap.Run(context.Background(), sap.RunConfig{
+//		Parties: parties,
+//		Seed:    1,
+//	})
+//	model := sap.NewKNN(5)
+//	_ = model.Fit(result.Unified)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory and experiment index.
+package sap

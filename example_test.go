@@ -1,0 +1,91 @@
+package sap_test
+
+// Godoc examples for the public facade. They are compiled by `go test` and
+// kept output-free because the library is deliberately stochastic (every
+// API takes a seed, but privacy guarantees are real-valued measurements a
+// doc comment should not pin to the last decimal).
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	sap "repro"
+)
+
+// ExampleRun shows the complete multiparty flow: partition, run SAP, train
+// on the unified perturbed data, and classify transformed queries.
+func ExampleRun() {
+	pool, err := sap.GenerateDataset("Diabetes", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parties, err := sap.Split(train, 4, sap.PartitionUniform, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sap.Run(context.Background(), sap.RunConfig{Parties: parties, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := sap.NewKNN(5)
+	if err := model.Fit(res.Unified); err != nil {
+		log.Fatal(err)
+	}
+	queries, err := res.TransformForInference(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := sap.Accuracy(model, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy within a few points of the clear baseline: %v\n", acc > 0.5)
+}
+
+// ExampleOptimizePerturbation shows single-party perturbation optimization
+// and privacy evaluation under the full attack suite.
+func ExampleOptimizePerturbation() {
+	data, err := sap.GenerateDataset("Wine", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pert, rho, err := sap.OptimizePerturbation(data, 2, sap.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sap.EvaluatePrivacy(data, pert, 3, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizer objective and full-suite guarantee are positive: %v\n",
+		rho > 0 && report.MinGuarantee > 0)
+}
+
+// ExampleRiskSAP evaluates the paper's Equation 2 for a 6-party deployment.
+func ExampleRiskSAP() {
+	risk, err := sap.RiskSAP(6, 0.9, 0.8, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.3f\n", risk)
+	// Output: 0.200
+}
+
+// ExampleMinParties reproduces one point of the paper's Figure 4: the
+// minimum number of parties needed when a party with optimality rate 0.89
+// demands satisfaction level 0.99.
+func ExampleMinParties() {
+	k, err := sap.MinParties(0.99, 0.89)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(k)
+	// Output: 13
+}

@@ -1,0 +1,77 @@
+// Attackresilience: reproduces the intuition behind the paper's Figure 2.
+// A random geometric perturbation is sometimes weak against reconstruction
+// attacks; the randomized optimizer reliably lands in the strong tail.
+// This example attacks both and prints the guarantee distributions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sap "repro"
+)
+
+const rounds = 25
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	data, err := sap.GenerateDataset("Wine", 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: Wine stand-in, %d records × %d features\n\n", data.Len(), data.Dim())
+
+	var randomRhos, optimizedRhos []float64
+	for i := 0; i < rounds; i++ {
+		// Random perturbation: a single Haar draw, no optimization.
+		randomPert, _, err := sap.OptimizePerturbation(data, int64(1000+i), sap.OptimizeOptions{
+			Candidates: 1, LocalSteps: -1, // -1 disables refinement
+		})
+		if err != nil {
+			return err
+		}
+		randomRep, err := sap.EvaluatePrivacy(data, randomPert, int64(i), 8)
+		if err != nil {
+			return err
+		}
+		randomRhos = append(randomRhos, randomRep.MinGuarantee)
+
+		// Optimized perturbation: restarts + refinement.
+		optPert, _, err := sap.OptimizePerturbation(data, int64(2000+i), sap.OptimizeOptions{
+			Candidates: 8, LocalSteps: 8,
+		})
+		if err != nil {
+			return err
+		}
+		optRep, err := sap.EvaluatePrivacy(data, optPert, int64(i), 8)
+		if err != nil {
+			return err
+		}
+		optimizedRhos = append(optimizedRhos, optRep.MinGuarantee)
+	}
+
+	rMean, rMin := summarize(randomRhos)
+	oMean, oMin := summarize(optimizedRhos)
+	fmt.Printf("random    perturbations: mean ρ = %.4f, worst ρ = %.4f\n", rMean, rMin)
+	fmt.Printf("optimized perturbations: mean ρ = %.4f, worst ρ = %.4f\n", oMean, oMin)
+	fmt.Printf("\noptimization lifts the mean guarantee by %+.1f%% and the worst case by %+.1f%%\n",
+		(oMean/rMean-1)*100, (oMin/rMin-1)*100)
+	fmt.Println("\n(the paper's Figure 2: the optimized distribution dominates the random one)")
+	return nil
+}
+
+func summarize(xs []float64) (mean, min float64) {
+	min = xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+	}
+	return mean / float64(len(xs)), min
+}

@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRand builds a deterministic noise source for the example.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

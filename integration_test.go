@@ -1,0 +1,245 @@
+package sap_test
+
+// End-to-end integration tests exercising the public facade the way the
+// examples and a downstream user would, across datasets, partition schemes
+// and classifiers.
+
+import (
+	"math"
+	"testing"
+
+	sap "repro"
+)
+
+func TestIntegrationSVMOnClassSkewedWine(t *testing.T) {
+	pool, err := sap.GenerateDataset("Wine", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := sap.TrainTestSplit(pool, 0.3, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionClass, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sap.Run(runCtx(t), sap.RunConfig{
+		Parties:  parties,
+		Seed:     24,
+		Optimize: sap.OptimizeOptions{Candidates: 3, LocalSteps: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := sap.NewSVM(sap.SVMConfig{})
+	if err := model.Fit(res.Unified); err != nil {
+		t.Fatal(err)
+	}
+	testT, err := res.TransformForInference(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sap.Accuracy(model, testT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sap.NewSVM(sap.SVMConfig{})
+	if err := base.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	clearAcc, err := sap.Accuracy(base, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clearAcc-acc) > 0.15 {
+		t.Errorf("SVM deviation too large on class-skewed Wine: clear %v vs perturbed %v", clearAcc, acc)
+	}
+}
+
+func TestIntegrationDistancePreservationThroughTargetSpace(t *testing.T) {
+	// The whole scheme rests on G_t preserving geometry: pairwise
+	// distances of transformed queries must match the originals exactly.
+	pool, err := sap.GenerateDataset("Iris", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(pool, 3, sap.PartitionUniform, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sap.Run(runCtx(t), sap.RunConfig{
+		Parties:  parties,
+		Seed:     27,
+		Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := parties[0]
+	transformed, err := res.TransformForInference(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			dOrig := rowDist(queries.X[i], queries.X[j])
+			dTrans := rowDist(transformed.X[i], transformed.X[j])
+			if math.Abs(dOrig-dTrans) > 1e-9 {
+				t.Fatalf("distance (%d,%d) changed: %v vs %v", i, j, dOrig, dTrans)
+			}
+		}
+	}
+}
+
+func TestIntegrationOptimizedBeatsRandomUnderFullSuite(t *testing.T) {
+	// The paper's Figure-2 claim is about the guarantee the optimization
+	// procedure reports: optimized rounds dominate single random draws.
+	d, err := sap.GenerateDataset("Heart", 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randomSum, optSum float64
+	const trials = 4
+	for i := int64(0); i < trials; i++ {
+		_, randomRho, err := sap.OptimizePerturbation(d, 100+i, sap.OptimizeOptions{
+			Candidates: 1, LocalSteps: -1, FullAttackSuite: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomSum += randomRho
+
+		_, optRho, err := sap.OptimizePerturbation(d, 300+i, sap.OptimizeOptions{
+			Candidates: 6, LocalSteps: 6, FullAttackSuite: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optSum += optRho
+	}
+	if optSum <= randomSum {
+		t.Errorf("optimized guarantees (sum %v) did not beat random (sum %v)", optSum, randomSum)
+	}
+}
+
+func TestIntegrationOptimizationDoesNotDegradeOutOfSample(t *testing.T) {
+	// Out-of-sample (fresh noise draws, full attack suite) the rotation
+	// choice has little headroom — the known-sample Procrustes attacker
+	// strips rotation entirely, a weakness later work formalized. We
+	// assert non-degradation: the optimized perturbation's re-evaluated
+	// guarantee stays within 10% of a random perturbation's. See
+	// EXPERIMENTS.md "Out-of-sample note".
+	d, err := sap.GenerateDataset("Heart", 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(p *sap.Perturbation) float64 {
+		var sum float64
+		const evals = 4
+		for s := int64(0); s < evals; s++ {
+			rep, err := sap.EvaluatePrivacy(d, p, 200+s, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += rep.MinGuarantee
+		}
+		return sum / evals
+	}
+	var randomSum, optSum float64
+	const trials = 3
+	for i := int64(0); i < trials; i++ {
+		randomPert, _, err := sap.OptimizePerturbation(d, 100+i, sap.OptimizeOptions{
+			Candidates: 1, LocalSteps: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomSum += score(randomPert)
+		optPert, _, err := sap.OptimizePerturbation(d, 300+i, sap.OptimizeOptions{
+			Candidates: 6, LocalSteps: 6, ScoreSamples: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optSum += score(optPert)
+	}
+	if optSum < randomSum*0.9 {
+		t.Errorf("optimization degraded out-of-sample guarantees: %v vs %v", optSum, randomSum)
+	}
+}
+
+func TestIntegrationAllDatasetsGenerateAndSplit(t *testing.T) {
+	// Every built-in profile must survive the full preprocessing path the
+	// experiments use: generate → normalize → split → partition both ways.
+	for _, name := range sap.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pool, err := sap.GenerateDataset(name, 29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			train, test, err := sap.TrainTestSplit(pool, 0.3, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if train.Len()+test.Len() != pool.Len() {
+				t.Fatalf("split lost records: %d + %d != %d", train.Len(), test.Len(), pool.Len())
+			}
+			for _, scheme := range []sap.PartitionScheme{sap.PartitionUniform, sap.PartitionClass} {
+				parts, err := sap.Split(train, 5, scheme, 31)
+				if err != nil {
+					t.Fatalf("%v: %v", scheme, err)
+				}
+				total := 0
+				for _, p := range parts {
+					total += p.Len()
+				}
+				if total != train.Len() {
+					t.Fatalf("%v: partitions cover %d of %d rows", scheme, total, train.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationIdentifiabilityScalesWithK(t *testing.T) {
+	pool, err := sap.GenerateDataset("Credit_g", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, k := range []int{3, 5, 8} {
+		parties, err := sap.Split(pool, k, sap.PartitionUniform, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sap.Run(runCtx(t), sap.RunConfig{
+			Parties:  parties,
+			Seed:     34,
+			Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / float64(k-1)
+		if math.Abs(res.Identifiability-want) > 1e-12 {
+			t.Errorf("k=%d: identifiability %v, want %v", k, res.Identifiability, want)
+		}
+		if res.Identifiability >= prev {
+			t.Errorf("identifiability did not shrink at k=%d", k)
+		}
+		prev = res.Identifiability
+	}
+}
+
+func rowDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,197 @@
+// Package classify implements the classifiers the paper evaluates —
+// K-nearest-neighbours and an SMO-trained SVM with RBF kernel — plus a
+// nearest-centroid baseline and a model-evaluation harness. Both headline
+// classifiers are invariant to rotation and translation of the feature
+// space, the property geometric perturbation relies on.
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Errors returned by classifiers and the evaluation harness.
+var (
+	ErrNotFitted   = errors.New("classify: model not fitted")
+	ErrEmptyTrain  = errors.New("classify: empty training set")
+	ErrDimMismatch = errors.New("classify: feature dimension mismatch")
+	ErrBadConfig   = errors.New("classify: bad configuration")
+)
+
+// Classifier is a trainable multi-class classifier.
+type Classifier interface {
+	// Fit trains on the dataset.
+	Fit(d *dataset.Dataset) error
+	// Predict returns the class for one feature vector.
+	Predict(x []float64) (int, error)
+}
+
+// Accuracy scores a fitted classifier on a test set: the fraction of
+// correctly predicted records.
+func Accuracy(c Classifier, test *dataset.Dataset) (float64, error) {
+	if test.Len() == 0 {
+		return 0, ErrEmptyTrain
+	}
+	correct := 0
+	for i := range test.X {
+		got, err := c.Predict(test.X[i])
+		if err != nil {
+			return 0, fmt.Errorf("predict record %d: %w", i, err)
+		}
+		if got == test.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(test.Len()), nil
+}
+
+// ConfusionMatrix returns counts[i][j] = records of true class i predicted
+// as class j.
+func ConfusionMatrix(c Classifier, test *dataset.Dataset, numClasses int) ([][]int, error) {
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("%w: numClasses=%d", ErrBadConfig, numClasses)
+	}
+	counts := make([][]int, numClasses)
+	for i := range counts {
+		counts[i] = make([]int, numClasses)
+	}
+	for i := range test.X {
+		got, err := c.Predict(test.X[i])
+		if err != nil {
+			return nil, fmt.Errorf("predict record %d: %w", i, err)
+		}
+		if got < 0 || got >= numClasses || test.Y[i] >= numClasses {
+			return nil, fmt.Errorf("%w: label %d/%d outside %d classes", ErrBadConfig, got, test.Y[i], numClasses)
+		}
+		counts[test.Y[i]][got]++
+	}
+	return counts, nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation, returning the
+// per-fold accuracies. factory must return a fresh unfitted classifier.
+func CrossValidate(factory func() Classifier, d *dataset.Dataset, folds int, rng *rand.Rand) ([]float64, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("%w: folds=%d", ErrBadConfig, folds)
+	}
+	if d.Len() < folds {
+		return nil, fmt.Errorf("%w: %d records for %d folds", ErrBadConfig, d.Len(), folds)
+	}
+	// Stratified fold assignment: deal each class's shuffled indices
+	// round-robin across folds.
+	assignment := make([]int, d.Len())
+	byClass := make(map[int][]int)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	next := 0
+	for c := 0; c < d.NumClasses(); c++ {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			assignment[i] = next % folds
+			next++
+		}
+	}
+	accs := make([]float64, 0, folds)
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for i, a := range assignment {
+			if a == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		if len(testIdx) == 0 || len(trainIdx) == 0 {
+			return nil, fmt.Errorf("%w: fold %d is empty", ErrBadConfig, f)
+		}
+		clf := factory()
+		if err := clf.Fit(d.Subset(trainIdx)); err != nil {
+			return nil, fmt.Errorf("fold %d fit: %w", f, err)
+		}
+		acc, err := Accuracy(clf, d.Subset(testIdx))
+		if err != nil {
+			return nil, fmt.Errorf("fold %d score: %w", f, err)
+		}
+		accs = append(accs, acc)
+	}
+	return accs, nil
+}
+
+// euclidean2 returns the squared Euclidean distance between equal-length
+// vectors.
+func euclidean2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NearestCentroid is a simple rotation-invariant baseline: predict the class
+// of the closest class centroid.
+type NearestCentroid struct {
+	centroids [][]float64
+	classes   []int
+}
+
+// NewNearestCentroid returns an unfitted nearest-centroid classifier.
+func NewNearestCentroid() *NearestCentroid { return &NearestCentroid{} }
+
+var _ Classifier = (*NearestCentroid)(nil)
+
+// Fit implements Classifier.
+func (nc *NearestCentroid) Fit(d *dataset.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyTrain
+	}
+	k := d.NumClasses()
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, d.Dim())
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		counts[c]++
+		for j, v := range row {
+			sums[c][j] += v
+		}
+	}
+	nc.centroids = nc.centroids[:0]
+	nc.classes = nc.classes[:0]
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range sums[c] {
+			sums[c][j] /= float64(counts[c])
+		}
+		nc.centroids = append(nc.centroids, sums[c])
+		nc.classes = append(nc.classes, c)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (nc *NearestCentroid) Predict(x []float64) (int, error) {
+	if len(nc.centroids) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(nc.centroids[0]) {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimMismatch, len(x), len(nc.centroids[0]))
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range nc.centroids {
+		if d := euclidean2(x, c); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return nc.classes[best], nil
+}

@@ -1,0 +1,219 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Perceptron is an averaged multi-class perceptron (one weight vector per
+// class). Linear classifiers are among the models the companion ICDM'05
+// paper shows to be invariant to rotation perturbation: rotating the inputs
+// merely rotates the learned weight vectors.
+type Perceptron struct {
+	// Epochs is the number of training passes (default 20).
+	Epochs int
+	// Seed drives the per-epoch shuffle (default 1).
+	Seed int64
+
+	weights [][]float64 // class -> d+1 weights (bias last)
+	dim     int
+}
+
+// NewPerceptron returns an unfitted averaged perceptron.
+func NewPerceptron(epochs int) *Perceptron {
+	if epochs <= 0 {
+		epochs = 20
+	}
+	return &Perceptron{Epochs: epochs, Seed: 1}
+}
+
+var _ Classifier = (*Perceptron)(nil)
+
+// Fit implements Classifier.
+func (p *Perceptron) Fit(d *dataset.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyTrain
+	}
+	nClasses := d.NumClasses()
+	if nClasses < 2 {
+		return fmt.Errorf("%w: need at least 2 classes", ErrBadConfig)
+	}
+	p.dim = d.Dim()
+	w := make([][]float64, nClasses)
+	acc := make([][]float64, nClasses) // averaged weights
+	for c := range w {
+		w[c] = make([]float64, p.dim+1)
+		acc[c] = make([]float64, p.dim+1)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			x, y := d.X[i], d.Y[i]
+			pred := argmaxScore(w, x)
+			if pred != y {
+				for j, v := range x {
+					w[y][j] += v
+					w[pred][j] -= v
+				}
+				w[y][p.dim]++
+				w[pred][p.dim]--
+			}
+			for c := range w {
+				for j := range w[c] {
+					acc[c][j] += w[c][j]
+				}
+			}
+		}
+	}
+	total := float64(p.Epochs * d.Len())
+	for c := range acc {
+		for j := range acc[c] {
+			acc[c][j] /= total
+		}
+	}
+	p.weights = acc
+	return nil
+}
+
+// Predict implements Classifier.
+func (p *Perceptron) Predict(x []float64) (int, error) {
+	if p.weights == nil {
+		return 0, ErrNotFitted
+	}
+	if len(x) != p.dim {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimMismatch, len(x), p.dim)
+	}
+	return argmaxScore(p.weights, x), nil
+}
+
+func argmaxScore(w [][]float64, x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range w {
+		s := w[c][len(x)] // bias
+		for j, v := range x {
+			s += w[c][j] * v
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Logistic is multinomial logistic regression trained by batch gradient
+// descent with L2 regularization. Its decision boundaries are linear, so
+// accuracy is preserved under any invertible affine map of the features —
+// in particular under geometric perturbation.
+type Logistic struct {
+	// LearningRate is the gradient step (default 0.5).
+	LearningRate float64
+	// Epochs is the number of full-batch iterations (default 200).
+	Epochs int
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+
+	weights [][]float64 // class -> d+1 (bias last)
+	dim     int
+}
+
+// NewLogistic returns an unfitted multinomial logistic regression model.
+func NewLogistic() *Logistic {
+	return &Logistic{LearningRate: 0.5, Epochs: 200, L2: 1e-4}
+}
+
+var _ Classifier = (*Logistic)(nil)
+
+// Fit implements Classifier.
+func (l *Logistic) Fit(d *dataset.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyTrain
+	}
+	nClasses := d.NumClasses()
+	if nClasses < 2 {
+		return fmt.Errorf("%w: need at least 2 classes", ErrBadConfig)
+	}
+	if l.LearningRate <= 0 || l.Epochs <= 0 {
+		return fmt.Errorf("%w: rate=%v epochs=%d", ErrBadConfig, l.LearningRate, l.Epochs)
+	}
+	l.dim = d.Dim()
+	n := float64(d.Len())
+	w := make([][]float64, nClasses)
+	for c := range w {
+		w[c] = make([]float64, l.dim+1)
+	}
+	probs := make([]float64, nClasses)
+	grad := make([][]float64, nClasses)
+	for c := range grad {
+		grad[c] = make([]float64, l.dim+1)
+	}
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = l.L2 * w[c][j]
+			}
+		}
+		for i := range d.X {
+			softmaxInto(w, d.X[i], probs)
+			for c := range w {
+				indicator := 0.0
+				if d.Y[i] == c {
+					indicator = 1
+				}
+				delta := (probs[c] - indicator) / n
+				for j, v := range d.X[i] {
+					grad[c][j] += delta * v
+				}
+				grad[c][l.dim] += delta
+			}
+		}
+		for c := range w {
+			for j := range w[c] {
+				w[c][j] -= l.LearningRate * grad[c][j]
+			}
+		}
+	}
+	l.weights = w
+	return nil
+}
+
+// Predict implements Classifier.
+func (l *Logistic) Predict(x []float64) (int, error) {
+	if l.weights == nil {
+		return 0, ErrNotFitted
+	}
+	if len(x) != l.dim {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimMismatch, len(x), l.dim)
+	}
+	return argmaxScore(l.weights, x), nil
+}
+
+// softmaxInto writes class probabilities for x into out.
+func softmaxInto(w [][]float64, x []float64, out []float64) {
+	max := math.Inf(-1)
+	for c := range w {
+		s := w[c][len(x)]
+		for j, v := range x {
+			s += w[c][j] * v
+		}
+		out[c] = s
+		if s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for c := range out {
+		out[c] = math.Exp(out[c] - max)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}

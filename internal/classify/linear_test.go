@@ -1,0 +1,190 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+)
+
+func TestPerceptronSeparable(t *testing.T) {
+	d, _ := dataset.New("sep", [][]float64{
+		{-2, 0}, {-2.2, 0.1}, {-1.8, -0.1}, {-2.1, 0.2},
+		{2, 0}, {2.2, -0.1}, {1.8, 0.1}, {2.1, -0.2},
+	}, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	p := NewPerceptron(0)
+	if p.Epochs != 20 {
+		t.Fatalf("default epochs = %d, want 20", p.Epochs)
+	}
+	if err := p.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("separable perceptron accuracy = %v, want ~1", acc)
+	}
+}
+
+func TestPerceptronMulticlassIris(t *testing.T) {
+	train, test := irisSplit(t, 21)
+	p := NewPerceptron(30)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("perceptron Iris accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestPerceptronErrors(t *testing.T) {
+	p := NewPerceptron(5)
+	if _, err := p.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("unfitted err = %v", err)
+	}
+	if err := p.Fit(nil); !errors.Is(err, ErrEmptyTrain) {
+		t.Fatalf("nil err = %v", err)
+	}
+	oneClass, _ := dataset.New("one", [][]float64{{1}, {2}}, []int{0, 0})
+	if err := p.Fit(oneClass); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("one class err = %v", err)
+	}
+	ok, _ := dataset.New("ok", [][]float64{{0}, {1}}, []int{0, 1})
+	if err := p.Fit(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1, 2}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dim err = %v", err)
+	}
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	d, _ := dataset.New("sep", [][]float64{
+		{-1, -1}, {-1.2, -0.8}, {-0.9, -1.1},
+		{1, 1}, {1.1, 0.9}, {0.8, 1.2},
+	}, []int{0, 0, 0, 1, 1, 1})
+	l := NewLogistic()
+	if err := l.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(l, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("separable logistic accuracy = %v, want ~1", acc)
+	}
+}
+
+func TestLogisticMulticlassIris(t *testing.T) {
+	train, test := irisSplit(t, 22)
+	l := NewLogistic()
+	if err := l.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(l, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("logistic Iris accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestLogisticErrors(t *testing.T) {
+	l := NewLogistic()
+	if _, err := l.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("unfitted err = %v", err)
+	}
+	if err := l.Fit(nil); !errors.Is(err, ErrEmptyTrain) {
+		t.Fatalf("nil err = %v", err)
+	}
+	bad := NewLogistic()
+	bad.LearningRate = -1
+	ok, _ := dataset.New("ok", [][]float64{{0}, {1}}, []int{0, 1})
+	if err := bad.Fit(ok); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad rate err = %v", err)
+	}
+	oneClass, _ := dataset.New("one", [][]float64{{1}, {2}}, []int{0, 0})
+	if err := l.Fit(oneClass); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("one class err = %v", err)
+	}
+	if err := l.Fit(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Predict([]float64{1, 2}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dim err = %v", err)
+	}
+}
+
+func TestLinearModelsRotationInvariance(t *testing.T) {
+	// The ICDM'05 claim the paper builds on: linear classifiers trained on
+	// rotated data match the clear-data accuracy (the boundary rotates
+	// with the data).
+	train, test := irisSplit(t, 23)
+	rng := rand.New(rand.NewSource(24))
+	p, err := perturb.NewRandom(rng, train.Dim(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotTrain, rotTest := train.Clone(), test.Clone()
+	yTr, _ := p.ApplyNoiseless(train.FeaturesT())
+	yTe, _ := p.ApplyNoiseless(test.FeaturesT())
+	if err := rotTrain.ReplaceFeaturesT(yTr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rotTest.ReplaceFeaturesT(yTe); err != nil {
+		t.Fatal(err)
+	}
+
+	models := map[string]func() Classifier{
+		"perceptron": func() Classifier { return NewPerceptron(30) },
+		"logistic":   func() Classifier { return NewLogistic() },
+	}
+	for name, factory := range models {
+		base := factory()
+		if err := base.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		clearAcc, err := Accuracy(base, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rot := factory()
+		if err := rot.Fit(rotTrain); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rotAcc, err := Accuracy(rot, rotTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(clearAcc-rotAcc) > 0.08 {
+			t.Errorf("%s: accuracy changed under rotation: %v vs %v", name, clearAcc, rotAcc)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	w := [][]float64{{1, 0, 0.5}, {0, 1, -0.5}, {-1, -1, 0}}
+	out := make([]float64, 3)
+	softmaxInto(w, []float64{0.3, -0.7}, out)
+	var sum float64
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of [0,1]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}

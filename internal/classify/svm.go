@@ -1,0 +1,302 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Kernel computes an inner product in feature space.
+type Kernel interface {
+	// Name identifies the kernel in reports.
+	Name() string
+	// Eval returns K(a, b).
+	Eval(a, b []float64) float64
+}
+
+// LinearKernel is the plain dot product.
+type LinearKernel struct{}
+
+// Name implements Kernel.
+func (LinearKernel) Name() string { return "linear" }
+
+// Eval implements Kernel.
+func (LinearKernel) Eval(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// RBFKernel is the Gaussian kernel exp(-γ‖a−b‖²). Because it depends on the
+// data only through distances, it is invariant to rotation and translation —
+// the property that makes SVM(RBF) a headline classifier in the paper.
+type RBFKernel struct {
+	// Gamma is the kernel width (must be > 0).
+	Gamma float64
+}
+
+// Name implements Kernel.
+func (k RBFKernel) Name() string { return "rbf" }
+
+// Eval implements Kernel.
+func (k RBFKernel) Eval(a, b []float64) float64 {
+	return math.Exp(-k.Gamma * euclidean2(a, b))
+}
+
+// SVMConfig tunes the SMO trainer. Zero values select the defaults noted on
+// each field.
+type SVMConfig struct {
+	// Kernel defaults to RBF with γ = 1/d.
+	Kernel Kernel
+	// C is the box constraint (default 1).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of full passes without changes before SMO
+	// stops (default 3).
+	MaxPasses int
+	// MaxIter hard-bounds the total number of SMO sweeps (default 200).
+	MaxIter int
+	// Seed drives the deterministic second-multiplier choice (default 1).
+	Seed int64
+}
+
+func (c SVMConfig) withDefaults(dim int) SVMConfig {
+	if c.Kernel == nil {
+		c.Kernel = RBFKernel{Gamma: 1 / math.Max(1, float64(dim))}
+	}
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 3
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SVM is a multi-class support-vector machine trained with SMO, using
+// one-vs-one pairwise voting for more than two classes.
+type SVM struct {
+	cfg    SVMConfig
+	dim    int
+	binary []*binarySVM // one per class pair
+	pairs  [][2]int
+}
+
+// NewSVM returns an unfitted SVM with the given configuration.
+func NewSVM(cfg SVMConfig) *SVM { return &SVM{cfg: cfg} }
+
+var _ Classifier = (*SVM)(nil)
+
+// Fit implements Classifier.
+func (s *SVM) Fit(d *dataset.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyTrain
+	}
+	s.cfg = s.cfg.withDefaults(d.Dim())
+	s.dim = d.Dim()
+	nClasses := d.NumClasses()
+	if nClasses < 2 {
+		return fmt.Errorf("%w: need at least 2 classes, got %d", ErrBadConfig, nClasses)
+	}
+	byClass := make([][]int, nClasses)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	s.binary = s.binary[:0]
+	s.pairs = s.pairs[:0]
+	for a := 0; a < nClasses; a++ {
+		for b := a + 1; b < nClasses; b++ {
+			if len(byClass[a]) == 0 || len(byClass[b]) == 0 {
+				continue
+			}
+			idx := append(append([]int(nil), byClass[a]...), byClass[b]...)
+			sub := d.Subset(idx)
+			labels := make([]float64, sub.Len())
+			for i := range labels {
+				if sub.Y[i] == a {
+					labels[i] = 1
+				} else {
+					labels[i] = -1
+				}
+			}
+			bin := &binarySVM{cfg: s.cfg}
+			if err := bin.fit(sub.X, labels); err != nil {
+				return fmt.Errorf("pair (%d,%d): %w", a, b, err)
+			}
+			s.binary = append(s.binary, bin)
+			s.pairs = append(s.pairs, [2]int{a, b})
+		}
+	}
+	if len(s.binary) == 0 {
+		return fmt.Errorf("%w: no trainable class pairs", ErrBadConfig)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x []float64) (int, error) {
+	if len(s.binary) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != s.dim {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimMismatch, len(x), s.dim)
+	}
+	votes := make(map[int]int)
+	for i, bin := range s.binary {
+		pair := s.pairs[i]
+		if bin.decision(x) >= 0 {
+			votes[pair[0]]++
+		} else {
+			votes[pair[1]]++
+		}
+	}
+	best, bestVotes := -1, -1
+	for class, v := range votes {
+		if v > bestVotes || (v == bestVotes && class < best) {
+			best, bestVotes = class, v
+		}
+	}
+	return best, nil
+}
+
+// binarySVM is one ±1 SMO-trained machine.
+type binarySVM struct {
+	cfg SVMConfig
+
+	x     [][]float64
+	y     []float64
+	alpha []float64
+	b     float64
+}
+
+// fit runs simplified SMO (Platt's algorithm with randomized second-choice
+// heuristic) on ±1 labels.
+func (m *binarySVM) fit(x [][]float64, y []float64) error {
+	n := len(x)
+	if n == 0 {
+		return ErrEmptyTrain
+	}
+	m.x = x
+	m.y = y
+	m.alpha = make([]float64, n)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+
+	// Cache the kernel matrix for moderate n; recompute on demand above.
+	var kmat [][]float64
+	const cacheLimit = 1400
+	if n <= cacheLimit {
+		kmat = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			kmat[i] = make([]float64, n)
+			for j := 0; j <= i; j++ {
+				v := m.cfg.Kernel.Eval(x[i], x[j])
+				kmat[i][j] = v
+				kmat[j][i] = v
+			}
+		}
+	}
+	kval := func(i, j int) float64 {
+		if kmat != nil {
+			return kmat[i][j]
+		}
+		return m.cfg.Kernel.Eval(x[i], x[j])
+	}
+	fOut := func(i int) float64 {
+		var s float64
+		for j := 0; j < n; j++ {
+			if m.alpha[j] != 0 {
+				s += m.alpha[j] * y[j] * kval(j, i)
+			}
+		}
+		return s + m.b
+	}
+
+	passes, iter := 0, 0
+	for passes < m.cfg.MaxPasses && iter < m.cfg.MaxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := fOut(i) - y[i]
+			if !((y[i]*ei < -m.cfg.Tol && m.alpha[i] < m.cfg.C) ||
+				(y[i]*ei > m.cfg.Tol && m.alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := fOut(j) - y[j]
+			ai, aj := m.alpha[i], m.alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(m.cfg.C, m.cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-m.cfg.C)
+				hi = math.Min(m.cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*kval(i, j) - kval(i, i) - kval(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			b1 := m.b - ei - y[i]*(aiNew-ai)*kval(i, i) - y[j]*(ajNew-aj)*kval(i, j)
+			b2 := m.b - ej - y[i]*(aiNew-ai)*kval(i, j) - y[j]*(ajNew-aj)*kval(j, j)
+			switch {
+			case aiNew > 0 && aiNew < m.cfg.C:
+				m.b = b1
+			case ajNew > 0 && ajNew < m.cfg.C:
+				m.b = b2
+			default:
+				m.b = (b1 + b2) / 2
+			}
+			m.alpha[i] = aiNew
+			m.alpha[j] = ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return nil
+}
+
+// decision returns the signed margin for x.
+func (m *binarySVM) decision(x []float64) float64 {
+	var s float64
+	for j := range m.x {
+		if m.alpha[j] != 0 {
+			s += m.alpha[j] * m.y[j] * m.cfg.Kernel.Eval(m.x[j], x)
+		}
+	}
+	return s + m.b
+}

@@ -1,0 +1,200 @@
+// Package core composes the paper's primary contribution — space adaptation
+// — into one pipeline: k providers' local datasets go in; each provider
+// optimizes its own geometric perturbation against the attack suite; the
+// Space Adaptation Protocol unifies the perturbations at the mining service
+// provider; and per-party privacy accounting (ρ_i, b̂_i, satisfaction s_i,
+// Eq. 2 risk) comes out alongside the unified training set.
+//
+// The public facade (package sap at the module root) sits on this package.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+)
+
+// ErrBadPipeline flags invalid pipeline configuration.
+var ErrBadPipeline = errors.New("core: bad pipeline configuration")
+
+// PipelineConfig configures one space-adaptation run.
+type PipelineConfig struct {
+	// Parties are the providers' local (normalized) datasets, k ≥ 3. The
+	// last party doubles as the coordinator.
+	Parties []*dataset.Dataset
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// NoiseSigma is the common noise component σ (default 0.05).
+	NoiseSigma float64
+	// Optimizer tunes the per-party perturbation search. Zero values use
+	// the privacy package defaults.
+	Optimizer privacy.OptimizerConfig
+	// MeasureSatisfaction additionally evaluates each party's satisfaction
+	// with the unified target and its Eq. 2 risk (costs one optimality
+	// estimate plus two attack evaluations per party).
+	MeasureSatisfaction bool
+	// SatisfactionRounds is the number of optimization rounds used to
+	// estimate each party's bound b̂ when MeasureSatisfaction is set
+	// (default 10).
+	SatisfactionRounds int
+	// Audit optionally records the protocol event trail.
+	Audit *protocol.AuditLog
+}
+
+// PartyReport is the per-provider privacy accounting of one run.
+type PartyReport struct {
+	// Name is the party's protocol endpoint name.
+	Name string
+	// LocalGuarantee is ρ_i of the locally optimized perturbation.
+	LocalGuarantee float64
+	// Bound is the empirical b̂_i (only when MeasureSatisfaction).
+	Bound float64
+	// UnifiedGuarantee is ρ^G_i of the unified target on this party's data
+	// (only when MeasureSatisfaction).
+	UnifiedGuarantee float64
+	// Satisfaction is s_i = ρ^G_i / ρ_i (only when MeasureSatisfaction).
+	Satisfaction float64
+	// Risk is the Eq. 2 overall risk (only when MeasureSatisfaction).
+	Risk float64
+}
+
+// PipelineResult is the outcome of a space-adaptation run.
+type PipelineResult struct {
+	// Unified is the miner's merged training set in the target space.
+	Unified *dataset.Dataset
+	// Target is the unified target perturbation G_t.
+	Target *perturb.Perturbation
+	// Parties holds per-provider accounting, in input order.
+	Parties []PartyReport
+	// Identifiability is the miner-side source identifiability 1/(k−1).
+	Identifiability float64
+	// Plan is the coordinator's exchange plan (for audit; never leaves the
+	// coordinator in a real deployment).
+	Plan *protocol.ExchangePlan
+}
+
+// Run executes the full pipeline over an in-memory network.
+func Run(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	k := len(cfg.Parties)
+	if k < 3 {
+		return nil, fmt.Errorf("%w: need at least 3 parties, got %d", ErrBadPipeline, k)
+	}
+	sigma := cfg.NoiseSigma
+	if sigma <= 0 {
+		sigma = 0.05
+	}
+	optCfg := cfg.Optimizer
+	optCfg.NoiseSigma = sigma
+	opt := privacy.NewOptimizer(optCfg)
+
+	inputs := make([]protocol.PartyInput, 0, k)
+	reports := make([]PartyReport, 0, k)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, d := range cfg.Parties {
+		if d == nil || d.Len() == 0 {
+			return nil, fmt.Errorf("%w: party %d has no data", ErrBadPipeline, i)
+		}
+		name := fmt.Sprintf("dp%d", i+1)
+		p, res, err := opt.Optimize(rng, d.FeaturesT())
+		if err != nil {
+			return nil, fmt.Errorf("core: optimize party %d: %w", i, err)
+		}
+		inputs = append(inputs, protocol.PartyInput{Name: name, Data: d, Perturbation: p})
+		reports = append(reports, PartyReport{Name: name, LocalGuarantee: res.Guarantee})
+	}
+
+	sess, err := protocol.RunLocal(ctx, protocol.SessionConfig{
+		Parties: inputs,
+		Seed:    cfg.Seed,
+		Audit:   cfg.Audit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pi, err := protocol.Identifiability(k)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.MeasureSatisfaction {
+		rounds := cfg.SatisfactionRounds
+		if rounds <= 0 {
+			rounds = 10
+		}
+		for i := range reports {
+			if err := fillSatisfaction(rng, opt, &reports[i], inputs[i], sess.Target, sigma, rounds, k); err != nil {
+				return nil, fmt.Errorf("core: satisfaction for party %d: %w", i, err)
+			}
+		}
+	}
+
+	return &PipelineResult{
+		Unified:         sess.Unified,
+		Target:          sess.Target,
+		Parties:         reports,
+		Identifiability: pi,
+		Plan:            sess.Plan,
+	}, nil
+}
+
+// fillSatisfaction measures b̂, ρ^G, s and Eq. 2 risk for one party.
+func fillSatisfaction(rng *rand.Rand, opt *privacy.Optimizer, report *PartyReport,
+	input protocol.PartyInput, target *perturb.Perturbation, sigma float64, rounds, k int) error {
+	x := input.Data.FeaturesT()
+	est, err := opt.EstimateOptimality(rng, x, rounds)
+	if err != nil {
+		return err
+	}
+	// The miner sees this party's data under G_t with the inherited noise;
+	// an orthogonal rotation of i.i.d. Gaussian noise is identically
+	// distributed, so (R_t, t_t, σ) is the exact miner view.
+	minerView := target.Clone()
+	minerView.NoiseSigma = sigma
+	unifiedRep, err := opt.Score(rng, x, minerView)
+	if err != nil {
+		return err
+	}
+	rho := report.LocalGuarantee
+	bound := est.Bound
+	if rho > bound {
+		bound = rho
+	}
+	report.Bound = bound
+	report.UnifiedGuarantee = unifiedRep.MinGuarantee
+	if rho > 0 {
+		report.Satisfaction = unifiedRep.MinGuarantee / rho
+	}
+	riskSat := report.Satisfaction
+	if riskSat*rho > bound {
+		riskSat = bound / rho
+	}
+	risk, err := protocol.RiskSAP(k, riskSat, rho, bound)
+	if err != nil {
+		return err
+	}
+	report.Risk = risk
+	return nil
+}
+
+// TransformForInference maps a clear dataset into the target space so it
+// can be scored by a model trained on the unified data.
+func (r *PipelineResult) TransformForInference(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadPipeline)
+	}
+	y, err := r.Target.ApplyNoiseless(d.FeaturesT())
+	if err != nil {
+		return nil, err
+	}
+	out := d.Clone()
+	if err := out.ReplaceFeaturesT(y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+)
+
+func pipelineParties(t *testing.T, name string, k int, seed int64) []*dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, err := dataset.GenerateByName(name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.Partition(norm, rng, k, dataset.PartitionUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func coreCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func fastOpt() privacy.OptimizerConfig {
+	return privacy.OptimizerConfig{Candidates: 2, LocalSteps: 1}
+}
+
+func TestRunPipelineBasic(t *testing.T) {
+	parties := pipelineParties(t, "Iris", 3, 1)
+	res, err := Run(coreCtx(t), PipelineConfig{
+		Parties:   parties,
+		Seed:      2,
+		Optimizer: fastOpt(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parties {
+		total += p.Len()
+	}
+	if res.Unified.Len() != total {
+		t.Fatalf("unified %d records, want %d", res.Unified.Len(), total)
+	}
+	if res.Identifiability != 0.5 {
+		t.Fatalf("identifiability %v, want 1/2", res.Identifiability)
+	}
+	if len(res.Parties) != 3 {
+		t.Fatalf("%d party reports, want 3", len(res.Parties))
+	}
+	for _, pr := range res.Parties {
+		if pr.LocalGuarantee <= 0 {
+			t.Errorf("%s: guarantee %v", pr.Name, pr.LocalGuarantee)
+		}
+		// Without MeasureSatisfaction the accounting fields stay zero.
+		if pr.Satisfaction != 0 || pr.Risk != 0 {
+			t.Errorf("%s: unexpected satisfaction accounting %+v", pr.Name, pr)
+		}
+	}
+	if res.Target.NoiseSigma != 0 {
+		t.Fatal("target must carry no noise")
+	}
+	if res.Plan == nil {
+		t.Fatal("missing exchange plan")
+	}
+}
+
+func TestRunPipelineSatisfaction(t *testing.T) {
+	parties := pipelineParties(t, "Iris", 3, 3)
+	res, err := Run(coreCtx(t), PipelineConfig{
+		Parties:             parties,
+		Seed:                4,
+		Optimizer:           fastOpt(),
+		MeasureSatisfaction: true,
+		SatisfactionRounds:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Parties {
+		if pr.Bound < pr.LocalGuarantee {
+			t.Errorf("%s: bound %v below ρ %v", pr.Name, pr.Bound, pr.LocalGuarantee)
+		}
+		if pr.Satisfaction <= 0 {
+			t.Errorf("%s: satisfaction %v", pr.Name, pr.Satisfaction)
+		}
+		if pr.Risk < 0 || pr.Risk > 1 {
+			t.Errorf("%s: risk %v out of [0,1]", pr.Name, pr.Risk)
+		}
+		if pr.UnifiedGuarantee <= 0 {
+			t.Errorf("%s: unified guarantee %v", pr.Name, pr.UnifiedGuarantee)
+		}
+	}
+}
+
+func TestRunPipelineValidation(t *testing.T) {
+	ctx := coreCtx(t)
+	parties := pipelineParties(t, "Iris", 3, 5)
+	if _, err := Run(ctx, PipelineConfig{Parties: parties[:2]}); !errors.Is(err, ErrBadPipeline) {
+		t.Errorf("k=2 err = %v", err)
+	}
+	bad := append([]*dataset.Dataset(nil), parties...)
+	bad[1] = nil
+	if _, err := Run(ctx, PipelineConfig{Parties: bad, Optimizer: fastOpt()}); !errors.Is(err, ErrBadPipeline) {
+		t.Errorf("nil party err = %v", err)
+	}
+}
+
+func TestRunPipelineAudit(t *testing.T) {
+	parties := pipelineParties(t, "Iris", 4, 6)
+	var log protocol.AuditLog
+	res, err := Run(coreCtx(t), PipelineConfig{
+		Parties:   parties,
+		Seed:      7,
+		Optimizer: fastOpt(),
+		Audit:     &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordName := res.Parties[len(res.Parties)-1].Name
+	if problems := log.VerifyInvariants(coordName, "miner", 4); len(problems) != 0 {
+		t.Fatalf("audit invariants: %v", problems)
+	}
+}
+
+func TestRunPipelineDeterministic(t *testing.T) {
+	run := func() *PipelineResult {
+		parties := pipelineParties(t, "Iris", 3, 8)
+		res, err := Run(coreCtx(t), PipelineConfig{Parties: parties, Seed: 9, Optimizer: fastOpt()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Target.Equal(b.Target, 1e-12) {
+		t.Fatal("same seed, different targets")
+	}
+	for i := range a.Parties {
+		if a.Parties[i].LocalGuarantee != b.Parties[i].LocalGuarantee {
+			t.Fatal("same seed, different guarantees")
+		}
+	}
+}
+
+func TestTransformForInference(t *testing.T) {
+	parties := pipelineParties(t, "Iris", 3, 10)
+	res, err := Run(coreCtx(t), PipelineConfig{Parties: parties, Seed: 11, Optimizer: fastOpt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := parties[0]
+	transformed, err := res.TransformForInference(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transformation is exactly G_t (noiseless): verify one record.
+	want, err := res.Target.ApplyNoiseless(query.FeaturesT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < query.Dim(); j++ {
+		if math.Abs(transformed.X[0][j]-want.At(j, 0)) > 1e-12 {
+			t.Fatal("transformation does not match G_t")
+		}
+	}
+	if _, err := res.TransformForInference(nil); !errors.Is(err, ErrBadPipeline) {
+		t.Fatalf("nil err = %v", err)
+	}
+}

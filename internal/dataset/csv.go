@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the dataset with a header row; the last column is the
+// integer class label.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), d.FeatureNames...), "class")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, d.Dim()+1)
+	for i := range d.X {
+		for j, v := range d.X[i] {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[d.Dim()] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a dataset written by WriteCSV: a header row followed by
+// float features with a trailing integer class column.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: csv needs a header and at least one row: %w", ErrEmptyDataset)
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: csv needs at least one feature and a class column")
+	}
+	dim := len(header) - 1
+	x := make([][]float64, 0, len(records)-1)
+	y := make([]int, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != dim+1 {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), dim+1)
+		}
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", i+1, j, err)
+			}
+			row[j] = v
+		}
+		label, err := strconv.Atoi(rec[dim])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d label: %w", i+1, err)
+		}
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: row %d has negative label %d", i+1, label)
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	d, err := New(name, x, y)
+	if err != nil {
+		return nil, err
+	}
+	d.FeatureNames = append([]string(nil), header[:dim]...)
+	return d, nil
+}

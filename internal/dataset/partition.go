@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PartitionScheme selects how a pooled dataset is distributed across the k
+// data providers. The paper evaluates "Uniform" (each local dataset is an
+// almost-uniform sample of the pool) and a class-skewed scheme it labels
+// "Class" in Figures 3, 5 and 6.
+type PartitionScheme int
+
+const (
+	// PartitionUniform gives every provider an approximately uniform random
+	// sample with randomly varied sizes ("randomly sized sub-datasets").
+	PartitionUniform PartitionScheme = iota + 1
+	// PartitionClass orders records by class before cutting, so each
+	// provider's local data is heavily skewed toward a few classes.
+	PartitionClass
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (s PartitionScheme) String() string {
+	switch s {
+	case PartitionUniform:
+		return "Uniform"
+	case PartitionClass:
+		return "Class"
+	default:
+		return fmt.Sprintf("PartitionScheme(%d)", int(s))
+	}
+}
+
+// Partition splits the dataset into k non-empty parts under the given
+// scheme. Part sizes are randomly varied (±50% around equal share) to match
+// the paper's "randomly sized sub-datasets", but every part is guaranteed at
+// least minPart rows so downstream per-party statistics stay well defined.
+func Partition(d *Dataset, rng *rand.Rand, k int, scheme PartitionScheme) ([]*Dataset, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: k=%d, need at least 2 parties", ErrBadPartition, k)
+	}
+	// Prefer dim+2 rows per part so per-party covariance statistics stay
+	// well defined, but relax toward the equal share for high-dimensional
+	// small datasets (e.g. Hepatitis: 19 features, ~110 training rows split
+	// six ways). The hard floor of 4 rows is non-negotiable.
+	minPart := d.Dim() + 2
+	if share := d.Len() / k; minPart > share {
+		minPart = share
+	}
+	if minPart < 4 {
+		minPart = 4
+	}
+	if d.Len() < k*minPart {
+		return nil, fmt.Errorf("%w: %d rows cannot support %d parties (min %d rows each)",
+			ErrBadPartition, d.Len(), k, minPart)
+	}
+
+	var order []int
+	switch scheme {
+	case PartitionUniform:
+		order = rng.Perm(d.Len())
+	case PartitionClass:
+		order = classSkewedOrder(d, rng)
+	default:
+		return nil, fmt.Errorf("%w: unknown scheme %v", ErrBadPartition, scheme)
+	}
+
+	sizes := randomSizes(rng, d.Len(), k, minPart)
+	parts := make([]*Dataset, 0, k)
+	at := 0
+	for i, size := range sizes {
+		sub := d.Subset(order[at : at+size])
+		sub.Name = fmt.Sprintf("%s/part%d", d.Name, i)
+		parts = append(parts, sub)
+		at += size
+	}
+	return parts, nil
+}
+
+// classSkewedOrder sorts records by class with a small random tie-break, so
+// contiguous cuts produce class-skewed local datasets while neighbouring
+// parts still share boundary classes.
+func classSkewedOrder(d *Dataset, rng *rand.Rand) []int {
+	idx := rng.Perm(d.Len())
+	sort.SliceStable(idx, func(a, b int) bool { return d.Y[idx[a]] < d.Y[idx[b]] })
+	return idx
+}
+
+// randomSizes draws k part sizes summing to n, each at least minPart, by
+// jittering the equal share and repairing the remainder.
+func randomSizes(rng *rand.Rand, n, k, minPart int) []int {
+	sizes := make([]int, k)
+	remaining := n
+	for i := 0; i < k; i++ {
+		share := remaining / (k - i)
+		if i == k-1 {
+			sizes[i] = remaining
+			break
+		}
+		// Jitter ±50% of the share, clamped so the rest still fits.
+		jitter := int(float64(share) * (rng.Float64() - 0.5))
+		size := share + jitter
+		if size < minPart {
+			size = minPart
+		}
+		maxAllowed := remaining - minPart*(k-i-1)
+		if size > maxAllowed {
+			size = maxAllowed
+		}
+		sizes[i] = size
+		remaining -= size
+	}
+	return sizes
+}

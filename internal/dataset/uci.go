@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// FeatureKind describes how a synthetic column is generated.
+type FeatureKind int
+
+const (
+	// Continuous columns are correlated Gaussians.
+	Continuous FeatureKind = iota + 1
+	// Binary columns are Bernoulli with class-dependent rates.
+	Binary
+	// IntegerK columns are rounded, clamped Gaussians (e.g. Breast_w's 1-10
+	// cytology grades).
+	IntegerK
+)
+
+// Profile captures the published characteristics of one of the paper's
+// twelve UCI datasets: the observable properties the experiments actually
+// consume (see DESIGN.md §4).
+type Profile struct {
+	Name string
+	// N is the generated record count. Shuttle is scaled down from 58 000
+	// to keep the benchmark harness laptop-sized; the scaling is recorded
+	// in EXPERIMENTS.md.
+	N int
+	// Kinds lists the feature columns in order.
+	Kinds []FeatureKind
+	// ClassWeights are the class proportions (sum 1).
+	ClassWeights []float64
+	// Separation is the inter-class mean distance in within-class standard
+	// deviations; it calibrates achievable classifier accuracy.
+	Separation float64
+	// ScaleSpread is the log10 spread of per-column scales. 0 means
+	// homogeneous columns (Votes); large values reproduce datasets whose
+	// raw columns span orders of magnitude (Shuttle, Wine).
+	ScaleSpread float64
+	// IntLo and IntHi bound IntegerK columns.
+	IntLo, IntHi int
+}
+
+func kinds(kind FeatureKind, n int) []FeatureKind {
+	ks := make([]FeatureKind, n)
+	for i := range ks {
+		ks[i] = kind
+	}
+	return ks
+}
+
+func mixedKinds(continuous, binary int) []FeatureKind {
+	ks := make([]FeatureKind, 0, continuous+binary)
+	ks = append(ks, kinds(Continuous, continuous)...)
+	ks = append(ks, kinds(Binary, binary)...)
+	return ks
+}
+
+// Profiles returns the twelve dataset profiles in the order the paper's
+// figures list them. The slice is freshly allocated on every call.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "Breast_w", N: 699, Kinds: kinds(IntegerK, 9), ClassWeights: []float64{0.655, 0.345}, Separation: 3.4, ScaleSpread: 0, IntLo: 1, IntHi: 10},
+		{Name: "Credit_a", N: 690, Kinds: mixedKinds(6, 8), ClassWeights: []float64{0.555, 0.445}, Separation: 2.1, ScaleSpread: 1.0},
+		{Name: "Credit_g", N: 1000, Kinds: mixedKinds(7, 17), ClassWeights: []float64{0.7, 0.3}, Separation: 1.2, ScaleSpread: 1.0},
+		{Name: "Diabetes", N: 768, Kinds: kinds(Continuous, 8), ClassWeights: []float64{0.651, 0.349}, Separation: 1.3, ScaleSpread: 0.8},
+		{Name: "Ecoli", N: 336, Kinds: kinds(Continuous, 7), ClassWeights: []float64{0.426, 0.229, 0.155, 0.104, 0.086}, Separation: 2.2, ScaleSpread: 0.3},
+		{Name: "Hepatitis", N: 155, Kinds: mixedKinds(6, 13), ClassWeights: []float64{0.794, 0.206}, Separation: 1.8, ScaleSpread: 0.6},
+		{Name: "Heart", N: 270, Kinds: mixedKinds(7, 6), ClassWeights: []float64{0.556, 0.444}, Separation: 1.7, ScaleSpread: 0.7},
+		{Name: "Ionosphere", N: 351, Kinds: kinds(Continuous, 34), ClassWeights: []float64{0.641, 0.359}, Separation: 2.4, ScaleSpread: 0.4},
+		{Name: "Iris", N: 150, Kinds: kinds(Continuous, 4), ClassWeights: []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, Separation: 3.2, ScaleSpread: 0.3},
+		{Name: "Shuttle", N: 2000, Kinds: kinds(Continuous, 9), ClassWeights: []float64{0.786, 0.153, 0.056, 0.005}, Separation: 4.0, ScaleSpread: 2.5},
+		{Name: "Votes", N: 435, Kinds: kinds(Binary, 16), ClassWeights: []float64{0.614, 0.386}, Separation: 2.9, ScaleSpread: 0},
+		{Name: "Wine", N: 178, Kinds: kinds(Continuous, 13), ClassWeights: []float64{0.331, 0.399, 0.270}, Separation: 3.0, ScaleSpread: 2.0},
+	}
+}
+
+// ProfileByName looks up one of the twelve profiles.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+// ProfileNames returns the dataset names in paper order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Generate synthesizes a dataset matching the profile, deterministically
+// from rng. Records are emitted in shuffled order.
+func Generate(p Profile, rng *rand.Rand) (*Dataset, error) {
+	if p.N <= 0 || len(p.Kinds) == 0 || len(p.ClassWeights) == 0 {
+		return nil, fmt.Errorf("dataset: profile %q is incomplete", p.Name)
+	}
+	dim := len(p.Kinds)
+	nClasses := len(p.ClassWeights)
+
+	// Per-column scales: log-uniform spread around 1.
+	scales := make([]float64, dim)
+	for j := range scales {
+		exp := (rng.Float64() - 0.5) * p.ScaleSpread
+		scales[j] = math.Pow(10, exp)
+	}
+
+	// Per-class parameters.
+	means := make([][]float64, nClasses)   // continuous/integer mean vectors
+	binRate := make([][]float64, nClasses) // Bernoulli rates
+	for c := 0; c < nClasses; c++ {
+		mu := make([]float64, dim)
+		var norm float64
+		for j := range mu {
+			mu[j] = rng.NormFloat64()
+			norm += mu[j] * mu[j]
+		}
+		norm = math.Sqrt(norm)
+		rates := make([]float64, dim)
+		for j := range mu {
+			// Unit direction scaled to the requested separation.
+			mu[j] = mu[j] / norm * p.Separation
+			// Class-dependent Bernoulli rate derived from the same latent
+			// direction so binary columns carry class signal too.
+			rates[j] = clamp(0.5+0.35*math.Tanh(mu[j]), 0.05, 0.95)
+		}
+		means[c] = mu
+		binRate[c] = rates
+	}
+
+	// A shared mixing rotation induces within-class feature correlation.
+	mix := matrix.RandomOrthogonal(rng, dim)
+
+	// Class assignment honoring the weights exactly (largest remainder).
+	labels := apportionLabels(p.ClassWeights, p.N, rng)
+
+	x := make([][]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		c := labels[i]
+		z := make([]float64, dim)
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		// Correlated within-class noise: 0.7 aligned + 0.7 mixed keeps unit
+		// total variance while inducing off-diagonal covariance.
+		mixed := mix.MulVec(z)
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			g := means[c][j] + 0.7*z[j] + 0.7*mixed[j]
+			switch p.Kinds[j] {
+			case Continuous:
+				row[j] = g * scales[j]
+			case IntegerK:
+				lo, hi := float64(p.IntLo), float64(p.IntHi)
+				center := (lo + hi) / 2
+				span := (hi - lo) / 2
+				v := math.Round(center + g/p.Separation*span*0.8)
+				row[j] = clamp(v, lo, hi)
+			case Binary:
+				if rng.Float64() < binRate[c][j] {
+					row[j] = 1
+				} else {
+					row[j] = 0
+				}
+			default:
+				return nil, fmt.Errorf("dataset: profile %q has unknown feature kind %d", p.Name, p.Kinds[j])
+			}
+		}
+		x[i] = row
+	}
+
+	d, err := New(p.Name, x, labels)
+	if err != nil {
+		return nil, err
+	}
+	return d.Shuffled(rng), nil
+}
+
+// GenerateByName is the Generate convenience keyed by profile name.
+func GenerateByName(name string, rng *rand.Rand) (*Dataset, error) {
+	p, err := ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p, rng)
+}
+
+// apportionLabels assigns exactly n labels with the requested proportions
+// (largest-remainder rounding), shuffled.
+func apportionLabels(weights []float64, n int, rng *rand.Rand) []int {
+	counts := make([]int, len(weights))
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	assigned := 0
+	type rem struct {
+		class int
+		frac  float64
+	}
+	rems := make([]rem, 0, len(weights))
+	for c, w := range weights {
+		exact := float64(n) * w / total
+		counts[c] = int(exact)
+		assigned += counts[c]
+		rems = append(rems, rem{class: c, frac: exact - float64(counts[c])})
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		counts[rems[best].class]++
+		rems[best].frac = -1
+		assigned++
+	}
+	labels := make([]int, 0, n)
+	for c, k := range counts {
+		for i := 0; i < k; i++ {
+			labels = append(labels, c)
+		}
+	}
+	rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

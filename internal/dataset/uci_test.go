@@ -1,0 +1,297 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("got %d profiles, want 12 (the paper's dataset count)", len(ps))
+	}
+	seen := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.N <= 0 {
+			t.Errorf("%s: non-positive N", p.Name)
+		}
+		if len(p.Kinds) == 0 {
+			t.Errorf("%s: no features", p.Name)
+		}
+		var sum float64
+		for _, w := range p.ClassWeights {
+			if w <= 0 {
+				t.Errorf("%s: non-positive class weight", p.Name)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Errorf("%s: class weights sum to %v", p.Name, sum)
+		}
+		if p.Separation <= 0 {
+			t.Errorf("%s: non-positive separation", p.Name)
+		}
+	}
+	// The figures' x-axis order.
+	wantOrder := []string{"Breast_w", "Credit_a", "Credit_g", "Diabetes", "Ecoli",
+		"Hepatitis", "Heart", "Ionosphere", "Iris", "Shuttle", "Votes", "Wine"}
+	names := ProfileNames()
+	for i, want := range wantOrder {
+		if names[i] != want {
+			t.Errorf("profile %d = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("Iris")
+	if err != nil || p.Name != "Iris" {
+		t.Fatalf("ProfileByName(Iris) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("Nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range Profiles() {
+		d, err := Generate(p, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if d.Len() != p.N {
+			t.Errorf("%s: N = %d, want %d", p.Name, d.Len(), p.N)
+		}
+		if d.Dim() != len(p.Kinds) {
+			t.Errorf("%s: dim = %d, want %d", p.Name, d.Dim(), len(p.Kinds))
+		}
+		if d.NumClasses() != len(p.ClassWeights) {
+			t.Errorf("%s: classes = %d, want %d", p.Name, d.NumClasses(), len(p.ClassWeights))
+		}
+	}
+}
+
+func TestGenerateClassBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := ProfileByName("Credit_g")
+	d, err := Generate(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.ClassCounts()
+	if got := float64(counts[0]) / float64(d.Len()); math.Abs(got-0.7) > 0.005 {
+		t.Errorf("class 0 fraction = %v, want ~0.70 (largest-remainder apportioning)", got)
+	}
+}
+
+func TestGenerateBinaryColumnsAreBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := GenerateByName("Votes", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		for j, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("Votes[%d][%d] = %v, want 0 or 1", i, j, v)
+			}
+		}
+	}
+}
+
+func TestGenerateIntegerColumnsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := GenerateByName("Breast_w", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		for j, v := range row {
+			if v != math.Trunc(v) || v < 1 || v > 10 {
+				t.Fatalf("Breast_w[%d][%d] = %v, want integer in [1,10]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestGenerateScaleHeterogeneity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shuttle, err := GenerateByName("Shuttle", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := GenerateByName("Votes", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := columnScaleRatio(shuttle); r < 10 {
+		t.Errorf("Shuttle column scale ratio = %v, want >= 10 (heterogeneous)", r)
+	}
+	if r := columnScaleRatio(votes); r > 5 {
+		t.Errorf("Votes column scale ratio = %v, want small (homogeneous binary)", r)
+	}
+}
+
+// columnScaleRatio is max/min of per-column standard deviations.
+func columnScaleRatio(d *Dataset) float64 {
+	minSD, maxSD := math.Inf(1), 0.0
+	for j := 0; j < d.Dim(); j++ {
+		col := d.Column(j)
+		mean := 0.0
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(len(col))
+		var sd float64
+		for _, v := range col {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd / float64(len(col)))
+		if sd < minSD {
+			minSD = sd
+		}
+		if sd > maxSD {
+			maxSD = sd
+		}
+	}
+	if minSD == 0 {
+		return math.Inf(1)
+	}
+	return maxSD / minSD
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateByName("Heart", rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateByName("Heart", rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateBadProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Profile{Name: "bad"}, rng); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := GenerateByName("missing", rng); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestPartitionUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, err := GenerateByName("Diabetes", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(d, rng, 5, PartitionUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 {
+		t.Fatalf("got %d parts, want 5", len(parts))
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Len() < d.Dim()+2 {
+			t.Errorf("part %d has only %d rows", i, p.Len())
+		}
+		total += p.Len()
+	}
+	if total != d.Len() {
+		t.Fatalf("parts cover %d rows, want %d", total, d.Len())
+	}
+	// Uniform parts should roughly preserve the class mix.
+	poolFrac := float64(d.ClassCounts()[0]) / float64(d.Len())
+	for i, p := range parts {
+		frac := float64(p.ClassCounts()[0]) / float64(p.Len())
+		if math.Abs(frac-poolFrac) > 0.2 {
+			t.Errorf("uniform part %d class-0 fraction %v far from pool %v", i, frac, poolFrac)
+		}
+	}
+}
+
+func TestPartitionClassSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := GenerateByName("Diabetes", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(d, rng, 5, PartitionClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class-ordered cutting must produce at least one strongly skewed part.
+	poolFrac := float64(d.ClassCounts()[0]) / float64(d.Len())
+	maxDev := 0.0
+	for _, p := range parts {
+		counts := p.ClassCounts()
+		frac := 0.0
+		if len(counts) > 0 {
+			frac = float64(counts[0]) / float64(p.Len())
+		}
+		if dev := math.Abs(frac - poolFrac); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev < 0.25 {
+		t.Errorf("class partition max deviation %v, want strong skew", maxDev)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := mustTiny(t)
+	if _, err := Partition(d, rng, 1, PartitionUniform); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("k=1 err = %v", err)
+	}
+	if _, err := Partition(d, rng, 4, PartitionUniform); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("too-small dataset err = %v", err)
+	}
+	big, _ := GenerateByName("Iris", rng)
+	if _, err := Partition(big, rng, 3, PartitionScheme(99)); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("unknown scheme err = %v", err)
+	}
+}
+
+func TestPartitionSchemeString(t *testing.T) {
+	if PartitionUniform.String() != "Uniform" || PartitionClass.String() != "Class" {
+		t.Error("scheme labels wrong")
+	}
+	if PartitionScheme(9).String() == "" {
+		t.Error("unknown scheme label empty")
+	}
+}
+
+func TestPartitionManyPartiesDeterministic(t *testing.T) {
+	d, _ := GenerateByName("Credit_g", rand.New(rand.NewSource(9)))
+	for _, k := range []int{2, 5, 10} {
+		parts, err := Partition(d, rand.New(rand.NewSource(10)), k, PartitionUniform)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/stat"
+)
+
+// AblationRiskPoint compares the per-party risk of privacy breach across
+// deployment alternatives for one party count.
+type AblationRiskPoint struct {
+	K int
+	// Solo: each party submits its locally optimized perturbed data
+	// directly to the miner (identifiability 1, satisfaction 1).
+	Solo float64
+	// SharedPerturbation: all parties use one common perturbation with no
+	// exchange (identifiability 1, satisfaction s).
+	SharedPerturbation float64
+	// SAP: Eq. 2.
+	SAP float64
+}
+
+// AblationRisk contrasts SAP with the two obvious alternatives the paper's
+// introduction argues against, across party counts, for a given measured
+// optimality rate and satisfaction level.
+func AblationRisk(optimality, satisfaction float64, ks []int) ([]AblationRiskPoint, error) {
+	if len(ks) == 0 {
+		ks = []int{3, 4, 5, 6, 8, 10, 15, 20}
+	}
+	const bound = 1.0
+	rho := optimality * bound
+	out := make([]AblationRiskPoint, 0, len(ks))
+	for _, k := range ks {
+		solo, err := protocol.RiskEq1(1, 1, rho, bound)
+		if err != nil {
+			return nil, err
+		}
+		shared, err := protocol.RiskEq1(1, satisfaction, rho, bound)
+		if err != nil {
+			return nil, err
+		}
+		sap, err := protocol.RiskSAP(k, satisfaction, rho, bound)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRiskPoint{
+			K:                  k,
+			Solo:               solo,
+			SharedPerturbation: shared,
+			SAP:                sap,
+		})
+	}
+	return out, nil
+}
+
+// AttackAblationRow reports the minimum privacy guarantee under a single
+// attack, for random vs optimized perturbations of one dataset.
+type AttackAblationRow struct {
+	Dataset   string
+	Attack    string
+	Random    float64 // mean guarantee under random perturbations
+	Optimized float64 // mean guarantee under optimized perturbations
+}
+
+// AblationAttacks measures how each attack model constrains the guarantee,
+// and how much the optimizer recovers, per dataset. This is the ablation
+// DESIGN.md calls out for the optimizer's design choices.
+func AblationAttacks(cfg Config, names []string) ([]AttackAblationRow, error) {
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = []string{"Diabetes", "Votes"}
+	}
+	attacks := []privacy.Attack{
+		privacy.NewNaiveAttack(),
+		privacy.NewPCAAttack(),
+		privacy.NewICAAttack(privacy.ICAConfig{}),
+		privacy.NewProcrustesAttack(),
+	}
+	var rows []AttackAblationRow
+	for _, name := range names {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		norm, err := loadNormalized(name, rng)
+		if err != nil {
+			return nil, err
+		}
+		x := norm.FeaturesT()
+		for _, atk := range attacks {
+			ev, err := privacy.NewEvaluator(atk)
+			if err != nil {
+				return nil, err
+			}
+			opt := privacy.NewOptimizer(privacy.OptimizerConfig{
+				Candidates: cfg.OptCandidates,
+				LocalSteps: cfg.OptLocalSteps,
+				NoiseSigma: cfg.NoiseSigma,
+				Evaluator:  ev,
+			})
+			var randoms, optimums []float64
+			for i := 0; i < cfg.Repeats; i++ {
+				r, err := opt.RandomGuarantee(rng, x)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: attack ablation %s/%s: %w", name, atk.Name(), err)
+				}
+				randoms = append(randoms, r)
+				_, res, err := opt.Optimize(rng, x)
+				if err != nil {
+					return nil, err
+				}
+				optimums = append(optimums, res.Guarantee)
+			}
+			rows = append(rows, AttackAblationRow{
+				Dataset:   name,
+				Attack:    atk.Name(),
+				Random:    stat.Mean(randoms),
+				Optimized: stat.Mean(optimums),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// NoiseSweepPoint relates the common noise level σ to the privacy guarantee
+// and the classifier accuracy cost — the utility/privacy trade-off SAP
+// navigates.
+type NoiseSweepPoint struct {
+	Sigma     float64
+	Guarantee float64
+	Deviation float64 // accuracy deviation ×100 vs clear baseline
+}
+
+// AblationNoiseSweep sweeps σ on one dataset with the KNN pipeline.
+func AblationNoiseSweep(cfg Config, name string, sigmas []float64) ([]NoiseSweepPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(sigmas) == 0 {
+		sigmas = []float64{0.01, 0.05, 0.1, 0.2, 0.4}
+	}
+	var out []NoiseSweepPoint
+	for _, sigma := range sigmas {
+		runCfg := cfg
+		runCfg.NoiseSigma = sigma
+		rng := rand.New(rand.NewSource(cfg.Seed))
+
+		norm, err := loadNormalized(name, rng)
+		if err != nil {
+			return nil, err
+		}
+		opt := runCfg.optimizer()
+		_, res, err := opt.Optimize(rng, norm.FeaturesT())
+		if err != nil {
+			return nil, err
+		}
+		clear, perturbed, err := sapPipelineOnce(runCfg, rng, name, dataset.PartitionUniform, classifierKNN)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NoiseSweepPoint{
+			Sigma:     sigma,
+			Guarantee: res.Guarantee,
+			Deviation: (perturbed - clear) * 100,
+		})
+	}
+	return out, nil
+}

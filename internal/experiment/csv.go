@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits Figure 3 points as records for external plotting.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "scheme", "k", "rate_mean", "rate_min", "rate_max"}); err != nil {
+		return fmt.Errorf("experiment: fig3 csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			p.Dataset,
+			p.Scheme.String(),
+			strconv.Itoa(p.K),
+			formatFloat(p.Rate),
+			formatFloat(p.MinRate),
+			formatFloat(p.MaxRate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: fig3 csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Figure 4 points as records.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "optimality_rate", "s0", "min_parties", "min_parties_solo"}); err != nil {
+		return fmt.Errorf("experiment: fig4 csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			p.Dataset,
+			formatFloat(p.OptimalityRate),
+			formatFloat(p.S0),
+			strconv.Itoa(p.MinParties),
+			strconv.Itoa(p.MinPartiesSolo),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: fig4 csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits accuracy points (Figures 5/6 and the extension table) as
+// records.
+func (r *AccuracyResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"classifier", "dataset", "scheme", "clear", "perturbed", "deviation_pp"}); err != nil {
+		return fmt.Errorf("experiment: accuracy csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			p.Classifier,
+			p.Dataset,
+			p.Scheme.String(),
+			formatFloat(p.Clear),
+			formatFloat(p.Perturbed),
+			formatFloat(p.Deviation),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: accuracy csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 2 guarantee samples as records (one row per
+// round with both series).
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "statistic", "value"}); err != nil {
+		return fmt.Errorf("experiment: fig2 csv header: %w", err)
+	}
+	rows := []struct {
+		series, stat string
+		value        float64
+	}{
+		{"random", "mean", r.Random.Mean},
+		{"random", "sd", r.Random.StdDev},
+		{"random", "min", r.Random.Min},
+		{"random", "median", r.Random.Median},
+		{"random", "max", r.Random.Max},
+		{"optimized", "mean", r.Optimized.Mean},
+		{"optimized", "sd", r.Optimized.StdDev},
+		{"optimized", "min", r.Optimized.Min},
+		{"optimized", "median", r.Optimized.Median},
+		{"optimized", "max", r.Optimized.Max},
+	}
+	for _, row := range rows {
+		if err := cw.Write([]string{row.series, row.stat, formatFloat(row.value)}); err != nil {
+			return fmt.Errorf("experiment: fig2 csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

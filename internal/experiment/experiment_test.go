@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fastCfg keeps experiment tests quick while exercising every code path.
+func fastCfg() Config {
+	return Config{
+		Seed:          7,
+		Rounds:        4,
+		Parties:       3,
+		Repeats:       1,
+		OptCandidates: 2,
+		OptLocalSteps: 1,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Seed == 0 || cfg.Rounds <= 0 || cfg.Parties <= 0 || cfg.Repeats <= 0 ||
+		cfg.TestFrac <= 0 || cfg.NoiseSigma <= 0 || cfg.OptCandidates <= 0 || cfg.OptLocalSteps <= 0 {
+		t.Fatalf("incomplete defaults: %+v", cfg)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	// Stochastic dominance needs enough rounds to show through the noise;
+	// use a slightly larger budget than the other smoke tests.
+	cfg := fastCfg()
+	cfg.Rounds = 16
+	cfg.OptCandidates = 4
+	cfg.OptLocalSteps = 3
+	res, err := RunFig2(cfg, "Iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Random.N != 16 || res.Optimized.N != 16 {
+		t.Fatalf("sample sizes %d/%d, want 16", res.Random.N, res.Optimized.N)
+	}
+	// The Figure-2 claim: optimized dominates random on average.
+	if res.Optimized.Mean < res.Random.Mean {
+		t.Errorf("optimized mean %v below random mean %v", res.Optimized.Mean, res.Random.Mean)
+	}
+	if res.HistRandom.Total() != 16 || res.HistOptimized.Total() != 16 {
+		t.Error("histograms incomplete")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "optimized") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestRunFig2UnknownDataset(t *testing.T) {
+	if _, err := RunFig2(fastCfg(), "NoSuch"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	res, err := RunFig3(fastCfg(), []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 2 schemes × 2 ks.
+	if len(res.Points) != 12 {
+		t.Fatalf("%d points, want 12", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Rate <= 0 || p.Rate > 1 {
+			t.Errorf("%s/%v/k=%d: rate %v out of (0,1]", p.Dataset, p.Scheme, p.K, p.Rate)
+		}
+		if p.MinRate > p.Rate+1e-12 || p.Rate > p.MaxRate+1e-12 {
+			t.Errorf("rate ordering broken: %v <= %v <= %v", p.MinRate, p.Rate, p.MaxRate)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Diabetes-Class") || !strings.Contains(out, "Votes-Uniform") {
+		t.Errorf("render missing series:\n%s", out)
+	}
+}
+
+func TestRunFig3BadK(t *testing.T) {
+	if _, err := RunFig3(fastCfg(), []int{1}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestRunFig4PaperRates(t *testing.T) {
+	res, err := RunFig4(fastCfg(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 10 s0 values.
+	if len(res.Points) != 30 {
+		t.Fatalf("%d points, want 30", len(res.Points))
+	}
+	// Shape: increasing in s0 per dataset; Shuttle (lowest rate) needs the
+	// most parties at s0=0.99.
+	last := make(map[string]int)
+	at99 := make(map[string]int)
+	for _, p := range res.Points {
+		if p.MinParties < last[p.Dataset] {
+			t.Errorf("%s: bound decreased at s0=%v", p.Dataset, p.S0)
+		}
+		last[p.Dataset] = p.MinParties
+		if math.Abs(p.S0-0.99) < 1e-9 {
+			at99[p.Dataset] = p.MinParties
+		}
+	}
+	if !(at99["Shuttle"] > at99["Diabetes"] && at99["Diabetes"] > at99["Votes"]) {
+		t.Errorf("ordering at s0=0.99: %v, want Shuttle > Diabetes > Votes", at99)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Shuttle (o=0.89)") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}
+
+func TestRunFig4MeasuredRates(t *testing.T) {
+	res, err := RunFig4(fastCfg(), []float64{0.95}, map[string]float64{"Diabetes": 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Dataset == "Diabetes" && p.OptimalityRate != 0.90 {
+			t.Errorf("measured rate not used: %v", p.OptimalityRate)
+		}
+	}
+}
+
+func TestRunFig5SingleDataset(t *testing.T) {
+	res, err := RunFig5(fastCfg(), []string{"Iris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 { // Uniform + Class
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Clear <= 0.5 {
+			t.Errorf("%v: clear accuracy %v suspiciously low", p.Scheme, p.Clear)
+		}
+		if math.Abs(p.Deviation-(p.Perturbed-p.Clear)*100) > 1e-9 {
+			t.Errorf("deviation inconsistent: %+v", p)
+		}
+		// Geometric perturbation must roughly preserve KNN accuracy.
+		if p.Deviation < -20 {
+			t.Errorf("%v: deviation %v pp is beyond the paper's regime", p.Scheme, p.Deviation)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "Iris") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRunFig6SingleDataset(t *testing.T) {
+	res, err := RunFig6(fastCfg(), []string{"Iris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	if !strings.Contains(res.Render(), "Figure 6") {
+		t.Error("render title wrong for SVM")
+	}
+}
+
+func TestAblationRisk(t *testing.T) {
+	points, err := AblationRisk(0.95, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for i, p := range points {
+		// SAP must never be worse than the shared-perturbation strategy.
+		if p.SAP > p.SharedPerturbation+1e-12 {
+			t.Errorf("k=%d: SAP %v worse than shared %v", p.K, p.SAP, p.SharedPerturbation)
+		}
+		// Risk shrinks (weakly) with more parties.
+		if i > 0 && p.SAP > points[i-1].SAP+1e-12 {
+			t.Errorf("SAP risk increased at k=%d", p.K)
+		}
+	}
+	if !strings.Contains(RenderRiskAblation(points), "SAP") {
+		t.Error("render missing SAP column")
+	}
+}
+
+func TestAblationAttacks(t *testing.T) {
+	cfg := fastCfg()
+	rows, err := AblationAttacks(cfg, []string{"Iris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // four attacks × one dataset
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Optimized < r.Random-0.05 {
+			t.Errorf("%s/%s: optimizer made things worse: %v vs %v", r.Dataset, r.Attack, r.Optimized, r.Random)
+		}
+	}
+	if !strings.Contains(RenderAttackAblation(rows), "naive") {
+		t.Error("render missing attack names")
+	}
+}
+
+func TestAblationNoiseSweep(t *testing.T) {
+	points, err := AblationNoiseSweep(fastCfg(), "Iris", []float64{0.02, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	// More noise, more privacy.
+	if points[1].Guarantee <= points[0].Guarantee {
+		t.Errorf("guarantee did not grow with sigma: %v vs %v", points[0].Guarantee, points[1].Guarantee)
+	}
+	if !strings.Contains(RenderNoiseSweep(points), "sigma") {
+		t.Error("render missing header")
+	}
+}
+
+func TestMeasureSatisfaction(t *testing.T) {
+	reports, err := MeasureSatisfaction(fastCfg(), "Iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports, want 3 (parties)", len(reports))
+	}
+	for _, r := range reports {
+		if r.LocalRho <= 0 || r.Bound < r.LocalRho {
+			t.Errorf("%s: invalid ρ=%v b=%v", r.Party, r.LocalRho, r.Bound)
+		}
+		if r.Satisfaction < 0 {
+			t.Errorf("%s: negative satisfaction", r.Party)
+		}
+		if r.Risk < 0 || r.Risk > 1 {
+			t.Errorf("%s: risk %v out of [0,1]", r.Party, r.Risk)
+		}
+	}
+	if !strings.Contains(RenderSatisfaction(reports), "dp1") {
+		t.Error("render missing party names")
+	}
+}
+
+func TestRunExtensionClassifiers(t *testing.T) {
+	results, err := RunExtensionClassifiers(fastCfg(), []string{"Iris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2 (perceptron + logistic)", len(results))
+	}
+	wantNames := map[string]bool{"Perceptron": false, "Logistic": false}
+	for _, res := range results {
+		if _, ok := wantNames[res.Classifier]; !ok {
+			t.Errorf("unexpected classifier %q", res.Classifier)
+		}
+		wantNames[res.Classifier] = true
+		if len(res.Points) != 2 {
+			t.Errorf("%s: %d points, want 2", res.Classifier, len(res.Points))
+		}
+		if !strings.Contains(res.Render(), "Extension") {
+			t.Errorf("%s render missing Extension title", res.Classifier)
+		}
+		for _, p := range res.Points {
+			// Linear models are rotation-invariant too; deviations must
+			// stay in a sane band.
+			if p.Deviation < -25 {
+				t.Errorf("%s %v: deviation %v pp beyond plausible band", res.Classifier, p.Scheme, p.Deviation)
+			}
+		}
+	}
+	for name, seen := range wantNames {
+		if !seen {
+			t.Errorf("missing %s result", name)
+		}
+	}
+}
+
+func TestSchemesCoveredInAccuracyRun(t *testing.T) {
+	res, err := RunFig5(fastCfg(), []string{"Iris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := make(map[dataset.PartitionScheme]bool)
+	for _, p := range res.Points {
+		schemes[p.Scheme] = true
+	}
+	if !schemes[dataset.PartitionUniform] || !schemes[dataset.PartitionClass] {
+		t.Fatalf("schemes covered: %v", schemes)
+	}
+}

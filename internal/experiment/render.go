@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// renderTable lays out rows with tab-aligned columns.
+func renderTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	fmt.Fprintln(w, strings.Join(underline(header), "\t"))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func underline(header []string) []string {
+	out := make([]string, len(header))
+	for i, h := range header {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+// Render formats Figure 2 as summary lines plus two ASCII histograms.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — privacy guarantee distributions (%s)\n", r.Dataset)
+	fmt.Fprintf(&b, "  random    : %s\n", r.Random)
+	fmt.Fprintf(&b, "  optimized : %s\n", r.Optimized)
+	fmt.Fprintf(&b, "\nrandom perturbations:\n%s", r.HistRandom.Render(36))
+	fmt.Fprintf(&b, "\noptimized perturbations:\n%s", r.HistOptimized.Render(36))
+	return b.String()
+}
+
+// Render formats Figure 3 as one row per k with a column per
+// dataset/scheme series, matching the published plot's series.
+func (r *Fig3Result) Render() string {
+	type seriesKey struct {
+		dataset string
+		scheme  string
+	}
+	series := make(map[seriesKey]map[int]float64)
+	ksSet := make(map[int]bool)
+	for _, p := range r.Points {
+		key := seriesKey{p.Dataset, p.Scheme.String()}
+		if series[key] == nil {
+			series[key] = make(map[int]float64)
+		}
+		// The paper's y-axis is "max{ρi/bi}": the best per-party optimality
+		// rate, not the mean (which Fig3Point also records).
+		series[key][p.K] = p.MaxRate
+		ksSet[p.K] = true
+	}
+	keys := make([]seriesKey, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].scheme < keys[j].scheme
+	})
+	ks := make([]int, 0, len(ksSet))
+	for k := range ksSet {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+
+	header := []string{"# parties"}
+	for _, key := range keys {
+		header = append(header, key.dataset+"-"+key.scheme)
+	}
+	var rows [][]string
+	for _, k := range ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, key := range keys {
+			row = append(row, fmt.Sprintf("%.3f", series[key][k]))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 3 — optimality rates vs number of parties\n" + renderTable(header, rows)
+}
+
+// Render formats Figure 4 as one row per s0 with a column per dataset.
+func (r *Fig4Result) Render() string {
+	datasets := make([]string, 0, 3)
+	seen := make(map[string]bool)
+	s0Set := make(map[float64]bool)
+	points := make(map[string]map[float64]Fig4Point)
+	for _, p := range r.Points {
+		if !seen[p.Dataset] {
+			seen[p.Dataset] = true
+			datasets = append(datasets, p.Dataset)
+		}
+		if points[p.Dataset] == nil {
+			points[p.Dataset] = make(map[float64]Fig4Point)
+		}
+		points[p.Dataset][p.S0] = p
+		s0Set[p.S0] = true
+	}
+	s0s := make([]float64, 0, len(s0Set))
+	for s := range s0Set {
+		s0s = append(s0s, s)
+	}
+	sort.Float64s(s0s)
+
+	header := []string{"s0"}
+	for _, d := range datasets {
+		rate := points[d][s0s[0]].OptimalityRate
+		header = append(header, fmt.Sprintf("%s (o=%.2f)", d, rate))
+	}
+	var rows [][]string
+	for _, s0 := range s0s {
+		row := []string{fmt.Sprintf("%.2f", s0)}
+		for _, d := range datasets {
+			p := points[d][s0]
+			row = append(row, fmt.Sprintf("%d", p.MinParties))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 4 — minimum # of parties vs demanded satisfaction s0\n" + renderTable(header, rows)
+}
+
+// Render formats Figure 5/6 as one row per dataset with the two partition
+// schemes side by side, in percentage points of accuracy deviation.
+func (r *AccuracyResult) Render() string {
+	type cell struct{ uniform, class float64 }
+	byDataset := make(map[string]*cell)
+	var order []string
+	for _, p := range r.Points {
+		c, ok := byDataset[p.Dataset]
+		if !ok {
+			c = &cell{}
+			byDataset[p.Dataset] = c
+			order = append(order, p.Dataset)
+		}
+		switch p.Scheme.String() {
+		case "Uniform":
+			c.uniform = p.Deviation
+		case "Class":
+			c.class = p.Deviation
+		}
+	}
+	header := []string{"dataset", "SAP-Uniform", "SAP-Class"}
+	var rows [][]string
+	for _, d := range order {
+		c := byDataset[d]
+		rows = append(rows, []string{d, fmt.Sprintf("%+.2f", c.uniform), fmt.Sprintf("%+.2f", c.class)})
+	}
+	var title string
+	switch {
+	case r.Classifier == "KNN":
+		title = "Figure 5 — KNN accuracy deviation (percentage points)"
+	case strings.Contains(r.Classifier, "SVM"):
+		title = "Figure 6 — SVM(RBF) accuracy deviation (percentage points)"
+	default:
+		title = fmt.Sprintf("Extension — %s accuracy deviation (percentage points)", r.Classifier)
+	}
+	return title + "\n" + renderTable(header, rows)
+}
+
+// RenderRiskAblation formats the SAP-vs-alternatives risk ablation.
+func RenderRiskAblation(points []AblationRiskPoint) string {
+	header := []string{"k", "solo", "shared-perturbation", "SAP"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%.4f", p.Solo),
+			fmt.Sprintf("%.4f", p.SharedPerturbation),
+			fmt.Sprintf("%.4f", p.SAP),
+		})
+	}
+	return "Ablation — risk of privacy breach by deployment\n" + renderTable(header, rows)
+}
+
+// RenderAttackAblation formats the attack-model ablation.
+func RenderAttackAblation(rows []AttackAblationRow) string {
+	header := []string{"dataset", "attack", "random ρ", "optimized ρ"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Attack,
+			fmt.Sprintf("%.4f", r.Random),
+			fmt.Sprintf("%.4f", r.Optimized),
+		})
+	}
+	return "Ablation — per-attack guarantees, random vs optimized\n" + renderTable(header, out)
+}
+
+// RenderNoiseSweep formats the noise-level ablation.
+func RenderNoiseSweep(points []NoiseSweepPoint) string {
+	header := []string{"sigma", "guarantee", "accuracy deviation"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Sigma),
+			fmt.Sprintf("%.4f", p.Guarantee),
+			fmt.Sprintf("%+.2f", p.Deviation),
+		})
+	}
+	return "Ablation — noise level σ vs privacy and utility\n" + renderTable(header, rows)
+}
+
+// RenderSatisfaction formats the per-party satisfaction report.
+func RenderSatisfaction(reports []SatisfactionReport) string {
+	header := []string{"party", "local ρ", "unified ρ", "bound b", "satisfaction s", "risk (Eq.2)"}
+	var rows [][]string
+	for _, r := range reports {
+		rows = append(rows, []string{
+			r.Party,
+			fmt.Sprintf("%.4f", r.LocalRho),
+			fmt.Sprintf("%.4f", r.UnifiedRho),
+			fmt.Sprintf("%.4f", r.Bound),
+			fmt.Sprintf("%.3f", r.Satisfaction),
+			fmt.Sprintf("%.4f", r.Risk),
+		})
+	}
+	return "Per-party satisfaction and risk\n" + renderTable(header, rows)
+}

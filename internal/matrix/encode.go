@@ -1,0 +1,53 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// wireMagic guards against decoding garbage as a matrix.
+const wireMagic uint32 = 0x5341504d // "SAPM"
+
+var (
+	// ErrBadEncoding is returned when decoding malformed matrix bytes.
+	ErrBadEncoding = errors.New("matrix: bad encoding")
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler. Layout: magic, rows,
+// cols (uint32 big endian), then rows*cols float64 bits.
+func (m *Dense) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 12+8*len(m.data))
+	binary.BigEndian.PutUint32(buf[0:4], wireMagic)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(m.rows))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(m.cols))
+	for i, v := range m.data {
+		binary.BigEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Dense) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("%w: %d bytes is too short", ErrBadEncoding, len(data))
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != wireMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	r := int(binary.BigEndian.Uint32(data[4:8]))
+	c := int(binary.BigEndian.Uint32(data[8:12]))
+	if r < 0 || c < 0 || r*c > (len(data)-12)/8 {
+		return fmt.Errorf("%w: declared %dx%d exceeds payload", ErrBadEncoding, r, c)
+	}
+	if len(data) != 12+8*r*c {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadEncoding, len(data), 12+8*r*c)
+	}
+	m.rows, m.cols = r, c
+	m.data = make([]float64, r*c)
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(binary.BigEndian.Uint64(data[12+8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package perturb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compose returns the single perturbation equivalent to applying first and
+// then second:
+//
+//	G₂(G₁(X)) = R₂(R₁X + Ψ₁ + Δ₁) + Ψ₂ + Δ₂
+//	          = (R₂R₁)X + (R₂t₁ + t₂)·1ᵀ + (R₂Δ₁ + Δ₂)
+//
+// R₂Δ₁ is an orthogonal rotation of i.i.d. isotropic Gaussian noise and is
+// therefore identically distributed with Δ₁, so the composite noise is
+// i.i.d. Gaussian with σ = √(σ₁² + σ₂²). The composite is exact for the
+// deterministic part and exact-in-distribution for the noise.
+func Compose(first, second *Perturbation) (*Perturbation, error) {
+	if first.Dim() != second.Dim() {
+		return nil, fmt.Errorf("%w: compose dims %d vs %d", ErrDimMismatch, first.Dim(), second.Dim())
+	}
+	r := second.R.Mul(first.R)
+	rt := second.R.MulVec(first.T)
+	t := make([]float64, len(rt))
+	for i := range t {
+		t[i] = rt[i] + second.T[i]
+	}
+	sigma := math.Sqrt(first.NoiseSigma*first.NoiseSigma + second.NoiseSigma*second.NoiseSigma)
+	return New(r, t, sigma)
+}
+
+// Inverse returns the perturbation undoing the deterministic part of p:
+// Inverse(p)(p(X)) == X for noiseless p. The noise component cannot be
+// inverted, so the result always carries σ = 0 and callers inverting noisy
+// data get X + R⁻¹Δ.
+func (p *Perturbation) Inverse() (*Perturbation, error) {
+	rInv := p.R.T()
+	t := rInv.MulVec(p.T)
+	for i := range t {
+		t[i] = -t[i]
+	}
+	return New(rInv, t, 0)
+}

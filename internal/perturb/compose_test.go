@@ -1,0 +1,169 @@
+package perturb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComposeMatchesSequentialApplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g1, _ := NewRandom(rng, 4, 0)
+	g2, _ := NewRandom(rng, 4, 0)
+	x := testData(rng, 4, 20)
+
+	y1, err := g1.ApplyNoiseless(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := g2.ApplyNoiseless(y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := comp.ApplyNoiseless(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.EqualApprox(y2, 1e-9) {
+		t.Fatal("Compose(g1,g2)(X) != g2(g1(X))")
+	}
+}
+
+func TestComposeNoiseLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g1, _ := NewRandom(rng, 3, 0.3)
+	g2, _ := NewRandom(rng, 3, 0.4)
+	comp, err := Compose(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := comp.NoiseSigma - 0.5; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("composite σ = %v, want 0.5 (√(0.09+0.16))", comp.NoiseSigma)
+	}
+}
+
+func TestComposeDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g3, _ := NewRandom(rng, 3, 0)
+	g4, _ := NewRandom(rng, 4, 0)
+	if _, err := Compose(g3, g4); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInverseUndoesPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := NewRandom(rng, 5, 0)
+	inv, err := g.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testData(rng, 5, 15)
+	y, err := g.ApplyNoiseless(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inv.ApplyNoiseless(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualApprox(x, 1e-9) {
+		t.Fatal("Inverse(g)(g(X)) != X")
+	}
+	if inv.NoiseSigma != 0 {
+		t.Fatal("inverse must carry no noise")
+	}
+}
+
+func TestPropComposeWithInverseIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		g, err := NewRandom(rng, d, 0)
+		if err != nil {
+			return false
+		}
+		inv, err := g.Inverse()
+		if err != nil {
+			return false
+		}
+		id, err := Compose(g, inv)
+		if err != nil {
+			return false
+		}
+		x := testData(rng, d, 8)
+		y, err := id.ApplyNoiseless(x)
+		if err != nil {
+			return false
+		}
+		return y.EqualApprox(x, 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComposeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		a, _ := NewRandom(rng, d, 0)
+		b, _ := NewRandom(rng, d, 0)
+		c, _ := NewRandom(rng, d, 0)
+		ab, err := Compose(a, b)
+		if err != nil {
+			return false
+		}
+		abc1, err := Compose(ab, c)
+		if err != nil {
+			return false
+		}
+		bc, err := Compose(b, c)
+		if err != nil {
+			return false
+		}
+		abc2, err := Compose(a, bc)
+		if err != nil {
+			return false
+		}
+		return abc1.Equal(abc2, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeRelatesToAdaptor(t *testing.T) {
+	// The adaptor from G_i to G_t is exactly Compose(Inverse(G_i), G_t) on
+	// the deterministic part.
+	rng := rand.New(rand.NewSource(5))
+	gi, _ := NewRandom(rng, 4, 0)
+	gt, _ := NewRandom(rng, 4, 0)
+	adaptor, err := NewAdaptor(gi, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := gi.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose(inv, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.R.EqualApprox(adaptor.Rot, 1e-9) {
+		t.Fatal("composite rotation != adaptor rotation")
+	}
+	for i := range comp.T {
+		if d := comp.T[i] - adaptor.Trans[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatal("composite translation != adaptor translation")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package perturb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrBadEncoding is returned when decoding malformed perturbation bytes.
+var ErrBadEncoding = errors.New("perturb: bad encoding")
+
+const (
+	perturbationMagic uint32 = 0x53415050 // "SAPP"
+	adaptorMagic      uint32 = 0x53415041 // "SAPA"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler for wire transfer of a
+// perturbation: magic, σ, translation, then the rotation's own encoding.
+func (p *Perturbation) MarshalBinary() ([]byte, error) {
+	rot, err := p.R.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(16 + 8*len(p.T) + len(rot))
+	writeU32(&buf, perturbationMagic)
+	writeF64(&buf, p.NoiseSigma)
+	writeU32(&buf, uint32(len(p.T)))
+	for _, v := range p.T {
+		writeF64(&buf, v)
+	}
+	buf.Write(rot)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler and re-validates the
+// structural invariants (orthogonality, dimensions) since the bytes may come
+// from an untrusted peer.
+func (p *Perturbation) UnmarshalBinary(data []byte) error {
+	magic, rest, err := readU32(data)
+	if err != nil || magic != perturbationMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	sigma, rest, err := readF64(rest)
+	if err != nil {
+		return fmt.Errorf("%w: truncated sigma", ErrBadEncoding)
+	}
+	n, rest, err := readU32(rest)
+	if err != nil || int(n) > len(rest)/8 {
+		return fmt.Errorf("%w: bad translation length", ErrBadEncoding)
+	}
+	t := make([]float64, n)
+	for i := range t {
+		t[i], rest, err = readF64(rest)
+		if err != nil {
+			return fmt.Errorf("%w: truncated translation", ErrBadEncoding)
+		}
+	}
+	var r matrix.Dense
+	if err := r.UnmarshalBinary(rest); err != nil {
+		return fmt.Errorf("%w: rotation: %v", ErrBadEncoding, err)
+	}
+	q, err := New(&r, t, sigma)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	*p = *q
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for an adaptor.
+func (a *Adaptor) MarshalBinary() ([]byte, error) {
+	rot, err := a.Rot.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(8 + 8*len(a.Trans) + len(rot))
+	writeU32(&buf, adaptorMagic)
+	writeU32(&buf, uint32(len(a.Trans)))
+	for _, v := range a.Trans {
+		writeF64(&buf, v)
+	}
+	buf.Write(rot)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with re-validation.
+func (a *Adaptor) UnmarshalBinary(data []byte) error {
+	magic, rest, err := readU32(data)
+	if err != nil || magic != adaptorMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	n, rest, err := readU32(rest)
+	if err != nil || int(n) > len(rest)/8 {
+		return fmt.Errorf("%w: bad translation length", ErrBadEncoding)
+	}
+	t := make([]float64, n)
+	for i := range t {
+		t[i], rest, err = readF64(rest)
+		if err != nil {
+			return fmt.Errorf("%w: truncated translation", ErrBadEncoding)
+		}
+	}
+	var r matrix.Dense
+	if err := r.UnmarshalBinary(rest); err != nil {
+		return fmt.Errorf("%w: rotation: %v", ErrBadEncoding, err)
+	}
+	cand := &Adaptor{Rot: &r, Trans: t}
+	if err := cand.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	*a = *cand
+	return nil
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeF64(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+func readU32(data []byte) (uint32, []byte, error) {
+	if len(data) < 4 {
+		return 0, nil, ErrBadEncoding
+	}
+	return binary.BigEndian.Uint32(data[:4]), data[4:], nil
+}
+
+func readF64(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, ErrBadEncoding
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(data[:8])), data[8:], nil
+}

@@ -1,0 +1,101 @@
+package perturb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPerturbationMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := NewRandom(rng, 6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Perturbation
+	if err := q.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(&q, 1e-12) {
+		t.Fatal("round trip changed the perturbation")
+	}
+}
+
+func TestAdaptorMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gi, _ := NewRandom(rng, 4, 0)
+	gt, _ := NewRandom(rng, 4, 0)
+	a, err := NewAdaptor(gi, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Adaptor
+	if err := b.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Rot.EqualApprox(b.Rot, 1e-12) {
+		t.Fatal("rotation changed in round trip")
+	}
+	for i := range a.Trans {
+		if a.Trans[i] != b.Trans[i] {
+			t.Fatal("translation changed in round trip")
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var p Perturbation
+	var a Adaptor
+	cases := [][]byte{nil, {1}, make([]byte, 64)}
+	for i, data := range cases {
+		if err := p.UnmarshalBinary(data); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("case %d: perturbation err = %v, want ErrBadEncoding", i, err)
+		}
+		if err := a.UnmarshalBinary(data); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("case %d: adaptor err = %v, want ErrBadEncoding", i, err)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTamperedRotation(t *testing.T) {
+	// A tampered (non-orthogonal) rotation must be rejected at decode time:
+	// the bytes may come from an untrusted peer.
+	rng := rand.New(rand.NewSource(3))
+	p, _ := NewRandom(rng, 3, 0.1)
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the exponent byte of the last rotation element so the matrix is
+	// no longer orthogonal.
+	buf[len(buf)-8] ^= 0x7F
+	var q Perturbation
+	if err := q.UnmarshalBinary(buf); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("tampered perturbation err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gi, _ := NewRandom(rng, 3, 0)
+	gt, _ := NewRandom(rng, 3, 0)
+	a, _ := NewAdaptor(gi, gt)
+	buf, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 8, len(buf) / 2} {
+		var b Adaptor
+		if err := b.UnmarshalBinary(buf[:len(buf)-cut]); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("truncated by %d: err = %v, want ErrBadEncoding", cut, err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/stat"
+)
+
+// ErrInapplicable marks an attack that cannot run on the given input or
+// knowledge; the evaluator records and skips it.
+var ErrInapplicable = errors.New("privacy: attack inapplicable")
+
+// NaiveAttack estimates the original data by min-max re-normalizing each
+// perturbed dimension into [0, 1], exploiting only the public fact that the
+// original data was normalized. It is the baseline every perturbation must
+// beat.
+type NaiveAttack struct{}
+
+// NewNaiveAttack returns the naive estimation attack.
+func NewNaiveAttack() *NaiveAttack { return &NaiveAttack{} }
+
+// Name implements Attack.
+func (*NaiveAttack) Name() string { return "naive" }
+
+// Estimate implements Attack.
+func (*NaiveAttack) Estimate(y *matrix.Dense, _ Knowledge) (*matrix.Dense, error) {
+	if y.Cols() < 2 {
+		return nil, fmt.Errorf("%w: naive needs at least 2 records", ErrInapplicable)
+	}
+	out := matrix.New(y.Rows(), y.Cols())
+	for j := 0; j < y.Rows(); j++ {
+		row := y.Row(j)
+		lo, _ := stat.Min(row)
+		hi, _ := stat.Max(row)
+		span := hi - lo
+		for i, v := range row {
+			if span == 0 {
+				out.Set(j, i, 0.5)
+				continue
+			}
+			out.Set(j, i, (v-lo)/span)
+		}
+	}
+	return out, nil
+}
+
+// PCAAttack re-aligns the principal axes of the perturbed data with the
+// principal axes of the original distribution. The attacker is assumed to
+// know the original covariance structure and per-dimension means (public
+// aggregate statistics, or estimated from a comparable population); this is
+// the worst case for the defender, matching the paper's attacker-optimal
+// evaluation stance.
+type PCAAttack struct{}
+
+// NewPCAAttack returns the PCA re-alignment attack.
+func NewPCAAttack() *PCAAttack { return &PCAAttack{} }
+
+// Name implements Attack.
+func (*PCAAttack) Name() string { return "pca" }
+
+// Estimate implements Attack.
+func (*PCAAttack) Estimate(y *matrix.Dense, know Knowledge) (*matrix.Dense, error) {
+	if know.Original == nil {
+		return nil, fmt.Errorf("%w: pca needs distribution knowledge", ErrInapplicable)
+	}
+	if y.Cols() <= y.Rows() {
+		return nil, fmt.Errorf("%w: pca needs more records than dimensions", ErrInapplicable)
+	}
+	x := know.Original
+	yc, _ := centerRows(y)
+	xc, xMeans := centerRows(x)
+
+	_, vy, err := eigenOfCovariance(yc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: perturbed covariance: %v", ErrInapplicable, err)
+	}
+	_, vx, err := eigenOfCovariance(xc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: original covariance: %v", ErrInapplicable, err)
+	}
+
+	// Project both datasets on their own principal axes.
+	py := vy.T().Mul(yc)
+	px := vx.T().Mul(xc)
+
+	// Resolve per-axis sign ambiguity attacker-optimally: pick the sign
+	// that correlates each perturbed score with the original score.
+	d := y.Rows()
+	for j := 0; j < d; j++ {
+		r, err := stat.Correlation(py.Row(j), px.Row(j))
+		if err == nil && r < 0 {
+			for i := 0; i < py.Cols(); i++ {
+				py.Set(j, i, -py.At(j, i))
+			}
+		}
+	}
+
+	// Reconstruct in the original basis and restore means.
+	xhat := vx.Mul(py)
+	addRowConstants(xhat, xMeans)
+	return xhat, nil
+}
+
+// ProcrustesAttack is the known-sample (distance-inference) attack: given m
+// matched (original, perturbed) record pairs, it solves the orthogonal
+// Procrustes problem for the rotation, estimates the translation, and
+// inverts the perturbation for the whole dataset.
+type ProcrustesAttack struct{}
+
+// NewProcrustesAttack returns the known-sample alignment attack.
+func NewProcrustesAttack() *ProcrustesAttack { return &ProcrustesAttack{} }
+
+// Name implements Attack.
+func (*ProcrustesAttack) Name() string { return "procrustes" }
+
+// Estimate implements Attack.
+func (*ProcrustesAttack) Estimate(y *matrix.Dense, know Knowledge) (*matrix.Dense, error) {
+	xk, yk := know.KnownOriginal, know.KnownPerturbed
+	if xk == nil || yk == nil {
+		return nil, fmt.Errorf("%w: procrustes needs known record pairs", ErrInapplicable)
+	}
+	if xk.Rows() != y.Rows() || yk.Rows() != y.Rows() || xk.Cols() != yk.Cols() {
+		return nil, fmt.Errorf("%w: known-pair shapes %dx%d / %dx%d for data %dx%d",
+			ErrInapplicable, xk.Rows(), xk.Cols(), yk.Rows(), yk.Cols(), y.Rows(), y.Cols())
+	}
+	if xk.Cols() < 2 {
+		return nil, fmt.Errorf("%w: procrustes needs at least 2 known pairs", ErrInapplicable)
+	}
+	xkc, xkMeans := centerRows(xk)
+	ykc, ykMeans := centerRows(yk)
+
+	// R̂ = argmin_R ‖Y_kc − R·X_kc‖_F = U·Vᵀ with U Σ Vᵀ = SVD(Y_kc·X_kcᵀ).
+	cross := ykc.Mul(xkc.T())
+	svd, err := matrix.SVD(cross)
+	if err != nil {
+		return nil, fmt.Errorf("%w: procrustes svd: %v", ErrInapplicable, err)
+	}
+	rhat := svd.U.Mul(svd.V.T())
+
+	// t̂ = mean(Y_k) − R̂·mean(X_k); X̂ = R̂ᵀ·(Y − t̂·1ᵀ).
+	rx := rhat.MulVec(xkMeans)
+	that := make([]float64, len(ykMeans))
+	for i := range that {
+		that[i] = ykMeans[i] - rx[i]
+	}
+	shifted := y.Clone()
+	negT := make([]float64, len(that))
+	for i, v := range that {
+		negT[i] = -v
+	}
+	addRowConstants(shifted, negT)
+	return rhat.T().Mul(shifted), nil
+}
+
+// centerRows returns a copy of m with each row mean-centered, plus the
+// removed row means.
+func centerRows(m *matrix.Dense) (*matrix.Dense, []float64) {
+	out := m.Clone()
+	means := make([]float64, m.Rows())
+	for j := 0; j < m.Rows(); j++ {
+		means[j] = stat.Mean(m.Row(j))
+		for i := 0; i < m.Cols(); i++ {
+			out.Set(j, i, out.At(j, i)-means[j])
+		}
+	}
+	return out, means
+}
+
+// addRowConstants adds c[j] to every element of row j in place.
+func addRowConstants(m *matrix.Dense, c []float64) {
+	for j := 0; j < m.Rows(); j++ {
+		if c[j] == 0 {
+			continue
+		}
+		for i := 0; i < m.Cols(); i++ {
+			m.Set(j, i, m.At(j, i)+c[j])
+		}
+	}
+}
+
+// eigenOfCovariance computes the eigendecomposition of the row covariance
+// of centered data (d×N).
+func eigenOfCovariance(centered *matrix.Dense) ([]float64, *matrix.Dense, error) {
+	n := float64(centered.Cols())
+	cov := centered.Mul(centered.T()).Scale(1 / n)
+	return matrix.EigenSym(cov)
+}

@@ -1,0 +1,237 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// DistanceInferenceConfig tunes the distance-inference attack. Zero values
+// select the defaults noted on each field.
+type DistanceInferenceConfig struct {
+	// Tolerance is the relative distance-mismatch allowed when matching
+	// images (default 0.15; noise widens the true distances).
+	Tolerance float64
+	// MaxAnchorCandidates bounds how many candidate anchor pairs are
+	// explored (default 64).
+	MaxAnchorCandidates int
+}
+
+func (c DistanceInferenceConfig) withDefaults() DistanceInferenceConfig {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.15
+	}
+	if c.MaxAnchorCandidates <= 0 {
+		c.MaxAnchorCandidates = 64
+	}
+	return c
+}
+
+// DistanceInferenceAttack is the companion SDM'07 paper's distance-based
+// attack in full: the attacker knows m original records but — unlike the
+// plain Procrustes attack — does NOT know which perturbed columns are their
+// images. Rotation and translation preserve pairwise distances, so the
+// attacker identifies the images by matching distance signatures, then
+// solves orthogonal Procrustes on the recovered correspondence and inverts
+// the perturbation. The additive noise component Δ is precisely what makes
+// this identification unreliable.
+type DistanceInferenceAttack struct {
+	cfg DistanceInferenceConfig
+}
+
+// NewDistanceInferenceAttack builds the attack with the given configuration.
+func NewDistanceInferenceAttack(cfg DistanceInferenceConfig) *DistanceInferenceAttack {
+	return &DistanceInferenceAttack{cfg: cfg.withDefaults()}
+}
+
+// Name implements Attack.
+func (*DistanceInferenceAttack) Name() string { return "distance-inference" }
+
+// Estimate implements Attack.
+func (a *DistanceInferenceAttack) Estimate(y *matrix.Dense, know Knowledge) (*matrix.Dense, error) {
+	xk := know.KnownOriginal
+	if xk == nil {
+		return nil, fmt.Errorf("%w: distance inference needs known records", ErrInapplicable)
+	}
+	if xk.Rows() != y.Rows() {
+		return nil, fmt.Errorf("%w: known records have dim %d, data %d", ErrInapplicable, xk.Rows(), y.Rows())
+	}
+	m := xk.Cols()
+	if m < 3 {
+		return nil, fmt.Errorf("%w: need at least 3 known records, got %d", ErrInapplicable, m)
+	}
+	if y.Cols() < m {
+		return nil, fmt.Errorf("%w: fewer data records than known records", ErrInapplicable)
+	}
+	match, err := a.identifyImages(xk, y)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble the matched perturbed images and delegate to Procrustes.
+	yk := matrix.New(y.Rows(), m)
+	for i, col := range match {
+		for r := 0; r < y.Rows(); r++ {
+			yk.Set(r, i, y.At(r, col))
+		}
+	}
+	return (&ProcrustesAttack{}).Estimate(y, Knowledge{
+		Original:       know.Original,
+		KnownOriginal:  xk,
+		KnownPerturbed: yk,
+	})
+}
+
+// identifyImages finds, for each known original record, the perturbed
+// column most consistent with the known pairwise distances. Strategy: pick
+// the farthest pair of known records as anchors, enumerate perturbed column
+// pairs with a compatible distance, then greedily extend to the remaining
+// known records scoring by squared distance error.
+func (a *DistanceInferenceAttack) identifyImages(xk, y *matrix.Dense) ([]int, error) {
+	m, n := xk.Cols(), y.Cols()
+	dx := pairwiseDistances(xk)
+
+	// Anchors: the farthest pair is the most discriminative.
+	a0, a1 := 0, 1
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if dx[i][j] > dx[a0][a1] {
+				a0, a1 = i, j
+			}
+		}
+	}
+	anchorDist := dx[a0][a1]
+	if anchorDist == 0 {
+		return nil, fmt.Errorf("%w: known records are not distinct", ErrInapplicable)
+	}
+	tol := a.cfg.Tolerance * anchorDist
+
+	yCols := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		yCols[i] = y.Col(i)
+	}
+
+	// Rank all compatible pairs by anchor-distance mismatch and keep the
+	// best few: in the noiseless case the true image pair has mismatch ~0
+	// and is explored first.
+	type candidate struct {
+		p, q     int
+		mismatch float64
+	}
+	var candidates []candidate
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			mismatch := math.Abs(dist(yCols[p], yCols[q]) - anchorDist)
+			if mismatch <= tol {
+				candidates = append(candidates, candidate{p: p, q: q, mismatch: mismatch})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: no perturbed pair matches the anchor distance", ErrInapplicable)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].mismatch != candidates[j].mismatch {
+			return candidates[i].mismatch < candidates[j].mismatch
+		}
+		if candidates[i].p != candidates[j].p {
+			return candidates[i].p < candidates[j].p
+		}
+		return candidates[i].q < candidates[j].q
+	})
+	if len(candidates) > a.cfg.MaxAnchorCandidates {
+		candidates = candidates[:a.cfg.MaxAnchorCandidates]
+	}
+
+	best := make([]int, 0, m)
+	bestScore := math.Inf(1)
+	assign := make([]int, m)
+	used := make([]bool, n)
+	for _, cand := range candidates {
+		for i := range assign {
+			assign[i] = -1
+		}
+		for i := range used {
+			used[i] = false
+		}
+		assign[a0], assign[a1] = cand.p, cand.q
+		used[cand.p], used[cand.q] = true, true
+		score := sq(dist(yCols[cand.p], yCols[cand.q]) - anchorDist)
+
+		feasible := true
+		for j := 0; j < m && feasible; j++ {
+			if j == a0 || j == a1 {
+				continue
+			}
+			bestCol, bestErr := -1, math.Inf(1)
+			for c := 0; c < n; c++ {
+				if used[c] {
+					continue
+				}
+				e := sq(dist(yCols[c], yCols[cand.p])-dx[j][a0]) +
+					sq(dist(yCols[c], yCols[cand.q])-dx[j][a1])
+				// Distance consistency with already-matched non-anchors
+				// sharpens the signature.
+				for j2 := 0; j2 < j; j2++ {
+					if assign[j2] >= 0 && j2 != a0 && j2 != a1 {
+						e += sq(dist(yCols[c], yCols[assign[j2]]) - dx[j][j2])
+					}
+				}
+				if e < bestErr {
+					bestCol, bestErr = c, e
+				}
+			}
+			if bestCol < 0 {
+				feasible = false
+				break
+			}
+			assign[j] = bestCol
+			used[bestCol] = true
+			score += bestErr
+		}
+		if feasible && score < bestScore {
+			bestScore = score
+			best = append(best[:0], assign...)
+		}
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%w: image identification failed", ErrInapplicable)
+	}
+	return best, nil
+}
+
+// pairwiseDistances returns the m×m distance table of a d×m column set.
+func pairwiseDistances(m *matrix.Dense) [][]float64 {
+	k := m.Cols()
+	cols := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		cols[i] = m.Col(i)
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := dist(cols[i], cols[j])
+			out[i][j] = d
+			out[j][i] = d
+		}
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func sq(v float64) float64 { return v * v }

@@ -1,0 +1,167 @@
+package privacy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+)
+
+func TestDistanceInferenceIdentifiesImagesNoiseless(t *testing.T) {
+	// Pure rotation+translation: distances are preserved exactly, so the
+	// attack must identify the images and recover the data like Procrustes.
+	x := normalizedData(t, "Diabetes", 1)
+	rng := rand.New(rand.NewSource(2))
+	p, err := perturb.NewRandom(rng, x.Rows(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker knows d+4 original records — but NOT their images
+	// (d+4 pins the rotation; fewer would leave Procrustes underdetermined).
+	known := x.Slice(0, x.Rows(), 0, x.Rows()+4)
+	atk := NewDistanceInferenceAttack(DistanceInferenceConfig{})
+	xhat, err := atk.Estimate(y, Knowledge{Original: x, KnownOriginal: known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range cols {
+		if v > 1e-5 {
+			t.Errorf("dim %d: error %v on noiseless data, want ~0", j, v)
+		}
+	}
+}
+
+func TestDistanceInferenceDefeatedByNoise(t *testing.T) {
+	// The paper's rationale for Δ: noise perturbs distances, so the
+	// identification step (and the subsequent alignment) degrades.
+	x := normalizedData(t, "Diabetes", 3)
+	guarantee := func(sigma float64) float64 {
+		rng := rand.New(rand.NewSource(4))
+		p, err := perturb.New(matrix.RandomOrthogonal(rand.New(rand.NewSource(5)), x.Rows()),
+			make([]float64, x.Rows()), sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, _, err := p.Apply(rng, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		known := x.Slice(0, x.Rows(), 0, x.Rows()+4)
+		atk := NewDistanceInferenceAttack(DistanceInferenceConfig{})
+		xhat, err := atk.Estimate(y, Knowledge{Original: x, KnownOriginal: known})
+		if err != nil {
+			// Identification failing outright is the defence succeeding;
+			// treat as maximal privacy for this comparison.
+			return 1
+		}
+		cols, err := ColumnPrivacy(x, xhat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := cols[0]
+		for _, v := range cols {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	clean, noisy := guarantee(0), guarantee(0.25)
+	if noisy <= clean {
+		t.Errorf("noise did not raise privacy under distance inference: %v vs %v", clean, noisy)
+	}
+}
+
+func TestDistanceInferenceInapplicable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	y := matrix.RandomUniform(rng, 4, 30, 0, 1)
+	atk := NewDistanceInferenceAttack(DistanceInferenceConfig{})
+
+	if _, err := atk.Estimate(y, Knowledge{}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("no knowledge err = %v", err)
+	}
+	two := matrix.RandomUniform(rng, 4, 2, 0, 1)
+	if _, err := atk.Estimate(y, Knowledge{KnownOriginal: two}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("2 known err = %v", err)
+	}
+	wrongDim := matrix.RandomUniform(rng, 3, 5, 0, 1)
+	if _, err := atk.Estimate(y, Knowledge{KnownOriginal: wrongDim}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("dim err = %v", err)
+	}
+	// Identical known records carry no distance signature.
+	same := matrix.New(4, 3)
+	if _, err := atk.Estimate(y, Knowledge{KnownOriginal: same}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("degenerate err = %v", err)
+	}
+	// More known records than data records.
+	tiny := matrix.RandomUniform(rng, 4, 2, 0, 1)
+	big := matrix.RandomUniform(rng, 4, 5, 0, 1)
+	if _, err := atk.Estimate(tiny, Knowledge{KnownOriginal: big}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("too few data err = %v", err)
+	}
+}
+
+func TestDistanceInferenceNoMatchingAnchor(t *testing.T) {
+	// If the data is scaled (not distance-preserving), no perturbed pair
+	// matches the anchor distance and identification must fail cleanly.
+	rng := rand.New(rand.NewSource(7))
+	x := matrix.RandomUniform(rng, 3, 40, 0, 1)
+	known := x.Slice(0, 3, 0, 4)
+	scaled := x.Scale(100)
+	atk := NewDistanceInferenceAttack(DistanceInferenceConfig{Tolerance: 0.01})
+	if _, err := atk.Estimate(scaled, Knowledge{KnownOriginal: known}); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestDistanceInferenceInEvaluatorSuite(t *testing.T) {
+	// The attack composes with the evaluator like any other.
+	x := normalizedData(t, "Iris", 8)
+	rng := rand.New(rand.NewSource(9))
+	p, _ := perturb.NewRandom(rng, x.Rows(), 0.05)
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(NewNaiveAttack(), NewDistanceInferenceAttack(DistanceInferenceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ev.Evaluate(x, y, Knowledge{KnownOriginal: x.Slice(0, x.Rows(), 0, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinGuarantee < 0 {
+		t.Fatalf("negative guarantee %v", rep.MinGuarantee)
+	}
+	if len(rep.Attacks) != 2 {
+		t.Fatalf("%d attacks, want 2", len(rep.Attacks))
+	}
+}
+
+func TestPairwiseDistances(t *testing.T) {
+	m := matrix.NewFromRows([][]float64{
+		{0, 3, 0},
+		{0, 0, 4},
+	})
+	d := pairwiseDistances(m)
+	if d[0][1] != 3 || d[1][0] != 3 {
+		t.Errorf("d(0,1) = %v, want 3", d[0][1])
+	}
+	if d[0][2] != 4 || d[1][2] != 5 {
+		t.Errorf("d(0,2)=%v d(1,2)=%v, want 4 and 5", d[0][2], d[1][2])
+	}
+	if d[0][0] != 0 {
+		t.Errorf("self distance %v", d[0][0])
+	}
+}

@@ -1,0 +1,229 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/stat"
+)
+
+// ICAConfig tunes the FastICA reconstruction attack. Zero values select the
+// defaults noted on each field.
+type ICAConfig struct {
+	// MaxIter bounds the fixed-point iterations per component (default 64).
+	MaxIter int
+	// Tol is the convergence tolerance on the direction update (default 1e-6).
+	Tol float64
+	// EigenFloor discards whitening directions whose eigenvalue falls below
+	// this fraction of the largest eigenvalue (default 1e-10).
+	EigenFloor float64
+}
+
+func (c ICAConfig) withDefaults() ICAConfig {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 64
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.EigenFloor <= 0 {
+		c.EigenFloor = 1e-10
+	}
+	return c
+}
+
+// ICAAttack reconstructs the original data with FastICA: rotation mixes the
+// (approximately independent) original dimensions, and independent component
+// analysis can unmix them up to permutation, sign, and scale. Those
+// ambiguities are resolved attacker-optimally against the true data —
+// matching the worst-case evaluation stance of the companion SDM'07 paper —
+// and the per-dimension scale is restored from the (public) fact that the
+// original dimensions are normalized with known means and variances.
+type ICAAttack struct {
+	cfg ICAConfig
+}
+
+// NewICAAttack builds a FastICA attack with the given configuration.
+func NewICAAttack(cfg ICAConfig) *ICAAttack {
+	return &ICAAttack{cfg: cfg.withDefaults()}
+}
+
+// Name implements Attack.
+func (*ICAAttack) Name() string { return "ica" }
+
+// Estimate implements Attack.
+func (a *ICAAttack) Estimate(y *matrix.Dense, know Knowledge) (*matrix.Dense, error) {
+	if know.Original == nil {
+		return nil, fmt.Errorf("%w: ica alignment needs distribution knowledge", ErrInapplicable)
+	}
+	if y.Cols() <= 2*y.Rows() {
+		return nil, fmt.Errorf("%w: ica needs N >> d (%dx%d)", ErrInapplicable, y.Rows(), y.Cols())
+	}
+	sources, err := fastICA(y, a.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInapplicable, err)
+	}
+	return alignSources(sources, know.Original), nil
+}
+
+// fastICA runs whitening plus deflationary fixed-point iteration with the
+// tanh contrast, returning the estimated source signals (k×N, k ≤ d after
+// the eigen floor).
+func fastICA(y *matrix.Dense, cfg ICAConfig) (*matrix.Dense, error) {
+	cfg = cfg.withDefaults()
+	yc, _ := centerRows(y)
+	vals, vecs, err := eigenOfCovariance(yc)
+	if err != nil {
+		return nil, fmt.Errorf("whitening: %w", err)
+	}
+	d := y.Rows()
+	// Keep directions with non-degenerate variance.
+	keep := 0
+	for keep < d && vals[keep] > cfg.EigenFloor*math.Max(vals[0], 1e-300) {
+		keep++
+	}
+	if keep == 0 {
+		return nil, fmt.Errorf("whitening: all eigenvalues degenerate")
+	}
+	// Whitening matrix W = D^{-1/2}·Eᵀ (keep×d).
+	w := matrix.New(keep, d)
+	for i := 0; i < keep; i++ {
+		s := 1 / math.Sqrt(vals[i])
+		for j := 0; j < d; j++ {
+			w.Set(i, j, vecs.At(j, i)*s)
+		}
+	}
+	z := w.Mul(yc) // keep×N whitened data
+	n := z.Cols()
+
+	// Deflationary FastICA with g = tanh.
+	b := matrix.New(keep, keep) // unmixing vectors in rows
+	for comp := 0; comp < keep; comp++ {
+		wv := make([]float64, keep)
+		// Deterministic varied init per component (no RNG needed: the
+		// whitened space makes any non-degenerate init workable).
+		for j := range wv {
+			wv[j] = math.Cos(float64(comp+1) * float64(j+1))
+		}
+		normalizeVec(wv)
+		orthogonalizeAgainst(wv, b, comp)
+		normalizeVec(wv)
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			next := make([]float64, keep)
+			var gSum float64
+			for c := 0; c < n; c++ {
+				var dot float64
+				for j := 0; j < keep; j++ {
+					dot += wv[j] * z.At(j, c)
+				}
+				g := math.Tanh(dot)
+				gp := 1 - g*g
+				gSum += gp
+				for j := 0; j < keep; j++ {
+					next[j] += z.At(j, c) * g
+				}
+			}
+			fn := float64(n)
+			for j := 0; j < keep; j++ {
+				next[j] = next[j]/fn - gSum/fn*wv[j]
+			}
+			orthogonalizeAgainst(next, b, comp)
+			normalizeVec(next)
+			var diff float64
+			for j := 0; j < keep; j++ {
+				// Convergence up to sign.
+				diff += next[j] * wv[j]
+			}
+			conv := math.Abs(math.Abs(diff) - 1)
+			copy(wv, next)
+			if conv < cfg.Tol {
+				break
+			}
+		}
+		b.SetRow(comp, wv)
+	}
+	return b.Mul(z), nil
+}
+
+// alignSources resolves ICA's permutation/sign/scale ambiguity in the
+// attacker's favor: each original dimension is greedily matched to the
+// unclaimed source with the highest |correlation|, sign-corrected, and
+// rescaled to the original dimension's mean and standard deviation.
+func alignSources(sources, x *matrix.Dense) *matrix.Dense {
+	d, n := x.Rows(), x.Cols()
+	k := sources.Rows()
+	xhat := matrix.New(d, n)
+	used := make([]bool, k)
+	for j := 0; j < d; j++ {
+		xRow := x.Row(j)
+		bestIdx, bestAbs, bestCorr := -1, -1.0, 0.0
+		for s := 0; s < k; s++ {
+			if used[s] {
+				continue
+			}
+			r, err := stat.Correlation(sources.Row(s), xRow)
+			if err != nil {
+				continue
+			}
+			if abs := math.Abs(r); abs > bestAbs {
+				bestIdx, bestAbs, bestCorr = s, abs, r
+			}
+		}
+		mean := stat.Mean(xRow)
+		sd := stat.StdDev(xRow)
+		if bestIdx < 0 {
+			// No source left: fall back to the dimension's mean.
+			for i := 0; i < n; i++ {
+				xhat.Set(j, i, mean)
+			}
+			continue
+		}
+		used[bestIdx] = true
+		src := sources.Row(bestIdx)
+		srcMean := stat.Mean(src)
+		srcSD := stat.StdDev(src)
+		sign := 1.0
+		if bestCorr < 0 {
+			sign = -1
+		}
+		for i := 0; i < n; i++ {
+			v := mean
+			if srcSD > 0 {
+				v = mean + sign*sd*(src[i]-srcMean)/srcSD
+			}
+			xhat.Set(j, i, v)
+		}
+	}
+	return xhat
+}
+
+func normalizeVec(v []float64) {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+}
+
+// orthogonalizeAgainst removes from v its projections on the first count
+// rows of basis (Gram-Schmidt deflation).
+func orthogonalizeAgainst(v []float64, basis *matrix.Dense, count int) {
+	for r := 0; r < count; r++ {
+		row := basis.Row(r)
+		var dot float64
+		for j := range v {
+			dot += v[j] * row[j]
+		}
+		for j := range v {
+			v[j] -= dot * row[j]
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package privacy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stat"
+)
+
+func TestOptimizeBeatsRandomOnAverage(t *testing.T) {
+	// The claim behind Figure 2: the optimized perturbation's guarantee
+	// stochastically dominates the random one's.
+	x := normalizedData(t, "Iris", 1)
+	opt := NewOptimizer(OptimizerConfig{Candidates: 6, LocalSteps: 6})
+
+	rng := rand.New(rand.NewSource(2))
+	var optimized, random []float64
+	for i := 0; i < 12; i++ {
+		_, res, err := opt.Optimize(rng, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimized = append(optimized, res.Guarantee)
+		r, err := opt.RandomGuarantee(rng, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random = append(random, r)
+	}
+	if mo, mr := stat.Mean(optimized), stat.Mean(random); mo <= mr {
+		t.Errorf("optimized mean %v not above random mean %v", mo, mr)
+	}
+}
+
+func TestOptimizeGuaranteeIsMaxOfCandidates(t *testing.T) {
+	x := normalizedData(t, "Iris", 3)
+	opt := NewOptimizer(OptimizerConfig{Candidates: 5, LocalSteps: 4})
+	_, res, err := opt.Optimize(rand.New(rand.NewSource(4)), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CandidateGuarantees) != 5 {
+		t.Fatalf("%d candidate guarantees, want 5", len(res.CandidateGuarantees))
+	}
+	best, _ := stat.Max(res.CandidateGuarantees)
+	if res.Guarantee < best-1e-12 {
+		t.Errorf("final guarantee %v below best candidate %v (refinement must not regress)", res.Guarantee, best)
+	}
+}
+
+func TestOptimizeReturnsValidPerturbation(t *testing.T) {
+	x := normalizedData(t, "Heart", 5)
+	opt := NewOptimizer(OptimizerConfig{Candidates: 3, LocalSteps: 3})
+	p, res, err := opt.Optimize(rand.New(rand.NewSource(6)), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.R.IsOrthogonal(1e-8) {
+		t.Fatal("optimized rotation lost orthogonality")
+	}
+	if p.Dim() != x.Rows() {
+		t.Fatalf("perturbation dim %d, want %d", p.Dim(), x.Rows())
+	}
+	if res.Guarantee <= 0 {
+		t.Fatalf("guarantee %v, want > 0 (noise keeps it positive)", res.Guarantee)
+	}
+	if res.Report == nil {
+		t.Fatal("missing report")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	opt := NewOptimizer(OptimizerConfig{})
+	rng := rand.New(rand.NewSource(7))
+	// One dimension is not enough.
+	one := normalizedData(t, "Iris", 8).Slice(0, 1, 0, 50)
+	if _, _, err := opt.Optimize(rng, one); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("1-dim err = %v, want ErrDimMismatch", err)
+	}
+	// Too few records for the known-pair budget.
+	tiny := normalizedData(t, "Iris", 9).Slice(0, 4, 0, 5)
+	if _, _, err := opt.Optimize(rng, tiny); !errors.Is(err, ErrTooFewRows) {
+		t.Errorf("tiny err = %v, want ErrTooFewRows", err)
+	}
+	if _, err := opt.RandomGuarantee(rng, tiny); !errors.Is(err, ErrTooFewRows) {
+		t.Errorf("random tiny err = %v, want ErrTooFewRows", err)
+	}
+}
+
+func TestEstimateOptimality(t *testing.T) {
+	x := normalizedData(t, "Iris", 10)
+	opt := NewOptimizer(OptimizerConfig{Candidates: 3, LocalSteps: 2})
+	est, err := opt.EstimateOptimality(rand.New(rand.NewSource(11)), x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rounds != 8 || len(est.Guarantees) != 8 {
+		t.Fatalf("rounds = %d/%d, want 8", est.Rounds, len(est.Guarantees))
+	}
+	if est.Bound < est.Mean {
+		t.Errorf("bound %v below mean %v", est.Bound, est.Mean)
+	}
+	if est.Rate <= 0 || est.Rate > 1 {
+		t.Errorf("optimality rate %v out of (0, 1]", est.Rate)
+	}
+	if _, err := opt.EstimateOptimality(rand.New(rand.NewSource(12)), x, 0); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+}
+
+func TestOptimizerConfigDefaults(t *testing.T) {
+	cfg := OptimizerConfig{}.withDefaults()
+	if cfg.Candidates <= 0 || cfg.LocalSteps <= 0 || cfg.NoiseSigma <= 0 ||
+		cfg.EvalColumns <= 0 || cfg.KnownPairs <= 0 || cfg.Evaluator == nil {
+		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+	// Explicit zero local steps stays zero.
+	cfg2 := OptimizerConfig{LocalSteps: -1}.withDefaults()
+	if cfg2.LocalSteps != 0 {
+		t.Fatalf("LocalSteps = %d, want 0 for negative input", cfg2.LocalSteps)
+	}
+}
+
+func TestOptimizeDeterministicPerSeed(t *testing.T) {
+	x := normalizedData(t, "Iris", 13)
+	opt := NewOptimizer(OptimizerConfig{Candidates: 3, LocalSteps: 2})
+	_, res1, err := opt.Optimize(rand.New(rand.NewSource(14)), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res2, err := opt.Optimize(rand.New(rand.NewSource(14)), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Guarantee != res2.Guarantee {
+		t.Fatalf("same seed, different guarantees: %v vs %v", res1.Guarantee, res2.Guarantee)
+	}
+}

@@ -1,0 +1,219 @@
+// Package privacy implements the privacy-evaluation substrate of the SAP
+// reproduction: the multi-column "minimum privacy guarantee" metric, the
+// attack models used to evaluate it (naive estimation, PCA re-alignment,
+// FastICA reconstruction, known-sample Procrustes alignment), and the
+// randomized perturbation optimizer of the companion SDM'07 paper.
+//
+// Data is laid out d×N (one column per record), matching the paper's
+// G(X) = RX + Ψ + Δ convention, with X min-max normalized per row
+// (dimension) to [0, 1].
+//
+// Privacy of dimension j is the standard deviation of the best attacker's
+// estimation error on that dimension: ρ_j = min_attacks std(X_j − X̂_j).
+// The dataset-level "minimum privacy guarantee" is ρ = min_j ρ_j. Attacks
+// are evaluated attacker-optimally (reconstruction ambiguities are resolved
+// in the attacker's favor), so the reported guarantee is a worst-case bound
+// for the defender.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/internal/stat"
+)
+
+// Errors returned by privacy evaluation.
+var (
+	ErrDimMismatch = errors.New("privacy: dimension mismatch")
+	ErrNoAttacks   = errors.New("privacy: evaluator has no attacks")
+	ErrTooFewRows  = errors.New("privacy: not enough records for evaluation")
+)
+
+// Knowledge models the side information available to an attacker. All
+// fields are optional; attacks that need missing knowledge degrade to their
+// knowledge-free variant or report themselves inapplicable.
+type Knowledge struct {
+	// Original is the true normalized data X. It is used only to resolve
+	// reconstruction ambiguities attacker-optimally (worst case for the
+	// defender); attacks never read values from it beyond alignment.
+	Original *matrix.Dense
+	// KnownOriginal and KnownPerturbed are m matched record pairs (d×m
+	// columns) the attacker has identified, enabling known-sample attacks.
+	KnownOriginal  *matrix.Dense
+	KnownPerturbed *matrix.Dense
+}
+
+// Attack reconstructs an estimate X̂ of the original normalized data from
+// the perturbed data Y.
+type Attack interface {
+	// Name identifies the attack in reports.
+	Name() string
+	// Estimate returns a d×N estimate of the original data. Attacks return
+	// an error when the input shape or available knowledge makes them
+	// inapplicable; the evaluator skips such attacks.
+	Estimate(y *matrix.Dense, know Knowledge) (*matrix.Dense, error)
+}
+
+// ColumnPrivacy returns the per-dimension privacy of an estimate: the
+// standard deviation of the estimation error on each dimension (row of the
+// d×N layout).
+func ColumnPrivacy(x, xhat *matrix.Dense) ([]float64, error) {
+	if x.Rows() != xhat.Rows() || x.Cols() != xhat.Cols() {
+		return nil, fmt.Errorf("%w: original %dx%d vs estimate %dx%d",
+			ErrDimMismatch, x.Rows(), x.Cols(), xhat.Rows(), xhat.Cols())
+	}
+	out := make([]float64, x.Rows())
+	for j := 0; j < x.Rows(); j++ {
+		diff := make([]float64, x.Cols())
+		for i := 0; i < x.Cols(); i++ {
+			diff[i] = x.At(j, i) - xhat.At(j, i)
+		}
+		out[j] = stat.StdDev(diff)
+	}
+	return out, nil
+}
+
+// AttackResult records one attack's outcome in a privacy evaluation.
+type AttackResult struct {
+	Attack  string
+	Column  []float64 // per-dimension privacy under this attack
+	Min     float64   // min over dimensions
+	Skipped bool      // attack was inapplicable for this input
+	Err     string    // reason when skipped
+}
+
+// Report is the outcome of evaluating all attacks on one perturbed dataset.
+type Report struct {
+	// PerColumn is the per-dimension privacy guarantee: for each dimension,
+	// the minimum across applicable attacks.
+	PerColumn []float64
+	// MinGuarantee is the dataset-level minimum privacy guarantee ρ.
+	MinGuarantee float64
+	// Attacks holds the per-attack details.
+	Attacks []AttackResult
+}
+
+// Evaluator runs a suite of attacks and aggregates the minimum privacy
+// guarantee. The zero value is unusable; use NewEvaluator.
+type Evaluator struct {
+	attacks []Attack
+}
+
+// NewEvaluator builds an evaluator over the given attacks.
+func NewEvaluator(attacks ...Attack) (*Evaluator, error) {
+	if len(attacks) == 0 {
+		return nil, ErrNoAttacks
+	}
+	return &Evaluator{attacks: append([]Attack(nil), attacks...)}, nil
+}
+
+// DefaultEvaluator returns the standard attack suite used throughout the
+// reproduction: naive re-normalization, PCA re-alignment, FastICA, and the
+// known-sample Procrustes attack.
+func DefaultEvaluator() *Evaluator {
+	ev, err := NewEvaluator(
+		NewNaiveAttack(),
+		NewPCAAttack(),
+		NewICAAttack(ICAConfig{}),
+		NewProcrustesAttack(),
+	)
+	if err != nil {
+		// Unreachable: the attack list is non-empty by construction.
+		panic(err)
+	}
+	return ev
+}
+
+// FastEvaluator returns a cheaper attack suite (no ICA) for use inside
+// optimization inner loops; the full suite is still used for the final
+// guarantee measurements.
+func FastEvaluator() *Evaluator {
+	ev, err := NewEvaluator(NewNaiveAttack(), NewPCAAttack(), NewProcrustesAttack())
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Evaluate attacks the perturbed data y and returns the aggregated report.
+// x is the true normalized data used to score estimates (and to resolve
+// attack ambiguities attacker-optimally).
+func (e *Evaluator) Evaluate(x, y *matrix.Dense, know Knowledge) (*Report, error) {
+	if len(e.attacks) == 0 {
+		return nil, ErrNoAttacks
+	}
+	if x.Rows() != y.Rows() || x.Cols() != y.Cols() {
+		return nil, fmt.Errorf("%w: x %dx%d vs y %dx%d",
+			ErrDimMismatch, x.Rows(), x.Cols(), y.Rows(), y.Cols())
+	}
+	if x.Cols() < 2 {
+		return nil, fmt.Errorf("%w: %d records", ErrTooFewRows, x.Cols())
+	}
+	if know.Original == nil {
+		know.Original = x
+	}
+	d := x.Rows()
+	perCol := make([]float64, d)
+	for j := range perCol {
+		perCol[j] = math.Inf(1)
+	}
+	report := &Report{Attacks: make([]AttackResult, 0, len(e.attacks))}
+	applicable := 0
+	for _, atk := range e.attacks {
+		xhat, err := atk.Estimate(y, know)
+		if err != nil {
+			report.Attacks = append(report.Attacks, AttackResult{
+				Attack: atk.Name(), Skipped: true, Err: err.Error(),
+			})
+			continue
+		}
+		cols, err := ColumnPrivacy(x, xhat)
+		if err != nil {
+			return nil, fmt.Errorf("attack %s produced bad estimate: %w", atk.Name(), err)
+		}
+		applicable++
+		minCol := cols[0]
+		for j, v := range cols {
+			if v < perCol[j] {
+				perCol[j] = v
+			}
+			if v < minCol {
+				minCol = v
+			}
+		}
+		report.Attacks = append(report.Attacks, AttackResult{
+			Attack: atk.Name(), Column: cols, Min: minCol,
+		})
+	}
+	if applicable == 0 {
+		return nil, fmt.Errorf("privacy: every attack was inapplicable")
+	}
+	report.PerColumn = perCol
+	report.MinGuarantee = perCol[0]
+	for _, v := range perCol {
+		if v < report.MinGuarantee {
+			report.MinGuarantee = v
+		}
+	}
+	return report, nil
+}
+
+// subsampleColumns returns up to max columns of m, sampled without
+// replacement, to bound evaluation cost on large datasets.
+func subsampleColumns(rng *rand.Rand, m *matrix.Dense, max int) *matrix.Dense {
+	if m.Cols() <= max {
+		return m
+	}
+	idx := rng.Perm(m.Cols())[:max]
+	out := matrix.New(m.Rows(), max)
+	for c, i := range idx {
+		for r := 0; r < m.Rows(); r++ {
+			out.Set(r, c, m.At(r, i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+)
+
+// normalizedData generates a normalized d×N data matrix from a UCI profile.
+func normalizedData(t *testing.T, name string, seed int64) *matrix.Dense {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, err := dataset.GenerateByName(name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm.FeaturesT()
+}
+
+func TestColumnPrivacyExact(t *testing.T) {
+	x := matrix.NewFromRows([][]float64{{0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}})
+	// Estimate equals x on row 1, off-by-constant on row 0 -> std 0 both.
+	xhat := x.Clone()
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0] != 0 || cols[1] != 0 {
+		t.Fatalf("perfect estimate privacy = %v, want zeros", cols)
+	}
+	// Noisy estimate on row 0 only.
+	xhat.Set(0, 0, 1)
+	cols, err = ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0] <= 0 {
+		t.Fatalf("row-0 privacy = %v, want > 0", cols[0])
+	}
+	if cols[1] != 0 {
+		t.Fatalf("row-1 privacy = %v, want 0", cols[1])
+	}
+}
+
+func TestColumnPrivacyShapeMismatch(t *testing.T) {
+	if _, err := ColumnPrivacy(matrix.New(2, 3), matrix.New(3, 3)); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestNewEvaluatorEmpty(t *testing.T) {
+	if _, err := NewEvaluator(); !errors.Is(err, ErrNoAttacks) {
+		t.Fatalf("err = %v, want ErrNoAttacks", err)
+	}
+}
+
+func TestNaiveAttackOnUnperturbedData(t *testing.T) {
+	// If Y == X (already normalized), the naive estimate is nearly exact,
+	// so privacy under the naive attack must be ~0.
+	x := normalizedData(t, "Iris", 1)
+	atk := NewNaiveAttack()
+	xhat, err := atk.Estimate(x, Knowledge{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range cols {
+		if v > 0.02 {
+			t.Errorf("dim %d: naive privacy on identity perturbation = %v, want ~0", j, v)
+		}
+	}
+}
+
+func TestNaiveAttackTooFewRecords(t *testing.T) {
+	if _, err := NewNaiveAttack().Estimate(matrix.New(3, 1), Knowledge{}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestNaiveAttackConstantDimension(t *testing.T) {
+	y := matrix.NewFromRows([][]float64{{3, 3, 3}, {0, 1, 2}})
+	xhat, err := NewNaiveAttack().Estimate(y, Knowledge{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if xhat.At(0, i) != 0.5 {
+			t.Fatalf("constant dim estimate = %v, want 0.5", xhat.At(0, i))
+		}
+	}
+}
+
+func TestPCAAttackRecoversRotationOnly(t *testing.T) {
+	// Pure rotation with no noise and anisotropic data: PCA re-alignment
+	// should reconstruct X well, i.e. low privacy.
+	x := normalizedData(t, "Wine", 2)
+	rng := rand.New(rand.NewSource(3))
+	p, err := perturb.New(matrix.RandomOrthogonal(rng, x.Rows()), make([]float64, x.Rows()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := NewPCAAttack().Estimate(y, Knowledge{Original: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, v := range cols {
+		mean += v
+	}
+	mean /= float64(len(cols))
+	// Wine's heterogeneous scales give distinct eigenvalues, so alignment
+	// should be decent: mean error well below the naive-guess level (~0.3).
+	if mean > 0.15 {
+		t.Errorf("PCA attack mean per-dim error = %v, want < 0.15 for pure rotation", mean)
+	}
+}
+
+func TestPCAAttackNeedsKnowledge(t *testing.T) {
+	y := matrix.RandomUniform(rand.New(rand.NewSource(1)), 3, 30, 0, 1)
+	if _, err := NewPCAAttack().Estimate(y, Knowledge{}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("err = %v, want ErrInapplicable", err)
+	}
+	// Fewer records than dimensions.
+	small := matrix.RandomUniform(rand.New(rand.NewSource(2)), 5, 4, 0, 1)
+	if _, err := NewPCAAttack().Estimate(small, Knowledge{Original: small}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("small err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestProcrustesAttackExactRecovery(t *testing.T) {
+	// With enough known pairs and no noise the Procrustes attack recovers
+	// the rotation and translation almost exactly.
+	x := normalizedData(t, "Diabetes", 4)
+	rng := rand.New(rand.NewSource(5))
+	p, err := perturb.NewRandom(rng, x.Rows(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := x.Rows() + 4
+	know := Knowledge{
+		Original:       x,
+		KnownOriginal:  x.Slice(0, x.Rows(), 0, m),
+		KnownPerturbed: y.Slice(0, y.Rows(), 0, m),
+	}
+	xhat, err := NewProcrustesAttack().Estimate(y, know)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range cols {
+		if v > 1e-6 {
+			t.Errorf("dim %d: procrustes error %v on noiseless data, want ~0", j, v)
+		}
+	}
+}
+
+func TestProcrustesAttackDegradedByNoise(t *testing.T) {
+	x := normalizedData(t, "Diabetes", 6)
+	rng := rand.New(rand.NewSource(7))
+	clean, _ := perturb.NewRandom(rand.New(rand.NewSource(8)), x.Rows(), 0)
+	noisy := clean.Clone()
+	noisy.NoiseSigma = 0.2
+
+	guarantee := func(p *perturb.Perturbation) float64 {
+		y, _, err := p.Apply(rng, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := x.Rows() + 4
+		know := Knowledge{
+			Original:       x,
+			KnownOriginal:  x.Slice(0, x.Rows(), 0, m),
+			KnownPerturbed: y.Slice(0, y.Rows(), 0, m),
+		}
+		xhat, err := NewProcrustesAttack().Estimate(y, know)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := ColumnPrivacy(x, xhat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := cols[0]
+		for _, v := range cols {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	if gClean, gNoisy := guarantee(clean), guarantee(noisy); gNoisy <= gClean {
+		t.Errorf("noise did not raise privacy: clean %v vs noisy %v", gClean, gNoisy)
+	}
+}
+
+func TestProcrustesNeedsPairs(t *testing.T) {
+	y := matrix.RandomUniform(rand.New(rand.NewSource(9)), 3, 20, 0, 1)
+	if _, err := NewProcrustesAttack().Estimate(y, Knowledge{}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("err = %v, want ErrInapplicable", err)
+	}
+	one := matrix.New(3, 1)
+	know := Knowledge{KnownOriginal: one, KnownPerturbed: one}
+	if _, err := NewProcrustesAttack().Estimate(y, know); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("one-pair err = %v, want ErrInapplicable", err)
+	}
+	wrong := Knowledge{KnownOriginal: matrix.New(2, 5), KnownPerturbed: matrix.New(3, 5)}
+	if _, err := NewProcrustesAttack().Estimate(y, wrong); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("shape err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestICAAttackUnmixesRotation(t *testing.T) {
+	// Strongly non-Gaussian independent sources mixed by a rotation: ICA
+	// must reconstruct them well (low privacy), which is exactly why the
+	// noise component Δ exists.
+	rng := rand.New(rand.NewSource(10))
+	d, n := 4, 600
+	x := matrix.New(d, n)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			x.Set(j, i, rng.Float64()) // uniform = sub-Gaussian sources
+		}
+	}
+	p, err := perturb.New(matrix.RandomOrthogonal(rng, d), make([]float64, d), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := NewICAAttack(ICAConfig{}).Estimate(y, Knowledge{Original: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ColumnPrivacy(x, xhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, v := range cols {
+		mean += v
+	}
+	mean /= float64(len(cols))
+	// A blind guess has error std ~0.29 (uniform); ICA should do much
+	// better on a pure rotation of independent uniforms.
+	if mean > 0.15 {
+		t.Errorf("ICA mean per-dim error = %v, want < 0.15", mean)
+	}
+}
+
+func TestICAAttackInapplicable(t *testing.T) {
+	y := matrix.RandomUniform(rand.New(rand.NewSource(11)), 4, 60, 0, 1)
+	if _, err := NewICAAttack(ICAConfig{}).Estimate(y, Knowledge{}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("no-knowledge err = %v, want ErrInapplicable", err)
+	}
+	small := matrix.RandomUniform(rand.New(rand.NewSource(12)), 4, 6, 0, 1)
+	if _, err := NewICAAttack(ICAConfig{}).Estimate(small, Knowledge{Original: small}); !errors.Is(err, ErrInapplicable) {
+		t.Fatalf("small-N err = %v, want ErrInapplicable", err)
+	}
+}
+
+func TestEvaluatorAggregatesMinimum(t *testing.T) {
+	x := normalizedData(t, "Iris", 13)
+	rng := rand.New(rand.NewSource(14))
+	p, err := perturb.NewRandom(rng, x.Rows(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 8
+	know := Knowledge{
+		KnownOriginal:  x.Slice(0, x.Rows(), 0, m),
+		KnownPerturbed: y.Slice(0, y.Rows(), 0, m),
+	}
+	rep, err := DefaultEvaluator().Evaluate(x, y, know)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerColumn) != x.Rows() {
+		t.Fatalf("PerColumn size %d, want %d", len(rep.PerColumn), x.Rows())
+	}
+	if rep.MinGuarantee < 0 {
+		t.Fatalf("negative guarantee %v", rep.MinGuarantee)
+	}
+	// The aggregate must be the min over per-column minima of attacks.
+	for _, ar := range rep.Attacks {
+		if ar.Skipped {
+			continue
+		}
+		for j, v := range ar.Column {
+			if v < rep.PerColumn[j]-1e-12 {
+				t.Fatalf("attack %s dim %d below aggregated value", ar.Attack, j)
+			}
+		}
+	}
+	for _, v := range rep.PerColumn {
+		if rep.MinGuarantee > v+1e-12 {
+			t.Fatal("MinGuarantee above a per-column value")
+		}
+	}
+}
+
+func TestEvaluatorShapeChecks(t *testing.T) {
+	ev := FastEvaluator()
+	if _, err := ev.Evaluate(matrix.New(2, 5), matrix.New(3, 5), Knowledge{}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := ev.Evaluate(matrix.New(2, 1), matrix.New(2, 1), Knowledge{}); !errors.Is(err, ErrTooFewRows) {
+		t.Fatalf("err = %v, want ErrTooFewRows", err)
+	}
+}
+
+func TestEvaluatorSkipsInapplicable(t *testing.T) {
+	// Without known pairs, Procrustes is skipped but the evaluation still
+	// succeeds via the other attacks.
+	x := normalizedData(t, "Iris", 15)
+	rng := rand.New(rand.NewSource(16))
+	p, _ := perturb.NewRandom(rng, x.Rows(), 0.05)
+	y, _, _ := p.Apply(rng, x)
+	rep, err := FastEvaluator().Evaluate(x, y, Knowledge{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSkipped := false
+	for _, ar := range rep.Attacks {
+		if ar.Attack == "procrustes" && ar.Skipped {
+			foundSkipped = true
+		}
+	}
+	if !foundSkipped {
+		t.Fatal("procrustes should be skipped without known pairs")
+	}
+}
+
+func TestSubsampleColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := matrix.RandomUniform(rng, 3, 50, 0, 1)
+	s := subsampleColumns(rng, m, 10)
+	if s.Cols() != 10 || s.Rows() != 3 {
+		t.Fatalf("subsample dims %dx%d", s.Rows(), s.Cols())
+	}
+	same := subsampleColumns(rng, m, 100)
+	if same != m {
+		t.Fatal("no-op subsample should return the input")
+	}
+}
+
+func TestNoiseRaisesGuaranteeMonotonically(t *testing.T) {
+	// Core defence property: more noise, more privacy (against the full
+	// attack suite, which otherwise strips rotation+translation).
+	x := normalizedData(t, "Diabetes", 18)
+	prev := -1.0
+	for _, sigma := range []float64{0, 0.1, 0.3} {
+		rng := rand.New(rand.NewSource(19))
+		p, err := perturb.New(matrix.RandomOrthogonal(rand.New(rand.NewSource(20)), x.Rows()),
+			make([]float64, x.Rows()), sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, _, err := p.Apply(rng, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 10
+		know := Knowledge{
+			KnownOriginal:  x.Slice(0, x.Rows(), 0, m),
+			KnownPerturbed: y.Slice(0, y.Rows(), 0, m),
+		}
+		rep, err := DefaultEvaluator().Evaluate(x, y, know)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MinGuarantee < prev {
+			t.Errorf("σ=%v: guarantee %v dropped below %v", sigma, rep.MinGuarantee, prev)
+		}
+		prev = rep.MinGuarantee
+	}
+	if math.IsInf(prev, -1) {
+		t.Fatal("no evaluations ran")
+	}
+}

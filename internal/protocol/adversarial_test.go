@@ -1,0 +1,374 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/transport"
+)
+
+// testNet wraps a MemNetwork with test-friendly endpoint creation.
+type testNet struct {
+	net *transport.MemNetwork
+}
+
+func newTestNet(t *testing.T) *testNet {
+	t.Helper()
+	return &testNet{net: transport.NewMemNetwork()}
+}
+
+func (n *testNet) endpoint(t *testing.T, name string) transport.Conn {
+	t.Helper()
+	conn, err := n.net.Endpoint(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func sendWire(t *testing.T, ctx context.Context, conn transport.Conn, to string, w *wire) {
+	t.Helper()
+	payload, err := encodeWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(ctx, to, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testDatasetPayload(t *testing.T, seed int64) (features []byte, labels []int, d *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	raw, err := dataset.GenerateByName("Iris", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, labels, err = encodeDatasetPayload(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return features, labels, norm
+}
+
+func TestCoordinatorRefusesDatasets(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	coordConn := net.endpoint(t, "coord")
+	evil := net.endpoint(t, "p1")
+	net.endpoint(t, "p2")
+	net.endpoint(t, "miner")
+
+	rng := rand.New(rand.NewSource(1))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	coord, err := NewCoordinator(coordConn, CoordinatorConfig{
+		Providers: []string{"p1", "p2"}, Miner: "miner",
+		Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	features, labels, _ := testDatasetPayload(t, 2)
+	done := make(chan error, 1)
+	go func() { done <- coord.Run(ctx) }()
+
+	// p1 sends a dataset to the coordinator instead of an adaptor.
+	sendWire(t, ctx, evil, "coord", &wire{Kind: MsgDataset, DataSlot: 1, Features: features, Labels: labels})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("coordinator err = %v, want ErrViolation", err)
+	}
+}
+
+func TestCoordinatorRejectsUnknownAdaptorSender(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	coordConn := net.endpoint(t, "coord")
+	stranger := net.endpoint(t, "stranger")
+	net.endpoint(t, "p1")
+	net.endpoint(t, "p2")
+	net.endpoint(t, "miner")
+
+	rng := rand.New(rand.NewSource(3))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	coord, err := NewCoordinator(coordConn, CoordinatorConfig{
+		Providers: []string{"p1", "p2"}, Miner: "miner",
+		Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := perturb.NewRandom(rng, norm.Dim(), 0)
+	adaptor, _ := perturb.NewAdaptor(p, gt)
+	raw, _ := adaptor.MarshalBinary()
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Run(ctx) }()
+	sendWire(t, ctx, stranger, "coord", &wire{Kind: MsgAdaptor, Adaptor: raw})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("coordinator err = %v, want ErrViolation", err)
+	}
+}
+
+func TestProviderRejectsTargetFromImpostor(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	provConn := net.endpoint(t, "prov")
+	impostor := net.endpoint(t, "impostor")
+	net.endpoint(t, "coord")
+	net.endpoint(t, "miner")
+
+	rng := rand.New(rand.NewSource(4))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	prov, err := NewProvider(provConn, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := perturb.NewRandom(rng, norm.Dim(), 0)
+	targetRaw, _ := gt.MarshalBinary()
+
+	done := make(chan error, 1)
+	go func() { done <- prov.Run(ctx) }()
+	sendWire(t, ctx, impostor, "prov", &wire{Kind: MsgTarget, Target: targetRaw, SendTo: "miner"})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("provider err = %v, want ErrViolation", err)
+	}
+}
+
+func TestProviderRejectsNoisyTarget(t *testing.T) {
+	// The SAP target must carry no noise component; a noisy target would
+	// double-perturb everyone's data.
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	provConn := net.endpoint(t, "prov")
+	coord := net.endpoint(t, "coord")
+	net.endpoint(t, "miner")
+
+	rng := rand.New(rand.NewSource(5))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	prov, err := NewProvider(provConn, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, _ := perturb.NewRandom(rng, norm.Dim(), 0.3)
+	raw, _ := noisy.MarshalBinary()
+
+	done := make(chan error, 1)
+	go func() { done <- prov.Run(ctx) }()
+	sendWire(t, ctx, coord, "prov", &wire{Kind: MsgTarget, Target: raw, SendTo: "other", SlotID: 1})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("provider err = %v, want ErrViolation", err)
+	}
+}
+
+func TestProviderRejectsRedirectToCoordinator(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	provConn := net.endpoint(t, "prov")
+	coord := net.endpoint(t, "coord")
+	net.endpoint(t, "miner")
+
+	rng := rand.New(rand.NewSource(6))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	prov, err := NewProvider(provConn, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := perturb.NewRandom(rng, norm.Dim(), 0)
+	raw, _ := gt.WithoutNoise().MarshalBinary()
+
+	done := make(chan error, 1)
+	go func() { done <- prov.Run(ctx) }()
+	// A malicious coordinator tells the provider to send data to itself.
+	sendWire(t, ctx, coord, "prov", &wire{Kind: MsgTarget, Target: raw, SendTo: "coord", SlotID: 1})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("provider err = %v, want ErrViolation", err)
+	}
+}
+
+func TestProviderRejectsExcessDatasets(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	provConn := net.endpoint(t, "prov")
+	coord := net.endpoint(t, "coord")
+	peer := net.endpoint(t, "peer")
+	miner := net.endpoint(t, "miner")
+	_ = miner
+
+	rng := rand.New(rand.NewSource(7))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	norm, _, _ := dataset.Normalize(d)
+	p, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	prov, err := NewProvider(provConn, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: norm, Perturbation: p, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := perturb.NewRandom(rng, norm.Dim(), 0)
+	raw, _ := gt.WithoutNoise().MarshalBinary()
+	features, labels, _ := testDatasetPayload(t, 8)
+
+	done := make(chan error, 1)
+	go func() { done <- prov.Run(ctx) }()
+	// The peer floods 2 datasets before the assignment announces a quota
+	// of 1; the provider must refuse to forward the excess.
+	sendWire(t, ctx, peer, "prov", &wire{Kind: MsgDataset, DataSlot: 2, Features: features, Labels: labels})
+	sendWire(t, ctx, peer, "prov", &wire{Kind: MsgDataset, DataSlot: 3, Features: features, Labels: labels})
+	sendWire(t, ctx, coord, "prov", &wire{Kind: MsgTarget, Target: raw, SendTo: "peer", SlotID: 1, ExpectCount: 1})
+	if err := <-done; !errors.Is(err, ErrViolation) {
+		t.Fatalf("provider err = %v, want ErrViolation", err)
+	}
+}
+
+func TestMinerRejectsDuplicateSlot(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	minerConn := net.endpoint(t, "miner")
+	p1 := net.endpoint(t, "p1")
+
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, labels, _ := testDatasetPayload(t, 9)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := miner.Run(ctx)
+		errCh <- err
+	}()
+	sendWire(t, ctx, p1, "miner", &wire{Kind: MsgSubmission, DataSlot: 42, Features: features, Labels: labels})
+	sendWire(t, ctx, p1, "miner", &wire{Kind: MsgSubmission, DataSlot: 42, Features: features, Labels: labels})
+	if err := <-errCh; !errors.Is(err, ErrViolation) {
+		t.Fatalf("miner err = %v, want ErrViolation", err)
+	}
+}
+
+func TestMinerRejectsCoordinatorDataset(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	minerConn := net.endpoint(t, "miner")
+	coord := net.endpoint(t, "coord")
+
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, labels, _ := testDatasetPayload(t, 10)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := miner.Run(ctx)
+		errCh <- err
+	}()
+	sendWire(t, ctx, coord, "miner", &wire{Kind: MsgSubmission, DataSlot: 1, Features: features, Labels: labels})
+	if err := <-errCh; !errors.Is(err, ErrViolation) {
+		t.Fatalf("miner err = %v, want ErrViolation", err)
+	}
+}
+
+func TestMinerRejectsAdaptorMapFromImpostor(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	minerConn := net.endpoint(t, "miner")
+	impostor := net.endpoint(t, "impostor")
+
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := miner.Run(ctx)
+		errCh <- err
+	}()
+	sendWire(t, ctx, impostor, "miner", &wire{Kind: MsgAdaptorMap, Slots: []SlotAdaptor{{}, {}, {}}})
+	if err := <-errCh; !errors.Is(err, ErrViolation) {
+		t.Fatalf("miner err = %v, want ErrViolation", err)
+	}
+}
+
+func TestMinerRejectsWrongSlotCount(t *testing.T) {
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	minerConn := net.endpoint(t, "miner")
+	coord := net.endpoint(t, "coord")
+
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := miner.Run(ctx)
+		errCh <- err
+	}()
+	sendWire(t, ctx, coord, "miner", &wire{Kind: MsgAdaptorMap, Slots: []SlotAdaptor{{SlotID: 1}}})
+	if err := <-errCh; !errors.Is(err, ErrViolation) {
+		t.Fatalf("miner err = %v, want ErrViolation", err)
+	}
+}
+
+func TestMinerRejectsTamperedAdaptor(t *testing.T) {
+	// An adaptor whose rotation is not orthogonal must be rejected before
+	// it distorts the unified dataset.
+	ctx := testCtx(t)
+	net := newTestNet(t)
+	minerConn := net.endpoint(t, "miner")
+	coord := net.endpoint(t, "coord")
+	p1 := net.endpoint(t, "p1")
+
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, labels, norm := testDatasetPayload(t, 11)
+	rng := rand.New(rand.NewSource(12))
+	gi, _ := perturb.NewRandom(rng, norm.Dim(), 0.05)
+	gt, _ := perturb.NewRandom(rng, norm.Dim(), 0)
+	adaptor, _ := perturb.NewAdaptor(gi, gt)
+	good, _ := adaptor.MarshalBinary()
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-8] ^= 0x7F // corrupt the rotation
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := miner.Run(ctx)
+		errCh <- err
+	}()
+	for slot := uint64(1); slot <= 3; slot++ {
+		sendWire(t, ctx, p1, "miner", &wire{Kind: MsgSubmission, DataSlot: slot, Features: features, Labels: labels})
+	}
+	sendWire(t, ctx, coord, "miner", &wire{Kind: MsgAdaptorMap, Slots: []SlotAdaptor{
+		{SlotID: 1, Adaptor: good}, {SlotID: 2, Adaptor: good}, {SlotID: 3, Adaptor: bad},
+	}})
+	if err := <-errCh; !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("miner err = %v, want ErrBadMessage", err)
+	}
+}

@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/transport"
+)
+
+// runFaultySession wires a 3-provider session where the first provider's
+// outgoing messages pass through a FaultConn, and returns the miner error.
+func runFaultySession(t *testing.T, dropEvery int) error {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	d, err := dataset.GenerateByName("Iris", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.Partition(norm, rng, 3, dataset.PartitionUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := transport.NewMemNetwork()
+	mk := func(name string) transport.Conn {
+		conn, err := net.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn
+	}
+	flakyInner := mk("p1")
+	flaky := transport.NewFaultConn(flakyInner, dropEvery)
+	p2Conn := mk("p2")
+	coordConn := mk("coord")
+	minerConn := mk("miner")
+
+	perts := make([]*perturb.Perturbation, 3)
+	for i := range perts {
+		p, err := perturb.NewRandom(rng, norm.Dim(), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perts[i] = p
+	}
+	// Each role runs on its own goroutine and therefore needs its own rng.
+	prov1, err := NewProvider(flaky, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: parts[0], Perturbation: perts[0],
+		Rng: rand.New(rand.NewSource(61)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov2, err := NewProvider(p2Conn, ProviderConfig{
+		Coordinator: "coord", Miner: "miner", Data: parts[1], Perturbation: perts[1],
+		Rng: rand.New(rand.NewSource(62)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(coordConn, CoordinatorConfig{
+		Providers: []string{"p1", "p2"}, Miner: "miner",
+		Data: parts[2], Perturbation: perts[2],
+		Rng: rand.New(rand.NewSource(63)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := NewMiner(minerConn, MinerConfig{Coordinator: "coord", Parties: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	go func() { _ = prov1.Run(ctx) }()
+	go func() { _ = prov2.Run(ctx) }()
+	go func() { _ = coord.Run(ctx) }()
+	_, err = miner.Run(ctx)
+	return err
+}
+
+func TestSessionSurvivesNoFaults(t *testing.T) {
+	if err := runFaultySession(t, 0); err != nil {
+		t.Fatalf("fault-free session failed: %v", err)
+	}
+}
+
+func TestSessionTimesOutCleanlyOnMessageLoss(t *testing.T) {
+	// Dropping the provider's first send (its dataset or adaptor) must
+	// starve the pipeline and surface as a clean ErrMissingPiece — never a
+	// hang (the ctx deadline bounds the test) or a partial unification.
+	err := runFaultySession(t, 1) // drop every send from p1
+	if err == nil {
+		t.Fatal("lossy session produced a unified dataset")
+	}
+	if !errors.Is(err, ErrMissingPiece) {
+		t.Fatalf("err = %v, want ErrMissingPiece", err)
+	}
+}
+
+func TestFaultConnCountsDrops(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	flaky := transport.NewFaultConn(a, 2)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if err := flaky.Send(ctx, "b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := flaky.Dropped(); got != 3 {
+		t.Fatalf("dropped %d, want 3", got)
+	}
+	// The 3 surviving messages are deliverable.
+	recvCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Recv(recvCtx); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if flaky.Name() != "a" {
+		t.Fatal("Name not delegated")
+	}
+}

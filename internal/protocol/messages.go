@@ -1,0 +1,176 @@
+// Package protocol implements the Space Adaptation Protocol (SAP) of the
+// paper's §3: k data providers (one doubling as coordinator) and a mining
+// service provider securely unify their locally optimized geometric
+// perturbations.
+//
+// Protocol flow:
+//
+//  1. The coordinator draws the target perturbation G_t (no noise
+//     component), a random permutation τ of the k providers, and a slot ID
+//     per provider; it redirects its own receiving slot to a random
+//     non-coordinator provider so the coordinator never holds a dataset.
+//  2. Each provider receives G_t plus its exchange assignment, perturbs its
+//     local data with its own optimized G_i (common noise level σ), and
+//     sends the result to its assigned receiver.
+//  3. Receivers forward every dataset they receive to the miner, reducing
+//     source identifiability at the miner to π_i = 1/(k−1).
+//  4. Each provider sends its space adaptor A_it = <R_t·R_i⁻¹,
+//     Ψ_t − R_t·R_i⁻¹·Ψ_i> to the coordinator, which maps adaptors to slots
+//     through τ and hands the mapping to the miner.
+//  5. The miner adapts every submission into the target space and merges
+//     them into the unified training set.
+//
+// All parties are semi-honest; transport frames are sealed by the transport
+// layer.
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+)
+
+// Errors returned by the protocol engine.
+var (
+	ErrBadMessage   = errors.New("protocol: malformed message")
+	ErrViolation    = errors.New("protocol: peer violated the protocol")
+	ErrBadConfig    = errors.New("protocol: bad configuration")
+	ErrTooFewParty  = errors.New("protocol: need at least 3 providers for anonymity")
+	ErrDimMismatch  = errors.New("protocol: dimension mismatch across parties")
+	ErrMissingPiece = errors.New("protocol: run ended before all pieces arrived")
+)
+
+// MsgKind tags wire messages.
+type MsgKind uint8
+
+// Message kinds, in rough protocol order.
+const (
+	MsgTarget MsgKind = iota + 1
+	MsgAssignment
+	MsgDataset
+	MsgSubmission
+	MsgAdaptor
+	MsgAdaptorMap
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgTarget:
+		return "target"
+	case MsgAssignment:
+		return "assignment"
+	case MsgDataset:
+		return "dataset"
+	case MsgSubmission:
+		return "submission"
+	case MsgAdaptor:
+		return "adaptor"
+	case MsgAdaptorMap:
+		return "adaptor-map"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// wire is the gob-encoded frame payload. Matrices, perturbations and
+// adaptors travel as their validated binary encodings.
+type wire struct {
+	Kind MsgKind
+
+	// MsgTarget
+	Target []byte // perturb.Perturbation encoding
+
+	// MsgAssignment
+	SlotID      uint64 // slot for the provider's own dataset
+	SendTo      string // receiver of the provider's dataset
+	ExpectCount int    // datasets the provider must forward to the miner
+
+	// MsgDataset / MsgSubmission
+	DataSlot uint64
+	Features []byte // matrix.Dense encoding, d×N
+	Labels   []int
+
+	// MsgAdaptor
+	Adaptor []byte // perturb.Adaptor encoding
+
+	// MsgAdaptorMap
+	Slots []SlotAdaptor
+}
+
+// SlotAdaptor pairs a dataset slot with the space adaptor that moves it into
+// the target space.
+type SlotAdaptor struct {
+	SlotID  uint64
+	Adaptor []byte
+}
+
+func encodeWire(w *wire) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("protocol: encode %v: %w", w.Kind, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWire(payload []byte) (*wire, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return &w, nil
+}
+
+// encodeDatasetPayload packs a labeled dataset for the wire.
+func encodeDatasetPayload(d *dataset.Dataset) (features []byte, labels []int, err error) {
+	m := d.FeaturesT()
+	features, err = m.MarshalBinary()
+	if err != nil {
+		return nil, nil, err
+	}
+	return features, append([]int(nil), d.Y...), nil
+}
+
+// decodeDatasetPayload unpacks and validates a labeled dataset.
+func decodeDatasetPayload(features []byte, labels []int, name string) (*dataset.Dataset, error) {
+	var m matrix.Dense
+	if err := m.UnmarshalBinary(features); err != nil {
+		return nil, fmt.Errorf("%w: features: %v", ErrBadMessage, err)
+	}
+	if m.Cols() != len(labels) {
+		return nil, fmt.Errorf("%w: %d records vs %d labels", ErrBadMessage, m.Cols(), len(labels))
+	}
+	for _, y := range labels {
+		if y < 0 {
+			return nil, fmt.Errorf("%w: negative label", ErrBadMessage)
+		}
+	}
+	x := make([][]float64, m.Cols())
+	for i := range x {
+		x[i] = m.Col(i)
+	}
+	return dataset.New(name, x, labels)
+}
+
+// decodeAdaptor unpacks and re-validates an adaptor from untrusted bytes.
+func decodeAdaptor(raw []byte) (*perturb.Adaptor, error) {
+	var a perturb.Adaptor
+	if err := a.UnmarshalBinary(raw); err != nil {
+		return nil, fmt.Errorf("%w: adaptor: %v", ErrBadMessage, err)
+	}
+	return &a, nil
+}
+
+// decodePerturbation unpacks and re-validates a perturbation.
+func decodePerturbation(raw []byte) (*perturb.Perturbation, error) {
+	var p perturb.Perturbation
+	if err := p.UnmarshalBinary(raw); err != nil {
+		return nil, fmt.Errorf("%w: perturbation: %v", ErrBadMessage, err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// MinerConfig configures the mining service provider.
+type MinerConfig struct {
+	// Coordinator is the coordinator's endpoint name (the only party
+	// allowed to send the adaptor map).
+	Coordinator string
+	// Parties is the total number of data providers k (including the
+	// coordinator); the miner expects exactly k submissions.
+	Parties int
+	// Audit optionally records protocol events (nil disables).
+	Audit *AuditLog
+}
+
+// MinerResult is what the miner ends a run with.
+type MinerResult struct {
+	// Unified is the merged training set in the target space.
+	Unified *dataset.Dataset
+	// Submissions records which transport endpoint forwarded each slot —
+	// all the miner ever learns about data provenance.
+	Submissions map[uint64]string
+}
+
+// Miner runs the mining service provider: collect k anonymous submissions
+// plus the coordinator's adaptor map, adapt every submission into the target
+// space and merge.
+type Miner struct {
+	cfg  MinerConfig
+	conn transport.Conn
+}
+
+// NewMiner validates the configuration and binds the miner to a transport
+// endpoint.
+func NewMiner(conn transport.Conn, cfg MinerConfig) (*Miner, error) {
+	if cfg.Parties < 3 {
+		return nil, fmt.Errorf("%w: k=%d", ErrTooFewParty, cfg.Parties)
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("%w: missing coordinator endpoint", ErrBadConfig)
+	}
+	return &Miner{cfg: cfg, conn: conn}, nil
+}
+
+// Run executes the miner's side of SAP and returns the unified dataset.
+func (m *Miner) Run(ctx context.Context) (*MinerResult, error) {
+	type submission struct {
+		data *dataset.Dataset
+		from string
+	}
+	subs := make(map[uint64]submission, m.cfg.Parties)
+	var slots []SlotAdaptor
+
+	for len(subs) < m.cfg.Parties || slots == nil {
+		env, err := m.conn.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: miner: %v", ErrMissingPiece, err)
+		}
+		w, err := decodeWire(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		switch w.Kind {
+		case MsgSubmission:
+			if env.From == m.cfg.Coordinator {
+				return nil, fmt.Errorf("%w: coordinator submitted a dataset", ErrViolation)
+			}
+			if _, dup := subs[w.DataSlot]; dup {
+				return nil, fmt.Errorf("%w: duplicate slot %d", ErrViolation, w.DataSlot)
+			}
+			d, err := decodeDatasetPayload(w.Features, w.Labels, fmt.Sprintf("slot-%d", w.DataSlot))
+			if err != nil {
+				return nil, fmt.Errorf("submission from %q: %w", env.From, err)
+			}
+			subs[w.DataSlot] = submission{data: d, from: env.From}
+			m.cfg.Audit.Record(m.conn.Name(), EventSubmissionReceived, env.From,
+				fmt.Sprintf("slot=%d records=%d", w.DataSlot, d.Len()))
+		case MsgAdaptorMap:
+			if env.From != m.cfg.Coordinator {
+				return nil, fmt.Errorf("%w: adaptor map from %q", ErrViolation, env.From)
+			}
+			if slots != nil {
+				return nil, fmt.Errorf("%w: duplicate adaptor map", ErrViolation)
+			}
+			if len(w.Slots) != m.cfg.Parties {
+				return nil, fmt.Errorf("%w: adaptor map covers %d slots, want %d",
+					ErrViolation, len(w.Slots), m.cfg.Parties)
+			}
+			slots = w.Slots
+		default:
+			return nil, fmt.Errorf("%w: unexpected %v from %q", ErrViolation, w.Kind, env.From)
+		}
+	}
+
+	// Adapt each submission into the target space and merge.
+	parts := make([]*dataset.Dataset, 0, m.cfg.Parties)
+	submissions := make(map[uint64]string, m.cfg.Parties)
+	for _, sa := range slots {
+		sub, ok := subs[sa.SlotID]
+		if !ok {
+			return nil, fmt.Errorf("%w: adaptor for unknown slot %d", ErrViolation, sa.SlotID)
+		}
+		adaptor, err := decodeAdaptor(sa.Adaptor)
+		if err != nil {
+			return nil, err
+		}
+		if adaptor.Dim() != sub.data.Dim() {
+			return nil, fmt.Errorf("%w: adaptor dim %d vs data dim %d",
+				ErrDimMismatch, adaptor.Dim(), sub.data.Dim())
+		}
+		adapted, err := adaptor.Apply(sub.data.FeaturesT())
+		if err != nil {
+			return nil, fmt.Errorf("protocol: adapt slot %d: %w", sa.SlotID, err)
+		}
+		out := sub.data.Clone()
+		if err := out.ReplaceFeaturesT(adapted); err != nil {
+			return nil, err
+		}
+		parts = append(parts, out)
+		submissions[sa.SlotID] = sub.from
+	}
+	unified, err := dataset.Merge(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: merge: %w", err)
+	}
+	unified.Name = "unified"
+	m.cfg.Audit.Record(m.conn.Name(), EventUnified, "", fmt.Sprintf("records=%d", unified.Len()))
+	return &MinerResult{Unified: unified, Submissions: submissions}, nil
+}

@@ -1,0 +1,231 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/transport"
+)
+
+// ProviderConfig configures a non-coordinator data provider DP_i.
+type ProviderConfig struct {
+	// Coordinator and Miner are the peer endpoint names.
+	Coordinator string
+	Miner       string
+	// Data is the provider's local (normalized) dataset.
+	Data *dataset.Dataset
+	// Perturbation is the locally optimized G_i.
+	Perturbation *perturb.Perturbation
+	// Rng draws the noise component Δ_i. Required.
+	Rng *rand.Rand
+	// Audit optionally records protocol events (nil disables).
+	Audit *AuditLog
+}
+
+// Provider runs one non-coordinator data provider.
+type Provider struct {
+	cfg  ProviderConfig
+	conn transport.Conn
+}
+
+// NewProvider validates the configuration and binds the provider to a
+// transport endpoint.
+func NewProvider(conn transport.Conn, cfg ProviderConfig) (*Provider, error) {
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("%w: provider needs an rng", ErrBadConfig)
+	}
+	if cfg.Data == nil || cfg.Data.Len() == 0 {
+		return nil, fmt.Errorf("%w: provider has no data", ErrBadConfig)
+	}
+	if cfg.Perturbation == nil {
+		return nil, fmt.Errorf("%w: provider has no local perturbation", ErrBadConfig)
+	}
+	if cfg.Perturbation.Dim() != cfg.Data.Dim() {
+		return nil, fmt.Errorf("%w: perturbation dim %d vs data dim %d",
+			ErrBadConfig, cfg.Perturbation.Dim(), cfg.Data.Dim())
+	}
+	if cfg.Coordinator == "" || cfg.Miner == "" {
+		return nil, fmt.Errorf("%w: missing coordinator or miner endpoint", ErrBadConfig)
+	}
+	return &Provider{cfg: cfg, conn: conn}, nil
+}
+
+// Run executes the provider's side of SAP: receive target + assignment,
+// ship the locally perturbed dataset to the assigned receiver, forward every
+// dataset received during the exchange to the miner, and send the space
+// adaptor to the coordinator.
+func (p *Provider) Run(ctx context.Context) error {
+	var (
+		target     *perturb.Perturbation
+		assigned   bool
+		slotID     uint64
+		sendTo     string
+		expect     int
+		sentData   bool
+		sentAdapt  bool
+		forwarded  int
+		pendingFwd []*wire // datasets that arrived before our assignment
+	)
+
+	done := func() bool {
+		return assigned && sentData && sentAdapt && forwarded == expect
+	}
+
+	for !done() {
+		env, err := p.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("%w: provider %s: %v", ErrMissingPiece, p.conn.Name(), err)
+		}
+		w, err := decodeWire(env.Payload)
+		if err != nil {
+			return err
+		}
+		switch w.Kind {
+		case MsgTarget:
+			if env.From != p.cfg.Coordinator {
+				return fmt.Errorf("%w: target from non-coordinator %q", ErrViolation, env.From)
+			}
+			if assigned {
+				return fmt.Errorf("%w: duplicate assignment", ErrViolation)
+			}
+			target, err = decodePerturbation(w.Target)
+			if err != nil {
+				return err
+			}
+			if target.Dim() != p.cfg.Data.Dim() {
+				return fmt.Errorf("%w: target dim %d vs local dim %d",
+					ErrDimMismatch, target.Dim(), p.cfg.Data.Dim())
+			}
+			if target.NoiseSigma != 0 {
+				return fmt.Errorf("%w: target perturbation carries noise", ErrViolation)
+			}
+			slotID, sendTo, expect = w.SlotID, w.SendTo, w.ExpectCount
+			if sendTo == p.cfg.Coordinator {
+				// The redirect exists precisely so this never happens.
+				return fmt.Errorf("%w: assigned to send data to the coordinator", ErrViolation)
+			}
+			if expect < 0 || expect > 2 {
+				return fmt.Errorf("%w: implausible forward count %d", ErrViolation, expect)
+			}
+			if len(pendingFwd) > expect {
+				return fmt.Errorf("%w: %d datasets arrived for a quota of %d", ErrViolation, len(pendingFwd), expect)
+			}
+			assigned = true
+
+			if err := p.sendOwnData(ctx, slotID, sendTo); err != nil {
+				return err
+			}
+			sentData = true
+			if err := p.sendAdaptor(ctx, target); err != nil {
+				return err
+			}
+			sentAdapt = true
+			for _, q := range pendingFwd {
+				if err := p.forward(ctx, q); err != nil {
+					return err
+				}
+				forwarded++
+			}
+			pendingFwd = nil
+
+		case MsgDataset:
+			if assigned && forwarded+len(pendingFwd) >= expect {
+				p.cfg.Audit.Record(p.conn.Name(), EventViolationDetected, env.From, "dataset beyond quota")
+				return fmt.Errorf("%w: more datasets than announced", ErrViolation)
+			}
+			// Validate before forwarding; a malformed dataset must not
+			// reach the miner attributed to us.
+			if _, err := decodeDatasetPayload(w.Features, w.Labels, "exchange"); err != nil {
+				return fmt.Errorf("dataset from %q: %w", env.From, err)
+			}
+			p.cfg.Audit.Record(p.conn.Name(), EventDatasetReceived, env.From, fmt.Sprintf("slot=%d", w.DataSlot))
+			if !assigned {
+				pendingFwd = append(pendingFwd, w)
+				continue
+			}
+			if err := p.forward(ctx, w); err != nil {
+				return err
+			}
+			forwarded++
+
+		default:
+			return fmt.Errorf("%w: unexpected %v from %q", ErrViolation, w.Kind, env.From)
+		}
+	}
+	return nil
+}
+
+// sendOwnData perturbs the local data with G_i and ships it to the assigned
+// receiver labelled with the provider's slot.
+func (p *Provider) sendOwnData(ctx context.Context, slotID uint64, sendTo string) error {
+	y, _, err := p.cfg.Perturbation.Apply(p.cfg.Rng, p.cfg.Data.FeaturesT())
+	if err != nil {
+		return fmt.Errorf("protocol: perturb local data: %w", err)
+	}
+	out := p.cfg.Data.Clone()
+	if err := out.ReplaceFeaturesT(y); err != nil {
+		return err
+	}
+	features, labels, err := encodeDatasetPayload(out)
+	if err != nil {
+		return err
+	}
+	payload, err := encodeWire(&wire{
+		Kind:     MsgDataset,
+		DataSlot: slotID,
+		Features: features,
+		Labels:   labels,
+	})
+	if err != nil {
+		return err
+	}
+	if err := p.conn.Send(ctx, sendTo, payload); err != nil {
+		return fmt.Errorf("protocol: dataset to %s: %w", sendTo, err)
+	}
+	p.cfg.Audit.Record(p.conn.Name(), EventDatasetSent, sendTo, fmt.Sprintf("records=%d", p.cfg.Data.Len()))
+	return nil
+}
+
+// sendAdaptor computes A_it and ships it to the coordinator.
+func (p *Provider) sendAdaptor(ctx context.Context, target *perturb.Perturbation) error {
+	adaptor, err := perturb.NewAdaptor(p.cfg.Perturbation, target)
+	if err != nil {
+		return fmt.Errorf("protocol: adaptor: %w", err)
+	}
+	raw, err := adaptor.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	payload, err := encodeWire(&wire{Kind: MsgAdaptor, Adaptor: raw})
+	if err != nil {
+		return err
+	}
+	if err := p.conn.Send(ctx, p.cfg.Coordinator, payload); err != nil {
+		return fmt.Errorf("protocol: adaptor to coordinator: %w", err)
+	}
+	p.cfg.Audit.Record(p.conn.Name(), EventAdaptorSent, p.cfg.Coordinator, "")
+	return nil
+}
+
+// forward re-labels an exchanged dataset as a submission and ships it to the
+// miner. The submission carries only the forwarder's transport identity, so
+// the miner cannot tell which provider originated the data.
+func (p *Provider) forward(ctx context.Context, w *wire) error {
+	payload, err := encodeWire(&wire{
+		Kind:     MsgSubmission,
+		DataSlot: w.DataSlot,
+		Features: w.Features,
+		Labels:   w.Labels,
+	})
+	if err != nil {
+		return err
+	}
+	if err := p.conn.Send(ctx, p.cfg.Miner, payload); err != nil {
+		return fmt.Errorf("protocol: submission to miner: %w", err)
+	}
+	p.cfg.Audit.Record(p.conn.Name(), EventDatasetForwarded, p.cfg.Miner, fmt.Sprintf("slot=%d", w.DataSlot))
+	return nil
+}

@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+)
+
+// RiskEq1 is the paper's Equation 1: the risk of privacy breach for DP_i
+// under a unified perturbation seen with source identifiability π:
+//
+//	R^G_i = π · (b_i − s_i·ρ_i)/b_i = π · (1 − s_i·ρ_i/b_i)
+//
+// where ρ_i is the locally optimized guarantee, b_i its upper bound, and
+// s_i = ρ^G_i/ρ_i the satisfaction level of the unified perturbation.
+func RiskEq1(pi, satisfaction, rho, bound float64) (float64, error) {
+	if err := checkRiskInputs(satisfaction, rho, bound); err != nil {
+		return 0, err
+	}
+	if pi < 0 || pi > 1 {
+		return 0, fmt.Errorf("%w: identifiability π=%v out of [0,1]", ErrBadConfig, pi)
+	}
+	return pi * (1 - satisfaction*rho/bound), nil
+}
+
+// RiskSAP is the paper's Equation 2: the overall risk of privacy breach for
+// DP_i under SAP with k parties, from the view of both the receiving data
+// provider (which knows the source but sees only the locally optimized
+// perturbation: (b−ρ)/b) and the miner (which sees the unified perturbation
+// with identifiability 1/(k−1)):
+//
+//	R^SAP_i = max{ (b_i−ρ_i)/b_i, (b_i − s_i·ρ_i)/b_i · 1/(k−1) }
+func RiskSAP(k int, satisfaction, rho, bound float64) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("%w: k=%d", ErrTooFewParty, k)
+	}
+	if err := checkRiskInputs(satisfaction, rho, bound); err != nil {
+		return 0, err
+	}
+	providerView := (bound - rho) / bound
+	minerView := (1 - satisfaction*rho/bound) / float64(k-1)
+	return math.Max(providerView, minerView), nil
+}
+
+// Identifiability is the miner-side source identifiability under SAP's
+// random exchange: π_i = 1/(k−1).
+func Identifiability(k int) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("%w: k=%d", ErrTooFewParty, k)
+	}
+	return 1 / float64(k-1), nil
+}
+
+// MinPartiesRiskThreshold is the Figure-4 bound as derived in DESIGN.md §5:
+// the minimum k such that the miner-side risk term stays below the risk
+// budget 1−s0 of a party that demands protection level s0 and has
+// optimality rate o = ρ/b:
+//
+//	(1 − s0·o)/(k−1) ≤ 1 − s0  ⇒  k ≥ 1 + (1 − s0·o)/(1 − s0)
+//
+// The bound grows like 1/(1−s0) and is larger for smaller optimality rates,
+// matching the published curve shapes.
+func MinPartiesRiskThreshold(s0, optimality float64) (int, error) {
+	if err := checkRate("s0", s0); err != nil {
+		return 0, err
+	}
+	if err := checkRate("optimality rate", optimality); err != nil {
+		return 0, err
+	}
+	if s0 >= 1 {
+		return 0, fmt.Errorf("%w: s0=1 needs unbounded parties", ErrBadConfig)
+	}
+	k := 1 + (1-s0*optimality)/(1-s0)
+	return int(math.Ceil(k - 1e-12)), nil
+}
+
+// MinPartiesNoWorseThanSolo is the alternative bound: the minimum k such
+// that joining SAP carries no more risk than submitting the locally
+// optimized data alone (R^SAP ≤ 1−o):
+//
+//	(1 − s0·o)/(k−1) ≤ 1 − o  ⇒  k ≥ 1 + (1 − s0·o)/(1 − o)
+//
+// Decreasing in s0; EXPERIMENTS.md contrasts it with the risk-threshold
+// bound above.
+func MinPartiesNoWorseThanSolo(s0, optimality float64) (int, error) {
+	if err := checkRate("s0", s0); err != nil {
+		return 0, err
+	}
+	if err := checkRate("optimality rate", optimality); err != nil {
+		return 0, err
+	}
+	if optimality >= 1 {
+		// A perfectly optimal local perturbation has zero solo risk; any k
+		// satisfies the bound only in the limit.
+		return 0, fmt.Errorf("%w: optimality rate 1 makes the solo risk zero", ErrBadConfig)
+	}
+	k := 1 + (1-s0*optimality)/(1-optimality)
+	return int(math.Ceil(k - 1e-12)), nil
+}
+
+func checkRiskInputs(satisfaction, rho, bound float64) error {
+	if bound <= 0 {
+		return fmt.Errorf("%w: bound b=%v", ErrBadConfig, bound)
+	}
+	if rho < 0 || rho > bound {
+		return fmt.Errorf("%w: ρ=%v outside [0, b=%v]", ErrBadConfig, rho, bound)
+	}
+	if satisfaction < 0 {
+		return fmt.Errorf("%w: satisfaction s=%v", ErrBadConfig, satisfaction)
+	}
+	return nil
+}
+
+func checkRate(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%w: %s=%v out of [0,1]", ErrBadConfig, name, v)
+	}
+	return nil
+}

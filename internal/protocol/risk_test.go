@@ -1,0 +1,201 @@
+package protocol
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRiskEq1(t *testing.T) {
+	tests := []struct {
+		name                string
+		pi, s, rho, b, want float64
+	}{
+		{"full identifiability, perfect satisfaction at bound", 1, 1, 1, 1, 0},
+		{"no identifiability", 0, 1, 0.5, 1, 0},
+		{"paper form", 0.25, 0.9, 0.8, 1, 0.25 * (1 - 0.9*0.8)},
+		{"bound larger than rho", 1, 1, 0.5, 2, 1 - 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RiskEq1(tt.pi, tt.s, tt.rho, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("RiskEq1 = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRiskEq1Validation(t *testing.T) {
+	if _, err := RiskEq1(2, 1, 0.5, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("π>1 err = %v", err)
+	}
+	if _, err := RiskEq1(0.5, 1, 2, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("ρ>b err = %v", err)
+	}
+	if _, err := RiskEq1(0.5, 1, 0.5, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("b=0 err = %v", err)
+	}
+	if _, err := RiskEq1(0.5, -1, 0.5, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("s<0 err = %v", err)
+	}
+}
+
+func TestRiskSAPTwoTerms(t *testing.T) {
+	// Small k: the miner-side term dominates; large k: the provider-side
+	// term does.
+	const s, rho, b = 0.9, 0.8, 1.0
+	small, err := RiskSAP(2, s, rho, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSmall := (1 - s*rho) / 1 // k−1 = 1
+	if math.Abs(small-wantSmall) > 1e-12 {
+		t.Errorf("k=2 risk = %v, want %v", small, wantSmall)
+	}
+	big, err := RiskSAP(100, s, rho, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBig := (b - rho) / b
+	if math.Abs(big-wantBig) > 1e-12 {
+		t.Errorf("k=100 risk = %v, want %v (provider-side term)", big, wantBig)
+	}
+	if _, err := RiskSAP(1, s, rho, b); !errors.Is(err, ErrTooFewParty) {
+		t.Errorf("k=1 err = %v", err)
+	}
+}
+
+func TestRiskSAPMonotoneInK(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 2; k <= 30; k++ {
+		r, err := RiskSAP(k, 0.95, 0.7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev+1e-12 {
+			t.Fatalf("risk increased at k=%d: %v > %v", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestIdentifiability(t *testing.T) {
+	pi, err := Identifiability(5)
+	if err != nil || pi != 0.25 {
+		t.Fatalf("Identifiability(5) = %v, %v; want 0.25", pi, err)
+	}
+	if _, err := Identifiability(1); !errors.Is(err, ErrTooFewParty) {
+		t.Fatalf("k=1 err = %v", err)
+	}
+}
+
+func TestMinPartiesRiskThreshold(t *testing.T) {
+	// Spot-check against the DESIGN.md §5 closed form.
+	tests := []struct {
+		s0, o float64
+		want  int
+	}{
+		{0.90, 0.89, 3},  // 1 + 0.199/0.1 = 2.99
+		{0.99, 0.89, 13}, // 1 + 0.1189/0.01 = 12.89
+		{0.99, 0.95, 7},  // 1 + 0.0595/0.01 = 6.95
+		{0.99, 0.98, 4},  // 1 + 0.0298/0.01 = 3.98
+	}
+	for _, tt := range tests {
+		got, err := MinPartiesRiskThreshold(tt.s0, tt.o)
+		if err != nil {
+			t.Fatalf("s0=%v o=%v: %v", tt.s0, tt.o, err)
+		}
+		if got != tt.want {
+			t.Errorf("MinParties(%v, %v) = %d, want %d", tt.s0, tt.o, got, tt.want)
+		}
+	}
+	if _, err := MinPartiesRiskThreshold(1, 0.9); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("s0=1 err = %v", err)
+	}
+	if _, err := MinPartiesRiskThreshold(0.5, 2); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("o=2 err = %v", err)
+	}
+}
+
+func TestMinPartiesRiskThresholdShape(t *testing.T) {
+	// Figure 4's qualitative shape: increasing in s0, larger for lower
+	// optimality rates.
+	prev := 0
+	for _, s0 := range []float64{0.90, 0.92, 0.94, 0.96, 0.98, 0.99} {
+		k, err := MinPartiesRiskThreshold(s0, 0.89)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < prev {
+			t.Fatalf("bound decreased at s0=%v", s0)
+		}
+		prev = k
+	}
+	kLow, _ := MinPartiesRiskThreshold(0.99, 0.89)
+	kHigh, _ := MinPartiesRiskThreshold(0.99, 0.98)
+	if kLow <= kHigh {
+		t.Errorf("lower optimality should need more parties: o=0.89→%d vs o=0.98→%d", kLow, kHigh)
+	}
+}
+
+func TestMinPartiesNoWorseThanSolo(t *testing.T) {
+	got, err := MinPartiesNoWorseThanSolo(0.90, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + (1−0.855)/(0.05) = 3.9 → 4
+	if got != 4 {
+		t.Errorf("bound = %d, want 4", got)
+	}
+	if _, err := MinPartiesNoWorseThanSolo(0.9, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("o=1 err = %v", err)
+	}
+}
+
+func TestPropRiskSAPBounds(t *testing.T) {
+	// Eq. 2 always lands in [0, 1] for valid inputs.
+	f := func(rawK uint8, rawS, rawRho uint16) bool {
+		k := 2 + int(rawK)%30
+		s := float64(rawS%1000) / 1000
+		rho := float64(rawRho%1000) / 1000
+		r, err := RiskSAP(k, s, rho, 1)
+		if err != nil {
+			return false
+		}
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEq1MatchesEq2MinerTerm(t *testing.T) {
+	// Eq. 2's miner-side term is exactly Eq. 1 with π = 1/(k−1).
+	f := func(rawK uint8, rawS, rawRho uint16) bool {
+		k := 2 + int(rawK)%30
+		s := float64(rawS%1000) / 1000
+		rho := float64(rawRho%1000) / 1000
+		pi, err := Identifiability(k)
+		if err != nil {
+			return false
+		}
+		eq1, err := RiskEq1(pi, s, rho, 1)
+		if err != nil {
+			return false
+		}
+		eq2, err := RiskSAP(k, s, rho, 1)
+		if err != nil {
+			return false
+		}
+		// Eq2 = max(provider term, eq1) ≥ eq1.
+		return eq2 >= eq1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/transport"
+)
+
+// ErrServiceClosed is returned by a classification client when the service
+// answered with an error or the link failed.
+var ErrServiceClosed = errors.New("protocol: mining service unavailable")
+
+// serviceWire is the request/response frame of the post-unification mining
+// service. It is separate from the SAP wire type because the service runs
+// after the protocol completes, potentially for the contract's lifetime.
+type serviceWire struct {
+	// ID correlates responses with requests.
+	ID uint64
+	// Features is a single query record, already transformed into the
+	// target space by the caller (providers know G_t; the miner never
+	// sees clear data).
+	Features []float64
+	// Label is the predicted class (response only).
+	Label int
+	// Err is a human-readable failure reason (response only).
+	Err string
+	// Response discriminates request from response frames.
+	Response bool
+}
+
+func encodeServiceWire(w *serviceWire) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("protocol: encode service frame: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeServiceWire(payload []byte) (*serviceWire, error) {
+	var w serviceWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return &w, nil
+}
+
+// MiningService is the miner-side classification endpoint: a model trained
+// on the unified perturbed dataset, answering queries that arrive in the
+// target space. This realizes the paper's service-oriented framing — the
+// service provider "offers their data mining services to the contracted
+// parties".
+type MiningService struct {
+	conn  transport.Conn
+	model classify.Classifier
+	dim   int
+}
+
+// NewMiningService trains the given classifier on the miner's unified
+// dataset and binds the service to a transport endpoint.
+func NewMiningService(conn transport.Conn, result *MinerResult, model classify.Classifier) (*MiningService, error) {
+	if result == nil || result.Unified == nil || result.Unified.Len() == 0 {
+		return nil, fmt.Errorf("%w: no unified dataset", ErrBadConfig)
+	}
+	if model == nil {
+		return nil, fmt.Errorf("%w: nil classifier", ErrBadConfig)
+	}
+	if err := model.Fit(result.Unified); err != nil {
+		return nil, fmt.Errorf("protocol: train service model: %w", err)
+	}
+	return &MiningService{conn: conn, model: model, dim: result.Unified.Dim()}, nil
+}
+
+// Serve answers classification requests until ctx is cancelled or the
+// transport closes. Malformed frames are answered with an error response
+// rather than terminating the service.
+func (s *MiningService) Serve(ctx context.Context) error {
+	for {
+		env, err := s.conn.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		req, err := decodeServiceWire(env.Payload)
+		if err != nil || req.Response {
+			continue // not a service request; drop
+		}
+		resp := &serviceWire{ID: req.ID, Response: true}
+		if len(req.Features) != s.dim {
+			resp.Err = fmt.Sprintf("query has %d features, want %d", len(req.Features), s.dim)
+		} else if label, err := s.model.Predict(req.Features); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Label = label
+		}
+		payload, err := encodeServiceWire(resp)
+		if err != nil {
+			return err
+		}
+		if err := s.conn.Send(ctx, env.From, payload); err != nil {
+			// The requester may have gone away; keep serving others.
+			continue
+		}
+	}
+}
+
+// ServiceClient is the provider-side handle for querying the mining
+// service. Queries must already be in the target space (providers hold
+// G_t from the SAP run and apply it noiselessly to each record).
+type ServiceClient struct {
+	conn   transport.Conn
+	miner  string
+	nextID uint64
+}
+
+// NewServiceClient binds a client to a transport endpoint.
+func NewServiceClient(conn transport.Conn, miner string) (*ServiceClient, error) {
+	if miner == "" {
+		return nil, fmt.Errorf("%w: missing miner endpoint", ErrBadConfig)
+	}
+	return &ServiceClient{conn: conn, miner: miner}, nil
+}
+
+// Classify sends one target-space record and blocks for its label.
+func (c *ServiceClient) Classify(ctx context.Context, features []float64) (int, error) {
+	c.nextID++
+	id := c.nextID
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Features: features})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+	}
+	for {
+		env, err := c.conn.Recv(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+		}
+		resp, err := decodeServiceWire(env.Payload)
+		if err != nil {
+			continue // unrelated traffic
+		}
+		if !resp.Response || resp.ID != id {
+			continue // stale or foreign frame
+		}
+		if resp.Err != "" {
+			return 0, fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
+		}
+		return resp.Label, nil
+	}
+}

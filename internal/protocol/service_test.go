@@ -1,0 +1,183 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// runServiceSession runs a SAP session and stands up the mining service on
+// top of its result, returning a ready client and the target-space test
+// data.
+func runServiceSession(t *testing.T) (*ServiceClient, *dataset.Dataset, func()) {
+	t.Helper()
+	parties, _ := buildParties(t, 4, 41, 0.05)
+	sess, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := transport.NewMemNetwork()
+	minerConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, err := net.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewMiningService(minerConn, &MinerResult{Unified: sess.Unified}, classify.NewKNN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := svc.Serve(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	client, err := NewServiceClient(clientConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build target-space queries from one party's data.
+	query := parties[0].Data.Clone()
+	yq, err := sess.Target.ApplyNoiseless(parties[0].Data.FeaturesT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.ReplaceFeaturesT(yq); err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		cancel()
+		<-done
+		minerConn.Close()
+		clientConn.Close()
+	}
+	return client, query, cleanup
+}
+
+func TestMiningServiceClassifies(t *testing.T) {
+	client, query, cleanup := runServiceSession(t)
+	defer cleanup()
+	ctx := testCtx(t)
+
+	correct := 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		label, err := client.Classify(ctx, query.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == query.Y[i] {
+			correct++
+		}
+	}
+	// The training set contains these very records (in target space), so
+	// KNN should classify the overwhelming majority correctly.
+	if correct < n*7/10 {
+		t.Fatalf("service classified %d/%d correctly", correct, n)
+	}
+}
+
+func TestMiningServiceRejectsBadQuery(t *testing.T) {
+	client, _, cleanup := runServiceSession(t)
+	defer cleanup()
+	ctx := testCtx(t)
+
+	if _, err := client.Classify(ctx, []float64{1}); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("short query err = %v, want ErrServiceClosed wrapping dimension error", err)
+	}
+	// The service must keep serving after a bad request.
+	_, query, cleanup2 := runServiceSession(t)
+	defer cleanup2()
+	if _, err := client.Classify(ctx, query.X[0]); err != nil {
+		// Different session's service; just ensure the original still runs.
+		t.Logf("cross-session query failed as expected: %v", err)
+	}
+}
+
+func TestMiningServiceConfigValidation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	conn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := NewMiningService(conn, nil, classify.NewKNN(1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil result err = %v", err)
+	}
+	if _, err := NewMiningService(conn, &MinerResult{}, classify.NewKNN(1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty unified err = %v", err)
+	}
+	d, _ := dataset.New("d", [][]float64{{1}, {2}}, []int{0, 1})
+	if _, err := NewMiningService(conn, &MinerResult{Unified: d}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil model err = %v", err)
+	}
+	if _, err := NewServiceClient(conn, ""); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty miner err = %v", err)
+	}
+}
+
+func TestMiningServiceContextCancel(t *testing.T) {
+	net := transport.NewMemNetwork()
+	conn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	d, _ := dataset.New("d", [][]float64{{0}, {1}, {0.1}, {0.9}}, []int{0, 1, 0, 1})
+	svc, err := NewMiningService(conn, &MinerResult{Unified: d}, classify.NewKNN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ctx) }()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve after cancel = %v, want nil", err)
+	}
+}
+
+func TestServiceWireGarbageIgnored(t *testing.T) {
+	// Garbage frames must not kill the service loop.
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	d, _ := dataset.New("d", [][]float64{{0}, {1}, {0.1}, {0.9}}, []int{0, 1, 0, 1})
+	svc, err := NewMiningService(svcConn, &MinerResult{Unified: d}, classify.NewKNN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = svc.Serve(ctx)
+	}()
+	if err := cliConn.Send(ctx, "svc", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, err := client.Classify(testCtx(t), []float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Fatalf("label = %d, want 1", label)
+	}
+}

@@ -1,0 +1,180 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/transport"
+)
+
+// PartyInput is one data provider's local state entering a SAP run.
+type PartyInput struct {
+	// Name is the party's transport endpoint name.
+	Name string
+	// Data is the party's local normalized dataset.
+	Data *dataset.Dataset
+	// Perturbation is the party's locally optimized G_i.
+	Perturbation *perturb.Perturbation
+}
+
+// SessionConfig describes a full SAP run.
+type SessionConfig struct {
+	// Parties lists all k data providers. The last entry acts as the
+	// coordinator DP_k (matching the paper's "without loss of generality").
+	Parties []PartyInput
+	// MinerName is the mining service provider's endpoint name (default
+	// "miner").
+	MinerName string
+	// Seed drives all protocol randomness (target selection, permutation,
+	// redirect, per-party noise draws).
+	Seed int64
+	// Audit optionally records every role's protocol events into one
+	// shared log (nil disables).
+	Audit *AuditLog
+}
+
+// SessionResult is the outcome of a local SAP run.
+type SessionResult struct {
+	// Unified is the miner's merged training set in the target space.
+	Unified *dataset.Dataset
+	// Target is the unified target perturbation G_t.
+	Target *perturb.Perturbation
+	// Plan is the coordinator's exchange plan (exposed for audit and
+	// tests; in a real deployment it never leaves the coordinator).
+	Plan *ExchangePlan
+	// Submissions maps slot IDs to the forwarding endpoint the miner saw.
+	Submissions map[uint64]string
+}
+
+// RunLocal executes a complete SAP session over an in-memory network, one
+// goroutine per party, and returns the miner's result. It is the backbone
+// of the experiment harness and of the public facade.
+func RunLocal(ctx context.Context, cfg SessionConfig) (*SessionResult, error) {
+	k := len(cfg.Parties)
+	if k < 3 {
+		return nil, fmt.Errorf("%w: k=%d", ErrTooFewParty, k)
+	}
+	minerName := cfg.MinerName
+	if minerName == "" {
+		minerName = "miner"
+	}
+	names := make(map[string]bool, k+1)
+	names[minerName] = true
+	dim := -1
+	for _, p := range cfg.Parties {
+		if p.Name == "" || names[p.Name] {
+			return nil, fmt.Errorf("%w: duplicate or empty party name %q", ErrBadConfig, p.Name)
+		}
+		names[p.Name] = true
+		if p.Data == nil || p.Data.Len() == 0 {
+			return nil, fmt.Errorf("%w: party %q has no data", ErrBadConfig, p.Name)
+		}
+		if dim == -1 {
+			dim = p.Data.Dim()
+		} else if p.Data.Dim() != dim {
+			return nil, fmt.Errorf("%w: party %q has dim %d, want %d", ErrDimMismatch, p.Name, p.Data.Dim(), dim)
+		}
+	}
+
+	net := transport.NewMemNetwork()
+	conns := make(map[string]transport.Conn, k+1)
+	for _, p := range cfg.Parties {
+		conn, err := net.Endpoint(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		conns[p.Name] = conn
+	}
+	minerConn, err := net.Endpoint(minerName)
+	if err != nil {
+		return nil, err
+	}
+	defer minerConn.Close()
+
+	coordInput := cfg.Parties[k-1]
+	providerNames := make([]string, 0, k-1)
+	for _, p := range cfg.Parties[:k-1] {
+		providerNames = append(providerNames, p.Name)
+	}
+
+	seedBase := cfg.Seed
+	coord, err := NewCoordinator(conns[coordInput.Name], CoordinatorConfig{
+		Providers:    providerNames,
+		Miner:        minerName,
+		Data:         coordInput.Data,
+		Perturbation: coordInput.Perturbation,
+		Rng:          rand.New(rand.NewSource(seedBase)),
+		Audit:        cfg.Audit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	miner, err := NewMiner(minerConn, MinerConfig{
+		Coordinator: coordInput.Name,
+		Parties:     k,
+		Audit:       cfg.Audit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	providers := make([]*Provider, 0, k-1)
+	for i, p := range cfg.Parties[:k-1] {
+		prov, err := NewProvider(conns[p.Name], ProviderConfig{
+			Coordinator:  coordInput.Name,
+			Miner:        minerName,
+			Data:         p.Data,
+			Perturbation: p.Perturbation,
+			Rng:          rand.New(rand.NewSource(seedBase + int64(i) + 1)),
+			Audit:        cfg.Audit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		providers = append(providers, prov)
+	}
+
+	// Run every role concurrently; collect the first error.
+	errCh := make(chan error, k)
+	var wg sync.WaitGroup
+	for _, prov := range providers {
+		wg.Add(1)
+		go func(p *Provider) {
+			defer wg.Done()
+			if err := p.Run(ctx); err != nil {
+				errCh <- err
+			}
+		}(prov)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := coord.Run(ctx); err != nil {
+			errCh <- err
+		}
+	}()
+
+	result, minerErr := miner.Run(ctx)
+	wg.Wait()
+	close(errCh)
+	if minerErr != nil {
+		return nil, minerErr
+	}
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	plan := coord.Plan()
+	return &SessionResult{
+		Unified:     result.Unified,
+		Target:      plan.Target,
+		Plan:        plan,
+		Submissions: result.Submissions,
+	}, nil
+}

@@ -1,0 +1,441 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+)
+
+// buildParties partitions a generated dataset across k parties, each with a
+// random local perturbation (skipping the optimizer for speed; the protocol
+// is agnostic to how G_i was chosen).
+func buildParties(t *testing.T, k int, seed int64, sigma float64) ([]PartyInput, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, err := dataset.GenerateByName("Diabetes", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.Partition(norm, rng, k, dataset.PartitionUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties := make([]PartyInput, 0, k)
+	for i, part := range parts {
+		p, err := perturb.NewRandom(rng, norm.Dim(), sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parties = append(parties, PartyInput{
+			Name:         partyName(i),
+			Data:         part,
+			Perturbation: p,
+		})
+	}
+	return parties, norm
+}
+
+func partyName(i int) string { return string(rune('A'+i)) + "-corp" }
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRunLocalUnifiesAllData(t *testing.T) {
+	const k = 5
+	parties, pool := buildParties(t, k, 1, 0.05)
+	res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unified.Len() != pool.Len() {
+		t.Fatalf("unified has %d records, want %d", res.Unified.Len(), pool.Len())
+	}
+	if res.Unified.Dim() != pool.Dim() {
+		t.Fatalf("unified dim %d, want %d", res.Unified.Dim(), pool.Dim())
+	}
+	if len(res.Submissions) != k {
+		t.Fatalf("%d submissions, want %d", len(res.Submissions), k)
+	}
+}
+
+func TestRunLocalUnifiedEqualsTargetSpace(t *testing.T) {
+	// The unified data must equal G_t applied to each party's original
+	// records, up to the inherited (rotated) noise. With σ=0 the match is
+	// exact — the core §3 guarantee, end to end through the protocol.
+	const k = 4
+	parties, _ := buildParties(t, k, 2, 0)
+	res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the expected unified multiset: G_t(X_i) for every party.
+	want := make([]*dataset.Dataset, 0, k)
+	for _, p := range parties {
+		y, err := res.Target.ApplyNoiseless(p.Data.FeaturesT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.Data.Clone()
+		if err := c.ReplaceFeaturesT(y); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, c)
+	}
+	expected, err := dataset.Merge(want...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare as multisets of rows (order depends on slot iteration).
+	if !sameRowMultiset(res.Unified, expected, 1e-8) {
+		t.Fatal("unified dataset is not G_t applied to the pooled originals")
+	}
+}
+
+func TestRunLocalNoiseInherited(t *testing.T) {
+	// With σ>0 the unified rows differ from G_t(X) by the rotated noise:
+	// per-record distance should be ~σ·√d, never zero, never huge.
+	const k = 4
+	const sigma = 0.1
+	parties, _ := buildParties(t, k, 3, sigma)
+	res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*dataset.Dataset, 0, k)
+	for _, p := range parties {
+		y, _ := res.Target.ApplyNoiseless(p.Data.FeaturesT())
+		c := p.Data.Clone()
+		if err := c.ReplaceFeaturesT(y); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, c)
+	}
+	expected, _ := dataset.Merge(want...)
+	d := float64(res.Unified.Dim())
+	// Mean nearest-row distance should be close to E‖Δ‖ ≈ σ√d.
+	meanDist := meanNearestRowDistance(res.Unified, expected)
+	if meanDist < sigma*math.Sqrt(d)*0.5 || meanDist > sigma*math.Sqrt(d)*1.5 {
+		t.Fatalf("mean noise distance %v, want ≈ %v", meanDist, sigma*math.Sqrt(d))
+	}
+}
+
+func TestRunLocalCoordinatorNeverReceivesData(t *testing.T) {
+	const k = 5
+	parties, _ := buildParties(t, k, 4, 0.05)
+	res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordName := parties[k-1].Name
+	for sender, receiver := range res.Plan.Receivers {
+		if receiver == coordName {
+			t.Fatalf("plan routes %s's dataset to the coordinator", sender)
+		}
+	}
+	for slot, forwarder := range res.Submissions {
+		if forwarder == coordName {
+			t.Fatalf("slot %d was forwarded by the coordinator", slot)
+		}
+	}
+}
+
+func TestRunLocalPermutationIsValid(t *testing.T) {
+	const k = 6
+	parties, _ := buildParties(t, k, 5, 0.05)
+	res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Plan
+	if len(plan.Perm) != k {
+		t.Fatalf("perm length %d, want %d", len(plan.Perm), k)
+	}
+	seen := make([]bool, k)
+	for _, v := range plan.Perm {
+		if v < 0 || v >= k || seen[v] {
+			t.Fatalf("perm %v is not a permutation", plan.Perm)
+		}
+		seen[v] = true
+	}
+	if plan.Redirect < 0 || plan.Redirect >= k-1 {
+		t.Fatalf("redirect %d outside non-coordinator range", plan.Redirect)
+	}
+	// Every party must have a receiver and a slot.
+	if len(plan.Receivers) != k || len(plan.Slots) != k {
+		t.Fatalf("plan covers %d receivers / %d slots, want %d", len(plan.Receivers), len(plan.Slots), k)
+	}
+}
+
+func TestRunLocalIdentifiability(t *testing.T) {
+	// Over many runs, each party's dataset should be forwarded by many
+	// distinct non-coordinator providers — the mechanism behind
+	// π = 1/(k−1).
+	const k = 4
+	forwarders := make(map[string]map[string]bool) // slot owner -> set of forwarders
+	for seed := int64(0); seed < 12; seed++ {
+		parties, _ := buildParties(t, k, 100, 0.05) // same data each run
+		res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slotOwner := make(map[uint64]string, k)
+		for name, slot := range res.Plan.Slots {
+			slotOwner[slot] = name
+		}
+		for slot, fwd := range res.Submissions {
+			owner := slotOwner[slot]
+			if forwarders[owner] == nil {
+				forwarders[owner] = make(map[string]bool)
+			}
+			forwarders[owner][fwd] = true
+		}
+	}
+	for owner, set := range forwarders {
+		if len(set) < 2 {
+			t.Errorf("party %s was always forwarded by the same provider; exchange not randomizing", owner)
+		}
+	}
+}
+
+func TestRunLocalValidation(t *testing.T) {
+	ctx := testCtx(t)
+	parties, _ := buildParties(t, 3, 6, 0.05)
+
+	if _, err := RunLocal(ctx, SessionConfig{Parties: parties[:2]}); !errors.Is(err, ErrTooFewParty) {
+		t.Errorf("k=2 err = %v", err)
+	}
+	dup := append([]PartyInput(nil), parties...)
+	dup[1].Name = dup[0].Name
+	if _, err := RunLocal(ctx, SessionConfig{Parties: dup}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("dup name err = %v", err)
+	}
+	empty := append([]PartyInput(nil), parties...)
+	empty[0].Data = nil
+	if _, err := RunLocal(ctx, SessionConfig{Parties: empty}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil data err = %v", err)
+	}
+	// Mismatched dims across parties.
+	rng := rand.New(rand.NewSource(9))
+	other, err := dataset.GenerateByName("Iris", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]PartyInput(nil), parties...)
+	bad[1].Data = other
+	if _, err := RunLocal(ctx, SessionConfig{Parties: bad}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("dim err = %v", err)
+	}
+}
+
+func TestRunLocalDeterministicPerSeed(t *testing.T) {
+	const k = 4
+	run := func() *SessionResult {
+		parties, _ := buildParties(t, k, 7, 0.05)
+		res, err := RunLocal(testCtx(t), SessionConfig{Parties: parties, Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Target.Equal(b.Target, 1e-12) {
+		t.Fatal("same seed produced different targets")
+	}
+	if a.Unified.Len() != b.Unified.Len() {
+		t.Fatal("same seed produced different unified sizes")
+	}
+	for i := range a.Plan.Perm {
+		if a.Plan.Perm[i] != b.Plan.Perm[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+}
+
+func TestRunLocalContextCancel(t *testing.T) {
+	parties, _ := buildParties(t, 3, 8, 0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunLocal(ctx, SessionConfig{Parties: parties, Seed: 1}); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+// sameRowMultiset compares two datasets as multisets of (row, label) pairs
+// within tolerance.
+func sameRowMultiset(a, b *dataset.Dataset, eps float64) bool {
+	if a.Len() != b.Len() || a.Dim() != b.Dim() {
+		return false
+	}
+	used := make([]bool, b.Len())
+outer:
+	for i := range a.X {
+		for j := range b.X {
+			if used[j] || a.Y[i] != b.Y[j] {
+				continue
+			}
+			match := true
+			for c := range a.X[i] {
+				if math.Abs(a.X[i][c]-b.X[j][c]) > eps {
+					match = false
+					break
+				}
+			}
+			if match {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// meanNearestRowDistance averages, over rows of a, the distance to the
+// nearest same-label row of b.
+func meanNearestRowDistance(a, b *dataset.Dataset) float64 {
+	var total float64
+	for i := range a.X {
+		best := math.Inf(1)
+		for j := range b.X {
+			if a.Y[i] != b.Y[j] {
+				continue
+			}
+			var d2 float64
+			for c := range a.X[i] {
+				diff := a.X[i][c] - b.X[j][c]
+				d2 += diff * diff
+			}
+			if d2 < best {
+				best = d2
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total / float64(a.Len())
+}
+
+// TestMinerRejectsCoordinatorSubmission exercises the miner's defence
+// directly with a crafted message flow.
+func TestMinerRejectsTooFewParties(t *testing.T) {
+	net := newTestNet(t)
+	conn := net.endpoint(t, "miner")
+	if _, err := NewMiner(conn, MinerConfig{Coordinator: "c", Parties: 2}); !errors.Is(err, ErrTooFewParty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMiner(conn, MinerConfig{Parties: 5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("no-coordinator err = %v", err)
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	net := newTestNet(t)
+	conn := net.endpoint(t, "coord")
+	rng := rand.New(rand.NewSource(1))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	p, _ := perturb.NewRandom(rng, d.Dim(), 0.05)
+
+	valid := CoordinatorConfig{
+		Providers: []string{"a", "b"}, Miner: "m", Data: d, Perturbation: p, Rng: rng,
+	}
+	if _, err := NewCoordinator(conn, valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := valid
+	bad.Rng = nil
+	if _, err := NewCoordinator(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil rng err = %v", err)
+	}
+	bad = valid
+	bad.Providers = []string{"a"}
+	if _, err := NewCoordinator(conn, bad); !errors.Is(err, ErrTooFewParty) {
+		t.Errorf("one provider err = %v", err)
+	}
+	bad = valid
+	bad.Providers = []string{"a", "a"}
+	if _, err := NewCoordinator(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("dup provider err = %v", err)
+	}
+	bad = valid
+	bad.Miner = ""
+	if _, err := NewCoordinator(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no miner err = %v", err)
+	}
+	bad = valid
+	wrongDim, _ := perturb.NewRandom(rng, d.Dim()+1, 0.05)
+	bad.Perturbation = wrongDim
+	if _, err := NewCoordinator(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("dim err = %v", err)
+	}
+}
+
+func TestProviderConfigValidation(t *testing.T) {
+	net := newTestNet(t)
+	conn := net.endpoint(t, "prov")
+	rng := rand.New(rand.NewSource(2))
+	d, _ := dataset.GenerateByName("Iris", rng)
+	p, _ := perturb.NewRandom(rng, d.Dim(), 0.05)
+
+	valid := ProviderConfig{Coordinator: "c", Miner: "m", Data: d, Perturbation: p, Rng: rng}
+	if _, err := NewProvider(conn, valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := valid
+	bad.Coordinator = ""
+	if _, err := NewProvider(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no coordinator err = %v", err)
+	}
+	bad = valid
+	bad.Data = nil
+	if _, err := NewProvider(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no data err = %v", err)
+	}
+	bad = valid
+	bad.Perturbation = nil
+	if _, err := NewProvider(conn, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no perturbation err = %v", err)
+	}
+}
+
+func TestDecodeDatasetPayloadValidation(t *testing.T) {
+	m := matrix.Identity(3)
+	raw, _ := m.MarshalBinary()
+	if _, err := decodeDatasetPayload(raw, []int{0, 1}, "x"); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("label count err = %v", err)
+	}
+	if _, err := decodeDatasetPayload(raw, []int{0, -1, 2}, "x"); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("negative label err = %v", err)
+	}
+	if _, err := decodeDatasetPayload([]byte{1, 2}, []int{0}, "x"); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("garbage features err = %v", err)
+	}
+}
+
+func TestDecodeWireGarbage(t *testing.T) {
+	if _, err := decodeWire([]byte("not gob")); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	kinds := []MsgKind{MsgTarget, MsgAssignment, MsgDataset, MsgSubmission, MsgAdaptor, MsgAdaptorMap, MsgKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty label", uint8(k))
+		}
+	}
+}

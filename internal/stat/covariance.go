@@ -1,0 +1,63 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// CovarianceMatrix computes the d×d population covariance of data laid out
+// d×N (one column per record), the orientation the perturbation pipeline
+// uses throughout.
+func CovarianceMatrix(data *matrix.Dense) (*matrix.Dense, error) {
+	n := data.Cols()
+	if n < 2 {
+		return nil, fmt.Errorf("stat: covariance needs at least 2 records, got %d", n)
+	}
+	d := data.Rows()
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		means[j] = Mean(data.Row(j))
+	}
+	cov := matrix.New(d, d)
+	for a := 0; a < d; a++ {
+		rowA := data.Row(a)
+		for b := a; b < d; b++ {
+			rowB := data.Row(b)
+			var s float64
+			for i := 0; i < n; i++ {
+				s += (rowA[i] - means[a]) * (rowB[i] - means[b])
+			}
+			s /= float64(n)
+			cov.Set(a, b, s)
+			cov.Set(b, a, s)
+		}
+	}
+	return cov, nil
+}
+
+// CorrelationMatrix computes the d×d Pearson correlation of d×N data.
+// Constant dimensions yield zero correlation rows/columns (and unit
+// diagonal).
+func CorrelationMatrix(data *matrix.Dense) (*matrix.Dense, error) {
+	cov, err := CovarianceMatrix(data)
+	if err != nil {
+		return nil, err
+	}
+	d := cov.Rows()
+	corr := matrix.New(d, d)
+	for a := 0; a < d; a++ {
+		corr.Set(a, a, 1)
+		for b := a + 1; b < d; b++ {
+			va, vb := cov.At(a, a), cov.At(b, b)
+			if va <= 0 || vb <= 0 {
+				continue
+			}
+			r := cov.At(a, b) / (math.Sqrt(va) * math.Sqrt(vb))
+			corr.Set(a, b, r)
+			corr.Set(b, a, r)
+		}
+	}
+	return corr, nil
+}

@@ -1,0 +1,144 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestCovarianceMatrixKnown(t *testing.T) {
+	// Two perfectly correlated dimensions.
+	data := matrix.NewFromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+	})
+	cov, err := CovarianceMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov.At(0, 0)-1.25) > 1e-12 {
+		t.Errorf("var(x) = %v, want 1.25", cov.At(0, 0))
+	}
+	if math.Abs(cov.At(1, 1)-5) > 1e-12 {
+		t.Errorf("var(y) = %v, want 5", cov.At(1, 1))
+	}
+	if math.Abs(cov.At(0, 1)-2.5) > 1e-12 {
+		t.Errorf("cov(x,y) = %v, want 2.5", cov.At(0, 1))
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Error("covariance not symmetric")
+	}
+}
+
+func TestCovarianceMatrixTooFew(t *testing.T) {
+	if _, err := CovarianceMatrix(matrix.New(3, 1)); err == nil {
+		t.Fatal("single record accepted")
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	data := matrix.NewFromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8}, // corr +1 with row 0
+		{8, 6, 4, 2}, // corr −1 with row 0
+		{5, 5, 5, 5}, // constant
+	})
+	corr, err := CorrelationMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr.At(0, 1)-1) > 1e-12 {
+		t.Errorf("corr(0,1) = %v, want 1", corr.At(0, 1))
+	}
+	if math.Abs(corr.At(0, 2)+1) > 1e-12 {
+		t.Errorf("corr(0,2) = %v, want -1", corr.At(0, 2))
+	}
+	if corr.At(0, 3) != 0 || corr.At(3, 0) != 0 {
+		t.Error("constant dimension should have zero correlation")
+	}
+	for i := 0; i < 4; i++ {
+		if corr.At(i, i) != 1 {
+			t.Errorf("diagonal (%d,%d) = %v", i, i, corr.At(i, i))
+		}
+	}
+}
+
+func TestPropCovariancePSD(t *testing.T) {
+	// A covariance matrix is positive semi-definite: all eigenvalues ≥ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		n := d + 2 + rng.Intn(30)
+		data := matrix.RandomGaussian(rng, d, n, 2)
+		cov, err := CovarianceMatrix(data)
+		if err != nil {
+			return false
+		}
+		vals, _, err := matrix.EigenSym(cov)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCorrelationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		data := matrix.RandomGaussian(rng, d, 20, 1)
+		corr, err := CorrelationMatrix(data)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				v := corr.At(i, j)
+				if v < -1-1e-9 || v > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRotationPreservesTotalVariance(t *testing.T) {
+	// trace(cov(QX)) == trace(cov(X)) for orthogonal Q — the variance-
+	// preservation property geometric perturbation relies on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		x := matrix.RandomGaussian(rng, d, 40, 1.5)
+		q := matrix.RandomOrthogonal(rng, d)
+		covX, err := CovarianceMatrix(x)
+		if err != nil {
+			return false
+		}
+		covQX, err := CovarianceMatrix(q.Mul(x))
+		if err != nil {
+			return false
+		}
+		return math.Abs(covX.Trace()-covQX.Trace()) < 1e-8*math.Max(1, covX.Trace())
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

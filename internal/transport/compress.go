@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// CompressCodec wraps another Codec with DEFLATE compression applied before
+// sealing. Perturbed datasets are dense float64 matrices whose byte-level
+// redundancy (shared exponents) compresses usefully, which matters when k
+// datasets take an extra provider hop before reaching the miner.
+type CompressCodec struct {
+	inner Codec
+	level int
+}
+
+var _ Codec = (*CompressCodec)(nil)
+
+// NewCompressCodec wraps inner (nil means PlainCodec) with the given flate
+// level; level 0 selects flate.DefaultCompression.
+func NewCompressCodec(inner Codec, level int) (*CompressCodec, error) {
+	if inner == nil {
+		inner = PlainCodec{}
+	}
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		return nil, fmt.Errorf("transport: flate level %d out of range", level)
+	}
+	return &CompressCodec{inner: inner, level: level}, nil
+}
+
+// Seal implements Codec: compress, then delegate to the inner codec.
+func (c *CompressCodec) Seal(plaintext []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, c.level)
+	if err != nil {
+		return nil, fmt.Errorf("transport: flate writer: %w", err)
+	}
+	if _, err := w.Write(plaintext); err != nil {
+		return nil, fmt.Errorf("transport: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("transport: compress close: %w", err)
+	}
+	return c.inner.Seal(buf.Bytes())
+}
+
+// Open implements Codec: delegate to the inner codec, then decompress.
+func (c *CompressCodec) Open(sealed []byte) ([]byte, error) {
+	compressed, err := c.inner.Open(sealed)
+	if err != nil {
+		return nil, err
+	}
+	r := flate.NewReader(bytes.NewReader(compressed))
+	defer r.Close()
+	// Guard decompression with the same frame cap as the wire format so a
+	// hostile peer cannot zip-bomb the receiver.
+	plain, err := io.ReadAll(io.LimitReader(r, maxFrameSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: decompress: %v", ErrBadFrame, err)
+	}
+	if len(plain) > maxFrameSize {
+		return nil, fmt.Errorf("%w: decompressed payload exceeds frame cap", ErrFrameTooLarge)
+	}
+	return plain, nil
+}

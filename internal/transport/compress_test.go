@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCompressCodecRoundTrip(t *testing.T) {
+	c, err := NewCompressCodec(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("matrix row "), 200)
+	sealed, err := c.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) >= len(msg) {
+		t.Errorf("redundant payload did not compress: %d vs %d bytes", len(sealed), len(msg))
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatal("round trip mangled data")
+	}
+}
+
+func TestCompressCodecOverAES(t *testing.T) {
+	aes, err := NewAESCodec("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompressCodec(aes, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte{1, 2, 3, 4}, 500)
+	sealed, err := c.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, msg[:16]) {
+		t.Fatal("sealed frame leaks plaintext")
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatal("round trip mangled data")
+	}
+	// Tampering is caught by the AES layer.
+	sealed[len(sealed)-1] ^= 1
+	if _, err := c.Open(sealed); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("tampered err = %v", err)
+	}
+}
+
+func TestCompressCodecBadLevel(t *testing.T) {
+	if _, err := NewCompressCodec(nil, 42); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestCompressCodecGarbage(t *testing.T) {
+	c, _ := NewCompressCodec(nil, 0)
+	if _, err := c.Open([]byte("definitely not deflate")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage err = %v", err)
+	}
+}
+
+func TestCompressCodecRandomPayload(t *testing.T) {
+	// Incompressible data must still round-trip correctly.
+	c, _ := NewCompressCodec(nil, 0)
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(256))
+	}
+	sealed, err := c.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatal("round trip mangled incompressible data")
+	}
+}
+
+func TestCompressCodecOnTCP(t *testing.T) {
+	// Full stack: flate over AES over TCP frames.
+	ctx := testCtx(t)
+	aes, _ := NewAESCodec("stacked")
+	codec, err := NewCompressCodec(aes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCPNode("a", "127.0.0.1:0", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNode("b", "127.0.0.1:0", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+
+	payload := bytes.Repeat([]byte("0.7071 "), 1000)
+	if err := a.Send(ctx, "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env.Payload, payload) {
+		t.Fatal("payload mangled over compressed TCP")
+	}
+}

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// FaultConn wraps a Conn with deterministic fault injection for robustness
+// tests: dropping every Nth outgoing message. The SAP roles must fail with
+// clean timeouts — never hangs, panics or partial unifications — when the
+// network loses messages.
+type FaultConn struct {
+	inner Conn
+
+	mu        sync.Mutex
+	dropEvery int // drop the Nth, 2Nth, … send; 0 disables
+	sends     int
+	dropped   int
+}
+
+var _ Conn = (*FaultConn)(nil)
+
+// NewFaultConn wraps inner; dropEvery = n drops every nth send (n ≤ 0
+// disables dropping).
+func NewFaultConn(inner Conn, dropEvery int) *FaultConn {
+	return &FaultConn{inner: inner, dropEvery: dropEvery}
+}
+
+// Name implements Conn.
+func (f *FaultConn) Name() string { return f.inner.Name() }
+
+// Send implements Conn, silently discarding every Nth message.
+func (f *FaultConn) Send(ctx context.Context, to string, payload []byte) error {
+	f.mu.Lock()
+	f.sends++
+	drop := f.dropEvery > 0 && f.sends%f.dropEvery == 0
+	if drop {
+		f.dropped++
+	}
+	f.mu.Unlock()
+	if drop {
+		return nil // the message vanishes; the sender sees success
+	}
+	return f.inner.Send(ctx, to, payload)
+}
+
+// Recv implements Conn.
+func (f *FaultConn) Recv(ctx context.Context) (Envelope, error) { return f.inner.Recv(ctx) }
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }
+
+// Dropped reports how many sends were discarded.
+func (f *FaultConn) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}

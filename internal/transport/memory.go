@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// memInboxSize buffers in-flight messages per endpoint. The protocol driver
+// often runs all parties from one goroutine, so sends must not block on an
+// un-drained peer; 256 comfortably covers SAP's worst-case fan-in (k
+// datasets plus k adaptors).
+const memInboxSize = 256
+
+// MemNetwork is an in-process Network: endpoints exchange copies of
+// payloads through buffered channels. Safe for concurrent use.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*memConn
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{endpoints: make(map[string]*memConn)}
+}
+
+// Endpoint implements Network.
+func (n *MemNetwork) Endpoint(name string) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	c := &memConn{
+		net:   n,
+		name:  name,
+		inbox: make(chan Envelope, memInboxSize),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[name] = c
+	return c, nil
+}
+
+func (n *MemNetwork) lookup(name string) (*memConn, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.endpoints[name]
+	return c, ok
+}
+
+func (n *MemNetwork) remove(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, name)
+}
+
+type memConn struct {
+	net   *MemNetwork
+	name  string
+	inbox chan Envelope
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Conn = (*memConn)(nil)
+
+// Name implements Conn.
+func (c *memConn) Name() string { return c.name }
+
+// Send implements Conn.
+func (c *memConn) Send(ctx context.Context, to string, payload []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	dst, ok := c.net.lookup(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+	env := Envelope{From: c.name, Payload: append([]byte(nil), payload...)}
+	select {
+	case dst.inbox <- env:
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("%w: %q", ErrClosed, to)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv implements Conn.
+func (c *memConn) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-c.inbox:
+		return env, nil
+	case <-c.done:
+		// Drain any message that raced with Close.
+		select {
+		case env := <-c.inbox:
+			return env, nil
+		default:
+			return Envelope{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Conn.
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.net.remove(c.name)
+	})
+	return nil
+}

@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameSize bounds a single frame (64 MiB) so a malformed or hostile
+// length prefix cannot trigger unbounded allocation.
+const maxFrameSize = 64 << 20
+
+// TCPNode is one endpoint of a TCP-based Network. Every node listens on its
+// own address, knows its peers' addresses, and seals each frame with the
+// shared Codec. Wire format per frame (before sealing):
+//
+//	[2-byte sender-name length][sender name][payload]
+//
+// and on the wire:
+//
+//	[4-byte big-endian sealed length][sealed bytes]
+type TCPNode struct {
+	name  string
+	codec Codec
+
+	mu       sync.Mutex
+	peers    map[string]string // name -> address
+	dials    map[string]net.Conn
+	accepted map[net.Conn]struct{}
+	ln       net.Listener
+	inbox    chan Envelope
+	done     chan struct{}
+	closed   bool
+	readers  sync.WaitGroup
+}
+
+var _ Conn = (*TCPNode)(nil)
+
+// NewTCPNode starts a node listening on addr (use "127.0.0.1:0" to pick a
+// free port). The caller must Close it.
+func NewTCPNode(name, addr string, codec Codec) (*TCPNode, error) {
+	if codec == nil {
+		codec = PlainCodec{}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		name:     name,
+		codec:    codec,
+		peers:    make(map[string]string),
+		dials:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		ln:       ln,
+		inbox:    make(chan Envelope, memInboxSize),
+		done:     make(chan struct{}),
+	}
+	n.readers.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listening address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Name implements Conn.
+func (n *TCPNode) Name() string { return n.name }
+
+// AddPeer registers a peer's listening address under its name.
+func (n *TCPNode) AddPeer(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.readers.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.readers.Add(1)
+		n.mu.Unlock()
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.readers.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		plain, err := n.codec.Open(frame)
+		if err != nil {
+			continue // drop undecryptable frames
+		}
+		from, payload, err := splitSender(plain)
+		if err != nil {
+			continue
+		}
+		select {
+		case n.inbox <- Envelope{From: from, Payload: payload}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Send implements Conn.
+func (n *TCPNode) Send(ctx context.Context, to string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if to == n.name {
+		// Self-sends happen legitimately (SAP's random exchange may route
+		// a provider's dataset to itself); loop them back without a dial.
+		n.mu.Unlock()
+		env := Envelope{From: n.name, Payload: append([]byte(nil), payload...)}
+		select {
+		case n.inbox <- env:
+			return nil
+		case <-n.done:
+			return ErrClosed
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+	conn, ok := n.dials[to]
+	n.mu.Unlock()
+
+	if !ok {
+		c, err := dialWithRetry(ctx, addr)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		n.mu.Lock()
+		if existing, raced := n.dials[to]; raced {
+			// Another Send dialed concurrently; keep the first connection.
+			n.mu.Unlock()
+			c.Close()
+			conn = existing
+		} else {
+			n.dials[to] = c
+			n.mu.Unlock()
+			conn = c
+		}
+	}
+
+	plain := joinSender(n.name, payload)
+	sealed, err := n.codec.Seal(plain)
+	if err != nil {
+		return err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("transport: deadline: %w", err)
+		}
+	}
+	if err := writeFrame(conn, sealed); err != nil {
+		// Connection is unusable; drop it so the next Send re-dials.
+		n.mu.Lock()
+		if n.dials[to] == conn {
+			delete(n.dials, to)
+		}
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (n *TCPNode) Recv(ctx context.Context) (Envelope, error) {
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-n.done:
+		select {
+		case env := <-n.inbox:
+			return env, nil
+		default:
+			return Envelope{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Conn.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	for _, c := range n.dials {
+		c.Close()
+	}
+	n.dials = make(map[string]net.Conn)
+	// Accepted connections must be closed too or their reader goroutines
+	// would block in readFrame forever and Close would never return.
+	for c := range n.accepted {
+		c.Close()
+	}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	n.readers.Wait()
+	return err
+}
+
+// dialWithRetry dials with exponential backoff, tolerating the startup race
+// where a peer daemon has not bound its listener yet. It gives up after the
+// backoff schedule is exhausted or ctx expires.
+func dialWithRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	return nil, lastErr
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func joinSender(name string, payload []byte) []byte {
+	out := make([]byte, 2+len(name)+len(payload))
+	binary.BigEndian.PutUint16(out[:2], uint16(len(name)))
+	copy(out[2:], name)
+	copy(out[2+len(name):], payload)
+	return out
+}
+
+func splitSender(frame []byte) (string, []byte, error) {
+	if len(frame) < 2 {
+		return "", nil, ErrBadFrame
+	}
+	nameLen := int(binary.BigEndian.Uint16(frame[:2]))
+	if len(frame) < 2+nameLen {
+		return "", nil, ErrBadFrame
+	}
+	name := string(frame[2 : 2+nameLen])
+	payload := append([]byte(nil), frame[2+nameLen:]...)
+	return name, payload, nil
+}

@@ -1,0 +1,368 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestMemNetworkSendRecv(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "a" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if err := a.Send(ctx, "b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "a" || string(env.Payload) != "hello" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestMemNetworkPayloadCopied(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	buf := []byte("mutate-me")
+	if err := a.Send(ctx, "b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	env, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "mutate-me" {
+		t.Fatal("payload aliased sender's buffer")
+	}
+}
+
+func TestMemNetworkUnknownAndDuplicate(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	if err := a.Send(ctx, "ghost", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := net.Endpoint("a"); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestMemNetworkClose(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", nil); err == nil {
+		t.Fatal("send to closed endpoint succeeded")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	// After close the name is free again.
+	if _, err := net.Endpoint("b"); err != nil {
+		t.Fatalf("re-register err = %v", err)
+	}
+	// Recv on a closed endpoint reports ErrClosed.
+	a.Close()
+	if _, err := a.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv err = %v", err)
+	}
+}
+
+func TestMemNetworkRecvContextCancel(t *testing.T) {
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.Recv(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemNetworkConcurrent(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	recv, _ := net.Endpoint("sink")
+	const senders = 8
+	const perSender = 20
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Endpoint(string(rune('a' + id)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perSender; i++ {
+				if err := conn.Send(ctx, "sink", []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	got := 0
+	for got < senders*perSender {
+		if _, err := recv.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	wg.Wait()
+}
+
+func TestPlainCodecRoundTrip(t *testing.T) {
+	c := PlainCodec{}
+	sealed, err := c.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "x" {
+		t.Fatal("plain codec mangled data")
+	}
+}
+
+func TestAESCodecRoundTrip(t *testing.T) {
+	c, err := NewAESCodec("secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox")
+	sealed, err := c.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, msg) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatal("round trip mangled data")
+	}
+}
+
+func TestAESCodecRejectsTampering(t *testing.T) {
+	c, _ := NewAESCodec("secret")
+	sealed, _ := c.Seal([]byte("payload"))
+	sealed[len(sealed)-1] ^= 1
+	if _, err := c.Open(sealed); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("tampered err = %v", err)
+	}
+	if _, err := c.Open([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short err = %v", err)
+	}
+}
+
+func TestAESCodecWrongKey(t *testing.T) {
+	c1, _ := NewAESCodec("k1")
+	c2, _ := NewAESCodec("k2")
+	sealed, _ := c1.Seal([]byte("payload"))
+	if _, err := c2.Open(sealed); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("wrong-key err = %v", err)
+	}
+}
+
+func TestTCPNodesEncrypted(t *testing.T) {
+	ctx := testCtx(t)
+	codec, err := NewAESCodec("session-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCPNode("a", "127.0.0.1:0", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNode("b", "127.0.0.1:0", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+
+	if err := a.Send(ctx, "b", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "a" || string(env.Payload) != "over tcp" {
+		t.Fatalf("env = %+v", env)
+	}
+	// And the reverse direction.
+	if err := b.Send(ctx, "a", []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	env, err = a.Recv(ctx)
+	if err != nil || string(env.Payload) != "reply" {
+		t.Fatalf("reply env = %+v, err = %v", env, err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	ctx := testCtx(t)
+	a, err := NewTCPNode("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(ctx, "ghost", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPDropsForeignKeyFrames(t *testing.T) {
+	// Frames sealed under a different key are dropped, not delivered.
+	ctx := testCtx(t)
+	good, _ := NewAESCodec("right")
+	bad, _ := NewAESCodec("wrong")
+	recv, err := NewTCPNode("recv", "127.0.0.1:0", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	attacker, err := NewTCPNode("attacker", "127.0.0.1:0", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	attacker.AddPeer("recv", recv.Addr())
+	friend, err := NewTCPNode("friend", "127.0.0.1:0", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer friend.Close()
+	friend.AddPeer("recv", recv.Addr())
+
+	if err := attacker.Send(ctx, "recv", []byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	if err := friend.Send(ctx, "recv", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := recv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "good" || env.From != "friend" {
+		t.Fatalf("delivered frame = %+v, want the friend's", env)
+	}
+}
+
+func TestTCPSelfSendLoopsBack(t *testing.T) {
+	// SAP's random exchange may assign a provider to itself; the TCP node
+	// must deliver self-sends without a dial or a registered self-peer.
+	ctx := testCtx(t)
+	n, err := NewTCPNode("solo", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Send(ctx, "solo", []byte("to myself")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := n.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "solo" || string(env.Payload) != "to myself" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestMemSelfSend(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("a")
+	if err := a.Send(ctx, "a", []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := a.Recv(ctx)
+	if err != nil || string(env.Payload) != "loop" {
+		t.Fatalf("env = %+v, err = %v", env, err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	n, err := NewTCPNode("n", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if err := n.Send(context.Background(), "x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, maxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write err = %v", err)
+	}
+	// A forged oversized header must be rejected on read.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read err = %v", err)
+	}
+}
+
+func TestSplitSenderMalformed(t *testing.T) {
+	if _, _, err := splitSender([]byte{0}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short err = %v", err)
+	}
+	if _, _, err := splitSender([]byte{0, 9, 'a'}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad len err = %v", err)
+	}
+	from, payload, err := splitSender(joinSender("ab", []byte("xy")))
+	if err != nil || from != "ab" || string(payload) != "xy" {
+		t.Fatalf("round trip = %q %q %v", from, payload, err)
+	}
+}

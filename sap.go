@@ -1,0 +1,263 @@
+package sap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/perturb"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+)
+
+// Re-exported core types. The facade aliases the internal packages' types
+// so downstream code can be written entirely against import path "repro".
+type (
+	// Dataset is an in-memory labeled dataset.
+	Dataset = dataset.Dataset
+	// Normalizer rescales features to [0,1] per column.
+	Normalizer = dataset.Normalizer
+	// PartitionScheme selects how data is split across providers.
+	PartitionScheme = dataset.PartitionScheme
+	// Perturbation is one geometric perturbation G : (R, t, σ).
+	Perturbation = perturb.Perturbation
+	// Adaptor is a space adaptor between two perturbation spaces.
+	Adaptor = perturb.Adaptor
+	// PrivacyReport is a full attack-suite evaluation.
+	PrivacyReport = privacy.Report
+	// Classifier is a trainable multi-class classifier.
+	Classifier = classify.Classifier
+	// SVMConfig tunes the SMO trainer.
+	SVMConfig = classify.SVMConfig
+	// Kernel is an SVM kernel.
+	Kernel = classify.Kernel
+)
+
+// Partition schemes, re-exported.
+const (
+	PartitionUniform = dataset.PartitionUniform
+	PartitionClass   = dataset.PartitionClass
+)
+
+// ErrBadInput flags invalid facade arguments.
+var ErrBadInput = errors.New("sap: bad input")
+
+// DatasetNames returns the twelve built-in dataset profiles in paper order.
+func DatasetNames() []string { return dataset.ProfileNames() }
+
+// GenerateDataset synthesizes one of the twelve built-in datasets,
+// deterministically from seed, and min-max normalizes it.
+func GenerateDataset(name string, seed int64) (*Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d, err := dataset.GenerateByName(name, rng)
+	if err != nil {
+		return nil, err
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		return nil, err
+	}
+	return norm, nil
+}
+
+// NewDataset wraps raw feature rows and labels, validating shape.
+func NewDataset(name string, x [][]float64, y []int) (*Dataset, error) {
+	return dataset.New(name, x, y)
+}
+
+// Normalize min-max normalizes a dataset and returns the fitted normalizer
+// for transforming future data with the same ranges.
+func Normalize(d *Dataset) (*Dataset, *Normalizer, error) {
+	return dataset.Normalize(d)
+}
+
+// Split partitions a pooled dataset across k providers under the given
+// scheme, deterministically from seed.
+func Split(d *Dataset, k int, scheme PartitionScheme, seed int64) ([]*Dataset, error) {
+	return dataset.Partition(d, rand.New(rand.NewSource(seed)), k, scheme)
+}
+
+// TrainTestSplit holds out testFrac of the records, stratified by class.
+func TrainTestSplit(d *Dataset, testFrac float64, seed int64) (train, test *Dataset, err error) {
+	return d.Split(rand.New(rand.NewSource(seed)), testFrac)
+}
+
+// OptimizeOptions tunes OptimizePerturbation. The zero value uses the
+// library defaults (8 random restarts, 12 refinement steps, σ = 0.05).
+type OptimizeOptions struct {
+	// Candidates is the number of random restarts.
+	Candidates int
+	// LocalSteps is the number of annealed Givens refinement steps.
+	LocalSteps int
+	// NoiseSigma is the noise component's standard deviation.
+	NoiseSigma float64
+	// ScoreSamples averages each candidate's score over this many noise
+	// draws (default 1); higher values reduce selection bias toward lucky
+	// noise at proportional cost.
+	ScoreSamples int
+	// FullAttackSuite also runs the (slower) ICA attack during
+	// optimization; otherwise ICA is reserved for final evaluation.
+	FullAttackSuite bool
+}
+
+// OptimizePerturbation searches for a perturbation of d with a high minimum
+// privacy guarantee under the attack suite, deterministically from seed.
+// It returns the perturbation and its guarantee ρ.
+func OptimizePerturbation(d *Dataset, seed int64, opts OptimizeOptions) (*Perturbation, float64, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, 0, fmt.Errorf("%w: empty dataset", ErrBadInput)
+	}
+	cfg := privacy.OptimizerConfig{
+		Candidates:   opts.Candidates,
+		LocalSteps:   opts.LocalSteps,
+		NoiseSigma:   opts.NoiseSigma,
+		ScoreSamples: opts.ScoreSamples,
+	}
+	if opts.FullAttackSuite {
+		cfg.Evaluator = privacy.DefaultEvaluator()
+	}
+	opt := privacy.NewOptimizer(cfg)
+	p, res, err := opt.Optimize(rand.New(rand.NewSource(seed)), d.FeaturesT())
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.Guarantee, nil
+}
+
+// EvaluatePrivacy attacks a (original, perturbed) dataset pair with the
+// full suite and reports the minimum privacy guarantee. knownPairs matched
+// records are granted to the known-sample attack (0 disables it).
+func EvaluatePrivacy(original *Dataset, p *Perturbation, seed int64, knownPairs int) (*PrivacyReport, error) {
+	if original == nil || original.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadInput)
+	}
+	if knownPairs < 0 || knownPairs > original.Len() {
+		return nil, fmt.Errorf("%w: knownPairs=%d with %d records", ErrBadInput, knownPairs, original.Len())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := original.FeaturesT()
+	y, _, err := p.Apply(rng, x)
+	if err != nil {
+		return nil, err
+	}
+	know := privacy.Knowledge{Original: x}
+	if knownPairs > 0 {
+		know.KnownOriginal = x.Slice(0, x.Rows(), 0, knownPairs)
+		know.KnownPerturbed = y.Slice(0, y.Rows(), 0, knownPairs)
+	}
+	return privacy.DefaultEvaluator().Evaluate(x, y, know)
+}
+
+// RunConfig configures a full SAP session.
+type RunConfig struct {
+	// Parties are the providers' local datasets (k ≥ 3). The last one
+	// doubles as the coordinator.
+	Parties []*Dataset
+	// Seed drives all randomness.
+	Seed int64
+	// NoiseSigma is the common noise component σ (default 0.05).
+	NoiseSigma float64
+	// Optimize tunes the per-party perturbation optimization.
+	Optimize OptimizeOptions
+}
+
+// RunResult is the outcome of a SAP session.
+type RunResult struct {
+	// Unified is the miner's merged training set in the target space.
+	Unified *Dataset
+	// Target is the unified target perturbation G_t; classification
+	// requests must be transformed with it (ApplyNoiseless) before being
+	// sent to the miner's model.
+	Target *Perturbation
+	// LocalGuarantees holds each party's locally optimized ρ_i, in party
+	// order.
+	LocalGuarantees []float64
+	// Identifiability is the miner-side source identifiability 1/(k−1).
+	Identifiability float64
+}
+
+// Run optimizes each party's perturbation and executes the Space Adaptation
+// Protocol over an in-memory network, returning the unified dataset. It is
+// a thin veneer over the internal/core pipeline.
+func Run(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	for i, d := range cfg.Parties {
+		if d == nil || d.Len() == 0 {
+			return nil, fmt.Errorf("%w: party %d has no data", ErrBadInput, i)
+		}
+	}
+	optCfg := privacy.OptimizerConfig{
+		Candidates:   cfg.Optimize.Candidates,
+		LocalSteps:   cfg.Optimize.LocalSteps,
+		ScoreSamples: cfg.Optimize.ScoreSamples,
+	}
+	if cfg.Optimize.FullAttackSuite {
+		optCfg.Evaluator = privacy.DefaultEvaluator()
+	}
+	res, err := core.Run(ctx, core.PipelineConfig{
+		Parties:    cfg.Parties,
+		Seed:       cfg.Seed,
+		NoiseSigma: cfg.NoiseSigma,
+		Optimizer:  optCfg,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrBadPipeline) {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		return nil, err
+	}
+	guarantees := make([]float64, len(res.Parties))
+	for i, p := range res.Parties {
+		guarantees[i] = p.LocalGuarantee
+	}
+	return &RunResult{
+		Unified:         res.Unified,
+		Target:          res.Target,
+		LocalGuarantees: guarantees,
+		Identifiability: res.Identifiability,
+	}, nil
+}
+
+// TransformForInference maps a clear dataset into the target space so it
+// can be scored by a model trained on RunResult.Unified.
+func (r *RunResult) TransformForInference(d *Dataset) (*Dataset, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadInput)
+	}
+	y, err := r.Target.ApplyNoiseless(d.FeaturesT())
+	if err != nil {
+		return nil, err
+	}
+	out := d.Clone()
+	if err := out.ReplaceFeaturesT(y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NewKNN returns a K-nearest-neighbours classifier (k=0 selects 5).
+func NewKNN(k int) Classifier { return classify.NewKNN(k) }
+
+// NewSVM returns an SMO-trained SVM (zero config selects RBF with γ=1/d).
+func NewSVM(cfg SVMConfig) Classifier { return classify.NewSVM(cfg) }
+
+// NewNearestCentroid returns the nearest-centroid baseline classifier.
+func NewNearestCentroid() Classifier { return classify.NewNearestCentroid() }
+
+// Accuracy scores a fitted classifier on a test set.
+func Accuracy(c Classifier, test *Dataset) (float64, error) {
+	return classify.Accuracy(c, test)
+}
+
+// RiskEq1 and RiskSAP re-export the paper's risk equations.
+var (
+	// RiskEq1 is Equation 1: R = π·(1 − s·ρ/b).
+	RiskEq1 = protocol.RiskEq1
+	// RiskSAP is Equation 2: the overall SAP risk.
+	RiskSAP = protocol.RiskSAP
+	// MinParties is the Figure-4 bound on the number of parties.
+	MinParties = protocol.MinPartiesRiskThreshold
+)
