@@ -9,6 +9,7 @@ package sap_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -385,6 +386,78 @@ func BenchmarkAESCodecSeal(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceThroughput tracks serving QPS across worker-pool sizes
+// and batch shapes: single-record queries issued from concurrent goroutines
+// versus batched queries answered in one round trip. The records/s metric
+// is the headline serving-throughput number for future PRs to compare.
+func BenchmarkServiceThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	d, err := dataset.GenerateByName("Diabetes", rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, _, err := dataset.Normalize(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				net := transport.NewMemNetwork()
+				svcConn, err := net.Endpoint("svc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svcConn.Close()
+				cliConn, err := net.Endpoint("cli")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cliConn.Close()
+				svc, err := protocol.NewMiningService(svcConn,
+					&protocol.MinerResult{Unified: norm}, classify.NewKNN(5),
+					protocol.ServiceConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan error, 1)
+				go func() { done <- svc.Serve(ctx) }()
+				client, err := protocol.NewServiceClient(cliConn, "svc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries := make([][]float64, batch)
+				for i := range queries {
+					queries[i] = norm.X[i%norm.Len()]
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if batch == 1 {
+							if _, err := client.Classify(ctx, queries[0]); err != nil {
+								b.Error(err)
+								return
+							}
+						} else if _, err := client.ClassifyBatch(ctx, queries); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				records := float64(b.N) * float64(batch)
+				b.ReportMetric(records/b.Elapsed().Seconds(), "records/s")
+				client.Close()
+				cancel()
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkEndToEndPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pool, err := sap.GenerateDataset("Iris", 1)
@@ -395,16 +468,16 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := sap.Run(context.Background(), sap.RunConfig{
-			Parties:  parties,
-			Seed:     3,
-			Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
-		})
+		res, err := sap.Run(context.Background(),
+			sap.WithParties(parties...),
+			sap.WithSeed(3),
+			sap.WithOptimizer(2, 1),
+		)
 		if err != nil {
 			b.Fatal(err)
 		}
 		model := sap.NewKNN(5)
-		if err := model.Fit(res.Unified); err != nil {
+		if err := model.Fit(res.Unified()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,16 +2,22 @@
 // AES-GCM-sealed frames: a data provider, the coordinator, or the mining
 // service provider. A k-party deployment runs k+1 sapnode processes.
 //
+// After unification the deployment can stay online as a mining service: the
+// miner keeps answering batched classification queries (-serve) while
+// providers query it (-query) with records transformed into the target
+// space — the paper's "data mining services for the contracted parties".
+//
 // Example 4-party run on one host (see examples/tcpcluster for a scripted
 // version):
 //
 //	sapnode -role miner       -name miner -listen :9100 -parties 3 \
-//	        -coordinator coord -peers coord=:9101 -key s3cret -out unified.csv
+//	        -coordinator coord -peers coord=:9101 -key s3cret -out unified.csv \
+//	        -serve 1h -model knn -workers 8
 //	sapnode -role coordinator -name coord -listen :9101 -data dp3.csv \
 //	        -providers dp1,dp2 -miner miner \
 //	        -peers dp1=:9102,dp2=:9103,miner=:9100 -key s3cret
 //	sapnode -role provider    -name dp1 -listen :9102 -data dp1.csv \
-//	        -coordinator coord -miner miner \
+//	        -coordinator coord -miner miner -query patients.csv \
 //	        -peers coord=:9101,dp2=:9103,miner=:9100 -key s3cret
 //	sapnode -role provider    -name dp2 -listen :9103 -data dp2.csv \
 //	        -coordinator coord -miner miner \
@@ -24,9 +30,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/perturb"
 	"repro/internal/privacy"
@@ -55,17 +65,28 @@ func run(args []string) error {
 		miner       = fs.String("miner", "", "miner endpoint name (providers and coordinator)")
 		parties     = fs.Int("parties", 0, "total provider count k (miner)")
 		outPath     = fs.String("out", "", "unified dataset output CSV (miner)")
-		seed        = fs.Int64("seed", time.Now().UnixNano(), "random seed")
+		seed        = fs.Int64("seed", 1, "random seed; 0 derives one from the clock (nonreproducible)")
 		sigma       = fs.Float64("sigma", 0.05, "common noise component σ")
 		cands       = fs.Int("candidates", 8, "perturbation optimizer restarts")
 		steps       = fs.Int("steps", 8, "perturbation optimizer refinement steps")
 		timeout     = fs.Duration("timeout", 5*time.Minute, "protocol deadline")
+		serveFor    = fs.Duration("serve", 0, "after unification, serve classification queries for this duration (miner; 0 disables, <0 serves until interrupted)")
+		modelName   = fs.String("model", "knn", "served classifier: knn, svm or centroid (miner with -serve)")
+		workers     = fs.Int("workers", 0, "serving worker pool size (miner; 0 selects GOMAXPROCS)")
+		maxBatch    = fs.Int("maxbatch", 0, "serving batch-size cap (miner; 0 selects the default)")
+		queryPath   = fs.String("query", "", "after the run, classify this CSV through the mining service (provider)")
+		batchSize   = fs.Int("batch", 64, "records per query frame for -query (provider)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *name == "" {
 		return fmt.Errorf("missing -name")
+	}
+	// The flag default is fixed so reruns (and -help output) are
+	// reproducible; -seed 0 explicitly opts into a clock-derived seed.
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
 	}
 
 	var codec transport.Codec
@@ -117,6 +138,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("provider done: dataset exchanged, adaptor delivered")
+		if *queryPath != "" {
+			return queryService(ctx, node, *miner, prov.Target(), *queryPath, *batchSize)
+		}
 		return nil
 
 	case "coordinator":
@@ -144,7 +168,18 @@ func run(args []string) error {
 		return nil
 
 	case "miner":
-		m, err := protocol.NewMiner(node, protocol.MinerConfig{
+		// Validate the serving flags before the (potentially long)
+		// protocol run, not after.
+		if *serveFor != 0 {
+			if _, err := buildModel(*modelName); err != nil {
+				return err
+			}
+		}
+		// Queries racing the tail of the SAP run are stashed so they
+		// neither trip the protocol's violation checks nor get lost; the
+		// service replays them once it is online.
+		conn := newServiceStash(node)
+		m, err := protocol.NewMiner(conn, protocol.MinerConfig{
 			Coordinator: *coordinator,
 			Parties:     *parties,
 		})
@@ -172,11 +207,104 @@ func run(args []string) error {
 			}
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
+		if *serveFor != 0 {
+			return serveService(conn, res, *modelName, *workers, *maxBatch, *serveFor)
+		}
 		return nil
 
 	default:
 		return fmt.Errorf("unknown role %q (want provider, coordinator or miner)", *role)
 	}
+}
+
+// serveService trains the requested model on the unified dataset and answers
+// classification queries until the duration elapses (or, when negative,
+// until SIGINT/SIGTERM). Queries stashed during the protocol phase are
+// answered first.
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName string, workers, maxBatch int, d time.Duration) error {
+	model, err := buildModel(modelName)
+	if err != nil {
+		return err
+	}
+	conn.beginServe()
+	svc, err := protocol.NewMiningService(conn, res, model,
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if d > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, d)
+		defer cancelTimeout()
+	}
+	fmt.Printf("mining service online (%s model); serving queries…\n", modelName)
+	if err := svc.Serve(ctx); err != nil {
+		return err
+	}
+	fmt.Println("mining service stopped")
+	return nil
+}
+
+// queryService classifies a CSV of clear records through the mining service:
+// each batch is transformed into the target space with G_t (received during
+// the run) and answered in one round trip. When the CSV carries labels, the
+// agreement rate is reported.
+func queryService(ctx context.Context, conn transport.Conn, miner string, target *perturb.Perturbation, path string, batchSize int) error {
+	if miner == "" {
+		return fmt.Errorf("missing -miner")
+	}
+	if target == nil {
+		return fmt.Errorf("no target perturbation (run the protocol first)")
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	q, err := dataset.ReadCSV(f, path)
+	if err != nil {
+		return err
+	}
+	yq, err := target.ApplyNoiseless(q.FeaturesT())
+	if err != nil {
+		return err
+	}
+	client, err := protocol.NewServiceClient(conn, miner)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	labels := make([]int, 0, q.Len())
+	for lo := 0; lo < q.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > q.Len() {
+			hi = q.Len()
+		}
+		batch := make([][]float64, hi-lo)
+		for i := range batch {
+			batch[i] = yq.Col(lo + i)
+		}
+		got, err := client.ClassifyBatch(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("query batch at %d: %w", lo, err)
+		}
+		labels = append(labels, got...)
+	}
+	correct := 0
+	for i, label := range labels {
+		if label == q.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("classified %d records in %d round trips; %d/%d agree with the CSV labels\n",
+		len(labels), (q.Len()+batchSize-1)/batchSize, correct, len(labels))
+	return nil
 }
 
 // loadAndOptimize reads a local CSV dataset and optimizes its geometric
@@ -205,4 +333,67 @@ func loadAndOptimize(path string, rng *rand.Rand, sigma float64, cands, steps in
 	}
 	fmt.Printf("local perturbation optimized: minimum privacy guarantee %.4f\n", res.Guarantee)
 	return d, p, nil
+}
+
+// buildModel maps a -model flag value to a classifier.
+func buildModel(name string) (classify.Classifier, error) {
+	switch name {
+	case "knn":
+		return classify.NewKNN(5), nil
+	case "svm":
+		return classify.NewSVM(classify.SVMConfig{}), nil
+	case "centroid":
+		return classify.NewNearestCentroid(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want knn, svm or centroid)", name)
+	}
+}
+
+// serviceStash wraps a Conn so service frames received while the SAP
+// protocol is still running are buffered instead of surfaced: the miner's
+// protocol loop treats unexpected frames as violations, and a provider may
+// start querying the instant its own run completes — before the miner has
+// merged. Once beginServe is called, stashed frames are replayed first.
+type serviceStash struct {
+	transport.Conn
+	mu      sync.Mutex
+	stash   []transport.Envelope
+	serving bool
+}
+
+func newServiceStash(conn transport.Conn) *serviceStash {
+	return &serviceStash{Conn: conn}
+}
+
+// Recv implements transport.Conn.
+func (s *serviceStash) Recv(ctx context.Context) (transport.Envelope, error) {
+	s.mu.Lock()
+	if s.serving && len(s.stash) > 0 {
+		env := s.stash[0]
+		s.stash = s.stash[1:]
+		s.mu.Unlock()
+		return env, nil
+	}
+	serving := s.serving
+	s.mu.Unlock()
+	for {
+		env, err := s.Conn.Recv(ctx)
+		if err != nil {
+			return env, err
+		}
+		if !serving && protocol.IsServiceFrame(env.Payload) {
+			s.mu.Lock()
+			s.stash = append(s.stash, env)
+			s.mu.Unlock()
+			continue
+		}
+		return env, nil
+	}
+}
+
+// beginServe switches the stash into replay mode.
+func (s *serviceStash) beginServe() {
+	s.mu.Lock()
+	s.serving = true
+	s.mu.Unlock()
 }

@@ -70,12 +70,18 @@ func TestFullSessionOverTCP(t *testing.T) {
 			}
 		}()
 	}
+	// The miner stays online as a mining service for a few seconds after
+	// unification; dp1 classifies its own shard through it the moment its
+	// protocol role completes — exercising the stash path for queries that
+	// race the tail of the run.
 	launch([]string{"-role", "miner", "-name", "miner", "-listen", minerAddr,
-		"-coordinator", "coord", "-parties", "3", "-peers", peerList("miner"), "-out", outCSV})
+		"-coordinator", "coord", "-parties", "3", "-peers", peerList("miner"), "-out", outCSV,
+		"-serve", "5s", "-model", "knn", "-workers", "2"})
 	launch([]string{"-role", "coordinator", "-name", "coord", "-listen", coordAddr,
 		"-data", shards[2], "-providers", "dp1,dp2", "-miner", "miner", "-peers", peerList("coord")})
 	launch([]string{"-role", "provider", "-name", "dp1", "-listen", p1Addr,
-		"-data", shards[0], "-coordinator", "coord", "-miner", "miner", "-peers", peerList("dp1")})
+		"-data", shards[0], "-coordinator", "coord", "-miner", "miner", "-peers", peerList("dp1"),
+		"-query", shards[0], "-batch", "16"})
 	launch([]string{"-role", "provider", "-name", "dp2", "-listen", p2Addr,
 		"-data", shards[1], "-coordinator", "coord", "-miner", "miner", "-peers", peerList("dp2")})
 	wg.Wait()

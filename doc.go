@@ -15,19 +15,54 @@
 //     adaptors, random exchange and a coordinator that never touches data.
 //   - Rotation-invariant classifiers (KNN, SMO-trained SVM with RBF
 //     kernel) for mining the unified data.
+//   - A long-lived mining service: the miner keeps a model trained on the
+//     unified data online and answers batched classification queries over
+//     pluggable transports (in-memory hub, AES-GCM-sealed TCP).
 //   - Risk accounting: the paper's Eq. 1 and Eq. 2 plus the party-count
 //     bounds behind its Figure 4.
+//
+// # Lifecycle: run → serve → query
+//
+// The unit of the API is the Session, created with the functional-options
+// constructor New (or configured and executed in one call with Run). A
+// session moves through three phases, mirroring the paper's
+// service-oriented framing in which the miner "offers their data mining
+// services to the contracted parties" for the contract's lifetime:
+//
+//  1. Run: each party's perturbation is optimized against the attack suite
+//     and the Space Adaptation Protocol unifies the perturbed shards at the
+//     miner. Session.Unified, Session.Target, Session.LocalGuarantees and
+//     Session.Identifiability expose the outcome.
+//  2. Serve: the miner trains a classifier on the unified data and answers
+//     queries on a transport endpoint until its context is cancelled.
+//     Predictions run on a configurable worker pool (WithServiceWorkers),
+//     and each request carries a whole batch, so one round trip classifies
+//     N records.
+//  3. Query: each contracted provider holds a Client (Session.NewClient)
+//     whose background demultiplexer correlates responses by request ID —
+//     any number of goroutines may call Classify or ClassifyBatch
+//     concurrently over one connection. Clients transform clear-space
+//     queries into the target space with G_t before sending, so the miner
+//     never sees clear data.
 //
 // # Quickstart
 //
 //	pool, _ := sap.GenerateDataset("Diabetes", 1)
 //	parties, _ := sap.Split(pool, 4, sap.PartitionUniform, 1)
-//	result, _ := sap.Run(context.Background(), sap.RunConfig{
-//		Parties: parties,
-//		Seed:    1,
-//	})
-//	model := sap.NewKNN(5)
-//	_ = model.Fit(result.Unified)
+//	sess, _ := sap.Run(context.Background(),
+//		sap.WithParties(parties...),
+//		sap.WithSeed(1),
+//	)
+//
+//	// Miner side: keep a model online.
+//	net := sap.NewMemNetwork()
+//	svcConn, _ := net.Endpoint("mining-service")
+//	go sess.Serve(ctx, svcConn, sap.NewKNN(5))
+//
+//	// Provider side: batched queries, one round trip.
+//	cliConn, _ := net.Endpoint("clinic")
+//	client, _ := sess.NewClient(cliConn, "mining-service")
+//	labels, _ := client.ClassifyBatch(ctx, queries)
 //
 // See examples/ for complete programs and DESIGN.md for the system
 // inventory and experiment index.

@@ -13,9 +13,10 @@ import (
 	sap "repro"
 )
 
-// ExampleRun shows the complete multiparty flow: partition, run SAP, train
-// on the unified perturbed data, and classify transformed queries.
-func ExampleRun() {
+// ExampleNew shows the full session lifecycle with the functional-options
+// constructor: configure, run SAP, train on the unified perturbed data, and
+// classify transformed queries.
+func ExampleNew() {
 	pool, err := sap.GenerateDataset("Diabetes", 1)
 	if err != nil {
 		log.Fatal(err)
@@ -29,16 +30,23 @@ func ExampleRun() {
 		log.Fatal(err)
 	}
 
-	res, err := sap.Run(context.Background(), sap.RunConfig{Parties: parties, Seed: 4})
+	sess, err := sap.New(
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(4, 4),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 
 	model := sap.NewKNN(5)
-	if err := model.Fit(res.Unified); err != nil {
+	if err := model.Fit(sess.Unified()); err != nil {
 		log.Fatal(err)
 	}
-	queries, err := res.TransformForInference(test)
+	queries, err := sess.TransformForInference(test)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,6 +57,68 @@ func ExampleRun() {
 	fmt.Printf("accuracy within a few points of the clear baseline: %v\n", acc > 0.5)
 }
 
+// ExampleRun shows the one-call entry point plus the serving lifecycle: the
+// miner keeps the model online with Session.Serve while a provider queries a
+// whole batch in one round trip through a session client.
+func ExampleRun() {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := sap.Run(ctx,
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(2, 1),
+		sap.WithServiceWorkers(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Miner side: serve the trained model.
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svcConn.Close()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(serveCtx, svcConn, sap.NewKNN(5)) }()
+
+	// Provider side: one batched query, one round trip. The client
+	// transforms clear records into the target space automatically.
+	cliConn, err := net.Endpoint("clinic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sess.NewClient(cliConn, "mining-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	labels, err := client.ClassifyBatch(ctx, holdout.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stopServe()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one label per held-out record: %v\n", len(labels) == holdout.Len())
+}
+
 // ExampleOptimizePerturbation shows single-party perturbation optimization
 // and privacy evaluation under the full attack suite.
 func ExampleOptimizePerturbation() {
@@ -56,7 +126,7 @@ func ExampleOptimizePerturbation() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pert, rho, err := sap.OptimizePerturbation(data, 2, sap.OptimizeOptions{})
+	pert, rho, err := sap.OptimizePerturbation(data, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,9 +29,8 @@ func run() error {
 	var randomRhos, optimizedRhos []float64
 	for i := 0; i < rounds; i++ {
 		// Random perturbation: a single Haar draw, no optimization.
-		randomPert, _, err := sap.OptimizePerturbation(data, int64(1000+i), sap.OptimizeOptions{
-			Candidates: 1, LocalSteps: -1, // -1 disables refinement
-		})
+		randomPert, _, err := sap.OptimizePerturbation(data, int64(1000+i),
+			sap.WithOptimizer(1, -1)) // -1 disables refinement
 		if err != nil {
 			return err
 		}
@@ -42,9 +41,8 @@ func run() error {
 		randomRhos = append(randomRhos, randomRep.MinGuarantee)
 
 		// Optimized perturbation: restarts + refinement.
-		optPert, _, err := sap.OptimizePerturbation(data, int64(2000+i), sap.OptimizeOptions{
-			Candidates: 8, LocalSteps: 8,
-		})
+		optPert, _, err := sap.OptimizePerturbation(data, int64(2000+i),
+			sap.WithOptimizer(8, 8))
 		if err != nil {
 			return err
 		}

@@ -1,20 +1,20 @@
-// Miningservice: the paper's service-oriented deployment end to end. After
-// SAP unifies the perturbed data, the mining service provider keeps a
-// trained model online and answers classification requests from the
-// contracted data providers — who transform each query into the target
-// space before asking, so the service never sees clear data.
+// Miningservice: the paper's service-oriented deployment end to end, driven
+// entirely through the sap.Session facade. After SAP unifies the perturbed
+// data (session.Run), the mining service provider keeps a trained model
+// online (session.Serve) and answers batched classification requests from
+// the contracted data providers, whose session clients transform each query
+// into the target space before asking — so the service never sees clear
+// data.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	sap "repro"
-	"repro/internal/classify"
-	"repro/internal/protocol"
-	"repro/internal/transport"
 )
 
 func main() {
@@ -40,63 +40,89 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := sap.Run(ctx, sap.RunConfig{
-		Parties:  clinics,
-		Seed:     4,
-		Optimize: sap.OptimizeOptions{Candidates: 4, LocalSteps: 4},
-	})
+	sess, err := sap.Run(ctx,
+		sap.WithParties(clinics...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(4, 4),
+		sap.WithServiceWorkers(4),
+	)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("SAP unified %d records from %d clinics (identifiability %.2f)\n",
-		res.Unified.Len(), len(clinics), res.Identifiability)
+		sess.Unified().Len(), len(clinics), sess.Identifiability())
 
-	// Phase 2: the miner stands up a classification service on the
-	// unified perturbed data.
-	net := transport.NewMemNetwork()
+	// Phase 2: the miner stands up the classification service on the
+	// unified perturbed data — the serving half of the session lifecycle.
+	net := sap.NewMemNetwork()
 	svcConn, err := net.Endpoint("mining-service")
 	if err != nil {
 		return err
 	}
 	defer svcConn.Close()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(serveCtx, svcConn, sap.NewKNN(5)) }()
+
+	// Phase 3: two clinics classify held-out patients concurrently through
+	// one shared connection each. Queries are clear-space records; the
+	// session client transforms them with G_t before they leave the clinic.
 	cliConn, err := net.Endpoint("clinic-1")
 	if err != nil {
 		return err
 	}
 	defer cliConn.Close()
-
-	svc, err := protocol.NewMiningService(svcConn,
-		&protocol.MinerResult{Unified: res.Unified}, classify.NewKNN(5))
+	client, err := sess.NewClient(cliConn, "mining-service")
 	if err != nil {
 		return err
 	}
-	serveCtx, stopServe := context.WithCancel(ctx)
-	defer stopServe()
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- svc.Serve(serveCtx) }()
+	defer client.Close()
 
-	// Phase 3: a clinic classifies held-out patients through the service.
-	client, err := protocol.NewServiceClient(cliConn, "mining-service")
-	if err != nil {
-		return err
-	}
-	queries, err := res.TransformForInference(holdout)
+	// One bulk batch: N records, one round trip.
+	half := holdout.Len() / 2
+	labels, err := client.ClassifyBatch(ctx, holdout.X[:half])
 	if err != nil {
 		return err
 	}
 	correct := 0
-	for i := range queries.X {
-		label, err := client.Classify(ctx, queries.X[i])
-		if err != nil {
-			return err
-		}
+	for i, label := range labels {
 		if label == holdout.Y[i] {
 			correct++
 		}
 	}
+
+	// The rest as concurrent single queries from many goroutines — the
+	// client's demultiplexer correlates the responses.
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	errCh := make(chan error, holdout.Len()-half)
+	for i := half; i < holdout.Len(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := client.Classify(ctx, holdout.X[i])
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if label == holdout.Y[i] {
+				mu.Lock()
+				correct++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
 	acc := float64(correct) / float64(holdout.Len())
-	fmt.Printf("remote classification over %d held-out records: accuracy %.3f\n",
-		holdout.Len(), acc)
+	fmt.Printf("remote classification over %d held-out records (1 batch + %d concurrent singles): accuracy %.3f\n",
+		holdout.Len(), holdout.Len()-half, acc)
 
 	// Reference: the clear-data baseline for the same classifier.
 	base := sap.NewKNN(5)

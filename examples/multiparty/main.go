@@ -45,25 +45,25 @@ func run() error {
 
 	// Run SAP: each hospital optimizes its own perturbation; the protocol
 	// unifies them at the miner without identifiable sources.
-	res, err := sap.Run(ctx, sap.RunConfig{Parties: hospitals, Seed: 4})
+	sess, err := sap.Run(ctx, sap.WithParties(hospitals...), sap.WithSeed(4))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nSAP complete: unified %d records; miner-side source identifiability %.3f\n",
-		res.Unified.Len(), res.Identifiability)
-	for i, rho := range res.LocalGuarantees {
+		sess.Unified().Len(), sess.Identifiability())
+	for i, rho := range sess.LocalGuarantees() {
 		fmt.Printf("hospital %d local privacy guarantee ρ = %.4f\n", i+1, rho)
 	}
 
 	// The miner trains an SVM(RBF) on the unified perturbed data.
 	model := sap.NewSVM(sap.SVMConfig{})
-	if err := model.Fit(res.Unified); err != nil {
+	if err := model.Fit(sess.Unified()); err != nil {
 		return err
 	}
 
 	// A hospital scores new patients by transforming them into the target
 	// space first (hospitals know G_t; the miner never sees clear data).
-	testT, err := res.TransformForInference(test)
+	testT, err := sess.TransformForInference(test)
 	if err != nil {
 		return err
 	}

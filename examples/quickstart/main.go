@@ -30,7 +30,7 @@ func run() error {
 		train.Len(), test.Len(), train.Dim())
 
 	// 2. Optimize a geometric perturbation for the training data.
-	pert, rho, err := sap.OptimizePerturbation(train, 3, sap.OptimizeOptions{})
+	pert, rho, err := sap.OptimizePerturbation(train, 3)
 	if err != nil {
 		return err
 	}

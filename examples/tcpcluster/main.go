@@ -146,11 +146,53 @@ func run() error {
 		fmt.Printf("  slot %d ← %s\n", slot, from)
 	}
 
-	// The miner trains a model on data it cannot de-anonymize.
-	model := sap.NewKNN(5)
-	if err := model.Fit(res.Unified); err != nil {
+	// The miner keeps a model online: the serving phase of the contract.
+	// Queries and responses travel over the same AES-sealed TCP links.
+	svc, err := protocol.NewMiningService(nodes["miner"], res, sap.NewKNN(5),
+		protocol.ServiceConfig{Workers: 4})
+	if err != nil {
 		return err
 	}
-	fmt.Println("\nKNN model trained on the unified perturbed dataset — done")
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- svc.Serve(serveCtx) }()
+	fmt.Println("\nmining service online over TCP")
+
+	// bank4 (the coordinator) queries a batch of fresh records. It holds
+	// G_t from the run and transforms the queries noiselessly first.
+	target := coord.Plan().Target
+	queries := shards[3]
+	yq, err := target.ApplyNoiseless(queries.FeaturesT())
+	if err != nil {
+		return err
+	}
+	batch := make([][]float64, queries.Len())
+	for i := range batch {
+		batch[i] = yq.Col(i)
+	}
+	client, err := protocol.NewServiceClient(nodes["bank4"], "miner")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	labels, err := client.ClassifyBatch(ctx, batch)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for i, label := range labels {
+		if label == queries.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("bank4 classified %d records in one round trip: %d/%d match\n",
+		len(labels), correct, len(labels))
+
+	stopServe()
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	fmt.Println("service stopped cleanly — done")
 	return nil
 }

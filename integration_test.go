@@ -24,17 +24,17 @@ func TestIntegrationSVMOnClassSkewedWine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sap.Run(runCtx(t), sap.RunConfig{
-		Parties:  parties,
-		Seed:     24,
-		Optimize: sap.OptimizeOptions{Candidates: 3, LocalSteps: 2},
-	})
+	res, err := sap.Run(runCtx(t),
+		sap.WithParties(parties...),
+		sap.WithSeed(24),
+		sap.WithOptimizer(3, 2),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	model := sap.NewSVM(sap.SVMConfig{})
-	if err := model.Fit(res.Unified); err != nil {
+	if err := model.Fit(res.Unified()); err != nil {
 		t.Fatal(err)
 	}
 	testT, err := res.TransformForInference(test)
@@ -69,11 +69,11 @@ func TestIntegrationDistancePreservationThroughTargetSpace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sap.Run(runCtx(t), sap.RunConfig{
-		Parties:  parties,
-		Seed:     27,
-		Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
-	})
+	res, err := sap.Run(runCtx(t),
+		sap.WithParties(parties...),
+		sap.WithSeed(27),
+		sap.WithOptimizer(2, 1),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,17 +103,15 @@ func TestIntegrationOptimizedBeatsRandomUnderFullSuite(t *testing.T) {
 	var randomSum, optSum float64
 	const trials = 4
 	for i := int64(0); i < trials; i++ {
-		_, randomRho, err := sap.OptimizePerturbation(d, 100+i, sap.OptimizeOptions{
-			Candidates: 1, LocalSteps: -1, FullAttackSuite: true,
-		})
+		_, randomRho, err := sap.OptimizePerturbation(d, 100+i,
+			sap.WithOptimizer(1, -1), sap.WithFullAttackSuite())
 		if err != nil {
 			t.Fatal(err)
 		}
 		randomSum += randomRho
 
-		_, optRho, err := sap.OptimizePerturbation(d, 300+i, sap.OptimizeOptions{
-			Candidates: 6, LocalSteps: 6, FullAttackSuite: true,
-		})
+		_, optRho, err := sap.OptimizePerturbation(d, 300+i,
+			sap.WithOptimizer(6, 6), sap.WithFullAttackSuite())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,16 +148,13 @@ func TestIntegrationOptimizationDoesNotDegradeOutOfSample(t *testing.T) {
 	var randomSum, optSum float64
 	const trials = 3
 	for i := int64(0); i < trials; i++ {
-		randomPert, _, err := sap.OptimizePerturbation(d, 100+i, sap.OptimizeOptions{
-			Candidates: 1, LocalSteps: -1,
-		})
+		randomPert, _, err := sap.OptimizePerturbation(d, 100+i, sap.WithOptimizer(1, -1))
 		if err != nil {
 			t.Fatal(err)
 		}
 		randomSum += score(randomPert)
-		optPert, _, err := sap.OptimizePerturbation(d, 300+i, sap.OptimizeOptions{
-			Candidates: 6, LocalSteps: 6, ScoreSamples: 2,
-		})
+		optPert, _, err := sap.OptimizePerturbation(d, 300+i,
+			sap.WithOptimizer(6, 6), sap.WithScoreSamples(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,22 +211,22 @@ func TestIntegrationIdentifiabilityScalesWithK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sap.Run(runCtx(t), sap.RunConfig{
-			Parties:  parties,
-			Seed:     34,
-			Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
-		})
+		res, err := sap.Run(runCtx(t),
+			sap.WithParties(parties...),
+			sap.WithSeed(34),
+			sap.WithOptimizer(2, 1),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := 1 / float64(k-1)
-		if math.Abs(res.Identifiability-want) > 1e-12 {
-			t.Errorf("k=%d: identifiability %v, want %v", k, res.Identifiability, want)
+		if math.Abs(res.Identifiability()-want) > 1e-12 {
+			t.Errorf("k=%d: identifiability %v, want %v", k, res.Identifiability(), want)
 		}
-		if res.Identifiability >= prev {
+		if res.Identifiability() >= prev {
 			t.Errorf("identifiability did not shrink at k=%d", k)
 		}
-		prev = res.Identifiability
+		prev = res.Identifiability()
 	}
 }
 

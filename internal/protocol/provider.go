@@ -27,9 +27,16 @@ type ProviderConfig struct {
 
 // Provider runs one non-coordinator data provider.
 type Provider struct {
-	cfg  ProviderConfig
-	conn transport.Conn
+	cfg    ProviderConfig
+	conn   transport.Conn
+	target *perturb.Perturbation
 }
+
+// Target returns the unified target perturbation G_t received from the
+// coordinator, available once Run has completed. Providers use it to
+// transform classification queries into the target space before asking the
+// mining service.
+func (p *Provider) Target() *perturb.Perturbation { return p.target }
 
 // NewProvider validates the configuration and binds the provider to a
 // transport endpoint.
@@ -114,6 +121,7 @@ func (p *Provider) Run(ctx context.Context) error {
 				return fmt.Errorf("%w: %d datasets arrived for a quota of %d", ErrViolation, len(pendingFwd), expect)
 			}
 			assigned = true
+			p.target = target
 
 			if err := p.sendOwnData(ctx, slotID, sendTo); err != nil {
 				return err

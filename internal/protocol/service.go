@@ -6,63 +6,157 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/transport"
 )
 
-// ErrServiceClosed is returned by a classification client when the service
-// answered with an error or the link failed.
-var ErrServiceClosed = errors.New("protocol: mining service unavailable")
+// Typed errors of the serving subsystem. ErrServiceClosed means the link or
+// the service is gone; the others describe a rejected request and leave the
+// client usable.
+var (
+	// ErrServiceClosed is returned when the service answered with an
+	// internal error or the link failed.
+	ErrServiceClosed = errors.New("protocol: mining service unavailable")
+	// ErrBadQuery flags an empty batch or a record whose dimension does not
+	// match the service model.
+	ErrBadQuery = errors.New("protocol: malformed classification query")
+	// ErrBatchTooLarge flags a batch exceeding the service's MaxBatch.
+	ErrBatchTooLarge = errors.New("protocol: classification batch too large")
+	// ErrWireVersion flags a frame whose service wire version the peer does
+	// not speak.
+	ErrWireVersion = errors.New("protocol: unsupported service wire version")
+)
+
+// serviceMagic prefixes every service frame so serving traffic is
+// distinguishable from SAP protocol frames at the payload level: a query
+// that races the tail of a SAP run can be stashed instead of tripping the
+// miner's violation checks.
+const serviceMagic = 0x53 // 'S'
+
+// ServiceWireVersion is the current service frame version. Version 1 was the
+// unversioned single-record frame of the pre-batching service; version 2
+// carries batches and typed error codes.
+const ServiceWireVersion = 2
+
+// Wire error codes carried in service responses, mapped back to the typed
+// errors above by the client.
+const (
+	codeOK uint8 = iota
+	codeBadQuery
+	codeBatchTooLarge
+	codeWireVersion
+	codeInternal
+)
 
 // serviceWire is the request/response frame of the post-unification mining
-// service. It is separate from the SAP wire type because the service runs
-// after the protocol completes, potentially for the contract's lifetime.
+// service. One request carries a whole batch and is answered by exactly one
+// response frame, so a ClassifyBatch costs a single round trip.
 type serviceWire struct {
-	// ID correlates responses with requests.
+	// ID correlates responses with requests; the client's demultiplexer
+	// routes on it.
 	ID uint64
-	// Features is a single query record, already transformed into the
-	// target space by the caller (providers know G_t; the miner never
-	// sees clear data).
-	Features []float64
-	// Label is the predicted class (response only).
-	Label int
-	// Err is a human-readable failure reason (response only).
+	// Batch is the query: records already transformed into the target space
+	// by the caller (providers know G_t; the miner never sees clear data).
+	Batch [][]float64
+	// Labels is the response: one predicted class per batch record.
+	Labels []int
+	// Code is a machine-readable failure class (response only, codeOK on
+	// success).
+	Code uint8
+	// Err is the human-readable failure detail (response only).
 	Err string
 	// Response discriminates request from response frames.
 	Response bool
 }
 
+// IsServiceFrame reports whether a raw transport payload is a service frame
+// (of any version). Protocol drivers use it to divert early queries that
+// arrive while the SAP run is still completing.
+func IsServiceFrame(payload []byte) bool {
+	return len(payload) >= 2 && payload[0] == serviceMagic
+}
+
 func encodeServiceWire(w *serviceWire) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(serviceMagic)
+	buf.WriteByte(ServiceWireVersion)
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("protocol: encode service frame: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
+// decodeServiceWire unpacks a service frame. A nil frame with a nil error
+// means "not a service frame, ignore". A version mismatch returns the frame
+// ID when recoverable so the peer can be answered with a typed error.
 func decodeServiceWire(payload []byte) (*serviceWire, error) {
+	if !IsServiceFrame(payload) {
+		return nil, nil
+	}
+	version := payload[1]
 	var w serviceWire
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload[2:])).Decode(&w); err != nil {
+		if version != ServiceWireVersion {
+			return nil, fmt.Errorf("%w: got v%d, speak v%d", ErrWireVersion, version, ServiceWireVersion)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if version != ServiceWireVersion {
+		// The frame decoded (gob skips unknown fields) but the peer speaks
+		// another version; answer it with a typed rejection.
+		return &w, fmt.Errorf("%w: got v%d, speak v%d", ErrWireVersion, version, ServiceWireVersion)
 	}
 	return &w, nil
 }
 
+// ServiceConfig tunes the miner-side serving loop.
+type ServiceConfig struct {
+	// Workers is the number of goroutines predicting concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// MaxBatch caps the records accepted in one request (default 4096).
+	// Oversized batches are rejected with ErrBatchTooLarge, not served.
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the batch-size cap applied when ServiceConfig.MaxBatch
+// is zero.
+const DefaultMaxBatch = 4096
+
+// serviceSendTimeout bounds one response write so a peer that stops reading
+// cannot stall the serving loop's sender indefinitely.
+const serviceSendTimeout = 30 * time.Second
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
 // MiningService is the miner-side classification endpoint: a model trained
-// on the unified perturbed dataset, answering queries that arrive in the
-// target space. This realizes the paper's service-oriented framing — the
+// on the unified perturbed dataset, answering batched queries that arrive in
+// the target space. This realizes the paper's service-oriented framing — the
 // service provider "offers their data mining services to the contracted
-// parties".
+// parties" for the contract's lifetime.
 type MiningService struct {
 	conn  transport.Conn
 	model classify.Classifier
 	dim   int
+	cfg   ServiceConfig
 }
 
 // NewMiningService trains the given classifier on the miner's unified
-// dataset and binds the service to a transport endpoint.
-func NewMiningService(conn transport.Conn, result *MinerResult, model classify.Classifier) (*MiningService, error) {
+// dataset and binds the service to a transport endpoint. The zero
+// ServiceConfig selects the defaults.
+func NewMiningService(conn transport.Conn, result *MinerResult, model classify.Classifier, cfg ServiceConfig) (*MiningService, error) {
 	if result == nil || result.Unified == nil || result.Unified.Len() == 0 {
 		return nil, fmt.Errorf("%w: no unified dataset", ErrBadConfig)
 	}
@@ -72,90 +166,329 @@ func NewMiningService(conn transport.Conn, result *MinerResult, model classify.C
 	if err := model.Fit(result.Unified); err != nil {
 		return nil, fmt.Errorf("protocol: train service model: %w", err)
 	}
-	return &MiningService{conn: conn, model: model, dim: result.Unified.Dim()}, nil
+	return &MiningService{conn: conn, model: model, dim: result.Unified.Dim(), cfg: cfg.withDefaults()}, nil
+}
+
+// serviceJob is one accepted request travelling from the receive loop to a
+// worker.
+type serviceJob struct {
+	from string
+	req  *serviceWire
+}
+
+// serviceOut is one encoded response travelling from a worker to the single
+// sender goroutine (transport connections are not required to support
+// concurrent writers).
+type serviceOut struct {
+	to      string
+	payload []byte
 }
 
 // Serve answers classification requests until ctx is cancelled or the
-// transport closes. Malformed frames are answered with an error response
-// rather than terminating the service.
+// transport closes. Requests are dispatched to a pool of cfg.Workers
+// prediction goroutines; responses funnel through one sender. Malformed
+// frames are answered with a typed error response (or dropped when they
+// cannot be attributed) rather than terminating the service.
 func (s *MiningService) Serve(ctx context.Context) error {
+	jobs := make(chan serviceJob)
+	out := make(chan serviceOut, s.cfg.Workers)
+
+	var senderWg sync.WaitGroup
+	senderWg.Add(1)
+	go func() {
+		defer senderWg.Done()
+		for o := range out {
+			// Bound each response write so one peer that stops reading
+			// cannot wedge the sender (and with it every worker) forever;
+			// a timed-out connection is dropped by the transport and the
+			// requester simply re-dials. The requester may also have gone
+			// away entirely; either way, keep serving others.
+			sendCtx, cancel := context.WithTimeout(ctx, serviceSendTimeout)
+			_ = s.conn.Send(sendCtx, o.to, o.payload)
+			cancel()
+		}
+	}()
+
+	var workerWg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		workerWg.Add(1)
+		go func() {
+			defer workerWg.Done()
+			for j := range jobs {
+				payload, err := encodeServiceWire(s.handle(j.req))
+				if err != nil {
+					continue
+				}
+				out <- serviceOut{to: j.from, payload: payload}
+			}
+		}()
+	}
+	shutdown := func() {
+		close(jobs)
+		workerWg.Wait()
+		close(out)
+		senderWg.Wait()
+	}
+
 	for {
 		env, err := s.conn.Recv(ctx)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return nil
-			}
-			if errors.Is(err, transport.ErrClosed) {
+			shutdown()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, transport.ErrClosed) {
 				return nil
 			}
 			return err
 		}
 		req, err := decodeServiceWire(env.Payload)
-		if err != nil || req.Response {
-			continue // not a service request; drop
-		}
-		resp := &serviceWire{ID: req.ID, Response: true}
-		if len(req.Features) != s.dim {
-			resp.Err = fmt.Sprintf("query has %d features, want %d", len(req.Features), s.dim)
-		} else if label, err := s.model.Predict(req.Features); err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Label = label
-		}
-		payload, err := encodeServiceWire(resp)
-		if err != nil {
-			return err
-		}
-		if err := s.conn.Send(ctx, env.From, payload); err != nil {
-			// The requester may have gone away; keep serving others.
+		switch {
+		case req == nil && err == nil:
+			continue // not a service frame; drop
+		case errors.Is(err, ErrWireVersion):
+			resp := &serviceWire{Response: true, Code: codeWireVersion, Err: err.Error()}
+			if req != nil {
+				resp.ID = req.ID
+			}
+			if payload, encErr := encodeServiceWire(resp); encErr == nil {
+				out <- serviceOut{to: env.From, payload: payload}
+			}
 			continue
+		case err != nil || req.Response:
+			continue // undecodable or stray response frame; drop
+		}
+		select {
+		case jobs <- serviceJob{from: env.From, req: req}:
+		case <-ctx.Done():
+			shutdown()
+			return nil
 		}
 	}
 }
 
-// ServiceClient is the provider-side handle for querying the mining
-// service. Queries must already be in the target space (providers hold
-// G_t from the SAP run and apply it noiselessly to each record).
-type ServiceClient struct {
-	conn   transport.Conn
-	miner  string
-	nextID uint64
+// handle validates one request and predicts every record in its batch.
+func (s *MiningService) handle(req *serviceWire) *serviceWire {
+	resp := &serviceWire{ID: req.ID, Response: true}
+	if len(req.Batch) == 0 {
+		resp.Code, resp.Err = codeBadQuery, "empty batch"
+		return resp
+	}
+	if len(req.Batch) > s.cfg.MaxBatch {
+		resp.Code, resp.Err = codeBatchTooLarge,
+			fmt.Sprintf("batch has %d records, cap is %d", len(req.Batch), s.cfg.MaxBatch)
+		return resp
+	}
+	labels := make([]int, len(req.Batch))
+	for i, rec := range req.Batch {
+		if len(rec) != s.dim {
+			resp.Code, resp.Err = codeBadQuery,
+				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), s.dim)
+			return resp
+		}
+		label, err := s.model.Predict(rec)
+		if err != nil {
+			resp.Code, resp.Err = codeInternal, err.Error()
+			return resp
+		}
+		labels[i] = label
+	}
+	resp.Labels = labels
+	return resp
 }
 
-// NewServiceClient binds a client to a transport endpoint.
+// ServiceClient is the provider-side handle for querying the mining
+// service. Queries must already be in the target space (providers hold G_t
+// from the SAP run and apply it noiselessly to each record).
+//
+// The client owns its connection's receive side: a background demultiplexer
+// routes responses to waiting callers by request ID, so any number of
+// goroutines may call Classify and ClassifyBatch concurrently over one
+// connection. Close the client to release the demultiplexer.
+type ServiceClient struct {
+	conn  transport.Conn
+	miner string
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *serviceWire
+	failed  bool
+	cause   error
+
+	done      chan struct{} // closed when the demultiplexer has failed
+	loopDone  chan struct{} // closed when the demultiplexer has exited
+	closeOnce sync.Once
+	stopRecv  context.CancelFunc
+}
+
+// NewServiceClient binds a client to a transport endpoint and starts its
+// response demultiplexer. The connection's receive side belongs to the
+// client from this point on.
 func NewServiceClient(conn transport.Conn, miner string) (*ServiceClient, error) {
 	if miner == "" {
 		return nil, fmt.Errorf("%w: missing miner endpoint", ErrBadConfig)
 	}
-	return &ServiceClient{conn: conn, miner: miner}, nil
+	recvCtx, stop := context.WithCancel(context.Background())
+	c := &ServiceClient{
+		conn:     conn,
+		miner:    miner,
+		pending:  make(map[uint64]chan *serviceWire),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		stopRecv: stop,
+	}
+	go c.recvLoop(recvCtx)
+	return c, nil
 }
 
-// Classify sends one target-space record and blocks for its label.
-func (c *ServiceClient) Classify(ctx context.Context, features []float64) (int, error) {
-	c.nextID++
-	id := c.nextID
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Features: features})
-	if err != nil {
-		return 0, err
-	}
-	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
-	}
+// recvLoop routes every incoming response frame to the caller waiting on its
+// ID. Frames for unknown IDs (cancelled requests, foreign traffic) are
+// dropped.
+func (c *ServiceClient) recvLoop(ctx context.Context) {
+	defer close(c.loopDone)
 	for {
 		env, err := c.conn.Recv(ctx)
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+			c.fail(fmt.Errorf("%w: %v", ErrServiceClosed, err))
+			return
 		}
-		resp, err := decodeServiceWire(env.Payload)
-		if err != nil {
-			continue // unrelated traffic
+		// A version-mismatch rejection still carries the request ID and a
+		// typed code; deliver it so the caller gets ErrWireVersion instead
+		// of hanging. Only undecodable or non-response traffic is dropped.
+		resp, _ := decodeServiceWire(env.Payload)
+		if resp == nil || !resp.Response {
+			continue
 		}
-		if !resp.Response || resp.ID != id {
-			continue // stale or foreign frame
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
 		}
-		if resp.Err != "" {
-			return 0, fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
 		}
-		return resp.Label, nil
 	}
+}
+
+// fail marks the client dead and wakes every in-flight caller.
+func (c *ServiceClient) fail(cause error) {
+	c.mu.Lock()
+	if c.failed {
+		c.mu.Unlock()
+		return
+	}
+	c.failed = true
+	c.cause = cause
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// terminalErr returns the recorded failure cause (always non-nil once the
+// client has failed).
+func (c *ServiceClient) terminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cause != nil {
+		return c.cause
+	}
+	return ErrServiceClosed
+}
+
+// Close stops the demultiplexer and fails all in-flight requests. The
+// underlying connection is left open (it may be shared with other traffic on
+// the send side).
+func (c *ServiceClient) Close() error {
+	c.closeOnce.Do(func() {
+		c.stopRecv()
+		<-c.loopDone
+	})
+	return nil
+}
+
+// register allocates a request ID and its response channel.
+func (c *ServiceClient) register() (uint64, chan *serviceWire, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return 0, nil, c.cause
+	}
+	c.nextID++
+	ch := make(chan *serviceWire, 1)
+	c.pending[c.nextID] = ch
+	return c.nextID, ch, nil
+}
+
+// unregister abandons an in-flight request (send failure or caller
+// cancellation); a response arriving later is dropped by the demultiplexer.
+func (c *ServiceClient) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Classify sends one target-space record and blocks for its label. It is
+// safe to call from many goroutines concurrently.
+func (c *ServiceClient) Classify(ctx context.Context, features []float64) (int, error) {
+	labels, err := c.ClassifyBatch(ctx, [][]float64{features})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// ClassifyBatch sends a whole batch of target-space records in one frame and
+// blocks for their labels, which arrive in one response frame — a single
+// round trip regardless of batch size. It is safe to call from many
+// goroutines concurrently; cancelling ctx abandons only this request.
+func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Batch: batch})
+	if err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
+		c.unregister(id)
+		return nil, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.terminalErr()
+		}
+		return decodeServiceResponse(resp, len(batch))
+	case <-ctx.Done():
+		c.unregister(id)
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, c.terminalErr()
+	}
+}
+
+// decodeServiceResponse maps a response frame to labels or a typed error.
+func decodeServiceResponse(resp *serviceWire, want int) ([]int, error) {
+	switch resp.Code {
+	case codeOK:
+	case codeBadQuery:
+		return nil, fmt.Errorf("%w: %s", ErrBadQuery, resp.Err)
+	case codeBatchTooLarge:
+		return nil, fmt.Errorf("%w: %s", ErrBatchTooLarge, resp.Err)
+	case codeWireVersion:
+		return nil, fmt.Errorf("%w: %s", ErrWireVersion, resp.Err)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
+	}
+	if len(resp.Labels) != want {
+		return nil, fmt.Errorf("%w: %d labels for %d records", ErrBadMessage, len(resp.Labels), want)
+	}
+	return resp.Labels, nil
 }

@@ -29,7 +29,7 @@ type TCPNode struct {
 
 	mu       sync.Mutex
 	peers    map[string]string // name -> address
-	dials    map[string]net.Conn
+	dials    map[string]*tcpPeer
 	accepted map[net.Conn]struct{}
 	ln       net.Listener
 	inbox    chan Envelope
@@ -39,6 +39,27 @@ type TCPNode struct {
 }
 
 var _ Conn = (*TCPNode)(nil)
+
+// tcpPeer is one outbound connection plus the mutex that serializes frame
+// writes on it. A frame is two Writes (length prefix, body); concurrent
+// senders — e.g. service workers answering different clients, or many
+// goroutines batching queries through one client — must not interleave them.
+type tcpPeer struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+// writeFrameLocked writes one sealed frame under the peer's write lock. The
+// deadline is set unconditionally: a zero deadline clears any deadline left
+// by a previous sender, so a deadline-free Send is not failed by a stale one.
+func (p *tcpPeer) writeFrameLocked(deadline time.Time, frame []byte) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	if err := p.conn.SetWriteDeadline(deadline); err != nil {
+		return fmt.Errorf("transport: deadline: %w", err)
+	}
+	return writeFrame(p.conn, frame)
+}
 
 // NewTCPNode starts a node listening on addr (use "127.0.0.1:0" to pick a
 // free port). The caller must Close it.
@@ -54,7 +75,7 @@ func NewTCPNode(name, addr string, codec Codec) (*TCPNode, error) {
 		name:     name,
 		codec:    codec,
 		peers:    make(map[string]string),
-		dials:    make(map[string]net.Conn),
+		dials:    make(map[string]*tcpPeer),
 		accepted: make(map[net.Conn]struct{}),
 		ln:       ln,
 		inbox:    make(chan Envelope, memInboxSize),
@@ -153,7 +174,7 @@ func (n *TCPNode) Send(ctx context.Context, to string, payload []byte) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
 	}
-	conn, ok := n.dials[to]
+	peer, ok := n.dials[to]
 	n.mu.Unlock()
 
 	if !ok {
@@ -166,11 +187,11 @@ func (n *TCPNode) Send(ctx context.Context, to string, payload []byte) error {
 			// Another Send dialed concurrently; keep the first connection.
 			n.mu.Unlock()
 			c.Close()
-			conn = existing
+			peer = existing
 		} else {
-			n.dials[to] = c
+			peer = &tcpPeer{conn: c}
+			n.dials[to] = peer
 			n.mu.Unlock()
-			conn = c
 		}
 	}
 
@@ -179,19 +200,15 @@ func (n *TCPNode) Send(ctx context.Context, to string, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetWriteDeadline(deadline); err != nil {
-			return fmt.Errorf("transport: deadline: %w", err)
-		}
-	}
-	if err := writeFrame(conn, sealed); err != nil {
+	deadline, _ := ctx.Deadline()
+	if err := peer.writeFrameLocked(deadline, sealed); err != nil {
 		// Connection is unusable; drop it so the next Send re-dials.
 		n.mu.Lock()
-		if n.dials[to] == conn {
+		if n.dials[to] == peer {
 			delete(n.dials, to)
 		}
 		n.mu.Unlock()
-		conn.Close()
+		peer.conn.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
@@ -223,10 +240,10 @@ func (n *TCPNode) Close() error {
 	}
 	n.closed = true
 	close(n.done)
-	for _, c := range n.dials {
-		c.Close()
+	for _, p := range n.dials {
+		p.conn.Close()
 	}
-	n.dials = make(map[string]net.Conn)
+	n.dials = make(map[string]*tcpPeer)
 	// Accepted connections must be closed too or their reader goroutines
 	// would block in readFrame forever and Close would never return.
 	for c := range n.accepted {

@@ -1,13 +1,11 @@
 package sap
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/classify"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/perturb"
 	"repro/internal/privacy"
@@ -86,41 +84,28 @@ func TrainTestSplit(d *Dataset, testFrac float64, seed int64) (train, test *Data
 	return d.Split(rand.New(rand.NewSource(seed)), testFrac)
 }
 
-// OptimizeOptions tunes OptimizePerturbation. The zero value uses the
-// library defaults (8 random restarts, 12 refinement steps, σ = 0.05).
-type OptimizeOptions struct {
-	// Candidates is the number of random restarts.
-	Candidates int
-	// LocalSteps is the number of annealed Givens refinement steps.
-	LocalSteps int
-	// NoiseSigma is the noise component's standard deviation.
-	NoiseSigma float64
-	// ScoreSamples averages each candidate's score over this many noise
-	// draws (default 1); higher values reduce selection bias toward lucky
-	// noise at proportional cost.
-	ScoreSamples int
-	// FullAttackSuite also runs the (slower) ICA attack during
-	// optimization; otherwise ICA is reserved for final evaluation.
-	FullAttackSuite bool
-}
-
 // OptimizePerturbation searches for a perturbation of d with a high minimum
 // privacy guarantee under the attack suite, deterministically from seed.
-// It returns the perturbation and its guarantee ρ.
-func OptimizePerturbation(d *Dataset, seed int64, opts OptimizeOptions) (*Perturbation, float64, error) {
+// It returns the perturbation and its guarantee ρ. The optimizer-related
+// options (WithOptimizer, WithNoiseSigma, WithScoreSamples,
+// WithFullAttackSuite) apply; the defaults are 8 random restarts, 12
+// refinement steps and σ = 0.05.
+func OptimizePerturbation(d *Dataset, seed int64, opts ...Option) (*Perturbation, float64, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, 0, fmt.Errorf("%w: empty dataset", ErrBadInput)
 	}
-	cfg := privacy.OptimizerConfig{
-		Candidates:   opts.Candidates,
-		LocalSteps:   opts.LocalSteps,
-		NoiseSigma:   opts.NoiseSigma,
-		ScoreSamples: opts.ScoreSamples,
+	cfg := config{noiseSigma: 0.05}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, 0, err
+		}
 	}
-	if opts.FullAttackSuite {
-		cfg.Evaluator = privacy.DefaultEvaluator()
+	// Session-only options are rejected rather than silently ignored —
+	// WithSeed in particular would conflict with the seed parameter.
+	if len(cfg.parties) != 0 || cfg.seed != 0 || cfg.workers != 0 || cfg.maxBatch != 0 {
+		return nil, 0, fmt.Errorf("%w: session option passed to OptimizePerturbation (use the seed parameter and optimizer options)", ErrBadInput)
 	}
-	opt := privacy.NewOptimizer(cfg)
+	opt := privacy.NewOptimizer(privacyOptimizerConfig(&cfg))
 	p, res, err := opt.Optimize(rand.New(rand.NewSource(seed)), d.FeaturesT())
 	if err != nil {
 		return nil, 0, err
@@ -150,92 +135,6 @@ func EvaluatePrivacy(original *Dataset, p *Perturbation, seed int64, knownPairs 
 		know.KnownPerturbed = y.Slice(0, y.Rows(), 0, knownPairs)
 	}
 	return privacy.DefaultEvaluator().Evaluate(x, y, know)
-}
-
-// RunConfig configures a full SAP session.
-type RunConfig struct {
-	// Parties are the providers' local datasets (k ≥ 3). The last one
-	// doubles as the coordinator.
-	Parties []*Dataset
-	// Seed drives all randomness.
-	Seed int64
-	// NoiseSigma is the common noise component σ (default 0.05).
-	NoiseSigma float64
-	// Optimize tunes the per-party perturbation optimization.
-	Optimize OptimizeOptions
-}
-
-// RunResult is the outcome of a SAP session.
-type RunResult struct {
-	// Unified is the miner's merged training set in the target space.
-	Unified *Dataset
-	// Target is the unified target perturbation G_t; classification
-	// requests must be transformed with it (ApplyNoiseless) before being
-	// sent to the miner's model.
-	Target *Perturbation
-	// LocalGuarantees holds each party's locally optimized ρ_i, in party
-	// order.
-	LocalGuarantees []float64
-	// Identifiability is the miner-side source identifiability 1/(k−1).
-	Identifiability float64
-}
-
-// Run optimizes each party's perturbation and executes the Space Adaptation
-// Protocol over an in-memory network, returning the unified dataset. It is
-// a thin veneer over the internal/core pipeline.
-func Run(ctx context.Context, cfg RunConfig) (*RunResult, error) {
-	for i, d := range cfg.Parties {
-		if d == nil || d.Len() == 0 {
-			return nil, fmt.Errorf("%w: party %d has no data", ErrBadInput, i)
-		}
-	}
-	optCfg := privacy.OptimizerConfig{
-		Candidates:   cfg.Optimize.Candidates,
-		LocalSteps:   cfg.Optimize.LocalSteps,
-		ScoreSamples: cfg.Optimize.ScoreSamples,
-	}
-	if cfg.Optimize.FullAttackSuite {
-		optCfg.Evaluator = privacy.DefaultEvaluator()
-	}
-	res, err := core.Run(ctx, core.PipelineConfig{
-		Parties:    cfg.Parties,
-		Seed:       cfg.Seed,
-		NoiseSigma: cfg.NoiseSigma,
-		Optimizer:  optCfg,
-	})
-	if err != nil {
-		if errors.Is(err, core.ErrBadPipeline) {
-			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
-		}
-		return nil, err
-	}
-	guarantees := make([]float64, len(res.Parties))
-	for i, p := range res.Parties {
-		guarantees[i] = p.LocalGuarantee
-	}
-	return &RunResult{
-		Unified:         res.Unified,
-		Target:          res.Target,
-		LocalGuarantees: guarantees,
-		Identifiability: res.Identifiability,
-	}, nil
-}
-
-// TransformForInference maps a clear dataset into the target space so it
-// can be scored by a model trained on RunResult.Unified.
-func (r *RunResult) TransformForInference(d *Dataset) (*Dataset, error) {
-	if d == nil || d.Len() == 0 {
-		return nil, fmt.Errorf("%w: empty dataset", ErrBadInput)
-	}
-	y, err := r.Target.ApplyNoiseless(d.FeaturesT())
-	if err != nil {
-		return nil, err
-	}
-	out := d.Clone()
-	if err := out.ReplaceFeaturesT(y); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // NewKNN returns a K-nearest-neighbours classifier (k=0 selects 5).

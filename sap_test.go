@@ -49,7 +49,7 @@ func TestOptimizePerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, rho, err := sap.OptimizePerturbation(d, 3, sap.OptimizeOptions{Candidates: 3, LocalSteps: 2})
+	p, rho, err := sap.OptimizePerturbation(d, 3, sap.WithOptimizer(3, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +59,14 @@ func TestOptimizePerturbation(t *testing.T) {
 	if rho <= 0 {
 		t.Fatalf("guarantee %v, want > 0", rho)
 	}
-	if _, _, err := sap.OptimizePerturbation(nil, 1, sap.OptimizeOptions{}); !errors.Is(err, sap.ErrBadInput) {
+	if _, _, err := sap.OptimizePerturbation(nil, 1); !errors.Is(err, sap.ErrBadInput) {
 		t.Fatalf("nil err = %v", err)
 	}
 }
 
 func TestEvaluatePrivacy(t *testing.T) {
 	d, _ := sap.GenerateDataset("Iris", 4)
-	p, _, err := sap.OptimizePerturbation(d, 5, sap.OptimizeOptions{Candidates: 2, LocalSteps: 1})
+	p, _, err := sap.OptimizePerturbation(d, 5, sap.WithOptimizer(2, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,28 +98,28 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sap.Run(runCtx(t), sap.RunConfig{
-		Parties:  parties,
-		Seed:     10,
-		Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
-	})
+	res, err := sap.Run(runCtx(t),
+		sap.WithParties(parties...),
+		sap.WithSeed(10),
+		sap.WithOptimizer(2, 1),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Unified.Len() != train.Len() {
-		t.Fatalf("unified %d records, want %d", res.Unified.Len(), train.Len())
+	if res.Unified().Len() != train.Len() {
+		t.Fatalf("unified %d records, want %d", res.Unified().Len(), train.Len())
 	}
-	if res.Identifiability != 1.0/3 {
-		t.Fatalf("identifiability %v, want 1/3", res.Identifiability)
+	if res.Identifiability() != 1.0/3 {
+		t.Fatalf("identifiability %v, want 1/3", res.Identifiability())
 	}
-	if len(res.LocalGuarantees) != 4 {
-		t.Fatalf("%d guarantees, want 4", len(res.LocalGuarantees))
+	if len(res.LocalGuarantees()) != 4 {
+		t.Fatalf("%d guarantees, want 4", len(res.LocalGuarantees()))
 	}
 
 	// Train on unified, score on the transformed test set; must be close
 	// to the clear baseline.
 	model := sap.NewKNN(5)
-	if err := model.Fit(res.Unified); err != nil {
+	if err := model.Fit(res.Unified()); err != nil {
 		t.Fatal(err)
 	}
 	testT, err := res.TransformForInference(test)
@@ -146,11 +146,14 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	ctx := runCtx(t)
 	d, _ := sap.GenerateDataset("Iris", 11)
-	if _, err := sap.Run(ctx, sap.RunConfig{Parties: []*sap.Dataset{d, d}}); !errors.Is(err, sap.ErrBadInput) {
+	if _, err := sap.Run(ctx, sap.WithParties(d, d)); !errors.Is(err, sap.ErrBadInput) {
 		t.Fatalf("k=2 err = %v", err)
 	}
-	if _, err := sap.Run(ctx, sap.RunConfig{Parties: []*sap.Dataset{d, d, nil}}); !errors.Is(err, sap.ErrBadInput) {
+	if _, err := sap.Run(ctx, sap.WithParties(d, d, nil)); !errors.Is(err, sap.ErrBadInput) {
 		t.Fatalf("nil party err = %v", err)
+	}
+	if _, err := sap.Run(ctx); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("no parties err = %v", err)
 	}
 }
 
@@ -160,11 +163,11 @@ func TestTransformForInferenceEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sap.Run(runCtx(t), sap.RunConfig{
-		Parties:  parties,
-		Seed:     14,
-		Optimize: sap.OptimizeOptions{Candidates: 2, LocalSteps: 1},
-	})
+	res, err := sap.Run(runCtx(t),
+		sap.WithParties(parties...),
+		sap.WithSeed(14),
+		sap.WithOptimizer(2, 1),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,399 @@
+package sap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Transport types, re-exported so a deployment can be wired entirely against
+// the facade: an in-memory hub for single-process serving and a TCP network
+// with AES-GCM-sealed frames for real clusters.
+type (
+	// Conn is one endpoint's connection to the network.
+	Conn = transport.Conn
+	// Network hands out named endpoints.
+	Network = transport.Network
+	// TCPNode is one endpoint of a TCP network.
+	TCPNode = transport.TCPNode
+)
+
+// Serving errors, re-exported from the protocol layer.
+var (
+	// ErrServiceClosed means the mining service or the link to it is gone.
+	ErrServiceClosed = protocol.ErrServiceClosed
+	// ErrBadQuery flags an empty batch or a dimension mismatch.
+	ErrBadQuery = protocol.ErrBadQuery
+	// ErrBatchTooLarge flags a batch exceeding the service's cap.
+	ErrBatchTooLarge = protocol.ErrBatchTooLarge
+)
+
+// NewMemNetwork returns an in-process network for single-process serving,
+// tests and benchmarks.
+func NewMemNetwork() Network { return transport.NewMemNetwork() }
+
+// NewTCPNode starts a TCP endpoint named name listening on addr (use
+// "127.0.0.1:0" to pick a free port). A non-empty key seals every frame with
+// AES-GCM. The caller must Close it and register peers with AddPeer.
+func NewTCPNode(name, addr, key string) (*TCPNode, error) {
+	var codec transport.Codec
+	if key != "" {
+		aes, err := transport.NewAESCodec(key)
+		if err != nil {
+			return nil, err
+		}
+		codec = aes
+	}
+	return transport.NewTCPNode(name, addr, codec)
+}
+
+// config is the resolved option set of a Session.
+type config struct {
+	parties      []*Dataset
+	seed         int64
+	noiseSigma   float64
+	candidates   int
+	localSteps   int
+	scoreSamples int
+	fullSuite    bool
+	workers      int
+	maxBatch     int
+}
+
+// Option configures New, Run and OptimizePerturbation. Options replace the
+// former RunConfig/OptimizeOptions structs.
+type Option func(*config) error
+
+// WithParties sets the providers' local datasets (k ≥ 3). The last party
+// doubles as the coordinator.
+func WithParties(parties ...*Dataset) Option {
+	return func(c *config) error {
+		for i, d := range parties {
+			if d == nil || d.Len() == 0 {
+				return fmt.Errorf("%w: party %d has no data", ErrBadInput, i)
+			}
+		}
+		c.parties = parties
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving all randomness (default 0).
+func WithSeed(seed int64) Option {
+	return func(c *config) error { c.seed = seed; return nil }
+}
+
+// WithNoiseSigma sets the common noise component σ (default 0.05).
+func WithNoiseSigma(sigma float64) Option {
+	return func(c *config) error {
+		if sigma < 0 {
+			return fmt.Errorf("%w: negative noise sigma %v", ErrBadInput, sigma)
+		}
+		c.noiseSigma = sigma
+		return nil
+	}
+}
+
+// WithOptimizer tunes the per-party perturbation search: candidates random
+// restarts refined by localSteps annealed Givens steps (defaults: 8 and 12).
+func WithOptimizer(candidates, localSteps int) Option {
+	return func(c *config) error {
+		c.candidates = candidates
+		c.localSteps = localSteps
+		return nil
+	}
+}
+
+// WithScoreSamples averages each candidate's score over n noise draws
+// (default 1); higher values reduce selection bias toward lucky noise at
+// proportional cost.
+func WithScoreSamples(n int) Option {
+	return func(c *config) error { c.scoreSamples = n; return nil }
+}
+
+// WithFullAttackSuite also runs the (slower) ICA attack during optimization;
+// otherwise ICA is reserved for final evaluation.
+func WithFullAttackSuite() Option {
+	return func(c *config) error { c.fullSuite = true; return nil }
+}
+
+// WithServiceWorkers sets the serving worker-pool size used by
+// Session.Serve (default: GOMAXPROCS).
+func WithServiceWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative worker count %d", ErrBadInput, n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithServiceMaxBatch caps the records the served model accepts per request
+// (default 4096).
+func WithServiceMaxBatch(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative batch cap %d", ErrBadInput, n)
+		}
+		c.maxBatch = n
+		return nil
+	}
+}
+
+// Session is the unit of the facade's lifecycle: configure with New, execute
+// the Space Adaptation Protocol once with Run, then serve the unified model
+// for the contract's lifetime with Serve while contracted parties query it
+// through NewClient. A Session is safe for concurrent use after Run.
+type Session struct {
+	cfg config
+
+	mu              sync.Mutex
+	ran             bool
+	unified         *Dataset
+	target          *Perturbation
+	localGuarantees []float64
+	identifiability float64
+}
+
+// New validates the options and returns an unstarted session.
+func New(opts ...Option) (*Session, error) {
+	cfg := config{noiseSigma: 0.05}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.parties) == 0 {
+		return nil, fmt.Errorf("%w: no parties (use WithParties)", ErrBadInput)
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// Run executes the full SAP pipeline: optimize each party's perturbation,
+// run the protocol over an in-memory network, and store the unified result.
+// It may be called once per session.
+func (s *Session) Run(ctx context.Context) error {
+	s.mu.Lock()
+	if s.ran {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: session already ran", ErrBadInput)
+	}
+	s.ran = true
+	s.mu.Unlock()
+
+	optCfg := privacyOptimizerConfig(&s.cfg)
+	res, err := core.Run(ctx, core.PipelineConfig{
+		Parties:    s.cfg.parties,
+		Seed:       s.cfg.seed,
+		NoiseSigma: s.cfg.noiseSigma,
+		Optimizer:  optCfg,
+	})
+	if err != nil {
+		// A failed run (e.g. ctx cancellation) does not burn the session;
+		// it may be retried.
+		s.mu.Lock()
+		s.ran = false
+		s.mu.Unlock()
+		if errors.Is(err, core.ErrBadPipeline) {
+			return fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		return err
+	}
+	guarantees := make([]float64, len(res.Parties))
+	for i, p := range res.Parties {
+		guarantees[i] = p.LocalGuarantee
+	}
+	s.mu.Lock()
+	s.unified = res.Unified
+	s.target = res.Target
+	s.localGuarantees = guarantees
+	s.identifiability = res.Identifiability
+	s.mu.Unlock()
+	return nil
+}
+
+// Run configures a session and executes it in one call. It is the canonical
+// entry point: partition, run, serve.
+func Run(ctx context.Context, opts ...Option) (*Session, error) {
+	s, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// requireRun guards accessors that need a completed run.
+func (s *Session) requireRun() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unified == nil {
+		return fmt.Errorf("%w: session has not run", ErrBadInput)
+	}
+	return nil
+}
+
+// Unified returns the miner's merged training set in the target space.
+func (s *Session) Unified() *Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unified
+}
+
+// Target returns the unified target perturbation G_t. Classification
+// requests must be transformed with it (noiselessly) before reaching the
+// miner's model; Session clients do this automatically.
+func (s *Session) Target() *Perturbation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// LocalGuarantees returns each party's locally optimized ρ_i, in party
+// order.
+func (s *Session) LocalGuarantees() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.localGuarantees
+}
+
+// Identifiability returns the miner-side source identifiability 1/(k−1).
+func (s *Session) Identifiability() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.identifiability
+}
+
+// TransformForInference maps a clear dataset into the target space so it can
+// be scored by a model trained on Unified.
+func (s *Session) TransformForInference(d *Dataset) (*Dataset, error) {
+	if err := s.requireRun(); err != nil {
+		return nil, err
+	}
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadInput)
+	}
+	y, err := s.Target().ApplyNoiseless(d.FeaturesT())
+	if err != nil {
+		return nil, err
+	}
+	out := d.Clone()
+	if err := out.ReplaceFeaturesT(y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Serve is the miner side of the serving lifecycle: it trains model on the
+// unified dataset and answers batched classification queries on conn until
+// ctx is cancelled or the transport closes. Predictions run on the session's
+// configured worker pool (WithServiceWorkers), so many clients — and many
+// goroutines per client — are served concurrently.
+func (s *Session) Serve(ctx context.Context, conn Conn, model Classifier) error {
+	if err := s.requireRun(); err != nil {
+		return err
+	}
+	svc, err := protocol.NewMiningService(conn,
+		&protocol.MinerResult{Unified: s.Unified()}, model,
+		protocol.ServiceConfig{Workers: s.cfg.workers, MaxBatch: s.cfg.maxBatch})
+	if err != nil {
+		return err
+	}
+	return svc.Serve(ctx)
+}
+
+// NewClient is the provider side of the serving lifecycle: a handle for
+// querying the mining service named miner over conn. The client owns the
+// connection's receive side (a background demultiplexer correlates
+// responses), so any number of goroutines may classify concurrently through
+// one client. Queries are given in clear space; the client transforms them
+// into the target space with the session's G_t before they leave the
+// provider, so the service never sees clear data. Close the client to
+// release it.
+func (s *Session) NewClient(conn Conn, miner string) (*Client, error) {
+	if err := s.requireRun(); err != nil {
+		return nil, err
+	}
+	inner, err := protocol.NewServiceClient(conn, miner)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: inner, target: s.Target()}, nil
+}
+
+// Client queries a mining service stood up by Session.Serve. Safe for
+// concurrent use.
+type Client struct {
+	inner  *protocol.ServiceClient
+	target *Perturbation
+}
+
+// Classify predicts the label of one clear-space record in one round trip.
+func (c *Client) Classify(ctx context.Context, features []float64) (int, error) {
+	labels, err := c.ClassifyBatch(ctx, [][]float64{features})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// ClassifyBatch predicts labels for a whole batch of clear-space records in
+// a single round trip.
+func (c *Client) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
+	transformed, err := transformRecords(c.target, batch)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.ClassifyBatch(ctx, transformed)
+}
+
+// Close releases the client's demultiplexer and fails in-flight requests.
+func (c *Client) Close() error { return c.inner.Close() }
+
+// transformRecords applies G_t noiselessly to a batch of records.
+func transformRecords(target *perturb.Perturbation, batch [][]float64) ([][]float64, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
+	}
+	dim := target.Dim()
+	for i, rec := range batch {
+		if len(rec) != dim {
+			return nil, fmt.Errorf("%w: record %d has %d features, want %d", ErrBadQuery, i, len(rec), dim)
+		}
+	}
+	y, err := target.ApplyNoiseless(matrix.NewFromRows(batch).T())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(batch))
+	for i := range out {
+		out[i] = y.Col(i)
+	}
+	return out, nil
+}
+
+// privacyOptimizerConfig maps the facade option set to the internal
+// optimizer configuration.
+func privacyOptimizerConfig(c *config) privacy.OptimizerConfig {
+	cfg := privacy.OptimizerConfig{
+		Candidates:   c.candidates,
+		LocalSteps:   c.localSteps,
+		NoiseSigma:   c.noiseSigma,
+		ScoreSamples: c.scoreSamples,
+	}
+	if c.fullSuite {
+		cfg.Evaluator = privacy.DefaultEvaluator()
+	}
+	return cfg
+}

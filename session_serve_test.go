@@ -1,0 +1,299 @@
+package sap_test
+
+// Tests for the session lifecycle (run → serve → query) through the public
+// facade, over both the in-memory hub and the TCP transport.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	sap "repro"
+)
+
+// runSmallSession executes a quick 3-party SAP run on Iris.
+func runSmallSession(t *testing.T, extra ...sap.Option) (*sap.Session, *sap.Dataset) {
+	t.Helper()
+	pool, err := sap.GenerateDataset("Iris", 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.2, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]sap.Option{
+		sap.WithParties(parties...),
+		sap.WithSeed(54),
+		sap.WithOptimizer(2, 1),
+	}, extra...)
+	sess, err := sap.Run(runCtx(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, holdout
+}
+
+// serveSession stands up the session's mining service on a fresh in-memory
+// network and returns the network plus a cleanup func.
+func serveSession(t *testing.T, sess *sap.Session) (sap.Network, func()) {
+	t.Helper()
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sess.Serve(ctx, svcConn, sap.NewKNN(5)) }()
+	return net, func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+		svcConn.Close()
+	}
+}
+
+func TestSessionServeAndQuery(t *testing.T) {
+	sess, holdout := runSmallSession(t, sap.WithServiceWorkers(4))
+	net, stop := serveSession(t, sess)
+	defer stop()
+
+	cliConn, err := net.Endpoint("provider-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sess.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := runCtx(t)
+
+	// Batched path: clear-space records in, one label per record out.
+	labels, err := client.ClassifyBatch(ctx, holdout.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != holdout.Len() {
+		t.Fatalf("%d labels for %d records", len(labels), holdout.Len())
+	}
+	correct := 0
+	for i, label := range labels {
+		if label == holdout.Y[i] {
+			correct++
+		}
+	}
+	if correct < holdout.Len()*6/10 {
+		t.Errorf("batched accuracy %d/%d too low", correct, holdout.Len())
+	}
+
+	// Concurrent single-record path must agree with the batch.
+	var wg sync.WaitGroup
+	errs := make(chan error, holdout.Len())
+	for i := range holdout.X {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := client.Classify(ctx, holdout.X[i])
+			if err != nil {
+				errs <- fmt.Errorf("record %d: %w", i, err)
+				return
+			}
+			if label != labels[i] {
+				errs <- fmt.Errorf("record %d: single %d vs batch %d", i, label, labels[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSessionServeOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	sess, holdout := runSmallSession(t, sap.WithServiceWorkers(2), sap.WithServiceMaxBatch(64))
+
+	svcNode, err := sap.NewTCPNode("mining-service", "127.0.0.1:0", "facade-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcNode.Close()
+	cliNode, err := sap.NewTCPNode("provider-1", "127.0.0.1:0", "facade-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliNode.Close()
+	svcNode.AddPeer("provider-1", cliNode.Addr())
+	cliNode.AddPeer("mining-service", svcNode.Addr())
+
+	ctx, cancel := context.WithCancel(runCtx(t))
+	done := make(chan error, 1)
+	go func() { done <- sess.Serve(ctx, svcNode, sap.NewKNN(5)) }()
+
+	client, err := sess.NewClient(cliNode, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	labels, err := client.ClassifyBatch(runCtx(t), holdout.X[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 20 {
+		t.Fatalf("%d labels, want 20", len(labels))
+	}
+	// Batch cap applies end to end.
+	big := make([][]float64, 65)
+	for i := range big {
+		big[i] = holdout.X[0]
+	}
+	if _, err := client.ClassifyBatch(runCtx(t), big); !errors.Is(err, sap.ErrBatchTooLarge) {
+		t.Fatalf("oversized err = %v, want ErrBatchTooLarge", err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionClientRejectsBadDimension(t *testing.T) {
+	sess, _ := runSmallSession(t)
+	net, stop := serveSession(t, sess)
+	defer stop()
+	cliConn, err := net.Endpoint("provider-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sess.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// The dimension check fires client-side, before any frame is sent.
+	if _, err := client.Classify(runCtx(t), []float64{1, 2}); !errors.Is(err, sap.ErrBadQuery) {
+		t.Fatalf("err = %v, want ErrBadQuery", err)
+	}
+	if _, err := client.ClassifyBatch(runCtx(t), nil); !errors.Is(err, sap.ErrBadQuery) {
+		t.Fatalf("empty err = %v, want ErrBadQuery", err)
+	}
+}
+
+func TestSessionLifecycleGuards(t *testing.T) {
+	if _, err := sap.New(); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("New() err = %v, want ErrBadInput", err)
+	}
+	d, err := sap.GenerateDataset("Iris", 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(d, 3, sap.PartitionUniform, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sap.New(sap.WithParties(parties...), sap.WithOptimizer(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serving before running is refused.
+	net := sap.NewMemNetwork()
+	conn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := sess.Serve(context.Background(), conn, sap.NewKNN(5)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("Serve before Run err = %v, want ErrBadInput", err)
+	}
+	if _, err := sess.NewClient(conn, "svc"); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("NewClient before Run err = %v, want ErrBadInput", err)
+	}
+	if _, err := sess.TransformForInference(d); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("TransformForInference before Run err = %v, want ErrBadInput", err)
+	}
+	if err := sess.Run(runCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(runCtx(t)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("second Run err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSessionRunRetryAfterFailure(t *testing.T) {
+	d, err := sap.GenerateDataset("Iris", 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(d, 3, sap.PartitionUniform, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sap.New(sap.WithParties(parties...), sap.WithOptimizer(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sess.Run(cancelled); err == nil {
+		t.Fatal("Run with cancelled ctx succeeded")
+	}
+	// A failed run must not burn the session.
+	if err := sess.Run(runCtx(t)); err != nil {
+		t.Fatalf("retry after failed run: %v", err)
+	}
+	if sess.Unified() == nil {
+		t.Fatal("no unified dataset after successful retry")
+	}
+}
+
+func TestOptimizePerturbationRejectsSessionOptions(t *testing.T) {
+	d, err := sap.GenerateDataset("Iris", 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WithSeed would silently conflict with the seed parameter; it must be
+	// rejected, as must the other session-only options.
+	if _, _, err := sap.OptimizePerturbation(d, 1, sap.WithSeed(42)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("WithSeed err = %v, want ErrBadInput", err)
+	}
+	if _, _, err := sap.OptimizePerturbation(d, 1, sap.WithParties(d)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("WithParties err = %v, want ErrBadInput", err)
+	}
+	if _, _, err := sap.OptimizePerturbation(d, 1, sap.WithServiceWorkers(2)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("WithServiceWorkers err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	d, err := sap.GenerateDataset("Iris", 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(d, 3, sap.PartitionUniform, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]sap.Option{
+		"negative sigma":    sap.WithNoiseSigma(-0.1),
+		"negative workers":  sap.WithServiceWorkers(-1),
+		"negative maxbatch": sap.WithServiceMaxBatch(-1),
+	} {
+		if _, err := sap.New(sap.WithParties(parties...), opt); !errors.Is(err, sap.ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", name, err)
+		}
+	}
+}
