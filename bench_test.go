@@ -21,6 +21,7 @@ import (
 	"repro/internal/perturb"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
+	"repro/internal/stream"
 	"repro/internal/transport"
 )
 
@@ -455,6 +456,73 @@ func BenchmarkServiceThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkStreamThroughput measures the streaming ingestion pipeline's
+// hot path — chunking, running covariance updates, perturbation and space
+// adaptation — as perturbed records per second, across chunk sizes and with
+// drift watching on and off.
+func BenchmarkStreamThroughput(b *testing.B) {
+	const n, d = 4096, 8
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i % 4
+	}
+	data, err := dataset.New("bench", x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert, err := perturb.NewRandom(rng, d, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targetNoisy, err := perturb.NewRandom(rng, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := targetNoisy.WithoutNoise()
+
+	for _, cfg := range []struct {
+		name  string
+		chunk int
+		drift float64
+	}{
+		{"chunk64", 64, 0},
+		{"chunk256", 256, 0},
+		{"chunk256-drift", 256, 0.25},
+		{"chunk1024", 1024, 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				pipe, err := stream.New(stream.Config{
+					Perturbation:   pert,
+					Target:         target,
+					Rng:            rand.New(rand.NewSource(int64(i))),
+					ChunkSize:      cfg.chunk,
+					DriftThreshold: cfg.drift,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan error, 1)
+				go func() { done <- pipe.Run(ctx, stream.DatasetSource(data)) }()
+				for range pipe.Out() {
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "records/s")
+		})
 	}
 }
 

@@ -6,6 +6,9 @@
 // miner keeps answering batched classification queries (-serve) while
 // providers query it (-query) with records transformed into the target
 // space — the paper's "data mining services for the contracted parties".
+// Providers may also stream fresh labeled records into the serving miner's
+// training set (-stream, chunked by -chunk, drift-adaptive with -drift); the
+// miner folds them in and refits its model every -refit records.
 //
 // Example 4-party run on one host (see examples/tcpcluster for a scripted
 // version):
@@ -26,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,6 +45,7 @@ import (
 	"repro/internal/perturb"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
+	"repro/internal/stream"
 	"repro/internal/transport"
 )
 
@@ -76,6 +81,10 @@ func run(args []string) error {
 		maxBatch    = fs.Int("maxbatch", 0, "serving batch-size cap (miner; 0 selects the default)")
 		queryPath   = fs.String("query", "", "after the run, classify this CSV through the mining service (provider)")
 		batchSize   = fs.Int("batch", 64, "records per query frame for -query (provider)")
+		streamPath  = fs.String("stream", "", "after the run, stream this labeled CSV into the serving miner's training set (provider)")
+		chunkSize   = fs.Int("chunk", 256, "records per streamed chunk for -stream (provider)")
+		drift       = fs.Float64("drift", 0, "relative covariance drift triggering a transform re-derivation for -stream (0 disables)")
+		refitEvery  = fs.Int("refit", 0, "streamed records accumulated before the served model refits (miner with -serve; 0 selects the default, <0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +147,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("provider done: dataset exchanged, adaptor delivered")
+		if *streamPath != "" {
+			if err := streamToService(ctx, node, *miner, pert, prov.Target(), rng,
+				*streamPath, *chunkSize, *drift); err != nil {
+				return err
+			}
+		}
 		if *queryPath != "" {
 			return queryService(ctx, node, *miner, prov.Target(), *queryPath, *batchSize)
 		}
@@ -208,7 +223,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *workers, *maxBatch, *serveFor)
+			return serveService(conn, res, *modelName, *workers, *maxBatch, *refitEvery, *serveFor)
 		}
 		return nil
 
@@ -221,14 +236,14 @@ func run(args []string) error {
 // classification queries until the duration elapses (or, when negative,
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
 // answered first.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName string, workers, maxBatch int, d time.Duration) error {
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName string, workers, maxBatch, refitEvery int, d time.Duration) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
 	}
 	conn.beginServe()
 	svc, err := protocol.NewMiningService(conn, res, model,
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery})
 	if err != nil {
 		return err
 	}
@@ -244,6 +259,72 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName strin
 		return err
 	}
 	fmt.Println("mining service stopped")
+	return nil
+}
+
+// streamToService streams a labeled CSV into the serving miner's training
+// set: records are re-chunked, perturbed with the provider's own
+// perturbation, adapted into the target space, and pushed one chunk per
+// round trip. With -drift set, the pipeline re-derives its transform when
+// the input distribution drifts.
+func streamToService(ctx context.Context, conn transport.Conn, miner string,
+	pert, target *perturb.Perturbation, rng *rand.Rand, path string, chunk int, drift float64) error {
+	if miner == "" {
+		return fmt.Errorf("missing -miner")
+	}
+	if target == nil {
+		return fmt.Errorf("no target perturbation (run the protocol first)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, path)
+	if err != nil {
+		return err
+	}
+	pipe, err := stream.New(stream.Config{
+		Perturbation:   pert,
+		Target:         target,
+		Rng:            rng,
+		ChunkSize:      chunk,
+		DriftThreshold: drift,
+	})
+	if err != nil {
+		return err
+	}
+	client, err := protocol.NewServiceClient(conn, miner)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// The pipeline gets its own cancellable context so an early return (a
+	// rejected push) stops the producer instead of leaving it blocked on
+	// the bounded buffer.
+	pipeCtx, stopPipe := context.WithCancel(ctx)
+	defer stopPipe()
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(pipeCtx, stream.DatasetSource(d)) }()
+	pushed, chunks, total := 0, 0, 0
+	for c := range pipe.Out() {
+		total, err = client.PushChunk(ctx, c.Data.X, c.Data.Y)
+		if errors.Is(err, protocol.ErrRefit) {
+			// The chunk landed; only the model refresh failed. Keep
+			// streaming on the previous fit.
+			fmt.Printf("stream chunk %d: %v (records kept; model refresh pending)\n", c.Seq, err)
+		} else if err != nil {
+			return fmt.Errorf("stream chunk %d: %w", c.Seq, err)
+		}
+		pushed += c.Data.Len()
+		chunks++
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d records in %d chunks (%d re-derivations); service training set now %d records\n",
+		pushed, chunks, pipe.Epoch(), total)
 	return nil
 }
 

@@ -18,14 +18,18 @@
 //   - A long-lived mining service: the miner keeps a model trained on the
 //     unified data online and answers batched classification queries over
 //     pluggable transports (in-memory hub, AES-GCM-sealed TCP).
+//   - Streaming ingestion: providers keep feeding freshly collected records
+//     through a chunked perturbation pipeline into the live service, which
+//     grows its training set and refits on a cadence — with drift-watched
+//     transform re-derivation when the arriving distribution shifts.
 //   - Risk accounting: the paper's Eq. 1 and Eq. 2 plus the party-count
 //     bounds behind its Figure 4.
 //
-// # Lifecycle: run → serve → query
+// # Lifecycle: run → serve → query → stream
 //
 // The unit of the API is the Session, created with the functional-options
 // constructor New (or configured and executed in one call with Run). A
-// session moves through three phases, mirroring the paper's
+// session moves through four phases, mirroring the paper's
 // service-oriented framing in which the miner "offers their data mining
 // services to the contracted parties" for the contract's lifetime:
 //
@@ -44,6 +48,27 @@
 //     concurrently over one connection. Clients transform clear-space
 //     queries into the target space with G_t before sending, so the miner
 //     never sees clear data.
+//  4. Stream: data keeps arriving after unification. Session.Stream runs a
+//     chunked perturbation pipeline over a StreamSource — records are
+//     perturbed with a stream-local transform, adapted into the target
+//     space, and emitted through a bounded buffer — and Session.StreamTo
+//     pushes every chunk into the serving miner, whose model refits every
+//     WithServiceRefitEvery records. The pipeline tracks the running
+//     covariance of the clear input (Welford/rank-1 accumulators) and,
+//     when WithDriftThreshold is set, re-derives its transform as the
+//     distribution drifts.
+//
+// # Streaming quickstart
+//
+//	// Miner side: serve with a refit cadence.
+//	sess, _ := sap.Run(ctx, sap.WithParties(parties...),
+//		sap.WithServiceRefitEvery(64))
+//	go sess.Serve(ctx, svcConn, sap.NewKNN(5))
+//
+//	// Provider side: push freshly collected records as they arrive.
+//	pushed, _ := sess.StreamTo(ctx, provConn, "mining-service",
+//		sap.DatasetSource(fresh),
+//		sap.WithChunkSize(64), sap.WithDriftThreshold(0.5))
 //
 // # Quickstart
 //
@@ -64,6 +89,6 @@
 //	client, _ := sess.NewClient(cliConn, "mining-service")
 //	labels, _ := client.ClassifyBatch(ctx, queries)
 //
-// See examples/ for complete programs and DESIGN.md for the system
-// inventory and experiment index.
+// See examples/ for complete programs and ARCHITECTURE.md for the layer
+// diagram, message flows and experiment index.
 package sap

@@ -119,6 +119,109 @@ func ExampleRun() {
 	fmt.Printf("one label per held-out record: %v\n", len(labels) == holdout.Len())
 }
 
+// ExampleSession_Stream shows the local half of continuous ingestion: a
+// completed session opens a streaming pipeline that perturbs incrementally
+// arriving records into the target space, chunk by chunk, with backpressure.
+func ExampleSession_Stream() {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, fresh, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := sap.Run(ctx,
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(2, 1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream the freshly collected records: each emitted chunk is already
+	// perturbed and adapted into the session's target space.
+	st, err := sess.Stream(ctx, sap.DatasetSource(fresh),
+		sap.WithChunkSize(16),
+		sap.WithDriftThreshold(0.5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := 0
+	for chunk := range st.Chunks() {
+		records += chunk.Data.Len()
+	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("every fresh record streamed through the pipeline: %v\n", records == fresh.Len())
+}
+
+// Example_streaming shows the full continuous-ingestion deployment: the
+// miner serves with a refit cadence while a provider pushes a stream of new
+// labeled records into the service's training set with Session.StreamTo.
+func Example_streaming() {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, fresh, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := sap.Run(ctx,
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(2, 1),
+		sap.WithServiceRefitEvery(16),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Miner side: keep the model online; it refits every 16 streamed
+	// records.
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svcConn.Close()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(serveCtx, svcConn, sap.NewKNN(5)) }()
+
+	// Provider side: stream the new records into the live service.
+	provConn, err := net.Endpoint("lab")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer provConn.Close()
+	pushed, err := sess.StreamTo(ctx, provConn, "mining-service",
+		sap.DatasetSource(fresh), sap.WithChunkSize(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stopServe()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service training set grew by every streamed record: %v\n", pushed == fresh.Len())
+}
+
 // ExampleOptimizePerturbation shows single-party perturbation optimization
 // and privacy evaluation under the full attack suite.
 func ExampleOptimizePerturbation() {

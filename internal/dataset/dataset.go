@@ -4,8 +4,9 @@
 // is offline and ships no third-party data, so the package generates a
 // synthetic stand-in for each dataset from its published profile (size,
 // dimensionality, number of classes, class balance, feature kinds, and
-// per-column scale heterogeneity). See DESIGN.md §4 for why this
-// substitution preserves the observables the paper's experiments consume.
+// per-column scale heterogeneity). See ARCHITECTURE.md ("Data substrate")
+// for why this substitution preserves the observables the paper's
+// experiments consume.
 package dataset
 
 import (

@@ -23,7 +23,7 @@ const (
 
 // Profile captures the published characteristics of one of the paper's
 // twelve UCI datasets: the observable properties the experiments actually
-// consume (see DESIGN.md §4).
+// consume (see ARCHITECTURE.md, "Data substrate").
 type Profile struct {
 	Name string
 	// N is the generated record count. Shuttle is scaled down from 58 000

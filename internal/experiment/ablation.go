@@ -67,8 +67,8 @@ type AttackAblationRow struct {
 }
 
 // AblationAttacks measures how each attack model constrains the guarantee,
-// and how much the optimizer recovers, per dataset. This is the ablation
-// DESIGN.md calls out for the optimizer's design choices.
+// and how much the optimizer recovers, per dataset — the ablation backing
+// the optimizer's design choices.
 func AblationAttacks(cfg Config, names []string) ([]AttackAblationRow, error) {
 	cfg = cfg.withDefaults()
 	if len(names) == 0 {

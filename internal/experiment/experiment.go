@@ -2,8 +2,10 @@
 // vs random perturbation guarantees), Figure 3 (optimality rates vs number
 // of parties), Figure 4 (minimum parties vs demanded satisfaction), Figures
 // 5 and 6 (KNN and SVM accuracy deviation under SAP), and two ablations.
-// Every runner is deterministic given Config.Seed; EXPERIMENTS.md records
-// paper-vs-measured outcomes.
+// Every runner is deterministic given Config.Seed; cmd/sapexp renders the
+// paper-vs-measured tables at paper scale, and the root benchmark harness
+// (bench_test.go) runs laptop-sized versions of every figure. See
+// ARCHITECTURE.md ("Experiment index").
 package experiment
 
 import (

@@ -166,8 +166,8 @@ type Fig4Point struct {
 	Dataset        string
 	OptimalityRate float64
 	S0             float64
-	// MinParties is the risk-threshold bound (DESIGN.md §5), the shape the
-	// paper plots.
+	// MinParties is the risk-threshold bound (ARCHITECTURE.md, "Risk
+	// accounting"), the shape the paper plots.
 	MinParties int
 	// MinPartiesSolo is the alternative "no worse than solo" bound.
 	MinPartiesSolo int
@@ -249,7 +249,7 @@ func RunFig6(cfg Config, names []string) (*AccuracyResult, error) {
 // RunExtensionClassifiers measures the same accuracy deviation for the
 // extra rotation-invariant models the paper mentions but does not plot:
 // the averaged perceptron and multinomial logistic regression. This is the
-// repository's extension experiment (DESIGN.md index E-EXT).
+// repository's extension experiment beyond the plotted figures.
 func RunExtensionClassifiers(cfg Config, names []string) ([]*AccuracyResult, error) {
 	perceptron, err := runAccuracy(cfg, names, classifierPerceptron)
 	if err != nil {

@@ -1,7 +1,10 @@
 // Package matrix provides the dense linear-algebra substrate used by the
 // SAP reproduction: matrix arithmetic, LU/QR decompositions, symmetric
 // eigendecomposition, a small Jacobi SVD, and Haar-distributed random
-// orthogonal matrices.
+// orthogonal matrices — the rotation component R of the paper's §2
+// perturbation G(X) = RX + Ψ + Δ is drawn here (QR of a Gaussian matrix
+// with sign-corrected diagonal), and the PCA/ICA attacks of §2.2 run on the
+// decompositions.
 //
 // Storage is row-major float64. Following the convention of mainstream Go
 // numerics libraries, operations panic on dimension mismatch (a programmer

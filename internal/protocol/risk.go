@@ -50,7 +50,8 @@ func Identifiability(k int) (float64, error) {
 	return 1 / float64(k-1), nil
 }
 
-// MinPartiesRiskThreshold is the Figure-4 bound as derived in DESIGN.md §5:
+// MinPartiesRiskThreshold is the Figure-4 bound as derived in
+// ARCHITECTURE.md ("Risk accounting"):
 // the minimum k such that the miner-side risk term stays below the risk
 // budget 1−s0 of a party that demands protection level s0 and has
 // optimality rate o = ρ/b:

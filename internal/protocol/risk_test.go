@@ -95,7 +95,7 @@ func TestIdentifiability(t *testing.T) {
 }
 
 func TestMinPartiesRiskThreshold(t *testing.T) {
-	// Spot-check against the DESIGN.md §5 closed form.
+	// Spot-check against the ARCHITECTURE.md ("Risk accounting") closed form.
 	tests := []struct {
 		s0, o float64
 		want  int

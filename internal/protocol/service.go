@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/dataset"
 	"repro/internal/transport"
 )
 
@@ -29,6 +30,14 @@ var (
 	// ErrWireVersion flags a frame whose service wire version the peer does
 	// not speak.
 	ErrWireVersion = errors.New("protocol: unsupported service wire version")
+	// ErrBadChunk flags a malformed stream-ingest chunk (empty, mis-shaped,
+	// or carrying labels that do not line up with its records).
+	ErrBadChunk = errors.New("protocol: malformed stream chunk")
+	// ErrRefit means a streamed chunk WAS folded into the training set but
+	// retraining the model on the grown set failed; the service keeps
+	// serving on its previous fit. Re-pushing the chunk would duplicate its
+	// records.
+	ErrRefit = errors.New("protocol: service model refit failed")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -39,8 +48,11 @@ const serviceMagic = 0x53 // 'S'
 
 // ServiceWireVersion is the current service frame version. Version 1 was the
 // unversioned single-record frame of the pre-batching service; version 2
-// carries batches and typed error codes.
-const ServiceWireVersion = 2
+// carried batches and typed error codes; version 3 adds the Kind
+// discriminator so stream-ingest chunks (a provider pushing perturbed
+// training records into the serving miner) share the frame format with
+// classification queries.
+const ServiceWireVersion = 3
 
 // Wire error codes carried in service responses, mapped back to the typed
 // errors above by the client.
@@ -50,6 +62,17 @@ const (
 	codeBatchTooLarge
 	codeWireVersion
 	codeInternal
+	codeBadChunk
+	codeRefit
+)
+
+// Frame kinds carried in serviceWire.Kind. The zero value is a
+// classification query, so a frame that omits Kind is a classify frame.
+// (decodeServiceWire still requires the exact current version — v2 peers
+// get a typed codeWireVersion rejection, not best-effort service.)
+const (
+	kindClassify uint8 = iota
+	kindIngest
 )
 
 // serviceWire is the request/response frame of the post-unification mining
@@ -59,11 +82,21 @@ type serviceWire struct {
 	// ID correlates responses with requests; the client's demultiplexer
 	// routes on it.
 	ID uint64
-	// Batch is the query: records already transformed into the target space
+	// Kind discriminates classification queries (kindClassify) from
+	// stream-ingest chunks (kindIngest).
+	Kind uint8
+	// Batch carries the records, already transformed into the target space
 	// by the caller (providers know G_t; the miner never sees clear data).
+	// For classify frames it is the query; for ingest frames it is a chunk
+	// of perturbed training records.
 	Batch [][]float64
-	// Labels is the response: one predicted class per batch record.
+	// Labels carries class labels: in a classify response, one prediction
+	// per batch record; in an ingest request, the true label of each pushed
+	// training record.
 	Labels []int
+	// Accepted is the ingest response: the service's total training-set
+	// size after folding the chunk in.
+	Accepted int
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
 	Code uint8
@@ -121,11 +154,22 @@ type ServiceConfig struct {
 	// MaxBatch caps the records accepted in one request (default 4096).
 	// Oversized batches are rejected with ErrBatchTooLarge, not served.
 	MaxBatch int
+	// RefitEvery is the number of stream-ingested records accumulated
+	// before the service retrains its model on the grown training set
+	// (default DefaultRefitEvery; negative disables automatic refits, in
+	// which case ingested records sit in the training set until the next
+	// triggered refit — useful when a deployment refits on its own
+	// schedule).
+	RefitEvery int
 }
 
 // DefaultMaxBatch is the batch-size cap applied when ServiceConfig.MaxBatch
 // is zero.
 const DefaultMaxBatch = 4096
+
+// DefaultRefitEvery is the ingest refit cadence applied when
+// ServiceConfig.RefitEvery is zero.
+const DefaultRefitEvery = 256
 
 // serviceSendTimeout bounds one response write so a peer that stops reading
 // cannot stall the serving loop's sender indefinitely.
@@ -138,6 +182,9 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultMaxBatch
 	}
+	if c.RefitEvery == 0 {
+		c.RefitEvery = DefaultRefitEvery
+	}
 	return c
 }
 
@@ -146,11 +193,28 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 // the target space. This realizes the paper's service-oriented framing — the
 // service provider "offers their data mining services to the contracted
 // parties" for the contract's lifetime.
+//
+// The training set is not frozen at construction: providers may keep pushing
+// streamed chunks of perturbed, target-space records (ServiceClient.PushChunk
+// feeding an internal/stream pipeline), which the service folds into its
+// training set and periodically refits on (ServiceConfig.RefitEvery).
 type MiningService struct {
-	conn  transport.Conn
-	model classify.Classifier
-	dim   int
-	cfg   ServiceConfig
+	conn transport.Conn
+	dim  int
+	cfg  ServiceConfig
+
+	// modelMu guards the served model: workers predict under the read lock
+	// while ingest-triggered refits swap the model under the write lock.
+	modelMu sync.RWMutex
+	model   classify.Classifier
+
+	// The growing training set and the count of records ingested since the
+	// last refit; both are touched only by the Serve receive loop. The
+	// lifetime total (ingested) is additionally read by Ingested, so it is
+	// updated under modelMu.
+	training   *dataset.Dataset
+	sinceRefit int
+	ingested   int
 }
 
 // NewMiningService trains the given classifier on the miner's unified
@@ -163,10 +227,25 @@ func NewMiningService(conn transport.Conn, result *MinerResult, model classify.C
 	if model == nil {
 		return nil, fmt.Errorf("%w: nil classifier", ErrBadConfig)
 	}
-	if err := model.Fit(result.Unified); err != nil {
+	training := result.Unified.Clone()
+	if err := model.Fit(training.Clone()); err != nil {
 		return nil, fmt.Errorf("protocol: train service model: %w", err)
 	}
-	return &MiningService{conn: conn, model: model, dim: result.Unified.Dim(), cfg: cfg.withDefaults()}, nil
+	return &MiningService{
+		conn:     conn,
+		model:    model,
+		dim:      training.Dim(),
+		training: training,
+		cfg:      cfg.withDefaults(),
+	}, nil
+}
+
+// Ingested returns the number of streamed records folded into the training
+// set so far. It is safe to call concurrently with Serve.
+func (s *MiningService) Ingested() int {
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
+	return s.ingested
 }
 
 // serviceJob is one accepted request travelling from the receive loop to a
@@ -256,6 +335,15 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		case err != nil || req.Response:
 			continue // undecodable or stray response frame; drop
 		}
+		if req.Kind == kindIngest {
+			// Ingest mutates the training set, so it is handled inline on
+			// the receive loop: appends stay ordered and race-free while
+			// prediction workers keep serving under the model read lock.
+			if payload, encErr := encodeServiceWire(s.ingest(req)); encErr == nil {
+				out <- serviceOut{to: env.From, payload: payload}
+			}
+			continue
+		}
 		select {
 		case jobs <- serviceJob{from: env.From, req: req}:
 		case <-ctx.Done():
@@ -263,6 +351,72 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			return nil
 		}
 	}
+}
+
+// ingest validates one streamed chunk, folds it into the training set, and
+// refits the model when the refit cadence is reached. Called only from the
+// Serve receive loop.
+func (s *MiningService) ingest(req *serviceWire) *serviceWire {
+	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Response: true}
+	if len(req.Batch) == 0 {
+		resp.Code, resp.Err = codeBadChunk, "empty chunk"
+		return resp
+	}
+	if len(req.Batch) > s.cfg.MaxBatch {
+		resp.Code, resp.Err = codeBatchTooLarge,
+			fmt.Sprintf("chunk has %d records, cap is %d", len(req.Batch), s.cfg.MaxBatch)
+		return resp
+	}
+	if len(req.Labels) != len(req.Batch) {
+		resp.Code, resp.Err = codeBadChunk,
+			fmt.Sprintf("%d labels for %d records", len(req.Labels), len(req.Batch))
+		return resp
+	}
+	for i, rec := range req.Batch {
+		if len(rec) != s.dim {
+			resp.Code, resp.Err = codeBadChunk,
+				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), s.dim)
+			return resp
+		}
+		if req.Labels[i] < 0 {
+			resp.Code, resp.Err = codeBadChunk, fmt.Sprintf("record %d has a negative label", i)
+			return resp
+		}
+	}
+	for i, rec := range req.Batch {
+		s.training.X = append(s.training.X, append([]float64(nil), rec...))
+		s.training.Y = append(s.training.Y, req.Labels[i])
+	}
+	s.sinceRefit += len(req.Batch)
+	s.modelMu.Lock()
+	s.ingested += len(req.Batch)
+	s.modelMu.Unlock()
+	resp.Accepted = s.training.Len()
+	if s.cfg.RefitEvery > 0 && s.sinceRefit >= s.cfg.RefitEvery {
+		if err := s.refit(); err != nil {
+			// The chunk IS in the training set (Accepted reflects that) but
+			// the refreshed model is not live; answer with the dedicated
+			// refit code so the pusher knows not to re-push, and keep
+			// serving on the previous fit.
+			resp.Code, resp.Err = codeRefit, err.Error()
+			return resp
+		}
+		s.sinceRefit = 0
+	}
+	return resp
+}
+
+// refit retrains a model on a snapshot of the grown training set and swaps
+// it in under the write lock, so in-flight predictions finish on the old
+// model and later ones see the new one.
+func (s *MiningService) refit() error {
+	snapshot := s.training.Clone()
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	if err := s.model.Fit(snapshot); err != nil {
+		return fmt.Errorf("protocol: refit service model: %w", err)
+	}
+	return nil
 }
 
 // handle validates one request and predicts every record in its batch.
@@ -278,6 +432,10 @@ func (s *MiningService) handle(req *serviceWire) *serviceWire {
 		return resp
 	}
 	labels := make([]int, len(req.Batch))
+	// One read lock per batch: predictions may run concurrently across
+	// workers while an ingest-triggered refit waits for the write lock.
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
 	for i, rec := range req.Batch {
 		if len(rec) != s.dim {
 			resp.Code, resp.Err = codeBadQuery,
@@ -474,18 +632,75 @@ func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([
 	}
 }
 
-// decodeServiceResponse maps a response frame to labels or a typed error.
-func decodeServiceResponse(resp *serviceWire, want int) ([]int, error) {
+// PushChunk streams one chunk of perturbed, target-space training records
+// (with their labels) into the serving miner, which folds them into its
+// training set and refits on its configured cadence. It returns the
+// service's total training-set size after the chunk was folded in. An
+// ErrRefit error still carries a non-zero accepted count: the chunk landed
+// but the model refresh failed, so the caller must not re-push it. Like
+// ClassifyBatch it costs one round trip and is safe for concurrent use.
+func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels []int) (int, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("%w: empty chunk", ErrBadChunk)
+	}
+	if len(labels) != len(batch) {
+		return 0, fmt.Errorf("%w: %d labels for %d records", ErrBadChunk, len(labels), len(batch))
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return 0, err
+	}
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Kind: kindIngest, Batch: batch, Labels: labels})
+	if err != nil {
+		c.unregister(id)
+		return 0, err
+	}
+	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
+		c.unregister(id)
+		return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return 0, c.terminalErr()
+		}
+		// Accepted is returned even alongside an error: an ErrRefit
+		// response means the chunk WAS folded in (do not re-push) but the
+		// refreshed model is not live.
+		return resp.Accepted, responseErr(resp)
+	case <-ctx.Done():
+		c.unregister(id)
+		return 0, ctx.Err()
+	case <-c.done:
+		return 0, c.terminalErr()
+	}
+}
+
+// responseErr maps a response frame's code to a typed error (nil on codeOK).
+func responseErr(resp *serviceWire) error {
 	switch resp.Code {
 	case codeOK:
+		return nil
 	case codeBadQuery:
-		return nil, fmt.Errorf("%w: %s", ErrBadQuery, resp.Err)
+		return fmt.Errorf("%w: %s", ErrBadQuery, resp.Err)
+	case codeBadChunk:
+		return fmt.Errorf("%w: %s", ErrBadChunk, resp.Err)
+	case codeRefit:
+		return fmt.Errorf("%w: %s", ErrRefit, resp.Err)
 	case codeBatchTooLarge:
-		return nil, fmt.Errorf("%w: %s", ErrBatchTooLarge, resp.Err)
+		return fmt.Errorf("%w: %s", ErrBatchTooLarge, resp.Err)
 	case codeWireVersion:
-		return nil, fmt.Errorf("%w: %s", ErrWireVersion, resp.Err)
+		return fmt.Errorf("%w: %s", ErrWireVersion, resp.Err)
 	default:
-		return nil, fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
+		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
+	}
+}
+
+// decodeServiceResponse maps a classify response frame to labels or a typed
+// error.
+func decodeServiceResponse(resp *serviceWire, want int) ([]int, error) {
+	if err := responseErr(resp); err != nil {
+		return nil, err
 	}
 	if len(resp.Labels) != want {
 		return nil, fmt.Errorf("%w: %d labels for %d records", ErrBadMessage, len(resp.Labels), want)

@@ -427,12 +427,12 @@ func TestClientReceivesVersionRejection(t *testing.T) {
 		if err != nil || req == nil {
 			return
 		}
-		resp := &serviceWire{ID: req.ID, Response: true, Code: codeWireVersion, Err: "speak v3"}
+		resp := &serviceWire{ID: req.ID, Response: true, Code: codeWireVersion, Err: "speak v4"}
 		payload, err := encodeServiceWire(resp)
 		if err != nil {
 			return
 		}
-		payload[1] = 3 // the rejecting peer stamps its own, newer version
+		payload[1] = 4 // the rejecting peer stamps its own, newer version
 		_ = svcConn.Send(ctx, env.From, payload)
 	}()
 

@@ -1,0 +1,302 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// startIngestService is startService with a handle on the MiningService so
+// ingest tests can watch its counters.
+func startIngestService(t *testing.T, conn transport.Conn, d *dataset.Dataset, cfg ServiceConfig) (*MiningService, func()) {
+	t.Helper()
+	svc, err := NewMiningService(conn, &MinerResult{Unified: d}, classify.NewKNN(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := svc.Serve(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	return svc, func() {
+		cancel()
+		<-done
+	}
+}
+
+// TestPushChunkGrowsServedModel streams new labeled records into a serving
+// miner and checks that, once the refit cadence fires, queries near the new
+// records are answered with the new labels — the served model genuinely
+// learned from the stream.
+func TestPushChunkGrowsServedModel(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	// Initial model: 4 records on a line, labels 0..3, all below 1.0.
+	base := labelledLine(t, 4)
+	svc, stop := startIngestService(t, svcConn, base, ServiceConfig{RefitEvery: 2})
+	defer stop()
+
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := testCtx(t)
+	// Before the push, a record near 10.0 maps to the nearest base label.
+	before, err := client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 3 {
+		t.Fatalf("pre-ingest label = %d, want 3 (nearest base record)", before)
+	}
+
+	// Push a chunk of far-away records with a fresh label; RefitEvery=2 so
+	// this chunk alone triggers a refit.
+	total, err := client.PushChunk(ctx, [][]float64{{9.9}, {10.1}}, []int{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("accepted total = %d, want 6", total)
+	}
+	if got := svc.Ingested(); got != 2 {
+		t.Fatalf("Ingested() = %d, want 2", got)
+	}
+
+	after, err := client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 7 {
+		t.Fatalf("post-ingest label = %d, want the streamed label 7", after)
+	}
+}
+
+// TestPushChunkRefitCadence checks that refits wait for RefitEvery records:
+// a chunk below the cadence leaves the served model unchanged, and crossing
+// the cadence swaps it.
+func TestPushChunkRefitCadence(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	base := labelledLine(t, 4)
+	_, stop := startIngestService(t, svcConn, base, ServiceConfig{RefitEvery: 4})
+	defer stop()
+
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := testCtx(t)
+
+	if _, err := client.PushChunk(ctx, [][]float64{{9.9}, {10.1}}, []int{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	label, err := client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 3 {
+		t.Fatalf("label before cadence = %d, want 3 (old model still serving)", label)
+	}
+
+	if _, err := client.PushChunk(ctx, [][]float64{{9.8}, {10.2}}, []int{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	label, err = client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 7 {
+		t.Fatalf("label after cadence = %d, want 7 (refit model serving)", label)
+	}
+}
+
+// TestPushChunkRejections exercises the typed ingest error paths without
+// killing the service or the client.
+func TestPushChunkRejections(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	base := labelledLine(t, 4)
+	_, stop := startIngestService(t, svcConn, base, ServiceConfig{MaxBatch: 2})
+	defer stop()
+
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := testCtx(t)
+
+	// Client-side rejections (no round trip).
+	if _, err := client.PushChunk(ctx, nil, nil); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("empty chunk: %v, want ErrBadChunk", err)
+	}
+	if _, err := client.PushChunk(ctx, [][]float64{{1}}, []int{1, 2}); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("label mismatch: %v, want ErrBadChunk", err)
+	}
+
+	// Service-side rejections.
+	if _, err := client.PushChunk(ctx, [][]float64{{1}, {2}, {3}}, []int{0, 0, 0}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized chunk: %v, want ErrBatchTooLarge", err)
+	}
+	if _, err := client.PushChunk(ctx, [][]float64{{1, 2}}, []int{0}); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("wrong dim: %v, want ErrBadChunk", err)
+	}
+	if _, err := client.PushChunk(ctx, [][]float64{{1}}, []int{-1}); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("negative label: %v, want ErrBadChunk", err)
+	}
+
+	// The service survived all of it and still answers queries.
+	if _, err := client.Classify(ctx, []float64{0.1}); err != nil {
+		t.Fatalf("service died after rejections: %v", err)
+	}
+}
+
+// brittleModel is a classifier whose refits start failing after the first
+// (construction-time) fit.
+type brittleModel struct {
+	inner classify.Classifier
+	fits  int
+}
+
+func (m *brittleModel) Fit(d *dataset.Dataset) error {
+	m.fits++
+	if m.fits > 1 {
+		return errors.New("degenerate training set")
+	}
+	return m.inner.Fit(d)
+}
+
+func (m *brittleModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
+
+// TestPushChunkRefitFailure checks the refit-failure contract: the chunk is
+// folded in (non-zero accepted count), the error is the typed ErrRefit —
+// not ErrServiceClosed — and the service keeps serving on its previous fit.
+func TestPushChunkRefitFailure(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	base := labelledLine(t, 4)
+	model := &brittleModel{inner: classify.NewKNN(1)}
+	svc, err := NewMiningService(svcConn, &MinerResult{Unified: base}, model, ServiceConfig{RefitEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := svc.Serve(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tctx := testCtx(t)
+
+	accepted, err := client.PushChunk(tctx, [][]float64{{9.9}}, []int{7})
+	if !errors.Is(err, ErrRefit) {
+		t.Fatalf("err = %v, want ErrRefit", err)
+	}
+	if accepted != 5 {
+		t.Fatalf("accepted = %d alongside ErrRefit, want 5 (chunk landed)", accepted)
+	}
+	// Previous fit still serves.
+	if _, err := client.Classify(tctx, []float64{0.1}); err != nil {
+		t.Fatalf("service stopped serving after a refit failure: %v", err)
+	}
+}
+
+// TestPushChunkConcurrentWithQueries hammers the service with concurrent
+// pushers and queriers under -race: appends, refits and predictions must not
+// race.
+func TestPushChunkConcurrentWithQueries(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	base := labelledLine(t, 8)
+	svc, stop := startIngestService(t, svcConn, base, ServiceConfig{RefitEvery: 8, Workers: 4})
+	defer stop()
+
+	client, err := NewServiceClient(cliConn, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := testCtx(t)
+
+	const pushers, queriers, rounds = 3, 3, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, (pushers+queriers)*rounds)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v := 2 + float64(p*rounds+r)/10
+				if _, err := client.PushChunk(ctx, [][]float64{{v}}, []int{5}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := client.Classify(ctx, []float64{0.4}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := svc.Ingested(); got != pushers*rounds {
+		t.Fatalf("Ingested() = %d, want %d", got, pushers*rounds)
+	}
+}

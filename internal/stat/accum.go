@@ -1,0 +1,171 @@
+package stat
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// CovAccumulator maintains the running mean vector and covariance matrix of
+// a d-dimensional sample using Welford's algorithm generalized to vectors:
+// each observation applies a rank-1 update to the comoment matrix, so the
+// accumulator is numerically stable over arbitrarily long streams and never
+// revisits past data. It backs the streaming ingestion pipeline
+// (internal/stream), which watches the covariance of arriving clear data for
+// distribution drift before perturbing it (paper §2 derives the perturbation
+// from the normalized data's geometry; a drifted stream calls for a fresh
+// draw).
+//
+// The zero value is not ready to use; construct with NewCovAccumulator. All
+// methods are single-goroutine; wrap externally for concurrent use.
+type CovAccumulator struct {
+	dim  int
+	n    int
+	mean []float64
+	// comoment is the running d×d sum Σ (x−mean)(x−mean')ᵀ maintained by
+	// rank-1 updates; covariance is comoment / n.
+	comoment *matrix.Dense
+	// scratch holds the per-observation deltas, reused across Add calls.
+	dOld, dNew []float64
+}
+
+// NewCovAccumulator returns an empty accumulator for d-dimensional
+// observations.
+func NewCovAccumulator(d int) (*CovAccumulator, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("stat: accumulator dimension %d", d)
+	}
+	return &CovAccumulator{
+		dim:      d,
+		mean:     make([]float64, d),
+		comoment: matrix.New(d, d),
+		dOld:     make([]float64, d),
+		dNew:     make([]float64, d),
+	}, nil
+}
+
+// Dim returns the observation dimensionality.
+func (a *CovAccumulator) Dim() int { return a.dim }
+
+// N returns the number of observations folded in.
+func (a *CovAccumulator) N() int { return a.n }
+
+// Add folds one observation into the running moments. The update is
+// Welford's: mean += (x−mean)/n, then comoment += (x−mean_old)(x−mean_new)ᵀ.
+func (a *CovAccumulator) Add(x []float64) error {
+	if len(x) != a.dim {
+		return fmt.Errorf("stat: observation has %d features, accumulator dim %d", len(x), a.dim)
+	}
+	a.n++
+	inv := 1 / float64(a.n)
+	for i, v := range x {
+		a.dOld[i] = v - a.mean[i]
+		a.mean[i] += a.dOld[i] * inv
+		a.dNew[i] = v - a.mean[i]
+	}
+	for i := 0; i < a.dim; i++ {
+		di := a.dOld[i]
+		if di == 0 {
+			continue
+		}
+		for j := 0; j < a.dim; j++ {
+			a.comoment.Set(i, j, a.comoment.At(i, j)+di*a.dNew[j])
+		}
+	}
+	return nil
+}
+
+// AddChunk folds every column of a d×N chunk (one record per column, the
+// pipeline orientation) into the running moments.
+func (a *CovAccumulator) AddChunk(chunk *matrix.Dense) error {
+	if chunk.Rows() != a.dim {
+		return fmt.Errorf("stat: chunk is %dx%d, accumulator dim %d", chunk.Rows(), chunk.Cols(), a.dim)
+	}
+	x := make([]float64, a.dim)
+	for j := 0; j < chunk.Cols(); j++ {
+		for i := 0; i < a.dim; i++ {
+			x[i] = chunk.At(i, j)
+		}
+		if err := a.Add(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mean returns a copy of the running mean vector.
+func (a *CovAccumulator) Mean() []float64 {
+	return append([]float64(nil), a.mean...)
+}
+
+// Covariance returns the running population covariance matrix. It returns
+// ErrEmpty until at least two observations are in.
+func (a *CovAccumulator) Covariance() (*matrix.Dense, error) {
+	if a.n < 2 {
+		return nil, ErrEmpty
+	}
+	return a.comoment.Scale(1 / float64(a.n)), nil
+}
+
+// Merge folds another accumulator of the same dimension into this one using
+// the pairwise (Chan et al.) combination, so shard-local accumulators can be
+// unified without replaying their streams.
+func (a *CovAccumulator) Merge(b *CovAccumulator) error {
+	if b.dim != a.dim {
+		return fmt.Errorf("stat: merge dim %d vs %d", b.dim, a.dim)
+	}
+	if b.n == 0 {
+		return nil
+	}
+	if a.n == 0 {
+		a.n = b.n
+		copy(a.mean, b.mean)
+		a.comoment = b.comoment.Clone()
+		return nil
+	}
+	nA, nB := float64(a.n), float64(b.n)
+	nAB := nA + nB
+	delta := make([]float64, a.dim)
+	for i := range delta {
+		delta[i] = b.mean[i] - a.mean[i]
+	}
+	for i := 0; i < a.dim; i++ {
+		for j := 0; j < a.dim; j++ {
+			cross := delta[i] * delta[j] * nA * nB / nAB
+			a.comoment.Set(i, j, a.comoment.At(i, j)+b.comoment.At(i, j)+cross)
+		}
+	}
+	for i := range a.mean {
+		a.mean[i] += delta[i] * nB / nAB
+	}
+	a.n += b.n
+	return nil
+}
+
+// Reset empties the accumulator, keeping its dimension.
+func (a *CovAccumulator) Reset() {
+	a.n = 0
+	for i := range a.mean {
+		a.mean[i] = 0
+	}
+	a.comoment = matrix.New(a.dim, a.dim)
+}
+
+// CovarianceDrift measures the relative Frobenius distance between two
+// covariance matrices: ‖cur − ref‖_F / max(‖ref‖_F, ε). The streaming
+// pipeline compares the running covariance against a snapshot taken at the
+// last transform derivation and re-derives when the drift exceeds its
+// threshold.
+func CovarianceDrift(ref, cur *matrix.Dense) (float64, error) {
+	if ref.Rows() != cur.Rows() || ref.Cols() != cur.Cols() {
+		return 0, fmt.Errorf("stat: drift shapes %dx%d vs %dx%d",
+			ref.Rows(), ref.Cols(), cur.Rows(), cur.Cols())
+	}
+	const eps = 1e-12
+	num := cur.Sub(ref).FrobeniusNorm()
+	den := ref.FrobeniusNorm()
+	if den < eps {
+		den = eps
+	}
+	return num / den, nil
+}

@@ -1,0 +1,204 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// genData draws a d×n data matrix with mixed scales so covariance entries
+// span a few orders of magnitude.
+func genData(rng *rand.Rand, d, n int) *matrix.Dense {
+	m := matrix.New(d, n)
+	for i := 0; i < d; i++ {
+		scale := math.Pow(10, float64(i%3)-1)
+		off := rng.NormFloat64() * 2
+		for j := 0; j < n; j++ {
+			m.Set(i, j, off+rng.NormFloat64()*scale)
+		}
+	}
+	return m
+}
+
+// TestPropCovAccumulatorMatchesBatch is the incremental-covariance contract:
+// streaming a dataset through the accumulator in random-sized chunks must
+// reproduce the batch CovarianceMatrix result within 1e-9, for any shape and
+// any chunking.
+func TestPropCovAccumulatorMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(6)
+		n := 2 + rng.Intn(200)
+		data := genData(rng, d, n)
+
+		acc, err := NewCovAccumulator(d)
+		if err != nil {
+			t.Fatalf("NewCovAccumulator: %v", err)
+		}
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(17)
+			if hi > n {
+				hi = n
+			}
+			if err := acc.AddChunk(data.Slice(0, d, lo, hi)); err != nil {
+				t.Fatalf("AddChunk: %v", err)
+			}
+			lo = hi
+		}
+
+		want, err := CovarianceMatrix(data)
+		if err != nil {
+			t.Fatalf("CovarianceMatrix: %v", err)
+		}
+		got, err := acc.Covariance()
+		if err != nil {
+			t.Fatalf("Covariance: %v", err)
+		}
+		if acc.N() != n {
+			return false
+		}
+		// Means must match the column-wise batch means too.
+		mean := acc.Mean()
+		for i := 0; i < d; i++ {
+			if math.Abs(mean[i]-Mean(data.Row(i))) > 1e-9 {
+				return false
+			}
+		}
+		return got.EqualApprox(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCovAccumulatorMerge checks the pairwise combination: merging two
+// shard accumulators equals accumulating the concatenated stream.
+func TestPropCovAccumulatorMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		nA := 2 + rng.Intn(60)
+		nB := 2 + rng.Intn(60)
+		a := genData(rng, d, nA)
+		b := genData(rng, d, nB)
+
+		accA, _ := NewCovAccumulator(d)
+		accB, _ := NewCovAccumulator(d)
+		if err := accA.AddChunk(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := accB.AddChunk(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := accA.Merge(accB); err != nil {
+			t.Fatal(err)
+		}
+
+		whole, _ := NewCovAccumulator(d)
+		if err := whole.AddChunk(a.Augment(b)); err != nil {
+			t.Fatal(err)
+		}
+		gotM, err := accA.Covariance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, err := whole.Covariance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return accA.N() == whole.N() && gotM.EqualApprox(wantM, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovAccumulatorErrors(t *testing.T) {
+	if _, err := NewCovAccumulator(0); err == nil {
+		t.Fatal("want error for dimension 0")
+	}
+	acc, err := NewCovAccumulator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add([]float64{1, 2}); err == nil {
+		t.Fatal("want dimension-mismatch error from Add")
+	}
+	if err := acc.AddChunk(matrix.New(2, 4)); err == nil {
+		t.Fatal("want dimension-mismatch error from AddChunk")
+	}
+	if _, err := acc.Covariance(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty before 2 observations, got %v", err)
+	}
+	if err := acc.Add([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Covariance(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty with 1 observation, got %v", err)
+	}
+	other, _ := NewCovAccumulator(2)
+	if err := acc.Merge(other); err == nil {
+		t.Fatal("want dimension-mismatch error from Merge")
+	}
+}
+
+func TestCovAccumulatorResetAndMergeEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := genData(rng, 2, 50)
+
+	acc, _ := NewCovAccumulator(2)
+	if err := acc.AddChunk(data); err != nil {
+		t.Fatal(err)
+	}
+	acc.Reset()
+	if acc.N() != 0 {
+		t.Fatalf("N after Reset = %d", acc.N())
+	}
+
+	// Merging into an empty accumulator copies; merging an empty one is a
+	// no-op.
+	full, _ := NewCovAccumulator(2)
+	if err := full.AddChunk(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	empty, _ := NewCovAccumulator(2)
+	if err := acc.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := CovarianceMatrix(data)
+	got, err := acc.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("empty-merge round trip diverged from batch covariance")
+	}
+}
+
+func TestCovarianceDrift(t *testing.T) {
+	id := matrix.Identity(3)
+	zero, err := CovarianceDrift(id, id.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("drift of identical matrices = %v", zero)
+	}
+	scaled, err := CovarianceDrift(id, id.Scale(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled-1) > 1e-12 {
+		t.Fatalf("drift of 2I vs I = %v, want 1", scaled)
+	}
+	if _, err := CovarianceDrift(id, matrix.Identity(2)); err == nil {
+		t.Fatal("want shape-mismatch error")
+	}
+}

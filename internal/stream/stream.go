@@ -1,0 +1,343 @@
+// Package stream perturbs data that arrives incrementally instead of as one
+// fixed batch, extending the paper's §2 geometric perturbation
+// G(X) = RX + Ψ + Δ to continuous ingestion (in the spirit of multiplicative
+// perturbation over data streams; see PAPERS.md, Chhinkaniwala & Garg).
+//
+// A Pipeline pulls chunks of clear records from a Source, re-chunks them to
+// a configured size, perturbs each chunk with a stream-local perturbation
+// G_s, and immediately re-expresses it in the unified target space G_t
+// through the §3 space adaptor A_st — so every emitted chunk can be appended
+// to a serving miner's unified training set without the miner ever seeing
+// clear data. Emission goes through a bounded buffer: a slow consumer
+// backpressures the producer instead of growing memory without bound.
+//
+// While streaming, the pipeline maintains the running mean and covariance of
+// the clear input (stat.CovAccumulator, Welford/rank-1 updates). When the
+// covariance has drifted from the snapshot taken at the last derivation by
+// more than a configured relative Frobenius threshold, the pipeline
+// re-derives: it draws a fresh G_s′ and a fresh adaptor A_s′t, and bumps the
+// chunk epoch. Re-derivation changes which rotated noise the target space
+// inherits — the defensive posture follows the data — but every epoch still
+// lands in the same target space, so downstream consumers are oblivious.
+// With drift re-derivation disabled and σ = 0 the concatenated output equals
+// the batch transform G_t(X) exactly.
+//
+// Privacy posture: stream-space transforms are Haar-random draws, not
+// outputs of the §2.2 attack-suite optimizer — running the optimizer per
+// chunk (or per re-derivation) is incompatible with the ingestion hot path.
+// A caller that needs streamed records to meet an optimizer-vetted
+// guarantee should pass an optimized perturbation as Config.Perturbation
+// (cmd/sapnode's -stream does) and treat drift re-derivations, which draw
+// random replacements, as a signal to re-optimize out of band; see the
+// ROADMAP open item on optimizer-vetted stream transforms.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+	"repro/internal/stat"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultChunkSize is the records-per-chunk target when Config.ChunkSize
+	// is zero.
+	DefaultChunkSize = 256
+	// DefaultBufferDepth is the emitted-chunk buffer capacity when
+	// Config.BufferDepth is zero.
+	DefaultBufferDepth = 4
+)
+
+// Errors returned by the streaming pipeline.
+var (
+	ErrBadConfig = errors.New("stream: bad pipeline configuration")
+	ErrDim       = errors.New("stream: record dimension mismatch")
+)
+
+// Source yields successive slices of clear, labeled records. Next returns
+// io.EOF when the stream ends; any chunk size is accepted (the pipeline
+// re-chunks). Implementations need not be safe for concurrent use — the
+// pipeline calls Next from a single goroutine.
+type Source interface {
+	Next(ctx context.Context) (*dataset.Dataset, error)
+}
+
+// datasetSource yields one in-memory dataset as a single slice, then EOF.
+type datasetSource struct {
+	d    *dataset.Dataset
+	done bool
+}
+
+// DatasetSource adapts an in-memory dataset into a Source, letting batch
+// data flow through the streaming pipeline (used by tests, benchmarks and
+// the equivalence check between streaming and batch perturbation).
+func DatasetSource(d *dataset.Dataset) Source { return &datasetSource{d: d} }
+
+// Next implements Source.
+func (s *datasetSource) Next(ctx context.Context) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.done || s.d == nil || s.d.Len() == 0 {
+		return nil, io.EOF
+	}
+	s.done = true
+	return s.d, nil
+}
+
+// Chunk is one emitted unit of perturbed data, already in the target space.
+type Chunk struct {
+	// Seq numbers chunks from 0 in emission order.
+	Seq int
+	// Epoch counts transform derivations; it starts at 0 and increments
+	// every time drift triggers a re-derivation.
+	Epoch int
+	// Drift is the relative covariance drift measured when the chunk was
+	// cut (0 until enough records are in to measure).
+	Drift float64
+	// Data holds the perturbed records (target space) with their labels.
+	Data *dataset.Dataset
+}
+
+// Config assembles a Pipeline.
+type Config struct {
+	// Perturbation is the initial stream-space perturbation G_s (its σ is
+	// reused by re-derived transforms). Required.
+	Perturbation *perturb.Perturbation
+	// Target is the unified target perturbation G_t the emitted chunks are
+	// adapted into. Required; same dimension as Perturbation.
+	Target *perturb.Perturbation
+	// Rng drives the noise draws and the re-derived transforms. Required.
+	Rng *rand.Rand
+	// ChunkSize is the records-per-chunk target (default DefaultChunkSize).
+	ChunkSize int
+	// DriftThreshold is the relative covariance drift that triggers a
+	// transform re-derivation; 0 disables re-derivation.
+	DriftThreshold float64
+	// BufferDepth is the emitted-chunk buffer capacity (default
+	// DefaultBufferDepth). A full buffer blocks the producer.
+	BufferDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.BufferDepth <= 0 {
+		c.BufferDepth = DefaultBufferDepth
+	}
+	return c
+}
+
+// Pipeline is one streaming perturbation run. Construct with New, start with
+// Run, consume from Out. Counters (Records, Epoch) may be read concurrently
+// with a running pipeline.
+type Pipeline struct {
+	cfg     Config
+	pert    *perturb.Perturbation
+	adaptor *perturb.Adaptor
+	acc     *stat.CovAccumulator
+	// ref is the covariance snapshot at the last derivation (nil until the
+	// first measurable covariance after a derivation).
+	ref *matrix.Dense
+
+	out     chan Chunk
+	records atomic.Int64
+	epoch   atomic.Int64
+}
+
+// New validates the configuration and assembles an unstarted pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Perturbation == nil || cfg.Target == nil {
+		return nil, fmt.Errorf("%w: missing perturbation or target", ErrBadConfig)
+	}
+	if cfg.Perturbation.Dim() != cfg.Target.Dim() {
+		return nil, fmt.Errorf("%w: stream dim %d vs target dim %d",
+			ErrBadConfig, cfg.Perturbation.Dim(), cfg.Target.Dim())
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("%w: missing rng", ErrBadConfig)
+	}
+	if cfg.DriftThreshold < 0 {
+		return nil, fmt.Errorf("%w: negative drift threshold %v", ErrBadConfig, cfg.DriftThreshold)
+	}
+	adaptor, err := perturb.NewAdaptor(cfg.Perturbation, cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := stat.NewCovAccumulator(cfg.Perturbation.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg:     cfg,
+		pert:    cfg.Perturbation.Clone(),
+		adaptor: adaptor,
+		acc:     acc,
+		out:     make(chan Chunk, cfg.BufferDepth),
+	}, nil
+}
+
+// Out returns the emitted-chunk channel. It is closed when Run returns;
+// consume until closed, then check Run's error.
+func (p *Pipeline) Out() <-chan Chunk { return p.out }
+
+// Records returns the number of records emitted so far.
+func (p *Pipeline) Records() int { return int(p.records.Load()) }
+
+// Epoch returns the current transform generation (0-based; equals the number
+// of drift re-derivations so far).
+func (p *Pipeline) Epoch() int { return int(p.epoch.Load()) }
+
+// Dim returns the record dimensionality the pipeline accepts.
+func (p *Pipeline) Dim() int { return p.pert.Dim() }
+
+// Run pulls the source dry, perturbing and emitting chunks until the source
+// returns io.EOF (nil result), the context is cancelled, or an error occurs.
+// It closes Out before returning and must be called at most once.
+func (p *Pipeline) Run(ctx context.Context, src Source) error {
+	defer close(p.out)
+	if src == nil {
+		return fmt.Errorf("%w: nil source", ErrBadConfig)
+	}
+	seq := 0
+	// pending accumulates source records until a full chunk is cut.
+	var pendX [][]float64
+	var pendY []int
+
+	flush := func(final bool) error {
+		for len(pendX) >= p.cfg.ChunkSize || (final && len(pendX) > 0) {
+			n := p.cfg.ChunkSize
+			if n > len(pendX) {
+				n = len(pendX)
+			}
+			chunk, err := p.emit(ctx, seq, pendX[:n], pendY[:n])
+			if err != nil {
+				return err
+			}
+			seq++
+			pendX = pendX[n:]
+			pendY = pendY[n:]
+			select {
+			case p.out <- chunk:
+				p.records.Add(int64(chunk.Data.Len()))
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+
+	for {
+		in, err := src.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return flush(true)
+		}
+		if err != nil {
+			return err
+		}
+		if in == nil || in.Len() == 0 {
+			continue
+		}
+		if in.Dim() != p.Dim() {
+			return fmt.Errorf("%w: source chunk dim %d, pipeline dim %d", ErrDim, in.Dim(), p.Dim())
+		}
+		pendX = append(pendX, in.X...)
+		pendY = append(pendY, in.Y...)
+		if err := flush(false); err != nil {
+			return err
+		}
+	}
+}
+
+// emit folds one cut chunk into the running statistics, re-derives the
+// transform if the covariance has drifted past the threshold, and perturbs
+// the chunk into the target space.
+func (p *Pipeline) emit(ctx context.Context, seq int, x [][]float64, y []int) (Chunk, error) {
+	xcols := matrix.NewFromRows(x).T()
+	if err := p.acc.AddChunk(xcols); err != nil {
+		return Chunk{}, err
+	}
+	drift, err := p.measureDrift()
+	if err != nil {
+		return Chunk{}, err
+	}
+	if p.cfg.DriftThreshold > 0 && drift > p.cfg.DriftThreshold {
+		if err := p.rederive(); err != nil {
+			return Chunk{}, err
+		}
+	}
+
+	// Perturb in the stream space, then adapt into the target space. The
+	// target inherits the rotated stream noise (the §3 complementary-noise
+	// identity), exactly as a batch provider's submission would.
+	perturbed, _, err := p.pert.Apply(p.cfg.Rng, xcols)
+	if err != nil {
+		return Chunk{}, err
+	}
+	adapted, err := p.adaptor.Apply(perturbed)
+	if err != nil {
+		return Chunk{}, err
+	}
+
+	rows := make([][]float64, len(x))
+	for i := range rows {
+		rows[i] = adapted.Col(i)
+	}
+	name := fmt.Sprintf("stream-chunk-%d", seq)
+	data, err := dataset.New(name, rows, append([]int(nil), y...))
+	if err != nil {
+		return Chunk{}, err
+	}
+	return Chunk{Seq: seq, Epoch: p.Epoch(), Drift: drift, Data: data}, nil
+}
+
+// measureDrift compares the running covariance against the last derivation's
+// snapshot. Until a snapshot exists (fewer than 2 records at the previous
+// derivation) the current covariance becomes the reference and drift is 0.
+func (p *Pipeline) measureDrift() (float64, error) {
+	cov, err := p.acc.Covariance()
+	if errors.Is(err, stat.ErrEmpty) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if p.ref == nil {
+		p.ref = cov
+		return 0, nil
+	}
+	return stat.CovarianceDrift(p.ref, cov)
+}
+
+// rederive draws a fresh stream-space perturbation (same σ) plus its target
+// adaptor, restarts the drift statistics, and bumps the epoch. The
+// accumulator is reset so each epoch measures the covariance of its own
+// records — without the reset a shift arriving after a long calm stretch
+// would be diluted by the lifetime history and detection latency would grow
+// with stream age.
+func (p *Pipeline) rederive() error {
+	fresh, err := perturb.NewRandom(p.cfg.Rng, p.Dim(), p.pert.NoiseSigma)
+	if err != nil {
+		return err
+	}
+	adaptor, err := perturb.NewAdaptor(fresh, p.cfg.Target)
+	if err != nil {
+		return err
+	}
+	p.pert = fresh
+	p.adaptor = adaptor
+	p.acc.Reset()
+	p.ref = nil // next measurable covariance becomes the new reference
+	p.epoch.Add(1)
+	return nil
+}

@@ -1,0 +1,319 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/perturb"
+)
+
+// mkData builds an n×d labeled dataset with per-dimension offsets so its
+// covariance is non-trivial.
+func mkData(t *testing.T, rng *rand.Rand, name string, n, d int, shift float64) *dataset.Dataset {
+	t.Helper()
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = shift + rng.NormFloat64()*(1+float64(j))
+		}
+		x[i] = row
+		y[i] = i % 3
+	}
+	ds, err := dataset.New(name, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func mkPipeline(t *testing.T, rng *rand.Rand, d int, sigma float64, cfg Config) *Pipeline {
+	t.Helper()
+	var err error
+	if cfg.Perturbation == nil {
+		cfg.Perturbation, err = perturb.NewRandom(rng, d, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.Target == nil {
+		target, err := perturb.NewRandom(rng, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Target = target.WithoutNoise()
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rng
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// drain runs the pipeline over src and collects every chunk.
+func drain(t *testing.T, p *Pipeline, src Source) ([]Chunk, error) {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- p.Run(context.Background(), src) }()
+	var chunks []Chunk
+	for c := range p.Out() {
+		chunks = append(chunks, c)
+	}
+	return chunks, <-errc
+}
+
+// TestStreamMatchesBatchNoiseless is the acceptance contract: with drift
+// re-derivation disabled and σ = 0, the concatenated streamed output must
+// equal the batch target transform G_t(X) exactly (well within 1e-9).
+func TestStreamMatchesBatchNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := mkData(t, rng, "equiv", 503, 5, 0)
+	p := mkPipeline(t, rng, 5, 0, Config{ChunkSize: 64})
+
+	chunks, err := drain(t, p, DatasetSource(data))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := p.cfg.Target.ApplyNoiseless(data.FeaturesT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.New(want.Rows(), 0)
+	total := 0
+	for i, c := range chunks {
+		if c.Seq != i {
+			t.Fatalf("chunk %d has Seq %d", i, c.Seq)
+		}
+		if c.Epoch != 0 {
+			t.Fatalf("chunk %d re-derived (epoch %d) with drift disabled", i, c.Epoch)
+		}
+		total += c.Data.Len()
+		got = got.Augment(c.Data.FeaturesT())
+	}
+	if total != data.Len() {
+		t.Fatalf("streamed %d records, want %d", total, data.Len())
+	}
+	if p.Records() != data.Len() {
+		t.Fatalf("Records() = %d, want %d", p.Records(), data.Len())
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("streamed output diverged from batch transform: max delta %v",
+			got.Sub(want).MaxAbs())
+	}
+	// Labels must ride along untouched.
+	off := 0
+	for _, c := range chunks {
+		for i, y := range c.Data.Y {
+			if y != data.Y[off+i] {
+				t.Fatalf("label %d mutated in flight", off+i)
+			}
+		}
+		off += c.Data.Len()
+	}
+}
+
+// TestStreamChunking checks the re-chunking contract: a source yielding
+// irregular slices comes out re-cut to ChunkSize with one final partial
+// chunk.
+func TestStreamChunking(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pieces := []*dataset.Dataset{
+		mkData(t, rng, "a", 10, 3, 0),
+		mkData(t, rng, "b", 57, 3, 0),
+		mkData(t, rng, "c", 3, 3, 0),
+	}
+	p := mkPipeline(t, rng, 3, 0.05, Config{ChunkSize: 16})
+	chunks, err := drain(t, p, &sliceSource{parts: pieces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range chunks {
+		if i < len(chunks)-1 && c.Data.Len() != 16 {
+			t.Fatalf("chunk %d has %d records, want full 16", i, c.Data.Len())
+		}
+		total += c.Data.Len()
+	}
+	if total != 70 {
+		t.Fatalf("streamed %d records, want 70", total)
+	}
+	if last := chunks[len(chunks)-1].Data.Len(); last != 70%16 {
+		t.Fatalf("final partial chunk has %d records, want %d", last, 70%16)
+	}
+}
+
+// sliceSource yields a fixed sequence of datasets.
+type sliceSource struct {
+	parts []*dataset.Dataset
+	i     int
+}
+
+func (s *sliceSource) Next(ctx context.Context) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.i >= len(s.parts) {
+		return nil, io.EOF
+	}
+	d := s.parts[s.i]
+	s.i++
+	return d, nil
+}
+
+// TestStreamDriftRederivation feeds a stream whose distribution shifts
+// abruptly and checks that the pipeline bumps its epoch — and that every
+// epoch's output still lands in the same target space (verified by
+// recovering the clear data through the target transform, which must succeed
+// for σ = 0 regardless of which stream-space transform produced the chunk).
+func TestStreamDriftRederivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	calm := mkData(t, rng, "calm", 200, 4, 0)
+	shifted := mkData(t, rng, "shifted", 200, 4, 25)
+
+	p := mkPipeline(t, rng, 4, 0, Config{ChunkSize: 32, DriftThreshold: 0.5})
+	chunks, err := drain(t, p, &sliceSource{parts: []*dataset.Dataset{calm, shifted}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() == 0 {
+		t.Fatal("distribution shift never triggered a re-derivation")
+	}
+	merged, err := dataset.Merge(calm, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for _, c := range chunks {
+		recovered, err := p.cfg.Target.Recover(c.Data.FeaturesT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSlice := merged.Subset(seqInts(off, c.Data.Len())).FeaturesT()
+		if !recovered.EqualApprox(wantSlice, 1e-8) {
+			t.Fatalf("chunk %d (epoch %d) is not in the target space", c.Seq, c.Epoch)
+		}
+		off += c.Data.Len()
+	}
+	// Epochs must be monotone non-decreasing across chunks.
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Epoch < chunks[i-1].Epoch {
+			t.Fatalf("epoch regressed at chunk %d", i)
+		}
+	}
+}
+
+func seqInts(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// TestStreamBackpressure checks the bounded buffer: with no consumer, the
+// producer must stall after filling BufferDepth chunks instead of buffering
+// the whole stream.
+func TestStreamBackpressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := mkData(t, rng, "big", 400, 3, 0)
+	p := mkPipeline(t, rng, 3, 0, Config{ChunkSize: 10, BufferDepth: 2})
+
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background(), DatasetSource(data)) }()
+
+	// Give the producer time to run ahead; it may complete at most
+	// BufferDepth buffered chunks + one blocked in the send.
+	time.Sleep(50 * time.Millisecond)
+	if got := p.Records(); got > 30 {
+		t.Fatalf("producer emitted %d records with no consumer (buffer depth 2, chunk 10)", got)
+	}
+	for range p.Out() {
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p.Records() != 400 {
+		t.Fatalf("Records() = %d after drain, want 400", p.Records())
+	}
+}
+
+// TestStreamCancel checks that cancelling the context unblocks a
+// backpressured producer and surfaces context.Canceled.
+func TestStreamCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := mkData(t, rng, "big", 400, 3, 0)
+	p := mkPipeline(t, rng, 3, 0, Config{ChunkSize: 10, BufferDepth: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx, DatasetSource(data)) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled producer never returned")
+	}
+}
+
+// TestStreamDimMismatch checks that a source chunk of the wrong width kills
+// the run with ErrDim.
+func TestStreamDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := mkPipeline(t, rng, 3, 0, Config{})
+	wrong := mkData(t, rng, "wrong", 8, 5, 0)
+	_, err := drain(t, p, DatasetSource(wrong))
+	if !errors.Is(err, ErrDim) {
+		t.Fatalf("got %v, want ErrDim", err)
+	}
+}
+
+// TestStreamConfigValidation exercises New's rejection paths.
+func TestStreamConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pert, err := perturb.NewRandom(rng, 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := perturb.NewRandom(rng, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherDim, err := perturb.NewRandom(rng, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Target: target, Rng: rng},                                           // missing perturbation
+		{Perturbation: pert, Rng: rng},                                       // missing target
+		{Perturbation: pert, Target: otherDim, Rng: rng},                     // dim mismatch
+		{Perturbation: pert, Target: target},                                 // missing rng
+		{Perturbation: pert, Target: target, Rng: rng, DriftThreshold: -0.1}, // negative drift
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: got %v, want ErrBadConfig", i, err)
+		}
+	}
+	// Nil source is rejected by Run.
+	p, err := New(Config{Perturbation: pert, Target: target, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(context.Background(), nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil source: got %v, want ErrBadConfig", err)
+	}
+}

@@ -1,8 +1,11 @@
 // Package transport moves opaque, framed payloads between named protocol
 // endpoints. Two implementations are provided: an in-memory hub for tests,
 // benchmarks and single-process simulation, and a TCP transport whose frames
-// are sealed with AES-GCM — the paper assumes "encryption is applied before
-// data is transmitted on the network".
+// are sealed with AES-GCM — the paper's §3 assumes "encryption is applied
+// before data is transmitted on the network". Everything above this layer
+// (SAP protocol rounds, serving traffic, stream ingest) is
+// transport-agnostic: a deployment picks its network by handing the facade
+// a different Conn.
 package transport
 
 import (

@@ -66,6 +66,7 @@ type config struct {
 	fullSuite    bool
 	workers      int
 	maxBatch     int
+	refitEvery   int
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -149,6 +150,19 @@ func WithServiceMaxBatch(n int) Option {
 	}
 }
 
+// WithServiceRefitEvery sets how many stream-ingested records the served
+// model accumulates before retraining on the grown training set (default
+// 256; negative disables automatic refits).
+func WithServiceRefitEvery(n int) Option {
+	return func(c *config) error {
+		if n == 0 {
+			return nil
+		}
+		c.refitEvery = n
+		return nil
+	}
+}
+
 // Session is the unit of the facade's lifecycle: configure with New, execute
 // the Space Adaptation Protocol once with Run, then serve the unified model
 // for the contract's lifetime with Serve while contracted parties query it
@@ -162,6 +176,7 @@ type Session struct {
 	target          *Perturbation
 	localGuarantees []float64
 	identifiability float64
+	streamSeq       int64
 }
 
 // New validates the options and returns an unstarted session.
@@ -299,14 +314,18 @@ func (s *Session) TransformForInference(d *Dataset) (*Dataset, error) {
 // unified dataset and answers batched classification queries on conn until
 // ctx is cancelled or the transport closes. Predictions run on the session's
 // configured worker pool (WithServiceWorkers), so many clients — and many
-// goroutines per client — are served concurrently.
+// goroutines per client — are served concurrently. The service also accepts
+// streamed training chunks (Session.StreamTo, Client.Push), folding them
+// into its training set and refitting the model every WithServiceRefitEvery
+// records.
 func (s *Session) Serve(ctx context.Context, conn Conn, model Classifier) error {
 	if err := s.requireRun(); err != nil {
 		return err
 	}
 	svc, err := protocol.NewMiningService(conn,
 		&protocol.MinerResult{Unified: s.Unified()}, model,
-		protocol.ServiceConfig{Workers: s.cfg.workers, MaxBatch: s.cfg.maxBatch})
+		protocol.ServiceConfig{Workers: s.cfg.workers, MaxBatch: s.cfg.maxBatch,
+			RefitEvery: s.cfg.refitEvery})
 	if err != nil {
 		return err
 	}

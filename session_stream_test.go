@@ -1,0 +1,276 @@
+package sap_test
+
+// Facade tests for the streaming ingestion path: Session.Stream,
+// Session.StreamTo and Client.Push. The equivalence test is the PR's
+// acceptance criterion — streaming must be statistically indistinguishable
+// from batch perturbation when drift re-derivation is disabled.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	sap "repro"
+	"repro/internal/matrix"
+	"repro/internal/stat"
+)
+
+// streamSession runs a small noiseless session so streamed output can be
+// compared against the batch transform exactly.
+func streamSession(t *testing.T, opts ...sap.Option) (*sap.Session, *sap.Dataset) {
+	t.Helper()
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sap.Run(context.Background(), append([]sap.Option{
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(2, 1),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, holdout
+}
+
+// TestStreamEquivalentToBatch checks the acceptance criterion: with drift
+// re-derivation disabled and σ = 0, the covariance of the streamed output
+// matches the covariance of the batch-perturbed data within 1e-9 (here the
+// records themselves match exactly).
+func TestStreamEquivalentToBatch(t *testing.T) {
+	sess, holdout := streamSession(t, sap.WithNoiseSigma(0))
+
+	st, err := sess.Stream(context.Background(), sap.DatasetSource(holdout),
+		sap.WithChunkSize(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := matrix.New(holdout.Dim(), 0)
+	for chunk := range st.Chunks() {
+		streamed = streamed.Augment(chunk.Data.FeaturesT())
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 0 {
+		t.Fatalf("Epoch() = %d with drift disabled, want 0", st.Epoch())
+	}
+	if st.Records() != holdout.Len() {
+		t.Fatalf("Records() = %d, want %d", st.Records(), holdout.Len())
+	}
+
+	batch, err := sess.Target().ApplyNoiseless(holdout.FeaturesT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covStream, err := stat.CovarianceMatrix(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covBatch, err := stat.CovarianceMatrix(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := covStream.Sub(covBatch).MaxAbs(); delta >= 1e-9 {
+		t.Fatalf("stream/batch covariance delta = %v, want < 1e-9", delta)
+	}
+	if !streamed.EqualApprox(batch, 1e-9) {
+		t.Fatalf("streamed records diverged from batch transform: max delta %v",
+			streamed.Sub(batch).MaxAbs())
+	}
+}
+
+// TestStreamToGrowsService streams a labeled holdout into a serving miner
+// and checks the records land in the served training set.
+func TestStreamToGrowsService(t *testing.T) {
+	sess, holdout := streamSession(t, sap.WithServiceRefitEvery(16))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(ctx, svcConn, sap.NewKNN(5)) }()
+
+	provConn, err := net.Endpoint("provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provConn.Close()
+	pushed, err := sess.StreamTo(ctx, provConn, "mining-service",
+		sap.DatasetSource(holdout), sap.WithChunkSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed != holdout.Len() {
+		t.Fatalf("pushed %d records, want %d", pushed, holdout.Len())
+	}
+
+	// The service keeps serving after ingest.
+	cliConn, err := net.Endpoint("clinic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sess.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	labels, err := client.ClassifyBatch(ctx, holdout.X[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 5 {
+		t.Fatalf("got %d labels, want 5", len(labels))
+	}
+
+	cancel()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamToPushRejected checks the early-return path of StreamTo: when
+// the service rejects a chunk, StreamTo surfaces the typed error (and its
+// cancellable pipeline context keeps the producer goroutine from leaking —
+// exercised under -race).
+func TestStreamToPushRejected(t *testing.T) {
+	sess, holdout := streamSession(t, sap.WithServiceMaxBatch(4))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(ctx, svcConn, sap.NewKNN(5)) }()
+
+	provConn, err := net.Endpoint("provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provConn.Close()
+	// Chunks of 8 against a service cap of 4: the first push is rejected.
+	pushed, err := sess.StreamTo(ctx, provConn, "mining-service",
+		sap.DatasetSource(holdout), sap.WithChunkSize(8))
+	if !errors.Is(err, sap.ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+	if pushed != 0 {
+		t.Fatalf("pushed = %d after first-chunk rejection, want 0", pushed)
+	}
+
+	cancel()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamBeforeRun checks that streaming requires a completed session.
+func TestStreamBeforeRun(t *testing.T) {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(pool, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sap.New(sap.WithParties(parties...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Stream(context.Background(), sap.DatasetSource(pool)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("Stream before Run: %v, want ErrBadInput", err)
+	}
+}
+
+// TestStreamOptionValidation exercises the stream-option rejection paths.
+func TestStreamOptionValidation(t *testing.T) {
+	sess, holdout := streamSession(t)
+	ctx := context.Background()
+	cases := []sap.StreamOption{
+		sap.WithChunkSize(-1),
+		sap.WithDriftThreshold(-0.5),
+		sap.WithBufferDepth(-2),
+	}
+	for i, opt := range cases {
+		if _, err := sess.Stream(ctx, sap.DatasetSource(holdout), opt); !errors.Is(err, sap.ErrBadInput) {
+			t.Fatalf("case %d: %v, want ErrBadInput", i, err)
+		}
+	}
+}
+
+// errSource fails after its first yield, checking error propagation through
+// Stream.Err and StreamTo.
+type errSource struct {
+	d    *sap.Dataset
+	sent bool
+}
+
+var errBoom = errors.New("boom")
+
+func (s *errSource) Next(ctx context.Context) (*sap.Dataset, error) {
+	if s.sent {
+		return nil, errBoom
+	}
+	s.sent = true
+	return s.d, nil
+}
+
+// TestStreamSourceError checks a failing source surfaces through Err after
+// the emitted chunks drain.
+func TestStreamSourceError(t *testing.T) {
+	sess, holdout := streamSession(t)
+	st, err := sess.Stream(context.Background(), &errSource{d: holdout},
+		sap.WithChunkSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for chunk := range st.Chunks() {
+		got += chunk.Data.Len()
+	}
+	if err := st.Err(); !errors.Is(err, errBoom) {
+		t.Fatalf("Err() = %v, want the source error", err)
+	}
+	// Everything yielded before the failure that filled whole chunks was
+	// still delivered.
+	if got == 0 {
+		t.Fatal("no chunks delivered before the source error")
+	}
+}
+
+// TestDatasetSourceEOF checks the dataset adaptor yields once then ends.
+func TestDatasetSourceEOF(t *testing.T) {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sap.DatasetSource(pool)
+	ctx := context.Background()
+	if d, err := src.Next(ctx); err != nil || d.Len() != pool.Len() {
+		t.Fatalf("first Next: %v, %v", d, err)
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("second Next: %v, want io.EOF", err)
+	}
+}
