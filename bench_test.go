@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	sap "repro"
@@ -522,6 +523,87 @@ func BenchmarkStreamThroughput(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkMultiGroupThroughput tracks the sharded router's serving QPS as
+// queries fan out across 1, 4 and 16 co-hosted groups, each with its own
+// model shard and client. Comparing the records/s metric against
+// BenchmarkServiceThroughput shows what per-group locking and routing cost
+// on top of single-group serving.
+func BenchmarkMultiGroupThroughput(b *testing.B) {
+	const recordsPerGroup, dim, batch = 64, 4, 16
+	rng := rand.New(rand.NewSource(29))
+	for _, nGroups := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("groups=%d", nGroups), func(b *testing.B) {
+			net := transport.NewMemNetwork()
+			svcConn, err := net.Endpoint("svc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svcConn.Close()
+			specs := make([]protocol.GroupSpec, nGroups)
+			for g := range specs {
+				x := make([][]float64, recordsPerGroup)
+				y := make([]int, recordsPerGroup)
+				for i := range x {
+					row := make([]float64, dim)
+					for j := range row {
+						row[j] = rng.NormFloat64()
+					}
+					x[i] = row
+					y[i] = i % 4
+				}
+				d, err := dataset.New(fmt.Sprintf("g%d", g), x, y)
+				if err != nil {
+					b.Fatal(err)
+				}
+				specs[g] = protocol.GroupSpec{ID: fmt.Sprintf("g%d", g), Unified: d, Model: classify.NewKNN(1)}
+			}
+			svc, err := protocol.NewGroupedMiningService(svcConn, specs, protocol.ServiceConfig{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- svc.Serve(ctx) }()
+			clients := make([]*protocol.ServiceClient, nGroups)
+			for g := range clients {
+				conn, err := net.Endpoint(fmt.Sprintf("cli%d", g))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				clients[g], err = protocol.NewGroupServiceClient(conn, "svc", specs[g].ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := make([][]float64, batch)
+			for i := range queries {
+				queries[i] = specs[0].Unified.X[i%recordsPerGroup]
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					client := clients[int(next.Add(1))%nGroups]
+					if _, err := client.ClassifyBatch(ctx, queries); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/s")
+			for _, client := range clients {
+				client.Close()
+			}
+			cancel()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
 		})
 	}
 }

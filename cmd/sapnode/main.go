@@ -10,6 +10,12 @@
 // training set (-stream, chunked by -chunk, drift-adaptive with -drift); the
 // miner folds them in and refits its model every -refit records.
 //
+// One miner process can host several contract groups side by side: -groups
+// id=unified.csv,... serves one independent model shard per stored unified
+// dataset (no protocol run needed), and providers address their group with
+// -group. A miner serving its own run's result under a named group uses
+// -group too.
+//
 // Example 4-party run on one host (see examples/tcpcluster for a scripted
 // version):
 //
@@ -85,6 +91,8 @@ func run(args []string) error {
 		chunkSize   = fs.Int("chunk", 256, "records per streamed chunk for -stream (provider)")
 		drift       = fs.Float64("drift", 0, "relative covariance drift triggering a transform re-derivation for -stream (0 disables)")
 		refitEvery  = fs.Int("refit", 0, "streamed records accumulated before the served model refits (miner with -serve; 0 selects the default, <0 disables)")
+		group       = fs.String("group", "", "serving group id: the group the miner serves its result under, and the group providers stamp on -query/-stream frames (empty selects the default group)")
+		groupsFlag  = fs.String("groups", "", "comma-separated id=unified.csv list; the miner serves one model shard per stored unified dataset, skipping the protocol run (miner with -serve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,13 +156,13 @@ func run(args []string) error {
 		}
 		fmt.Println("provider done: dataset exchanged, adaptor delivered")
 		if *streamPath != "" {
-			if err := streamToService(ctx, node, *miner, pert, prov.Target(), rng,
+			if err := streamToService(ctx, node, *miner, *group, pert, prov.Target(), rng,
 				*streamPath, *chunkSize, *drift); err != nil {
 				return err
 			}
 		}
 		if *queryPath != "" {
-			return queryService(ctx, node, *miner, prov.Target(), *queryPath, *batchSize)
+			return queryService(ctx, node, *miner, *group, prov.Target(), *queryPath, *batchSize)
 		}
 		return nil
 
@@ -190,6 +198,17 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *groupsFlag != "" {
+			// Multi-group serving from stored unified datasets: no
+			// protocol run, one model shard per id=csv pair.
+			if *serveFor == 0 {
+				return fmt.Errorf("-groups requires -serve")
+			}
+			if *group != "" {
+				return fmt.Errorf("-group conflicts with -groups (the id=csv list already names every group)")
+			}
+			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor)
+		}
 		// Queries racing the tail of the SAP run are stashed so they
 		// neither trip the protocol's violation checks nor get lost; the
 		// service replays them once it is online.
@@ -223,7 +242,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *workers, *maxBatch, *refitEvery, *serveFor)
+			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor)
 		}
 		return nil
 
@@ -235,18 +254,63 @@ func run(args []string) error {
 // serveService trains the requested model on the unified dataset and answers
 // classification queries until the duration elapses (or, when negative,
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
-// answered first.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName string, workers, maxBatch, refitEvery int, d time.Duration) error {
+// answered first. A non-empty group serves the model under that group id
+// instead of the default group.
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
 	}
+	if group == "" {
+		group = protocol.DefaultGroup
+	}
 	conn.beginServe()
-	svc, err := protocol.NewMiningService(conn, res, model,
+	svc, err := protocol.NewGroupedMiningService(conn,
+		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model}},
 		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery})
 	if err != nil {
 		return err
 	}
+	return serveLoop(svc, fmt.Sprintf("mining service online (%s model, group %q); serving queries…", modelName, group), d)
+}
+
+// serveGroups stands up one model shard per id=unified.csv pair and serves
+// all of them from this process — the many-contract deployment: each stored
+// unified dataset is an earlier contract's result in its own target space.
+func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration) error {
+	var groups []protocol.GroupSpec
+	for _, pair := range strings.Split(spec, ",") {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return fmt.Errorf("bad group %q (want id=unified.csv)", pair)
+		}
+		f, err := os.Open(kv[1])
+		if err != nil {
+			return err
+		}
+		data, err := dataset.ReadCSV(f, kv[1])
+		f.Close()
+		if err != nil {
+			return err
+		}
+		model, err := buildModel(modelName)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, protocol.GroupSpec{ID: kv[0], Unified: data, Model: model})
+	}
+	svc, err := protocol.NewGroupedMiningService(conn, groups,
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery})
+	if err != nil {
+		return err
+	}
+	return serveLoop(svc, fmt.Sprintf("mining service online (%s model, %d groups); serving queries…",
+		modelName, len(groups)), d)
+}
+
+// serveLoop runs a built service until the duration elapses (or, when
+// negative, until SIGINT/SIGTERM).
+func serveLoop(svc *protocol.MiningService, banner string, d time.Duration) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if d > 0 {
@@ -254,7 +318,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName strin
 		ctx, cancelTimeout = context.WithTimeout(ctx, d)
 		defer cancelTimeout()
 	}
-	fmt.Printf("mining service online (%s model); serving queries…\n", modelName)
+	fmt.Println(banner)
 	if err := svc.Serve(ctx); err != nil {
 		return err
 	}
@@ -267,7 +331,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName strin
 // perturbation, adapted into the target space, and pushed one chunk per
 // round trip. With -drift set, the pipeline re-derives its transform when
 // the input distribution drifts.
-func streamToService(ctx context.Context, conn transport.Conn, miner string,
+func streamToService(ctx context.Context, conn transport.Conn, miner, group string,
 	pert, target *perturb.Perturbation, rng *rand.Rand, path string, chunk int, drift float64) error {
 	if miner == "" {
 		return fmt.Errorf("missing -miner")
@@ -294,7 +358,7 @@ func streamToService(ctx context.Context, conn transport.Conn, miner string,
 	if err != nil {
 		return err
 	}
-	client, err := protocol.NewServiceClient(conn, miner)
+	client, err := protocol.NewGroupServiceClient(conn, miner, group)
 	if err != nil {
 		return err
 	}
@@ -332,7 +396,7 @@ func streamToService(ctx context.Context, conn transport.Conn, miner string,
 // each batch is transformed into the target space with G_t (received during
 // the run) and answered in one round trip. When the CSV carries labels, the
 // agreement rate is reported.
-func queryService(ctx context.Context, conn transport.Conn, miner string, target *perturb.Perturbation, path string, batchSize int) error {
+func queryService(ctx context.Context, conn transport.Conn, miner, group string, target *perturb.Perturbation, path string, batchSize int) error {
 	if miner == "" {
 		return fmt.Errorf("missing -miner")
 	}
@@ -355,7 +419,7 @@ func queryService(ctx context.Context, conn transport.Conn, miner string, target
 	if err != nil {
 		return err
 	}
-	client, err := protocol.NewServiceClient(conn, miner)
+	client, err := protocol.NewGroupServiceClient(conn, miner, group)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,12 @@
 //     through a chunked perturbation pipeline into the live service, which
 //     grows its training set and refits on a cadence — with drift-watched
 //     transform re-derivation when the arriving distribution shifts.
+//   - Sharded multi-group serving: one miner process hosts many contract
+//     groups (ServeGroups), each a session with its own target space,
+//     model shard, refit cadence and optional member list; wire frames
+//     carry a group ID and the router keeps groups isolated — a group's
+//     refit holds only its own shard's lock, so other groups' queries
+//     keep flowing.
 //   - Risk accounting: the paper's Eq. 1 and Eq. 2 plus the party-count
 //     bounds behind its Figure 4.
 //
@@ -69,6 +75,21 @@
 //	pushed, _ := sess.StreamTo(ctx, provConn, "mining-service",
 //		sap.DatasetSource(fresh),
 //		sap.WithChunkSize(64), sap.WithDriftThreshold(0.5))
+//
+// # Multi-group serving
+//
+//	// Two contracts, two target spaces, one miner process.
+//	hospitals, _ := sap.Run(ctx, sap.WithParties(wards...),
+//		sap.WithGroupID("hospitals"))
+//	vintners, _ := sap.Run(ctx, sap.WithParties(cellars...),
+//		sap.WithGroupID("vintners"))
+//	go sap.ServeGroups(ctx, svcConn,
+//		sap.Group{Session: hospitals, Model: sap.NewKNN(5), Members: []string{"clinic"}},
+//		sap.Group{Session: vintners, Model: sap.NewKNN(5), Members: []string{"cellar"}},
+//	)
+//	// Each session's clients stamp its group; foreign peers get
+//	// ErrNotMember, unregistered groups ErrUnknownGroup.
+//	client, _ := hospitals.NewClient(clinicConn, "mining-service")
 //
 // # Quickstart
 //

@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens service wire-frame decoding against arbitrary
+// payloads: real frames of every spoken version (v1–v4), truncated and
+// bit-flipped frames, oversized version claims, and plain garbage. The
+// decoder must never panic and must keep its contract — a typed
+// ErrWireVersion outside the supported version range, nil/nil for
+// non-service payloads, and re-encodable frames on success.
+func FuzzDecodeFrame(f *testing.F) {
+	// Corpus: real encoded frames, of each kind and era.
+	seed := func(w *serviceWire, version byte) []byte {
+		payload, err := encodeServiceWire(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload[1] = version
+		return payload
+	}
+	classify := &serviceWire{ID: 7, Group: "alpha", Batch: [][]float64{{0.25, 0.5}, {0.75, 1.0}}}
+	ingest := &serviceWire{ID: 9, Kind: kindIngest, Group: "beta",
+		Batch: [][]float64{{0.1}}, Labels: []int{3}}
+	response := &serviceWire{ID: 7, Response: true, Labels: []int{1, 2}}
+	rejection := &serviceWire{ID: 7, Response: true, Code: codeUnknownGroup, Err: `no serving group "x"`}
+	for _, w := range []*serviceWire{classify, ingest, response, rejection} {
+		for _, version := range []byte{1, 2, 3, ServiceWireVersion} {
+			f.Add(seed(w, version))
+		}
+	}
+	full := seed(classify, ServiceWireVersion)
+	f.Add(full[:2])                                                   // header only
+	f.Add(full[:len(full)/2])                                         // truncated mid-gob
+	f.Add(seed(classify, 0))                                          // below the spoken range
+	f.Add(seed(classify, 99))                                         // far-future version
+	f.Add([]byte{})                                                   // empty
+	f.Add([]byte{serviceMagic})                                       // magic alone
+	f.Add([]byte("not a service frame"))                              // foreign payload
+	f.Add(bytes.Repeat([]byte{serviceMagic, ServiceWireVersion}, 64)) // garbage gob body
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		w, err := decodeServiceWire(payload)
+
+		// Non-service payloads are silently ignored, never errored.
+		if !IsServiceFrame(payload) {
+			if w != nil || err != nil {
+				t.Fatalf("non-service payload decoded to (%+v, %v)", w, err)
+			}
+			return
+		}
+		version := payload[1]
+		supported := version >= serviceWireMinVersion && version <= ServiceWireVersion
+		switch {
+		case err == nil:
+			// A clean decode must come from a spoken version, yield a
+			// frame, and survive a re-encode round trip.
+			if w == nil {
+				t.Fatal("nil frame with nil error for a service payload")
+			}
+			if !supported {
+				t.Fatalf("v%d decoded without a version error", version)
+			}
+			reencoded, encErr := encodeServiceWire(w)
+			if encErr != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", encErr)
+			}
+			w2, decErr := decodeServiceWire(reencoded)
+			if decErr != nil || w2 == nil {
+				t.Fatalf("re-encoded frame does not decode: %v", decErr)
+			}
+			if w2.ID != w.ID || w2.Kind != w.Kind || w2.Group != w.Group ||
+				w2.Code != w.Code || w2.Response != w.Response ||
+				len(w2.Batch) != len(w.Batch) || len(w2.Labels) != len(w.Labels) {
+				t.Fatalf("round trip changed the frame: %+v vs %+v", w, w2)
+			}
+		case errors.Is(err, ErrWireVersion):
+			// Version rejections only fire outside the spoken range.
+			if supported {
+				t.Fatalf("v%d rejected as a version mismatch: %v", version, err)
+			}
+		case errors.Is(err, ErrBadMessage):
+			// Undecodable body on a spoken version; nothing to check.
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}

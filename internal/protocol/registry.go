@@ -1,0 +1,478 @@
+// Group registry and router of the sharded mining service. One miner
+// process hosts any number of serving groups — independent contracts, each
+// with its own target space, training set, model and refit cadence — and
+// routes every v4 frame to its group's shard. This is the multi-contract
+// deployment the paper's service-oriented framing implies: the service
+// provider "offers their data mining services to the contracted parties",
+// and nothing ties the provider to a single contract.
+
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// DefaultGroup is the serving group pre-v4 frames (which carry no Group
+// field) route to, and the group NewMiningService registers its single
+// model under. Single-group deployments never need to name it.
+const DefaultGroup = "default"
+
+// shardIngestQueueDepth bounds the per-group ingest queue between the
+// receive loop and the shard's ingest goroutine. A group mid-refit can
+// absorb this many chunks before its ingest backpressures the receive loop.
+const shardIngestQueueDepth = 16
+
+// GroupSpec describes one serving group hosted by a sharded mining service.
+type GroupSpec struct {
+	// ID names the group on the wire. Required; unique within a service.
+	ID string
+	// Unified is the group's training set, already in the group's own
+	// target space. Required, non-empty.
+	Unified *dataset.Dataset
+	// Model is the classifier served to the group. Required, and each
+	// group needs its own instance — shards never share model state.
+	Model classify.Classifier
+	// RefitEvery overrides ServiceConfig.RefitEvery for this group (0
+	// inherits the service-wide cadence; negative disables automatic
+	// refits).
+	RefitEvery int
+	// Members optionally restricts the group to the named transport
+	// endpoints. Empty admits any peer; non-empty means frames from peers
+	// outside the list are answered with ErrNotMember. The check keys off
+	// the transport envelope's sender name, which peers self-declare: it
+	// keeps honest contracts apart (misrouted clients, stale configs), but
+	// a peer holding the shared transport key can spoof a member name —
+	// per-group keys / authenticated identity are a ROADMAP follow-up.
+	Members []string
+}
+
+// modelShard is one group's independent serving state. Each shard carries
+// its own model lock, so a refit in one group blocks only that group's
+// predictions; its ingest state is owned by a dedicated per-shard
+// goroutine, so a slow refit runs off the receive loop. The isolation is
+// bounded by the ingest queue: a group can absorb shardIngestQueueDepth
+// chunks mid-refit before further ingest for it backpressures the shared
+// receive loop (see the ROADMAP follow-up on a typed busy rejection).
+type modelShard struct {
+	id         string
+	dim        int
+	maxBatch   int
+	refitEvery int
+	members    map[string]struct{} // nil: open to any peer
+
+	// modelMu guards the served model: workers predict under the read lock
+	// while ingest-triggered refits retrain under the write lock.
+	modelMu sync.RWMutex
+	model   classify.Classifier
+
+	// The growing training set and the count of records ingested since the
+	// last refit; both are touched only by the shard's ingest goroutine.
+	training   *dataset.Dataset
+	sinceRefit int
+
+	// ingested is the lifetime ingest total, readable concurrently.
+	ingested atomic.Int64
+
+	// ingestQ carries ingest frames from the receive loop to the shard's
+	// ingest goroutine.
+	ingestQ chan serviceJob
+}
+
+// newModelShard validates one group spec, trains its model on its unified
+// dataset and assembles the shard.
+func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("%w: empty group id", ErrBadConfig)
+	}
+	if spec.Unified == nil || spec.Unified.Len() == 0 {
+		return nil, fmt.Errorf("%w: group %q has no unified dataset", ErrBadConfig, spec.ID)
+	}
+	if spec.Model == nil {
+		return nil, fmt.Errorf("%w: group %q has a nil classifier", ErrBadConfig, spec.ID)
+	}
+	training := spec.Unified.Clone()
+	if err := spec.Model.Fit(training.Clone()); err != nil {
+		return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
+	}
+	refitEvery := spec.RefitEvery
+	if refitEvery == 0 {
+		refitEvery = cfg.RefitEvery
+	}
+	var members map[string]struct{}
+	if len(spec.Members) > 0 {
+		members = make(map[string]struct{}, len(spec.Members))
+		for _, m := range spec.Members {
+			if m == "" {
+				return nil, fmt.Errorf("%w: group %q has an empty member name", ErrBadConfig, spec.ID)
+			}
+			members[m] = struct{}{}
+		}
+	}
+	return &modelShard{
+		id:         spec.ID,
+		dim:        training.Dim(),
+		maxBatch:   cfg.MaxBatch,
+		refitEvery: refitEvery,
+		members:    members,
+		model:      spec.Model,
+		training:   training,
+		ingestQ:    make(chan serviceJob, shardIngestQueueDepth),
+	}, nil
+}
+
+// admits reports whether the named peer may address this group.
+func (sh *modelShard) admits(peer string) bool {
+	if sh.members == nil {
+		return true
+	}
+	_, ok := sh.members[peer]
+	return ok
+}
+
+// MiningService is the miner-side classification endpoint: one model shard
+// per serving group, each trained on that group's unified perturbed dataset,
+// answering batched queries that arrive in the group's target space. This
+// realizes the paper's service-oriented framing — the service provider
+// "offers their data mining services to the contracted parties" — scaled to
+// many contracts per process.
+//
+// Training sets are not frozen at construction: providers may keep pushing
+// streamed chunks of perturbed, target-space records
+// (ServiceClient.PushChunk feeding an internal/stream pipeline), which the
+// addressed group folds into its training set and periodically refits on
+// (ServiceConfig.RefitEvery, overridable per group). Because every group
+// owns its lock and its ingest goroutine, one group's refit never blocks
+// another group's queries.
+type MiningService struct {
+	conn   transport.Conn
+	cfg    ServiceConfig
+	shards map[string]*modelShard // immutable after construction
+	order  []string               // registration order, for Groups()
+}
+
+// NewMiningService trains the given classifier on the miner's unified
+// dataset and binds a single-group service (under DefaultGroup) to a
+// transport endpoint. The zero ServiceConfig selects the defaults.
+func NewMiningService(conn transport.Conn, result *MinerResult, model classify.Classifier, cfg ServiceConfig) (*MiningService, error) {
+	if result == nil || result.Unified == nil || result.Unified.Len() == 0 {
+		return nil, fmt.Errorf("%w: no unified dataset", ErrBadConfig)
+	}
+	return NewGroupedMiningService(conn,
+		[]GroupSpec{{ID: DefaultGroup, Unified: result.Unified, Model: model}}, cfg)
+}
+
+// NewGroupedMiningService trains one model shard per group and binds the
+// sharded service to a transport endpoint. Group IDs must be unique; the
+// zero ServiceConfig selects the defaults for every group.
+func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg ServiceConfig) (*MiningService, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("%w: no serving groups", ErrBadConfig)
+	}
+	cfg = cfg.withDefaults()
+	s := &MiningService{
+		conn:   conn,
+		cfg:    cfg,
+		shards: make(map[string]*modelShard, len(groups)),
+	}
+	for _, spec := range groups {
+		if _, dup := s.shards[spec.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate group id %q", ErrBadConfig, spec.ID)
+		}
+		sh, err := newModelShard(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[spec.ID] = sh
+		s.order = append(s.order, spec.ID)
+	}
+	return s, nil
+}
+
+// Groups returns the hosted group IDs in registration order.
+func (s *MiningService) Groups() []string { return append([]string(nil), s.order...) }
+
+// Ingested returns the number of streamed records folded into training sets
+// so far, summed over all groups. It is safe to call concurrently with
+// Serve.
+func (s *MiningService) Ingested() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += int(sh.ingested.Load())
+	}
+	return total
+}
+
+// GroupIngested returns one group's lifetime ingest count. It is safe to
+// call concurrently with Serve.
+func (s *MiningService) GroupIngested(group string) (int, error) {
+	sh, ok := s.shards[group]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return int(sh.ingested.Load()), nil
+}
+
+// serviceJob is one accepted request travelling from the receive loop to a
+// worker (classify) or a shard's ingest goroutine (ingest).
+type serviceJob struct {
+	from  string
+	shard *modelShard
+	req   *serviceWire
+}
+
+// serviceOut is one encoded response travelling from a worker to the single
+// sender goroutine (transport connections are not required to support
+// concurrent writers).
+type serviceOut struct {
+	to      string
+	payload []byte
+}
+
+// route resolves a request frame to its group's shard. A nil shard comes
+// with a typed rejection response to send instead: the group is unknown, or
+// the peer is not among the group's members.
+func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serviceWire) {
+	group := req.Group
+	if group == "" {
+		group = DefaultGroup
+	}
+	sh, ok := s.shards[group]
+	if !ok {
+		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+			Code: codeUnknownGroup, Err: fmt.Sprintf("no serving group %q", group)}
+	}
+	if !sh.admits(from) {
+		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+			Code: codeNotMember, Err: fmt.Sprintf("peer %q is not a member of group %q", from, group)}
+	}
+	return sh, nil
+}
+
+// Serve answers classification and ingest requests until ctx is cancelled
+// or the transport closes. Classify requests are dispatched to a pool of
+// cfg.Workers prediction goroutines shared across groups; ingest requests
+// are dispatched to the addressed group's dedicated ingest goroutine, so
+// appends stay ordered within a group and a refit runs off the receive
+// loop (other groups stall only if the refitting group's bounded ingest
+// queue overflows). Responses funnel through one sender.
+// Malformed frames are answered with a typed error response (or dropped
+// when they cannot be attributed) rather than terminating the service.
+func (s *MiningService) Serve(ctx context.Context) error {
+	jobs := make(chan serviceJob)
+	out := make(chan serviceOut, s.cfg.Workers)
+
+	var senderWg sync.WaitGroup
+	senderWg.Add(1)
+	go func() {
+		defer senderWg.Done()
+		for o := range out {
+			// Bound each response write so one peer that stops reading
+			// cannot wedge the sender (and with it every worker) forever;
+			// a timed-out connection is dropped by the transport and the
+			// requester simply re-dials. The requester may also have gone
+			// away entirely; either way, keep serving others.
+			sendCtx, cancel := context.WithTimeout(ctx, serviceSendTimeout)
+			_ = s.conn.Send(sendCtx, o.to, o.payload)
+			cancel()
+		}
+	}()
+
+	var workerWg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		workerWg.Add(1)
+		go func() {
+			defer workerWg.Done()
+			for j := range jobs {
+				payload, err := encodeServiceWire(j.shard.handle(j.req))
+				if err != nil {
+					continue
+				}
+				out <- serviceOut{to: j.from, payload: payload}
+			}
+		}()
+	}
+
+	var ingestWg sync.WaitGroup
+	for _, sh := range s.shards {
+		ingestWg.Add(1)
+		go func(sh *modelShard) {
+			defer ingestWg.Done()
+			for j := range sh.ingestQ {
+				payload, err := encodeServiceWire(sh.ingest(j.req))
+				if err != nil {
+					continue
+				}
+				out <- serviceOut{to: j.from, payload: payload}
+			}
+		}(sh)
+	}
+
+	shutdown := func() {
+		for _, sh := range s.shards {
+			close(sh.ingestQ)
+		}
+		ingestWg.Wait()
+		close(jobs)
+		workerWg.Wait()
+		close(out)
+		senderWg.Wait()
+	}
+
+	for {
+		env, err := s.conn.Recv(ctx)
+		if err != nil {
+			shutdown()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		req, err := decodeServiceWire(env.Payload)
+		switch {
+		case req == nil && err == nil:
+			continue // not a service frame; drop
+		case errors.Is(err, ErrWireVersion):
+			resp := &serviceWire{Response: true, Code: codeWireVersion, Err: err.Error()}
+			if req != nil {
+				resp.ID = req.ID
+			}
+			if payload, encErr := encodeServiceWire(resp); encErr == nil {
+				out <- serviceOut{to: env.From, payload: payload}
+			}
+			continue
+		case err != nil || req.Response:
+			continue // undecodable or stray response frame; drop
+		}
+		shard, reject := s.route(req, env.From)
+		if reject != nil {
+			if payload, encErr := encodeServiceWire(reject); encErr == nil {
+				out <- serviceOut{to: env.From, payload: payload}
+			}
+			continue
+		}
+		if req.Kind == kindIngest {
+			select {
+			case shard.ingestQ <- serviceJob{from: env.From, req: req}:
+			case <-ctx.Done():
+				shutdown()
+				return nil
+			}
+			continue
+		}
+		select {
+		case jobs <- serviceJob{from: env.From, shard: shard, req: req}:
+		case <-ctx.Done():
+			shutdown()
+			return nil
+		}
+	}
+}
+
+// ingest validates one streamed chunk, folds it into the shard's training
+// set, and refits the shard's model when its refit cadence is reached.
+// Called only from the shard's ingest goroutine.
+func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
+	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Group: req.Group, Response: true}
+	if len(req.Batch) == 0 {
+		resp.Code, resp.Err = codeBadChunk, "empty chunk"
+		return resp
+	}
+	if len(req.Batch) > sh.maxBatch {
+		resp.Code, resp.Err = codeBatchTooLarge,
+			fmt.Sprintf("chunk has %d records, cap is %d", len(req.Batch), sh.maxBatch)
+		return resp
+	}
+	if len(req.Labels) != len(req.Batch) {
+		resp.Code, resp.Err = codeBadChunk,
+			fmt.Sprintf("%d labels for %d records", len(req.Labels), len(req.Batch))
+		return resp
+	}
+	for i, rec := range req.Batch {
+		if len(rec) != sh.dim {
+			resp.Code, resp.Err = codeBadChunk,
+				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), sh.dim)
+			return resp
+		}
+		if req.Labels[i] < 0 {
+			resp.Code, resp.Err = codeBadChunk, fmt.Sprintf("record %d has a negative label", i)
+			return resp
+		}
+	}
+	for i, rec := range req.Batch {
+		sh.training.X = append(sh.training.X, append([]float64(nil), rec...))
+		sh.training.Y = append(sh.training.Y, req.Labels[i])
+	}
+	sh.sinceRefit += len(req.Batch)
+	sh.ingested.Add(int64(len(req.Batch)))
+	resp.Accepted = sh.training.Len()
+	if sh.refitEvery > 0 && sh.sinceRefit >= sh.refitEvery {
+		if err := sh.refit(); err != nil {
+			// The chunk IS in the training set (Accepted reflects that) but
+			// the refreshed model is not live; answer with the dedicated
+			// refit code so the pusher knows not to re-push, and keep
+			// serving on the previous fit.
+			resp.Code, resp.Err = codeRefit, err.Error()
+			return resp
+		}
+		sh.sinceRefit = 0
+	}
+	return resp
+}
+
+// refit retrains the shard's model on a snapshot of its grown training set
+// under the shard's write lock, so in-flight predictions for this group
+// finish on the old fit and later ones see the new one. Other groups'
+// shards are untouched — their queries keep flowing under their own locks.
+func (sh *modelShard) refit() error {
+	snapshot := sh.training.Clone()
+	sh.modelMu.Lock()
+	defer sh.modelMu.Unlock()
+	if err := sh.model.Fit(snapshot); err != nil {
+		return fmt.Errorf("protocol: refit group %q model: %w", sh.id, err)
+	}
+	return nil
+}
+
+// handle validates one classify request and predicts every record in its
+// batch under the shard's read lock.
+func (sh *modelShard) handle(req *serviceWire) *serviceWire {
+	resp := &serviceWire{ID: req.ID, Group: req.Group, Response: true}
+	if len(req.Batch) == 0 {
+		resp.Code, resp.Err = codeBadQuery, "empty batch"
+		return resp
+	}
+	if len(req.Batch) > sh.maxBatch {
+		resp.Code, resp.Err = codeBatchTooLarge,
+			fmt.Sprintf("batch has %d records, cap is %d", len(req.Batch), sh.maxBatch)
+		return resp
+	}
+	labels := make([]int, len(req.Batch))
+	// One read lock per batch: predictions may run concurrently across
+	// workers while an ingest-triggered refit waits for the write lock.
+	sh.modelMu.RLock()
+	defer sh.modelMu.RUnlock()
+	for i, rec := range req.Batch {
+		if len(rec) != sh.dim {
+			resp.Code, resp.Err = codeBadQuery,
+				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), sh.dim)
+			return resp
+		}
+		label, err := sh.model.Predict(rec)
+		if err != nil {
+			resp.Code, resp.Err = codeInternal, err.Error()
+			return resp
+		}
+		labels[i] = label
+	}
+	resp.Labels = labels
+	return resp
+}

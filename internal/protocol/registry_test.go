@@ -1,0 +1,489 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// labelledLineAt is labelledLine with a label offset, so each group's model
+// answers with labels from a disjoint range and response attribution across
+// groups is unambiguous.
+func labelledLineAt(t *testing.T, n, offset int) *dataset.Dataset {
+	t.Helper()
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{float64(i) / float64(n)}
+		y[i] = offset + i
+	}
+	d, err := dataset.New("line", x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// startGroupedService serves the given groups until cleanup.
+func startGroupedService(t *testing.T, conn transport.Conn, groups []GroupSpec, cfg ServiceConfig) (*MiningService, func()) {
+	t.Helper()
+	svc, err := NewGroupedMiningService(conn, groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := svc.Serve(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	return svc, func() {
+		cancel()
+		<-done
+	}
+}
+
+// TestGroupedServiceRoutesByGroup hosts two groups with label-disjoint
+// models on one service and checks every query is answered by its own
+// group's shard.
+func TestGroupedServiceRoutesByGroup(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+
+	const n = 8
+	groups := []GroupSpec{
+		{ID: "alpha", Unified: labelledLineAt(t, n, 0), Model: classify.NewKNN(1)},
+		{ID: "beta", Unified: labelledLineAt(t, n, 100), Model: classify.NewKNN(1)},
+	}
+	svc, stop := startGroupedService(t, svcConn, groups, ServiceConfig{Workers: 2})
+	defer stop()
+	if got := svc.Groups(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Groups() = %v", got)
+	}
+
+	ctx := testCtx(t)
+	for _, tc := range []struct {
+		group  string
+		offset int
+	}{{"alpha", 0}, {"beta", 100}} {
+		cliConn, err := net.Endpoint("cli-" + tc.group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cliConn.Close()
+		client, err := NewGroupServiceClient(cliConn, "svc", tc.group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		for i := 0; i < n; i++ {
+			label, err := client.Classify(ctx, []float64{float64(i) / float64(n)})
+			if err != nil {
+				t.Fatalf("group %s record %d: %v", tc.group, i, err)
+			}
+			if label != tc.offset+i {
+				t.Fatalf("group %s record %d labelled %d, want %d (cross-group response leak)",
+					tc.group, i, label, tc.offset+i)
+			}
+		}
+	}
+}
+
+// TestGroupedServiceUnknownGroup checks a frame addressed to an unhosted
+// group is answered with ErrUnknownGroup — for queries and ingest alike —
+// and the client stays usable.
+func TestGroupedServiceUnknownGroup(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	svc, stop := startGroupedService(t, svcConn,
+		[]GroupSpec{{ID: "alpha", Unified: labelledLine(t, 4), Model: classify.NewKNN(1)}},
+		ServiceConfig{})
+	defer stop()
+
+	client, err := NewGroupServiceClient(cliConn, "svc", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := testCtx(t)
+	if _, err := client.Classify(ctx, []float64{0.5}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("classify err = %v, want ErrUnknownGroup", err)
+	}
+	if _, err := client.PushChunk(ctx, [][]float64{{0.5}}, []int{1}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("ingest err = %v, want ErrUnknownGroup", err)
+	}
+	// The default group is not implicitly hosted by a grouped service that
+	// did not register it.
+	legacy, err := NewServiceClient(cliConn2(t, net), "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if _, err := legacy.Classify(ctx, []float64{0.5}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("default-group err = %v, want ErrUnknownGroup", err)
+	}
+	if _, err := svc.GroupIngested("nope"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("GroupIngested err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+// cliConn2 hands out an extra uniquely named client endpoint.
+func cliConn2(t *testing.T, net transport.Network) transport.Conn {
+	t.Helper()
+	conn, err := net.Endpoint("cli2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestGroupedServiceMemberIsolation is the cross-group isolation contract:
+// a peer registered to group alpha cannot query (or feed) group beta when
+// beta carries a member list, while its own group keeps serving it.
+func TestGroupedServiceMemberIsolation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	aliceConn, _ := net.Endpoint("alice")
+	defer aliceConn.Close()
+
+	groups := []GroupSpec{
+		{ID: "alpha", Unified: labelledLineAt(t, 4, 0), Model: classify.NewKNN(1), Members: []string{"alice"}},
+		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1), Members: []string{"bob"}},
+	}
+	_, stop := startGroupedService(t, svcConn, groups, ServiceConfig{})
+	defer stop()
+	ctx := testCtx(t)
+
+	// Alice in her own group: served.
+	own, err := NewGroupServiceClient(aliceConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label, err := own.Classify(ctx, []float64{0.0}); err != nil || label != 0 {
+		t.Fatalf("own-group query = %d, %v; want 0, nil", label, err)
+	}
+	own.Close()
+
+	// Alice addressing beta: refused with ErrNotMember, for queries and
+	// ingest alike; nothing reaches beta's model.
+	foreign, err := NewGroupServiceClient(aliceConn, "svc", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer foreign.Close()
+	if _, err := foreign.Classify(ctx, []float64{0.0}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("foreign classify err = %v, want ErrNotMember", err)
+	}
+	if _, err := foreign.PushChunk(ctx, [][]float64{{0.5}}, []int{1}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("foreign ingest err = %v, want ErrNotMember", err)
+	}
+}
+
+// TestLegacyFramesRouteToDefaultGroup stamps pre-v4 versions on otherwise
+// well-formed frames and checks they are served by the default group — the
+// backward-compatibility contract of the v4 router.
+func TestLegacyFramesRouteToDefaultGroup(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	groups := []GroupSpec{
+		{ID: DefaultGroup, Unified: labelledLineAt(t, 4, 0), Model: classify.NewKNN(1)},
+		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1)},
+	}
+	_, stop := startGroupedService(t, svcConn, groups, ServiceConfig{})
+	defer stop()
+	ctx := testCtx(t)
+
+	for _, version := range []byte{1, 2, 3} {
+		payload, err := encodeServiceWire(&serviceWire{ID: uint64(version), Batch: [][]float64{{0.0}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload[1] = version
+		if err := cliConn.Send(ctx, "svc", payload); err != nil {
+			t.Fatal(err)
+		}
+		env, err := cliConn.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := decodeServiceWire(env.Payload)
+		if err != nil || resp == nil {
+			t.Fatalf("v%d: decode response: %v", version, err)
+		}
+		if resp.ID != uint64(version) || resp.Code != codeOK {
+			t.Fatalf("v%d: resp = %+v, want codeOK for ID %d", version, resp, version)
+		}
+		if len(resp.Labels) != 1 || resp.Labels[0] != 0 {
+			t.Fatalf("v%d: labels = %v, want [0] (default group's model)", version, resp.Labels)
+		}
+	}
+}
+
+// gatedModel wraps a classifier whose refits (every Fit after the first)
+// block until released, so tests can hold one group mid-refit.
+type gatedModel struct {
+	inner   classify.Classifier
+	fits    atomic.Int64
+	started chan struct{}
+	release chan struct{}
+}
+
+func (m *gatedModel) Fit(d *dataset.Dataset) error {
+	if m.fits.Add(1) > 1 {
+		m.started <- struct{}{}
+		<-m.release
+	}
+	return m.inner.Fit(d)
+}
+
+func (m *gatedModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
+
+// TestGroupRefitDoesNotBlockOtherGroups holds group alpha in the middle of
+// an ingest-triggered refit and checks group beta keeps answering queries —
+// the sharded-lock guarantee of the router.
+func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	pushConn, _ := net.Endpoint("pusher")
+	defer pushConn.Close()
+	queryConn, _ := net.Endpoint("querier")
+	defer queryConn.Close()
+
+	gated := &gatedModel{
+		inner:   classify.NewKNN(1),
+		started: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	groups := []GroupSpec{
+		{ID: "alpha", Unified: labelledLineAt(t, 4, 0), Model: gated, RefitEvery: 1},
+		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1)},
+	}
+	_, stop := startGroupedService(t, svcConn, groups, ServiceConfig{Workers: 2})
+	defer stop()
+	ctx := testCtx(t)
+
+	pusher, err := NewGroupServiceClient(pushConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pusher.Close()
+	pushDone := make(chan error, 1)
+	go func() {
+		_, err := pusher.PushChunk(ctx, [][]float64{{0.9}}, []int{9})
+		pushDone <- err
+	}()
+	// Wait until alpha is genuinely inside its refit.
+	select {
+	case <-gated.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("alpha never started its refit")
+	}
+
+	// Beta must answer while alpha's refit is parked.
+	querier, err := NewGroupServiceClient(queryConn, "svc", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer querier.Close()
+	queryCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	label, err := querier.Classify(queryCtx, []float64{0.0})
+	if err != nil {
+		t.Fatalf("beta query during alpha refit: %v", err)
+	}
+	if label != 100 {
+		t.Fatalf("beta label = %d, want 100", label)
+	}
+
+	close(gated.release)
+	if err := <-pushDone; err != nil {
+		t.Fatalf("alpha push after release: %v", err)
+	}
+}
+
+// flakyModel wraps a classifier whose Fit fails while failing is set,
+// simulating a refit that cannot converge on the grown training set.
+type flakyModel struct {
+	inner   classify.Classifier
+	failing atomic.Bool
+}
+
+var errFlakyFit = errors.New("flaky: fit failed")
+
+func (m *flakyModel) Fit(d *dataset.Dataset) error {
+	if m.failing.Load() {
+		return errFlakyFit
+	}
+	return m.inner.Fit(d)
+}
+
+func (m *flakyModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
+
+// TestRefitFailureKeepsServingAndRecovers exercises the ErrRefit non-fatal
+// path end to end: a group whose refit fails answers ErrRefit (chunk kept),
+// keeps serving queries from the previous fit, and recovers — new records
+// become visible — on the next successful refit.
+func TestRefitFailureKeepsServingAndRecovers(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	flaky := &flakyModel{inner: classify.NewKNN(1)}
+	svc, stop := startGroupedService(t, svcConn,
+		[]GroupSpec{{ID: "alpha", Unified: labelledLine(t, 4), Model: flaky, RefitEvery: 2}},
+		ServiceConfig{})
+	defer stop()
+
+	client, err := NewGroupServiceClient(cliConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := testCtx(t)
+
+	// Break the next refit and push a chunk that triggers it.
+	flaky.failing.Store(true)
+	total, err := client.PushChunk(ctx, [][]float64{{9.9}, {10.1}}, []int{7, 7})
+	if !errors.Is(err, ErrRefit) {
+		t.Fatalf("push with broken refit err = %v, want ErrRefit", err)
+	}
+	if total != 6 {
+		t.Fatalf("accepted total = %d, want 6 (chunk must be folded in despite the refit failure)", total)
+	}
+
+	// The group keeps serving on the previous fit: the pushed region still
+	// answers with the old nearest label, and near-base queries still work.
+	label, err := client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatalf("query after failed refit: %v", err)
+	}
+	if label != 3 {
+		t.Fatalf("label after failed refit = %d, want 3 (previous fit)", label)
+	}
+
+	// Heal the model and push the next chunk: the cadence fires again (the
+	// failed refit did not reset it), the refit succeeds, and the grown
+	// training set — including the chunk from the failed round — goes live.
+	flaky.failing.Store(false)
+	total, err = client.PushChunk(ctx, [][]float64{{9.8}}, []int{7})
+	if err != nil {
+		t.Fatalf("push after heal: %v", err)
+	}
+	if total != 7 {
+		t.Fatalf("accepted total = %d, want 7", total)
+	}
+	label, err = client.Classify(ctx, []float64{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 7 {
+		t.Fatalf("label after recovery = %d, want 7 (refit picked up streamed records)", label)
+	}
+	if got, err := svc.GroupIngested("alpha"); err != nil || got != 3 {
+		t.Fatalf("GroupIngested = %d, %v; want 3, nil", got, err)
+	}
+}
+
+// TestGroupedServiceValidation covers the registry's construction-time
+// rejections.
+func TestGroupedServiceValidation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	conn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	d := labelledLine(t, 4)
+	model := classify.NewKNN(1)
+
+	for name, groups := range map[string][]GroupSpec{
+		"no groups":    {},
+		"empty id":     {{ID: "", Unified: d, Model: model}},
+		"duplicate id": {{ID: "a", Unified: d, Model: model}, {ID: "a", Unified: d, Model: classify.NewKNN(1)}},
+		"no dataset":   {{ID: "a", Model: model}},
+		"nil model":    {{ID: "a", Unified: d}},
+		"empty member": {{ID: "a", Unified: d, Model: model, Members: []string{""}}},
+	} {
+		if _, err := NewGroupedMiningService(conn, groups, ServiceConfig{}); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+// TestGroupIngestIsolation checks that one group's ingest never leaks into
+// another group's training set or counters.
+func TestGroupIngestIsolation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	cliConn, _ := net.Endpoint("cli")
+	defer cliConn.Close()
+
+	groups := []GroupSpec{
+		{ID: "alpha", Unified: labelledLineAt(t, 4, 0), Model: classify.NewKNN(1), RefitEvery: 1},
+		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1), RefitEvery: 1},
+	}
+	svc, stop := startGroupedService(t, svcConn, groups, ServiceConfig{})
+	defer stop()
+	ctx := testCtx(t)
+
+	client, err := NewGroupServiceClient(cliConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := client.PushChunk(ctx, [][]float64{{2.0}, {2.1}}, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("alpha total = %d, want 6", total)
+	}
+	client.Close()
+
+	if got, err := svc.GroupIngested("alpha"); err != nil || got != 2 {
+		t.Fatalf("alpha ingested = %d, %v; want 2, nil", got, err)
+	}
+	if got, err := svc.GroupIngested("beta"); err != nil || got != 0 {
+		t.Fatalf("beta ingested = %d, %v; want 0, nil", got, err)
+	}
+	if got := svc.Ingested(); got != 2 {
+		t.Fatalf("total ingested = %d, want 2", got)
+	}
+
+	// Beta's model must not know alpha's streamed region: nearest stays the
+	// top of beta's own line.
+	beta, err := NewGroupServiceClient(cliConn, "svc", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer beta.Close()
+	label, err := beta.Classify(ctx, []float64{2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 103 {
+		t.Fatalf("beta label = %d, want 103 (alpha's ingest leaked)", label)
+	}
+}

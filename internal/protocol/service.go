@@ -10,8 +10,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/classify"
-	"repro/internal/dataset"
 	"repro/internal/transport"
 )
 
@@ -38,6 +36,14 @@ var (
 	// serving on its previous fit. Re-pushing the chunk would duplicate its
 	// records.
 	ErrRefit = errors.New("protocol: service model refit failed")
+	// ErrUnknownGroup flags a frame addressed to a serving group the miner
+	// does not host.
+	ErrUnknownGroup = errors.New("protocol: unknown serving group")
+	// ErrNotMember flags a peer addressing a serving group whose member
+	// list does not include it — the cross-group routing contract of a
+	// multi-tenant miner (membership is checked against the self-declared
+	// transport sender name; see GroupSpec.Members for the trust model).
+	ErrNotMember = errors.New("protocol: peer not registered to serving group")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -46,13 +52,18 @@ var (
 // miner's violation checks.
 const serviceMagic = 0x53 // 'S'
 
-// ServiceWireVersion is the current service frame version. Version 1 was the
-// unversioned single-record frame of the pre-batching service; version 2
-// carried batches and typed error codes; version 3 adds the Kind
-// discriminator so stream-ingest chunks (a provider pushing perturbed
-// training records into the serving miner) share the frame format with
-// classification queries.
-const ServiceWireVersion = 3
+// ServiceWireVersion is the current service frame version. Version 1 was
+// the unversioned single-record frame of the pre-batching service; version
+// 2 carried batches and typed error codes; version 3 added the Kind
+// discriminator so stream-ingest chunks share the frame format with
+// classification queries; version 4 adds the Group routing field so one
+// miner process serves many contract groups side by side.
+const ServiceWireVersion = 4
+
+// serviceWireMinVersion is the oldest frame version the service still
+// decodes. Pre-v4 frames carry no Group field and route to DefaultGroup, so
+// single-group deployments keep working against a sharded miner unchanged.
+const serviceWireMinVersion = 1
 
 // Wire error codes carried in service responses, mapped back to the typed
 // errors above by the client.
@@ -64,12 +75,12 @@ const (
 	codeInternal
 	codeBadChunk
 	codeRefit
+	codeUnknownGroup
+	codeNotMember
 )
 
 // Frame kinds carried in serviceWire.Kind. The zero value is a
 // classification query, so a frame that omits Kind is a classify frame.
-// (decodeServiceWire still requires the exact current version — v2 peers
-// get a typed codeWireVersion rejection, not best-effort service.)
 const (
 	kindClassify uint8 = iota
 	kindIngest
@@ -85,17 +96,21 @@ type serviceWire struct {
 	// Kind discriminates classification queries (kindClassify) from
 	// stream-ingest chunks (kindIngest).
 	Kind uint8
-	// Batch carries the records, already transformed into the target space
-	// by the caller (providers know G_t; the miner never sees clear data).
-	// For classify frames it is the query; for ingest frames it is a chunk
-	// of perturbed training records.
+	// Group names the serving group (contract) the frame addresses. Empty
+	// on pre-v4 frames and on clients of single-group services; the router
+	// maps it to DefaultGroup.
+	Group string
+	// Batch carries the records, already transformed into the group's
+	// target space by the caller (providers know G_t; the miner never sees
+	// clear data). For classify frames it is the query; for ingest frames
+	// it is a chunk of perturbed training records.
 	Batch [][]float64
 	// Labels carries class labels: in a classify response, one prediction
 	// per batch record; in an ingest request, the true label of each pushed
 	// training record.
 	Labels []int
-	// Accepted is the ingest response: the service's total training-set
-	// size after folding the chunk in.
+	// Accepted is the ingest response: the group's total training-set size
+	// after folding the chunk in.
 	Accepted int
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
@@ -124,42 +139,49 @@ func encodeServiceWire(w *serviceWire) ([]byte, error) {
 }
 
 // decodeServiceWire unpacks a service frame. A nil frame with a nil error
-// means "not a service frame, ignore". A version mismatch returns the frame
-// ID when recoverable so the peer can be answered with a typed error.
+// means "not a service frame, ignore". Versions serviceWireMinVersion
+// through ServiceWireVersion decode as the current struct (gob tolerates
+// missing fields, so pre-v4 frames simply carry an empty Group). A frame
+// claiming a version outside that range returns the frame ID when
+// recoverable so the peer can be answered with a typed error.
 func decodeServiceWire(payload []byte) (*serviceWire, error) {
 	if !IsServiceFrame(payload) {
 		return nil, nil
 	}
 	version := payload[1]
+	supported := version >= serviceWireMinVersion && version <= ServiceWireVersion
 	var w serviceWire
 	if err := gob.NewDecoder(bytes.NewReader(payload[2:])).Decode(&w); err != nil {
-		if version != ServiceWireVersion {
-			return nil, fmt.Errorf("%w: got v%d, speak v%d", ErrWireVersion, version, ServiceWireVersion)
+		if !supported {
+			return nil, fmt.Errorf("%w: got v%d, speak v%d-v%d",
+				ErrWireVersion, version, serviceWireMinVersion, ServiceWireVersion)
 		}
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
-	if version != ServiceWireVersion {
+	if !supported {
 		// The frame decoded (gob skips unknown fields) but the peer speaks
 		// another version; answer it with a typed rejection.
-		return &w, fmt.Errorf("%w: got v%d, speak v%d", ErrWireVersion, version, ServiceWireVersion)
+		return &w, fmt.Errorf("%w: got v%d, speak v%d-v%d",
+			ErrWireVersion, version, serviceWireMinVersion, ServiceWireVersion)
 	}
 	return &w, nil
 }
 
-// ServiceConfig tunes the miner-side serving loop.
+// ServiceConfig tunes the miner-side serving loop. One config applies
+// service-wide; per-group overrides live on GroupSpec.
 type ServiceConfig struct {
-	// Workers is the number of goroutines predicting concurrently
-	// (default: GOMAXPROCS).
+	// Workers is the number of goroutines predicting concurrently across
+	// all groups (default: GOMAXPROCS).
 	Workers int
 	// MaxBatch caps the records accepted in one request (default 4096).
 	// Oversized batches are rejected with ErrBatchTooLarge, not served.
 	MaxBatch int
-	// RefitEvery is the number of stream-ingested records accumulated
-	// before the service retrains its model on the grown training set
-	// (default DefaultRefitEvery; negative disables automatic refits, in
-	// which case ingested records sit in the training set until the next
-	// triggered refit — useful when a deployment refits on its own
-	// schedule).
+	// RefitEvery is the number of stream-ingested records a group
+	// accumulates before the service retrains that group's model on its
+	// grown training set (default DefaultRefitEvery; negative disables
+	// automatic refits, in which case ingested records sit in the training
+	// set until the next triggered refit — useful when a deployment refits
+	// on its own schedule). GroupSpec.RefitEvery overrides it per group.
 	RefitEvery int
 }
 
@@ -188,274 +210,10 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	return c
 }
 
-// MiningService is the miner-side classification endpoint: a model trained
-// on the unified perturbed dataset, answering batched queries that arrive in
-// the target space. This realizes the paper's service-oriented framing — the
-// service provider "offers their data mining services to the contracted
-// parties" for the contract's lifetime.
-//
-// The training set is not frozen at construction: providers may keep pushing
-// streamed chunks of perturbed, target-space records (ServiceClient.PushChunk
-// feeding an internal/stream pipeline), which the service folds into its
-// training set and periodically refits on (ServiceConfig.RefitEvery).
-type MiningService struct {
-	conn transport.Conn
-	dim  int
-	cfg  ServiceConfig
-
-	// modelMu guards the served model: workers predict under the read lock
-	// while ingest-triggered refits swap the model under the write lock.
-	modelMu sync.RWMutex
-	model   classify.Classifier
-
-	// The growing training set and the count of records ingested since the
-	// last refit; both are touched only by the Serve receive loop. The
-	// lifetime total (ingested) is additionally read by Ingested, so it is
-	// updated under modelMu.
-	training   *dataset.Dataset
-	sinceRefit int
-	ingested   int
-}
-
-// NewMiningService trains the given classifier on the miner's unified
-// dataset and binds the service to a transport endpoint. The zero
-// ServiceConfig selects the defaults.
-func NewMiningService(conn transport.Conn, result *MinerResult, model classify.Classifier, cfg ServiceConfig) (*MiningService, error) {
-	if result == nil || result.Unified == nil || result.Unified.Len() == 0 {
-		return nil, fmt.Errorf("%w: no unified dataset", ErrBadConfig)
-	}
-	if model == nil {
-		return nil, fmt.Errorf("%w: nil classifier", ErrBadConfig)
-	}
-	training := result.Unified.Clone()
-	if err := model.Fit(training.Clone()); err != nil {
-		return nil, fmt.Errorf("protocol: train service model: %w", err)
-	}
-	return &MiningService{
-		conn:     conn,
-		model:    model,
-		dim:      training.Dim(),
-		training: training,
-		cfg:      cfg.withDefaults(),
-	}, nil
-}
-
-// Ingested returns the number of streamed records folded into the training
-// set so far. It is safe to call concurrently with Serve.
-func (s *MiningService) Ingested() int {
-	s.modelMu.RLock()
-	defer s.modelMu.RUnlock()
-	return s.ingested
-}
-
-// serviceJob is one accepted request travelling from the receive loop to a
-// worker.
-type serviceJob struct {
-	from string
-	req  *serviceWire
-}
-
-// serviceOut is one encoded response travelling from a worker to the single
-// sender goroutine (transport connections are not required to support
-// concurrent writers).
-type serviceOut struct {
-	to      string
-	payload []byte
-}
-
-// Serve answers classification requests until ctx is cancelled or the
-// transport closes. Requests are dispatched to a pool of cfg.Workers
-// prediction goroutines; responses funnel through one sender. Malformed
-// frames are answered with a typed error response (or dropped when they
-// cannot be attributed) rather than terminating the service.
-func (s *MiningService) Serve(ctx context.Context) error {
-	jobs := make(chan serviceJob)
-	out := make(chan serviceOut, s.cfg.Workers)
-
-	var senderWg sync.WaitGroup
-	senderWg.Add(1)
-	go func() {
-		defer senderWg.Done()
-		for o := range out {
-			// Bound each response write so one peer that stops reading
-			// cannot wedge the sender (and with it every worker) forever;
-			// a timed-out connection is dropped by the transport and the
-			// requester simply re-dials. The requester may also have gone
-			// away entirely; either way, keep serving others.
-			sendCtx, cancel := context.WithTimeout(ctx, serviceSendTimeout)
-			_ = s.conn.Send(sendCtx, o.to, o.payload)
-			cancel()
-		}
-	}()
-
-	var workerWg sync.WaitGroup
-	for i := 0; i < s.cfg.Workers; i++ {
-		workerWg.Add(1)
-		go func() {
-			defer workerWg.Done()
-			for j := range jobs {
-				payload, err := encodeServiceWire(s.handle(j.req))
-				if err != nil {
-					continue
-				}
-				out <- serviceOut{to: j.from, payload: payload}
-			}
-		}()
-	}
-	shutdown := func() {
-		close(jobs)
-		workerWg.Wait()
-		close(out)
-		senderWg.Wait()
-	}
-
-	for {
-		env, err := s.conn.Recv(ctx)
-		if err != nil {
-			shutdown()
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-				errors.Is(err, transport.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		req, err := decodeServiceWire(env.Payload)
-		switch {
-		case req == nil && err == nil:
-			continue // not a service frame; drop
-		case errors.Is(err, ErrWireVersion):
-			resp := &serviceWire{Response: true, Code: codeWireVersion, Err: err.Error()}
-			if req != nil {
-				resp.ID = req.ID
-			}
-			if payload, encErr := encodeServiceWire(resp); encErr == nil {
-				out <- serviceOut{to: env.From, payload: payload}
-			}
-			continue
-		case err != nil || req.Response:
-			continue // undecodable or stray response frame; drop
-		}
-		if req.Kind == kindIngest {
-			// Ingest mutates the training set, so it is handled inline on
-			// the receive loop: appends stay ordered and race-free while
-			// prediction workers keep serving under the model read lock.
-			if payload, encErr := encodeServiceWire(s.ingest(req)); encErr == nil {
-				out <- serviceOut{to: env.From, payload: payload}
-			}
-			continue
-		}
-		select {
-		case jobs <- serviceJob{from: env.From, req: req}:
-		case <-ctx.Done():
-			shutdown()
-			return nil
-		}
-	}
-}
-
-// ingest validates one streamed chunk, folds it into the training set, and
-// refits the model when the refit cadence is reached. Called only from the
-// Serve receive loop.
-func (s *MiningService) ingest(req *serviceWire) *serviceWire {
-	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Response: true}
-	if len(req.Batch) == 0 {
-		resp.Code, resp.Err = codeBadChunk, "empty chunk"
-		return resp
-	}
-	if len(req.Batch) > s.cfg.MaxBatch {
-		resp.Code, resp.Err = codeBatchTooLarge,
-			fmt.Sprintf("chunk has %d records, cap is %d", len(req.Batch), s.cfg.MaxBatch)
-		return resp
-	}
-	if len(req.Labels) != len(req.Batch) {
-		resp.Code, resp.Err = codeBadChunk,
-			fmt.Sprintf("%d labels for %d records", len(req.Labels), len(req.Batch))
-		return resp
-	}
-	for i, rec := range req.Batch {
-		if len(rec) != s.dim {
-			resp.Code, resp.Err = codeBadChunk,
-				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), s.dim)
-			return resp
-		}
-		if req.Labels[i] < 0 {
-			resp.Code, resp.Err = codeBadChunk, fmt.Sprintf("record %d has a negative label", i)
-			return resp
-		}
-	}
-	for i, rec := range req.Batch {
-		s.training.X = append(s.training.X, append([]float64(nil), rec...))
-		s.training.Y = append(s.training.Y, req.Labels[i])
-	}
-	s.sinceRefit += len(req.Batch)
-	s.modelMu.Lock()
-	s.ingested += len(req.Batch)
-	s.modelMu.Unlock()
-	resp.Accepted = s.training.Len()
-	if s.cfg.RefitEvery > 0 && s.sinceRefit >= s.cfg.RefitEvery {
-		if err := s.refit(); err != nil {
-			// The chunk IS in the training set (Accepted reflects that) but
-			// the refreshed model is not live; answer with the dedicated
-			// refit code so the pusher knows not to re-push, and keep
-			// serving on the previous fit.
-			resp.Code, resp.Err = codeRefit, err.Error()
-			return resp
-		}
-		s.sinceRefit = 0
-	}
-	return resp
-}
-
-// refit retrains a model on a snapshot of the grown training set and swaps
-// it in under the write lock, so in-flight predictions finish on the old
-// model and later ones see the new one.
-func (s *MiningService) refit() error {
-	snapshot := s.training.Clone()
-	s.modelMu.Lock()
-	defer s.modelMu.Unlock()
-	if err := s.model.Fit(snapshot); err != nil {
-		return fmt.Errorf("protocol: refit service model: %w", err)
-	}
-	return nil
-}
-
-// handle validates one request and predicts every record in its batch.
-func (s *MiningService) handle(req *serviceWire) *serviceWire {
-	resp := &serviceWire{ID: req.ID, Response: true}
-	if len(req.Batch) == 0 {
-		resp.Code, resp.Err = codeBadQuery, "empty batch"
-		return resp
-	}
-	if len(req.Batch) > s.cfg.MaxBatch {
-		resp.Code, resp.Err = codeBatchTooLarge,
-			fmt.Sprintf("batch has %d records, cap is %d", len(req.Batch), s.cfg.MaxBatch)
-		return resp
-	}
-	labels := make([]int, len(req.Batch))
-	// One read lock per batch: predictions may run concurrently across
-	// workers while an ingest-triggered refit waits for the write lock.
-	s.modelMu.RLock()
-	defer s.modelMu.RUnlock()
-	for i, rec := range req.Batch {
-		if len(rec) != s.dim {
-			resp.Code, resp.Err = codeBadQuery,
-				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), s.dim)
-			return resp
-		}
-		label, err := s.model.Predict(rec)
-		if err != nil {
-			resp.Code, resp.Err = codeInternal, err.Error()
-			return resp
-		}
-		labels[i] = label
-	}
-	resp.Labels = labels
-	return resp
-}
-
 // ServiceClient is the provider-side handle for querying the mining
-// service. Queries must already be in the target space (providers hold G_t
-// from the SAP run and apply it noiselessly to each record).
+// service. Queries must already be in the target space of the client's
+// group (providers hold G_t from their group's SAP run and apply it
+// noiselessly to each record).
 //
 // The client owns its connection's receive side: a background demultiplexer
 // routes responses to waiting callers by request ID, so any number of
@@ -464,6 +222,7 @@ func (s *MiningService) handle(req *serviceWire) *serviceWire {
 type ServiceClient struct {
 	conn  transport.Conn
 	miner string
+	group string
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -479,8 +238,18 @@ type ServiceClient struct {
 
 // NewServiceClient binds a client to a transport endpoint and starts its
 // response demultiplexer. The connection's receive side belongs to the
-// client from this point on.
+// client from this point on. Frames carry no group name, so they route to
+// the service's DefaultGroup; multi-group deployments use
+// NewGroupServiceClient.
 func NewServiceClient(conn transport.Conn, miner string) (*ServiceClient, error) {
+	return NewGroupServiceClient(conn, miner, "")
+}
+
+// NewGroupServiceClient is NewServiceClient for one serving group of a
+// sharded miner: every frame the client sends is stamped with the group ID,
+// so the service routes it to that group's model shard. An empty group
+// routes to DefaultGroup.
+func NewGroupServiceClient(conn transport.Conn, miner, group string) (*ServiceClient, error) {
 	if miner == "" {
 		return nil, fmt.Errorf("%w: missing miner endpoint", ErrBadConfig)
 	}
@@ -488,6 +257,7 @@ func NewServiceClient(conn transport.Conn, miner string) (*ServiceClient, error)
 	c := &ServiceClient{
 		conn:     conn,
 		miner:    miner,
+		group:    group,
 		pending:  make(map[uint64]chan *serviceWire),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -496,6 +266,10 @@ func NewServiceClient(conn transport.Conn, miner string) (*ServiceClient, error)
 	go c.recvLoop(recvCtx)
 	return c, nil
 }
+
+// Group returns the serving group the client addresses ("" means the
+// service's default group).
+func (c *ServiceClient) Group() string { return c.group }
 
 // recvLoop routes every incoming response frame to the caller waiting on its
 // ID. Frames for unknown IDs (cancelled requests, foreign traffic) are
@@ -609,7 +383,7 @@ func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Batch: batch})
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Group: c.group, Batch: batch})
 	if err != nil {
 		c.unregister(id)
 		return nil, err
@@ -633,12 +407,13 @@ func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([
 }
 
 // PushChunk streams one chunk of perturbed, target-space training records
-// (with their labels) into the serving miner, which folds them into its
-// training set and refits on its configured cadence. It returns the
-// service's total training-set size after the chunk was folded in. An
-// ErrRefit error still carries a non-zero accepted count: the chunk landed
-// but the model refresh failed, so the caller must not re-push it. Like
-// ClassifyBatch it costs one round trip and is safe for concurrent use.
+// (with their labels) into the serving miner, which folds them into the
+// client's group's training set and refits on the group's configured
+// cadence. It returns the group's total training-set size after the chunk
+// was folded in. An ErrRefit error still carries a non-zero accepted count:
+// the chunk landed but the model refresh failed, so the caller must not
+// re-push it. Like ClassifyBatch it costs one round trip and is safe for
+// concurrent use.
 func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels []int) (int, error) {
 	if len(batch) == 0 {
 		return 0, fmt.Errorf("%w: empty chunk", ErrBadChunk)
@@ -650,7 +425,8 @@ func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels
 	if err != nil {
 		return 0, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Kind: kindIngest, Batch: batch, Labels: labels})
+	payload, err := encodeServiceWire(&serviceWire{
+		ID: id, Kind: kindIngest, Group: c.group, Batch: batch, Labels: labels})
 	if err != nil {
 		c.unregister(id)
 		return 0, err
@@ -691,6 +467,10 @@ func responseErr(resp *serviceWire) error {
 		return fmt.Errorf("%w: %s", ErrBatchTooLarge, resp.Err)
 	case codeWireVersion:
 		return fmt.Errorf("%w: %s", ErrWireVersion, resp.Err)
+	case codeUnknownGroup:
+		return fmt.Errorf("%w: %s", ErrUnknownGroup, resp.Err)
+	case codeNotMember:
+		return fmt.Errorf("%w: %s", ErrNotMember, resp.Err)
 	default:
 		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
 	}

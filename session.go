@@ -34,7 +34,17 @@ var (
 	ErrBadQuery = protocol.ErrBadQuery
 	// ErrBatchTooLarge flags a batch exceeding the service's cap.
 	ErrBatchTooLarge = protocol.ErrBatchTooLarge
+	// ErrUnknownGroup flags a query for a serving group the miner does not
+	// host.
+	ErrUnknownGroup = protocol.ErrUnknownGroup
+	// ErrNotMember flags a peer addressing a serving group whose member
+	// list does not include it.
+	ErrNotMember = protocol.ErrNotMember
 )
+
+// DefaultGroupID is the serving group a session uses when WithGroupID is
+// not given, and the group legacy (pre-v4) wire frames route to.
+const DefaultGroupID = protocol.DefaultGroup
 
 // NewMemNetwork returns an in-process network for single-process serving,
 // tests and benchmarks.
@@ -67,6 +77,7 @@ type config struct {
 	workers      int
 	maxBatch     int
 	refitEvery   int
+	group        string
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -152,13 +163,30 @@ func WithServiceMaxBatch(n int) Option {
 
 // WithServiceRefitEvery sets how many stream-ingested records the served
 // model accumulates before retraining on the grown training set (default
-// 256; negative disables automatic refits).
+// 256; -1 disables automatic refits).
 func WithServiceRefitEvery(n int) Option {
 	return func(c *config) error {
+		if n < -1 {
+			return fmt.Errorf("%w: refit cadence %d (0 keeps the default, -1 disables)", ErrBadInput, n)
+		}
 		if n == 0 {
 			return nil
 		}
 		c.refitEvery = n
+		return nil
+	}
+}
+
+// WithGroupID names the serving group (contract) this session serves under
+// and its clients query. Sessions sharing one miner process must carry
+// distinct group IDs (see ServeGroups); the default is DefaultGroupID, so
+// single-group deployments never need this option.
+func WithGroupID(id string) Option {
+	return func(c *config) error {
+		if id == "" {
+			return fmt.Errorf("%w: empty group id", ErrBadInput)
+		}
+		c.group = id
 		return nil
 	}
 }
@@ -319,17 +347,16 @@ func (s *Session) TransformForInference(d *Dataset) (*Dataset, error) {
 // into its training set and refitting the model every WithServiceRefitEvery
 // records.
 func (s *Session) Serve(ctx context.Context, conn Conn, model Classifier) error {
-	if err := s.requireRun(); err != nil {
-		return err
+	return s.ServeGroups(ctx, conn, model)
+}
+
+// GroupID returns the serving group this session serves under and its
+// clients query (DefaultGroupID unless WithGroupID was given).
+func (s *Session) GroupID() string {
+	if s.cfg.group == "" {
+		return DefaultGroupID
 	}
-	svc, err := protocol.NewMiningService(conn,
-		&protocol.MinerResult{Unified: s.Unified()}, model,
-		protocol.ServiceConfig{Workers: s.cfg.workers, MaxBatch: s.cfg.maxBatch,
-			RefitEvery: s.cfg.refitEvery})
-	if err != nil {
-		return err
-	}
-	return svc.Serve(ctx)
+	return s.cfg.group
 }
 
 // NewClient is the provider side of the serving lifecycle: a handle for
@@ -341,10 +368,19 @@ func (s *Session) Serve(ctx context.Context, conn Conn, model Classifier) error 
 // provider, so the service never sees clear data. Close the client to
 // release it.
 func (s *Session) NewClient(conn Conn, miner string) (*Client, error) {
+	return s.NewGroupClient(conn, miner, s.GroupID())
+}
+
+// NewGroupClient is NewClient addressing an explicit serving group of a
+// sharded miner (see ServeGroups) instead of the session's own. Queries are
+// still transformed with this session's G_t, so the call only makes sense
+// against a group sharing that target space — its primary use is proving a
+// foreign group rejects you (ErrNotMember / ErrUnknownGroup).
+func (s *Session) NewGroupClient(conn Conn, miner, group string) (*Client, error) {
 	if err := s.requireRun(); err != nil {
 		return nil, err
 	}
-	inner, err := protocol.NewServiceClient(conn, miner)
+	inner, err := protocol.NewGroupServiceClient(conn, miner, group)
 	if err != nil {
 		return nil, err
 	}

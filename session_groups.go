@@ -1,0 +1,105 @@
+package sap
+
+// Multi-group serving: one miner process hosting several contract groups,
+// each a completed Session with its own target space, training set and
+// refit cadence. The protocol layer routes wire v4 frames by group ID;
+// clients created from a session automatically stamp the session's group.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// Group pairs a completed session with the classifier served to its
+// contract group. The group's wire ID, training set, target space and refit
+// cadence all come from the session (WithGroupID, WithServiceRefitEvery).
+type Group struct {
+	// Session is the group's completed SAP run. Required; sessions sharing
+	// one miner must carry distinct group IDs.
+	Session *Session
+	// Model is the classifier served to this group. Required; every group
+	// needs its own instance, models are never shared across groups.
+	Model Classifier
+	// Members optionally restricts the group to the named transport
+	// endpoints: peers outside the list are answered with ErrNotMember.
+	// Empty admits any peer. Names are the transport's self-declared
+	// endpoint names — routing-level separation of honest contracts, not
+	// an authenticated identity boundary (see GroupSpec.Members).
+	Members []string
+}
+
+// ServeGroups stands up one sharded mining service hosting every given
+// group on conn, and serves until ctx is cancelled or the transport closes.
+// Each group gets its own model shard — its own training set, refit cadence
+// and lock — so one group's refit never blocks another group's queries, and
+// a client registered to one group cannot query another group's model when
+// Members lists are set. The service-wide worker pool and batch cap come
+// from the first group's session options (WithServiceWorkers,
+// WithServiceMaxBatch).
+func ServeGroups(ctx context.Context, conn Conn, groups ...Group) error {
+	specs, cfg, err := groupSpecs(groups)
+	if err != nil {
+		return err
+	}
+	svc, err := protocol.NewGroupedMiningService(conn, specs, cfg)
+	if err != nil {
+		return err
+	}
+	return svc.Serve(ctx)
+}
+
+// ServeGroups serves this session's group (under its WithGroupID, with the
+// given model) alongside any additional groups, on one shared connection.
+// It is the multi-contract form of Serve: s.ServeGroups(ctx, conn, model)
+// is exactly s.Serve(ctx, conn, model).
+func (s *Session) ServeGroups(ctx context.Context, conn Conn, model Classifier, more ...Group) error {
+	return ServeGroups(ctx, conn, append([]Group{{Session: s, Model: model}}, more...)...)
+}
+
+// groupSpecs validates the facade groups and maps them to protocol specs.
+// ID validation (empty sessions, duplicate group IDs) runs before the
+// ran-state check so configuration mistakes surface even on unrun sessions.
+func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, error) {
+	var cfg protocol.ServiceConfig
+	if len(groups) == 0 {
+		return nil, cfg, fmt.Errorf("%w: no serving groups", ErrBadInput)
+	}
+	seen := make(map[string]bool, len(groups))
+	for i, g := range groups {
+		if g.Session == nil {
+			return nil, cfg, fmt.Errorf("%w: group %d has no session", ErrBadInput, i)
+		}
+		id := g.Session.GroupID()
+		if seen[id] {
+			return nil, cfg, fmt.Errorf("%w: duplicate group id %q", ErrBadInput, id)
+		}
+		seen[id] = true
+		if g.Model == nil {
+			return nil, cfg, fmt.Errorf("%w: group %q has no model", ErrBadInput, id)
+		}
+	}
+	specs := make([]protocol.GroupSpec, 0, len(groups))
+	for _, g := range groups {
+		if err := g.Session.requireRun(); err != nil {
+			return nil, cfg, fmt.Errorf("group %q: %w", g.Session.GroupID(), err)
+		}
+		specs = append(specs, protocol.GroupSpec{
+			ID:         g.Session.GroupID(),
+			Unified:    g.Session.Unified(),
+			Model:      g.Model,
+			RefitEvery: g.Session.cfg.refitEvery,
+			Members:    append([]string(nil), g.Members...),
+		})
+	}
+	// RefitEvery stays zero (the protocol default) service-wide: each
+	// group's cadence comes from its own session via its spec, so a group
+	// that set nothing gets the documented default rather than silently
+	// inheriting the first group's cadence.
+	cfg = protocol.ServiceConfig{
+		Workers:  groups[0].Session.cfg.workers,
+		MaxBatch: groups[0].Session.cfg.maxBatch,
+	}
+	return specs, cfg, nil
+}

@@ -1,0 +1,388 @@
+package sap_test
+
+// Tests for multi-group serving through the public facade: one miner
+// process hosting several contract groups with distinct target spaces,
+// cross-group isolation, and the group option set.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	sap "repro"
+)
+
+// runGroupSession runs a quick 3-party session on the named dataset under
+// the given group ID.
+func runGroupSession(t *testing.T, datasetName string, seed int64, groupID string, extra ...sap.Option) (*sap.Session, *sap.Dataset) {
+	t.Helper()
+	pool, err := sap.GenerateDataset(datasetName, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.2, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sap.Run(runCtx(t), append([]sap.Option{
+		sap.WithParties(parties...),
+		sap.WithSeed(seed + 3),
+		sap.WithOptimizer(2, 1),
+		sap.WithGroupID(groupID),
+	}, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, holdout
+}
+
+// queryGroup classifies a holdout through one group's client and reports
+// the agreement count.
+func queryGroup(t *testing.T, client *sap.Client, holdout *sap.Dataset) int {
+	t.Helper()
+	labels, err := client.ClassifyBatch(runCtx(t), holdout.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != holdout.Len() {
+		t.Fatalf("%d labels for %d records", len(labels), holdout.Len())
+	}
+	correct := 0
+	for i, label := range labels {
+		if label == holdout.Y[i] {
+			correct++
+		}
+	}
+	return correct
+}
+
+// TestServeGroupsTwoGroups hosts two independently unified groups — with
+// distinct target spaces — on one in-memory miner and checks each group's
+// clients are served by their own model while cross-group access is
+// refused.
+func TestServeGroupsTwoGroups(t *testing.T) {
+	sessA, holdoutA := runGroupSession(t, "Iris", 71, "ward-a")
+	sessB, holdoutB := runGroupSession(t, "Iris", 83, "ward-b")
+
+	// Same dataset family, independent runs: the groups' target spaces
+	// must genuinely differ, or the isolation below would be vacuous.
+	xa, err := sessA.TransformForInference(holdoutA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := sessB.TransformForInference(holdoutA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range xa.X[0] {
+		if xa.X[0][j] != xb.X[0][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("the two sessions derived identical target spaces")
+	}
+
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- sap.ServeGroups(ctx, svcConn,
+			sap.Group{Session: sessA, Model: sap.NewKNN(5), Members: []string{"client-a"}},
+			sap.Group{Session: sessB, Model: sap.NewKNN(5), Members: []string{"client-b"}},
+		)
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	connA, err := net.Endpoint("client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	clientA, err := sessA.NewClient(connA, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	connB, err := net.Endpoint("client-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	clientB, err := sessB.NewClient(connB, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+
+	// Each group is served by its own shard, in its own target space.
+	if correct := queryGroup(t, clientA, holdoutA); correct < holdoutA.Len()*6/10 {
+		t.Errorf("group ward-a accuracy %d/%d too low", correct, holdoutA.Len())
+	}
+	if correct := queryGroup(t, clientB, holdoutB); correct < holdoutB.Len()*6/10 {
+		t.Errorf("group ward-b accuracy %d/%d too low", correct, holdoutB.Len())
+	}
+
+	// Cross-group isolation: client-a is not a ward-b member, so the
+	// router refuses it before anything reaches ward-b's model; a group
+	// nobody registered is refused as unknown.
+	clientA.Close()
+	foreign, err := sessA.NewGroupClient(connA, "mining-service", "ward-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foreign.Classify(runCtx(t), holdoutA.X[0]); !errors.Is(err, sap.ErrNotMember) {
+		t.Fatalf("cross-group err = %v, want ErrNotMember", err)
+	}
+	foreign.Close()
+	ghost, err := sessA.NewGroupClient(connA, "mining-service", "ward-z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ghost.Close()
+	if _, err := ghost.Classify(runCtx(t), holdoutA.X[0]); !errors.Is(err, sap.ErrUnknownGroup) {
+		t.Fatalf("unknown-group err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+// TestServeGroupsOverTCP is the end-to-end acceptance path: one miner
+// process serves two groups with distinct target spaces (different feature
+// dimensions, even) over real TCP with AES-sealed frames; each group's
+// client gets its own model and cross-group queries are refused.
+func TestServeGroupsOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	sessA, holdoutA := runGroupSession(t, "Iris", 91, "flowers")
+	sessB, holdoutB := runGroupSession(t, "Wine", 92, "cellars")
+	if sessA.Target().Dim() == sessB.Target().Dim() {
+		t.Fatalf("expected distinct dimensions, both %d", sessA.Target().Dim())
+	}
+
+	svcNode, err := sap.NewTCPNode("mining-service", "127.0.0.1:0", "group-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcNode.Close()
+	nodeA, err := sap.NewTCPNode("client-a", "127.0.0.1:0", "group-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := sap.NewTCPNode("client-b", "127.0.0.1:0", "group-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	svcNode.AddPeer("client-a", nodeA.Addr())
+	svcNode.AddPeer("client-b", nodeB.Addr())
+	nodeA.AddPeer("mining-service", svcNode.Addr())
+	nodeB.AddPeer("mining-service", svcNode.Addr())
+
+	ctx, cancel := context.WithCancel(runCtx(t))
+	done := make(chan error, 1)
+	go func() {
+		done <- sessA.ServeGroups(ctx, svcNode, sap.NewKNN(5),
+			sap.Group{Session: sessB, Model: sap.NewKNN(5), Members: []string{"client-b"}})
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	clientA, err := sessA.NewClient(nodeA, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientB, err := sessB.NewClient(nodeB, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+
+	if correct := queryGroup(t, clientA, holdoutA); correct < holdoutA.Len()*6/10 {
+		t.Errorf("group flowers accuracy %d/%d too low over TCP", correct, holdoutA.Len())
+	}
+	if correct := queryGroup(t, clientB, holdoutB); correct < holdoutB.Len()*6/10 {
+		t.Errorf("group cellars accuracy %d/%d too low over TCP", correct, holdoutB.Len())
+	}
+
+	// client-a is not on the cellars member list.
+	clientA.Close()
+	foreign, err := sessA.NewGroupClient(nodeA, "mining-service", "cellars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer foreign.Close()
+	if _, err := foreign.Classify(runCtx(t), holdoutA.X[0]); !errors.Is(err, sap.ErrNotMember) {
+		t.Fatalf("cross-group err over TCP = %v, want ErrNotMember", err)
+	}
+}
+
+// TestServeGroupsPerGroupRefitCadence checks each group refits on its OWN
+// session's cadence: a group with refits disabled keeps its original fit
+// while a co-hosted group with a tight cadence learns pushed records —
+// the first group's setting must not leak into the second's.
+func TestServeGroupsPerGroupRefitCadence(t *testing.T) {
+	// The FIRST group disables refits; the second sets a tight cadence on
+	// its own session — it must not inherit the first group's -1.
+	sessFrozen, holdoutFrozen := runGroupSession(t, "Iris", 101, "frozen", sap.WithServiceRefitEvery(-1))
+	sessLive, _ := runGroupSession(t, "Iris", 102, "live", sap.WithServiceRefitEvery(2))
+
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- sap.ServeGroups(ctx, svcConn,
+			sap.Group{Session: sessFrozen, Model: sap.NewKNN(5)},
+			sap.Group{Session: sessLive, Model: sap.NewKNN(1)},
+		)
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Stream two far-out records into the live group; its cadence of 2
+	// fires a refit, so a query near the new region answers the new label.
+	pushConn, err := net.Endpoint("pusher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pushConn.Close()
+	liveClient, err := sessLive.NewClient(pushConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer liveClient.Close()
+	probe := make([]float64, sessLive.Target().Dim())
+	for j := range probe {
+		probe[j] = 40.0
+	}
+	reachable, err := sessLive.TransformForInference(mustDataset(t, [][]float64{probe, probe}, []int{9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := liveClient.Push(runCtx(t), sap.StreamChunk{Data: reachable}); err != nil {
+		t.Fatal(err)
+	}
+	label, err := liveClient.Classify(runCtx(t), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 9 {
+		t.Fatalf("live group label = %d, want 9 (its own cadence must fire)", label)
+	}
+
+	// The frozen group still answers sensibly from its original fit.
+	cliConn, err := net.Endpoint("client-frozen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	frozenClient, err := sessFrozen.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frozenClient.Close()
+	if correct := queryGroup(t, frozenClient, holdoutFrozen); correct < holdoutFrozen.Len()*6/10 {
+		t.Errorf("frozen group accuracy %d/%d", correct, holdoutFrozen.Len())
+	}
+}
+
+// mustDataset builds a dataset or fails the test.
+func mustDataset(t *testing.T, x [][]float64, y []int) *sap.Dataset {
+	t.Helper()
+	d, err := sap.NewDataset("probe", x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestServeGroupsStreamIsolation streams into one group of a two-group
+// miner and checks the other group's model and counters stay untouched
+// while the fed group learns the new region.
+func TestServeGroupsStreamIsolation(t *testing.T) {
+	sessA, _ := runGroupSession(t, "Iris", 95, "fed")
+	sessB, holdoutB := runGroupSession(t, "Iris", 96, "starved")
+
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- sap.ServeGroups(ctx, svcConn,
+			sap.Group{Session: sessA, Model: sap.NewKNN(5)},
+			sap.Group{Session: sessB, Model: sap.NewKNN(5)},
+		)
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Stream a fresh batch into the fed group only.
+	fresh, err := sap.GenerateDataset("Iris", 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushConn, err := net.Endpoint("pusher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pushConn.Close()
+	pushed, err := sessA.StreamTo(runCtx(t), pushConn, "mining-service",
+		sap.DatasetSource(fresh), sap.WithChunkSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed != fresh.Len() {
+		t.Fatalf("streamed %d records, want %d", pushed, fresh.Len())
+	}
+
+	// The starved group still answers from its original fit.
+	cliConn, err := net.Endpoint("client-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	clientB, err := sessB.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+	if correct := queryGroup(t, clientB, holdoutB); correct < holdoutB.Len()*6/10 {
+		t.Errorf("starved group accuracy %d/%d after foreign stream", correct, holdoutB.Len())
+	}
+}
