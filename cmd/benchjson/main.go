@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// report on stdout, so CI can archive benchmark results as a machine-readable
+// artifact (BENCH_PR4.json in the bench workflow job) and later runs can be
+// diffed against it.
+//
+//	go test -bench ServiceThroughput -run '^$' . | benchjson > bench.json
+//
+// Each benchmark line becomes one record carrying the benchmark name, its
+// iteration count and every reported metric (ns/op, B/op, allocs/op and
+// custom metrics such as the serving benchmarks' records/s). Non-benchmark
+// lines (logs, PASS/ok trailers) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// trailing -GOMAXPROCS suffix, e.g. "BenchmarkStreamThroughput/chunk64-8".
+	Name string `json:"name"`
+	// Iterations is the b.N the reported metrics are averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value, e.g. "ns/op" → 51234.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans bench output and keeps every benchmark result line. A line
+// that starts with "Benchmark" but does not parse as a result (e.g. the
+// bare "BenchmarkFoo" printed when -v interleaves) is skipped, not fatal;
+// a stream with no results at all is an error so a misconfigured CI job
+// cannot archive an empty report.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return report, nil
+}
+
+// parseLine parses one "BenchmarkName  N  value unit  value unit ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	// The remainder alternates value/unit; an odd tail means a line this
+	// parser does not understand.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.40GHz
+BenchmarkServiceThroughput/workers=1/batch=64-8         	     100	    512345 ns/op	        124938 records/s
+BenchmarkStreamThroughput/chunk256-8                    	      50	   2048000 ns/op	   2000000 records/s	    4096 B/op	      12 allocs/op
+--- BENCH: BenchmarkMultiGroupThroughput
+    bench_test.go:600: some log line
+PASS
+ok  	repro	12.345s
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	svc := report.Benchmarks[0]
+	if svc.Name != "BenchmarkServiceThroughput/workers=1/batch=64-8" || svc.Iterations != 100 {
+		t.Fatalf("first result = %+v", svc)
+	}
+	if svc.Metrics["ns/op"] != 512345 || svc.Metrics["records/s"] != 124938 {
+		t.Fatalf("first metrics = %+v", svc.Metrics)
+	}
+	stream := report.Benchmarks[1]
+	if stream.Metrics["B/op"] != 4096 || stream.Metrics["allocs/op"] != 12 {
+		t.Fatalf("second metrics = %+v", stream.Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1.0s\n")); err == nil {
+		t.Fatal("empty bench stream accepted")
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBare",
+		"BenchmarkOddTail 10 123 ns/op extra",
+		"BenchmarkBadIters x 123 ns/op",
+		"BenchmarkBadValue 10 abc ns/op",
+		"NotABenchmark 10 123 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -16,6 +16,11 @@
 // -group. A miner serving its own run's result under a named group uses
 // -group too.
 //
+// Any role can expose its operational metrics with -metrics-addr: GET
+// /metrics returns the per-group request/ingest/refit counters (miner) or
+// the streaming pipeline's chunk/drift counters (provider) as a JSON
+// snapshot, and GET /healthz answers liveness probes.
+//
 // Example 4-party run on one host (see examples/tcpcluster for a scripted
 // version):
 //
@@ -38,7 +43,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +56,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/perturb"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
@@ -93,6 +102,7 @@ func run(args []string) error {
 		refitEvery  = fs.Int("refit", 0, "streamed records accumulated before the served model refits (miner with -serve; 0 selects the default, <0 disables)")
 		group       = fs.String("group", "", "serving group id: the group the miner serves its result under, and the group providers stamp on -query/-stream frames (empty selects the default group)")
 		groupsFlag  = fs.String("groups", "", "comma-separated id=unified.csv list; the miner serves one model shard per stored unified dataset, skipping the protocol run (miner with -serve)")
+		metricsAddr = fs.String("metrics-addr", "", "serve operational metrics over HTTP on this address: GET /metrics returns the JSON snapshot, GET /healthz liveness (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +145,20 @@ func run(args []string) error {
 	defer cancel()
 	rng := rand.New(rand.NewSource(*seed))
 
+	// The metrics endpoint is role-agnostic: a miner exposes its serving
+	// counters, a provider its streaming pipeline's. The sink stays nil
+	// when the flag is unset, and every layer below treats nil as "don't
+	// count".
+	var sink metrics.Metrics
+	if *metricsAddr != "" {
+		reg, stopMetrics, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		sink = reg
+	}
+
 	switch *role {
 	case "provider":
 		data, pert, err := loadAndOptimize(*dataPath, rng, *sigma, *cands, *steps)
@@ -157,7 +181,7 @@ func run(args []string) error {
 		fmt.Println("provider done: dataset exchanged, adaptor delivered")
 		if *streamPath != "" {
 			if err := streamToService(ctx, node, *miner, *group, pert, prov.Target(), rng,
-				*streamPath, *chunkSize, *drift); err != nil {
+				*streamPath, *chunkSize, *drift, sink); err != nil {
 				return err
 			}
 		}
@@ -207,7 +231,7 @@ func run(args []string) error {
 			if *group != "" {
 				return fmt.Errorf("-group conflicts with -groups (the id=csv list already names every group)")
 			}
-			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor)
+			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
 		}
 		// Queries racing the tail of the SAP run are stashed so they
 		// neither trip the protocol's violation checks nor get lost; the
@@ -242,7 +266,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor)
+			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink)
 		}
 		return nil
 
@@ -256,7 +280,7 @@ func run(args []string) error {
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
 // answered first. A non-empty group serves the model under that group id
 // instead of the default group.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration) error {
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
@@ -267,7 +291,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 	conn.beginServe()
 	svc, err := protocol.NewGroupedMiningService(conn,
 		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model}},
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink})
 	if err != nil {
 		return err
 	}
@@ -277,7 +301,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 // serveGroups stands up one model shard per id=unified.csv pair and serves
 // all of them from this process — the many-contract deployment: each stored
 // unified dataset is an earlier contract's result in its own target space.
-func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration) error {
+func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
 	var groups []protocol.GroupSpec
 	for _, pair := range strings.Split(spec, ",") {
 		kv := strings.SplitN(pair, "=", 2)
@@ -300,7 +324,7 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 		groups = append(groups, protocol.GroupSpec{ID: kv[0], Unified: data, Model: model})
 	}
 	svc, err := protocol.NewGroupedMiningService(conn, groups,
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink})
 	if err != nil {
 		return err
 	}
@@ -332,7 +356,8 @@ func serveLoop(svc *protocol.MiningService, banner string, d time.Duration) erro
 // round trip. With -drift set, the pipeline re-derives its transform when
 // the input distribution drifts.
 func streamToService(ctx context.Context, conn transport.Conn, miner, group string,
-	pert, target *perturb.Perturbation, rng *rand.Rand, path string, chunk int, drift float64) error {
+	pert, target *perturb.Perturbation, rng *rand.Rand, path string, chunk int, drift float64,
+	sink metrics.Metrics) error {
 	if miner == "" {
 		return fmt.Errorf("missing -miner")
 	}
@@ -354,6 +379,7 @@ func streamToService(ctx context.Context, conn transport.Conn, miner, group stri
 		Rng:            rng,
 		ChunkSize:      chunk,
 		DriftThreshold: drift,
+		Metrics:        sink,
 	})
 	if err != nil {
 		return err
@@ -492,6 +518,28 @@ func buildModel(name string) (classify.Classifier, error) {
 	default:
 		return nil, fmt.Errorf("unknown model %q (want knn, svm or centroid)", name)
 	}
+}
+
+// serveMetrics binds a metrics registry to an HTTP listener: GET /metrics
+// answers the JSON snapshot, GET /healthz a liveness probe. The returned
+// stop func closes the listener and any active connections — the process
+// is exiting, so a scrape racing shutdown may see its connection reset.
+func serveMetrics(addr string) (*metrics.Registry, func(), error) {
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("metrics on http://%s/metrics (liveness /healthz)\n", ln.Addr())
+	return reg, func() { _ = srv.Close() }, nil
 }
 
 // serviceStash wraps a Conn so service frames received while the SAP

@@ -24,10 +24,17 @@
 //     transform re-derivation when the arriving distribution shifts.
 //   - Sharded multi-group serving: one miner process hosts many contract
 //     groups (ServeGroups), each a session with its own target space,
-//     model shard, refit cadence and optional member list; wire frames
-//     carry a group ID and the router keeps groups isolated — a group's
-//     refit holds only its own shard's lock, so other groups' queries
-//     keep flowing.
+//     model shard, prediction pool, batch cap, refit cadence and optional
+//     member list; wire frames carry a group ID and the router keeps
+//     groups isolated — a group's refit holds only its own shard's lock,
+//     so other groups' queries keep flowing.
+//   - Operational metrics: WithMetrics plugs a registry of atomic
+//     counters, gauges and timing histograms into the serving and
+//     streaming layers — per-group requests, batch sizes, ingest volume,
+//     queue depth, refit counts and durations, rejections, stream chunks
+//     and drift re-derivations — exportable as a JSON snapshot
+//     (Metrics.Snapshot, or over HTTP via sapnode -metrics-addr, which
+//     also answers /healthz liveness probes).
 //   - Risk accounting: the paper's Eq. 1 and Eq. 2 plus the party-count
 //     bounds behind its Figure 4.
 //
@@ -90,6 +97,20 @@
 //	// Each session's clients stamp its group; foreign peers get
 //	// ErrNotMember, unregistered groups ErrUnknownGroup.
 //	client, _ := hospitals.NewClient(clinicConn, "mining-service")
+//
+// # Watching a deployment
+//
+//	// One registry for the miner process; groups stay apart by namespace.
+//	reg := sap.NewMetrics()
+//	sess, _ := sap.Run(ctx, sap.WithParties(parties...), sap.WithMetrics(reg))
+//	go sess.Serve(ctx, svcConn, sap.NewKNN(5))
+//	// ... later, from an ops handler or test:
+//	snap := reg.Snapshot() // counters["service.default.requests"], ...
+//
+// Or from the command line: `sapnode -role miner ... -serve 1h
+// -metrics-addr :9090` serves the same snapshot as JSON at
+// http://localhost:9090/metrics. See the Metrics section of
+// ARCHITECTURE.md for the full instrument catalogue.
 //
 // # Quickstart
 //

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // negative deltas are ignored: counters are monotone
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+
+	snap := r.Snapshot()
+	if got := snap.Counters["reqs"]; got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := snap.Gauges["depth"]; got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same counter name resolved to distinct instruments")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("same gauge name resolved to distinct instruments")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("same histogram name resolved to distinct instruments")
+	}
+	// Counter "x", gauge "x" and histogram "x" are independent namespaces.
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(9)
+	snap := r.Snapshot()
+	if snap.Counters["x"] != 3 || snap.Gauges["x"] != 9 {
+		t.Fatalf("namespaces bled: %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("batch")
+	for _, v := range []int64{0, 1, 1, 3, 100, -5} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["batch"]
+	if hs.Count != 6 {
+		t.Fatalf("count = %d, want 6", hs.Count)
+	}
+	if hs.Sum != 100 {
+		t.Fatalf("sum = %d, want 100", hs.Sum)
+	}
+	if hs.Min != -5 || hs.Max != 100 {
+		t.Fatalf("min/max = %d/%d, want -5/100", hs.Min, hs.Max)
+	}
+	// 0 and -5 → le 0; 1,1 → le 1; 3 → le 3; 100 → le 127.
+	want := []Bucket{{Upper: 0, Count: 2}, {Upper: 1, Count: 2}, {Upper: 3, Count: 1}, {Upper: 127, Count: 1}}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wide")
+	h.Observe(math.MaxInt64)
+	hs := r.Snapshot().Histograms["wide"]
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Upper != math.MaxInt64 {
+		t.Fatalf("MaxInt64 bucket = %+v", hs.Buckets)
+	}
+	empty := r.Snapshot().Histograms["nothing"]
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("zero-observation snapshot = %+v, want zeros", empty)
+	}
+}
+
+func TestTimeRecordsNanoseconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	Time(h, time.Now().Add(-time.Millisecond))
+	hs := r.Snapshot().Histograms["lat"]
+	if hs.Count != 1 {
+		t.Fatalf("count = %d, want 1", hs.Count)
+	}
+	if hs.Sum < int64(time.Millisecond) {
+		t.Fatalf("sum = %dns, want ≥ 1ms", hs.Sum)
+	}
+}
+
+// TestSnapshotJSONGolden pins the exact JSON wire shape of a snapshot —
+// the format cmd/sapnode serves under -metrics-addr and the bench harness
+// records alongside ns/op. Map keys marshal sorted, so the serialization is
+// deterministic.
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.ward-a.requests").Add(3)
+	r.Counter("service.rejects.unknown_group").Inc()
+	r.Gauge("service.ward-a.ingest.queue_depth").Set(2)
+	h := r.Histogram("service.ward-a.batch_size")
+	h.Observe(1)
+	h.Observe(64)
+
+	got, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"counters":{"service.rejects.unknown_group":1,"service.ward-a.requests":3},` +
+		`"gauges":{"service.ward-a.ingest.queue_depth":2},` +
+		`"histograms":{"service.ward-a.batch_size":{"count":2,"sum":65,"min":1,"max":64,` +
+		`"buckets":[{"le":1,"count":1},{"le":127,"count":1}]}}}`
+	if string(got) != want {
+		t.Fatalf("snapshot JSON:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(2)
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want application/json", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["reqs"] != 2 {
+		t.Fatalf("served snapshot = %+v", snap)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status = %d, want 405", dresp.StatusCode)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines; run under
+// -race this doubles as the data-race proof for the atomic implementation.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			h := r.Histogram("vals")
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				r.Gauge("last").Set(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race live updates safely
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["hits"] != goroutines*each {
+		t.Fatalf("hits = %d, want %d", snap.Counters["hits"], goroutines*each)
+	}
+	if snap.Histograms["vals"].Count != goroutines*each {
+		t.Fatalf("observations = %d, want %d", snap.Histograms["vals"].Count, goroutines*each)
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	m := Nop()
+	m.Counter("x").Inc()
+	m.Counter("x").Add(5)
+	m.Gauge("y").Set(3)
+	m.Gauge("y").Add(1)
+	m.Histogram("z").Observe(9)
+	// Nothing to assert beyond "does not panic and allocates nothing".
+	n := testing.AllocsPerRun(100, func() {
+		m.Counter("x").Inc()
+		m.Histogram("z").Observe(1)
+	})
+	if n != 0 {
+		t.Fatalf("nop instruments allocate %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,200 @@
+package protocol
+
+// Tests for the serving layer's instrumentation (ServiceConfig.Metrics) and
+// the per-group Workers/MaxBatch overrides on GroupSpec.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// TestGroupSpecValidationMessages drives the per-group override rejections
+// through NewGroupedMiningService and asserts the exact message, matching
+// the facade's option-validation tables.
+func TestGroupSpecValidationMessages(t *testing.T) {
+	net := transport.NewMemNetwork()
+	conn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	d := labelledLine(t, 4)
+
+	for _, tc := range []struct {
+		name string
+		spec GroupSpec
+		want string
+	}{
+		{"negative workers",
+			GroupSpec{ID: "a", Unified: d, Model: classify.NewKNN(1), Workers: -1},
+			`protocol: bad configuration: group "a" has a negative worker count -1`},
+		{"negative batch cap",
+			GroupSpec{ID: "a", Unified: d, Model: classify.NewKNN(1), MaxBatch: -2},
+			`protocol: bad configuration: group "a" has a negative batch cap -2`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewGroupedMiningService(conn, []GroupSpec{tc.spec}, ServiceConfig{})
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("err = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestPerGroupWorkersAndMaxBatch checks the override/inherit contract of
+// GroupSpec.Workers and GroupSpec.MaxBatch against the service-wide config.
+func TestPerGroupWorkersAndMaxBatch(t *testing.T) {
+	d := labelledLine(t, 4)
+	cfg := ServiceConfig{Workers: 3, MaxBatch: 100}.withDefaults()
+
+	inherit, err := newModelShard(GroupSpec{ID: "i", Unified: d, Model: classify.NewKNN(1)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inherit.workers != 3 || inherit.maxBatch != 100 {
+		t.Fatalf("inheriting shard got workers=%d maxBatch=%d, want 3/100",
+			inherit.workers, inherit.maxBatch)
+	}
+	override, err := newModelShard(
+		GroupSpec{ID: "o", Unified: d, Model: classify.NewKNN(1), Workers: 1, MaxBatch: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if override.workers != 1 || override.maxBatch != 2 {
+		t.Fatalf("overriding shard got workers=%d maxBatch=%d, want 1/2",
+			override.workers, override.maxBatch)
+	}
+}
+
+// TestPerGroupMaxBatchEnforced serves two groups with different batch caps
+// from one service and checks the cap is enforced per group, not
+// service-wide.
+func TestPerGroupMaxBatchEnforced(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+
+	groups := []GroupSpec{
+		{ID: "small", Unified: labelledLineAt(t, 4, 0), Model: classify.NewKNN(1), MaxBatch: 2},
+		{ID: "big", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1)},
+	}
+	_, stop := startGroupedService(t, svcConn, groups, ServiceConfig{MaxBatch: 64})
+	defer stop()
+	ctx := testCtx(t)
+
+	batch := [][]float64{{0.1}, {0.2}, {0.3}}
+	small := groupClient(t, net, "cli-small", "svc", "small")
+	if _, err := small.ClassifyBatch(ctx, batch); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("3-record batch to capped group: err = %v, want ErrBatchTooLarge", err)
+	}
+
+	big := groupClient(t, net, "cli-big", "svc", "big")
+	if _, err := big.ClassifyBatch(ctx, batch); err != nil {
+		t.Fatalf("3-record batch to uncapped group: %v", err)
+	}
+}
+
+// groupClient opens a fresh endpoint (a ServiceClient owns its connection's
+// receive side, so clients never share one) and binds a group client to it,
+// both released at cleanup.
+func groupClient(t *testing.T, net transport.Network, name, miner, group string) *ServiceClient {
+	t.Helper()
+	conn, err := net.Endpoint(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewGroupServiceClient(conn, miner, group)
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		conn.Close()
+	})
+	return client
+}
+
+// TestServiceMetricsCounters runs a scripted workload — queries, stream
+// ingest with a refit, an unknown-group frame, a non-member frame — against
+// an instrumented two-group service and checks every advertised counter,
+// including that group beta's namespace stays untouched by alpha's traffic.
+func TestServiceMetricsCounters(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+
+	reg := metrics.NewRegistry()
+	groups := []GroupSpec{
+		{ID: "alpha", Unified: labelledLineAt(t, 4, 0), Model: classify.NewKNN(1), RefitEvery: 2},
+		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1),
+			Members: []string{"someone-else"}},
+	}
+	_, stop := startGroupedService(t, svcConn, groups, ServiceConfig{Metrics: reg})
+	defer stop()
+	ctx := testCtx(t)
+
+	alpha := groupClient(t, net, "cli-alpha", "svc", "alpha")
+	// 3 classify frames: two 1-record, one 2-record.
+	for i := 0; i < 2; i++ {
+		if _, err := alpha.Classify(ctx, []float64{0.25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := alpha.ClassifyBatch(ctx, [][]float64{{0.1}, {0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ingest chunks of 1 record each; RefitEvery=2 → exactly one refit.
+	for i := 0; i < 2; i++ {
+		if _, err := alpha.PushChunk(ctx, [][]float64{{1.5}}, []int{7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One unknown-group rejection and one membership rejection.
+	ghost := groupClient(t, net, "cli-ghost", "svc", "gamma")
+	if _, err := ghost.Classify(ctx, []float64{0.5}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("unknown group err = %v", err)
+	}
+	outsider := groupClient(t, net, "cli-outsider", "svc", "beta")
+	if _, err := outsider.Classify(ctx, []float64{0.5}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("non-member err = %v", err)
+	}
+
+	snap := reg.Snapshot()
+	for counterName, want := range map[string]int64{
+		"service.alpha.requests":           3,
+		"service.alpha.ingest.chunks":      2,
+		"service.alpha.ingest.records":     2,
+		"service.alpha.refit.count":        1,
+		"service.alpha.refit.errors":       0,
+		"service.alpha.rejects.not_member": 0,
+		"service.beta.requests":            0,
+		"service.beta.ingest.chunks":       0,
+		"service.beta.rejects.not_member":  1,
+		"service.rejects.unknown_group":    1,
+	} {
+		if got := snap.Counters[counterName]; got != want {
+			t.Errorf("%s = %d, want %d", counterName, got, want)
+		}
+	}
+	bs := snap.Histograms["service.alpha.batch_size"]
+	if bs.Count != 3 || bs.Sum != 4 || bs.Max != 2 {
+		t.Errorf("alpha batch_size = %+v, want count 3, sum 4, max 2", bs)
+	}
+	if rf := snap.Histograms["service.alpha.refit.ns"]; rf.Count != 1 || rf.Sum <= 0 {
+		t.Errorf("alpha refit.ns = %+v, want one positive timing", rf)
+	}
+	if bbs := snap.Histograms["service.beta.batch_size"]; bbs.Count != 0 {
+		t.Errorf("beta batch_size = %+v, want untouched (cross-group metric leak)", bbs)
+	}
+}

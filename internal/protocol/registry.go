@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -29,6 +31,13 @@ const DefaultGroup = "default"
 // receive loop and the shard's ingest goroutine. A group mid-refit can
 // absorb this many chunks before its ingest backpressures the receive loop.
 const shardIngestQueueDepth = 16
+
+// shardJobQueueDepth bounds the per-group classify queue between the
+// receive loop and the shard's prediction pool. A group whose pool is
+// saturated can absorb this many queries before further frames for it
+// backpressure the shared receive loop (and with it, other groups — the
+// same bounded-isolation contract as the ingest queue).
+const shardJobQueueDepth = 16
 
 // GroupSpec describes one serving group hosted by a sharded mining service.
 type GroupSpec struct {
@@ -44,6 +53,15 @@ type GroupSpec struct {
 	// inherits the service-wide cadence; negative disables automatic
 	// refits).
 	RefitEvery int
+	// Workers overrides ServiceConfig.Workers for this group: the size of
+	// the group's dedicated prediction pool (0 inherits the service-wide
+	// size). Every group owns its pool and a bounded job queue, so a group
+	// saturated with slow queries stalls other groups' predictions only
+	// once its own queue overflows back into the shared receive loop.
+	Workers int
+	// MaxBatch overrides ServiceConfig.MaxBatch for this group (0 inherits
+	// the service-wide cap).
+	MaxBatch int
 	// Members optionally restricts the group to the named transport
 	// endpoints. Empty admits any peer; non-empty means frames from peers
 	// outside the list are answered with ErrNotMember. The check keys off
@@ -66,6 +84,7 @@ type modelShard struct {
 	dim        int
 	maxBatch   int
 	refitEvery int
+	workers    int
 	members    map[string]struct{} // nil: open to any peer
 
 	// modelMu guards the served model: workers predict under the read lock
@@ -81,9 +100,26 @@ type modelShard struct {
 	// ingested is the lifetime ingest total, readable concurrently.
 	ingested atomic.Int64
 
+	// jobs carries classify frames from the receive loop to the shard's
+	// dedicated prediction pool (sized by GroupSpec.Workers); its bounded
+	// buffer keeps one saturated group from stalling the receive loop
+	// until shardJobQueueDepth queries are already waiting.
+	jobs chan serviceJob
 	// ingestQ carries ingest frames from the receive loop to the shard's
 	// ingest goroutine.
 	ingestQ chan serviceJob
+
+	// Instruments, resolved once at construction under the group's metric
+	// namespace "service.<id>." so the hot path is a single atomic update.
+	mRequests     metrics.Counter   // classify frames answered
+	mBatchSize    metrics.Histogram // records per classify frame
+	mIngestChunks metrics.Counter   // ingest frames folded in
+	mIngestRecs   metrics.Counter   // records folded in
+	mQueueDepth   metrics.Gauge     // ingest queue occupancy
+	mRefits       metrics.Counter   // completed refits
+	mRefitNanos   metrics.Histogram // refit wall time (ns)
+	mRefitErrors  metrics.Counter   // failed refits (ErrRefit recoveries)
+	mNotMember    metrics.Counter   // frames refused by the Members ACL
 }
 
 // newModelShard validates one group spec, trains its model on its unified
@@ -98,6 +134,12 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.Model == nil {
 		return nil, fmt.Errorf("%w: group %q has a nil classifier", ErrBadConfig, spec.ID)
 	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("%w: group %q has a negative worker count %d", ErrBadConfig, spec.ID, spec.Workers)
+	}
+	if spec.MaxBatch < 0 {
+		return nil, fmt.Errorf("%w: group %q has a negative batch cap %d", ErrBadConfig, spec.ID, spec.MaxBatch)
+	}
 	training := spec.Unified.Clone()
 	if err := spec.Model.Fit(training.Clone()); err != nil {
 		return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
@@ -105,6 +147,14 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	refitEvery := spec.RefitEvery
 	if refitEvery == 0 {
 		refitEvery = cfg.RefitEvery
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = cfg.Workers
+	}
+	maxBatch := spec.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = cfg.MaxBatch
 	}
 	var members map[string]struct{}
 	if len(spec.Members) > 0 {
@@ -116,15 +166,28 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 			members[m] = struct{}{}
 		}
 	}
+	ns := "service." + spec.ID + "."
 	return &modelShard{
 		id:         spec.ID,
 		dim:        training.Dim(),
-		maxBatch:   cfg.MaxBatch,
+		maxBatch:   maxBatch,
 		refitEvery: refitEvery,
+		workers:    workers,
 		members:    members,
 		model:      spec.Model,
 		training:   training,
+		jobs:       make(chan serviceJob, shardJobQueueDepth),
 		ingestQ:    make(chan serviceJob, shardIngestQueueDepth),
+
+		mRequests:     cfg.Metrics.Counter(ns + "requests"),
+		mBatchSize:    cfg.Metrics.Histogram(ns + "batch_size"),
+		mIngestChunks: cfg.Metrics.Counter(ns + "ingest.chunks"),
+		mIngestRecs:   cfg.Metrics.Counter(ns + "ingest.records"),
+		mQueueDepth:   cfg.Metrics.Gauge(ns + "ingest.queue_depth"),
+		mRefits:       cfg.Metrics.Counter(ns + "refit.count"),
+		mRefitNanos:   cfg.Metrics.Histogram(ns + "refit.ns"),
+		mRefitErrors:  cfg.Metrics.Counter(ns + "refit.errors"),
+		mNotMember:    cfg.Metrics.Counter(ns + "rejects.not_member"),
 	}, nil
 }
 
@@ -156,6 +219,10 @@ type MiningService struct {
 	cfg    ServiceConfig
 	shards map[string]*modelShard // immutable after construction
 	order  []string               // registration order, for Groups()
+
+	// mUnknownGroup counts frames addressed to groups this service does not
+	// host — the one rejection with no shard namespace to land in.
+	mUnknownGroup metrics.Counter
 }
 
 // NewMiningService trains the given classifier on the miner's unified
@@ -178,9 +245,10 @@ func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg Servic
 	}
 	cfg = cfg.withDefaults()
 	s := &MiningService{
-		conn:   conn,
-		cfg:    cfg,
-		shards: make(map[string]*modelShard, len(groups)),
+		conn:          conn,
+		cfg:           cfg,
+		shards:        make(map[string]*modelShard, len(groups)),
+		mUnknownGroup: cfg.Metrics.Counter("service.rejects.unknown_group"),
 	}
 	for _, spec := range groups {
 		if _, dup := s.shards[spec.ID]; dup {
@@ -220,12 +288,11 @@ func (s *MiningService) GroupIngested(group string) (int, error) {
 	return int(sh.ingested.Load()), nil
 }
 
-// serviceJob is one accepted request travelling from the receive loop to a
-// worker (classify) or a shard's ingest goroutine (ingest).
+// serviceJob is one accepted request travelling from the receive loop to the
+// addressed shard's prediction pool (classify) or ingest goroutine (ingest).
 type serviceJob struct {
-	from  string
-	shard *modelShard
-	req   *serviceWire
+	from string
+	req  *serviceWire
 }
 
 // serviceOut is one encoded response travelling from a worker to the single
@@ -246,10 +313,12 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 	}
 	sh, ok := s.shards[group]
 	if !ok {
+		s.mUnknownGroup.Inc()
 		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 			Code: codeUnknownGroup, Err: fmt.Sprintf("no serving group %q", group)}
 	}
 	if !sh.admits(from) {
+		sh.mNotMember.Inc()
 		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 			Code: codeNotMember, Err: fmt.Sprintf("peer %q is not a member of group %q", from, group)}
 	}
@@ -257,8 +326,11 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 }
 
 // Serve answers classification and ingest requests until ctx is cancelled
-// or the transport closes. Classify requests are dispatched to a pool of
-// cfg.Workers prediction goroutines shared across groups; ingest requests
+// or the transport closes. Classify requests are dispatched to the
+// addressed group's dedicated prediction pool (GroupSpec.Workers,
+// defaulting to cfg.Workers goroutines per group) through a bounded
+// per-group job queue, so one group's slow queries stall other groups only
+// after shardJobQueueDepth of its own are already waiting; ingest requests
 // are dispatched to the addressed group's dedicated ingest goroutine, so
 // appends stay ordered within a group and a refit runs off the receive
 // loop (other groups stall only if the refitting group's bounded ingest
@@ -266,8 +338,12 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 // Malformed frames are answered with a typed error response (or dropped
 // when they cannot be attributed) rather than terminating the service.
 func (s *MiningService) Serve(ctx context.Context) error {
-	jobs := make(chan serviceJob)
-	out := make(chan serviceOut, s.cfg.Workers)
+	// One response-buffer slot per prediction goroutine across all pools.
+	totalWorkers := 0
+	for _, sh := range s.shards {
+		totalWorkers += sh.workers
+	}
+	out := make(chan serviceOut, totalWorkers)
 
 	var senderWg sync.WaitGroup
 	senderWg.Add(1)
@@ -286,18 +362,20 @@ func (s *MiningService) Serve(ctx context.Context) error {
 	}()
 
 	var workerWg sync.WaitGroup
-	for i := 0; i < s.cfg.Workers; i++ {
-		workerWg.Add(1)
-		go func() {
-			defer workerWg.Done()
-			for j := range jobs {
-				payload, err := encodeServiceWire(j.shard.handle(j.req))
-				if err != nil {
-					continue
+	for _, sh := range s.shards {
+		for i := 0; i < sh.workers; i++ {
+			workerWg.Add(1)
+			go func(sh *modelShard) {
+				defer workerWg.Done()
+				for j := range sh.jobs {
+					payload, err := encodeServiceWire(sh.handle(j.req))
+					if err != nil {
+						continue
+					}
+					out <- serviceOut{to: j.from, payload: payload}
 				}
-				out <- serviceOut{to: j.from, payload: payload}
-			}
-		}()
+			}(sh)
+		}
 	}
 
 	var ingestWg sync.WaitGroup
@@ -306,6 +384,10 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		go func(sh *modelShard) {
 			defer ingestWg.Done()
 			for j := range sh.ingestQ {
+				// Paired with the enqueue-side Add(1): deltas stay exact
+				// under concurrent enqueue/dequeue, where Set(len(chan))
+				// from two goroutines could leave a stale last write.
+				sh.mQueueDepth.Add(-1)
 				payload, err := encodeServiceWire(sh.ingest(j.req))
 				if err != nil {
 					continue
@@ -318,9 +400,9 @@ func (s *MiningService) Serve(ctx context.Context) error {
 	shutdown := func() {
 		for _, sh := range s.shards {
 			close(sh.ingestQ)
+			close(sh.jobs)
 		}
 		ingestWg.Wait()
-		close(jobs)
 		workerWg.Wait()
 		close(out)
 		senderWg.Wait()
@@ -360,16 +442,21 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			continue
 		}
 		if req.Kind == kindIngest {
+			// Increment before the send so the dequeuer's Add(-1) — which
+			// can only run after the send completes — never drives the
+			// gauge below zero; the abort path undoes it.
+			shard.mQueueDepth.Add(1)
 			select {
 			case shard.ingestQ <- serviceJob{from: env.From, req: req}:
 			case <-ctx.Done():
+				shard.mQueueDepth.Add(-1)
 				shutdown()
 				return nil
 			}
 			continue
 		}
 		select {
-		case jobs <- serviceJob{from: env.From, shard: shard, req: req}:
+		case shard.jobs <- serviceJob{from: env.From, req: req}:
 		case <-ctx.Done():
 			shutdown()
 			return nil
@@ -413,6 +500,8 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	}
 	sh.sinceRefit += len(req.Batch)
 	sh.ingested.Add(int64(len(req.Batch)))
+	sh.mIngestChunks.Inc()
+	sh.mIngestRecs.Add(int64(len(req.Batch)))
 	resp.Accepted = sh.training.Len()
 	if sh.refitEvery > 0 && sh.sinceRefit >= sh.refitEvery {
 		if err := sh.refit(); err != nil {
@@ -420,6 +509,7 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 			// the refreshed model is not live; answer with the dedicated
 			// refit code so the pusher knows not to re-push, and keep
 			// serving on the previous fit.
+			sh.mRefitErrors.Inc()
 			resp.Code, resp.Err = codeRefit, err.Error()
 			return resp
 		}
@@ -433,18 +523,25 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 // finish on the old fit and later ones see the new one. Other groups'
 // shards are untouched — their queries keep flowing under their own locks.
 func (sh *modelShard) refit() error {
+	start := time.Now()
 	snapshot := sh.training.Clone()
 	sh.modelMu.Lock()
 	defer sh.modelMu.Unlock()
 	if err := sh.model.Fit(snapshot); err != nil {
 		return fmt.Errorf("protocol: refit group %q model: %w", sh.id, err)
 	}
+	// Count and time only completed refits, so refit.ns.sum/refit.count is
+	// a true mean duration; failed attempts are visible via refit.errors.
+	sh.mRefits.Inc()
+	metrics.Time(sh.mRefitNanos, start)
 	return nil
 }
 
 // handle validates one classify request and predicts every record in its
 // batch under the shard's read lock.
 func (sh *modelShard) handle(req *serviceWire) *serviceWire {
+	sh.mRequests.Inc()
+	sh.mBatchSize.Observe(int64(len(req.Batch)))
 	resp := &serviceWire{ID: req.ID, Group: req.Group, Response: true}
 	if len(req.Batch) == 0 {
 		resp.Code, resp.Err = codeBadQuery, "empty batch"

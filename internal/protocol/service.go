@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -170,11 +171,15 @@ func decodeServiceWire(payload []byte) (*serviceWire, error) {
 // ServiceConfig tunes the miner-side serving loop. One config applies
 // service-wide; per-group overrides live on GroupSpec.
 type ServiceConfig struct {
-	// Workers is the number of goroutines predicting concurrently across
-	// all groups (default: GOMAXPROCS).
+	// Workers is the default size of each group's dedicated prediction pool
+	// (default: GOMAXPROCS). GroupSpec.Workers overrides it per group. The
+	// pools are per group and spawned up front, so a miner hosting G
+	// groups runs up to G×Workers prediction goroutines; many-group
+	// deployments should set a small per-group Workers to bound the total.
 	Workers int
 	// MaxBatch caps the records accepted in one request (default 4096).
 	// Oversized batches are rejected with ErrBatchTooLarge, not served.
+	// GroupSpec.MaxBatch overrides it per group.
 	MaxBatch int
 	// RefitEvery is the number of stream-ingested records a group
 	// accumulates before the service retrains that group's model on its
@@ -183,6 +188,11 @@ type ServiceConfig struct {
 	// set until the next triggered refit — useful when a deployment refits
 	// on its own schedule). GroupSpec.RefitEvery overrides it per group.
 	RefitEvery int
+	// Metrics receives the service's instrumentation: per-group request,
+	// ingest and refit counters under the "service.<group>." namespace plus
+	// the service-wide unknown-group rejection count (see ARCHITECTURE.md
+	// for the full catalogue). Nil discards all updates.
+	Metrics metrics.Metrics
 }
 
 // DefaultMaxBatch is the batch-size cap applied when ServiceConfig.MaxBatch
@@ -206,6 +216,9 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	}
 	if c.RefitEvery == 0 {
 		c.RefitEvery = DefaultRefitEvery
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Nop()
 	}
 	return c
 }

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/perturb"
 	"repro/internal/stat"
 )
@@ -125,6 +126,10 @@ type Config struct {
 	// BufferDepth is the emitted-chunk buffer capacity (default
 	// DefaultBufferDepth). A full buffer blocks the producer.
 	BufferDepth int
+	// Metrics receives the pipeline's instrumentation under the "stream."
+	// namespace: chunks/records emitted, drift re-derivations, and the
+	// emitted-chunk buffer occupancy. Nil discards all updates.
+	Metrics metrics.Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BufferDepth <= 0 {
 		c.BufferDepth = DefaultBufferDepth
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Nop()
 	}
 	return c
 }
@@ -152,6 +160,13 @@ type Pipeline struct {
 	out     chan Chunk
 	records atomic.Int64
 	epoch   atomic.Int64
+
+	// Instruments, resolved once at construction under the "stream."
+	// namespace so the per-chunk cost is a few atomic updates.
+	mChunks        metrics.Counter // chunks emitted
+	mRecords       metrics.Counter // records emitted
+	mRederivations metrics.Counter // drift-triggered transform re-derivations
+	mBuffer        metrics.Gauge   // emitted-chunk buffer occupancy
 }
 
 // New validates the configuration and assembles an unstarted pipeline.
@@ -184,6 +199,11 @@ func New(cfg Config) (*Pipeline, error) {
 		adaptor: adaptor,
 		acc:     acc,
 		out:     make(chan Chunk, cfg.BufferDepth),
+
+		mChunks:        cfg.Metrics.Counter("stream.chunks"),
+		mRecords:       cfg.Metrics.Counter("stream.records"),
+		mRederivations: cfg.Metrics.Counter("stream.rederivations"),
+		mBuffer:        cfg.Metrics.Gauge("stream.buffer_occupancy"),
 	}, nil
 }
 
@@ -230,6 +250,9 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 			select {
 			case p.out <- chunk:
 				p.records.Add(int64(chunk.Data.Len()))
+				p.mChunks.Inc()
+				p.mRecords.Add(int64(chunk.Data.Len()))
+				p.mBuffer.Set(int64(len(p.out)))
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -339,5 +362,6 @@ func (p *Pipeline) rederive() error {
 	p.acc.Reset()
 	p.ref = nil // next measurable covariance becomes the new reference
 	p.epoch.Add(1)
+	p.mRederivations.Inc()
 	return nil
 }

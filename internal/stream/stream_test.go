@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/perturb"
 )
 
@@ -315,5 +316,39 @@ func TestStreamConfigValidation(t *testing.T) {
 	}
 	if err := p.Run(context.Background(), nil); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("nil source: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestStreamMetrics checks the pipeline's instrumentation: every emitted
+// chunk and record is counted, each drift re-derivation increments the
+// rederivation counter in lockstep with the epoch, and the buffer gauge is
+// bounded by the configured depth.
+func TestStreamMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	calm := mkData(t, rng, "calm", 200, 4, 0)
+	shifted := mkData(t, rng, "shifted", 200, 4, 25)
+
+	reg := metrics.NewRegistry()
+	p := mkPipeline(t, rng, 4, 0, Config{ChunkSize: 32, DriftThreshold: 0.5, Metrics: reg})
+	chunks, err := drain(t, p, &sliceSource{parts: []*dataset.Dataset{calm, shifted}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["stream.chunks"]; got != int64(len(chunks)) {
+		t.Fatalf("stream.chunks = %d, want %d", got, len(chunks))
+	}
+	if got := snap.Counters["stream.records"]; got != int64(calm.Len()+shifted.Len()) {
+		t.Fatalf("stream.records = %d, want %d", got, calm.Len()+shifted.Len())
+	}
+	if got := snap.Counters["stream.rederivations"]; got != int64(p.Epoch()) {
+		t.Fatalf("stream.rederivations = %d, want epoch %d", got, p.Epoch())
+	}
+	if p.Epoch() == 0 {
+		t.Fatal("distribution shift never triggered a re-derivation")
+	}
+	if depth := snap.Gauges["stream.buffer_occupancy"]; depth < 0 || depth > DefaultBufferDepth {
+		t.Fatalf("stream.buffer_occupancy = %d, want within [0,%d]", depth, DefaultBufferDepth)
 	}
 }

@@ -30,6 +30,8 @@ func TestSessionOptionValidationMessages(t *testing.T) {
 			"sap: bad input: refit cadence -3 (0 keeps the default, -1 disables)"},
 		{"empty group id", sap.WithGroupID(""),
 			"sap: bad input: empty group id"},
+		{"nil metrics sink", sap.WithMetrics(nil),
+			"sap: bad input: nil metrics sink"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := sap.New(tc.opt)

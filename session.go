@@ -8,11 +8,31 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/perturb"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
+
+// Metrics types, re-exported so deployments can instrument the serving and
+// streaming layers entirely through the facade. Plug a registry in with
+// WithMetrics; read it back with Metrics.Snapshot (or serve it over HTTP —
+// *Metrics is an http.Handler, and cmd/sapnode mounts it under
+// -metrics-addr).
+type (
+	// Metrics is the default in-memory metrics registry: atomic counters,
+	// gauges and timing histograms, exportable with Snapshot.
+	Metrics = metrics.Registry
+	// MetricsSink is the pluggable instrumentation interface a session
+	// updates; *Metrics implements it, and so may any custom backend.
+	MetricsSink = metrics.Metrics
+	// MetricsSnapshot is a point-in-time export of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetrics returns an empty in-memory metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
 // Transport types, re-exported so a deployment can be wired entirely against
 // the facade: an in-memory hub for single-process serving and a TCP network
@@ -78,6 +98,7 @@ type config struct {
 	maxBatch     int
 	refitEvery   int
 	group        string
+	metrics      MetricsSink
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -173,6 +194,23 @@ func WithServiceRefitEvery(n int) Option {
 			return nil
 		}
 		c.refitEvery = n
+		return nil
+	}
+}
+
+// WithMetrics plugs an instrumentation sink into the session's serving and
+// streaming layers: Serve/ServeGroups count requests, batch sizes, ingest,
+// queue depth, refits and rejections per group (under "service.<group>."),
+// and Session.Stream counts chunks, records, re-derivations and buffer
+// occupancy (under "stream."). Use NewMetrics for the default in-memory
+// registry and read it with Snapshot; see ARCHITECTURE.md for the full
+// instrument catalogue.
+func WithMetrics(m MetricsSink) Option {
+	return func(c *config) error {
+		if m == nil {
+			return fmt.Errorf("%w: nil metrics sink", ErrBadInput)
+		}
+		c.metrics = m
 		return nil
 	}
 }

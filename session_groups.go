@@ -32,12 +32,14 @@ type Group struct {
 
 // ServeGroups stands up one sharded mining service hosting every given
 // group on conn, and serves until ctx is cancelled or the transport closes.
-// Each group gets its own model shard — its own training set, refit cadence
-// and lock — so one group's refit never blocks another group's queries, and
-// a client registered to one group cannot query another group's model when
-// Members lists are set. The service-wide worker pool and batch cap come
-// from the first group's session options (WithServiceWorkers,
-// WithServiceMaxBatch).
+// Each group gets its own model shard — its own training set, refit cadence,
+// lock, prediction pool and batch cap (WithServiceWorkers and
+// WithServiceMaxBatch on its session; unset selects the service defaults) —
+// so one group's refit or slow queries never block another group's, and a
+// client registered to one group cannot query another group's model when
+// Members lists are set. Instrumentation comes from the first session that
+// configured WithMetrics: one sink for the whole miner process, with each
+// group counted under its own "service.<group>." namespace.
 func ServeGroups(ctx context.Context, conn Conn, groups ...Group) error {
 	specs, cfg, err := groupSpecs(groups)
 	if err != nil {
@@ -90,16 +92,25 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 			Unified:    g.Session.Unified(),
 			Model:      g.Model,
 			RefitEvery: g.Session.cfg.refitEvery,
+			Workers:    g.Session.cfg.workers,
+			MaxBatch:   g.Session.cfg.maxBatch,
 			Members:    append([]string(nil), g.Members...),
 		})
 	}
-	// RefitEvery stays zero (the protocol default) service-wide: each
-	// group's cadence comes from its own session via its spec, so a group
-	// that set nothing gets the documented default rather than silently
-	// inheriting the first group's cadence.
-	cfg = protocol.ServiceConfig{
-		Workers:  groups[0].Session.cfg.workers,
-		MaxBatch: groups[0].Session.cfg.maxBatch,
+	// Workers, MaxBatch and RefitEvery are per group: each session's
+	// WithServiceWorkers/WithServiceMaxBatch/WithServiceRefitEvery ride its
+	// own spec, so one group's pool size or batch cap never leaks into
+	// another's. Service-wide only the defaults (zero: GOMAXPROCS workers,
+	// DefaultMaxBatch, DefaultRefitEvery) and a single metrics sink remain
+	// — observability is a property of the miner process, and the
+	// per-group namespaces keep the groups apart inside one registry. The
+	// first session that configured WithMetrics provides the sink, so it
+	// is honored no matter which group carries it.
+	for _, g := range groups {
+		if m := g.Session.cfg.metrics; m != nil {
+			cfg.Metrics = m
+			break
+		}
 	}
 	return specs, cfg, nil
 }

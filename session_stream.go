@@ -164,6 +164,7 @@ func (s *Session) Stream(ctx context.Context, source StreamSource, opts ...Strea
 		ChunkSize:      cfg.chunkSize,
 		DriftThreshold: cfg.drift,
 		BufferDepth:    cfg.buffer,
+		Metrics:        s.cfg.metrics,
 	})
 	if err != nil {
 		return nil, err
