@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	sap "repro"
 	"repro/internal/classify"
@@ -457,6 +458,99 @@ func BenchmarkServiceThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// slowRefitModel is a KNN whose every fit after the first also burns a
+// fixed wall-clock cost, emulating the expensive retrains of a production
+// model. Clones share the fit counter so background refits pay the cost.
+type slowRefitModel struct {
+	inner *classify.KNN
+	fits  *atomic.Int64
+	cost  time.Duration
+}
+
+func (m *slowRefitModel) Fit(d *dataset.Dataset) error {
+	if m.fits.Add(1) > 1 {
+		time.Sleep(m.cost)
+	}
+	return m.inner.Fit(d)
+}
+
+func (m *slowRefitModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
+
+func (m *slowRefitModel) Clone() classify.Classifier {
+	return &slowRefitModel{inner: classify.NewKNN(1), fits: m.fits, cost: m.cost}
+}
+
+// BenchmarkIngestUnderRefit measures ingest round-trip throughput while the
+// served model is constantly refitting, with a deliberately slow (5ms) Fit.
+// Before the background-refit swap, every cadence crossing stalled the
+// ingest lane for the whole fit — records/s was bounded by the refit cost;
+// with fit-aside-and-swap the pusher's latency stays flat, so this metric
+// tracks the swap's effect alongside BenchmarkStreamThroughput in CI.
+func BenchmarkIngestUnderRefit(b *testing.B) {
+	const chunkRecords, refitEvery, dim = 16, 64, 4
+	rng := rand.New(rand.NewSource(41))
+	x := make([][]float64, 256)
+	y := make([]int, 256)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i % 4
+	}
+	base, err := dataset.New("bench", x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	net := transport.NewMemNetwork()
+	svcConn, err := net.Endpoint("svc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svcConn.Close()
+	cliConn, err := net.Endpoint("cli")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cliConn.Close()
+	model := &slowRefitModel{inner: classify.NewKNN(1), fits: &atomic.Int64{}, cost: 5 * time.Millisecond}
+	svc, err := protocol.NewGroupedMiningService(svcConn,
+		[]protocol.GroupSpec{{ID: "bench", Unified: base, Model: model, RefitEvery: refitEvery}},
+		protocol.ServiceConfig{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ctx) }()
+	client, err := protocol.NewGroupServiceClient(cliConn, "svc", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	chunk := make([][]float64, chunkRecords)
+	labels := make([]int, chunkRecords)
+	for i := range chunk {
+		chunk[i] = base.X[i%base.Len()]
+		labels[i] = base.Y[i%base.Len()]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.PushChunk(ctx, chunk, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*chunkRecords/b.Elapsed().Seconds(), "records/s")
+	client.Close()
+	cancel()
+	if err := <-done; err != nil {
+		b.Fatal(err)
 	}
 }
 

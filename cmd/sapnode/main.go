@@ -389,6 +389,11 @@ func streamToService(ctx context.Context, conn transport.Conn, miner, group stri
 		return err
 	}
 	defer client.Close()
+	// A daemon pushing a long stream is patient: give busy rejections (the
+	// group's bounded ingest queue filled faster than its lane drains) a
+	// longer capped-exponential retry budget than the client default before
+	// ErrBusy ends the stream.
+	client.SetBackoff(protocol.Backoff{Tries: 10, Base: 5 * time.Millisecond, Max: 500 * time.Millisecond})
 
 	// The pipeline gets its own cancellable context so an early return (a
 	// rejected push) stops the producer instead of leaving it blocked on

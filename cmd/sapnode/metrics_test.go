@@ -19,6 +19,29 @@ import (
 	"repro/internal/transport"
 )
 
+// waitForRefits polls the /metrics endpoint until the named counter reaches
+// want — background refits complete asynchronously to the pushes that
+// schedule them.
+func waitForRefits(t *testing.T, base, counter string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var snap metrics.Snapshot
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+		}
+		if err == nil && snap.Counters[counter] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d (last scrape err: %v)", counter, snap.Counters[counter], want, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestMetricsAddrExposesWorkloadCounters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real sockets")
@@ -76,22 +99,26 @@ func TestMetricsAddrExposesWorkloadCounters(t *testing.T) {
 	}
 	wardA.Close()
 
-	// Two 4-record chunks into ward-b; -refit 4 retrains after each chunk.
+	// Two 4-record chunks into ward-b; -refit 4 schedules a background
+	// refit after each chunk. Refits are asynchronous, so wait for each to
+	// land in the counters before pushing on — that keeps the final
+	// snapshot exactly countable.
 	wardB, err := protocol.NewGroupServiceClient(node, "miner", "ward-b")
 	if err != nil {
 		t.Fatal(err)
 	}
+	base := "http://" + metricsAddr
 	chunk := [][]float64{{0.2, 0.2, 0.2, 0.2}, {0.3, 0.3, 0.3, 0.3}, {0.4, 0.4, 0.4, 0.4}, {0.5, 0.5, 0.5, 0.5}}
 	labels := []int{201, 202, 203, 204}
 	for i := 0; i < 2; i++ {
 		if _, err := wardB.PushChunk(ctx, chunk, labels); err != nil {
 			t.Fatalf("ward-b chunk %d: %v", i, err)
 		}
+		waitForRefits(t, base, "service.ward-b.refit.count", int64(i+1))
 	}
 	wardB.Close()
 
 	// Liveness first, then the snapshot.
-	base := "http://" + metricsAddr
 	hresp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)

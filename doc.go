@@ -22,12 +22,17 @@
 //     through a chunked perturbation pipeline into the live service, which
 //     grows its training set and refits on a cadence — with drift-watched
 //     transform re-derivation when the arriving distribution shifts.
+//     Refits run in the background: a fresh model instance is fitted off
+//     to the side and atomically swapped in, so ingest and queries never
+//     wait on a retrain, and a failed refit leaves the previous fit
+//     serving (reported once as ErrRefit).
 //   - Sharded multi-group serving: one miner process hosts many contract
 //     groups (ServeGroups), each a session with its own target space,
 //     model shard, prediction pool, batch cap, refit cadence and optional
 //     member list; wire frames carry a group ID and the router keeps
-//     groups isolated — a group's refit holds only its own shard's lock,
-//     so other groups' queries keep flowing.
+//     groups isolated — per-group queues are bounded and fail fast, so a
+//     saturated group is answered with a typed ErrBusy (clients retry
+//     with capped exponential backoff) instead of stalling anyone else.
 //   - Operational metrics: WithMetrics plugs a registry of atomic
 //     counters, gauges and timing histograms into the serving and
 //     streaming layers — per-group requests, batch sizes, ingest volume,

@@ -30,6 +30,20 @@ type Classifier interface {
 	Predict(x []float64) (int, error)
 }
 
+// Cloner is implemented by classifiers that can hand out a fresh, unfitted
+// instance of themselves — same configuration, no training state. Serving
+// layers rely on it to retrain off to the side: a replacement model is
+// fitted on a training-set snapshot while the original instance keeps
+// answering predictions untouched, and is only swapped in once its fit
+// succeeded. All built-in classifiers (KNN, SVM, NearestCentroid) implement
+// it; wrappers should return a clone that preserves whatever state makes
+// the wrapper meaningful.
+type Cloner interface {
+	Classifier
+	// Clone returns a fresh unfitted classifier with the same configuration.
+	Clone() Classifier
+}
+
 // Accuracy scores a fitted classifier on a test set: the fraction of
 // correctly predicted records.
 func Accuracy(c Classifier, test *dataset.Dataset) (float64, error) {
@@ -144,7 +158,10 @@ type NearestCentroid struct {
 // NewNearestCentroid returns an unfitted nearest-centroid classifier.
 func NewNearestCentroid() *NearestCentroid { return &NearestCentroid{} }
 
-var _ Classifier = (*NearestCentroid)(nil)
+var _ Cloner = (*NearestCentroid)(nil)
+
+// Clone implements Cloner.
+func (nc *NearestCentroid) Clone() Classifier { return NewNearestCentroid() }
 
 // Fit implements Classifier.
 func (nc *NearestCentroid) Fit(d *dataset.Dataset) error {

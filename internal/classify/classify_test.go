@@ -56,6 +56,61 @@ func TestNearestCentroidBasics(t *testing.T) {
 	}
 }
 
+// TestCloneReturnsFreshConfiguredInstance pins the Cloner contract every
+// built-in classifier honors: the clone carries the original's
+// configuration, starts unfitted, and fitting it never disturbs the
+// original's predictions — the property background model swaps rely on.
+func TestCloneReturnsFreshConfiguredInstance(t *testing.T) {
+	train, test := irisSplit(t, 3)
+	far, _ := dataset.New("far", [][]float64{
+		{90, 90, 90, 90}, {91, 91, 91, 91}, {90.5, 90.5, 90.5, 90.5},
+	}, []int{0, 1, 2})
+
+	for name, original := range map[string]Cloner{
+		"knn":      NewKNN(3),
+		"svm":      NewSVM(SVMConfig{C: 2}),
+		"centroid": NewNearestCentroid(),
+	} {
+		if err := original.Fit(train); err != nil {
+			t.Fatalf("%s: fit original: %v", name, err)
+		}
+		before := make([]int, test.Len())
+		for i, x := range test.X {
+			label, err := original.Predict(x)
+			if err != nil {
+				t.Fatalf("%s: predict: %v", name, err)
+			}
+			before[i] = label
+		}
+
+		clone := original.Clone()
+		if _, err := clone.Predict(test.X[0]); !errors.Is(err, ErrNotFitted) {
+			t.Fatalf("%s: clone of a fitted model predicts without a fit: %v", name, err)
+		}
+		// Fitting the clone on disjoint data must leave the original's
+		// predictions byte-identical.
+		if err := clone.Fit(far); err != nil {
+			t.Fatalf("%s: fit clone: %v", name, err)
+		}
+		for i, x := range test.X {
+			label, err := original.Predict(x)
+			if err != nil {
+				t.Fatalf("%s: re-predict: %v", name, err)
+			}
+			if label != before[i] {
+				t.Fatalf("%s: original prediction %d changed after fitting the clone (%d -> %d)",
+					name, i, before[i], label)
+			}
+		}
+	}
+	// A KNN clone preserves its configuration.
+	knn := &KNN{K: 7, ForceBrute: true}
+	kc, ok := knn.Clone().(*KNN)
+	if !ok || kc.K != 7 || !kc.ForceBrute {
+		t.Fatalf("KNN clone = %+v, want K=7 ForceBrute", kc)
+	}
+}
+
 func TestKNNAccuracyOnIris(t *testing.T) {
 	train, test := irisSplit(t, 1)
 	knn := NewKNN(5)

@@ -30,7 +30,11 @@ func NewKNN(k int) *KNN {
 	return &KNN{K: k}
 }
 
-var _ Classifier = (*KNN)(nil)
+var _ Cloner = (*KNN)(nil)
+
+// Clone implements Cloner: a fresh unfitted KNN with the same K and search
+// strategy.
+func (k *KNN) Clone() Classifier { return &KNN{K: k.K, ForceBrute: k.ForceBrute} }
 
 // kdTreeThreshold is the training-set size above which the kd-tree is used.
 const kdTreeThreshold = 64

@@ -99,7 +99,13 @@ type SVM struct {
 // NewSVM returns an unfitted SVM with the given configuration.
 func NewSVM(cfg SVMConfig) *SVM { return &SVM{cfg: cfg} }
 
-var _ Classifier = (*SVM)(nil)
+var _ Cloner = (*SVM)(nil)
+
+// Clone implements Cloner: a fresh unfitted SVM with the same configuration.
+// Cloning a fitted SVM carries the defaults resolved at its last Fit (kernel,
+// C, tolerances), which are the same values a fresh NewSVM would resolve on
+// the next Fit.
+func (s *SVM) Clone() Classifier { return NewSVM(s.cfg) }
 
 // Fit implements Classifier.
 func (s *SVM) Fit(d *dataset.Dataset) error {

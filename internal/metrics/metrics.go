@@ -64,6 +64,20 @@ func Time(h Histogram, start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }
 
+// FuncGauges is implemented by sinks that can derive a gauge's value on
+// demand at export time instead of storing pushed updates. Instrumented code
+// whose "current value" lives in a data structure it already owns — a
+// buffered channel's occupancy, a map's size — registers a read function
+// once and never updates the gauge again, so the exported value can never go
+// stale between pushes. *Registry implements it; sinks that do not are
+// simply updated through the push-style Gauge instead.
+type FuncGauges interface {
+	// GaugeFunc registers fn as the named gauge's value source. fn must be
+	// safe for concurrent use and must not call back into the sink (it runs
+	// during Snapshot); for a name registered both ways, the function wins.
+	GaugeFunc(name string, fn func() int64)
+}
+
 // --- atomic in-memory implementation ---
 
 // histBuckets is the fixed bucket count of the in-memory histogram: bucket i
@@ -132,6 +146,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*counter
 	gauges     map[string]*gauge
+	gaugeFuncs map[string]func() int64
 	histograms map[string]*histogram
 }
 
@@ -140,6 +155,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*counter),
 		gauges:     make(map[string]*gauge),
+		gaugeFuncs: make(map[string]func() int64),
 		histograms: make(map[string]*histogram),
 	}
 }
@@ -166,6 +182,15 @@ func (r *Registry) Gauge(name string) Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc implements FuncGauges: snapshots read the named gauge through
+// fn, live, instead of reporting the last pushed value. Registering a name
+// again replaces its function; a same-named push-style gauge is shadowed.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
 }
 
 // Histogram implements Metrics.
@@ -221,10 +246,15 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Counters[name] = c.v.Load()
 		}
 	}
-	if len(r.gauges) > 0 {
-		snap.Gauges = make(map[string]int64, len(r.gauges))
+	if len(r.gauges)+len(r.gaugeFuncs) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs))
 		for name, g := range r.gauges {
 			snap.Gauges[name] = g.v.Load()
+		}
+		// Derived gauges are read live at snapshot time and shadow any
+		// same-named pushed gauge.
+		for name, fn := range r.gaugeFuncs {
+			snap.Gauges[name] = fn()
 		}
 	}
 	if len(r.histograms) > 0 {

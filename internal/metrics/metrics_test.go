@@ -29,6 +29,30 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeFuncDerivedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	live := int64(3)
+	r.GaugeFunc("queue.depth", func() int64 { return live })
+	if got := r.Snapshot().Gauges["queue.depth"]; got != 3 {
+		t.Fatalf("derived gauge = %d, want 3", got)
+	}
+	// The function is read live at every snapshot, never cached.
+	live = 11
+	if got := r.Snapshot().Gauges["queue.depth"]; got != 11 {
+		t.Fatalf("derived gauge after change = %d, want 11", got)
+	}
+	// A derived gauge shadows a same-named pushed gauge...
+	r.Gauge("queue.depth").Set(99)
+	if got := r.Snapshot().Gauges["queue.depth"]; got != 11 {
+		t.Fatalf("derived gauge shadowing = %d, want 11 (function wins)", got)
+	}
+	// ...and re-registering replaces the function.
+	r.GaugeFunc("queue.depth", func() int64 { return -1 })
+	if got := r.Snapshot().Gauges["queue.depth"]; got != -1 {
+		t.Fatalf("re-registered gauge = %d, want -1", got)
+	}
+}
+
 func TestInstrumentIdentity(t *testing.T) {
 	r := NewRegistry()
 	if r.Counter("x") != r.Counter("x") {

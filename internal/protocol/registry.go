@@ -28,15 +28,17 @@ import (
 const DefaultGroup = "default"
 
 // shardIngestQueueDepth bounds the per-group ingest queue between the
-// receive loop and the shard's ingest goroutine. A group mid-refit can
-// absorb this many chunks before its ingest backpressures the receive loop.
+// receive loop and the shard's ingest goroutine. A group whose ingest lane
+// is behind can absorb this many chunks before further ingest frames for it
+// are answered with a typed busy rejection (ErrBusy) — the receive loop
+// never blocks on a full shard queue.
 const shardIngestQueueDepth = 16
 
 // shardJobQueueDepth bounds the per-group classify queue between the
 // receive loop and the shard's prediction pool. A group whose pool is
-// saturated can absorb this many queries before further frames for it
-// backpressure the shared receive loop (and with it, other groups — the
-// same bounded-isolation contract as the ingest queue).
+// saturated can absorb this many queries before further classify frames for
+// it are answered with ErrBusy — the same fail-fast isolation contract as
+// the ingest queue.
 const shardJobQueueDepth = 16
 
 // GroupSpec describes one serving group hosted by a sharded mining service.
@@ -46,9 +48,19 @@ type GroupSpec struct {
 	// Unified is the group's training set, already in the group's own
 	// target space. Required, non-empty.
 	Unified *dataset.Dataset
-	// Model is the classifier served to the group. Required, and each
-	// group needs its own instance — shards never share model state.
+	// Model is the classifier served to the group. Each group needs its own
+	// instance — shards never share model state. Optional when NewModel is
+	// set (the factory then builds the initial model too).
 	Model classify.Classifier
+	// NewModel returns a fresh, unfitted classifier with the group's model
+	// configuration. Background refits fit a fresh instance off to the side
+	// and atomically swap it in, so the live model is never mutated — a
+	// failed refit provably cannot corrupt it. Optional when Model
+	// implements classify.Cloner (all built-in classifiers do); required
+	// otherwise whenever refits are enabled, since without a fresh instance
+	// the service cannot honor its keep-serving-on-the-previous-fit
+	// guarantee.
+	NewModel func() classify.Classifier
 	// RefitEvery overrides ServiceConfig.RefitEvery for this group (0
 	// inherits the service-wide cadence; negative disables automatic
 	// refits).
@@ -72,13 +84,14 @@ type GroupSpec struct {
 	Members []string
 }
 
-// modelShard is one group's independent serving state. Each shard carries
-// its own model lock, so a refit in one group blocks only that group's
-// predictions; its ingest state is owned by a dedicated per-shard
-// goroutine, so a slow refit runs off the receive loop. The isolation is
-// bounded by the ingest queue: a group can absorb shardIngestQueueDepth
-// chunks mid-refit before further ingest for it backpressures the shared
-// receive loop (see the ROADMAP follow-up on a typed busy rejection).
+// modelShard is one group's independent serving state. The served model
+// lives behind an atomic pointer: prediction workers load it lock-free, and
+// the shard's refit goroutine — fed training-set snapshots by the ingest
+// goroutine — fits a *fresh* classifier instance off to the side and swaps
+// it in only on success, so the live model is never written while serving
+// and a failed fit cannot corrupt it. Each queue between the shared receive
+// loop and the shard is bounded and fail-fast: when it is full, the frame
+// is answered with a typed busy rejection instead of stalling the loop.
 type modelShard struct {
 	id         string
 	dim        int
@@ -87,13 +100,19 @@ type modelShard struct {
 	workers    int
 	members    map[string]struct{} // nil: open to any peer
 
-	// modelMu guards the served model: workers predict under the read lock
-	// while ingest-triggered refits retrain under the write lock.
-	modelMu sync.RWMutex
-	model   classify.Classifier
+	// model is the served classifier. Workers read it with a lock-free
+	// atomic load; only the initial fit (construction) and successful
+	// background refits store it, and the stored instance is never mutated
+	// afterwards.
+	model atomic.Pointer[classify.Classifier]
+	// newModel returns a fresh unfitted classifier for background refits
+	// (GroupSpec.NewModel, or the model's classify.Cloner implementation).
+	// Nil only when refits are disabled.
+	newModel func() classify.Classifier
 
 	// The growing training set and the count of records ingested since the
-	// last refit; both are touched only by the shard's ingest goroutine.
+	// last scheduled refit; both are touched only by the shard's ingest
+	// goroutine.
 	training   *dataset.Dataset
 	sinceRefit int
 
@@ -101,29 +120,49 @@ type modelShard struct {
 	ingested atomic.Int64
 
 	// jobs carries classify frames from the receive loop to the shard's
-	// dedicated prediction pool (sized by GroupSpec.Workers); its bounded
-	// buffer keeps one saturated group from stalling the receive loop
-	// until shardJobQueueDepth queries are already waiting.
+	// dedicated prediction pool (sized by GroupSpec.Workers); a full buffer
+	// makes the receive loop answer codeBusy instead of blocking.
 	jobs chan serviceJob
 	// ingestQ carries ingest frames from the receive loop to the shard's
-	// ingest goroutine.
+	// ingest goroutine, with the same fail-fast busy contract.
 	ingestQ chan serviceJob
+	// refitQ carries training-set snapshots from the ingest goroutine to
+	// the shard's refit goroutine. Its single-slot buffer coalesces refits:
+	// while one is pending, further cadence crossings keep accumulating and
+	// re-trigger on a later chunk, so at most one snapshot is ever queued
+	// behind the fit in progress.
+	refitQ chan *dataset.Dataset
+	// refitFail holds the message of the most recent failed refit until it
+	// is either reported on an ingest response (codeRefit, so one pusher
+	// learns the model is lagging) or cleared by a successful refit. A
+	// failure with no ingest traffic after it is visible only through the
+	// refit.errors counter — monitor it; a lag signal that does not depend
+	// on a next push is a recorded ROADMAP follow-up (staleness gauge).
+	refitFail atomic.Pointer[string]
+
+	// ingestHold is nil in production. Tests set it before Serve to park
+	// the ingest goroutine (it blocks on the channel before each dequeue),
+	// wedging the lane deterministically so queue-full busy rejections can
+	// be exercised.
+	ingestHold chan struct{}
 
 	// Instruments, resolved once at construction under the group's metric
 	// namespace "service.<id>." so the hot path is a single atomic update.
-	mRequests     metrics.Counter   // classify frames answered
-	mBatchSize    metrics.Histogram // records per classify frame
-	mIngestChunks metrics.Counter   // ingest frames folded in
-	mIngestRecs   metrics.Counter   // records folded in
-	mQueueDepth   metrics.Gauge     // ingest queue occupancy
-	mRefits       metrics.Counter   // completed refits
-	mRefitNanos   metrics.Histogram // refit wall time (ns)
-	mRefitErrors  metrics.Counter   // failed refits (ErrRefit recoveries)
-	mNotMember    metrics.Counter   // frames refused by the Members ACL
+	mRequests      metrics.Counter   // classify frames answered
+	mBatchSize     metrics.Histogram // records per classify frame
+	mIngestChunks  metrics.Counter   // ingest frames folded in
+	mIngestRecs    metrics.Counter   // records folded in
+	mQueueDepth    metrics.Gauge     // ingest queue occupancy
+	mRefits        metrics.Counter   // completed refits
+	mRefitNanos    metrics.Histogram // refit wall time (ns)
+	mRefitErrors   metrics.Counter   // failed refits (ErrRefit recoveries)
+	mRefitInflight metrics.Gauge     // 1 while a background refit is fitting
+	mNotMember     metrics.Counter   // frames refused by the Members ACL
+	mBusy          metrics.Counter   // frames refused because a queue was full
 }
 
-// newModelShard validates one group spec, trains its model on its unified
-// dataset and assembles the shard.
+// newModelShard validates one group spec, trains its initial model on its
+// unified dataset and assembles the shard.
 func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.ID == "" {
 		return nil, fmt.Errorf("%w: empty group id", ErrBadConfig)
@@ -131,7 +170,7 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.Unified == nil || spec.Unified.Len() == 0 {
 		return nil, fmt.Errorf("%w: group %q has no unified dataset", ErrBadConfig, spec.ID)
 	}
-	if spec.Model == nil {
+	if spec.Model == nil && spec.NewModel == nil {
 		return nil, fmt.Errorf("%w: group %q has a nil classifier", ErrBadConfig, spec.ID)
 	}
 	if spec.Workers < 0 {
@@ -140,13 +179,34 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.MaxBatch < 0 {
 		return nil, fmt.Errorf("%w: group %q has a negative batch cap %d", ErrBadConfig, spec.ID, spec.MaxBatch)
 	}
-	training := spec.Unified.Clone()
-	if err := spec.Model.Fit(training.Clone()); err != nil {
-		return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
-	}
 	refitEvery := spec.RefitEvery
 	if refitEvery == 0 {
 		refitEvery = cfg.RefitEvery
+	}
+	// Resolve the fresh-instance source for background refits: an explicit
+	// factory wins, a cloneable model works too. With refits enabled one of
+	// the two is required — retraining the live instance in place would
+	// reintroduce the corruption-on-failed-fit bug the swap design kills.
+	newModel := spec.NewModel
+	if newModel == nil {
+		if cloner, ok := spec.Model.(classify.Cloner); ok {
+			newModel = cloner.Clone
+		}
+	}
+	if refitEvery > 0 && newModel == nil {
+		return nil, fmt.Errorf(
+			"%w: group %q model cannot refit in the background: set GroupSpec.NewModel or implement classify.Cloner (or disable refits)",
+			ErrBadConfig, spec.ID)
+	}
+	model := spec.Model
+	if model == nil {
+		if model = newModel(); model == nil {
+			return nil, fmt.Errorf("%w: group %q model factory returned nil", ErrBadConfig, spec.ID)
+		}
+	}
+	training := spec.Unified.Clone()
+	if err := model.Fit(training.Clone()); err != nil {
+		return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
 	}
 	workers := spec.Workers
 	if workers == 0 {
@@ -167,28 +227,33 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		}
 	}
 	ns := "service." + spec.ID + "."
-	return &modelShard{
+	sh := &modelShard{
 		id:         spec.ID,
 		dim:        training.Dim(),
 		maxBatch:   maxBatch,
 		refitEvery: refitEvery,
 		workers:    workers,
 		members:    members,
-		model:      spec.Model,
+		newModel:   newModel,
 		training:   training,
 		jobs:       make(chan serviceJob, shardJobQueueDepth),
 		ingestQ:    make(chan serviceJob, shardIngestQueueDepth),
+		refitQ:     make(chan *dataset.Dataset, 1),
 
-		mRequests:     cfg.Metrics.Counter(ns + "requests"),
-		mBatchSize:    cfg.Metrics.Histogram(ns + "batch_size"),
-		mIngestChunks: cfg.Metrics.Counter(ns + "ingest.chunks"),
-		mIngestRecs:   cfg.Metrics.Counter(ns + "ingest.records"),
-		mQueueDepth:   cfg.Metrics.Gauge(ns + "ingest.queue_depth"),
-		mRefits:       cfg.Metrics.Counter(ns + "refit.count"),
-		mRefitNanos:   cfg.Metrics.Histogram(ns + "refit.ns"),
-		mRefitErrors:  cfg.Metrics.Counter(ns + "refit.errors"),
-		mNotMember:    cfg.Metrics.Counter(ns + "rejects.not_member"),
-	}, nil
+		mRequests:      cfg.Metrics.Counter(ns + "requests"),
+		mBatchSize:     cfg.Metrics.Histogram(ns + "batch_size"),
+		mIngestChunks:  cfg.Metrics.Counter(ns + "ingest.chunks"),
+		mIngestRecs:    cfg.Metrics.Counter(ns + "ingest.records"),
+		mQueueDepth:    cfg.Metrics.Gauge(ns + "ingest.queue_depth"),
+		mRefits:        cfg.Metrics.Counter(ns + "refit.count"),
+		mRefitNanos:    cfg.Metrics.Histogram(ns + "refit.ns"),
+		mRefitErrors:   cfg.Metrics.Counter(ns + "refit.errors"),
+		mRefitInflight: cfg.Metrics.Gauge(ns + "refit.inflight"),
+		mNotMember:     cfg.Metrics.Counter(ns + "rejects.not_member"),
+		mBusy:          cfg.Metrics.Counter(ns + "rejects.busy"),
+	}
+	sh.model.Store(&model)
+	return sh, nil
 }
 
 // admits reports whether the named peer may address this group.
@@ -211,9 +276,12 @@ func (sh *modelShard) admits(peer string) bool {
 // streamed chunks of perturbed, target-space records
 // (ServiceClient.PushChunk feeding an internal/stream pipeline), which the
 // addressed group folds into its training set and periodically refits on
-// (ServiceConfig.RefitEvery, overridable per group). Because every group
-// owns its lock and its ingest goroutine, one group's refit never blocks
-// another group's queries.
+// (ServiceConfig.RefitEvery, overridable per group). Refits run on a
+// per-group background goroutine that fits a fresh model instance and
+// atomically swaps it in, so a refit never blocks anyone's queries — not
+// even the refitting group's own — and a group whose bounded queues
+// overflow is answered with a typed busy rejection instead of stalling the
+// shared receive loop.
 type MiningService struct {
 	conn   transport.Conn
 	cfg    ServiceConfig
@@ -329,12 +397,15 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 // or the transport closes. Classify requests are dispatched to the
 // addressed group's dedicated prediction pool (GroupSpec.Workers,
 // defaulting to cfg.Workers goroutines per group) through a bounded
-// per-group job queue, so one group's slow queries stall other groups only
-// after shardJobQueueDepth of its own are already waiting; ingest requests
-// are dispatched to the addressed group's dedicated ingest goroutine, so
-// appends stay ordered within a group and a refit runs off the receive
-// loop (other groups stall only if the refitting group's bounded ingest
-// queue overflows). Responses funnel through one sender.
+// per-group job queue; ingest requests are dispatched to the addressed
+// group's dedicated ingest goroutine, so appends stay ordered within a
+// group. When a group's queue is full the frame is answered immediately
+// with a typed busy rejection (ErrBusy on the client) — the shared receive
+// loop never blocks on one group's backlog, so a wedged group can never
+// stall another group's traffic. Refits triggered by ingest run on a
+// per-shard refit goroutine that fits a fresh model instance and atomically
+// swaps it in (see modelShard), so the ingest lane stays responsive during
+// even the slowest retrain. Responses funnel through one sender.
 // Malformed frames are answered with a typed error response (or dropped
 // when they cannot be attributed) rather than terminating the service.
 func (s *MiningService) Serve(ctx context.Context) error {
@@ -384,6 +455,9 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		go func(sh *modelShard) {
 			defer ingestWg.Done()
 			for j := range sh.ingestQ {
+				if sh.ingestHold != nil {
+					<-sh.ingestHold // test seam; see modelShard.ingestHold
+				}
 				// Paired with the enqueue-side Add(1): deltas stay exact
 				// under concurrent enqueue/dequeue, where Set(len(chan))
 				// from two goroutines could leave a stale last write.
@@ -397,13 +471,32 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		}(sh)
 	}
 
+	var refitWg sync.WaitGroup
+	for _, sh := range s.shards {
+		refitWg.Add(1)
+		go func(sh *modelShard) {
+			defer refitWg.Done()
+			for snapshot := range sh.refitQ {
+				sh.refit(snapshot)
+			}
+		}(sh)
+	}
+
 	shutdown := func() {
 		for _, sh := range s.shards {
 			close(sh.ingestQ)
 			close(sh.jobs)
 		}
+		// Ingest goroutines are the only refit schedulers, so the refit
+		// queues can close once they have drained; a scheduled refit still
+		// completes during shutdown, which keeps refit counts deterministic
+		// for callers that stop the service right after a push.
 		ingestWg.Wait()
+		for _, sh := range s.shards {
+			close(sh.refitQ)
+		}
 		workerWg.Wait()
+		refitWg.Wait()
 		close(out)
 		senderWg.Wait()
 	}
@@ -423,9 +516,11 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		case req == nil && err == nil:
 			continue // not a service frame; drop
 		case errors.Is(err, ErrWireVersion):
+			// Echo the routing context (ID, Kind, Group) whenever the frame
+			// decoded, so ingest-side clients can attribute the rejection.
 			resp := &serviceWire{Response: true, Code: codeWireVersion, Err: err.Error()}
 			if req != nil {
-				resp.ID = req.ID
+				resp.ID, resp.Kind, resp.Group = req.ID, req.Kind, req.Group
 			}
 			if payload, encErr := encodeServiceWire(resp); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
@@ -435,38 +530,54 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			continue // undecodable or stray response frame; drop
 		}
 		shard, reject := s.route(req, env.From)
+		if reject == nil {
+			reject = shard.dispatch(req, env.From)
+		}
 		if reject != nil {
 			if payload, encErr := encodeServiceWire(reject); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
 			}
-			continue
-		}
-		if req.Kind == kindIngest {
-			// Increment before the send so the dequeuer's Add(-1) — which
-			// can only run after the send completes — never drives the
-			// gauge below zero; the abort path undoes it.
-			shard.mQueueDepth.Add(1)
-			select {
-			case shard.ingestQ <- serviceJob{from: env.From, req: req}:
-			case <-ctx.Done():
-				shard.mQueueDepth.Add(-1)
-				shutdown()
-				return nil
-			}
-			continue
-		}
-		select {
-		case shard.jobs <- serviceJob{from: env.From, req: req}:
-		case <-ctx.Done():
-			shutdown()
-			return nil
 		}
 	}
 }
 
+// dispatch hands an accepted request to the shard's ingest goroutine or
+// prediction pool without ever blocking the caller (the shared receive
+// loop). A full queue returns an immediate typed busy rejection — the
+// explicit backpressure answer: the client fails fast and retries with
+// backoff instead of every group's traffic queueing behind one group's
+// backlog.
+func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
+	if req.Kind == kindIngest {
+		// Increment before the send so the dequeuer's Add(-1) — which can
+		// only run after the send completes — never drives the gauge below
+		// zero; the busy path undoes it.
+		sh.mQueueDepth.Add(1)
+		select {
+		case sh.ingestQ <- serviceJob{from: from, req: req}:
+			return nil
+		default:
+			sh.mQueueDepth.Add(-1)
+			sh.mBusy.Inc()
+			return &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+				Code: codeBusy, Err: fmt.Sprintf("group %q ingest queue full", sh.id)}
+		}
+	}
+	select {
+	case sh.jobs <- serviceJob{from: from, req: req}:
+		return nil
+	default:
+		sh.mBusy.Inc()
+		return &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+			Code: codeBusy, Err: fmt.Sprintf("group %q prediction queue full", sh.id)}
+	}
+}
+
 // ingest validates one streamed chunk, folds it into the shard's training
-// set, and refits the shard's model when its refit cadence is reached.
-// Called only from the shard's ingest goroutine.
+// set, and schedules a background refit when the refit cadence is reached —
+// the fold is an append plus a snapshot handoff, so the ingest lane's
+// latency stays flat no matter how slow the model's Fit is. Called only
+// from the shard's ingest goroutine.
 func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Group: req.Group, Response: true}
 	if len(req.Batch) == 0 {
@@ -503,46 +614,80 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	sh.mIngestChunks.Inc()
 	sh.mIngestRecs.Add(int64(len(req.Batch)))
 	resp.Accepted = sh.training.Len()
-	if sh.refitEvery > 0 && sh.sinceRefit >= sh.refitEvery {
-		if err := sh.refit(); err != nil {
-			// The chunk IS in the training set (Accepted reflects that) but
-			// the refreshed model is not live; answer with the dedicated
-			// refit code so the pusher knows not to re-push, and keep
-			// serving on the previous fit.
-			sh.mRefitErrors.Inc()
-			resp.Code, resp.Err = codeRefit, err.Error()
-			return resp
-		}
+	// A background refit that failed since the last ingest answer is
+	// reported exactly once, on the earliest ingest response: the chunk IS
+	// in the training set (Accepted reflects that) but the live model lags
+	// it, so the pusher learns not to re-push while the service keeps
+	// serving on the previous fit. A successful refit clears the pending
+	// report — the model caught up, there is no lag left to announce. The
+	// check runs before this chunk's own scheduling, so a response never
+	// reports the refit it just triggered, however fast that refit fails.
+	if msg := sh.refitFail.Swap(nil); msg != nil {
+		resp.Code, resp.Err = codeRefit, *msg
+	}
+	if sh.refitEvery > 0 && sh.sinceRefit >= sh.refitEvery && sh.scheduleRefit() {
 		sh.sinceRefit = 0
 	}
 	return resp
 }
 
-// refit retrains the shard's model on a snapshot of its grown training set
-// under the shard's write lock, so in-flight predictions for this group
-// finish on the old fit and later ones see the new one. Other groups'
-// shards are untouched — their queries keep flowing under their own locks.
-func (sh *modelShard) refit() error {
-	start := time.Now()
-	snapshot := sh.training.Clone()
-	sh.modelMu.Lock()
-	defer sh.modelMu.Unlock()
-	if err := sh.model.Fit(snapshot); err != nil {
-		return fmt.Errorf("protocol: refit group %q model: %w", sh.id, err)
+// scheduleRefit hands a snapshot of the grown training set to the shard's
+// refit goroutine. It never blocks: when the single-slot queue is already
+// holding a pending refit the schedule is declined — the caller keeps
+// sinceRefit accumulating and re-triggers on a later chunk, so refits
+// coalesce instead of queueing without bound behind a slow Fit. Called only
+// from the shard's ingest goroutine (the single producer, which makes the
+// length check race-free).
+func (sh *modelShard) scheduleRefit() bool {
+	if len(sh.refitQ) == cap(sh.refitQ) {
+		return false
 	}
+	sh.refitQ <- sh.training.Clone()
+	return true
+}
+
+// refit fits a fresh classifier instance on the snapshot and atomically
+// publishes it on success. The live model is read-only throughout — workers
+// keep predicting on the previous fit lock-free — and a failed fit leaves
+// it untouched by construction; the failure is recorded for the next ingest
+// response (codeRefit) and the refit.errors counter. Called only from the
+// shard's refit goroutine.
+func (sh *modelShard) refit(snapshot *dataset.Dataset) {
+	sh.mRefitInflight.Set(1)
+	defer sh.mRefitInflight.Set(0)
+	start := time.Now()
+	fresh := sh.newModel()
+	if fresh == nil {
+		// Record the pending report before bumping the counter, so anyone
+		// who observed the counter is guaranteed to find (or have raced
+		// another reader for) the report.
+		msg := fmt.Sprintf("protocol: refit group %q model: factory returned nil", sh.id)
+		sh.refitFail.Store(&msg)
+		sh.mRefitErrors.Inc()
+		return
+	}
+	if err := fresh.Fit(snapshot); err != nil {
+		msg := fmt.Sprintf("protocol: refit group %q model: %v", sh.id, err)
+		sh.refitFail.Store(&msg)
+		sh.mRefitErrors.Inc()
+		return
+	}
+	var model classify.Classifier = fresh
+	sh.model.Store(&model)
+	sh.refitFail.Store(nil)
 	// Count and time only completed refits, so refit.ns.sum/refit.count is
 	// a true mean duration; failed attempts are visible via refit.errors.
 	sh.mRefits.Inc()
 	metrics.Time(sh.mRefitNanos, start)
-	return nil
 }
 
 // handle validates one classify request and predicts every record in its
-// batch under the shard's read lock.
+// batch. The model is loaded once per batch with an atomic pointer read —
+// no lock is shared with refits, which publish whole replacement instances.
 func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 	sh.mRequests.Inc()
 	sh.mBatchSize.Observe(int64(len(req.Batch)))
-	resp := &serviceWire{ID: req.ID, Group: req.Group, Response: true}
+	resp := &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true}
 	if len(req.Batch) == 0 {
 		resp.Code, resp.Err = codeBadQuery, "empty batch"
 		return resp
@@ -553,17 +698,14 @@ func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 		return resp
 	}
 	labels := make([]int, len(req.Batch))
-	// One read lock per batch: predictions may run concurrently across
-	// workers while an ingest-triggered refit waits for the write lock.
-	sh.modelMu.RLock()
-	defer sh.modelMu.RUnlock()
+	model := *sh.model.Load()
 	for i, rec := range req.Batch {
 		if len(rec) != sh.dim {
 			resp.Code, resp.Err = codeBadQuery,
 				fmt.Sprintf("record %d has %d features, want %d", i, len(rec), sh.dim)
 			return resp
 		}
-		label, err := sh.model.Predict(rec)
+		label, err := model.Predict(rec)
 		if err != nil {
 			resp.Code, resp.Err = codeInternal, err.Error()
 			return resp

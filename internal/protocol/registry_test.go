@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -239,12 +240,23 @@ func TestLegacyFramesRouteToDefaultGroup(t *testing.T) {
 }
 
 // gatedModel wraps a classifier whose refits (every Fit after the first)
-// block until released, so tests can hold one group mid-refit.
+// block until released, so tests can hold one group mid-refit. Its Clone —
+// handed to background refits — shares the gate and counters, so a cloned
+// instance parks inside its Fit exactly like the original would.
 type gatedModel struct {
 	inner   classify.Classifier
-	fits    atomic.Int64
+	fits    *atomic.Int64
 	started chan struct{}
 	release chan struct{}
+}
+
+func newGatedModel(inner classify.Classifier) *gatedModel {
+	return &gatedModel{
+		inner:   inner,
+		fits:    &atomic.Int64{},
+		started: make(chan struct{}, 8),
+		release: make(chan struct{}),
+	}
 }
 
 func (m *gatedModel) Fit(d *dataset.Dataset) error {
@@ -257,9 +269,37 @@ func (m *gatedModel) Fit(d *dataset.Dataset) error {
 
 func (m *gatedModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
 
+func (m *gatedModel) Clone() classify.Classifier {
+	return &gatedModel{inner: classify.NewKNN(1), fits: m.fits, started: m.started, release: m.release}
+}
+
+// waitForLabel polls a group's served prediction for probe until it answers
+// want — background refits publish their model swap asynchronously.
+func waitForLabel(t *testing.T, ctx context.Context, client *ServiceClient, probe []float64, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		label, err := client.Classify(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("label = %d, want %d (refit swap never went live)", label, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestGroupRefitDoesNotBlockOtherGroups holds group alpha in the middle of
-// an ingest-triggered refit and checks group beta keeps answering queries —
-// the sharded-lock guarantee of the router.
+// an ingest-triggered background refit and checks that NOBODY stalls: alpha
+// itself keeps answering queries on the previous fit and keeps accepting
+// ingest chunks (this was the cross-group ingest stall — the refit used to
+// run inline on the ingest goroutine under the model write lock), and beta
+// is untouched. Releasing the gate must eventually publish the swapped
+// model.
 func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
 	net := transport.NewMemNetwork()
 	svcConn, _ := net.Endpoint("svc")
@@ -269,11 +309,7 @@ func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
 	queryConn, _ := net.Endpoint("querier")
 	defer queryConn.Close()
 
-	gated := &gatedModel{
-		inner:   classify.NewKNN(1),
-		started: make(chan struct{}, 1),
-		release: make(chan struct{}),
-	}
+	gated := newGatedModel(classify.NewKNN(1))
 	groups := []GroupSpec{
 		{ID: "alpha", Unified: labelledLineAt(t, 4, 0), Model: gated, RefitEvery: 1},
 		{ID: "beta", Unified: labelledLineAt(t, 4, 100), Model: classify.NewKNN(1)},
@@ -287,16 +323,27 @@ func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pusher.Close()
-	pushDone := make(chan error, 1)
-	go func() {
-		_, err := pusher.PushChunk(ctx, [][]float64{{0.9}}, []int{9})
-		pushDone <- err
-	}()
-	// Wait until alpha is genuinely inside its refit.
+	// The triggering push must come back without waiting for the refit —
+	// the refit runs aside, the ingest lane answers immediately.
+	if _, err := pusher.PushChunk(ctx, [][]float64{{0.9}}, []int{9}); err != nil {
+		t.Fatalf("triggering push: %v", err)
+	}
+	// Wait until alpha is genuinely inside its background refit.
 	select {
 	case <-gated.started:
 	case <-time.After(5 * time.Second):
 		t.Fatal("alpha never started its refit")
+	}
+
+	// Alpha itself keeps serving mid-refit: queries answer from the
+	// previous fit, and further ingest is accepted by the unblocked lane.
+	midCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if label, err := pusher.Classify(midCtx, []float64{0.0}); err != nil || label != 0 {
+		t.Fatalf("alpha query mid-refit = %d, %v; want 0 (previous fit), nil", label, err)
+	}
+	if _, err := pusher.PushChunk(midCtx, [][]float64{{0.8}}, []int{9}); err != nil {
+		t.Fatalf("alpha ingest mid-refit: %v", err)
 	}
 
 	// Beta must answer while alpha's refit is parked.
@@ -305,9 +352,7 @@ func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer querier.Close()
-	queryCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
-	defer cancel()
-	label, err := querier.Classify(queryCtx, []float64{0.0})
+	label, err := querier.Classify(midCtx, []float64{0.0})
 	if err != nil {
 		t.Fatalf("beta query during alpha refit: %v", err)
 	}
@@ -315,17 +360,22 @@ func TestGroupRefitDoesNotBlockOtherGroups(t *testing.T) {
 		t.Fatalf("beta label = %d, want 100", label)
 	}
 
+	// Releasing the gate lets the refit finish and swap the fresh fit in;
+	// the streamed region then answers with its new label.
 	close(gated.release)
-	if err := <-pushDone; err != nil {
-		t.Fatalf("alpha push after release: %v", err)
-	}
+	waitForLabel(t, ctx, pusher, []float64{0.9}, 9)
 }
 
 // flakyModel wraps a classifier whose Fit fails while failing is set,
-// simulating a refit that cannot converge on the grown training set.
+// simulating a refit that cannot converge on the grown training set. Clones
+// (the fresh instances background refits fit) share the failure switch.
 type flakyModel struct {
 	inner   classify.Classifier
-	failing atomic.Bool
+	failing *atomic.Bool
+}
+
+func newFlakyModel(inner classify.Classifier) *flakyModel {
+	return &flakyModel{inner: inner, failing: &atomic.Bool{}}
 }
 
 var errFlakyFit = errors.New("flaky: fit failed")
@@ -339,10 +389,33 @@ func (m *flakyModel) Fit(d *dataset.Dataset) error {
 
 func (m *flakyModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
 
-// TestRefitFailureKeepsServingAndRecovers exercises the ErrRefit non-fatal
-// path end to end: a group whose refit fails answers ErrRefit (chunk kept),
-// keeps serving queries from the previous fit, and recovers — new records
-// become visible — on the next successful refit.
+func (m *flakyModel) Clone() classify.Classifier {
+	return &flakyModel{inner: classify.NewKNN(1), failing: m.failing}
+}
+
+// waitForCounter polls one registry counter until it reaches want.
+func waitForCounter(t *testing.T, reg *metrics.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := reg.Snapshot().Counters[name]; got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d",
+				name, reg.Snapshot().Counters[name], want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRefitFailureKeepsServingAndRecovers exercises the refit-failure
+// contract end to end under the background-refit design: a failed refit
+// leaves the prior model's predictions byte-identical (the fresh instance
+// that failed to fit is discarded, the atomic swap never happens), the
+// failure is reported exactly once — on the next ingest response, as
+// ErrRefit with the chunk still folded in — and the group recovers once a
+// later refit succeeds.
 func TestRefitFailureKeepsServingAndRecovers(t *testing.T) {
 	net := transport.NewMemNetwork()
 	svcConn, _ := net.Endpoint("svc")
@@ -350,10 +423,11 @@ func TestRefitFailureKeepsServingAndRecovers(t *testing.T) {
 	cliConn, _ := net.Endpoint("cli")
 	defer cliConn.Close()
 
-	flaky := &flakyModel{inner: classify.NewKNN(1)}
+	reg := metrics.NewRegistry()
+	flaky := newFlakyModel(classify.NewKNN(1))
 	svc, stop := startGroupedService(t, svcConn,
 		[]GroupSpec{{ID: "alpha", Unified: labelledLine(t, 4), Model: flaky, RefitEvery: 2}},
-		ServiceConfig{})
+		ServiceConfig{Metrics: reg})
 	defer stop()
 
 	client, err := NewGroupServiceClient(cliConn, "svc", "alpha")
@@ -363,46 +437,70 @@ func TestRefitFailureKeepsServingAndRecovers(t *testing.T) {
 	defer client.Close()
 	ctx := testCtx(t)
 
-	// Break the next refit and push a chunk that triggers it.
+	// Fingerprint the live model before anything goes wrong.
+	probes := [][]float64{{0.0}, {0.3}, {0.6}, {0.9}, {10.0}}
+	before := make([]int, len(probes))
+	for i, p := range probes {
+		if before[i], err = client.Classify(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Break refits and push a chunk that schedules one. The push itself
+	// succeeds — the chunk lands, the refit runs (and fails) aside.
 	flaky.failing.Store(true)
 	total, err := client.PushChunk(ctx, [][]float64{{9.9}, {10.1}}, []int{7, 7})
-	if !errors.Is(err, ErrRefit) {
-		t.Fatalf("push with broken refit err = %v, want ErrRefit", err)
+	if err != nil {
+		t.Fatalf("push with broken refit err = %v, want nil (refit is off the ingest lane)", err)
 	}
 	if total != 6 {
-		t.Fatalf("accepted total = %d, want 6 (chunk must be folded in despite the refit failure)", total)
+		t.Fatalf("accepted total = %d, want 6 (chunk must be folded in)", total)
+	}
+	waitForCounter(t, reg, "service.alpha.refit.errors", 1)
+
+	// The failed refit left the prior model serving, predictions unchanged
+	// to the byte: the failed fresh instance was discarded before the swap.
+	for i, p := range probes {
+		label, err := client.Classify(ctx, p)
+		if err != nil {
+			t.Fatalf("query after failed refit: %v", err)
+		}
+		if label != before[i] {
+			t.Fatalf("probe %v = %d after failed refit, want %d (prior model must be untouched)",
+				p, label, before[i])
+		}
 	}
 
-	// The group keeps serving on the previous fit: the pushed region still
-	// answers with the old nearest label, and near-base queries still work.
-	label, err := client.Classify(ctx, []float64{10.0})
-	if err != nil {
-		t.Fatalf("query after failed refit: %v", err)
-	}
-	if label != 3 {
-		t.Fatalf("label after failed refit = %d, want 3 (previous fit)", label)
-	}
-
-	// Heal the model and push the next chunk: the cadence fires again (the
-	// failed refit did not reset it), the refit succeeds, and the grown
-	// training set — including the chunk from the failed round — goes live.
-	flaky.failing.Store(false)
+	// The next ingest response reports the lag exactly once: ErrRefit with
+	// the chunk still accepted.
 	total, err = client.PushChunk(ctx, [][]float64{{9.8}}, []int{7})
+	if !errors.Is(err, ErrRefit) {
+		t.Fatalf("post-failure push err = %v, want ErrRefit (lag reported on next ingest answer)", err)
+	}
+	if total != 7 {
+		t.Fatalf("accepted total = %d alongside ErrRefit, want 7", total)
+	}
+
+	// Heal the model; the next cadence crossing refits cleanly and swaps
+	// the grown training set — including the failed round's records — in.
+	flaky.failing.Store(false)
+	total, err = client.PushChunk(ctx, [][]float64{{10.2}}, []int{7})
 	if err != nil {
 		t.Fatalf("push after heal: %v", err)
 	}
-	if total != 7 {
-		t.Fatalf("accepted total = %d, want 7", total)
+	if total != 8 {
+		t.Fatalf("accepted total = %d, want 8", total)
 	}
-	label, err = client.Classify(ctx, []float64{10.0})
-	if err != nil {
-		t.Fatal(err)
+	waitForLabel(t, ctx, client, []float64{10.0}, 7)
+	if got, err := svc.GroupIngested("alpha"); err != nil || got != 4 {
+		t.Fatalf("GroupIngested = %d, %v; want 4, nil", got, err)
 	}
-	if label != 7 {
-		t.Fatalf("label after recovery = %d, want 7 (refit picked up streamed records)", label)
+	snap := reg.Snapshot()
+	if snap.Counters["service.alpha.refit.errors"] != 1 {
+		t.Fatalf("refit.errors = %d, want 1", snap.Counters["service.alpha.refit.errors"])
 	}
-	if got, err := svc.GroupIngested("alpha"); err != nil || got != 3 {
-		t.Fatalf("GroupIngested = %d, %v; want 3, nil", got, err)
+	if snap.Counters["service.alpha.refit.count"] < 1 {
+		t.Fatalf("refit.count = %d, want >= 1", snap.Counters["service.alpha.refit.count"])
 	}
 }
 

@@ -45,6 +45,13 @@ var (
 	// multi-tenant miner (membership is checked against the self-declared
 	// transport sender name; see GroupSpec.Members for the trust model).
 	ErrNotMember = errors.New("protocol: peer not registered to serving group")
+	// ErrBusy flags a frame rejected because the addressed group's bounded
+	// ingest or prediction queue was full: the service answered within one
+	// round trip instead of stalling its shared receive loop (and with it,
+	// every other group). The request had no effect — an ErrBusy'd chunk was
+	// NOT folded in — so retrying after a short backoff is always safe, and
+	// ServiceClient does so automatically (see Backoff).
+	ErrBusy = errors.New("protocol: serving group busy")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -78,6 +85,12 @@ const (
 	codeRefit
 	codeUnknownGroup
 	codeNotMember
+	// codeBusy extends the code set without a wire-version bump on
+	// purpose: codes ride in a response field old decoders still parse, so
+	// a bump would not change how an old client maps an unknown code (it
+	// falls through to ErrServiceClosed either way) — it would only make
+	// new clients' requests unreadable to old services.
+	codeBusy
 )
 
 // Frame kinds carried in serviceWire.Kind. The zero value is a
@@ -207,6 +220,48 @@ const DefaultRefitEvery = 256
 // cannot stall the serving loop's sender indefinitely.
 const serviceSendTimeout = 30 * time.Second
 
+// Defaults applied by Backoff.withDefaults. A full retry budget waits
+// 2+4+8+16+32+64+128 ms ≈ 254 ms in total — long enough for an ingest lane
+// to drain a full queue, short enough that a persistently wedged group
+// surfaces ErrBusy instead of hiding it behind client-side patience.
+const (
+	// DefaultBusyTries is the total number of attempts per request.
+	DefaultBusyTries = 8
+	// DefaultBusyBase is the delay before the first retry.
+	DefaultBusyBase = 2 * time.Millisecond
+	// DefaultBusyMax caps the doubling retry delay.
+	DefaultBusyMax = 250 * time.Millisecond
+)
+
+// Backoff is the capped exponential retry policy a ServiceClient applies to
+// busy-rejected requests: after an ErrBusy response the client waits Base,
+// doubles the wait per retry up to Max, and gives up — returning ErrBusy to
+// the caller — after Tries total attempts. The zero value selects the
+// defaults; Tries = 1 disables retries, making every busy rejection
+// immediately visible to the caller.
+type Backoff struct {
+	// Tries is the total number of attempts, including the first
+	// (default DefaultBusyTries; 1 disables retries).
+	Tries int
+	// Base is the delay before the first retry (default DefaultBusyBase).
+	Base time.Duration
+	// Max caps the exponentially growing delay (default DefaultBusyMax).
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Tries <= 0 {
+		b.Tries = DefaultBusyTries
+	}
+	if b.Base <= 0 {
+		b.Base = DefaultBusyBase
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBusyMax
+	}
+	return b
+}
+
 func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -236,6 +291,9 @@ type ServiceClient struct {
 	conn  transport.Conn
 	miner string
 	group string
+	// backoff is the busy-retry policy applied by ClassifyBatch and
+	// PushChunk; configured with SetBackoff before the first request.
+	backoff Backoff
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -283,6 +341,44 @@ func NewGroupServiceClient(conn transport.Conn, miner, group string) (*ServiceCl
 // Group returns the serving group the client addresses ("" means the
 // service's default group).
 func (c *ServiceClient) Group() string { return c.group }
+
+// SetBackoff replaces the client's busy-retry policy (the zero Backoff
+// restores the defaults; Tries = 1 disables retries so ErrBusy surfaces on
+// the first rejection). Call it before issuing requests — it is not
+// synchronized against in-flight calls.
+func (c *ServiceClient) SetBackoff(b Backoff) { c.backoff = b }
+
+// retryBusy runs one request attempt through the client's backoff policy:
+// busy rejections are retried with capped exponential delays, any other
+// outcome (success or a different typed error) is returned as is. A context
+// cancellation or client failure during a backoff wait ends the retry loop
+// immediately.
+func (c *ServiceClient) retryBusy(ctx context.Context, op func() error) error {
+	b := c.backoff.withDefaults()
+	delay := b.Base
+	var err error
+	for try := 0; try < b.Tries; try++ {
+		if try > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-c.done:
+				timer.Stop()
+				return c.terminalErr()
+			}
+			if delay *= 2; delay > b.Max {
+				delay = b.Max
+			}
+		}
+		if err = op(); !errors.Is(err, ErrBusy) {
+			return err
+		}
+	}
+	return err // still ErrBusy after the final attempt
+}
 
 // recvLoop routes every incoming response frame to the caller waiting on its
 // ID. Frames for unknown IDs (cancelled requests, foreign traffic) are
@@ -386,12 +482,25 @@ func (c *ServiceClient) Classify(ctx context.Context, features []float64) (int, 
 
 // ClassifyBatch sends a whole batch of target-space records in one frame and
 // blocks for their labels, which arrive in one response frame — a single
-// round trip regardless of batch size. It is safe to call from many
-// goroutines concurrently; cancelling ctx abandons only this request.
+// round trip regardless of batch size. A busy rejection (the group's
+// prediction queue was full) is retried under the client's Backoff policy
+// before ErrBusy is surfaced. It is safe to call from many goroutines
+// concurrently; cancelling ctx abandons only this request.
 func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
 	}
+	var labels []int
+	err := c.retryBusy(ctx, func() error {
+		var opErr error
+		labels, opErr = c.classifyBatchOnce(ctx, batch)
+		return opErr
+	})
+	return labels, err
+}
+
+// classifyBatchOnce is one classify round trip, busy rejections included.
+func (c *ServiceClient) classifyBatchOnce(ctx context.Context, batch [][]float64) ([]int, error) {
 	id, ch, err := c.register()
 	if err != nil {
 		return nil, err
@@ -424,9 +533,11 @@ func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([
 // client's group's training set and refits on the group's configured
 // cadence. It returns the group's total training-set size after the chunk
 // was folded in. An ErrRefit error still carries a non-zero accepted count:
-// the chunk landed but the model refresh failed, so the caller must not
-// re-push it. Like ClassifyBatch it costs one round trip and is safe for
-// concurrent use.
+// the chunk landed but a background model refresh failed, so the caller must
+// not re-push it. A busy rejection (the group's ingest queue was full — the
+// chunk did NOT land) is retried under the client's Backoff policy before
+// ErrBusy is surfaced. Like ClassifyBatch it costs one round trip and is
+// safe for concurrent use.
 func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels []int) (int, error) {
 	if len(batch) == 0 {
 		return 0, fmt.Errorf("%w: empty chunk", ErrBadChunk)
@@ -434,6 +545,17 @@ func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels
 	if len(labels) != len(batch) {
 		return 0, fmt.Errorf("%w: %d labels for %d records", ErrBadChunk, len(labels), len(batch))
 	}
+	var accepted int
+	err := c.retryBusy(ctx, func() error {
+		var opErr error
+		accepted, opErr = c.pushChunkOnce(ctx, batch, labels)
+		return opErr
+	})
+	return accepted, err
+}
+
+// pushChunkOnce is one ingest round trip, busy rejections included.
+func (c *ServiceClient) pushChunkOnce(ctx context.Context, batch [][]float64, labels []int) (int, error) {
 	id, ch, err := c.register()
 	if err != nil {
 		return 0, err
@@ -484,6 +606,8 @@ func responseErr(resp *serviceWire) error {
 		return fmt.Errorf("%w: %s", ErrUnknownGroup, resp.Err)
 	case codeNotMember:
 		return fmt.Errorf("%w: %s", ErrNotMember, resp.Err)
+	case codeBusy:
+		return fmt.Errorf("%w: %s", ErrBusy, resp.Err)
 	default:
 		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
 	}

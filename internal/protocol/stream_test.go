@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
@@ -66,7 +68,8 @@ func TestPushChunkGrowsServedModel(t *testing.T) {
 	}
 
 	// Push a chunk of far-away records with a fresh label; RefitEvery=2 so
-	// this chunk alone triggers a refit.
+	// this chunk alone schedules a refit, which fits and swaps in the
+	// background — the new label appears once the swap lands.
 	total, err := client.PushChunk(ctx, [][]float64{{9.9}, {10.1}}, []int{7, 7})
 	if err != nil {
 		t.Fatal(err)
@@ -78,13 +81,7 @@ func TestPushChunkGrowsServedModel(t *testing.T) {
 		t.Fatalf("Ingested() = %d, want 2", got)
 	}
 
-	after, err := client.Classify(ctx, []float64{10.0})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if after != 7 {
-		t.Fatalf("post-ingest label = %d, want the streamed label 7", after)
-	}
+	waitForLabel(t, ctx, client, []float64{10.0}, 7)
 }
 
 // TestPushChunkRefitCadence checks that refits wait for RefitEvery records:
@@ -122,13 +119,7 @@ func TestPushChunkRefitCadence(t *testing.T) {
 	if _, err := client.PushChunk(ctx, [][]float64{{9.8}, {10.2}}, []int{7, 7}); err != nil {
 		t.Fatal(err)
 	}
-	label, err = client.Classify(ctx, []float64{10.0})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if label != 7 {
-		t.Fatalf("label after cadence = %d, want 7 (refit model serving)", label)
-	}
+	waitForLabel(t, ctx, client, []float64{10.0}, 7)
 }
 
 // TestPushChunkRejections exercises the typed ingest error paths without
@@ -176,16 +167,20 @@ func TestPushChunkRejections(t *testing.T) {
 	}
 }
 
-// brittleModel is a classifier whose refits start failing after the first
-// (construction-time) fit.
+// brittleModel is a classifier whose refits fail after the first
+// (construction-time) fit; clones — the fresh instances background refits
+// fit — share the attempt counter.
 type brittleModel struct {
 	inner classify.Classifier
-	fits  int
+	fits  *atomic.Int64
+}
+
+func newBrittleModel(inner classify.Classifier) *brittleModel {
+	return &brittleModel{inner: inner, fits: &atomic.Int64{}}
 }
 
 func (m *brittleModel) Fit(d *dataset.Dataset) error {
-	m.fits++
-	if m.fits > 1 {
+	if m.fits.Add(1) > 1 {
 		return errors.New("degenerate training set")
 	}
 	return m.inner.Fit(d)
@@ -193,9 +188,15 @@ func (m *brittleModel) Fit(d *dataset.Dataset) error {
 
 func (m *brittleModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
 
+func (m *brittleModel) Clone() classify.Classifier {
+	return &brittleModel{inner: classify.NewKNN(1), fits: m.fits}
+}
+
 // TestPushChunkRefitFailure checks the refit-failure contract: the chunk is
-// folded in (non-zero accepted count), the error is the typed ErrRefit —
-// not ErrServiceClosed — and the service keeps serving on its previous fit.
+// folded in regardless (the triggering push succeeds — refits run in the
+// background), the failure surfaces as the typed ErrRefit on a later ingest
+// answer with that chunk also accepted, and the service keeps serving on
+// its previous fit throughout.
 func TestPushChunkRefitFailure(t *testing.T) {
 	net := transport.NewMemNetwork()
 	svcConn, _ := net.Endpoint("svc")
@@ -204,7 +205,7 @@ func TestPushChunkRefitFailure(t *testing.T) {
 	defer cliConn.Close()
 
 	base := labelledLine(t, 4)
-	model := &brittleModel{inner: classify.NewKNN(1)}
+	model := newBrittleModel(classify.NewKNN(1))
 	svc, err := NewMiningService(svcConn, &MinerResult{Unified: base}, model, ServiceConfig{RefitEvery: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -230,15 +231,34 @@ func TestPushChunkRefitFailure(t *testing.T) {
 	tctx := testCtx(t)
 
 	accepted, err := client.PushChunk(tctx, [][]float64{{9.9}}, []int{7})
-	if !errors.Is(err, ErrRefit) {
-		t.Fatalf("err = %v, want ErrRefit", err)
+	if err != nil {
+		t.Fatalf("triggering push err = %v, want nil (refit runs aside)", err)
 	}
 	if accepted != 5 {
-		t.Fatalf("accepted = %d alongside ErrRefit, want 5 (chunk landed)", accepted)
+		t.Fatalf("accepted = %d, want 5 (chunk landed)", accepted)
+	}
+	// Every push re-triggers a failing refit (RefitEvery: 1); the pending
+	// failure must surface as ErrRefit on a later ingest answer, with that
+	// chunk accepted too.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		accepted, err = client.PushChunk(tctx, [][]float64{{9.9 + float64(i)/100}}, []int{7})
+		if errors.Is(err, ErrRefit) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("push %d err = %v, want nil or ErrRefit", i, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refit failure never reported as ErrRefit on an ingest answer")
+		}
+	}
+	if accepted != svc.Ingested()+4 {
+		t.Fatalf("accepted = %d alongside ErrRefit, want %d (chunk landed)", accepted, svc.Ingested()+4)
 	}
 	// Previous fit still serves.
-	if _, err := client.Classify(tctx, []float64{0.1}); err != nil {
-		t.Fatalf("service stopped serving after a refit failure: %v", err)
+	if label, err := client.Classify(tctx, []float64{0.1}); err != nil || label != 0 {
+		t.Fatalf("query after refit failures = %d, %v; want 0 from the original fit", label, err)
 	}
 }
 

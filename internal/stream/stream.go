@@ -193,7 +193,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:     cfg,
 		pert:    cfg.Perturbation.Clone(),
 		adaptor: adaptor,
@@ -203,8 +203,23 @@ func New(cfg Config) (*Pipeline, error) {
 		mChunks:        cfg.Metrics.Counter("stream.chunks"),
 		mRecords:       cfg.Metrics.Counter("stream.records"),
 		mRederivations: cfg.Metrics.Counter("stream.rederivations"),
-		mBuffer:        cfg.Metrics.Gauge("stream.buffer_occupancy"),
-	}, nil
+	}
+	// Buffer occupancy is a property of the emitted-chunk channel, which
+	// both the producer and external consumers move: a pushed gauge updated
+	// on the producer side alone goes stale the moment a consumer drains.
+	// Sinks that support derived gauges read the channel length live at
+	// snapshot time instead; for the rest, the producer-side update is the
+	// best available approximation. Like every "stream." instrument the
+	// name is registry-wide, so the derived gauge follows the most recently
+	// constructed pipeline (a finished pipeline reports its drained buffer,
+	// 0, until the next pipeline replaces the registration).
+	if fg, ok := cfg.Metrics.(metrics.FuncGauges); ok {
+		fg.GaugeFunc("stream.buffer_occupancy", func() int64 { return int64(len(p.out)) })
+		p.mBuffer = metrics.Nop().Gauge("")
+	} else {
+		p.mBuffer = cfg.Metrics.Gauge("stream.buffer_occupancy")
+	}
+	return p, nil
 }
 
 // Out returns the emitted-chunk channel. It is closed when Run returns;
@@ -230,7 +245,12 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 		return fmt.Errorf("%w: nil source", ErrBadConfig)
 	}
 	seq := 0
-	// pending accumulates source records until a full chunk is cut.
+	// pending accumulates source records until a full chunk is cut. The
+	// buffer owns its rows outright — each incoming row is copied on
+	// arrival, since a Source is free to reuse its slices between Next
+	// calls — and is compacted in place at every cut, so a long stream
+	// recycles one bounded backing array instead of marching the slice
+	// window through an ever-growing one.
 	var pendX [][]float64
 	var pendY []int
 
@@ -245,8 +265,10 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 				return err
 			}
 			seq++
-			pendX = pendX[n:]
-			pendY = pendY[n:]
+			// emit has fully materialized the chunk (target-space copies),
+			// so the cut rows can be compacted over.
+			pendX = pendX[:copy(pendX, pendX[n:])]
+			pendY = pendY[:copy(pendY, pendY[n:])]
 			select {
 			case p.out <- chunk:
 				p.records.Add(int64(chunk.Data.Len()))
@@ -274,7 +296,9 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 		if in.Dim() != p.Dim() {
 			return fmt.Errorf("%w: source chunk dim %d, pipeline dim %d", ErrDim, in.Dim(), p.Dim())
 		}
-		pendX = append(pendX, in.X...)
+		for _, row := range in.X {
+			pendX = append(pendX, append([]float64(nil), row...))
+		}
 		pendY = append(pendY, in.Y...)
 		if err := flush(false); err != nil {
 			return err

@@ -352,3 +352,120 @@ func TestStreamMetrics(t *testing.T) {
 		t.Fatalf("stream.buffer_occupancy = %d, want within [0,%d]", depth, DefaultBufferDepth)
 	}
 }
+
+// reusingSource yields rows through ONE reused backing buffer, the way an
+// IO-backed source would recycle its read buffer between Next calls. The
+// pipeline must copy rows on arrival: records pending across Next calls
+// would otherwise alias memory the source is about to overwrite.
+type reusingSource struct {
+	rows  [][]float64 // all records, immutable reference copy
+	buf   *dataset.Dataset
+	i, by int
+}
+
+func newReusingSource(t *testing.T, rows [][]float64, by int) *reusingSource {
+	t.Helper()
+	bufRows := make([][]float64, by)
+	for i := range bufRows {
+		bufRows[i] = make([]float64, len(rows[0]))
+	}
+	buf, err := dataset.New("reused", bufRows, make([]int, by))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &reusingSource{rows: rows, buf: buf, by: by}
+}
+
+func (s *reusingSource) Next(ctx context.Context) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.i >= len(s.rows) {
+		// Poison the shared buffer one last time: any aliased pending row
+		// would emit this garbage instead of its real values.
+		for _, row := range s.buf.X {
+			for j := range row {
+				row[j] = -1e9
+			}
+		}
+		return nil, io.EOF
+	}
+	n := s.by
+	if n > len(s.rows)-s.i {
+		n = len(s.rows) - s.i
+	}
+	for r := 0; r < n; r++ {
+		copy(s.buf.X[r], s.rows[s.i+r])
+		s.buf.Y[r] = (s.i + r) % 3
+	}
+	s.i += n
+	return &dataset.Dataset{Name: "reused", X: s.buf.X[:n], Y: s.buf.Y[:n]}, nil
+}
+
+// TestPendingBufferOwnsItsRows streams through a buffer-reusing source with
+// a chunk size that forces records to sit pending across Next calls, and
+// checks the emitted output still equals the batch transform exactly — the
+// regression test for the pending buffer aliasing source-owned memory.
+func TestPendingBufferOwnsItsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := mkData(t, rng, "aliased", 101, 3, 0)
+	p := mkPipeline(t, rng, 3, 0, Config{ChunkSize: 16})
+
+	// Yield 7 rows per Next against a chunk size of 16: every chunk spans
+	// multiple source batches, so pending rows survive buffer reuse.
+	chunks, err := drain(t, p, newReusingSource(t, data.X, 7))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := p.cfg.Target.ApplyNoiseless(data.FeaturesT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.New(want.Rows(), 0)
+	for _, c := range chunks {
+		got = got.Augment(c.Data.FeaturesT())
+	}
+	if got.Cols() != data.Len() {
+		t.Fatalf("streamed %d records, want %d", got.Cols(), data.Len())
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("streamed output diverged from batch transform (pending rows aliased the source buffer): max delta %v",
+			got.Sub(want).MaxAbs())
+	}
+}
+
+// TestBufferOccupancyDerivedAtSnapshot checks the emitted-chunk buffer gauge
+// is read live from the channel at snapshot time: a full buffer reports its
+// depth, and a drained buffer reports zero — the producer-side-only gauge
+// used to stay stuck at its last emission value forever.
+func TestBufferOccupancyDerivedAtSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := mkData(t, rng, "gauge", 200, 3, 0)
+	reg := metrics.NewRegistry()
+	p := mkPipeline(t, rng, 3, 0, Config{ChunkSize: 16, BufferDepth: 2, Metrics: reg})
+
+	errc := make(chan error, 1)
+	go func() { errc <- p.Run(context.Background(), DatasetSource(data)) }()
+
+	// With no consumer, the producer fills the buffer and blocks on the
+	// next emission; the gauge must report the genuine occupancy.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Snapshot().Gauges["stream.buffer_occupancy"] != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream.buffer_occupancy = %d, want 2 (full buffer)",
+				reg.Snapshot().Gauges["stream.buffer_occupancy"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Drain everything: the gauge must fall back to zero, not stay stuck
+	// at the producer's last push-side value.
+	for range p.Out() {
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["stream.buffer_occupancy"]; got != 0 {
+		t.Fatalf("stream.buffer_occupancy after drain = %d, want 0", got)
+	}
+}

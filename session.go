@@ -60,6 +60,12 @@ var (
 	// ErrNotMember flags a peer addressing a serving group whose member
 	// list does not include it.
 	ErrNotMember = protocol.ErrNotMember
+	// ErrBusy flags a request rejected because the addressed group's
+	// bounded ingest or prediction queue was full. The request had no
+	// effect, and clients retry it automatically with capped exponential
+	// backoff before surfacing this error — seeing it means the group
+	// stayed saturated through the whole retry budget.
+	ErrBusy = protocol.ErrBusy
 )
 
 // DefaultGroupID is the serving group a session uses when WithGroupID is
@@ -383,7 +389,12 @@ func (s *Session) TransformForInference(d *Dataset) (*Dataset, error) {
 // goroutines per client — are served concurrently. The service also accepts
 // streamed training chunks (Session.StreamTo, Client.Push), folding them
 // into its training set and refitting the model every WithServiceRefitEvery
-// records.
+// records. Refits happen in the background: a fresh model instance is
+// fitted off to the side and atomically swapped in, so queries and ingest
+// keep flowing — on the previous fit — while the retrain runs. That
+// requires fresh instances: with refits enabled, model must implement
+// classify.Cloner (facade-constructed classifiers do) or be served through
+// ServeGroups with a Group.NewModel factory.
 func (s *Session) Serve(ctx context.Context, conn Conn, model Classifier) error {
 	return s.ServeGroups(ctx, conn, model)
 }

@@ -20,8 +20,17 @@ type Group struct {
 	// one miner must carry distinct group IDs.
 	Session *Session
 	// Model is the classifier served to this group. Required; every group
-	// needs its own instance, models are never shared across groups.
+	// needs its own instance, models are never shared across groups. With
+	// refits enabled (the default), the model must either implement
+	// classify.Cloner — all classifiers constructed through the facade
+	// (NewKNN, NewSVM, NewNearestCentroid) do — or be paired with a
+	// NewModel factory, so background refits can fit a fresh instance and
+	// atomically swap it in without ever touching the serving one.
 	Model Classifier
+	// NewModel optionally returns a fresh, unfitted classifier with the
+	// same configuration as Model. Required for custom classifiers that do
+	// not implement classify.Cloner when refits are enabled.
+	NewModel func() Classifier
 	// Members optionally restricts the group to the named transport
 	// endpoints: peers outside the list are answered with ErrNotMember.
 	// Empty admits any peer. Names are the transport's self-declared
@@ -91,6 +100,7 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 			ID:         g.Session.GroupID(),
 			Unified:    g.Session.Unified(),
 			Model:      g.Model,
+			NewModel:   g.NewModel,
 			RefitEvery: g.Session.cfg.refitEvery,
 			Workers:    g.Session.cfg.workers,
 			MaxBatch:   g.Session.cfg.maxBatch,

@@ -7,7 +7,9 @@ package sap_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	sap "repro"
 )
@@ -236,6 +238,90 @@ func TestServeGroupsOverTCP(t *testing.T) {
 	}
 }
 
+// opaqueModel is a Classifier that deliberately does not implement
+// classify.Cloner, standing in for a user-supplied custom model.
+type opaqueModel struct{ inner sap.Classifier }
+
+func (m *opaqueModel) Fit(d *sap.Dataset) error         { return m.inner.Fit(d) }
+func (m *opaqueModel) Predict(x []float64) (int, error) { return m.inner.Predict(x) }
+
+// TestServeGroupsModelFactoryContract pins the background-refit model
+// contract at the facade: with refits enabled a non-cloneable custom model
+// is rejected up front (a refit could otherwise never fit a fresh
+// instance), while pairing it with a NewModel factory — or disabling
+// refits — serves fine.
+func TestServeGroupsModelFactoryContract(t *testing.T) {
+	sess, _ := runGroupSession(t, "Iris", 104, "custom")
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcConn.Close()
+
+	// Refits enabled (default) + opaque model, no factory: rejected.
+	err = sap.ServeGroups(context.Background(), svcConn,
+		sap.Group{Session: sess, Model: &opaqueModel{inner: sap.NewKNN(3)}})
+	if err == nil || !strings.Contains(err.Error(), "cannot refit in the background") {
+		t.Fatalf("ServeGroups with an uncloneable model = %v, want a background-refit config error", err)
+	}
+
+	// The same model with a factory serves — and the factory's fresh
+	// instances carry refits through to a live swap.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	sessRefit, _ := runGroupSession(t, "Iris", 105, "custom-refit", sap.WithServiceRefitEvery(2))
+	go func() {
+		done <- sap.ServeGroups(ctx, svcConn, sap.Group{
+			Session:  sessRefit,
+			Model:    &opaqueModel{inner: sap.NewKNN(1)},
+			NewModel: func() sap.Classifier { return &opaqueModel{inner: sap.NewKNN(1)} },
+		})
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	cliConn, err := net.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sessRefit.NewClient(cliConn, "mining-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	probe := make([]float64, sessRefit.Target().Dim())
+	for j := range probe {
+		probe[j] = 30.0
+	}
+	fresh, err := sessRefit.TransformForInference(mustDataset(t, [][]float64{probe, probe}, []int{8, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Push(runCtx(t), sap.StreamChunk{Data: fresh}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		label, err := client.Classify(runCtx(t), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("label = %d, want 8 (factory-built refit never swapped in)", label)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestServeGroupsPerGroupRefitCadence checks each group refits on its OWN
 // session's cadence: a group with refits disabled keeps its original fit
 // while a co-hosted group with a tight cadence learns pushed records —
@@ -290,12 +376,21 @@ func TestServeGroupsPerGroupRefitCadence(t *testing.T) {
 	if _, err := liveClient.Push(runCtx(t), sap.StreamChunk{Data: reachable}); err != nil {
 		t.Fatal(err)
 	}
-	label, err := liveClient.Classify(runCtx(t), probe)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if label != 9 {
-		t.Fatalf("live group label = %d, want 9 (its own cadence must fire)", label)
+	// The cadence-triggered refit fits and swaps in the background; poll
+	// until the fresh fit is live.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		label, err := liveClient.Classify(runCtx(t), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == 9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live group label = %d, want 9 (its own cadence must fire)", label)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 
 	// The frozen group still answers sensibly from its original fit.

@@ -183,7 +183,9 @@ func (s *Session) Stream(ctx context.Context, source StreamSource, opts ...Strea
 // Push streams one target-space chunk into the mining service, which folds
 // its records into the served training set and refits on the cadence
 // configured with WithServiceRefitEvery. It returns the service's total
-// training-set size after the push. Safe for concurrent use.
+// training-set size after the push. A busy rejection (the group's bounded
+// ingest queue was full; the chunk did not land) is retried with capped
+// exponential backoff before ErrBusy is surfaced. Safe for concurrent use.
 func (c *Client) Push(ctx context.Context, chunk StreamChunk) (int, error) {
 	if chunk.Data == nil || chunk.Data.Len() == 0 {
 		return 0, fmt.Errorf("%w: empty chunk", ErrBadChunk)
