@@ -11,12 +11,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	sap "repro"
 	"repro/internal/classify"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/matrix"
@@ -697,6 +699,139 @@ func BenchmarkMultiGroupThroughput(b *testing.B) {
 			cancel()
 			if err := <-done; err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// latencyModel is a KNN whose every Predict also burns a fixed wall-clock
+// cost, emulating a production model whose inference latency — not CPU —
+// bounds a single node's serving rate. It makes the cluster benchmark
+// meaningful on small CI machines: aggregate throughput then scales with
+// how many nodes share the classify fan-out, which is exactly the routing
+// property under test, rather than with host core count.
+type latencyModel struct {
+	inner *classify.KNN
+	cost  time.Duration
+}
+
+func (m *latencyModel) Fit(d *dataset.Dataset) error { return m.inner.Fit(d) }
+
+func (m *latencyModel) Predict(x []float64) (int, error) {
+	time.Sleep(m.cost)
+	return m.inner.Predict(x)
+}
+
+func (m *latencyModel) Clone() classify.Classifier {
+	return &latencyModel{inner: classify.NewKNN(1), cost: m.cost}
+}
+
+// BenchmarkClusterThroughput measures aggregate classify throughput as one
+// group's read fan-out widens from a single node to 8 replicas. A static
+// table pins the group's leader and N-1 read replicas; the cluster client
+// round-robins classifies over all assignees. With a 1ms simulated predict
+// latency and 4 workers per node, each node saturates at ~4k records/s, so
+// the records/s series should grow near-linearly in the node count; the
+// scale-vs-1node metric reports each size's speedup over the single-node
+// baseline measured in the same run.
+func BenchmarkClusterThroughput(b *testing.B) {
+	const dim, records, workers = 4, 64, 4
+	const predictCost = 2 * time.Millisecond
+	rng := rand.New(rand.NewSource(53))
+	x := make([][]float64, records)
+	y := make([]int, records)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i % 4
+	}
+	data, err := dataset.New("bench", x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var baseline float64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			names := make([]string, nodes)
+			for i := range names {
+				names[i] = fmt.Sprintf("bn%d", i+1)
+			}
+			table, err := cluster.NewStaticTable([]protocol.RouteEntry{
+				{Group: "bench", Node: names[0], Replicas: names[1:]},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := transport.NewMemNetwork()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, nodes)
+			for _, name := range names {
+				conn, err := net.Endpoint(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				node, err := cluster.NewNode(cluster.NodeConfig{
+					Name: name, Conn: conn, Table: table,
+					Groups: []protocol.GroupSpec{{
+						ID: "bench", Unified: data,
+						Model: &latencyModel{inner: classify.NewKNN(1), cost: predictCost},
+					}},
+					Service: protocol.ServiceConfig{Workers: workers},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func() { done <- node.Serve(ctx) }()
+			}
+			cliConn, err := net.Endpoint("cli")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cliConn.Close()
+			client, err := cluster.NewClient(cluster.ClientConfig{
+				Conn: cliConn, Seeds: names[:1],
+				// Round-robin skew can momentarily stack the whole fleet's
+				// in-flight calls on one node; absorb the resulting busy
+				// rejections instead of failing the benchmark.
+				Backoff: protocol.Backoff{Tries: 12, Base: predictCost / 2, Max: 8 * predictCost},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			query := data.X[0]
+			// Keep enough calls in flight to saturate every node's worker
+			// pool even on a single-core runner: RunParallel spawns
+			// p×GOMAXPROCS goroutines, and at p<1 falls back to GOMAXPROCS,
+			// which already exceeds the in-flight target on wide hosts.
+			b.SetParallelism(2 * nodes * workers / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.Classify(ctx, "bench", query); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			throughput := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(throughput, "records/s")
+			if nodes == 1 {
+				baseline = throughput
+			} else if baseline > 0 {
+				b.ReportMetric(throughput/baseline, "scale-vs-1node")
+			}
+			client.Close()
+			cancel()
+			for range names {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

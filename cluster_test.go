@@ -1,0 +1,138 @@
+package sap_test
+
+// Tests for cluster serving through the public facade: groups partitioned
+// across miner processes by a derived routing table, a cluster client
+// routing per group, and the cluster option set.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	sap "repro"
+)
+
+// startClusterNode runs ServeCluster for one node until test cleanup.
+func startClusterNode(t *testing.T, conn sap.Conn, name string, groups []sap.Group) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := sap.ServeCluster(ctx, conn, name, groups...); err != nil {
+			t.Error(err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// TestServeClusterEndToEnd partitions two contract groups across two
+// in-memory miner nodes with one read replica each and drives both groups
+// through a cluster client: classify fans out over the derived assignment,
+// pushes land on each group's leader, and the discovered table matches the
+// deployment.
+func TestServeClusterEndToEnd(t *testing.T) {
+	sessA, holdoutA := runGroupSession(t, "Iris", 71, "ward-a",
+		sap.WithClusterNodes("n1", "n2"), sap.WithClusterReplicas(1))
+	sessB, holdoutB := runGroupSession(t, "Iris", 83, "ward-b")
+
+	net := sap.NewMemNetwork()
+	for _, name := range []string{"n1", "n2"} {
+		conn, err := net.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		startClusterNode(t, conn, name, []sap.Group{
+			{Session: sessA, Model: sap.NewKNN(1)},
+			{Session: sessB, Model: sap.NewKNN(1)},
+		})
+	}
+
+	cliConn, err := net.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sap.NewClusterClient(cliConn, []string{"n2"}, sessA, sessB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	entries, err := client.Routes(runCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("discovered %d routes, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if len(e.Replicas) != 1 {
+			t.Fatalf("group %s has %d replicas, want 1", e.Group, len(e.Replicas))
+		}
+	}
+
+	// Both groups answer through the cluster client with their own models:
+	// each group's holdout should classify well above chance against its own
+	// target space.
+	for _, tc := range []struct {
+		group   string
+		holdout *sap.Dataset
+	}{{"ward-a", holdoutA}, {"ward-b", holdoutB}} {
+		labels, err := client.ClassifyBatch(runCtx(t), tc.group, tc.holdout.X)
+		if err != nil {
+			t.Fatalf("group %s: %v", tc.group, err)
+		}
+		correct := 0
+		for i, label := range labels {
+			if label == tc.holdout.Y[i] {
+				correct++
+			}
+		}
+		if correct*2 < tc.holdout.Len() {
+			t.Fatalf("group %s: %d/%d correct — routed to the wrong model?",
+				tc.group, correct, tc.holdout.Len())
+		}
+	}
+
+	// Pushes land on each group's leader.
+	if _, err := client.Push(runCtx(t), "ward-a", holdoutA.X[:2], holdoutA.Y[:2]); err != nil {
+		t.Fatalf("push ward-a: %v", err)
+	}
+
+	// A group no session was given for is refused client-side.
+	if _, err := client.ClassifyBatch(runCtx(t), "ward-x", holdoutA.X[:1]); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("unknown-group classify err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestServeClusterValidation checks the cluster option set and ServeCluster
+// argument validation.
+func TestServeClusterValidation(t *testing.T) {
+	if _, err := sap.Run(runCtx(t), sap.WithClusterNodes()); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("empty WithClusterNodes err = %v, want ErrBadInput", err)
+	}
+	if _, err := sap.Run(runCtx(t), sap.WithClusterNodes("a", "")); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("blank cluster node err = %v, want ErrBadInput", err)
+	}
+	if _, err := sap.Run(runCtx(t), sap.WithClusterReplicas(-1)); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("negative replicas err = %v, want ErrBadInput", err)
+	}
+
+	sess, _ := runGroupSession(t, "Iris", 91, "solo") // no WithClusterNodes
+	net := sap.NewMemNetwork()
+	conn, err := net.Endpoint("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sap.ServeCluster(context.Background(), conn, "n1", sap.Group{Session: sess, Model: sap.NewKNN(1)})
+	if !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("ServeCluster without WithClusterNodes err = %v, want ErrBadInput", err)
+	}
+
+	if _, err := sap.NewClusterClient(conn, []string{"n1"}); !errors.Is(err, sap.ErrBadInput) {
+		t.Fatalf("NewClusterClient without sessions err = %v, want ErrBadInput", err)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/perturb"
@@ -102,6 +103,8 @@ func run(args []string) error {
 		refitEvery  = fs.Int("refit", 0, "streamed records accumulated before the served model refits (miner with -serve; 0 selects the default, <0 disables)")
 		group       = fs.String("group", "", "serving group id: the group the miner serves its result under, and the group providers stamp on -query/-stream frames (empty selects the default group)")
 		groupsFlag  = fs.String("groups", "", "comma-separated id=unified.csv list; the miner serves one model shard per stored unified dataset, skipping the protocol run (miner with -serve)")
+		clusterFlag = fs.String("cluster", "", "comma-separated name=addr cluster node list; the miner joins the cluster and serves its rendezvous-derived share of -groups, leading some and following others as a read replica (miner with -groups; this node's -name must be in the list)")
+		clusterReps = fs.Int("cluster-replicas", 0, "read replicas per group in the derived routing table (miner with -cluster)")
 		metricsAddr = fs.String("metrics-addr", "", "serve operational metrics over HTTP on this address: GET /metrics returns the JSON snapshot, GET /healthz liveness (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -222,6 +225,9 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *clusterFlag != "" && *groupsFlag == "" {
+			return fmt.Errorf("-cluster requires -groups (the cluster partitions the id=csv group list)")
+		}
 		if *groupsFlag != "" {
 			// Multi-group serving from stored unified datasets: no
 			// protocol run, one model shard per id=csv pair.
@@ -230,6 +236,10 @@ func run(args []string) error {
 			}
 			if *group != "" {
 				return fmt.Errorf("-group conflicts with -groups (the id=csv list already names every group)")
+			}
+			if *clusterFlag != "" {
+				return serveCluster(node, *name, *clusterFlag, *clusterReps,
+					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
 			}
 			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
 		}
@@ -298,30 +308,40 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 	return serveLoop(svc, fmt.Sprintf("mining service online (%s model, group %q); serving queries…", modelName, group), d)
 }
 
-// serveGroups stands up one model shard per id=unified.csv pair and serves
-// all of them from this process — the many-contract deployment: each stored
-// unified dataset is an earlier contract's result in its own target space.
-func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
+// parseGroups maps a -groups id=unified.csv list to protocol group specs,
+// one freshly built model per group.
+func parseGroups(spec, modelName string) ([]protocol.GroupSpec, error) {
 	var groups []protocol.GroupSpec
 	for _, pair := range strings.Split(spec, ",") {
 		kv := strings.SplitN(pair, "=", 2)
 		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
-			return fmt.Errorf("bad group %q (want id=unified.csv)", pair)
+			return nil, fmt.Errorf("bad group %q (want id=unified.csv)", pair)
 		}
 		f, err := os.Open(kv[1])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		data, err := dataset.ReadCSV(f, kv[1])
 		f.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		model, err := buildModel(modelName)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		groups = append(groups, protocol.GroupSpec{ID: kv[0], Unified: data, Model: model})
+	}
+	return groups, nil
+}
+
+// serveGroups stands up one model shard per id=unified.csv pair and serves
+// all of them from this process — the many-contract deployment: each stored
+// unified dataset is an earlier contract's result in its own target space.
+func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
+	groups, err := parseGroups(spec, modelName)
+	if err != nil {
+		return err
 	}
 	svc, err := protocol.NewGroupedMiningService(conn, groups,
 		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink})
@@ -332,9 +352,56 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 		modelName, len(groups)), d)
 }
 
+// serveCluster joins this miner to a cluster: the id=csv group list is
+// partitioned across the name=addr node list by rendezvous hashing (every
+// node derives the identical table locally), and this process hosts its
+// share — leading some groups, following others as a read replica. The
+// other cluster nodes are added as transport peers so replication and
+// forwarded client traffic can reach them.
+func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas int,
+	groupsSpec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
+	groups, err := parseGroups(groupsSpec, modelName)
+	if err != nil {
+		return err
+	}
+	var names []string
+	member := false
+	for _, pair := range strings.Split(clusterSpec, ",") {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return fmt.Errorf("bad cluster node %q (want name=addr)", pair)
+		}
+		names = append(names, kv[0])
+		if kv[0] == name {
+			member = true
+		} else {
+			node.AddPeer(kv[0], kv[1])
+		}
+	}
+	if !member {
+		return fmt.Errorf("-cluster list does not include this node's -name %q", name)
+	}
+	ids := make([]string, len(groups))
+	for i, g := range groups {
+		ids[i] = g.ID
+	}
+	table, err := cluster.NewRendezvousTable(ids, names, replicas)
+	if err != nil {
+		return err
+	}
+	n, err := cluster.NewNode(cluster.NodeConfig{
+		Name: name, Conn: node, Table: table, Groups: groups,
+		Service: protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink}})
+	if err != nil {
+		return err
+	}
+	return serveLoop(n, fmt.Sprintf("cluster node online (%s model): leading %v, following %v of %d groups; serving queries…",
+		modelName, n.Leads(), n.Follows(), len(groups)), d)
+}
+
 // serveLoop runs a built service until the duration elapses (or, when
 // negative, until SIGINT/SIGTERM).
-func serveLoop(svc *protocol.MiningService, banner string, d time.Duration) error {
+func serveLoop(svc interface{ Serve(context.Context) error }, banner string, d time.Duration) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if d > 0 {

@@ -1,0 +1,181 @@
+// Cluster: contract groups partitioned across several miner processes. Two
+// consortia — hospitals pooling Diabetes records and vintners pooling Wine
+// assays — unify as usual, but instead of one miner hosting every group,
+// three miner nodes share the load: a rendezvous-hashed routing table
+// assigns each group a leader plus one read replica, leaders stream every
+// refit's model to their replicas, and a cluster client discovers the table
+// and routes per group — classifies fan out over leader and replica, pushes
+// go to the leader only. Stopping a replica degrades that group to
+// leader-only serving with no client-visible errors.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	sap "repro"
+)
+
+var nodeNames = []string{"n1", "n2", "n3"}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runGroup executes one consortium's SAP session over its own parties. The
+// first session carries the cluster layout; the option set is shared.
+func runGroup(ctx context.Context, groupID, dataset string, seed int64, extra ...sap.Option) (*sap.Session, *sap.Dataset, error) {
+	pool, err := sap.GenerateDataset(dataset, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.2, seed+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, seed+2)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := append([]sap.Option{
+		sap.WithParties(parties...),
+		sap.WithSeed(seed + 3),
+		sap.WithOptimizer(4, 4),
+		sap.WithGroupID(groupID),
+	}, extra...)
+	sess, err := sap.Run(ctx, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, holdout, nil
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Phase 1: two disjoint consortia unify independently. The hospitals
+	// session declares the cluster layout — three nodes, one read replica
+	// per group; ServeCluster reads it from the first session that has one.
+	hospitals, diabHoldout, err := runGroup(ctx, "hospitals", "Diabetes", 11,
+		sap.WithClusterNodes(nodeNames...), sap.WithClusterReplicas(1))
+	if err != nil {
+		return err
+	}
+	vintners, wineHoldout, err := runGroup(ctx, "vintners", "Wine", 22)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("two contracts unified: hospitals (%d records), vintners (%d records)\n",
+		hospitals.Unified().Len(), vintners.Unified().Len())
+
+	// Phase 2: three miner nodes each run ServeCluster with the full group
+	// list. Every node derives the same rendezvous table locally and hosts
+	// only the shards assigned to it — as leader or as read replica.
+	net := sap.NewMemNetwork()
+	stop := make(map[string]func() error)
+	for _, name := range nodeNames {
+		conn, err := net.Endpoint(name)
+		if err != nil {
+			return err
+		}
+		nodeCtx, stopNode := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func(name string) {
+			done <- sap.ServeCluster(nodeCtx, conn, name,
+				sap.Group{Session: hospitals, Model: sap.NewKNN(5)},
+				sap.Group{Session: vintners, Model: sap.NewKNN(5)},
+			)
+		}(name)
+		stop[name] = func() error {
+			stopNode()
+			err := <-done
+			conn.Close()
+			return err
+		}
+	}
+
+	// Phase 3: a cluster client discovers the routing table from a seed node
+	// and routes every call by group. Reads round-robin over leader and
+	// replica; pushes go to the leader alone.
+	cliConn, err := net.Endpoint("cli")
+	if err != nil {
+		return err
+	}
+	defer cliConn.Close()
+	client, err := sap.NewClusterClient(cliConn, []string{nodeNames[0]}, hospitals, vintners)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	routes, err := client.Routes(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range routes {
+		fmt.Printf("group %q: leader %s, replicas %v\n", r.Group, r.Node, r.Replicas)
+	}
+
+	for _, q := range []struct {
+		group   string
+		holdout *sap.Dataset
+	}{
+		{"hospitals", diabHoldout},
+		{"vintners", wineHoldout},
+	} {
+		labels, err := client.ClassifyBatch(ctx, q.group, q.holdout.X)
+		if err != nil {
+			return err
+		}
+		agree := 0
+		for i, label := range labels {
+			if label == q.holdout.Y[i] {
+				agree++
+			}
+		}
+		fmt.Printf("group %q: %d/%d holdout labels agree\n", q.group, agree, len(labels))
+	}
+
+	// Phase 4: a push lands on the hospitals leader; once enough records
+	// accumulate the shard refits in the background and streams the swapped
+	// model to its replica, so reads stay consistent on every assignee.
+	if _, err := client.Push(ctx, "hospitals", diabHoldout.X[:4], diabHoldout.Y[:4]); err != nil {
+		return err
+	}
+	fmt.Println("pushed 4 records to the hospitals leader")
+
+	// Phase 5: failover. Stop the hospitals replica — classifies keep
+	// succeeding against the leader with no client-visible errors.
+	var hospitalsRoute sap.RouteEntry
+	for _, r := range routes {
+		if r.Group == "hospitals" {
+			hospitalsRoute = r
+		}
+	}
+	replica := hospitalsRoute.Replicas[0]
+	if err := stop[replica](); err != nil {
+		return err
+	}
+	fmt.Printf("stopped replica %s\n", replica)
+	for i := 0; i < 4; i++ {
+		if _, err := client.Classify(ctx, "hospitals", diabHoldout.X[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Println("hospitals classifies degraded to leader-only serving: 4/4 answered")
+
+	for _, name := range nodeNames {
+		if name == replica {
+			continue
+		}
+		if err := stop[name](); err != nil {
+			return err
+		}
+	}
+	return nil
+}

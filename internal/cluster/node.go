@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// syncSendTimeout bounds one model-sync write to a replica so a wedged link
+// cannot stall the publisher loop (and with it every other group's
+// replication) indefinitely.
+const syncSendTimeout = 10 * time.Second
+
+// NodeConfig assembles one cluster node.
+type NodeConfig struct {
+	// Name is this node's transport endpoint name; table rows naming it are
+	// the groups it hosts. Required.
+	Name string
+	// Conn is the node's transport endpoint (its name must match Name so
+	// peers' replies and the replicas' SyncFrom authorization line up).
+	// Required. Both built-in transports (in-memory and TCP) are safe for the
+	// concurrent senders a node runs: the serving loop's responder and the
+	// leader's replication publisher share this conn.
+	Conn transport.Conn
+	// Table is the cluster routing table. Every node must be constructed from
+	// the same table (rendezvous tables guarantee this by derivation);
+	// Required.
+	Table *Table
+	// Groups is the full cluster group list — every node receives the same
+	// slice and hosts only the groups whose table row names it, as leader
+	// (row's Node) or read replica (listed in the row's Replicas). Specs must
+	// not pre-set SyncFrom; the table decides roles. Required, and at least
+	// one group must land on this node.
+	Groups []protocol.GroupSpec
+	// Service carries the serving knobs (workers, batch caps, refit cadence,
+	// metrics) applied to the hosted groups. Routes is overwritten with the
+	// table; OnModelSwap is chained after the replication hook if set.
+	Service protocol.ServiceConfig
+}
+
+// pendingSync is one group's latest unreplicated model: the classifier the
+// refit just published plus the leader's ingest count at publication, the
+// coverage mark the lag gauge measures against.
+type pendingSync struct {
+	model    classify.Classifier
+	ingested int64
+}
+
+// Node is one miner process in a cluster: a MiningService hosting the table's
+// share of groups, plus — when this node leads groups that have read
+// replicas — a replication publisher that streams each successful refit's
+// swapped classifier to the followers. Construct with NewNode, run with
+// Serve.
+type Node struct {
+	name    string
+	conn    transport.Conn
+	table   *Table
+	svc     *protocol.MiningService
+	leads   []string            // groups this node leads, in table order
+	follows []string            // groups this node follows, in table order
+	fanout  map[string][]string // led group -> its replica endpoints
+
+	// Replication state. The refit goroutines enqueue swapped models into
+	// pending (latest wins per group — a slow replica link never backlogs
+	// models, it just skips intermediate fits) and nudge the publisher via
+	// notify; seq is touched only by the publisher goroutine.
+	mu      sync.Mutex
+	pending map[string]pendingSync
+	notify  chan struct{}
+	seq     map[string]uint64
+
+	// lagBase is, per led group with replicas, the leader ingest count the
+	// last fully replicated model covered; the replica-lag gauge reads
+	// current ingested minus this. A failed publish leaves the base put, so
+	// lag keeps growing until a sync lands — exactly the signal an operator
+	// should see.
+	lagBase map[string]*atomic.Int64
+
+	mSyncPublished metrics.Counter // model syncs sent (one per replica per fit)
+	mSyncErrors    metrics.Counter // encode or send failures while replicating
+}
+
+// NewNode partitions cfg.Groups against the routing table and assembles this
+// node's share: groups whose row names it as leader are hosted as ordinary
+// refitting shards, groups listing it as a replica are hosted with
+// SyncFrom pointed at the row's leader (ingest refused, refits disabled,
+// model advanced only by installed syncs). Groups routed elsewhere are
+// skipped; a node the table assigns nothing is a configuration error
+// (ErrNoGroups).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: empty node name", ErrBadNode)
+	}
+	if cfg.Conn == nil {
+		return nil, fmt.Errorf("%w: nil conn", ErrBadNode)
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("%w: nil routing table", ErrBadNode)
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("%w: no groups", ErrBadNode)
+	}
+	n := &Node{
+		name:    cfg.Name,
+		conn:    cfg.Conn,
+		table:   cfg.Table,
+		fanout:  make(map[string][]string),
+		pending: make(map[string]pendingSync),
+		notify:  make(chan struct{}, 1),
+		seq:     make(map[string]uint64),
+		lagBase: make(map[string]*atomic.Int64),
+	}
+
+	var hosted []protocol.GroupSpec
+	for _, spec := range cfg.Groups {
+		if spec.SyncFrom != "" {
+			return nil, fmt.Errorf("%w: group %q pre-sets SyncFrom; roles come from the table",
+				ErrBadNode, spec.ID)
+		}
+		route, ok := cfg.Table.Route(spec.ID)
+		if !ok {
+			return nil, fmt.Errorf("%w: group %q has no routing-table row", ErrBadNode, spec.ID)
+		}
+		switch {
+		case route.Node == cfg.Name:
+			n.leads = append(n.leads, spec.ID)
+			if len(route.Replicas) > 0 {
+				n.fanout[spec.ID] = route.Replicas
+				n.lagBase[spec.ID] = &atomic.Int64{}
+			}
+			hosted = append(hosted, spec)
+		case contains(route.Replicas, cfg.Name):
+			n.follows = append(n.follows, spec.ID)
+			spec.SyncFrom = route.Node
+			hosted = append(hosted, spec)
+		}
+	}
+	if len(hosted) == 0 {
+		return nil, fmt.Errorf("%w: table routes nothing to %q", ErrNoGroups, cfg.Name)
+	}
+
+	svcCfg := cfg.Service
+	svcCfg.Routes = cfg.Table.Entries()
+	if len(n.fanout) > 0 {
+		prev := svcCfg.OnModelSwap
+		svcCfg.OnModelSwap = func(group string, model classify.Classifier) {
+			if prev != nil {
+				prev(group, model)
+			}
+			n.enqueueSync(group, model)
+		}
+	}
+	svc, err := protocol.NewGroupedMiningService(cfg.Conn, hosted, svcCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.svc = svc
+
+	m := svcCfg.Metrics
+	if m == nil {
+		m = metrics.Nop()
+	}
+	n.mSyncPublished = m.Counter("cluster.sync_published")
+	n.mSyncErrors = m.Counter("cluster.sync_errors")
+	if fg, ok := m.(metrics.FuncGauges); ok && len(n.fanout) > 0 {
+		fg.GaugeFunc("cluster.replica_lag_records", n.replicaLag)
+	}
+	return n, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Name returns the node's endpoint name.
+func (n *Node) Name() string { return n.name }
+
+// Service exposes the node's underlying MiningService (ingest totals, group
+// listing) for operators and tests.
+func (n *Node) Service() *protocol.MiningService { return n.svc }
+
+// Leads returns the groups this node leads, in table order.
+func (n *Node) Leads() []string { return append([]string(nil), n.leads...) }
+
+// Follows returns the groups this node serves as a read replica, in table
+// order.
+func (n *Node) Follows() []string { return append([]string(nil), n.follows...) }
+
+// replicaLag derives the cluster.replica_lag_records gauge: across the led
+// groups that have replicas, how many leader-ingested records the last fully
+// replicated models do not cover. Zero means followers serve fits as fresh
+// as the leader's.
+func (n *Node) replicaLag() int64 {
+	var lag int64
+	for g, base := range n.lagBase {
+		ingested, err := n.svc.GroupIngested(g)
+		if err != nil {
+			continue
+		}
+		if d := int64(ingested) - base.Load(); d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// enqueueSync records a freshly swapped classifier for replication. It runs
+// on the group's refit goroutine and must not block: it parks the model in
+// the latest-wins pending map and nudges the publisher. Swaps in led groups
+// without replicas have nowhere to go and are dropped here.
+func (n *Node) enqueueSync(group string, model classify.Classifier) {
+	if _, ok := n.fanout[group]; !ok {
+		return
+	}
+	ingested, _ := n.svc.GroupIngested(group)
+	n.mu.Lock()
+	n.pending[group] = pendingSync{model: model, ingested: int64(ingested)}
+	n.mu.Unlock()
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Serve runs the node: the mining service plus, when this node leads
+// replicated groups, the replication publisher. It blocks until ctx is
+// cancelled or the transport fails, with the same error contract as
+// MiningService.Serve.
+func (n *Node) Serve(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	if len(n.fanout) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.publishLoop(ctx)
+		}()
+	}
+	err := n.svc.Serve(ctx)
+	cancel()
+	wg.Wait()
+	return err
+}
+
+// publishLoop drains pending models and replicates each to its group's
+// followers, one publisher per node so replication never competes with
+// serving goroutines for anything but the conn.
+func (n *Node) publishLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.notify:
+		}
+		n.publishPending(ctx)
+	}
+}
+
+// publishPending replicates every pending model once. Encode and send
+// failures are counted and dropped — the next refit enqueues a fresher model
+// anyway, and the lag gauge stays elevated until a publish lands.
+func (n *Node) publishPending(ctx context.Context) {
+	n.mu.Lock()
+	batch := n.pending
+	n.pending = make(map[string]pendingSync)
+	n.mu.Unlock()
+	for _, group := range n.leads { // table order, for determinism
+		ps, ok := batch[group]
+		if !ok {
+			continue
+		}
+		blob, err := classify.EncodeModel(ps.model)
+		if err != nil {
+			n.mSyncErrors.Inc()
+			continue
+		}
+		n.seq[group]++
+		allSent := true
+		for _, replica := range n.fanout[group] {
+			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
+			err := protocol.SendModelSync(sctx, n.conn, replica, group, n.seq[group], blob)
+			scancel()
+			if err != nil {
+				n.mSyncErrors.Inc()
+				allSent = false
+				continue
+			}
+			n.mSyncPublished.Inc()
+		}
+		if allSent {
+			n.lagBase[group].Store(ps.ingested)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// someGroups returns n distinct group names.
+func someGroups(n int) []string {
+	groups := make([]string, n)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("group-%02d", i)
+	}
+	return groups
+}
+
+// assignees returns the full assignment set (leader + replicas) of one row.
+func assignees(e protocol.RouteEntry) []string {
+	return append([]string{e.Node}, e.Replicas...)
+}
+
+// TestRendezvousDeterministic checks two derivations of the same table are
+// identical — the property that lets every process derive the table locally
+// instead of gossiping it.
+func TestRendezvousDeterministic(t *testing.T) {
+	groups := someGroups(32)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	a, err := NewRendezvousTable(groups, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRendezvousTable(groups, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Entries(), b.Entries()) {
+		t.Fatalf("same inputs derived different tables:\n%v\n%v", a.Entries(), b.Entries())
+	}
+	// Node order must not matter either.
+	c, err := NewRendezvousTable(groups, []string{"n3", "n1", "n4", "n2"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Entries(), c.Entries()) {
+		t.Fatalf("node order changed the table:\n%v\n%v", a.Entries(), c.Entries())
+	}
+}
+
+// TestRendezvousStableUnderRemoval checks the minimal-disruption property:
+// dropping one node only remaps the groups that had it in their assignment
+// set — every other row survives byte for byte.
+func TestRendezvousStableUnderRemoval(t *testing.T) {
+	groups := someGroups(64)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	before, err := NewRendezvousTable(groups, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for drop := range nodes {
+		var remaining []string
+		remaining = append(remaining, nodes[:drop]...)
+		remaining = append(remaining, nodes[drop+1:]...)
+		after, err := NewRendezvousTable(groups, remaining, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, g := range groups {
+			old, _ := before.Route(g)
+			now, _ := after.Route(g)
+			if contains(assignees(old), nodes[drop]) {
+				moved++
+				continue // this group legitimately remaps
+			}
+			if !reflect.DeepEqual(old, now) {
+				t.Errorf("dropping %s moved group %s (was %v, now %v) though it never touched it",
+					nodes[drop], g, old, now)
+			}
+		}
+		if moved == len(groups) {
+			t.Errorf("dropping %s remapped every group — no stability at all", nodes[drop])
+		}
+	}
+}
+
+// TestRendezvousStableUnderAddition checks the dual property: a new node
+// only claims groups that now rank it; rows that do not pick it up are
+// unchanged.
+func TestRendezvousStableUnderAddition(t *testing.T) {
+	groups := someGroups(64)
+	before, err := NewRendezvousTable(groups, []string{"n1", "n2", "n3", "n4"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRendezvousTable(groups, []string{"n1", "n2", "n3", "n4", "n5"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := 0
+	for _, g := range groups {
+		old, _ := before.Route(g)
+		now, _ := after.Route(g)
+		if contains(assignees(now), "n5") {
+			claimed++
+			continue
+		}
+		if !reflect.DeepEqual(old, now) {
+			t.Errorf("adding n5 moved group %s (was %v, now %v) without claiming it", g, old, now)
+		}
+	}
+	if claimed == 0 {
+		t.Error("adding a node claimed no groups — the hash is ignoring it")
+	}
+}
+
+// TestRendezvousSpread checks the assignment neither starves a node nor
+// double-books a row: with enough groups every node leads some, and no row
+// repeats a node between leader and replicas.
+func TestRendezvousSpread(t *testing.T) {
+	groups := someGroups(64)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	table, err := NewRendezvousTable(groups, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leads := make(map[string]int)
+	for _, e := range table.Entries() {
+		leads[e.Node]++
+		if len(e.Replicas) != 2 {
+			t.Fatalf("group %s has %d replicas, want 2", e.Group, len(e.Replicas))
+		}
+		seen := map[string]bool{e.Node: true}
+		for _, r := range e.Replicas {
+			if seen[r] {
+				t.Fatalf("group %s assigns node %s twice", e.Group, r)
+			}
+			seen[r] = true
+		}
+	}
+	for _, n := range nodes {
+		if leads[n] == 0 {
+			t.Errorf("node %s leads no groups out of %d", n, len(groups))
+		}
+	}
+}
+
+// TestRendezvousValidation checks the constructor refuses malformed inputs
+// with ErrBadTable.
+func TestRendezvousValidation(t *testing.T) {
+	cases := map[string]func() (*Table, error){
+		"no groups":         func() (*Table, error) { return NewRendezvousTable(nil, []string{"n1"}, 0) },
+		"no nodes":          func() (*Table, error) { return NewRendezvousTable([]string{"g"}, nil, 0) },
+		"replicas >= nodes": func() (*Table, error) { return NewRendezvousTable([]string{"g"}, []string{"n1", "n2"}, 2) },
+		"negative replicas": func() (*Table, error) { return NewRendezvousTable([]string{"g"}, []string{"n1"}, -1) },
+		"dup node":          func() (*Table, error) { return NewRendezvousTable([]string{"g"}, []string{"n1", "n1"}, 0) },
+		"dup group":         func() (*Table, error) { return NewRendezvousTable([]string{"g", "g"}, []string{"n1"}, 0) },
+		"empty node":        func() (*Table, error) { return NewRendezvousTable([]string{"g"}, []string{""}, 0) },
+		"empty group":       func() (*Table, error) { return NewRendezvousTable([]string{""}, []string{"n1"}, 0) },
+	}
+	for name, build := range cases {
+		if _, err := build(); !errors.Is(err, ErrBadTable) {
+			t.Errorf("%s: err = %v, want ErrBadTable", name, err)
+		}
+	}
+}
+
+// TestStaticTableValidation checks row validation and that the table deep
+// copies its input.
+func TestStaticTableValidation(t *testing.T) {
+	bad := map[string][]protocol.RouteEntry{
+		"empty":         {},
+		"empty group":   {{Group: "", Node: "n1"}},
+		"empty leader":  {{Group: "g", Node: ""}},
+		"dup group":     {{Group: "g", Node: "n1"}, {Group: "g", Node: "n2"}},
+		"empty replica": {{Group: "g", Node: "n1", Replicas: []string{""}}},
+		"leader again":  {{Group: "g", Node: "n1", Replicas: []string{"n1"}}},
+		"dup replica":   {{Group: "g", Node: "n1", Replicas: []string{"n2", "n2"}}},
+	}
+	for name, entries := range bad {
+		if _, err := NewStaticTable(entries); !errors.Is(err, ErrBadTable) {
+			t.Errorf("%s: err = %v, want ErrBadTable", name, err)
+		}
+	}
+
+	rows := []protocol.RouteEntry{{Group: "g", Node: "n1", Replicas: []string{"n2"}}}
+	table, err := NewStaticTable(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows[0].Replicas[0] = "mutated"
+	rows[0].Node = "mutated"
+	if e, _ := table.Route("g"); e.Node != "n1" || e.Replicas[0] != "n2" {
+		t.Fatalf("table aliased caller memory: %v", e)
+	}
+}
+
+// TestTableAccessors checks Route misses, and the Groups/Nodes listings.
+func TestTableAccessors(t *testing.T) {
+	table, err := NewStaticTable([]protocol.RouteEntry{
+		{Group: "g-b", Node: "n2", Replicas: []string{"n3"}},
+		{Group: "g-a", Node: "n1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Route("nope"); ok {
+		t.Fatal("Route found a group the table does not hold")
+	}
+	if got := table.Groups(); !reflect.DeepEqual(got, []string{"g-b", "g-a"}) {
+		t.Fatalf("Groups = %v, want construction order", got)
+	}
+	if got := table.Nodes(); !reflect.DeepEqual(got, []string{"n1", "n2", "n3"}) {
+		t.Fatalf("Nodes = %v, want sorted unique set", got)
+	}
+}

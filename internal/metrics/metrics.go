@@ -292,11 +292,17 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // ServeHTTP implements http.Handler: it answers any GET with the current
-// snapshot as JSON. Mount it wherever the deployment exposes operational
-// endpoints (cmd/sapnode serves it under -metrics-addr at /metrics).
+// snapshot as JSON, or in the Prometheus text exposition format when the
+// request carries ?format=prom (see WritePrometheus). Mount it wherever the
+// deployment exposes operational endpoints (cmd/sapnode serves it under
+// -metrics-addr at /metrics).
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet && req.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if req.URL.Query().Get("format") == "prom" {
+		r.servePrometheus(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

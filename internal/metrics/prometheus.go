@@ -1,0 +1,105 @@
+package metrics
+
+// Prometheus text-format export. The JSON snapshot is the registry's native
+// form; WritePrometheus renders the same instruments in the Prometheus
+// exposition format (text version 0.0.4) so standard scrape-and-dashboard
+// tooling can watch a deployment — cluster scaling in particular — without a
+// translation sidecar. Instrument names are sanitized to the Prometheus
+// charset (every run of illegal characters, dots included, becomes one
+// underscore: "service.alpha.refit.count" → service_alpha_refit_count) and
+// counters additionally get the conventional "_total" suffix.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes one instrument name to the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !legal {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in ascending order, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the current snapshot in the Prometheus text
+// exposition format: counters as "<name>_total", gauges verbatim, and
+// histograms as the conventional cumulative _bucket/_sum/_count series (the
+// registry's per-bucket counts are accumulated into le-labelled cumulative
+// counts, with the top bucket folded into le="+Inf"). Output is
+// deterministic for a fixed set of observations: one family per instrument,
+// sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		n := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			// The registry's top bucket is unbounded (Upper MaxInt64), which
+			// is Prometheus's +Inf bucket; every histogram must end with it.
+			if b.Upper == math.MaxInt64 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Upper, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promContentType is the exposition-format content type Prometheus scrapers
+// expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// servePrometheus answers one scrape with the text-format snapshot.
+func (r *Registry) servePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", promContentType)
+	_ = r.WritePrometheus(w)
+}

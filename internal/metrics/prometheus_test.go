@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output for a registry
+// with one of everything: counters gain _total, gauges (pushed and derived)
+// export verbatim, histograms become cumulative le-labelled buckets ending
+// in +Inf, and families appear in sorted name order. Any format drift breaks
+// scrapers, so the full output is compared byte for byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.alpha.requests").Add(5)
+	r.Counter("cluster.route_misses").Add(2)
+	r.Gauge("service.alpha.staleness_records").Set(3)
+	r.GaugeFunc("cluster.replica_lag_records", func() int64 { return 7 })
+	h := r.Histogram("service.alpha.refit.ns")
+	h.Observe(0)    // bucket le="0"
+	h.Observe(3)    // bucket le="3"
+	h.Observe(1000) // bucket le="1023"
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE cluster_route_misses_total counter
+cluster_route_misses_total 2
+# TYPE service_alpha_requests_total counter
+service_alpha_requests_total 5
+# TYPE cluster_replica_lag_records gauge
+cluster_replica_lag_records 7
+# TYPE service_alpha_staleness_records gauge
+service_alpha_staleness_records 3
+# TYPE service_alpha_refit_ns histogram
+service_alpha_refit_ns_bucket{le="0"} 1
+service_alpha_refit_ns_bucket{le="3"} 2
+service_alpha_refit_ns_bucket{le="1023"} 3
+service_alpha_refit_ns_bucket{le="+Inf"} 3
+service_alpha_refit_ns_sum 1003
+service_alpha_refit_ns_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition output drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEmpty checks an empty registry exports an empty (but
+// valid) page rather than erroring.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry exported %q", b.String())
+	}
+}
+
+// TestPromName checks metric-name sanitization: dots and other illegal runes
+// become underscores, and a leading digit is not legal either.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"service.alpha.requests": "service_alpha_requests",
+		"with-dash/and+more":     "with_dash_and_more",
+		"already_legal:name":     "already_legal:name",
+		"0starts.with.digit":     "_starts_with_digit",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServeHTTPFormatProm checks the handler dispatches on ?format=prom:
+// the default stays JSON, the prom variant serves the exposition format
+// with its scrape content type.
+func TestServeHTTPFormatProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.alpha.requests").Inc()
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type = %q, want application/json", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"service.alpha.requests": 1`) {
+		t.Fatalf("JSON body missing counter: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != promContentType {
+		t.Fatalf("prom content type = %q, want %q", ct, promContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "service_alpha_requests_total 1") {
+		t.Fatalf("prom body missing counter: %s", rec.Body.String())
+	}
+}

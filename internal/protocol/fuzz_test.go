@@ -7,7 +7,8 @@ import (
 )
 
 // FuzzDecodeFrame hardens service wire-frame decoding against arbitrary
-// payloads: real frames of every spoken version (v1–v4), truncated and
+// payloads: real frames of every spoken version (v1–v5, cluster admin
+// frames included), truncated and
 // bit-flipped frames, oversized version claims, and plain garbage. The
 // decoder must never panic and must keep its contract — a typed
 // ErrWireVersion outside the supported version range, nil/nil for
@@ -27,8 +28,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		Batch: [][]float64{{0.1}}, Labels: []int{3}}
 	response := &serviceWire{ID: 7, Response: true, Labels: []int{1, 2}}
 	rejection := &serviceWire{ID: 7, Response: true, Code: codeUnknownGroup, Err: `no serving group "x"`}
-	for _, w := range []*serviceWire{classify, ingest, response, rejection} {
-		for _, version := range []byte{1, 2, 3, ServiceWireVersion} {
+	routesReq := &serviceWire{ID: 11, Kind: kindRoutes}
+	routesResp := &serviceWire{ID: 11, Kind: kindRoutes, Response: true,
+		Routes: []RouteEntry{{Group: "alpha", Node: "n1", Replicas: []string{"n2", "n3"}}, {Group: "beta", Node: "n2"}}}
+	modelSync := &serviceWire{Kind: kindModelSync, Group: "alpha", Seq: 4,
+		Model: []byte{'C', 0xde, 0xad, 0xbe, 0xef}}
+	notLeader := &serviceWire{ID: 13, Kind: kindIngest, Group: "alpha", Response: true,
+		Code: codeNotLeader, Err: `group "alpha" is a read replica synced from "n1"`}
+	for _, w := range []*serviceWire{classify, ingest, response, rejection,
+		routesReq, routesResp, modelSync, notLeader} {
+		for _, version := range []byte{1, 2, 3, 4, ServiceWireVersion} {
 			f.Add(seed(w, version))
 		}
 	}
@@ -73,8 +82,9 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatalf("re-encoded frame does not decode: %v", decErr)
 			}
 			if w2.ID != w.ID || w2.Kind != w.Kind || w2.Group != w.Group ||
-				w2.Code != w.Code || w2.Response != w.Response ||
-				len(w2.Batch) != len(w.Batch) || len(w2.Labels) != len(w.Labels) {
+				w2.Code != w.Code || w2.Response != w.Response || w2.Seq != w.Seq ||
+				len(w2.Batch) != len(w.Batch) || len(w2.Labels) != len(w.Labels) ||
+				len(w2.Routes) != len(w.Routes) || !bytes.Equal(w2.Model, w.Model) {
 				t.Fatalf("round trip changed the frame: %+v vs %+v", w, w2)
 			}
 		case errors.Is(err, ErrWireVersion):

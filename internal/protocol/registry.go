@@ -82,6 +82,14 @@ type GroupSpec struct {
 	// a peer holding the shared transport key can spoof a member name —
 	// per-group keys / authenticated identity are a ROADMAP follow-up.
 	Members []string
+	// SyncFrom marks this group a read replica: the named transport endpoint
+	// (the group's leader node) is the only peer whose kindModelSync frames
+	// are installed, ingest frames are answered with ErrNotLeader, and
+	// background refits are disabled — the replica's model advances only by
+	// installing the leader's replicated fits, with the same lock-free
+	// atomic publish a local refit would use. Empty (the default) makes the
+	// group an ordinary leader shard.
+	SyncFrom string
 }
 
 // modelShard is one group's independent serving state. The served model
@@ -99,6 +107,16 @@ type modelShard struct {
 	refitEvery int
 	workers    int
 	members    map[string]struct{} // nil: open to any peer
+	// syncFrom is the leader endpoint this shard replicates from; empty for
+	// ordinary leader shards (see GroupSpec.SyncFrom).
+	syncFrom string
+	// syncSeq is the sequence of the last installed model sync; touched only
+	// by the shard's ingest goroutine, which serializes installs.
+	syncSeq uint64
+	// onSwap, when set, is called with each successfully refitted classifier
+	// right after its atomic publish (ServiceConfig.OnModelSwap, curried
+	// with the group ID). Runs on the refit goroutine.
+	onSwap func(model classify.Classifier)
 
 	// model is the served classifier. Workers read it with a lock-free
 	// atomic load; only the initial fit (construction) and successful
@@ -118,6 +136,12 @@ type modelShard struct {
 
 	// ingested is the lifetime ingest total, readable concurrently.
 	ingested atomic.Int64
+	// stale counts records ingested but not yet covered by the live fit:
+	// the ingest goroutine adds each accepted chunk, and a successful refit
+	// subtracts exactly the records its snapshot covered — records that
+	// arrived while the fit ran stay counted. It mirrors the
+	// "staleness_records" gauge so scheduleRefit can read the current value.
+	stale atomic.Int64
 
 	// jobs carries classify frames from the receive loop to the shard's
 	// dedicated prediction pool (sized by GroupSpec.Workers); a full buffer
@@ -131,13 +155,13 @@ type modelShard struct {
 	// while one is pending, further cadence crossings keep accumulating and
 	// re-trigger on a later chunk, so at most one snapshot is ever queued
 	// behind the fit in progress.
-	refitQ chan *dataset.Dataset
+	refitQ chan refitJob
 	// refitFail holds the message of the most recent failed refit until it
 	// is either reported on an ingest response (codeRefit, so one pusher
 	// learns the model is lagging) or cleared by a successful refit. A
 	// failure with no ingest traffic after it is visible only through the
-	// refit.errors counter — monitor it; a lag signal that does not depend
-	// on a next push is a recorded ROADMAP follow-up (staleness gauge).
+	// refit.errors counter and the staleness_records gauge, which stays
+	// elevated until a later refit succeeds.
 	refitFail atomic.Pointer[string]
 
 	// ingestHold is nil in production. Tests set it before Serve to park
@@ -159,6 +183,19 @@ type modelShard struct {
 	mRefitInflight metrics.Gauge     // 1 while a background refit is fitting
 	mNotMember     metrics.Counter   // frames refused by the Members ACL
 	mBusy          metrics.Counter   // frames refused because a queue was full
+	mStaleness     metrics.Gauge     // records ingested but not in the live fit
+	mSyncInstalls  metrics.Counter   // model syncs installed (replicas only)
+	mSyncRejects   metrics.Counter   // model syncs refused (stale seq, bad blob)
+	mSyncSeq       metrics.Gauge     // sequence of the last installed sync
+}
+
+// refitJob is one snapshot handoff from the ingest goroutine to the refit
+// goroutine: the grown training set plus the staleness count its fit will
+// cover, so a successful swap can retire exactly those records from the
+// staleness gauge.
+type refitJob struct {
+	snapshot *dataset.Dataset
+	stale    int64
 }
 
 // newModelShard validates one group spec, trains its initial model on its
@@ -182,6 +219,11 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	refitEvery := spec.RefitEvery
 	if refitEvery == 0 {
 		refitEvery = cfg.RefitEvery
+	}
+	if spec.SyncFrom != "" {
+		// A read replica never ingests, so it never refits: its model
+		// advances only by installing the leader's replicated fits.
+		refitEvery = -1
 	}
 	// Resolve the fresh-instance source for background refits: an explicit
 	// factory wins, a cloneable model works too. With refits enabled one of
@@ -234,11 +276,12 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		refitEvery: refitEvery,
 		workers:    workers,
 		members:    members,
+		syncFrom:   spec.SyncFrom,
 		newModel:   newModel,
 		training:   training,
 		jobs:       make(chan serviceJob, shardJobQueueDepth),
 		ingestQ:    make(chan serviceJob, shardIngestQueueDepth),
-		refitQ:     make(chan *dataset.Dataset, 1),
+		refitQ:     make(chan refitJob, 1),
 
 		mRequests:      cfg.Metrics.Counter(ns + "requests"),
 		mBatchSize:     cfg.Metrics.Histogram(ns + "batch_size"),
@@ -251,6 +294,14 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		mRefitInflight: cfg.Metrics.Gauge(ns + "refit.inflight"),
 		mNotMember:     cfg.Metrics.Counter(ns + "rejects.not_member"),
 		mBusy:          cfg.Metrics.Counter(ns + "rejects.busy"),
+		mStaleness:     cfg.Metrics.Gauge(ns + "staleness_records"),
+		mSyncInstalls:  cfg.Metrics.Counter(ns + "sync.installs"),
+		mSyncRejects:   cfg.Metrics.Counter(ns + "sync.rejects"),
+		mSyncSeq:       cfg.Metrics.Gauge(ns + "sync.seq"),
+	}
+	if cfg.OnModelSwap != nil {
+		hook, group := cfg.OnModelSwap, spec.ID
+		sh.onSwap = func(m classify.Classifier) { hook(group, m) }
 	}
 	sh.model.Store(&model)
 	return sh, nil
@@ -288,6 +339,10 @@ type MiningService struct {
 	shards map[string]*modelShard // immutable after construction
 	order  []string               // registration order, for Groups()
 
+	// routes is the cluster routing table served to kindRoutes requests
+	// (ServiceConfig.Routes, copied at construction; empty when standalone).
+	routes []RouteEntry
+
 	// mUnknownGroup counts frames addressed to groups this service does not
 	// host — the one rejection with no shard namespace to land in.
 	mUnknownGroup metrics.Counter
@@ -317,6 +372,10 @@ func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg Servic
 		cfg:           cfg,
 		shards:        make(map[string]*modelShard, len(groups)),
 		mUnknownGroup: cfg.Metrics.Counter("service.rejects.unknown_group"),
+	}
+	for _, r := range cfg.Routes {
+		s.routes = append(s.routes, RouteEntry{
+			Group: r.Group, Node: r.Node, Replicas: append([]string(nil), r.Replicas...)})
 	}
 	for _, spec := range groups {
 		if _, dup := s.shards[spec.ID]; dup {
@@ -385,12 +444,37 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 			Code: codeUnknownGroup, Err: fmt.Sprintf("no serving group %q", group)}
 	}
+	if req.Kind == kindModelSync {
+		// Sync frames carry replacement models, so they are authorized
+		// against the replica's configured leader, not the Members ACL: only
+		// the SyncFrom endpoint may install, and leader shards accept none.
+		if sh.syncFrom == "" || from != sh.syncFrom {
+			sh.mSyncRejects.Inc()
+			return nil, suppressForSync(req, &serviceWire{
+				ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+				Code: codeNotMember, Err: fmt.Sprintf("peer %q is not group %q's sync source", from, group)})
+		}
+		return sh, nil
+	}
 	if !sh.admits(from) {
 		sh.mNotMember.Inc()
 		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 			Code: codeNotMember, Err: fmt.Sprintf("peer %q is not a member of group %q", from, group)}
 	}
+	if req.Kind == kindIngest && sh.syncFrom != "" {
+		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+			Code: codeNotLeader, Err: fmt.Sprintf("group %q is a read replica synced from %q", group, sh.syncFrom)}
+	}
 	return sh, nil
+}
+
+// suppressForSync drops the response for fire-and-forget sync frames (ID 0)
+// — their senders are not waiting — and passes it through otherwise.
+func suppressForSync(req, resp *serviceWire) *serviceWire {
+	if req.ID == 0 {
+		return nil
+	}
+	return resp
 }
 
 // Serve answers classification and ingest requests until ctx is cancelled
@@ -462,7 +546,19 @@ func (s *MiningService) Serve(ctx context.Context) error {
 				// under concurrent enqueue/dequeue, where Set(len(chan))
 				// from two goroutines could leave a stale last write.
 				sh.mQueueDepth.Add(-1)
-				payload, err := encodeServiceWire(sh.ingest(j.req))
+				// Model syncs share the ingest lane so installs stay ordered
+				// with respect to each other; a nil response is a suppressed
+				// fire-and-forget acknowledgement.
+				var resp *serviceWire
+				if j.req.Kind == kindModelSync {
+					resp = sh.installSync(j.req)
+				} else {
+					resp = sh.ingest(j.req)
+				}
+				if resp == nil {
+					continue
+				}
+				payload, err := encodeServiceWire(resp)
 				if err != nil {
 					continue
 				}
@@ -476,8 +572,8 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		refitWg.Add(1)
 		go func(sh *modelShard) {
 			defer refitWg.Done()
-			for snapshot := range sh.refitQ {
-				sh.refit(snapshot)
+			for job := range sh.refitQ {
+				sh.refit(job)
 			}
 		}(sh)
 	}
@@ -529,8 +625,19 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		case err != nil || req.Response:
 			continue // undecodable or stray response frame; drop
 		}
+		if req.Kind == kindRoutes {
+			// Discovery is service-wide, not group-routed: any node answers
+			// with the cluster table it was configured with (empty when
+			// standalone). Encoding a small table inline keeps the admin
+			// path out of every shard's queues.
+			resp := &serviceWire{ID: req.ID, Kind: kindRoutes, Response: true, Routes: s.routes}
+			if payload, encErr := encodeServiceWire(resp); encErr == nil {
+				out <- serviceOut{to: env.From, payload: payload}
+			}
+			continue
+		}
 		shard, reject := s.route(req, env.From)
-		if reject == nil {
+		if shard != nil {
 			reject = shard.dispatch(req, env.From)
 		}
 		if reject != nil {
@@ -548,10 +655,13 @@ func (s *MiningService) Serve(ctx context.Context) error {
 // backoff instead of every group's traffic queueing behind one group's
 // backlog.
 func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
-	if req.Kind == kindIngest {
+	if req.Kind == kindIngest || req.Kind == kindModelSync {
 		// Increment before the send so the dequeuer's Add(-1) — which can
 		// only run after the send completes — never drives the gauge below
-		// zero; the busy path undoes it.
+		// zero; the busy path undoes it. Model syncs ride the same lane so
+		// installs serialize with each other; a busy rejection is silent
+		// for fire-and-forget syncs (the leader re-publishes on the next
+		// refit anyway).
 		sh.mQueueDepth.Add(1)
 		select {
 		case sh.ingestQ <- serviceJob{from: from, req: req}:
@@ -559,8 +669,12 @@ func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
 		default:
 			sh.mQueueDepth.Add(-1)
 			sh.mBusy.Inc()
-			return &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+			reject := &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 				Code: codeBusy, Err: fmt.Sprintf("group %q ingest queue full", sh.id)}
+			if req.Kind == kindModelSync {
+				return suppressForSync(req, reject)
+			}
+			return reject
 		}
 	}
 	select {
@@ -611,8 +725,10 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	}
 	sh.sinceRefit += len(req.Batch)
 	sh.ingested.Add(int64(len(req.Batch)))
+	sh.stale.Add(int64(len(req.Batch)))
 	sh.mIngestChunks.Inc()
 	sh.mIngestRecs.Add(int64(len(req.Batch)))
+	sh.mStaleness.Add(int64(len(req.Batch)))
 	resp.Accepted = sh.training.Len()
 	// A background refit that failed since the last ingest answer is
 	// reported exactly once, on the earliest ingest response: the chunk IS
@@ -642,7 +758,11 @@ func (sh *modelShard) scheduleRefit() bool {
 	if len(sh.refitQ) == cap(sh.refitQ) {
 		return false
 	}
-	sh.refitQ <- sh.training.Clone()
+	// The snapshot covers every record appended so far, which is exactly
+	// the current staleness count (both are written only by this
+	// goroutine), so a successful fit can retire precisely that many
+	// records from the gauge — records arriving during the fit stay stale.
+	sh.refitQ <- refitJob{snapshot: sh.training.Clone(), stale: sh.stale.Load()}
 	return true
 }
 
@@ -652,7 +772,7 @@ func (sh *modelShard) scheduleRefit() bool {
 // it untouched by construction; the failure is recorded for the next ingest
 // response (codeRefit) and the refit.errors counter. Called only from the
 // shard's refit goroutine.
-func (sh *modelShard) refit(snapshot *dataset.Dataset) {
+func (sh *modelShard) refit(job refitJob) {
 	sh.mRefitInflight.Set(1)
 	defer sh.mRefitInflight.Set(0)
 	start := time.Now()
@@ -666,7 +786,7 @@ func (sh *modelShard) refit(snapshot *dataset.Dataset) {
 		sh.mRefitErrors.Inc()
 		return
 	}
-	if err := fresh.Fit(snapshot); err != nil {
+	if err := fresh.Fit(job.snapshot); err != nil {
 		msg := fmt.Sprintf("protocol: refit group %q model: %v", sh.id, err)
 		sh.refitFail.Store(&msg)
 		sh.mRefitErrors.Inc()
@@ -675,10 +795,46 @@ func (sh *modelShard) refit(snapshot *dataset.Dataset) {
 	var model classify.Classifier = fresh
 	sh.model.Store(&model)
 	sh.refitFail.Store(nil)
+	// The fresh fit covers the snapshot's records: retire them from the
+	// staleness gauge, leaving only what streamed in while it was fitting.
+	sh.stale.Add(-job.stale)
+	sh.mStaleness.Add(-job.stale)
 	// Count and time only completed refits, so refit.ns.sum/refit.count is
 	// a true mean duration; failed attempts are visible via refit.errors.
 	sh.mRefits.Inc()
 	metrics.Time(sh.mRefitNanos, start)
+	if sh.onSwap != nil {
+		sh.onSwap(model)
+	}
+}
+
+// installSync installs one leader-replicated model on a replica shard:
+// decode the blob, check the sequence is newer than the last install, and
+// publish with the same atomic store a local refit would use — prediction
+// workers never block. Stale or duplicate sequences are ignored (idempotent
+// re-delivery), counted under sync.rejects. Called only from the shard's
+// ingest goroutine, which serializes installs. A nil response means the
+// frame was fire-and-forget (ID 0) and expects no answer.
+func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
+	resp := &serviceWire{ID: req.ID, Kind: kindModelSync, Group: req.Group, Response: true}
+	if req.Seq <= sh.syncSeq {
+		// Re-delivered or reordered frame: the newer model is already live,
+		// so this is an idempotent success, not an error.
+		sh.mSyncRejects.Inc()
+		return suppressForSync(req, resp)
+	}
+	model, err := classify.DecodeModel(req.Model)
+	if err != nil {
+		sh.mSyncRejects.Inc()
+		resp.Code, resp.Err = codeBadChunk, fmt.Sprintf("model sync: %v", err)
+		return suppressForSync(req, resp)
+	}
+	sh.model.Store(&model)
+	sh.syncSeq = req.Seq
+	sh.mSyncInstalls.Inc()
+	sh.mSyncSeq.Set(int64(req.Seq))
+	resp.Accepted = sh.training.Len()
+	return suppressForSync(req, resp)
 }
 
 // handle validates one classify request and predicts every record in its

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/classify"
 	"repro/internal/metrics"
 	"repro/internal/transport"
 )
@@ -52,6 +53,11 @@ var (
 	// NOT folded in — so retrying after a short backoff is always safe, and
 	// ServiceClient does so automatically (see Backoff).
 	ErrBusy = errors.New("protocol: serving group busy")
+	// ErrNotLeader flags an ingest frame addressed to a read replica of a
+	// clustered group. Replicas serve classify traffic only; pushes belong on
+	// the group's leader node (the routing table names it), so the chunk was
+	// NOT folded in and must be re-sent to the leader.
+	ErrNotLeader = errors.New("protocol: group is a read replica here; push to its leader")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -64,9 +70,12 @@ const serviceMagic = 0x53 // 'S'
 // the unversioned single-record frame of the pre-batching service; version
 // 2 carried batches and typed error codes; version 3 added the Kind
 // discriminator so stream-ingest chunks share the frame format with
-// classification queries; version 4 adds the Group routing field so one
-// miner process serves many contract groups side by side.
-const ServiceWireVersion = 4
+// classification queries; version 4 added the Group routing field so one
+// miner process serves many contract groups side by side; version 5 adds the
+// cluster admin frames — routing-table discovery (kindRoutes) and
+// leader-to-replica model sync (kindModelSync) — with their Routes, Model
+// and Seq fields.
+const ServiceWireVersion = 5
 
 // serviceWireMinVersion is the oldest frame version the service still
 // decodes. Pre-v4 frames carry no Group field and route to DefaultGroup, so
@@ -91,6 +100,8 @@ const (
 	// falls through to ErrServiceClosed either way) — it would only make
 	// new clients' requests unreadable to old services.
 	codeBusy
+	// codeNotLeader rejects an ingest frame addressed to a read replica.
+	codeNotLeader
 )
 
 // Frame kinds carried in serviceWire.Kind. The zero value is a
@@ -98,7 +109,33 @@ const (
 const (
 	kindClassify uint8 = iota
 	kindIngest
+	// kindRoutes is the cluster admin frame: a request asks any node for the
+	// cluster's routing table, the response carries it in Routes. The table
+	// is service-wide, so the frame bypasses group routing entirely.
+	kindRoutes
+	// kindModelSync is the leader-to-replica replication frame: after a
+	// successful refit swap, the group's leader streams the encoded fresh
+	// classifier (Model, classify.EncodeModel format, sequenced by Seq) to
+	// each follower, which installs it with the same lock-free atomic
+	// publish refits use. Sent fire-and-forget with ID 0 — the follower
+	// sends no response — so a downed follower costs the leader one failed
+	// send, never a stalled wait.
+	kindModelSync
 )
+
+// RouteEntry is one row of the cluster routing table: the group's leader
+// node (the only node accepting ingest for the group) and the read replicas
+// that additionally serve its classify traffic. Node names are transport
+// endpoint names.
+type RouteEntry struct {
+	// Group is the serving-group ID the row routes.
+	Group string
+	// Node is the group's leader endpoint.
+	Node string
+	// Replicas are the follower endpoints serving read-only classify
+	// traffic for the group (may be empty).
+	Replicas []string
+}
 
 // serviceWire is the request/response frame of the post-unification mining
 // service. One request carries a whole batch and is answered by exactly one
@@ -126,6 +163,15 @@ type serviceWire struct {
 	// Accepted is the ingest response: the group's total training-set size
 	// after folding the chunk in.
 	Accepted int
+	// Routes carries the cluster routing table in a kindRoutes response.
+	Routes []RouteEntry
+	// Model carries an encoded classifier (classify.EncodeModel format) in a
+	// kindModelSync request.
+	Model []byte
+	// Seq orders kindModelSync frames per group: a follower installs a sync
+	// only when its Seq exceeds the last installed one, so re-deliveries and
+	// reordered frames are idempotent.
+	Seq uint64
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
 	Code uint8
@@ -206,6 +252,16 @@ type ServiceConfig struct {
 	// the service-wide unknown-group rejection count (see ARCHITECTURE.md
 	// for the full catalogue). Nil discards all updates.
 	Metrics metrics.Metrics
+	// Routes is the cluster routing table this node serves to kindRoutes
+	// requests. Standalone (non-cluster) services leave it nil and answer
+	// discovery with an empty table.
+	Routes []RouteEntry
+	// OnModelSwap, when set, is called after every successful background
+	// refit swap with the group ID and the freshly published classifier. The
+	// cluster layer hooks it to replicate the new model to the group's read
+	// replicas. It runs on the group's refit goroutine, so it must not
+	// block; hand the model off and return.
+	OnModelSwap func(group string, model classify.Classifier)
 }
 
 // DefaultMaxBatch is the batch-size cap applied when ServiceConfig.MaxBatch
@@ -487,30 +543,38 @@ func (c *ServiceClient) Classify(ctx context.Context, features []float64) (int, 
 // before ErrBusy is surfaced. It is safe to call from many goroutines
 // concurrently; cancelling ctx abandons only this request.
 func (c *ServiceClient) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
+	return c.ClassifyBatchAt(ctx, c.miner, c.group, batch)
+}
+
+// ClassifyBatchAt is ClassifyBatch addressed to an explicit miner endpoint
+// and serving group, overriding the client's defaults for this call only.
+// The cluster client uses it to fan classify traffic out across nodes over
+// one connection and one demultiplexer.
+func (c *ServiceClient) ClassifyBatchAt(ctx context.Context, miner, group string, batch [][]float64) ([]int, error) {
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
 	}
 	var labels []int
 	err := c.retryBusy(ctx, func() error {
 		var opErr error
-		labels, opErr = c.classifyBatchOnce(ctx, batch)
+		labels, opErr = c.classifyBatchOnce(ctx, miner, group, batch)
 		return opErr
 	})
 	return labels, err
 }
 
 // classifyBatchOnce is one classify round trip, busy rejections included.
-func (c *ServiceClient) classifyBatchOnce(ctx context.Context, batch [][]float64) ([]int, error) {
+func (c *ServiceClient) classifyBatchOnce(ctx context.Context, miner, group string, batch [][]float64) ([]int, error) {
 	id, ch, err := c.register()
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Group: c.group, Batch: batch})
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Group: group, Batch: batch})
 	if err != nil {
 		c.unregister(id)
 		return nil, err
 	}
-	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
+	if err := c.conn.Send(ctx, miner, payload); err != nil {
 		c.unregister(id)
 		return nil, fmt.Errorf("%w: %v", ErrServiceClosed, err)
 	}
@@ -520,6 +584,46 @@ func (c *ServiceClient) classifyBatchOnce(ctx context.Context, batch [][]float64
 			return nil, c.terminalErr()
 		}
 		return decodeServiceResponse(resp, len(batch))
+	case <-ctx.Done():
+		c.unregister(id)
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, c.terminalErr()
+	}
+}
+
+// Routes asks the client's miner for the cluster routing table. Standalone
+// services answer with an empty table.
+func (c *ServiceClient) Routes(ctx context.Context) ([]RouteEntry, error) {
+	return c.RoutesAt(ctx, c.miner)
+}
+
+// RoutesAt is Routes addressed to an explicit node — discovery may bootstrap
+// from any cluster member, and a route miss re-fetches from whichever node
+// is reachable.
+func (c *ServiceClient) RoutesAt(ctx context.Context, node string) ([]RouteEntry, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodeServiceWire(&serviceWire{ID: id, Kind: kindRoutes})
+	if err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	if err := c.conn.Send(ctx, node, payload); err != nil {
+		c.unregister(id)
+		return nil, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.terminalErr()
+		}
+		if err := responseErr(resp); err != nil {
+			return nil, err
+		}
+		return resp.Routes, nil
 	case <-ctx.Done():
 		c.unregister(id)
 		return nil, ctx.Err()
@@ -539,6 +643,13 @@ func (c *ServiceClient) classifyBatchOnce(ctx context.Context, batch [][]float64
 // ErrBusy is surfaced. Like ClassifyBatch it costs one round trip and is
 // safe for concurrent use.
 func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels []int) (int, error) {
+	return c.PushChunkAt(ctx, c.miner, c.group, batch, labels)
+}
+
+// PushChunkAt is PushChunk addressed to an explicit miner endpoint and
+// serving group, overriding the client's defaults for this call only. The
+// cluster client uses it to route each group's ingest to its leader node.
+func (c *ServiceClient) PushChunkAt(ctx context.Context, miner, group string, batch [][]float64, labels []int) (int, error) {
 	if len(batch) == 0 {
 		return 0, fmt.Errorf("%w: empty chunk", ErrBadChunk)
 	}
@@ -548,25 +659,25 @@ func (c *ServiceClient) PushChunk(ctx context.Context, batch [][]float64, labels
 	var accepted int
 	err := c.retryBusy(ctx, func() error {
 		var opErr error
-		accepted, opErr = c.pushChunkOnce(ctx, batch, labels)
+		accepted, opErr = c.pushChunkOnce(ctx, miner, group, batch, labels)
 		return opErr
 	})
 	return accepted, err
 }
 
 // pushChunkOnce is one ingest round trip, busy rejections included.
-func (c *ServiceClient) pushChunkOnce(ctx context.Context, batch [][]float64, labels []int) (int, error) {
+func (c *ServiceClient) pushChunkOnce(ctx context.Context, miner, group string, batch [][]float64, labels []int) (int, error) {
 	id, ch, err := c.register()
 	if err != nil {
 		return 0, err
 	}
 	payload, err := encodeServiceWire(&serviceWire{
-		ID: id, Kind: kindIngest, Group: c.group, Batch: batch, Labels: labels})
+		ID: id, Kind: kindIngest, Group: group, Batch: batch, Labels: labels})
 	if err != nil {
 		c.unregister(id)
 		return 0, err
 	}
-	if err := c.conn.Send(ctx, c.miner, payload); err != nil {
+	if err := c.conn.Send(ctx, miner, payload); err != nil {
 		c.unregister(id)
 		return 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
 	}
@@ -608,9 +719,32 @@ func responseErr(resp *serviceWire) error {
 		return fmt.Errorf("%w: %s", ErrNotMember, resp.Err)
 	case codeBusy:
 		return fmt.Errorf("%w: %s", ErrBusy, resp.Err)
+	case codeNotLeader:
+		return fmt.Errorf("%w: %s", ErrNotLeader, resp.Err)
 	default:
 		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
 	}
+}
+
+// SendModelSync streams one encoded classifier (classify.EncodeModel format)
+// to a follower node as a fire-and-forget kindModelSync frame: ID 0 tells
+// the follower to send no response, so a downed or slow follower costs the
+// sender one failed send, never a blocked wait. seq must increase per group;
+// the follower ignores frames at or below its last installed sequence, which
+// makes re-sends and reordering idempotent. The cluster layer's replication
+// publisher is the intended caller.
+func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, model []byte) error {
+	if group == "" {
+		return fmt.Errorf("%w: model sync without a group", ErrBadConfig)
+	}
+	if len(model) == 0 {
+		return fmt.Errorf("%w: model sync without a model", ErrBadConfig)
+	}
+	payload, err := encodeServiceWire(&serviceWire{Kind: kindModelSync, Group: group, Seq: seq, Model: model})
+	if err != nil {
+		return err
+	}
+	return conn.Send(ctx, to, payload)
 }
 
 // decodeServiceResponse maps a classify response frame to labels or a typed

@@ -105,6 +105,10 @@ type config struct {
 	refitEvery   int
 	group        string
 	metrics      MetricsSink
+	// clusterNodes/clusterReplicas feed ServeCluster's derived routing table
+	// (WithClusterNodes / WithClusterReplicas).
+	clusterNodes    []string
+	clusterReplicas int
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
