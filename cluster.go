@@ -12,6 +12,7 @@ package sap
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/protocol"
@@ -71,6 +72,48 @@ func WithClusterReplicas(n int) Option {
 	}
 }
 
+// WithDownFor sets how long a ClusterClient skips a node that failed a
+// request before retrying it in read rotation (default 500ms). It rides any
+// of the client's sessions; the first session carrying it wins.
+func WithDownFor(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: non-positive down-mark window %v", ErrBadInput, d)
+		}
+		c.downFor = d
+		return nil
+	}
+}
+
+// WithFailoverGrace sets how long a group's leader may stay silent before the
+// group's first-ranked replica assumes leadership — lower-ranked replicas
+// wait proportionally longer so exactly one steps up (default 10s; negative
+// disables failover). It rides the session carrying WithClusterNodes.
+func WithFailoverGrace(d time.Duration) Option {
+	return func(c *config) error {
+		if d == 0 {
+			return fmt.Errorf("%w: zero failover grace (omit the option for the default, negative disables)", ErrBadInput)
+		}
+		c.failoverGrace = d
+		return nil
+	}
+}
+
+// WithAntiEntropyEvery sets the cluster durability-gossip cadence: how often
+// leaders hello their replicas and replicas report installed state back
+// (default 1s; negative disables the gossip, and with it handshake flooring,
+// anti-entropy re-push and failover detection). It rides the session carrying
+// WithClusterNodes.
+func WithAntiEntropyEvery(d time.Duration) Option {
+	return func(c *config) error {
+		if d == 0 {
+			return fmt.Errorf("%w: zero anti-entropy cadence (omit the option for the default, negative disables)", ErrBadInput)
+		}
+		c.antiEntropyEvery = d
+		return nil
+	}
+}
+
 // ServeCluster serves this process's share of the given groups: the routing
 // table is derived by rendezvous hashing from the sessions' WithClusterNodes
 // option (first session carrying it wins, its WithClusterReplicas rides
@@ -116,8 +159,21 @@ func ServeClusterTable(ctx context.Context, conn Conn, nodeName string, table *C
 	if err != nil {
 		return err
 	}
+	var grace, aeEvery time.Duration
+	for _, g := range groups {
+		if g.Session == nil {
+			continue
+		}
+		if grace == 0 {
+			grace = g.Session.cfg.failoverGrace
+		}
+		if aeEvery == 0 {
+			aeEvery = g.Session.cfg.antiEntropyEvery
+		}
+	}
 	node, err := cluster.NewNode(cluster.NodeConfig{
-		Name: nodeName, Conn: conn, Table: table, Groups: specs, Service: cfg})
+		Name: nodeName, Conn: conn, Table: table, Groups: specs, Service: cfg,
+		AntiEntropyEvery: aeEvery, FailoverGrace: grace})
 	if err != nil {
 		return err
 	}
@@ -140,13 +196,15 @@ type ClusterClient struct {
 // discovery from the seed node names. Each session supplies one group's
 // target space (and must have run); the first session with WithMetrics
 // provides the client's instrumentation sink (cluster.route_misses,
-// cluster.failovers).
+// cluster.failovers), and the first with WithDownFor sets the down-mark
+// window.
 func NewClusterClient(conn Conn, seeds []string, sessions ...*Session) (*ClusterClient, error) {
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("%w: no sessions", ErrBadInput)
 	}
 	targets := make(map[string]*Perturbation, len(sessions))
 	var sink MetricsSink
+	var downFor time.Duration
 	for i, s := range sessions {
 		if s == nil {
 			return nil, fmt.Errorf("%w: session %d is nil", ErrBadInput, i)
@@ -162,8 +220,12 @@ func NewClusterClient(conn Conn, seeds []string, sessions ...*Session) (*Cluster
 		if sink == nil {
 			sink = s.cfg.metrics
 		}
+		if downFor == 0 {
+			downFor = s.cfg.downFor
+		}
 	}
-	inner, err := cluster.NewClient(cluster.ClientConfig{Conn: conn, Seeds: seeds, Metrics: sink})
+	inner, err := cluster.NewClient(cluster.ClientConfig{
+		Conn: conn, Seeds: seeds, Metrics: sink, DownFor: downFor})
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,8 @@ func run(args []string) error {
 		groupsFlag  = fs.String("groups", "", "comma-separated id=unified.csv list; the miner serves one model shard per stored unified dataset, skipping the protocol run (miner with -serve)")
 		clusterFlag = fs.String("cluster", "", "comma-separated name=addr cluster node list; the miner joins the cluster and serves its rendezvous-derived share of -groups, leading some and following others as a read replica (miner with -groups; this node's -name must be in the list)")
 		clusterReps = fs.Int("cluster-replicas", 0, "read replicas per group in the derived routing table (miner with -cluster)")
+		failGrace   = fs.Duration("failover-grace", 0, "leader silence tolerated before a group's next-ranked replica assumes leadership (miner with -cluster; 0 selects the default, <0 disables failover)")
+		antiEntropy = fs.Duration("anti-entropy", 0, "cluster durability-gossip cadence: sync handshakes, anti-entropy re-pushes and failover detection (miner with -cluster; 0 selects the default, <0 disables)")
 		metricsAddr = fs.String("metrics-addr", "", "serve operational metrics over HTTP on this address: GET /metrics returns the JSON snapshot, GET /healthz liveness (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -239,7 +241,8 @@ func run(args []string) error {
 			}
 			if *clusterFlag != "" {
 				return serveCluster(node, *name, *clusterFlag, *clusterReps,
-					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
+					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery,
+					*failGrace, *antiEntropy, *serveFor, sink)
 			}
 			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
 		}
@@ -359,7 +362,8 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 // other cluster nodes are added as transport peers so replication and
 // forwarded client traffic can reach them.
 func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas int,
-	groupsSpec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
+	groupsSpec, modelName string, workers, maxBatch, refitEvery int,
+	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics) error {
 	groups, err := parseGroups(groupsSpec, modelName)
 	if err != nil {
 		return err
@@ -391,7 +395,9 @@ func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas in
 	}
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Name: name, Conn: node, Table: table, Groups: groups,
-		Service: protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink}})
+		Service:          protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink},
+		FailoverGrace:    failGrace,
+		AntiEntropyEvery: antiEntropy})
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,16 @@
 //     groups isolated — per-group queues are bounded and fail fast, so a
 //     saturated group is answered with a typed ErrBusy (clients retry
 //     with capped exponential backoff) instead of stalling anyone else.
+//   - Cluster serving: ServeCluster partitions the group set across
+//     several miner processes by rendezvous hashing (WithClusterNodes /
+//     WithClusterReplicas), with leaders replicating refits to read
+//     replicas and NewClusterClient routing every call itself. The
+//     cluster self-heals: restarted leaders handshake their sequence
+//     state back from replicas, an anti-entropy gossip re-pushes models
+//     to replicas that fell behind, and when a leader stays silent past
+//     WithFailoverGrace the next-ranked replica assumes leadership —
+//     clients follow the freshest routing-table epoch and skip downed
+//     nodes for WithDownFor.
 //   - Operational metrics: WithMetrics plugs a registry of atomic
 //     counters, gauges and timing histograms into the serving and
 //     streaming layers — per-group requests, batch sizes, ingest volume,

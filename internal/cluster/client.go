@@ -40,7 +40,7 @@ type ClientConfig struct {
 	// (zero value: protocol defaults).
 	Backoff protocol.Backoff
 	// DownFor overrides how long a failed node is skipped in read rotation
-	// (default DefaultDownFor).
+	// (zero: DefaultDownFor; negative is rejected).
 	DownFor time.Duration
 	// AttemptTimeout overrides the per-node attempt bound (default
 	// DefaultAttemptTimeout; it never extends the caller's deadline).
@@ -98,8 +98,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if m == nil {
 		m = metrics.Nop()
 	}
+	if cfg.DownFor < 0 {
+		return nil, fmt.Errorf("%w: negative down-mark window %v", protocol.ErrBadConfig, cfg.DownFor)
+	}
 	downFor := cfg.DownFor
-	if downFor <= 0 {
+	if downFor == 0 {
 		downFor = DefaultDownFor
 	}
 	attempt := cfg.AttemptTimeout
@@ -145,7 +148,10 @@ func (c *Client) ensureTable(ctx context.Context) (*Table, error) {
 
 // refresh re-discovers the routing table, trying the candidate pool from a
 // rotating starting point so one dead seed cannot gate every refresh. The
-// first node answering with a valid, non-empty table wins.
+// whole pool is asked and the highest-epoch valid, non-empty answer wins:
+// after a failover, nodes that have not yet adopted the promoted row still
+// serve the old assignment, and first-answer-wins could reinstall it. An
+// answer with a lower epoch than the installed table never replaces it.
 func (c *Client) refresh(ctx context.Context) (*Table, error) {
 	c.mu.Lock()
 	pool := append([]string(nil), c.pool...)
@@ -156,11 +162,12 @@ func (c *Client) refresh(ctx context.Context) (*Table, error) {
 	c.next++
 	c.mu.Unlock()
 
+	var best *Table
 	var lastErr error
 	for i := range pool {
 		node := pool[(start+i)%len(pool)]
 		actx, cancel := context.WithTimeout(ctx, c.attemptTimeout)
-		entries, err := c.sc.RoutesAt(actx, node)
+		entries, epoch, err := c.sc.TableAt(actx, node)
 		cancel()
 		if err != nil {
 			lastErr = err
@@ -175,16 +182,27 @@ func (c *Client) refresh(ctx context.Context) (*Table, error) {
 			lastErr = err
 			continue
 		}
-		c.mu.Lock()
-		c.table = t
-		c.pool = mergePool(t.Nodes(), c.seeds)
-		c.mu.Unlock()
-		return t, nil
+		if best == nil || epoch > best.Epoch() {
+			best = t.WithEpoch(epoch)
+		}
 	}
-	if lastErr == nil {
-		lastErr = ErrNoNodes
+	if best == nil {
+		if lastErr == nil {
+			lastErr = ErrNoNodes
+		}
+		return nil, fmt.Errorf("cluster: table discovery failed: %w", lastErr)
 	}
-	return nil, fmt.Errorf("cluster: table discovery failed: %w", lastErr)
+	c.mu.Lock()
+	if c.table != nil && c.table.Epoch() > best.Epoch() {
+		// Every answer predates the installed assignment (stale nodes still
+		// serving a pre-failover table); keep the newer view.
+		best = c.table
+	} else {
+		c.table = best
+		c.pool = mergePool(best.Nodes(), c.seeds)
+	}
+	c.mu.Unlock()
+	return best, nil
 }
 
 // mergePool unions the table's nodes with the configured seeds, table nodes
@@ -331,9 +349,11 @@ func (c *Client) Classify(ctx context.Context, group string, features []float64)
 // Push streams one chunk of training records into the group's leader — the
 // only node ingesting for the group; replicas answer ErrNotLeader and are
 // never tried. A stale table (unknown group, or a demoted leader answering
-// ErrNotLeader) triggers one re-discovery and retry. Returns the group's
-// training-set size after the chunk landed, with PushChunk's ErrRefit
-// contract intact.
+// ErrNotLeader) triggers one re-discovery and retry; so does an unreachable
+// leader, because a silent leader is what failover replaces — the refreshed
+// table may name the promoted successor under a higher epoch. Returns the
+// group's training-set size after the chunk landed, with PushChunk's
+// ErrRefit contract intact.
 func (c *Client) Push(ctx context.Context, group string, batch [][]float64, labels []int) (int, error) {
 	t, err := c.ensureTable(ctx)
 	if err != nil {
@@ -372,7 +392,13 @@ func (c *Client) Push(ctx context.Context, group string, batch [][]float64, labe
 		case nodeDown(err, ctx):
 			c.markDown(entry.Node)
 			c.mFailovers.Inc()
-			return 0, fmt.Errorf("%w: %q: %v", ErrNoNodes, group, err)
+			if refreshed {
+				return 0, fmt.Errorf("%w: %q: %v", ErrNoNodes, group, err)
+			}
+			if t, err = c.refresh(ctx); err != nil {
+				return 0, err
+			}
+			refreshed = true
 		default:
 			return accepted, err
 		}

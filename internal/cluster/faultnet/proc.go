@@ -1,0 +1,94 @@
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// BootFunc constructs one fresh instance of a node: it binds the node's
+// listener, assembles its service and returns the blocking serve function
+// plus a stop closure releasing everything serve leaves behind (listener,
+// connections). Boot runs once per Start, so a restarted Proc is a genuinely
+// new process image — empty caches, zero counters, re-read state — bound to
+// the same address as its predecessor.
+type BootFunc func() (serve func(context.Context) error, stop func(), err error)
+
+// Proc runs one in-process node under kill/restart control, standing in for
+// a real process a chaos test would SIGKILL. Not safe for concurrent use —
+// one test goroutine owns each Proc.
+type Proc struct {
+	// Boot builds each incarnation of the node. Required.
+	Boot BootFunc
+
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	stop    func()
+	done    chan struct{}
+	lastErr error
+}
+
+// Start boots the node and runs its serve loop in the background. Starting a
+// running Proc is an error; starting after Kill is a restart.
+func (p *Proc) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done != nil {
+		return fmt.Errorf("faultnet: proc already running")
+	}
+	serve, stop, err := p.Boot()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	p.cancel = cancel
+	p.stop = stop
+	p.done = done
+	go func() {
+		err := serve(ctx)
+		p.mu.Lock()
+		p.lastErr = err
+		p.mu.Unlock()
+		close(done)
+	}()
+	return nil
+}
+
+// Kill tears the node down — serve is cancelled, resources are released —
+// and waits for the serve loop to exit. Killing a stopped Proc is a no-op.
+func (p *Proc) Kill() {
+	p.mu.Lock()
+	cancel, stop, done := p.cancel, p.stop, p.done
+	p.cancel, p.stop, p.done = nil, nil, nil
+	p.mu.Unlock()
+	if done == nil {
+		return
+	}
+	cancel()
+	stop()
+	<-done
+}
+
+// Running reports whether the current incarnation's serve loop is still up.
+func (p *Proc) Running() bool {
+	p.mu.Lock()
+	done := p.done
+	p.mu.Unlock()
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Err returns the serve error of the most recently exited incarnation.
+func (p *Proc) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr
+}

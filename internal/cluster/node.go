@@ -18,6 +18,25 @@ import (
 // replication) indefinitely.
 const syncSendTimeout = 10 * time.Second
 
+// Durability defaults.
+const (
+	// DefaultAntiEntropyEvery is the gossip cadence applied when
+	// NodeConfig.AntiEntropyEvery is zero: how often leaders hello their
+	// replicas and replicas answer their installed state.
+	DefaultAntiEntropyEvery = time.Second
+	// DefaultFailoverGrace is the leader-silence window applied when
+	// NodeConfig.FailoverGrace is zero: a group's first-ranked replica
+	// assumes leadership after its leader has been silent this long (the
+	// i-th ranked replica waits (i+1)× as long, so dead successors are
+	// covered without an election).
+	DefaultFailoverGrace = 10 * time.Second
+)
+
+// gossipQueueDepth bounds the hand-off queue between the serving loop
+// (which must never block) and the node's syncer goroutine. A full queue
+// drops the observation — the next anti-entropy round repeats it.
+const gossipQueueDepth = 64
+
 // NodeConfig assembles one cluster node.
 type NodeConfig struct {
 	// Name is this node's transport endpoint name; table rows naming it are
@@ -26,8 +45,9 @@ type NodeConfig struct {
 	// Conn is the node's transport endpoint (its name must match Name so
 	// peers' replies and the replicas' SyncFrom authorization line up).
 	// Required. Both built-in transports (in-memory and TCP) are safe for the
-	// concurrent senders a node runs: the serving loop's responder and the
-	// leader's replication publisher share this conn.
+	// concurrent senders a node runs: the serving loop's responder, the
+	// leader's replication publisher and the durability syncer share this
+	// conn.
 	Conn transport.Conn
 	// Table is the cluster routing table. Every node must be constructed from
 	// the same table (rendezvous tables guarantee this by derivation);
@@ -40,9 +60,25 @@ type NodeConfig struct {
 	// one group must land on this node.
 	Groups []protocol.GroupSpec
 	// Service carries the serving knobs (workers, batch caps, refit cadence,
-	// metrics) applied to the hosted groups. Routes is overwritten with the
-	// table; OnModelSwap is chained after the replication hook if set.
+	// metrics) applied to the hosted groups. RoutesFunc is overwritten with
+	// the node's live table snapshot; OnModelSwap and OnSyncGossip are
+	// chained after the node's own hooks if set.
 	Service protocol.ServiceConfig
+	// AntiEntropyEvery is the durability-gossip cadence: leaders hello each
+	// replica of their replicated groups with (seq, epoch, coverage, row),
+	// replicas answer their installed state, and both sides repair from the
+	// answers — the restart handshake, the anti-entropy re-push and failover
+	// detection all ride these rounds. Zero selects
+	// DefaultAntiEntropyEvery; negative disables the gossip entirely
+	// (PR 6 behaviour: fire-and-forget replication only).
+	AntiEntropyEvery time.Duration
+	// FailoverGrace is how long a followed group's leader may stay silent
+	// before this node considers it dead: the group's rank-i replica assumes
+	// leadership after (i+1)×FailoverGrace without leader contact,
+	// announcing the promoted row under a bumped table epoch. Zero selects
+	// DefaultFailoverGrace; negative disables failover (groups park on a
+	// dead leader, as before). Failover requires the gossip to be enabled.
+	FailoverGrace time.Duration
 }
 
 // pendingSync is one group's latest unreplicated model: the classifier the
@@ -54,46 +90,70 @@ type pendingSync struct {
 }
 
 // Node is one miner process in a cluster: a MiningService hosting the table's
-// share of groups, plus — when this node leads groups that have read
-// replicas — a replication publisher that streams each successful refit's
-// swapped classifier to the followers. Construct with NewNode, run with
-// Serve.
+// share of groups, a replication publisher that streams each successful
+// refit's swapped classifier to the group's followers, and a durability
+// syncer that keeps the cluster converging under restarts and partitions.
+// The syncer runs three repairs over one gossip exchange (see
+// ARCHITECTURE.md, "Cluster durability"):
+//
+//   - sequence handshake: replicas answer their installed Seq, and a
+//     (re)started leader floors its numbering there, so its next publish
+//     installs instead of being rejected;
+//   - anti-entropy: a replica reporting an older Seq gets the current model
+//     re-pushed immediately, driving staleness_records back to zero without
+//     waiting for the next refit;
+//   - failover: when a leader stays silent past the grace period, the
+//     next-ranked replica promotes itself, re-announcing the group's row
+//     under a bumped table epoch that every node and client prefers.
+//
+// Construct with NewNode, run with Serve.
 type Node struct {
 	name    string
 	conn    transport.Conn
-	table   *Table
 	svc     *protocol.MiningService
-	leads   []string            // groups this node leads, in table order
-	follows []string            // groups this node follows, in table order
-	fanout  map[string][]string // led group -> its replica endpoints
+	aeEvery time.Duration // <= 0: durability gossip disabled
+	grace   time.Duration // <= 0: failover disabled
+	hosted  []string      // hosted groups, table order (fixed for the node's lifetime)
 
-	// Replication state. The refit goroutines enqueue swapped models into
-	// pending (latest wins per group — a slow replica link never backlogs
-	// models, it just skips intermediate fits) and nudge the publisher via
-	// notify; seq is touched only by the publisher goroutine.
+	// Dynamic cluster state, all guarded by mu: the current table and epoch
+	// (failover adoption replaces them), this node's per-group rows, the
+	// leader-side sequence/coverage counters, the handshake floor state, the
+	// replication queues and the per-followed-group leader-contact clocks.
 	mu      sync.Mutex
-	pending map[string]pendingSync
-	notify  chan struct{}
+	table   *Table
+	epoch   uint64
+	rows    map[string]protocol.RouteEntry
 	seq     map[string]uint64
+	covered map[string]int64
+	floored map[string]bool      // led group's numbering confirmed by a replica state
+	floorBy map[string]time.Time // fallback: publish unfloored after this instant
+	pending map[string]pendingSync
+	repush  map[string]map[string]struct{} // group -> replicas owed an anti-entropy push
+	contact map[string]time.Time           // followed group -> last leader contact
 
-	// lagBase is, per led group with replicas, the leader ingest count the
-	// last fully replicated model covered; the replica-lag gauge reads
-	// current ingested minus this. A failed publish leaves the base put, so
-	// lag keeps growing until a sync lands — exactly the signal an operator
-	// should see.
+	notify  chan struct{}
+	gossipQ chan protocol.SyncGossip
+
+	// lagBase is, per hosted group, the leader ingest count the last fully
+	// replicated model covered; the replica-lag gauge reads current ingested
+	// minus this for the groups this node currently leads with replicas.
 	lagBase map[string]*atomic.Int64
 
 	mSyncPublished metrics.Counter // model syncs sent (one per replica per fit)
 	mSyncErrors    metrics.Counter // encode or send failures while replicating
+	mAEPushes      metrics.Counter // anti-entropy re-pushes sent to lagging replicas
+	mPromotions    metrics.Counter // groups this node assumed leadership of
+	mDemotions     metrics.Counter // led groups a higher-epoch row took away
+	mFloors        metrics.Counter // led groups whose numbering a replica state floored
 }
 
 // NewNode partitions cfg.Groups against the routing table and assembles this
 // node's share: groups whose row names it as leader are hosted as ordinary
 // refitting shards, groups listing it as a replica are hosted with
-// SyncFrom pointed at the row's leader (ingest refused, refits disabled,
-// model advanced only by installed syncs). Groups routed elsewhere are
-// skipped; a node the table assigns nothing is a configuration error
-// (ErrNoGroups).
+// SyncFrom pointed at the row's leader (ingest refused, model advanced by
+// installed syncs). Groups routed elsewhere are skipped; a node the table
+// assigns nothing is a configuration error (ErrNoGroups). Roles are initial:
+// failover and higher-epoch gossip may flip them while the node serves.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("%w: empty node name", ErrBadNode)
@@ -107,14 +167,31 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if len(cfg.Groups) == 0 {
 		return nil, fmt.Errorf("%w: no groups", ErrBadNode)
 	}
+	aeEvery := cfg.AntiEntropyEvery
+	if aeEvery == 0 {
+		aeEvery = DefaultAntiEntropyEvery
+	}
+	grace := cfg.FailoverGrace
+	if grace == 0 {
+		grace = DefaultFailoverGrace
+	}
 	n := &Node{
 		name:    cfg.Name,
 		conn:    cfg.Conn,
 		table:   cfg.Table,
-		fanout:  make(map[string][]string),
-		pending: make(map[string]pendingSync),
-		notify:  make(chan struct{}, 1),
+		aeEvery: aeEvery,
+		grace:   grace,
+		epoch:   cfg.Table.Epoch(),
+		rows:    make(map[string]protocol.RouteEntry),
 		seq:     make(map[string]uint64),
+		covered: make(map[string]int64),
+		floored: make(map[string]bool),
+		floorBy: make(map[string]time.Time),
+		pending: make(map[string]pendingSync),
+		repush:  make(map[string]map[string]struct{}),
+		contact: make(map[string]time.Time),
+		notify:  make(chan struct{}, 1),
+		gossipQ: make(chan protocol.SyncGossip, gossipQueueDepth),
 		lagBase: make(map[string]*atomic.Int64),
 	}
 
@@ -130,32 +207,37 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		switch {
 		case route.Node == cfg.Name:
-			n.leads = append(n.leads, spec.ID)
-			if len(route.Replicas) > 0 {
-				n.fanout[spec.ID] = route.Replicas
-				n.lagBase[spec.ID] = &atomic.Int64{}
-			}
 			hosted = append(hosted, spec)
 		case contains(route.Replicas, cfg.Name):
-			n.follows = append(n.follows, spec.ID)
 			spec.SyncFrom = route.Node
 			hosted = append(hosted, spec)
+		default:
+			continue
 		}
+		n.hosted = append(n.hosted, spec.ID)
+		n.rows[spec.ID] = route
+		n.lagBase[spec.ID] = &atomic.Int64{}
 	}
 	if len(hosted) == 0 {
 		return nil, fmt.Errorf("%w: table routes nothing to %q", ErrNoGroups, cfg.Name)
 	}
 
 	svcCfg := cfg.Service
-	svcCfg.Routes = cfg.Table.Entries()
-	if len(n.fanout) > 0 {
-		prev := svcCfg.OnModelSwap
-		svcCfg.OnModelSwap = func(group string, model classify.Classifier) {
-			if prev != nil {
-				prev(group, model)
-			}
-			n.enqueueSync(group, model)
+	svcCfg.Routes = nil
+	svcCfg.RoutesFunc = n.routesSnapshot
+	prevSwap := svcCfg.OnModelSwap
+	svcCfg.OnModelSwap = func(group string, model classify.Classifier) {
+		if prevSwap != nil {
+			prevSwap(group, model)
 		}
+		n.enqueueSync(group, model)
+	}
+	prevGossip := svcCfg.OnSyncGossip
+	svcCfg.OnSyncGossip = func(g protocol.SyncGossip) {
+		if prevGossip != nil {
+			prevGossip(g)
+		}
+		n.offerGossip(g)
 	}
 	svc, err := protocol.NewGroupedMiningService(cfg.Conn, hosted, svcCfg)
 	if err != nil {
@@ -169,7 +251,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.mSyncPublished = m.Counter("cluster.sync_published")
 	n.mSyncErrors = m.Counter("cluster.sync_errors")
-	if fg, ok := m.(metrics.FuncGauges); ok && len(n.fanout) > 0 {
+	n.mAEPushes = m.Counter("cluster.anti_entropy_pushes")
+	n.mPromotions = m.Counter("cluster.failover_promotions")
+	n.mDemotions = m.Counter("cluster.failover_demotions")
+	n.mFloors = m.Counter("cluster.handshake_floors")
+	if fg, ok := m.(metrics.FuncGauges); ok {
 		fg.GaugeFunc("cluster.replica_lag_records", n.replicaLag)
 	}
 	return n, nil
@@ -184,6 +270,20 @@ func contains(list []string, s string) bool {
 	return false
 }
 
+func indexOf(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func copyRow(e protocol.RouteEntry) protocol.RouteEntry {
+	return protocol.RouteEntry{
+		Group: e.Group, Node: e.Node, Replicas: append([]string(nil), e.Replicas...)}
+}
+
 // Name returns the node's endpoint name.
 func (n *Node) Name() string { return n.name }
 
@@ -191,25 +291,70 @@ func (n *Node) Name() string { return n.name }
 // listing) for operators and tests.
 func (n *Node) Service() *protocol.MiningService { return n.svc }
 
-// Leads returns the groups this node leads, in table order.
-func (n *Node) Leads() []string { return append([]string(nil), n.leads...) }
+// Epoch returns the node's current routing-table epoch (0 until a failover
+// bumps it or a higher-epoch row is adopted).
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
 
-// Follows returns the groups this node serves as a read replica, in table
-// order.
-func (n *Node) Follows() []string { return append([]string(nil), n.follows...) }
+// Leads returns the groups this node currently leads, in table order.
+func (n *Node) Leads() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for _, g := range n.hosted {
+		if n.rows[g].Node == n.name {
+			out = append(out, g)
+		}
+	}
+	return out
+}
 
-// replicaLag derives the cluster.replica_lag_records gauge: across the led
-// groups that have replicas, how many leader-ingested records the last fully
-// replicated models do not cover. Zero means followers serve fits as fresh
-// as the leader's.
+// Follows returns the groups this node currently serves as a read replica,
+// in table order.
+func (n *Node) Follows() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for _, g := range n.hosted {
+		if n.rows[g].Node != n.name {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// routesSnapshot serves the node's current table and epoch to kindRoutes
+// requests (ServiceConfig.RoutesFunc). Runs on the serving loop.
+func (n *Node) routesSnapshot() ([]protocol.RouteEntry, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.Entries(), n.epoch
+}
+
+// replicaLag derives the cluster.replica_lag_records gauge: across the
+// currently led groups that have replicas, how many leader-ingested records
+// the last fully replicated models do not cover. Zero means followers serve
+// fits as fresh as the leader's.
 func (n *Node) replicaLag() int64 {
+	n.mu.Lock()
+	rows := make([]protocol.RouteEntry, 0, len(n.hosted))
+	for _, g := range n.hosted {
+		rows = append(rows, n.rows[g])
+	}
+	n.mu.Unlock()
 	var lag int64
-	for g, base := range n.lagBase {
-		ingested, err := n.svc.GroupIngested(g)
+	for _, row := range rows {
+		if row.Node != n.name || len(row.Replicas) == 0 {
+			continue
+		}
+		ingested, err := n.svc.GroupIngested(row.Group)
 		if err != nil {
 			continue
 		}
-		if d := int64(ingested) - base.Load(); d > 0 {
+		if d := int64(ingested) - n.lagBase[row.Group].Load(); d > 0 {
 			lag += d
 		}
 	}
@@ -218,35 +363,83 @@ func (n *Node) replicaLag() int64 {
 
 // enqueueSync records a freshly swapped classifier for replication. It runs
 // on the group's refit goroutine and must not block: it parks the model in
-// the latest-wins pending map and nudges the publisher. Swaps in led groups
-// without replicas have nowhere to go and are dropped here.
+// the latest-wins pending map and nudges the publisher. Swaps in groups this
+// node does not currently lead, or leads without replicas, have nowhere to
+// go and are dropped here.
 func (n *Node) enqueueSync(group string, model classify.Classifier) {
-	if _, ok := n.fanout[group]; !ok {
-		return
-	}
 	ingested, _ := n.svc.GroupIngested(group)
 	n.mu.Lock()
+	row, ok := n.rows[group]
+	if !ok || row.Node != n.name || len(row.Replicas) == 0 {
+		n.mu.Unlock()
+		return
+	}
 	n.pending[group] = pendingSync{model: model, ingested: int64(ingested)}
 	n.mu.Unlock()
+	n.nudge()
+}
+
+// offerGossip hands one gossip observation from the serving loop to the
+// syncer without blocking; a full queue drops it (the next anti-entropy
+// round repeats the exchange).
+func (n *Node) offerGossip(g protocol.SyncGossip) {
+	select {
+	case n.gossipQ <- g:
+	default:
+	}
+}
+
+func (n *Node) nudge() {
 	select {
 	case n.notify <- struct{}{}:
 	default:
 	}
 }
 
-// Serve runs the node: the mining service plus, when this node leads
-// replicated groups, the replication publisher. It blocks until ctx is
-// cancelled or the transport fails, with the same error contract as
+// floorGrace is how long a led group's publishes wait for a replica to
+// answer the sequence handshake before going out unfloored (a cold cluster
+// has no installed state to wait for).
+func (n *Node) floorGrace() time.Duration {
+	return 3 * n.aeEvery
+}
+
+// Serve runs the node: the mining service, the replication publisher and —
+// unless the gossip is disabled — the durability syncer. It blocks until ctx
+// is cancelled or the transport fails, with the same error contract as
 // MiningService.Serve.
 func (n *Node) Serve(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	now := time.Now()
+	n.mu.Lock()
+	for _, g := range n.hosted {
+		row := n.rows[g]
+		if row.Node == n.name {
+			if n.aeEvery > 0 && len(row.Replicas) > 0 {
+				// Hold the first publish until a replica answers its installed
+				// Seq (the restart handshake) or the grace passes (cold start).
+				n.floorBy[g] = now.Add(n.floorGrace())
+			} else {
+				n.floored[g] = true
+			}
+		} else {
+			n.contact[g] = now
+		}
+	}
+	n.mu.Unlock()
+
 	var wg sync.WaitGroup
-	if len(n.fanout) > 0 {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n.publishLoop(ctx)
+	}()
+	if n.aeEvery > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n.publishLoop(ctx)
+			n.syncerLoop(ctx)
 		}()
 	}
 	err := n.svc.Serve(ctx)
@@ -269,29 +462,58 @@ func (n *Node) publishLoop(ctx context.Context) {
 	}
 }
 
-// publishPending replicates every pending model once. Encode and send
-// failures are counted and dropped — the next refit enqueues a fresher model
-// anyway, and the lag gauge stays elevated until a publish lands.
+// publishPending replicates every pending model once and serves any queued
+// anti-entropy re-pushes. Encode and send failures are counted and dropped —
+// the next refit enqueues a fresher model anyway, and the lag gauge stays
+// elevated until a publish lands.
 func (n *Node) publishPending(ctx context.Context) {
+	now := time.Now()
 	n.mu.Lock()
 	batch := n.pending
 	n.pending = make(map[string]pendingSync)
+	rep := n.repush
+	n.repush = make(map[string]map[string]struct{})
 	n.mu.Unlock()
-	for _, group := range n.leads { // table order, for determinism
+
+	for _, group := range n.hosted { // table order, for determinism
 		ps, ok := batch[group]
 		if !ok {
 			continue
 		}
+		n.mu.Lock()
+		row := n.rows[group]
+		if row.Node != n.name || len(row.Replicas) == 0 {
+			n.mu.Unlock()
+			continue // demoted between enqueue and publish
+		}
+		if !n.floored[group] && now.Before(n.floorBy[group]) {
+			// Handshake pending: park the model (unless a fresher one has
+			// already been enqueued) so a restarted leader's first publish
+			// cannot collide with the replicas' installed numbering.
+			if _, fresher := n.pending[group]; !fresher {
+				n.pending[group] = ps
+			}
+			n.mu.Unlock()
+			continue
+		}
+		n.seq[group]++
+		seq := n.seq[group]
+		if ps.ingested > n.covered[group] {
+			n.covered[group] = ps.ingested
+		}
+		cov := n.covered[group]
+		replicas := append([]string(nil), row.Replicas...)
+		n.mu.Unlock()
+
 		blob, err := classify.EncodeModel(ps.model)
 		if err != nil {
 			n.mSyncErrors.Inc()
 			continue
 		}
-		n.seq[group]++
 		allSent := true
-		for _, replica := range n.fanout[group] {
+		for _, replica := range replicas {
 			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
-			err := protocol.SendModelSync(sctx, n.conn, replica, group, n.seq[group], blob)
+			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blob)
 			scancel()
 			if err != nil {
 				n.mSyncErrors.Inc()
@@ -304,4 +526,354 @@ func (n *Node) publishPending(ctx context.Context) {
 			n.lagBase[group].Store(ps.ingested)
 		}
 	}
+
+	// Anti-entropy: re-push the current model, at the current sequence, to
+	// the replicas whose state answers reported an older one.
+	for group, targets := range rep {
+		n.mu.Lock()
+		row := n.rows[group]
+		seq := n.seq[group]
+		cov := n.covered[group]
+		n.mu.Unlock()
+		if row.Node != n.name || seq == 0 {
+			continue
+		}
+		model, err := n.svc.GroupModel(group)
+		if err != nil {
+			continue
+		}
+		blob, err := classify.EncodeModel(model)
+		if err != nil {
+			n.mSyncErrors.Inc()
+			continue
+		}
+		for replica := range targets {
+			if !contains(row.Replicas, replica) {
+				continue
+			}
+			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
+			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blob)
+			scancel()
+			if err != nil {
+				n.mSyncErrors.Inc()
+				continue
+			}
+			n.mAEPushes.Inc()
+		}
+	}
+}
+
+// syncerLoop is the durability coordinator: it runs a gossip round
+// immediately (the startup handshake) and then on every tick, drains
+// observations the serving loop handed off, and checks followed groups for
+// failover. One goroutine per node, so gossip sends never race each other.
+func (n *Node) syncerLoop(ctx context.Context) {
+	ticker := time.NewTicker(n.aeEvery)
+	defer ticker.Stop()
+	n.gossipRound(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case g := <-n.gossipQ:
+			n.handleGossip(ctx, g)
+		case <-ticker.C:
+			n.gossipRound(ctx)
+			n.checkFailover(ctx)
+			n.nudge() // retry parked publishes and queued re-pushes
+		}
+	}
+}
+
+// sendCtx bounds one gossip send so a dead peer costs the syncer a bounded
+// wait, not a stall: the next round retries anyway.
+func (n *Node) sendCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	timeout := n.aeEvery
+	if timeout < 50*time.Millisecond {
+		timeout = 50 * time.Millisecond
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// gossipRound sends one durability exchange: a hello per (led group,
+// replica) announcing this leader's sequence, epoch, coverage and row, and a
+// state per followed group answering this replica's installed sequence.
+// Sends are best-effort; failures surface as missing answers, which the next
+// round repeats.
+func (n *Node) gossipRound(ctx context.Context) {
+	type helloSend struct {
+		group string
+		seq   uint64
+		cov   int64
+		row   protocol.RouteEntry
+	}
+	type stateSend struct {
+		group string
+		to    string
+		row   protocol.RouteEntry
+	}
+	n.mu.Lock()
+	epoch := n.epoch
+	var hellos []helloSend
+	var states []stateSend
+	for _, g := range n.hosted {
+		row := n.rows[g]
+		if row.Node == n.name {
+			if len(row.Replicas) == 0 {
+				continue
+			}
+			hellos = append(hellos, helloSend{group: g, seq: n.seq[g], cov: n.covered[g], row: row})
+		} else {
+			states = append(states, stateSend{group: g, to: row.Node, row: row})
+		}
+	}
+	n.mu.Unlock()
+
+	for _, h := range hellos {
+		for _, to := range h.row.Replicas {
+			sctx, cancel := n.sendCtx(ctx)
+			_ = protocol.SendSyncHello(sctx, n.conn, to, h.group, h.seq, epoch, h.cov, h.row)
+			cancel()
+		}
+	}
+	for _, s := range states {
+		seq, err := n.svc.GroupSyncSeq(s.group)
+		if err != nil {
+			continue
+		}
+		cov, _ := n.svc.GroupSyncCovered(s.group)
+		sctx, cancel := n.sendCtx(ctx)
+		_ = protocol.SendSyncState(sctx, n.conn, s.to, s.group, seq, epoch, cov, s.row)
+		cancel()
+	}
+}
+
+// handleGossip processes one hello or state observation on the syncer
+// goroutine. Epochs rank first: a higher-epoch row is adopted verbatim
+// (failover announcement), a lower-epoch sender is answered with this node's
+// newer view, and only equal-epoch gossip runs the normal handshake and
+// anti-entropy logic.
+func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
+	n.mu.Lock()
+	if _, hosted := n.rows[g.Group]; !hosted {
+		n.mu.Unlock()
+		return
+	}
+	if g.Epoch > n.epoch && g.Row != nil && g.Row.Group == g.Group {
+		n.adoptRowLocked(*g.Row, g.Epoch)
+	}
+	if g.Epoch < n.epoch {
+		// The sender is behind (a restarted old leader, or a replica that
+		// missed the failover announcement): teach it the newer assignment.
+		row := n.rows[g.Group]
+		epoch := n.epoch
+		seq := n.seq[g.Group]
+		cov := n.covered[g.Group]
+		iLead := row.Node == n.name
+		n.mu.Unlock()
+		sctx, cancel := n.sendCtx(ctx)
+		if iLead {
+			_ = protocol.SendSyncHello(sctx, n.conn, g.From, g.Group, seq, epoch, cov, row)
+		} else {
+			mySeq, err := n.svc.GroupSyncSeq(g.Group)
+			if err == nil {
+				myCov, _ := n.svc.GroupSyncCovered(g.Group)
+				_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, epoch, myCov, row)
+			}
+		}
+		cancel()
+		return
+	}
+
+	row := n.rows[g.Group]
+	if g.Hello {
+		// A leader's announcement. Only meaningful when the row agrees the
+		// sender leads the group and this node follows it.
+		if row.Node != g.From || row.Node == n.name {
+			n.mu.Unlock()
+			return
+		}
+		n.contact[g.Group] = time.Now()
+		n.mu.Unlock()
+		mySeq, err := n.svc.GroupSyncSeq(g.Group)
+		if err != nil {
+			return
+		}
+		myCov, _ := n.svc.GroupSyncCovered(g.Group)
+		if g.Seq > mySeq {
+			_ = n.svc.ReportSyncLag(g.Group, g.Covered-myCov)
+		} else {
+			_ = n.svc.ReportSyncLag(g.Group, 0)
+		}
+		n.mu.Lock()
+		epoch := n.epoch
+		myRow := n.rows[g.Group]
+		n.mu.Unlock()
+		sctx, cancel := n.sendCtx(ctx)
+		_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, epoch, myCov, myRow)
+		cancel()
+		return
+	}
+
+	// A replica's state answer. Only meaningful when this node leads the
+	// group and the sender is one of its replicas.
+	if row.Node != n.name || !contains(row.Replicas, g.From) {
+		n.mu.Unlock()
+		return
+	}
+	if g.Seq > n.seq[g.Group] {
+		// The handshake: resume numbering above the replica's installed
+		// sequence, so the next publish installs instead of being rejected.
+		n.seq[g.Group] = g.Seq
+	}
+	if g.Covered > n.covered[g.Group] {
+		n.covered[g.Group] = g.Covered
+	}
+	if !n.floored[g.Group] {
+		n.floored[g.Group] = true
+		n.mFloors.Inc()
+	}
+	behind := g.Seq < n.seq[g.Group]
+	if behind {
+		if n.repush[g.Group] == nil {
+			n.repush[g.Group] = make(map[string]struct{})
+		}
+		n.repush[g.Group][g.From] = struct{}{}
+	}
+	n.mu.Unlock()
+	if behind {
+		n.nudge()
+	}
+}
+
+// adoptRowLocked installs a higher-epoch row for one hosted group: the
+// node's table and epoch advance, and the group's shard flips role if the
+// row moved leadership. Called with mu held.
+func (n *Node) adoptRowLocked(row protocol.RouteEntry, epoch uint64) {
+	old := n.rows[row.Group]
+	n.rows[row.Group] = copyRow(row)
+	n.epoch = epoch
+	n.rebuildTableLocked()
+	now := time.Now()
+	if row.Node == n.name {
+		if old.Node != n.name {
+			n.mPromotions.Inc()
+		}
+		// Floor the new leadership's numbering at what this node installed
+		// as a replica, and wait for the other replicas' states before the
+		// first publish.
+		if s, err := n.svc.GroupSyncSeq(row.Group); err == nil && s > n.seq[row.Group] {
+			n.seq[row.Group] = s
+		}
+		if c, err := n.svc.GroupSyncCovered(row.Group); err == nil && c > n.covered[row.Group] {
+			n.covered[row.Group] = c
+		}
+		if len(row.Replicas) > 0 && n.aeEvery > 0 {
+			n.floored[row.Group] = false
+			n.floorBy[row.Group] = now.Add(n.floorGrace())
+		} else {
+			n.floored[row.Group] = true
+		}
+		_ = n.svc.SetGroupLead(row.Group)
+	} else {
+		if old.Node == n.name {
+			n.mDemotions.Inc()
+		}
+		n.contact[row.Group] = now
+		_ = n.svc.SetGroupFollow(row.Group, row.Node)
+	}
+}
+
+// rebuildTableLocked re-derives the node's table from its current rows
+// (hosted groups) over the previous table (everything else), stamped with
+// the current epoch. Called with mu held.
+func (n *Node) rebuildTableLocked() {
+	prev := n.table.Entries()
+	entries := make([]protocol.RouteEntry, 0, len(prev))
+	for _, e := range prev {
+		if row, ok := n.rows[e.Group]; ok {
+			entries = append(entries, row)
+		} else {
+			entries = append(entries, e)
+		}
+	}
+	t, err := NewStaticTable(entries)
+	if err != nil {
+		return // keep the previous table; promoted rows preserve validity
+	}
+	n.table = t.WithEpoch(n.epoch)
+}
+
+// checkFailover promotes this node for any followed group whose leader has
+// been silent past the node's rank-scaled grace: the first-ranked replica
+// waits one grace period, the second two, and so on — dead successors are
+// covered without an election, at the cost of a longer outage.
+func (n *Node) checkFailover(ctx context.Context) {
+	if n.grace <= 0 {
+		return
+	}
+	now := time.Now()
+	var stale []string
+	n.mu.Lock()
+	for _, g := range n.hosted {
+		row := n.rows[g]
+		if row.Node == n.name {
+			continue
+		}
+		rank := indexOf(row.Replicas, n.name)
+		if rank < 0 {
+			continue
+		}
+		last, ok := n.contact[g]
+		if !ok {
+			n.contact[g] = now
+			continue
+		}
+		if now.Sub(last) > n.grace*time.Duration(rank+1) {
+			stale = append(stale, g)
+		}
+	}
+	n.mu.Unlock()
+	for _, g := range stale {
+		n.promote(ctx, g)
+	}
+}
+
+// promote assumes leadership of one followed group: the old leader is
+// demoted to the row's last-ranked replica, the row is re-announced under a
+// bumped epoch (hello to every new replica, the demoted leader included),
+// and this node's numbering resumes above its installed sequence.
+func (n *Node) promote(ctx context.Context, group string) {
+	n.mu.Lock()
+	row := n.rows[group]
+	if row.Node == n.name {
+		n.mu.Unlock()
+		return
+	}
+	promoted := promoteRow(row, n.name)
+	n.adoptRowLocked(promoted, n.epoch+1)
+	epoch := n.epoch
+	seq := n.seq[group]
+	cov := n.covered[group]
+	n.mu.Unlock()
+
+	for _, to := range promoted.Replicas {
+		sctx, cancel := n.sendCtx(ctx)
+		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, epoch, cov, promoted)
+		cancel()
+	}
+}
+
+// promoteRow derives the failover row: the successor leads, the remaining
+// replicas keep their ranks, and the old leader re-enters as the last-ranked
+// replica (it rejoins as a follower when it restarts).
+func promoteRow(row protocol.RouteEntry, successor string) protocol.RouteEntry {
+	replicas := make([]string, 0, len(row.Replicas))
+	for _, r := range row.Replicas {
+		if r != successor {
+			replicas = append(replicas, r)
+		}
+	}
+	replicas = append(replicas, row.Node)
+	return protocol.RouteEntry{Group: row.Group, Node: successor, Replicas: replicas}
 }

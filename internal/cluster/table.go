@@ -4,10 +4,18 @@
 // group) and optional read replicas (followers serving extra classify
 // capacity); nodes host the shards their table rows name, leaders replicate
 // each successful refit's swapped classifier to their followers over the
-// v5 model-sync frame, and clients discover the table from any node and
+// model-sync frame, and clients discover the table from any node and
 // dispatch each request to the right process themselves. Assignment is
 // either static (operator-pinned) or rendezvous-hashed, so growing or
 // shrinking the node set only remaps the groups the changed node carried.
+//
+// The v6 durability gossip keeps a running cluster convergent through
+// restarts, partitions and leader loss: reconnect handshakes floor a
+// restarted leader's sequence counter, anti-entropy re-pushes catch
+// lagging replicas up, and epoch-stamped tables let the next-ranked
+// replica assume leadership when a leader stays silent past its grace
+// (see Node). Package faultnet provides the fault-injection harness the
+// durability tests drive these paths with.
 package cluster
 
 import (
@@ -35,11 +43,15 @@ var (
 )
 
 // Table is an immutable routing table: one RouteEntry per group, mapping it
-// to its leader node and read replicas. Construct with NewStaticTable or
-// NewRendezvousTable; safe for concurrent use.
+// to its leader node and read replicas, stamped with an epoch. Construct
+// with NewStaticTable or NewRendezvousTable (epoch 0; derive bumped-epoch
+// tables with WithEpoch); safe for concurrent use. Epochs version the
+// assignment: failover publishes its promoted rows under epoch+1, and
+// clients and nodes prefer the highest epoch they have seen.
 type Table struct {
 	entries []protocol.RouteEntry
 	byGroup map[string]protocol.RouteEntry
+	epoch   uint64
 }
 
 // NewStaticTable pins an operator-chosen assignment: entries are validated
@@ -177,6 +189,14 @@ func mix64(x uint64) uint64 {
 func (t *Table) Route(group string) (protocol.RouteEntry, bool) {
 	e, ok := t.byGroup[group]
 	return e, ok
+}
+
+// Epoch returns the table's epoch (0 for freshly constructed tables).
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// WithEpoch returns a table sharing this table's rows under the given epoch.
+func (t *Table) WithEpoch(epoch uint64) *Table {
+	return &Table{entries: t.entries, byGroup: t.byGroup, epoch: epoch}
 }
 
 // Entries returns the table rows in construction order. The slice is shared;

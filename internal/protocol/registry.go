@@ -85,10 +85,12 @@ type GroupSpec struct {
 	// SyncFrom marks this group a read replica: the named transport endpoint
 	// (the group's leader node) is the only peer whose kindModelSync frames
 	// are installed, ingest frames are answered with ErrNotLeader, and
-	// background refits are disabled — the replica's model advances only by
-	// installing the leader's replicated fits, with the same lock-free
-	// atomic publish a local refit would use. Empty (the default) makes the
-	// group an ordinary leader shard.
+	// background refits never trigger (no ingest reaches the shard) — the
+	// replica's model advances only by installing the leader's replicated
+	// fits, with the same lock-free atomic publish a local refit would use.
+	// Empty (the default) makes the group an ordinary leader shard. The role
+	// is the initial one; failover may flip it at runtime via SetGroupLead /
+	// SetGroupFollow.
 	SyncFrom string
 }
 
@@ -108,11 +110,17 @@ type modelShard struct {
 	workers    int
 	members    map[string]struct{} // nil: open to any peer
 	// syncFrom is the leader endpoint this shard replicates from; empty for
-	// ordinary leader shards (see GroupSpec.SyncFrom).
-	syncFrom string
-	// syncSeq is the sequence of the last installed model sync; touched only
-	// by the shard's ingest goroutine, which serializes installs.
-	syncSeq uint64
+	// ordinary leader shards (see GroupSpec.SyncFrom). Behind an atomic
+	// pointer because failover flips roles at runtime (SetGroupLead /
+	// SetGroupFollow) while the serve loop authorizes frames against it.
+	syncFrom atomic.Pointer[string]
+	// syncSeq is the sequence of the last installed model sync. Installs are
+	// serialized by the shard's ingest goroutine; the atomic lets the cluster
+	// layer read it concurrently for the restart handshake.
+	syncSeq atomic.Uint64
+	// syncCovered is the leader ingest count the last installed sync covered;
+	// a hello's Covered minus this is the replica's staleness in records.
+	syncCovered atomic.Int64
 	// onSwap, when set, is called with each successfully refitted classifier
 	// right after its atomic publish (ServiceConfig.OnModelSwap, curried
 	// with the group ID). Runs on the refit goroutine.
@@ -220,11 +228,6 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if refitEvery == 0 {
 		refitEvery = cfg.RefitEvery
 	}
-	if spec.SyncFrom != "" {
-		// A read replica never ingests, so it never refits: its model
-		// advances only by installing the leader's replicated fits.
-		refitEvery = -1
-	}
 	// Resolve the fresh-instance source for background refits: an explicit
 	// factory wins, a cloneable model works too. With refits enabled one of
 	// the two is required — retraining the live instance in place would
@@ -236,9 +239,15 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		}
 	}
 	if refitEvery > 0 && newModel == nil {
-		return nil, fmt.Errorf(
-			"%w: group %q model cannot refit in the background: set GroupSpec.NewModel or implement classify.Cloner (or disable refits)",
-			ErrBadConfig, spec.ID)
+		if spec.SyncFrom == "" {
+			return nil, fmt.Errorf(
+				"%w: group %q model cannot refit in the background: set GroupSpec.NewModel or implement classify.Cloner (or disable refits)",
+				ErrBadConfig, spec.ID)
+		}
+		// A replica without a fresh-instance source cannot refit even if it
+		// is later promoted to leader; disable the cadence rather than reject
+		// the spec (the shard still serves and installs syncs).
+		refitEvery = -1
 	}
 	model := spec.Model
 	if model == nil {
@@ -276,7 +285,6 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		refitEvery: refitEvery,
 		workers:    workers,
 		members:    members,
-		syncFrom:   spec.SyncFrom,
 		newModel:   newModel,
 		training:   training,
 		jobs:       make(chan serviceJob, shardJobQueueDepth),
@@ -303,9 +311,15 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		hook, group := cfg.OnModelSwap, spec.ID
 		sh.onSwap = func(m classify.Classifier) { hook(group, m) }
 	}
+	leader := spec.SyncFrom
+	sh.syncFrom.Store(&leader)
 	sh.model.Store(&model)
 	return sh, nil
 }
+
+// leader returns the endpoint this shard currently replicates from; empty
+// when the shard leads its group.
+func (sh *modelShard) leader() string { return *sh.syncFrom.Load() }
 
 // admits reports whether the named peer may address this group.
 func (sh *modelShard) admits(peer string) bool {
@@ -415,6 +429,86 @@ func (s *MiningService) GroupIngested(group string) (int, error) {
 	return int(sh.ingested.Load()), nil
 }
 
+// GroupModel returns one group's currently served classifier (the atomic the
+// prediction workers load). The instance is never mutated after publish, so
+// callers may encode it concurrently with serving; the cluster layer does,
+// for anti-entropy re-pushes.
+func (s *MiningService) GroupModel(group string) (classify.Classifier, error) {
+	sh, ok := s.shards[group]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return *sh.model.Load(), nil
+}
+
+// GroupSyncSeq returns the sequence of the last model sync one group
+// installed (0 if none). A promoted or restarted leader floors its own
+// numbering at the sequences its replicas report. Safe to call concurrently
+// with Serve.
+func (s *MiningService) GroupSyncSeq(group string) (uint64, error) {
+	sh, ok := s.shards[group]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return sh.syncSeq.Load(), nil
+}
+
+// GroupSyncCovered returns the leader ingest count the group's last
+// installed sync covered. Safe to call concurrently with Serve.
+func (s *MiningService) GroupSyncCovered(group string) (int64, error) {
+	sh, ok := s.shards[group]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return sh.syncCovered.Load(), nil
+}
+
+// SetGroupLead promotes one group's shard to leader at runtime: ingest is
+// accepted again and model syncs are no longer authorized from anyone. The
+// cluster layer calls it when failover elects this node, or when a
+// higher-epoch row names it leader.
+func (s *MiningService) SetGroupLead(group string) error {
+	sh, ok := s.shards[group]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	leader := ""
+	sh.syncFrom.Store(&leader)
+	return nil
+}
+
+// SetGroupFollow demotes one group's shard to a read replica of the named
+// leader at runtime: ingest is answered with ErrNotLeader and only the
+// leader's model syncs install. The cluster layer calls it when a
+// higher-epoch row demotes a restarted old leader.
+func (s *MiningService) SetGroupFollow(group, leader string) error {
+	if leader == "" {
+		return fmt.Errorf("%w: empty sync source for group %q", ErrBadConfig, group)
+	}
+	sh, ok := s.shards[group]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	sh.syncFrom.Store(&leader)
+	return nil
+}
+
+// ReportSyncLag sets one replica group's staleness_records gauge to the given
+// record count. The cluster layer derives it from the gap between a leader
+// hello's coverage and the replica's installed coverage; an install resets
+// the gauge to zero.
+func (s *MiningService) ReportSyncLag(group string, records int64) error {
+	sh, ok := s.shards[group]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	if records < 0 {
+		records = 0
+	}
+	sh.mStaleness.Set(records)
+	return nil
+}
+
 // serviceJob is one accepted request travelling from the receive loop to the
 // addressed shard's prediction pool (classify) or ingest goroutine (ingest).
 type serviceJob struct {
@@ -446,9 +540,9 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 	}
 	if req.Kind == kindModelSync {
 		// Sync frames carry replacement models, so they are authorized
-		// against the replica's configured leader, not the Members ACL: only
+		// against the replica's current leader, not the Members ACL: only
 		// the SyncFrom endpoint may install, and leader shards accept none.
-		if sh.syncFrom == "" || from != sh.syncFrom {
+		if leader := sh.leader(); leader == "" || from != leader {
 			sh.mSyncRejects.Inc()
 			return nil, suppressForSync(req, &serviceWire{
 				ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
@@ -461,9 +555,11 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 			Code: codeNotMember, Err: fmt.Sprintf("peer %q is not a member of group %q", from, group)}
 	}
-	if req.Kind == kindIngest && sh.syncFrom != "" {
-		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
-			Code: codeNotLeader, Err: fmt.Sprintf("group %q is a read replica synced from %q", group, sh.syncFrom)}
+	if req.Kind == kindIngest {
+		if leader := sh.leader(); leader != "" {
+			return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+				Code: codeNotLeader, Err: fmt.Sprintf("group %q is a read replica synced from %q", group, leader)}
+		}
 	}
 	return sh, nil
 }
@@ -628,11 +724,35 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		if req.Kind == kindRoutes {
 			// Discovery is service-wide, not group-routed: any node answers
 			// with the cluster table it was configured with (empty when
-			// standalone). Encoding a small table inline keeps the admin
-			// path out of every shard's queues.
-			resp := &serviceWire{ID: req.ID, Kind: kindRoutes, Response: true, Routes: s.routes}
+			// standalone), or a live epoch-stamped snapshot when the cluster
+			// layer hooked RoutesFunc. Encoding a small table inline keeps the
+			// admin path out of every shard's queues.
+			entries, epoch := s.routes, uint64(0)
+			if s.cfg.RoutesFunc != nil {
+				entries, epoch = s.cfg.RoutesFunc()
+			}
+			resp := &serviceWire{ID: req.ID, Kind: kindRoutes, Response: true,
+				Routes: entries, Epoch: epoch}
 			if payload, encErr := encodeServiceWire(resp); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
+			}
+			continue
+		}
+		if req.Kind == kindSyncHello || req.Kind == kindSyncState {
+			// Durability gossip is cluster-layer business: hand the
+			// observation to the hook (which must not block) and move on. A
+			// standalone service without the hook just drops it — the frames
+			// are fire-and-forget, nobody is waiting.
+			if s.cfg.OnSyncGossip != nil {
+				g := SyncGossip{
+					Hello: req.Kind == kindSyncHello, From: env.From, Group: req.Group,
+					Seq: req.Seq, Epoch: req.Epoch, Covered: req.Covered,
+				}
+				if len(req.Routes) > 0 {
+					row := req.Routes[0]
+					g.Row = &row
+				}
+				s.cfg.OnSyncGossip(g)
 			}
 			continue
 		}
@@ -817,7 +937,7 @@ func (sh *modelShard) refit(job refitJob) {
 // frame was fire-and-forget (ID 0) and expects no answer.
 func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
 	resp := &serviceWire{ID: req.ID, Kind: kindModelSync, Group: req.Group, Response: true}
-	if req.Seq <= sh.syncSeq {
+	if req.Seq <= sh.syncSeq.Load() {
 		// Re-delivered or reordered frame: the newer model is already live,
 		// so this is an idempotent success, not an error.
 		sh.mSyncRejects.Inc()
@@ -830,9 +950,13 @@ func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
 		return suppressForSync(req, resp)
 	}
 	sh.model.Store(&model)
-	sh.syncSeq = req.Seq
+	sh.syncSeq.Store(req.Seq)
+	sh.syncCovered.Store(req.Covered)
 	sh.mSyncInstalls.Inc()
 	sh.mSyncSeq.Set(int64(req.Seq))
+	// An install catches the replica up to the leader's published fit: any
+	// staleness a hello reported is covered now.
+	sh.mStaleness.Set(0)
 	resp.Accepted = sh.training.Len()
 	return suppressForSync(req, resp)
 }

@@ -71,11 +71,13 @@ const serviceMagic = 0x53 // 'S'
 // 2 carried batches and typed error codes; version 3 added the Kind
 // discriminator so stream-ingest chunks share the frame format with
 // classification queries; version 4 added the Group routing field so one
-// miner process serves many contract groups side by side; version 5 adds the
+// miner process serves many contract groups side by side; version 5 added the
 // cluster admin frames — routing-table discovery (kindRoutes) and
 // leader-to-replica model sync (kindModelSync) — with their Routes, Model
-// and Seq fields.
-const ServiceWireVersion = 5
+// and Seq fields; version 6 adds the durability gossip (kindSyncHello,
+// kindSyncState) with the Epoch and Covered fields, and stamps routes
+// responses with the table epoch.
+const ServiceWireVersion = 6
 
 // serviceWireMinVersion is the oldest frame version the service still
 // decodes. Pre-v4 frames carry no Group field and route to DefaultGroup, so
@@ -121,6 +123,30 @@ const (
 	// sends no response — so a downed follower costs the leader one failed
 	// send, never a stalled wait.
 	kindModelSync
+	// kindSyncHello is the leader half of the v6 durability gossip: a
+	// group's leader periodically announces its published Seq, table Epoch,
+	// ingest coverage (Covered) and routing-table row (Routes[0]) to each
+	// replica. A replica answers with kindSyncState, letting a restarted
+	// leader resume numbering above the replicas' installed sequences and a
+	// lagging replica measure its staleness. Fire-and-forget (ID 0).
+	kindSyncHello
+	// kindSyncState is the replica half of the v6 durability gossip: the
+	// replica's last installed Seq, Epoch and row. A leader floors its
+	// per-group sequence at the answered Seq (the restart handshake) and
+	// re-pushes the current model to any replica reporting an older one (the
+	// anti-entropy pull). Fire-and-forget (ID 0).
+	kindSyncState
+)
+
+// Exported frame-kind values for tools that inspect raw frames (the faultnet
+// test harness matches sync traffic by kind via InspectFrame).
+const (
+	KindClassify  = kindClassify
+	KindIngest    = kindIngest
+	KindRoutes    = kindRoutes
+	KindModelSync = kindModelSync
+	KindSyncHello = kindSyncHello
+	KindSyncState = kindSyncState
 )
 
 // RouteEntry is one row of the cluster routing table: the group's leader
@@ -170,8 +196,18 @@ type serviceWire struct {
 	Model []byte
 	// Seq orders kindModelSync frames per group: a follower installs a sync
 	// only when its Seq exceeds the last installed one, so re-deliveries and
-	// reordered frames are idempotent.
+	// reordered frames are idempotent. Gossip frames carry the sender's
+	// current sequence in it.
 	Seq uint64
+	// Epoch versions the routing table a frame speaks for: routes responses
+	// and gossip frames carry the sender's table epoch, and receivers prefer
+	// the highest epoch they have seen (failover announces itself by bumping
+	// it).
+	Epoch uint64
+	// Covered is the leader ingest count the frame's model (or announced
+	// sequence) covers; replicas derive staleness_records from the gap
+	// between a hello's Covered and their own installed coverage.
+	Covered int64
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
 	Code uint8
@@ -256,12 +292,47 @@ type ServiceConfig struct {
 	// requests. Standalone (non-cluster) services leave it nil and answer
 	// discovery with an empty table.
 	Routes []RouteEntry
+	// RoutesFunc, when set, overrides Routes with a live snapshot: kindRoutes
+	// requests are answered with the entries and table epoch it returns. The
+	// cluster layer hooks it so failover-promoted tables (with their bumped
+	// epochs) reach clients without a service restart. It runs on the serving
+	// loop and must not block.
+	RoutesFunc func() ([]RouteEntry, uint64)
 	// OnModelSwap, when set, is called after every successful background
 	// refit swap with the group ID and the freshly published classifier. The
 	// cluster layer hooks it to replicate the new model to the group's read
 	// replicas. It runs on the group's refit goroutine, so it must not
 	// block; hand the model off and return.
 	OnModelSwap func(group string, model classify.Classifier)
+	// OnSyncGossip, when set, receives every durability-gossip frame
+	// (kindSyncHello, kindSyncState) addressed to this service. The cluster
+	// layer hooks it to run the sequence handshake, anti-entropy re-push and
+	// failover adoption. It runs on the serving loop and must not block; hand
+	// the observation off and return.
+	OnSyncGossip func(g SyncGossip)
+}
+
+// SyncGossip is one durability-gossip observation handed to
+// ServiceConfig.OnSyncGossip: a sync-hello from a group's leader, or a
+// sync-state answer from one of its replicas.
+type SyncGossip struct {
+	// Hello is true for a leader's kindSyncHello, false for a replica's
+	// kindSyncState.
+	Hello bool
+	// From is the sender's transport endpoint name.
+	From string
+	// Group is the serving group the gossip speaks for.
+	Group string
+	// Seq is the sender's current model sequence: the last published one on a
+	// hello, the last installed one on a state.
+	Seq uint64
+	// Epoch is the sender's routing-table epoch.
+	Epoch uint64
+	// Covered is the leader ingest count the sender's sequence covers.
+	Covered int64
+	// Row is the sender's routing-table row for Group (nil when the frame
+	// carried none). Receivers behind on Epoch adopt it verbatim.
+	Row *RouteEntry
 }
 
 // DefaultMaxBatch is the batch-size cap applied when ServiceConfig.MaxBatch
@@ -602,33 +673,41 @@ func (c *ServiceClient) Routes(ctx context.Context) ([]RouteEntry, error) {
 // from any cluster member, and a route miss re-fetches from whichever node
 // is reachable.
 func (c *ServiceClient) RoutesAt(ctx context.Context, node string) ([]RouteEntry, error) {
+	entries, _, err := c.TableAt(ctx, node)
+	return entries, err
+}
+
+// TableAt is RoutesAt plus the table's epoch: failover bumps the epoch when
+// it promotes a replacement leader, and clients prefer the highest epoch
+// among the answers they collect (a stale node cannot roll a client back).
+func (c *ServiceClient) TableAt(ctx context.Context, node string) ([]RouteEntry, uint64, error) {
 	id, ch, err := c.register()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	payload, err := encodeServiceWire(&serviceWire{ID: id, Kind: kindRoutes})
 	if err != nil {
 		c.unregister(id)
-		return nil, err
+		return nil, 0, err
 	}
 	if err := c.conn.Send(ctx, node, payload); err != nil {
 		c.unregister(id)
-		return nil, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrServiceClosed, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, c.terminalErr()
+			return nil, 0, c.terminalErr()
 		}
 		if err := responseErr(resp); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return resp.Routes, nil
+		return resp.Routes, resp.Epoch, nil
 	case <-ctx.Done():
 		c.unregister(id)
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	case <-c.done:
-		return nil, c.terminalErr()
+		return nil, 0, c.terminalErr()
 	}
 }
 
@@ -731,20 +810,83 @@ func responseErr(resp *serviceWire) error {
 // the follower to send no response, so a downed or slow follower costs the
 // sender one failed send, never a blocked wait. seq must increase per group;
 // the follower ignores frames at or below its last installed sequence, which
-// makes re-sends and reordering idempotent. The cluster layer's replication
-// publisher is the intended caller.
-func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, model []byte) error {
+// makes re-sends and reordering idempotent. covered is the leader ingest
+// count the model's fit covers, installed alongside it so staleness can be
+// measured in records. The cluster layer's replication publisher is the
+// intended caller.
+func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, covered int64, model []byte) error {
 	if group == "" {
 		return fmt.Errorf("%w: model sync without a group", ErrBadConfig)
 	}
 	if len(model) == 0 {
 		return fmt.Errorf("%w: model sync without a model", ErrBadConfig)
 	}
-	payload, err := encodeServiceWire(&serviceWire{Kind: kindModelSync, Group: group, Seq: seq, Model: model})
+	payload, err := encodeServiceWire(&serviceWire{
+		Kind: kindModelSync, Group: group, Seq: seq, Covered: covered, Model: model})
 	if err != nil {
 		return err
 	}
 	return conn.Send(ctx, to, payload)
+}
+
+// SendSyncHello announces a leader's durability state for one group to a
+// replica: its published sequence, table epoch, ingest coverage and current
+// routing-table row. Fire-and-forget (ID 0); the replica's answer, if any,
+// arrives as an independent kindSyncState frame.
+func SendSyncHello(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
+	return sendSyncGossip(ctx, conn, to, kindSyncHello, group, seq, epoch, covered, row)
+}
+
+// SendSyncState answers a replica's durability state for one group to its
+// leader: the last installed sequence, the replica's table epoch and row.
+// Fire-and-forget (ID 0).
+func SendSyncState(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
+	return sendSyncGossip(ctx, conn, to, kindSyncState, group, seq, epoch, covered, row)
+}
+
+func sendSyncGossip(ctx context.Context, conn transport.Conn, to string, kind uint8, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
+	if group == "" {
+		return fmt.Errorf("%w: sync gossip without a group", ErrBadConfig)
+	}
+	payload, err := encodeServiceWire(&serviceWire{
+		Kind: kind, Group: group, Seq: seq, Epoch: epoch, Covered: covered,
+		Routes: []RouteEntry{row}})
+	if err != nil {
+		return err
+	}
+	return conn.Send(ctx, to, payload)
+}
+
+// FrameInfo is the routing header of one service frame, exposed for frame
+// inspectors (InspectFrame).
+type FrameInfo struct {
+	Version  uint8
+	ID       uint64
+	Kind     uint8
+	Group    string
+	Seq      uint64
+	Epoch    uint64
+	Response bool
+}
+
+// InspectFrame decodes the routing header of a raw service-frame payload
+// without interpreting its body. It reports false for payloads that are not
+// decodable service frames. The faultnet test harness uses it to match sync
+// traffic inside its drop/duplicate/reorder hooks.
+func InspectFrame(payload []byte) (FrameInfo, bool) {
+	w, err := decodeServiceWire(payload)
+	if w == nil || err != nil {
+		return FrameInfo{}, false
+	}
+	return FrameInfo{
+		Version:  payload[1],
+		ID:       w.ID,
+		Kind:     w.Kind,
+		Group:    w.Group,
+		Seq:      w.Seq,
+		Epoch:    w.Epoch,
+		Response: w.Response,
+	}, true
 }
 
 // decodeServiceResponse maps a classify response frame to labels or a typed

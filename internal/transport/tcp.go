@@ -316,6 +316,15 @@ func joinSender(name string, payload []byte) []byte {
 	return out
 }
 
+// PeekSender splits one sealed TCP frame body into its self-declared sender
+// name and inner payload. It only makes sense on PlainCodec traffic (an
+// AES-GCM frame is opaque until opened); the faultnet test harness uses it
+// to match a proxied frame's sender and protocol payload inside its
+// fault-injection hooks.
+func PeekSender(frame []byte) (string, []byte, error) {
+	return splitSender(frame)
+}
+
 func splitSender(frame []byte) (string, []byte, error) {
 	if len(frame) < 2 {
 		return "", nil, ErrBadFrame

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	sap "repro"
 )
@@ -32,6 +33,14 @@ func TestSessionOptionValidationMessages(t *testing.T) {
 			"sap: bad input: empty group id"},
 		{"nil metrics sink", sap.WithMetrics(nil),
 			"sap: bad input: nil metrics sink"},
+		{"zero down-mark window", sap.WithDownFor(0),
+			"sap: bad input: non-positive down-mark window 0s"},
+		{"negative down-mark window", sap.WithDownFor(-time.Second),
+			"sap: bad input: non-positive down-mark window -1s"},
+		{"zero failover grace", sap.WithFailoverGrace(0),
+			"sap: bad input: zero failover grace (omit the option for the default, negative disables)"},
+		{"zero anti-entropy cadence", sap.WithAntiEntropyEvery(0),
+			"sap: bad input: zero anti-entropy cadence (omit the option for the default, negative disables)"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := sap.New(tc.opt)
@@ -53,6 +62,21 @@ func TestSessionOptionValidationMessages(t *testing.T) {
 		if _, err := sap.New(sap.WithServiceRefitEvery(ok)); err != nil &&
 			err.Error() != "sap: bad input: no parties (use WithParties)" {
 			t.Fatalf("WithServiceRefitEvery(%d) rejected: %v", ok, err)
+		}
+	}
+
+	// Positive down-mark windows and the negative disable sentinels of the
+	// durability cadences all pass validation.
+	for name, opt := range map[string]sap.Option{
+		"WithDownFor(1s)":          sap.WithDownFor(time.Second),
+		"WithFailoverGrace(2s)":    sap.WithFailoverGrace(2 * time.Second),
+		"WithFailoverGrace(-1)":    sap.WithFailoverGrace(-1),
+		"WithAntiEntropyEvery(5s)": sap.WithAntiEntropyEvery(5 * time.Second),
+		"WithAntiEntropyEvery(-1)": sap.WithAntiEntropyEvery(-1),
+	} {
+		if _, err := sap.New(opt); err != nil &&
+			err.Error() != "sap: bad input: no parties (use WithParties)" {
+			t.Fatalf("%s rejected: %v", name, err)
 		}
 	}
 }

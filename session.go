@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -109,6 +110,12 @@ type config struct {
 	// (WithClusterNodes / WithClusterReplicas).
 	clusterNodes    []string
 	clusterReplicas int
+	// downFor tunes NewClusterClient's down-mark window; failoverGrace and
+	// antiEntropyEvery tune the cluster nodes' durability gossip (WithDownFor
+	// / WithFailoverGrace / WithAntiEntropyEvery).
+	downFor          time.Duration
+	failoverGrace    time.Duration
+	antiEntropyEvery time.Duration
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
