@@ -68,7 +68,6 @@ type Client struct {
 	mu    sync.Mutex
 	table *Table               // nil until the first discovery
 	pool  []string             // refresh candidates: table nodes ∪ seeds
-	next  int                  // rotates refresh starting points
 	rr    map[string]uint64    // per-group read rotation
 	down  map[string]time.Time // node -> skip-in-rotation deadline
 }
@@ -146,62 +145,104 @@ func (c *Client) ensureTable(ctx context.Context) (*Table, error) {
 	return c.refresh(ctx)
 }
 
-// refresh re-discovers the routing table, trying the candidate pool from a
-// rotating starting point so one dead seed cannot gate every refresh. The
-// whole pool is asked and the highest-epoch valid, non-empty answer wins:
-// after a failover, nodes that have not yet adopted the promoted row still
-// serve the old assignment, and first-answer-wins could reinstall it. An
-// answer with a lower epoch than the installed table never replaces it.
+// refresh re-discovers the routing table. The whole candidate pool is asked
+// concurrently, so discovery costs one attempt timeout even when most of the
+// pool is unreachable — exactly the failover scenario that triggers
+// refreshes — instead of pool × timeout. The answers are merged into the
+// installed table row-wise by row epoch: for each group the highest-epoch
+// row wins, equal-epoch disagreements settle by the same deterministic
+// tie-break nodes use, and an installed row is never replaced by a
+// lower-epoch answer — a stale seed cannot roll the table back, not even
+// for a single group, and after concurrent failovers of different groups
+// the client composes the promoted rows regardless of which nodes have
+// adopted which. Answers whose rows carry no per-row epochs take the
+// answer's table-level epoch (static and RoutesFunc-pinned tables version
+// the whole table at once).
 func (c *Client) refresh(ctx context.Context) (*Table, error) {
 	c.mu.Lock()
 	pool := append([]string(nil), c.pool...)
 	if len(pool) == 0 {
 		pool = append(pool, c.seeds...)
 	}
-	start := c.next
-	c.next++
 	c.mu.Unlock()
 
-	var best *Table
-	var lastErr error
-	for i := range pool {
-		node := pool[(start+i)%len(pool)]
-		actx, cancel := context.WithTimeout(ctx, c.attemptTimeout)
-		entries, epoch, err := c.sc.TableAt(actx, node)
-		cancel()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if len(entries) == 0 {
-			lastErr = fmt.Errorf("%w: node %q serves no routing table", ErrNoRoute, node)
-			continue
-		}
-		t, err := NewStaticTable(entries)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if best == nil || epoch > best.Epoch() {
-			best = t.WithEpoch(epoch)
+	type answer struct {
+		entries []protocol.RouteEntry
+		err     error
+	}
+	answers := make([]answer, len(pool))
+	var wg sync.WaitGroup
+	for i, node := range pool {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			actx, cancel := context.WithTimeout(ctx, c.attemptTimeout)
+			defer cancel()
+			entries, epoch, err := c.sc.TableAt(actx, node)
+			if err != nil {
+				answers[i].err = err
+				return
+			}
+			if len(entries) == 0 {
+				answers[i].err = fmt.Errorf("%w: node %q serves no routing table", ErrNoRoute, node)
+				return
+			}
+			// Validate per answer so one malformed table poisons nothing.
+			if _, err := NewStaticTable(entries); err != nil {
+				answers[i].err = err
+				return
+			}
+			answers[i].entries = stampRowEpochs(entries, epoch)
+		}(i, node)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := make(map[string]protocol.RouteEntry)
+	var order []string
+	fold := func(entries []protocol.RouteEntry) {
+		for _, e := range entries {
+			cur, ok := merged[e.Group]
+			switch {
+			case !ok:
+				merged[e.Group] = e
+				order = append(order, e.Group)
+			case e.Epoch > cur.Epoch,
+				e.Epoch == cur.Epoch && !sameAssignment(e, cur) && rowOutranks(e, cur):
+				merged[e.Group] = e
+			}
 		}
 	}
-	if best == nil {
+	if c.table != nil {
+		fold(c.table.Entries())
+	}
+	answered := false
+	var lastErr error
+	for _, a := range answers {
+		if a.err != nil {
+			lastErr = a.err
+			continue
+		}
+		fold(a.entries)
+		answered = true
+	}
+	if !answered {
 		if lastErr == nil {
 			lastErr = ErrNoNodes
 		}
 		return nil, fmt.Errorf("cluster: table discovery failed: %w", lastErr)
 	}
-	c.mu.Lock()
-	if c.table != nil && c.table.Epoch() > best.Epoch() {
-		// Every answer predates the installed assignment (stale nodes still
-		// serving a pre-failover table); keep the newer view.
-		best = c.table
-	} else {
-		c.table = best
-		c.pool = mergePool(best.Nodes(), c.seeds)
+	entries := make([]protocol.RouteEntry, 0, len(order))
+	for _, g := range order {
+		entries = append(entries, merged[g])
 	}
-	c.mu.Unlock()
+	best, err := NewStaticTable(entries)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: merged routing table: %w", err)
+	}
+	c.table = best
+	c.pool = mergePool(best.Nodes(), c.seeds)
 	return best, nil
 }
 

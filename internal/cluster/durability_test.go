@@ -767,3 +767,366 @@ func TestClientDownForValidation(t *testing.T) {
 		t.Fatalf("zero DownFor resolved to %v, want %v", cli.downFor, DefaultDownFor)
 	}
 }
+
+// TestSplitBrainPromotionConverges kills the leader while its two replicas
+// cannot hear each other, so both promote themselves for the same group at
+// the same row epoch — a genuine split brain. Once the replicas can talk
+// again, the deterministic equal-epoch tie-break (lexicographically smaller
+// leader wins) must converge every node on one leader without another epoch
+// bump, and ingest must land on the winner.
+func TestSplitBrainPromotionConverges(t *testing.T) {
+	table, err := NewStaticTable([]protocol.RouteEntry{
+		{Group: "g-a", Node: "n1", Replicas: []string{"n2", "n3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newChaos(t, table, []string{"n1", "n2", "n3"}, oneGroupSpecs(t),
+		func(reg *metrics.Registry) protocol.ServiceConfig {
+			return protocol.ServiceConfig{RefitEvery: 4, Metrics: reg}
+		}, 25*time.Millisecond, 150*time.Millisecond)
+	cliConn := c.peer("cli")
+	c.startAll()
+
+	ctx := testCtx(t)
+	cli, err := NewClient(ClientConfig{Conn: cliConn, Seeds: []string{"n1", "n2", "n3"},
+		AttemptTimeout: 2 * time.Second, DownFor: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	// Split the replicas from each other, then kill the leader: neither
+	// replica hears the other's promotion, so both assume leadership at
+	// epoch 1.
+	c.nodes["n2"].proxy.SetHook(dropFrom("n3"))
+	c.nodes["n3"].proxy.SetHook(dropFrom("n2"))
+	c.nodes["n1"].proc.Kill()
+	waitFor(t, "both replicas promoted", func() bool {
+		return len(c.nodes["n2"].current().Leads()) == 1 &&
+			len(c.nodes["n3"].current().Leads()) == 1
+	})
+	reg2 := c.nodes["n2"].registry()
+	reg3 := c.nodes["n3"].registry()
+	if a, b := counterOf(reg2, "cluster.failover_promotions"), counterOf(reg3, "cluster.failover_promotions"); a != 1 || b != 1 {
+		t.Fatalf("promotions during split = %d/%d, want 1/1", a, b)
+	}
+
+	// Heal. The two epoch-1 rows disagree on the leader; n2's row wins the
+	// tie-break on the smaller leader name, so n3 must yield.
+	c.nodes["n2"].proxy.SetHook(nil)
+	c.nodes["n3"].proxy.SetHook(nil)
+	waitFor(t, "split brain converged on n2", func() bool {
+		n2, n3 := c.nodes["n2"].current(), c.nodes["n3"].current()
+		return len(n2.Leads()) == 1 && len(n3.Leads()) == 0 &&
+			len(n3.Follows()) == 1 &&
+			counterOf(reg3, "cluster.failover_demotions") == 1
+	})
+	// Convergence came from the tie-break, not from out-versioning: both
+	// sides still serve the group at epoch 1.
+	if a, b := c.nodes["n2"].current().Epoch(), c.nodes["n3"].current().Epoch(); a != 1 || b != 1 {
+		t.Fatalf("epochs after convergence = %d/%d, want 1/1 (no extra bump)", a, b)
+	}
+
+	// The client settles the same race the same way and routes ingest to
+	// the surviving leader.
+	xs, ys := chunkAt(2, 50)
+	if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+		t.Fatalf("push after convergence: %v", err)
+	}
+	if got, _ := c.nodes["n2"].current().Service().GroupIngested("g-a"); got != 4 {
+		t.Fatalf("winner ingested %d records, want 4", got)
+	}
+	if got, _ := c.nodes["n3"].current().Service().GroupIngested("g-a"); got != 0 {
+		t.Fatalf("loser ingested %d records, want 0", got)
+	}
+}
+
+// TestAntiEntropyNeverRegressesReplica pins the model-seq guard: a restarted
+// leader floors its sequence numbering at its replicas' installed state, but
+// its freshly constructed model corresponds to no published sequence — so
+// anti-entropy must NOT re-push it, even to a replica that is genuinely
+// behind the floored counter. The lagging replica keeps its trained model
+// (reporting staleness honestly) until the next real refit publishes.
+func TestAntiEntropyNeverRegressesReplica(t *testing.T) {
+	table, err := NewStaticTable([]protocol.RouteEntry{
+		{Group: "g-a", Node: "n1", Replicas: []string{"n2", "n3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newChaos(t, table, []string{"n1", "n2", "n3"}, oneGroupSpecs(t),
+		func(reg *metrics.Registry) protocol.ServiceConfig {
+			return protocol.ServiceConfig{RefitEvery: 4, Metrics: reg}
+		}, 25*time.Millisecond, -1)
+	cliConn := c.peer("cli")
+	probeConn := c.peer("probe")
+	c.startAll()
+
+	ctx := testCtx(t)
+	cli, err := NewClient(ClientConfig{Conn: cliConn, Seeds: []string{"n1"},
+		AttemptTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	probe, err := protocol.NewServiceClient(probeConn, "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = probe.Close() })
+
+	// Seq 1 installs everywhere; seq 2 only on n2 (n3 is partitioned).
+	xs, ys := chunkAt(2, 50)
+	if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := c.nodes["n2"].registry()
+	reg3 := c.nodes["n3"].registry()
+	waitFor(t, "seq 1 on both replicas", func() bool {
+		return counterOf(reg2, "service.g-a.sync.installs") == 1 &&
+			counterOf(reg3, "service.g-a.sync.installs") == 1
+	})
+	c.partition("n3")
+	xs, ys = chunkAt(6, 60)
+	if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "seq 2 on n2", func() bool {
+		return counterOf(reg2, "service.g-a.sync.installs") == 2
+	})
+
+	// Restart the leader: the handshake floors its numbering at n2's seq 2,
+	// but the model it serves is the fresh seed fit — untrained, unpublished.
+	c.nodes["n1"].proc.Kill()
+	if err := c.nodes["n1"].proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	reg1b := c.nodes["n1"].registry()
+	waitFor(t, "restarted leader handshake", func() bool {
+		return counterOf(reg1b, "cluster.handshake_floors") >= 1
+	})
+
+	// Heal n3 (still at seq 1). The staleness gauge rising proves hello and
+	// state rounds completed against the restarted leader — the exact
+	// exchange that used to trigger the poisonous re-push.
+	c.heal("n3")
+	waitFor(t, "n3 reporting honest staleness", func() bool {
+		return gaugeOf(reg3, "service.g-a.staleness_records") == 4
+	})
+	time.Sleep(150 * time.Millisecond) // several more anti-entropy rounds
+	if n := counterOf(reg1b, "cluster.anti_entropy_pushes"); n != 0 {
+		t.Fatalf("restarted leader re-pushed %d models it never published, want 0", n)
+	}
+	if n := counterOf(reg3, "service.g-a.sync.installs"); n != 1 {
+		t.Fatalf("n3 installs after heal = %d, want still 1 (no regression)", n)
+	}
+	got, err := probe.ClassifyBatchAt(ctx, "n3", "g-a", [][]float64{{100}})
+	if err != nil || got[0] != 53 {
+		t.Fatalf("n3 classify = %v, %v; want [53] — the trained model it installed", got, err)
+	}
+
+	// The next real refit publishes above the floor and repairs everyone.
+	xs, ys = chunkAt(10, 70)
+	if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-restart publish converges both replicas", func() bool {
+		return counterOf(reg2, "service.g-a.sync.installs") == 3 &&
+			counterOf(reg3, "service.g-a.sync.installs") == 2 &&
+			gaugeOf(reg3, "service.g-a.staleness_records") == 0
+	})
+	got, err = probe.ClassifyBatchAt(ctx, "n3", "g-a", [][]float64{{100}})
+	if err != nil || got[0] != 73 {
+		t.Fatalf("n3 classify after real refit = %v, %v; want [73]", got, err)
+	}
+}
+
+// TestSyncTrafficCountsAsLiveness pins the failover contact rule: a leader
+// that keeps replicating models but whose gossip hellos are lost must not be
+// deposed — every model-sync frame accepted from the group's sync source
+// refreshes the replica's leader-contact clock, so replication traffic is
+// liveness evidence in its own right.
+func TestSyncTrafficCountsAsLiveness(t *testing.T) {
+	table, err := NewStaticTable([]protocol.RouteEntry{
+		{Group: "g-a", Node: "n1", Replicas: []string{"n2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newChaos(t, table, []string{"n1", "n2"}, oneGroupSpecs(t),
+		func(reg *metrics.Registry) protocol.ServiceConfig {
+			return protocol.ServiceConfig{RefitEvery: 4, Metrics: reg}
+		}, 25*time.Millisecond, 300*time.Millisecond)
+	cliConn := c.peer("cli")
+	c.startAll()
+
+	ctx := testCtx(t)
+	cli, err := NewClient(ClientConfig{Conn: cliConn, Seeds: []string{"n1", "n2"},
+		AttemptTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	// Establish replication first, then start losing every hello n1 sends
+	// to n2 — from n2's point of view the gossip channel goes dark while
+	// model syncs keep arriving.
+	xs, ys := chunkAt(2, 50)
+	if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := c.nodes["n2"].registry()
+	waitFor(t, "baseline install on n2", func() bool {
+		return counterOf(reg2, "service.g-a.sync.installs") == 1
+	})
+	c.nodes["n2"].proxy.SetHook(func(dir faultnet.Dir, frame []byte) faultnet.Verdict {
+		from, payload, err := transport.PeekSender(frame)
+		if err != nil || from != "n1" {
+			return faultnet.Pass
+		}
+		if info, ok := protocol.InspectFrame(payload); ok && info.Kind == protocol.KindSyncHello {
+			return faultnet.Drop
+		}
+		return faultnet.Pass
+	})
+
+	// Keep the leader publishing for several grace periods: each 4-record
+	// chunk crosses the refit cadence, so each push replicates a model.
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		xs, ys = chunkAt(float64(6+4*i), 50)
+		if _, err := cli.Push(ctx, "g-a", xs, ys); err != nil {
+			t.Fatalf("push %d during hello blackout: %v", i, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := counterOf(reg2, "service.g-a.sync.installs"); n < 5 {
+		t.Fatalf("only %d installs during the blackout — replication was not continuous", n)
+	}
+	if n := counterOf(reg2, "cluster.failover_promotions"); n != 0 {
+		t.Fatalf("replica deposed a leader that was still replicating: %d promotions, want 0", n)
+	}
+	n2 := c.nodes["n2"].current()
+	if len(n2.Leads()) != 0 || len(n2.Follows()) != 1 {
+		t.Fatalf("n2 leads %v follows %v, want still a pure follower", n2.Leads(), n2.Follows())
+	}
+}
+
+// TestRefreshMergesRowsAcrossAnswers pins the client's row-wise merge: after
+// concurrent failovers of two groups, each surviving node has adopted its
+// own group's promoted row but may still hold the seed row for the other.
+// No single answer is fully fresh — only a per-row, per-epoch merge across
+// answers discovers both promoted leaders. Whole-table epoch comparison
+// would keep a stale row for one of the groups, whichever answer won.
+func TestRefreshMergesRowsAcrossAnswers(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ctx := testCtx(t)
+
+	serve := func(name string, entries []protocol.RouteEntry) {
+		conn, err := net.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := []protocol.GroupSpec{
+			{ID: "g-a", Unified: clusterLine(t, 4, 0), Model: classify.NewKNN(1)}}
+		svc, err := protocol.NewGroupedMiningService(conn, spec, protocol.ServiceConfig{
+			RoutesFunc: func() ([]protocol.RouteEntry, uint64) { return entries, 0 }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); _ = svc.Serve(sctx) }()
+		t.Cleanup(func() { cancel(); <-done; _ = conn.Close() })
+	}
+	// Each node knows about its own group's failover (epoch 1) and still
+	// serves the dead seed leader for the other group (epoch 0).
+	serve("na", []protocol.RouteEntry{
+		{Group: "g-a", Node: "na", Epoch: 1},
+		{Group: "g-b", Node: "dead"}})
+	serve("nb", []protocol.RouteEntry{
+		{Group: "g-a", Node: "dead"},
+		{Group: "g-b", Node: "nb", Epoch: 1}})
+
+	cliConn, err := net.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientConfig{Conn: cliConn, Seeds: []string{"na", "nb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	routes, err := cli.Routes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGroup := make(map[string]protocol.RouteEntry, len(routes))
+	for _, r := range routes {
+		byGroup[r.Group] = r
+	}
+	if len(routes) != 2 || byGroup["g-a"].Node != "na" || byGroup["g-b"].Node != "nb" {
+		t.Fatalf("merged routes = %+v, want g-a led by na and g-b led by nb", routes)
+	}
+	if byGroup["g-a"].Epoch != 1 || byGroup["g-b"].Epoch != 1 {
+		t.Fatalf("merged row epochs = %d/%d, want 1/1",
+			byGroup["g-a"].Epoch, byGroup["g-b"].Epoch)
+	}
+}
+
+// TestRefreshQueriesPoolConcurrently pins discovery latency: with most of
+// the candidate pool unreachable — the exact situation that forces a
+// refresh — the whole pool is asked concurrently, so discovery costs one
+// attempt timeout, not pool × timeout.
+func TestRefreshQueriesPoolConcurrently(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ctx := testCtx(t)
+
+	// Three endpoints that exist but never answer (frames vanish into their
+	// inboxes), ahead of the one live node in seed order.
+	for _, name := range []string{"d1", "d2", "d3"} {
+		conn, err := net.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+	}
+	liveConn, err := net.Endpoint("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := []protocol.GroupSpec{
+		{ID: "g-a", Unified: clusterLine(t, 4, 0), Model: classify.NewKNN(1)}}
+	svc, err := protocol.NewGroupedMiningService(liveConn, spec, protocol.ServiceConfig{
+		Routes: []protocol.RouteEntry{{Group: "g-a", Node: "live"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = svc.Serve(sctx) }()
+	t.Cleanup(func() { cancel(); <-done; _ = liveConn.Close() })
+
+	cliConn, err := net.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempt = 400 * time.Millisecond
+	cli, err := NewClient(ClientConfig{Conn: cliConn,
+		Seeds: []string{"d1", "d2", "d3", "live"}, AttemptTimeout: attempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	start := time.Now()
+	routes, err := cli.Routes(ctx)
+	elapsed := time.Since(start)
+	if err != nil || len(routes) != 1 || routes[0].Node != "live" {
+		t.Fatalf("discovery = %+v, %v; want the live node's table", routes, err)
+	}
+	// Serial discovery would burn three full attempt timeouts (1.2s) before
+	// reaching the live node; concurrent discovery is bounded by one.
+	if elapsed >= 3*attempt {
+		t.Fatalf("discovery took %v with 3 dead candidates — pool was queried serially", elapsed)
+	}
+}

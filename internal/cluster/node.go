@@ -104,7 +104,9 @@ type pendingSync struct {
 //     waiting for the next refit;
 //   - failover: when a leader stays silent past the grace period, the
 //     next-ranked replica promotes itself, re-announcing the group's row
-//     under a bumped table epoch that every node and client prefers.
+//     under the row's epoch + 1; nodes and clients merge rows per group by
+//     epoch (equal-epoch races settle by a deterministic tie-break), so
+//     concurrent failovers of different groups never displace each other.
 //
 // Construct with NewNode, run with Serve.
 type Node struct {
@@ -115,21 +117,42 @@ type Node struct {
 	grace   time.Duration // <= 0: failover disabled
 	hosted  []string      // hosted groups, table order (fixed for the node's lifetime)
 
-	// Dynamic cluster state, all guarded by mu: the current table and epoch
-	// (failover adoption replaces them), this node's per-group rows, the
-	// leader-side sequence/coverage counters, the handshake floor state, the
-	// replication queues and the per-followed-group leader-contact clocks.
+	// Dynamic cluster state, all guarded by mu: this node's per-group rows
+	// (each carrying its own epoch; failover adoption replaces individual
+	// rows), the leader-side sequence/coverage counters, the handshake floor
+	// state, the replication queues and the per-followed-group
+	// leader-contact clocks. base is the construction-time table, served
+	// verbatim for the groups this node does not host.
 	mu      sync.Mutex
-	table   *Table
-	epoch   uint64
+	base    []protocol.RouteEntry
 	rows    map[string]protocol.RouteEntry
 	seq     map[string]uint64
 	covered map[string]int64
-	floored map[string]bool      // led group's numbering confirmed by a replica state
-	floorBy map[string]time.Time // fallback: publish unfloored after this instant
-	pending map[string]pendingSync
-	repush  map[string]map[string]struct{} // group -> replicas owed an anti-entropy push
-	contact map[string]time.Time           // followed group -> last leader contact
+	// modelSeq/modelCov are the sequence and coverage the group's currently
+	// served model actually corresponds to — set when this node publishes a
+	// model it fitted, or floored at the installed sync state when a
+	// promotion makes a replica's model the group's serving one. The seq
+	// counter alone is not enough: a restarted leader floors seq at its
+	// replicas' installed state while still serving its freshly constructed
+	// model, and an anti-entropy push of that model under the floored
+	// sequence would overwrite a replica's trained model with an untrained
+	// one. Re-pushes only ever send a model at its own modelSeq.
+	modelSeq map[string]uint64
+	modelCov map[string]int64
+	floored  map[string]bool      // led group's numbering confirmed by a replica state
+	floorBy  map[string]time.Time // fallback: publish unfloored after this instant
+	pending  map[string]pendingSync
+	repush   map[string]map[string]struct{} // group -> replicas owed an anti-entropy push
+	// lastSync records, per led group and replica, when a model sync was
+	// last sent there. A state answer claiming the replica is behind is
+	// ignored while a sync is this recent: gossip states are generated
+	// asynchronously, so one produced while a just-published model is still
+	// in flight (or queued behind the replica's ingest lane) reports the old
+	// sequence — re-pushing on that evidence just earns an idempotent
+	// reject. A genuinely lost frame still reports behind on the next
+	// round, after the window, and is repaired then.
+	lastSync map[string]map[string]time.Time
+	contact  map[string]time.Time // followed group -> last leader contact
 
 	notify  chan struct{}
 	gossipQ chan protocol.SyncGossip
@@ -176,23 +199,27 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		grace = DefaultFailoverGrace
 	}
 	n := &Node{
-		name:    cfg.Name,
-		conn:    cfg.Conn,
-		table:   cfg.Table,
-		aeEvery: aeEvery,
-		grace:   grace,
-		epoch:   cfg.Table.Epoch(),
-		rows:    make(map[string]protocol.RouteEntry),
-		seq:     make(map[string]uint64),
-		covered: make(map[string]int64),
-		floored: make(map[string]bool),
-		floorBy: make(map[string]time.Time),
-		pending: make(map[string]pendingSync),
-		repush:  make(map[string]map[string]struct{}),
-		contact: make(map[string]time.Time),
-		notify:  make(chan struct{}, 1),
-		gossipQ: make(chan protocol.SyncGossip, gossipQueueDepth),
-		lagBase: make(map[string]*atomic.Int64),
+		name:     cfg.Name,
+		conn:     cfg.Conn,
+		aeEvery:  aeEvery,
+		grace:    grace,
+		rows:     make(map[string]protocol.RouteEntry),
+		seq:      make(map[string]uint64),
+		covered:  make(map[string]int64),
+		modelSeq: make(map[string]uint64),
+		modelCov: make(map[string]int64),
+		floored:  make(map[string]bool),
+		floorBy:  make(map[string]time.Time),
+		pending:  make(map[string]pendingSync),
+		repush:   make(map[string]map[string]struct{}),
+		lastSync: make(map[string]map[string]time.Time),
+		contact:  make(map[string]time.Time),
+		notify:   make(chan struct{}, 1),
+		gossipQ:  make(chan protocol.SyncGossip, gossipQueueDepth),
+		lagBase:  make(map[string]*atomic.Int64),
+	}
+	for _, e := range cfg.Table.Entries() {
+		n.base = append(n.base, copyRow(e))
 	}
 
 	var hosted []protocol.GroupSpec
@@ -239,6 +266,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.offerGossip(g)
 	}
+	prevSync := svcCfg.OnModelSync
+	svcCfg.OnModelSync = func(group, from string, seq uint64) {
+		if prevSync != nil {
+			prevSync(group, from, seq)
+		}
+		n.noteSyncContact(group, from)
+	}
 	svc, err := protocol.NewGroupedMiningService(cfg.Conn, hosted, svcCfg)
 	if err != nil {
 		return nil, err
@@ -281,7 +315,8 @@ func indexOf(list []string, s string) int {
 
 func copyRow(e protocol.RouteEntry) protocol.RouteEntry {
 	return protocol.RouteEntry{
-		Group: e.Group, Node: e.Node, Replicas: append([]string(nil), e.Replicas...)}
+		Group: e.Group, Node: e.Node, Epoch: e.Epoch,
+		Replicas: append([]string(nil), e.Replicas...)}
 }
 
 // Name returns the node's endpoint name.
@@ -291,12 +326,21 @@ func (n *Node) Name() string { return n.name }
 // listing) for operators and tests.
 func (n *Node) Service() *protocol.MiningService { return n.svc }
 
-// Epoch returns the node's current routing-table epoch (0 until a failover
-// bumps it or a higher-epoch row is adopted).
+// Epoch returns the highest row epoch this node serves (0 until a failover
+// bumps a hosted row or a higher-epoch row is adopted).
 func (n *Node) Epoch() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.epoch
+	var max uint64
+	for _, e := range n.base {
+		if row, ok := n.rows[e.Group]; ok {
+			e = row
+		}
+		if e.Epoch > max {
+			max = e.Epoch
+		}
+	}
+	return max
 }
 
 // Leads returns the groups this node currently leads, in table order.
@@ -326,12 +370,44 @@ func (n *Node) Follows() []string {
 	return out
 }
 
-// routesSnapshot serves the node's current table and epoch to kindRoutes
-// requests (ServiceConfig.RoutesFunc). Runs on the serving loop.
+// routesSnapshot serves the node's current table to kindRoutes requests
+// (ServiceConfig.RoutesFunc): the construction-time rows with this node's
+// live hosted rows overlaid, so a served row can never be staler than what
+// the node itself adopted — there is no separately rebuilt table to fall
+// out of sync with the rows. Rows for groups this node does not host are
+// served at their construction-time epochs; clients merge row-wise, so a
+// fresher row from the group's own assignees always outranks them. The
+// frame-level epoch is the highest served row epoch. Runs on the serving
+// loop. The returned rows share their Replicas slices with n.rows, which
+// only ever replaces whole entries, never mutates a slice in place.
 func (n *Node) routesSnapshot() ([]protocol.RouteEntry, uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.table.Entries(), n.epoch
+	entries := make([]protocol.RouteEntry, 0, len(n.base))
+	var max uint64
+	for _, e := range n.base {
+		if row, ok := n.rows[e.Group]; ok {
+			e = row
+		}
+		entries = append(entries, e)
+		if e.Epoch > max {
+			max = e.Epoch
+		}
+	}
+	return entries, max
+}
+
+// noteSyncContact refreshes a followed group's leader-contact clock when an
+// authenticated model sync arrives (ServiceConfig.OnModelSync): replication
+// traffic proves the leader is alive even when its gossip frames are lost or
+// its syncer stalls, so a leader that still publishes models is never
+// deposed. Runs on the group's ingest goroutine.
+func (n *Node) noteSyncContact(group, from string) {
+	n.mu.Lock()
+	if row, ok := n.rows[group]; ok && row.Node == from && row.Node != n.name {
+		n.contact[group] = time.Now()
+	}
+	n.mu.Unlock()
 }
 
 // replicaLag derives the cluster.replica_lag_records gauge: across the
@@ -502,6 +578,11 @@ func (n *Node) publishPending(ctx context.Context) {
 			n.covered[group] = ps.ingested
 		}
 		cov := n.covered[group]
+		// The model being published is the one the service now serves (the
+		// swap hook fired after the atomic publish), so this sequence is the
+		// one anti-entropy may re-offer the served model under.
+		n.modelSeq[group] = seq
+		n.modelCov[group] = cov
 		replicas := append([]string(nil), row.Replicas...)
 		n.mu.Unlock()
 
@@ -521,19 +602,25 @@ func (n *Node) publishPending(ctx context.Context) {
 				continue
 			}
 			n.mSyncPublished.Inc()
+			n.noteSyncSent(group, replica)
 		}
 		if allSent {
 			n.lagBase[group].Store(ps.ingested)
 		}
 	}
 
-	// Anti-entropy: re-push the current model, at the current sequence, to
-	// the replicas whose state answers reported an older one.
+	// Anti-entropy: re-push the current model — at the sequence that model
+	// was actually published or installed under, never the handshake-floored
+	// counter — to the replicas whose state answers reported an older one. A
+	// zero modelSeq means the served model is this process's freshly
+	// constructed one, which no replica should ever regress to: the repair
+	// then waits for the next refit's publish instead. Replicas at or above
+	// modelSeq reject the re-push idempotently.
 	for group, targets := range rep {
 		n.mu.Lock()
 		row := n.rows[group]
-		seq := n.seq[group]
-		cov := n.covered[group]
+		seq := n.modelSeq[group]
+		cov := n.modelCov[group]
 		n.mu.Unlock()
 		if row.Node != n.name || seq == 0 {
 			continue
@@ -559,8 +646,19 @@ func (n *Node) publishPending(ctx context.Context) {
 				continue
 			}
 			n.mAEPushes.Inc()
+			n.noteSyncSent(group, replica)
 		}
 	}
+}
+
+// noteSyncSent stamps the last model-sync send to one replica (see lastSync).
+func (n *Node) noteSyncSent(group, replica string) {
+	n.mu.Lock()
+	if n.lastSync[group] == nil {
+		n.lastSync[group] = make(map[string]time.Time)
+	}
+	n.lastSync[group][replica] = time.Now()
+	n.mu.Unlock()
 }
 
 // syncerLoop is the durability coordinator: it runs a gossip round
@@ -596,10 +694,12 @@ func (n *Node) sendCtx(ctx context.Context) (context.Context, context.CancelFunc
 }
 
 // gossipRound sends one durability exchange: a hello per (led group,
-// replica) announcing this leader's sequence, epoch, coverage and row, and a
-// state per followed group answering this replica's installed sequence.
-// Sends are best-effort; failures surface as missing answers, which the next
-// round repeats.
+// replica) announcing this leader's sequence, row epoch, coverage and row,
+// and a state per followed group answering this replica's installed
+// sequence. Each frame carries the epoch of its own group's row — rows are
+// versioned individually, so gossip about one group can never misrepresent
+// the freshness of another's assignment. Sends are best-effort; failures
+// surface as missing answers, which the next round repeats.
 func (n *Node) gossipRound(ctx context.Context) {
 	type helloSend struct {
 		group string
@@ -613,7 +713,6 @@ func (n *Node) gossipRound(ctx context.Context) {
 		row   protocol.RouteEntry
 	}
 	n.mu.Lock()
-	epoch := n.epoch
 	var hellos []helloSend
 	var states []stateSend
 	for _, g := range n.hosted {
@@ -632,7 +731,7 @@ func (n *Node) gossipRound(ctx context.Context) {
 	for _, h := range hellos {
 		for _, to := range h.row.Replicas {
 			sctx, cancel := n.sendCtx(ctx)
-			_ = protocol.SendSyncHello(sctx, n.conn, to, h.group, h.seq, epoch, h.cov, h.row)
+			_ = protocol.SendSyncHello(sctx, n.conn, to, h.group, h.seq, h.row.Epoch, h.cov, h.row)
 			cancel()
 		}
 	}
@@ -643,46 +742,60 @@ func (n *Node) gossipRound(ctx context.Context) {
 		}
 		cov, _ := n.svc.GroupSyncCovered(s.group)
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncState(sctx, n.conn, s.to, s.group, seq, epoch, cov, s.row)
+		_ = protocol.SendSyncState(sctx, n.conn, s.to, s.group, seq, s.row.Epoch, cov, s.row)
 		cancel()
 	}
 }
 
 // handleGossip processes one hello or state observation on the syncer
-// goroutine. Epochs rank first: a higher-epoch row is adopted verbatim
-// (failover announcement), a lower-epoch sender is answered with this node's
-// newer view, and only equal-epoch gossip runs the normal handshake and
-// anti-entropy logic.
+// goroutine. Row epochs rank first, per group: a higher-epoch row is adopted
+// verbatim (failover announcement), a lower-epoch sender is answered with
+// this node's newer row, and an equal-epoch row that disagrees with ours is
+// resolved by the deterministic tie-break (rowOutranks) — the losing side
+// adopts, so two replicas that promoted themselves to the same epoch during
+// a partition converge on one leader as soon as they hear each other, with
+// no further epoch bump. Only then does the normal handshake and
+// anti-entropy logic run.
 func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
 	n.mu.Lock()
-	if _, hosted := n.rows[g.Group]; !hosted {
+	ours, hosted := n.rows[g.Group]
+	if !hosted {
 		n.mu.Unlock()
 		return
 	}
-	if g.Epoch > n.epoch && g.Row != nil && g.Row.Group == g.Group {
-		n.adoptRowLocked(*g.Row, g.Epoch)
+	theirs := g.Epoch
+	var theirRow *protocol.RouteEntry
+	if g.Row != nil && g.Row.Group == g.Group {
+		theirRow = g.Row
+		if theirRow.Epoch > theirs {
+			theirs = theirRow.Epoch
+		}
 	}
-	if g.Epoch < n.epoch {
+	switch {
+	case theirs > ours.Epoch:
+		if theirRow != nil {
+			row := copyRow(*theirRow)
+			row.Epoch = theirs
+			n.adoptRowLocked(row)
+		}
+	case theirs < ours.Epoch:
 		// The sender is behind (a restarted old leader, or a replica that
-		// missed the failover announcement): teach it the newer assignment.
-		row := n.rows[g.Group]
-		epoch := n.epoch
-		seq := n.seq[g.Group]
-		cov := n.covered[g.Group]
-		iLead := row.Node == n.name
-		n.mu.Unlock()
-		sctx, cancel := n.sendCtx(ctx)
-		if iLead {
-			_ = protocol.SendSyncHello(sctx, n.conn, g.From, g.Group, seq, epoch, cov, row)
-		} else {
-			mySeq, err := n.svc.GroupSyncSeq(g.Group)
-			if err == nil {
-				myCov, _ := n.svc.GroupSyncCovered(g.Group)
-				_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, epoch, myCov, row)
+		// missed the failover announcement): teach it the newer row.
+		n.teachLocked(ctx, g.From, g.Group)
+		return
+	default:
+		if theirRow != nil && !sameAssignment(*theirRow, ours) {
+			if rowOutranks(*theirRow, ours) {
+				row := copyRow(*theirRow)
+				row.Epoch = theirs
+				n.adoptRowLocked(row)
+			} else {
+				// Our row wins the tie-break: answer with it so the other
+				// promoter yields.
+				n.teachLocked(ctx, g.From, g.Group)
+				return
 			}
 		}
-		cancel()
-		return
 	}
 
 	row := n.rows[g.Group]
@@ -706,11 +819,10 @@ func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
 			_ = n.svc.ReportSyncLag(g.Group, 0)
 		}
 		n.mu.Lock()
-		epoch := n.epoch
 		myRow := n.rows[g.Group]
 		n.mu.Unlock()
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, epoch, myCov, myRow)
+		_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, myRow.Epoch, myCov, myRow)
 		cancel()
 		return
 	}
@@ -733,7 +845,15 @@ func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
 		n.floored[g.Group] = true
 		n.mFloors.Inc()
 	}
-	behind := g.Seq < n.seq[g.Group]
+	// A replica is owed a repair only when it is behind the model this node
+	// can actually offer (modelSeq), not merely behind the floored counter:
+	// a restarted leader serving its freshly constructed model has nothing
+	// trustworthy to re-push until its next refit publishes. And only when
+	// the last sync sent there has had two full gossip rounds to land —
+	// states race in-flight installs, and a re-push on that stale evidence
+	// would be a pointless duplicate (see lastSync).
+	behind := g.Seq < n.modelSeq[g.Group] &&
+		time.Since(n.lastSync[g.Group][g.From]) >= 2*n.aeEvery
 	if behind {
 		if n.repush[g.Group] == nil {
 			n.repush[g.Group] = make(map[string]struct{})
@@ -746,14 +866,37 @@ func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
 	}
 }
 
-// adoptRowLocked installs a higher-epoch row for one hosted group: the
-// node's table and epoch advance, and the group's shard flips role if the
-// row moved leadership. Called with mu held.
-func (n *Node) adoptRowLocked(row protocol.RouteEntry, epoch uint64) {
+// teachLocked answers a sender whose row for the group is older — or lost
+// the equal-epoch tie-break — with this node's row: a hello when this node
+// leads the group, a state answer otherwise. The sender runs the same
+// comparison on receipt and adopts. Called with mu held; unlocks it.
+func (n *Node) teachLocked(ctx context.Context, to, group string) {
+	row := n.rows[group]
+	seq := n.seq[group]
+	cov := n.covered[group]
+	iLead := row.Node == n.name
+	n.mu.Unlock()
+	sctx, cancel := n.sendCtx(ctx)
+	defer cancel()
+	if iLead {
+		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, row.Epoch, cov, row)
+		return
+	}
+	mySeq, err := n.svc.GroupSyncSeq(group)
+	if err != nil {
+		return
+	}
+	myCov, _ := n.svc.GroupSyncCovered(group)
+	_ = protocol.SendSyncState(sctx, n.conn, to, group, mySeq, row.Epoch, myCov, row)
+}
+
+// adoptRowLocked installs a fresher (or tie-break-winning) row for one
+// hosted group. Only that group's row is replaced — other groups' rows and
+// epochs are unrelated, so concurrent failovers compose — and the group's
+// shard flips role if the row moved leadership. Called with mu held.
+func (n *Node) adoptRowLocked(row protocol.RouteEntry) {
 	old := n.rows[row.Group]
-	n.rows[row.Group] = copyRow(row)
-	n.epoch = epoch
-	n.rebuildTableLocked()
+	n.rows[row.Group] = row
 	now := time.Now()
 	if row.Node == n.name {
 		if old.Node != n.name {
@@ -761,9 +904,18 @@ func (n *Node) adoptRowLocked(row protocol.RouteEntry, epoch uint64) {
 		}
 		// Floor the new leadership's numbering at what this node installed
 		// as a replica, and wait for the other replicas' states before the
-		// first publish.
-		if s, err := n.svc.GroupSyncSeq(row.Group); err == nil && s > n.seq[row.Group] {
-			n.seq[row.Group] = s
+		// first publish. The installed model is the one this node now
+		// serves, so anti-entropy may re-offer it under that sequence.
+		if s, err := n.svc.GroupSyncSeq(row.Group); err == nil {
+			if s > n.seq[row.Group] {
+				n.seq[row.Group] = s
+			}
+			if s > n.modelSeq[row.Group] {
+				n.modelSeq[row.Group] = s
+				if c, err := n.svc.GroupSyncCovered(row.Group); err == nil {
+					n.modelCov[row.Group] = c
+				}
+			}
 		}
 		if c, err := n.svc.GroupSyncCovered(row.Group); err == nil && c > n.covered[row.Group] {
 			n.covered[row.Group] = c
@@ -782,26 +934,6 @@ func (n *Node) adoptRowLocked(row protocol.RouteEntry, epoch uint64) {
 		n.contact[row.Group] = now
 		_ = n.svc.SetGroupFollow(row.Group, row.Node)
 	}
-}
-
-// rebuildTableLocked re-derives the node's table from its current rows
-// (hosted groups) over the previous table (everything else), stamped with
-// the current epoch. Called with mu held.
-func (n *Node) rebuildTableLocked() {
-	prev := n.table.Entries()
-	entries := make([]protocol.RouteEntry, 0, len(prev))
-	for _, e := range prev {
-		if row, ok := n.rows[e.Group]; ok {
-			entries = append(entries, row)
-		} else {
-			entries = append(entries, e)
-		}
-	}
-	t, err := NewStaticTable(entries)
-	if err != nil {
-		return // keep the previous table; promoted rows preserve validity
-	}
-	n.table = t.WithEpoch(n.epoch)
 }
 
 // checkFailover promotes this node for any followed group whose leader has
@@ -840,9 +972,12 @@ func (n *Node) checkFailover(ctx context.Context) {
 }
 
 // promote assumes leadership of one followed group: the old leader is
-// demoted to the row's last-ranked replica, the row is re-announced under a
-// bumped epoch (hello to every new replica, the demoted leader included),
-// and this node's numbering resumes above its installed sequence.
+// demoted to the row's last-ranked replica, the row is re-announced under
+// its own epoch + 1 (hello to every new replica, the demoted leader
+// included) — other groups' rows are untouched, so a node that led several
+// groups failing over concurrently on different successors produces rows
+// that merge cleanly everywhere — and this node's numbering resumes above
+// its installed sequence.
 func (n *Node) promote(ctx context.Context, group string) {
 	n.mu.Lock()
 	row := n.rows[group]
@@ -851,22 +986,22 @@ func (n *Node) promote(ctx context.Context, group string) {
 		return
 	}
 	promoted := promoteRow(row, n.name)
-	n.adoptRowLocked(promoted, n.epoch+1)
-	epoch := n.epoch
+	n.adoptRowLocked(promoted)
 	seq := n.seq[group]
 	cov := n.covered[group]
 	n.mu.Unlock()
 
 	for _, to := range promoted.Replicas {
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, epoch, cov, promoted)
+		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, promoted.Epoch, cov, promoted)
 		cancel()
 	}
 }
 
-// promoteRow derives the failover row: the successor leads, the remaining
-// replicas keep their ranks, and the old leader re-enters as the last-ranked
-// replica (it rejoins as a follower when it restarts).
+// promoteRow derives the failover row under the old row's epoch + 1: the
+// successor leads, the remaining replicas keep their ranks, and the old
+// leader re-enters as the last-ranked replica (it rejoins as a follower
+// when it restarts).
 func promoteRow(row protocol.RouteEntry, successor string) protocol.RouteEntry {
 	replicas := make([]string, 0, len(row.Replicas))
 	for _, r := range row.Replicas {
@@ -875,5 +1010,6 @@ func promoteRow(row protocol.RouteEntry, successor string) protocol.RouteEntry {
 		}
 	}
 	replicas = append(replicas, row.Node)
-	return protocol.RouteEntry{Group: row.Group, Node: successor, Replicas: replicas}
+	return protocol.RouteEntry{
+		Group: row.Group, Node: successor, Epoch: row.Epoch + 1, Replicas: replicas}
 }

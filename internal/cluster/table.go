@@ -12,7 +12,7 @@
 // The v6 durability gossip keeps a running cluster convergent through
 // restarts, partitions and leader loss: reconnect handshakes floor a
 // restarted leader's sequence counter, anti-entropy re-pushes catch
-// lagging replicas up, and epoch-stamped tables let the next-ranked
+// lagging replicas up, and epoch-versioned table rows let the next-ranked
 // replica assume leadership when a leader stays silent past its grace
 // (see Node). Package faultnet provides the fault-injection harness the
 // durability tests drive these paths with.
@@ -43,15 +43,17 @@ var (
 )
 
 // Table is an immutable routing table: one RouteEntry per group, mapping it
-// to its leader node and read replicas, stamped with an epoch. Construct
-// with NewStaticTable or NewRendezvousTable (epoch 0; derive bumped-epoch
-// tables with WithEpoch); safe for concurrent use. Epochs version the
-// assignment: failover publishes its promoted rows under epoch+1, and
-// clients and nodes prefer the highest epoch they have seen.
+// to its leader node and read replicas. Construct with NewStaticTable or
+// NewRendezvousTable; safe for concurrent use. Epochs version each row
+// individually (protocol.RouteEntry.Epoch): failover re-announces a
+// promoted row under the old row's epoch + 1, and clients and nodes merge
+// tables row-wise, keeping the highest-epoch row seen per group — so
+// concurrent failovers of different groups compose instead of overwriting
+// each other. Operator tables usually leave every row at epoch 0.
 type Table struct {
 	entries []protocol.RouteEntry
 	byGroup map[string]protocol.RouteEntry
-	epoch   uint64
+	epoch   uint64 // highest row epoch, derived at construction
 }
 
 // NewStaticTable pins an operator-chosen assignment: entries are validated
@@ -85,9 +87,13 @@ func NewStaticTable(entries []protocol.RouteEntry) (*Table, error) {
 			seen[r] = struct{}{}
 		}
 		copied := protocol.RouteEntry{
-			Group: e.Group, Node: e.Node, Replicas: append([]string(nil), e.Replicas...)}
+			Group: e.Group, Node: e.Node, Epoch: e.Epoch,
+			Replicas: append([]string(nil), e.Replicas...)}
 		t.entries = append(t.entries, copied)
 		t.byGroup[e.Group] = copied
+		if e.Epoch > t.epoch {
+			t.epoch = e.Epoch
+		}
 	}
 	return t, nil
 }
@@ -191,12 +197,65 @@ func (t *Table) Route(group string) (protocol.RouteEntry, bool) {
 	return e, ok
 }
 
-// Epoch returns the table's epoch (0 for freshly constructed tables).
+// Epoch returns the highest row epoch in the table (0 for operator tables
+// that never saw a failover).
 func (t *Table) Epoch() uint64 { return t.epoch }
 
-// WithEpoch returns a table sharing this table's rows under the given epoch.
-func (t *Table) WithEpoch(epoch uint64) *Table {
-	return &Table{entries: t.entries, byGroup: t.byGroup, epoch: epoch}
+// stampRowEpochs applies a routes answer's table-level epoch to rows that
+// carry no per-row epochs: static tables and RoutesFunc servers may version
+// the whole table at once, and a uniform stamp preserves that meaning. An
+// answer in which any row already carries its own epoch is returned
+// unchanged — its rows speak for themselves, and lifting the zero-epoch
+// rows to the table's maximum would resurrect exactly the stale-row
+// poisoning per-row epochs exist to prevent.
+func stampRowEpochs(entries []protocol.RouteEntry, epoch uint64) []protocol.RouteEntry {
+	if epoch == 0 {
+		return entries
+	}
+	for _, e := range entries {
+		if e.Epoch != 0 {
+			return entries
+		}
+	}
+	out := make([]protocol.RouteEntry, len(entries))
+	for i, e := range entries {
+		e.Epoch = epoch
+		out[i] = e
+	}
+	return out
+}
+
+// sameAssignment reports whether two rows for the same group name the same
+// leader and the same replica ranking (epochs aside).
+func sameAssignment(a, b protocol.RouteEntry) bool {
+	if a.Node != b.Node || len(a.Replicas) != len(b.Replicas) {
+		return false
+	}
+	for i := range a.Replicas {
+		if a.Replicas[i] != b.Replicas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowOutranks is the deterministic tie-break for equal-epoch row conflicts:
+// when two failovers of the same group race to the same epoch (a healed
+// partition where two replicas each promoted themselves), every node and
+// client must converge on the same winner without another round of
+// versioning. The rule is arbitrary but total — lexicographically smaller
+// leader first, then the lexicographically smaller replica ranking — so one
+// side of the race always yields.
+func rowOutranks(a, b protocol.RouteEntry) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	for i := 0; i < len(a.Replicas) && i < len(b.Replicas); i++ {
+		if a.Replicas[i] != b.Replicas[i] {
+			return a.Replicas[i] < b.Replicas[i]
+		}
+	}
+	return len(a.Replicas) < len(b.Replicas)
 }
 
 // Entries returns the table rows in construction order. The slice is shared;

@@ -269,3 +269,71 @@ func TestInspectFrame(t *testing.T) {
 		}
 	}
 }
+
+// TestOnModelSyncHook checks the replication-liveness hook: every model-sync
+// frame admitted from the shard's sync source reaches OnModelSync — fresh
+// installs and replay rejections alike, since either proves the leader is
+// alive and publishing — while frames from any other sender are refused
+// before the hook and count as no evidence at all.
+func TestOnModelSyncHook(t *testing.T) {
+	net := transport.NewMemNetwork()
+	repConn, _ := net.Endpoint("replica")
+	defer repConn.Close()
+	leaderConn, _ := net.Endpoint("leader")
+	defer leaderConn.Close()
+	rogueConn, _ := net.Endpoint("rogue")
+	defer rogueConn.Close()
+
+	type call struct {
+		group, from string
+		seq         uint64
+	}
+	calls := make(chan call, 4)
+	reg := metrics.NewRegistry()
+	_, stop := startGroupedService(t, repConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 4), Model: classify.NewKNN(1),
+		SyncFrom: "leader"}}, ServiceConfig{Metrics: reg,
+		OnModelSync: func(group, from string, seq uint64) { calls <- call{group, from, seq} }})
+	defer stop()
+	ctx := testCtx(t)
+
+	if err := SendModelSync(ctx, leaderConn, "replica", "alpha", 1, 4, encodeFittedKNN(t, 0.5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-calls:
+		if got != (call{"alpha", "leader", 1}) {
+			t.Fatalf("install hook call = %+v, want {alpha leader 1}", got)
+		}
+	case <-ctx.Done():
+		t.Fatal("hook never fired for an installed sync")
+	}
+
+	// A replayed sequence is rejected as an install but still fires the
+	// hook: the duplicate came from the authenticated leader, so it is
+	// liveness evidence even though no model changed.
+	if err := SendModelSync(ctx, leaderConn, "replica", "alpha", 1, 4, encodeFittedKNN(t, 0.5, 8)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-calls:
+		if got != (call{"alpha", "leader", 1}) {
+			t.Fatalf("replay hook call = %+v, want {alpha leader 1}", got)
+		}
+	case <-ctx.Done():
+		t.Fatal("hook never fired for a replay-rejected sync")
+	}
+	waitForCounter(t, reg, "service.alpha.sync.rejects", 1)
+
+	// An unauthorized sender is refused at routing, before the ingest lane:
+	// the hook must not treat an imposter's frames as the leader's pulse.
+	if err := SendModelSync(ctx, rogueConn, "replica", "alpha", 9, 0, encodeFittedKNN(t, 0.5, 9)); err != nil {
+		t.Fatal(err)
+	}
+	waitForCounter(t, reg, "service.alpha.sync.rejects", 2)
+	select {
+	case got := <-calls:
+		t.Fatalf("hook fired for an unauthorized sender: %+v", got)
+	default:
+	}
+}

@@ -389,7 +389,8 @@ func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg Servic
 	}
 	for _, r := range cfg.Routes {
 		s.routes = append(s.routes, RouteEntry{
-			Group: r.Group, Node: r.Node, Replicas: append([]string(nil), r.Replicas...)})
+			Group: r.Group, Node: r.Node, Epoch: r.Epoch,
+			Replicas: append([]string(nil), r.Replicas...)})
 	}
 	for _, spec := range groups {
 		if _, dup := s.shards[spec.ID]; dup {
@@ -648,6 +649,12 @@ func (s *MiningService) Serve(ctx context.Context) error {
 				var resp *serviceWire
 				if j.req.Kind == kindModelSync {
 					resp = sh.installSync(j.req)
+					// route() admitted the frame only from the shard's
+					// current sync source, so even a replayed sequence
+					// proves the leader is alive and publishing.
+					if s.cfg.OnModelSync != nil {
+						s.cfg.OnModelSync(sh.id, j.from, j.req.Seq)
+					}
 				} else {
 					resp = sh.ingest(j.req)
 				}

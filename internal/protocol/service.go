@@ -161,6 +161,13 @@ type RouteEntry struct {
 	// Replicas are the follower endpoints serving read-only classify
 	// traffic for the group (may be empty).
 	Replicas []string
+	// Epoch versions this row alone: failover re-announces a promoted row
+	// under the old row's epoch + 1, and nodes and clients merge tables
+	// row-wise, keeping the highest-epoch row they have seen per group —
+	// concurrent failovers of different groups never invalidate each
+	// other's rows. Operator-pinned tables leave it 0, in which case a
+	// routes answer's table-level Epoch applies to every row at once.
+	Epoch uint64
 }
 
 // serviceWire is the request/response frame of the post-unification mining
@@ -199,10 +206,11 @@ type serviceWire struct {
 	// reordered frames are idempotent. Gossip frames carry the sender's
 	// current sequence in it.
 	Seq uint64
-	// Epoch versions the routing table a frame speaks for: routes responses
-	// and gossip frames carry the sender's table epoch, and receivers prefer
-	// the highest epoch they have seen (failover announces itself by bumping
-	// it).
+	// Epoch versions the routing state a frame speaks for. On gossip frames
+	// it is the epoch of the row the frame carries; on routes responses it
+	// is the table-level epoch, which applies to every row only when the
+	// rows carry no per-row epochs of their own (RouteEntry.Epoch) —
+	// receivers merge row-wise and keep the highest epoch seen per group.
 	Epoch uint64
 	// Covered is the leader ingest count the frame's model (or announced
 	// sequence) covers; replicas derive staleness_records from the gap
@@ -310,6 +318,14 @@ type ServiceConfig struct {
 	// failover adoption. It runs on the serving loop and must not block; hand
 	// the observation off and return.
 	OnSyncGossip func(g SyncGossip)
+	// OnModelSync, when set, is called for every model-sync frame accepted
+	// from a group's authorized sync source — installed or idempotently
+	// rejected as a replay — with the group, the sending leader and the
+	// frame's sequence. The cluster layer hooks it to count replication
+	// traffic as leader liveness: a leader whose gossip frames are being
+	// dropped is not deposed while its models keep arriving. It runs on the
+	// group's ingest goroutine and must not block.
+	OnModelSync func(group, from string, seq uint64)
 }
 
 // SyncGossip is one durability-gossip observation handed to
@@ -326,12 +342,14 @@ type SyncGossip struct {
 	// Seq is the sender's current model sequence: the last published one on a
 	// hello, the last installed one on a state.
 	Seq uint64
-	// Epoch is the sender's routing-table epoch.
+	// Epoch is the epoch of the sender's routing-table row for Group (rows
+	// are versioned individually; see RouteEntry.Epoch).
 	Epoch uint64
 	// Covered is the leader ingest count the sender's sequence covers.
 	Covered int64
 	// Row is the sender's routing-table row for Group (nil when the frame
-	// carried none). Receivers behind on Epoch adopt it verbatim.
+	// carried none). Receivers behind on the row's epoch adopt it verbatim;
+	// equal-epoch disagreements converge by a deterministic tie-break.
 	Row *RouteEntry
 }
 
