@@ -1,6 +1,6 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // report on stdout, so CI can archive benchmark results as a machine-readable
-// artifact (BENCH_PR4.json in the bench workflow job) and later runs can be
+// artifact (BENCH_PR8.json in the bench workflow job) and later runs can be
 // diffed against it.
 //
 //	go test -bench ServiceThroughput -run '^$' . | benchjson > bench.json
@@ -9,14 +9,27 @@
 // iteration count and every reported metric (ns/op, B/op, allocs/op and
 // custom metrics such as the serving benchmarks' records/s). Non-benchmark
 // lines (logs, PASS/ok trailers) are ignored.
+//
+// With -baseline, the parsed report is additionally gated against a
+// committed earlier report: every benchmark whose name matches -gate and
+// whose baseline entry carries the -metric metric must stay within
+// -max-regress percent of the baseline value, or benchjson exits nonzero
+// after still writing the JSON (so the artifact survives a failing gate).
+// Names are compared with the trailing -GOMAXPROCS suffix stripped, so
+// reports from machines with different core counts remain comparable.
+//
+//	go test -bench . -run '^$' . | benchjson -baseline BENCH_PR6.json \
+//	    -gate 'StreamThroughput|IngestUnderRefit|ClusterThroughput' > BENCH_PR8.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -38,6 +51,12 @@ type Report struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "earlier benchjson report to gate against (empty: no gate)")
+	gate := flag.String("gate", "", "regexp selecting the benchmark names the gate applies to (empty with -baseline: all)")
+	metric := flag.String("metric", "records/s", "metric the gate compares")
+	maxRegress := flag.Float64("max-regress", 10, "largest tolerated regression of the gated metric, in percent")
+	flag.Parse()
+
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -49,6 +68,93 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	failures, err := compare(base, report, *gate, *metric, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadReport reads an earlier benchjson artifact.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// gomaxprocsSuffix is the trailing -N go test appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the -GOMAXPROCS suffix so reports from machines with
+// different core counts compare by benchmark identity.
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// compare gates current against base: every gated baseline benchmark that
+// also ran currently must keep the metric within maxRegress percent. A gated
+// baseline benchmark missing from the current run is itself a failure — a
+// renamed or deleted headline benchmark must not silently pass the gate.
+func compare(base, current *Report, gate, metric string, maxRegress float64) ([]string, error) {
+	var sel *regexp.Regexp
+	if gate != "" {
+		var err error
+		if sel, err = regexp.Compile(gate); err != nil {
+			return nil, fmt.Errorf("bad -gate: %w", err)
+		}
+	}
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[normalizeName(r.Name)] = r
+	}
+	var failures []string
+	gated := 0
+	for _, b := range base.Benchmarks {
+		name := normalizeName(b.Name)
+		if sel != nil && !sel.MatchString(name) {
+			continue
+		}
+		want, ok := b.Metrics[metric]
+		if !ok || want <= 0 {
+			continue
+		}
+		gated++
+		got, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from current run", name))
+			continue
+		}
+		have := got.Metrics[metric]
+		floor := want * (1 - maxRegress/100)
+		if have < floor {
+			failures = append(failures, fmt.Sprintf("%s: %s %.0f is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+				name, metric, have, 100*(want-have)/want, want, maxRegress))
+		}
+	}
+	if gated == 0 {
+		return nil, fmt.Errorf("gate %q matched no baseline benchmark with metric %q", gate, metric)
+	}
+	return failures, nil
 }
 
 // parse scans bench output and keeps every benchmark result line. A line

@@ -56,3 +56,81 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkStreamThroughput/chunk256-8": "BenchmarkStreamThroughput/chunk256",
+		"BenchmarkIngestUnderRefit-16":         "BenchmarkIngestUnderRefit",
+		"BenchmarkClusterThroughput/nodes=2":   "BenchmarkClusterThroughput/nodes=2",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// gateReport builds a report from (name, records/s) pairs.
+func gateReport(entries map[string]float64) *Report {
+	r := &Report{}
+	for name, v := range entries {
+		r.Benchmarks = append(r.Benchmarks, Result{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"records/s": v}})
+	}
+	return r
+}
+
+func TestCompareGate(t *testing.T) {
+	base := gateReport(map[string]float64{
+		"BenchmarkStreamThroughput/chunk256": 100000,
+		"BenchmarkClusterThroughput/nodes=2": 50000,
+		"BenchmarkFigure2OptimizedVsRandom":  1, // outside the gate
+	})
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		cur := gateReport(map[string]float64{
+			"BenchmarkStreamThroughput/chunk256-8": 92000, // -8%
+			"BenchmarkClusterThroughput/nodes=2-8": 51000,
+		})
+		failures, err := compare(base, cur, "StreamThroughput|ClusterThroughput", "records/s", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("unexpected failures: %v", failures)
+		}
+	})
+
+	t.Run("regression-fails", func(t *testing.T) {
+		cur := gateReport(map[string]float64{
+			"BenchmarkStreamThroughput/chunk256-8": 85000, // -15%
+			"BenchmarkClusterThroughput/nodes=2-8": 51000,
+		})
+		failures, err := compare(base, cur, "StreamThroughput|ClusterThroughput", "records/s", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "chunk256") {
+			t.Fatalf("failures = %v, want one chunk256 regression", failures)
+		}
+	})
+
+	t.Run("missing-benchmark-fails", func(t *testing.T) {
+		cur := gateReport(map[string]float64{
+			"BenchmarkStreamThroughput/chunk256-8": 100000,
+		})
+		failures, err := compare(base, cur, "StreamThroughput|ClusterThroughput", "records/s", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+			t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
+		}
+	})
+
+	t.Run("empty-gate-match-errors", func(t *testing.T) {
+		if _, err := compare(base, base, "NoSuchBenchmark", "records/s", 10); err == nil {
+			t.Fatal("gate matching nothing must error, not silently pass")
+		}
+	})
+}

@@ -108,6 +108,8 @@ func run(args []string) error {
 		failGrace   = fs.Duration("failover-grace", 0, "leader silence tolerated before a group's next-ranked replica assumes leadership (miner with -cluster; 0 selects the default, <0 disables failover)")
 		antiEntropy = fs.Duration("anti-entropy", 0, "cluster durability-gossip cadence: sync handshakes, anti-entropy re-pushes and failover detection (miner with -cluster; 0 selects the default, <0 disables)")
 		metricsAddr = fs.String("metrics-addr", "", "serve operational metrics over HTTP on this address: GET /metrics returns the JSON snapshot, GET /healthz liveness (empty disables)")
+		compress    = fs.Bool("compress", false, "negotiate DEFLATE-compressed service frames with capable peers (both ends must carry the flag; v6 peers keep classic frames)")
+		f32         = fs.Bool("f32", false, "pack record payloads (queries, stream chunks, replicated models) as float32, halving wire bytes at ~7 significant digits of precision; negotiated like -compress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,6 +166,11 @@ func run(args []string) error {
 		sink = reg
 	}
 
+	// One wire-option set covers every role: the client side stamps it on
+	// protocol clients, the miner side turns it into the service's
+	// advertised capabilities.
+	wire := protocol.WireOptions{Compress: *compress, Float32: *f32}
+
 	switch *role {
 	case "provider":
 		data, pert, err := loadAndOptimize(*dataPath, rng, *sigma, *cands, *steps)
@@ -186,12 +193,12 @@ func run(args []string) error {
 		fmt.Println("provider done: dataset exchanged, adaptor delivered")
 		if *streamPath != "" {
 			if err := streamToService(ctx, node, *miner, *group, pert, prov.Target(), rng,
-				*streamPath, *chunkSize, *drift, sink); err != nil {
+				*streamPath, *chunkSize, *drift, sink, wire); err != nil {
 				return err
 			}
 		}
 		if *queryPath != "" {
-			return queryService(ctx, node, *miner, *group, prov.Target(), *queryPath, *batchSize)
+			return queryService(ctx, node, *miner, *group, prov.Target(), *queryPath, *batchSize, wire)
 		}
 		return nil
 
@@ -242,9 +249,9 @@ func run(args []string) error {
 			if *clusterFlag != "" {
 				return serveCluster(node, *name, *clusterFlag, *clusterReps,
 					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery,
-					*failGrace, *antiEntropy, *serveFor, sink)
+					*failGrace, *antiEntropy, *serveFor, sink, wire)
 			}
-			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink)
+			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire)
 		}
 		// Queries racing the tail of the SAP run are stashed so they
 		// neither trip the protocol's violation checks nor get lost; the
@@ -279,7 +286,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink)
+			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire)
 		}
 		return nil
 
@@ -293,7 +300,7 @@ func run(args []string) error {
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
 // answered first. A non-empty group serves the model under that group id
 // instead of the default group.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
@@ -303,8 +310,8 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 	}
 	conn.beginServe()
 	svc, err := protocol.NewGroupedMiningService(conn,
-		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model}},
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink})
+		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model, Float32: wire.Float32}},
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress})
 	if err != nil {
 		return err
 	}
@@ -313,7 +320,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 
 // parseGroups maps a -groups id=unified.csv list to protocol group specs,
 // one freshly built model per group.
-func parseGroups(spec, modelName string) ([]protocol.GroupSpec, error) {
+func parseGroups(spec, modelName string, float32Payloads bool) ([]protocol.GroupSpec, error) {
 	var groups []protocol.GroupSpec
 	for _, pair := range strings.Split(spec, ",") {
 		kv := strings.SplitN(pair, "=", 2)
@@ -333,7 +340,7 @@ func parseGroups(spec, modelName string) ([]protocol.GroupSpec, error) {
 		if err != nil {
 			return nil, err
 		}
-		groups = append(groups, protocol.GroupSpec{ID: kv[0], Unified: data, Model: model})
+		groups = append(groups, protocol.GroupSpec{ID: kv[0], Unified: data, Model: model, Float32: float32Payloads})
 	}
 	return groups, nil
 }
@@ -341,13 +348,13 @@ func parseGroups(spec, modelName string) ([]protocol.GroupSpec, error) {
 // serveGroups stands up one model shard per id=unified.csv pair and serves
 // all of them from this process — the many-contract deployment: each stored
 // unified dataset is an earlier contract's result in its own target space.
-func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics) error {
-	groups, err := parseGroups(spec, modelName)
+func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
+	groups, err := parseGroups(spec, modelName, wire.Float32)
 	if err != nil {
 		return err
 	}
 	svc, err := protocol.NewGroupedMiningService(conn, groups,
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress})
 	if err != nil {
 		return err
 	}
@@ -363,8 +370,8 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 // forwarded client traffic can reach them.
 func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas int,
 	groupsSpec, modelName string, workers, maxBatch, refitEvery int,
-	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics) error {
-	groups, err := parseGroups(groupsSpec, modelName)
+	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
+	groups, err := parseGroups(groupsSpec, modelName, wire.Float32)
 	if err != nil {
 		return err
 	}
@@ -395,7 +402,7 @@ func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas in
 	}
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Name: name, Conn: node, Table: table, Groups: groups,
-		Service:          protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink},
+		Service:          protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress},
 		FailoverGrace:    failGrace,
 		AntiEntropyEvery: antiEntropy})
 	if err != nil {
@@ -430,7 +437,7 @@ func serveLoop(svc interface{ Serve(context.Context) error }, banner string, d t
 // the input distribution drifts.
 func streamToService(ctx context.Context, conn transport.Conn, miner, group string,
 	pert, target *perturb.Perturbation, rng *rand.Rand, path string, chunk int, drift float64,
-	sink metrics.Metrics) error {
+	sink metrics.Metrics, wire protocol.WireOptions) error {
 	if miner == "" {
 		return fmt.Errorf("missing -miner")
 	}
@@ -467,6 +474,7 @@ func streamToService(ctx context.Context, conn transport.Conn, miner, group stri
 	// longer capped-exponential retry budget than the client default before
 	// ErrBusy ends the stream.
 	client.SetBackoff(protocol.Backoff{Tries: 10, Base: 5 * time.Millisecond, Max: 500 * time.Millisecond})
+	client.SetWireOptions(wire)
 
 	// The pipeline gets its own cancellable context so an early return (a
 	// rejected push) stops the producer instead of leaving it blocked on
@@ -500,7 +508,7 @@ func streamToService(ctx context.Context, conn transport.Conn, miner, group stri
 // each batch is transformed into the target space with G_t (received during
 // the run) and answered in one round trip. When the CSV carries labels, the
 // agreement rate is reported.
-func queryService(ctx context.Context, conn transport.Conn, miner, group string, target *perturb.Perturbation, path string, batchSize int) error {
+func queryService(ctx context.Context, conn transport.Conn, miner, group string, target *perturb.Perturbation, path string, batchSize int, wire protocol.WireOptions) error {
 	if miner == "" {
 		return fmt.Errorf("missing -miner")
 	}
@@ -528,18 +536,16 @@ func queryService(ctx context.Context, conn transport.Conn, miner, group string,
 		return err
 	}
 	defer client.Close()
+	client.SetWireOptions(wire)
 
 	labels := make([]int, 0, q.Len())
+	records := yq.Columns()
 	for lo := 0; lo < q.Len(); lo += batchSize {
 		hi := lo + batchSize
 		if hi > q.Len() {
 			hi = q.Len()
 		}
-		batch := make([][]float64, hi-lo)
-		for i := range batch {
-			batch[i] = yq.Col(lo + i)
-		}
-		got, err := client.ClassifyBatch(ctx, batch)
+		got, err := client.ClassifyBatch(ctx, records[lo:hi])
 		if err != nil {
 			return fmt.Errorf("query batch at %d: %w", lo, err)
 		}

@@ -167,10 +167,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	batch := make([][]float64, queries.Len())
-	for i := range batch {
-		batch[i] = yq.Col(i)
-	}
+	batch := yq.Columns()
 	client, err := protocol.NewServiceClient(nodes["bank4"], "miner")
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/matrix"
 )
 
 // ErrBadModelBlob flags a model payload that cannot be decoded: unknown
@@ -43,6 +44,11 @@ type knnWire struct {
 	Name       string
 	X          [][]float64
 	Y          []int
+	// X32/Dim is the packed-float32 alternative to X (EncodeModelFloat32):
+	// little-endian float32 records, Dim features each, at under half X's
+	// gob footprint. Exactly one of X and X32 is populated.
+	X32 []byte
+	Dim int
 }
 
 // centroidWire is the replication form of a fitted NearestCentroid: the
@@ -50,6 +56,9 @@ type knnWire struct {
 type centroidWire struct {
 	Centroids [][]float64
 	Classes   []int
+	// C32/Dim is the packed-float32 alternative to Centroids.
+	C32 []byte
+	Dim int
 }
 
 // kernelWire names an SVM kernel on the wire. Only the built-in kernels are
@@ -67,6 +76,11 @@ type binaryWire struct {
 	Y     []float64
 	Alpha []float64
 	B     float64
+	// X32 is the packed-float32 alternative to X (svmWire.Dim features per
+	// record). The trained multipliers, labels and bias stay float64 — they
+	// are one value per record, so packing them saves little, while the
+	// support records dominate the payload.
+	X32 []byte
 }
 
 // svmWire is the replication form of a fitted SVM.
@@ -88,6 +102,21 @@ type svmWire struct {
 // c's on every input. Unfitted models and classifier types outside the
 // built-in set are rejected.
 func EncodeModel(c Classifier) ([]byte, error) {
+	return encodeModel(c, false)
+}
+
+// EncodeModelFloat32 is EncodeModel with the model's record matrices packed
+// as little-endian float32 — under half the gob bytes of the float64 form.
+// The precision contract narrows accordingly: DecodeModel returns a model
+// whose state is the float32 rounding of the original's (~7 significant
+// digits), so predictions may differ on inputs near decision boundaries.
+// Only send these blobs to peers that advertised the float32 capability;
+// DecodeModel on any v7 peer handles both forms transparently.
+func EncodeModelFloat32(c Classifier) ([]byte, error) {
+	return encodeModel(c, true)
+}
+
+func encodeModel(c Classifier, f32 bool) ([]byte, error) {
 	var kind byte
 	var wire any
 	switch m := c.(type) {
@@ -96,13 +125,25 @@ func EncodeModel(c Classifier) ([]byte, error) {
 			return nil, fmt.Errorf("%w: cannot encode an unfitted KNN", ErrNotFitted)
 		}
 		kind = modelKindKNN
-		wire = knnWire{K: m.K, ForceBrute: m.ForceBrute, Name: m.train.Name, X: m.train.X, Y: m.train.Y}
+		w := knnWire{K: m.K, ForceBrute: m.ForceBrute, Name: m.train.Name, X: m.train.X, Y: m.train.Y}
+		if f32 {
+			if b, dim := matrix.PackFloat32Rows(w.X); dim > 0 {
+				w.X32, w.Dim, w.X = b, dim, nil
+			}
+		}
+		wire = w
 	case *NearestCentroid:
 		if len(m.centroids) == 0 {
 			return nil, fmt.Errorf("%w: cannot encode an unfitted NearestCentroid", ErrNotFitted)
 		}
 		kind = modelKindCentroid
-		wire = centroidWire{Centroids: m.centroids, Classes: m.classes}
+		w := centroidWire{Centroids: m.centroids, Classes: m.classes}
+		if f32 {
+			if b, dim := matrix.PackFloat32Rows(w.Centroids); dim > 0 {
+				w.C32, w.Dim, w.Centroids = b, dim, nil
+			}
+		}
+		wire = w
 	case *SVM:
 		if len(m.binary) == 0 {
 			return nil, fmt.Errorf("%w: cannot encode an unfitted SVM", ErrNotFitted)
@@ -123,7 +164,13 @@ func EncodeModel(c Classifier) ([]byte, error) {
 			Binary:    make([]binaryWire, len(m.binary)),
 		}
 		for i, bin := range m.binary {
-			w.Binary[i] = binaryWire{X: bin.x, Y: bin.y, Alpha: bin.alpha, B: bin.b}
+			bw := binaryWire{X: bin.x, Y: bin.y, Alpha: bin.alpha, B: bin.b}
+			if f32 {
+				if b, dim := matrix.PackFloat32Rows(bw.X); dim == m.dim {
+					bw.X32, bw.X = b, nil
+				}
+			}
+			w.Binary[i] = bw
 		}
 		kind = modelKindSVM
 		wire = w
@@ -152,6 +199,13 @@ func DecodeModel(payload []byte) (Classifier, error) {
 		if err := dec.Decode(&w); err != nil {
 			return nil, fmt.Errorf("%w: knn body: %v", ErrBadModelBlob, err)
 		}
+		if len(w.X) == 0 && len(w.X32) > 0 {
+			x, err := matrix.UnpackFloat32Rows(w.X32, w.Dim)
+			if err != nil {
+				return nil, fmt.Errorf("%w: knn float32 records: %v", ErrBadModelBlob, err)
+			}
+			w.X = x
+		}
 		train, err := dataset.New(w.Name, w.X, w.Y)
 		if err != nil {
 			return nil, fmt.Errorf("%w: knn training set: %v", ErrBadModelBlob, err)
@@ -165,6 +219,13 @@ func DecodeModel(payload []byte) (Classifier, error) {
 		var w centroidWire
 		if err := dec.Decode(&w); err != nil {
 			return nil, fmt.Errorf("%w: centroid body: %v", ErrBadModelBlob, err)
+		}
+		if len(w.Centroids) == 0 && len(w.C32) > 0 {
+			c, err := matrix.UnpackFloat32Rows(w.C32, w.Dim)
+			if err != nil {
+				return nil, fmt.Errorf("%w: centroid float32 records: %v", ErrBadModelBlob, err)
+			}
+			w.Centroids = c
 		}
 		if len(w.Centroids) == 0 || len(w.Centroids) != len(w.Classes) {
 			return nil, fmt.Errorf("%w: %d centroids for %d classes", ErrBadModelBlob, len(w.Centroids), len(w.Classes))
@@ -185,6 +246,13 @@ func DecodeModel(payload []byte) (Classifier, error) {
 		cfg := SVMConfig{Kernel: kernel, C: w.C, Tol: w.Tol, MaxPasses: w.MaxPasses, MaxIter: w.MaxIter, Seed: w.Seed}
 		svm := &SVM{cfg: cfg, dim: w.Dim, pairs: w.Pairs, binary: make([]*binarySVM, len(w.Binary))}
 		for i, bw := range w.Binary {
+			if len(bw.X) == 0 && len(bw.X32) > 0 {
+				x, err := matrix.UnpackFloat32Rows(bw.X32, w.Dim)
+				if err != nil {
+					return nil, fmt.Errorf("%w: machine %d float32 records: %v", ErrBadModelBlob, i, err)
+				}
+				bw.X = x
+			}
 			if len(bw.X) != len(bw.Y) || len(bw.X) != len(bw.Alpha) {
 				return nil, fmt.Errorf("%w: machine %d has inconsistent state", ErrBadModelBlob, i)
 			}

@@ -1,0 +1,167 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+// float32RelTol is the precision contract of EncodeModelFloat32: every
+// packed value survives the float64→float32→float64 round trip within
+// float32 machine epsilon relative error.
+const float32RelTol = 1.2e-7
+
+// assertFloat32Close fails unless got is the float32 rounding of want.
+func assertFloat32Close(t *testing.T, label string, want, got float64) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	denom := math.Abs(want)
+	if denom == 0 {
+		denom = 1
+	}
+	if rel := math.Abs(want-got) / denom; rel > float32RelTol {
+		t.Fatalf("%s: %v round-tripped to %v (relative error %.3g, contract %.3g)",
+			label, want, got, rel, float32RelTol)
+	}
+	if float64(float32(want)) != got {
+		t.Fatalf("%s: %v round-tripped to %v, want exactly float32(%v) = %v",
+			label, want, got, want, float64(float32(want)))
+	}
+}
+
+// roundTripFloat32 encodes with the float32 codec and decodes with the
+// ordinary decoder — the mixed path replicas actually run.
+func roundTripFloat32(t *testing.T, c Classifier) Classifier {
+	t.Helper()
+	blob, err := EncodeModelFloat32(c)
+	if err != nil {
+		t.Fatalf("EncodeModelFloat32: %v", err)
+	}
+	decoded, err := DecodeModel(blob)
+	if err != nil {
+		t.Fatalf("DecodeModel(float32 blob): %v", err)
+	}
+	return decoded
+}
+
+// TestFloat32CodecPrecisionContract pins the numeric contract of the
+// float32 payload mode for every model kind: each packed feature value is
+// exactly its float32 rounding (~7 significant digits, relative error
+// ≤ 1.2e-7), and non-packed state (labels, multipliers, bias) is preserved
+// bit for bit.
+func TestFloat32CodecPrecisionContract(t *testing.T) {
+	train := codecTrainSet(t, 60)
+
+	t.Run("knn", func(t *testing.T) {
+		knn := NewKNN(3)
+		if err := knn.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		decoded := roundTripFloat32(t, knn).(*KNN)
+		if len(decoded.train.X) != len(knn.train.X) {
+			t.Fatalf("decoded %d records, want %d", len(decoded.train.X), len(knn.train.X))
+		}
+		for i, row := range knn.train.X {
+			for j, v := range row {
+				assertFloat32Close(t, "knn record", v, decoded.train.X[i][j])
+			}
+			if decoded.train.Y[i] != knn.train.Y[i] {
+				t.Fatalf("label %d changed: %d vs %d", i, decoded.train.Y[i], knn.train.Y[i])
+			}
+		}
+	})
+
+	t.Run("centroid", func(t *testing.T) {
+		nc := NewNearestCentroid()
+		if err := nc.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		decoded := roundTripFloat32(t, nc).(*NearestCentroid)
+		if len(decoded.centroids) != len(nc.centroids) {
+			t.Fatalf("decoded %d centroids, want %d", len(decoded.centroids), len(nc.centroids))
+		}
+		for i, row := range nc.centroids {
+			for j, v := range row {
+				assertFloat32Close(t, "centroid", v, decoded.centroids[i][j])
+			}
+			if decoded.classes[i] != nc.classes[i] {
+				t.Fatalf("class %d changed", i)
+			}
+		}
+	})
+
+	t.Run("svm", func(t *testing.T) {
+		svm := NewSVM(SVMConfig{Kernel: LinearKernel{}, C: 2, Seed: 9})
+		if err := svm.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		decoded := roundTripFloat32(t, svm).(*SVM)
+		if len(decoded.binary) != len(svm.binary) {
+			t.Fatalf("decoded %d machines, want %d", len(decoded.binary), len(svm.binary))
+		}
+		for m, bin := range svm.binary {
+			db := decoded.binary[m]
+			for i, row := range bin.x {
+				for j, v := range row {
+					assertFloat32Close(t, "svm support record", v, db.x[i][j])
+				}
+				// Multipliers, labels and bias stay float64 on the wire:
+				// they must survive bit for bit.
+				if db.alpha[i] != bin.alpha[i] || db.y[i] != bin.y[i] {
+					t.Fatalf("machine %d: alpha/label %d changed", m, i)
+				}
+			}
+			if db.b != bin.b {
+				t.Fatalf("machine %d: bias changed: %v vs %v", m, db.b, bin.b)
+			}
+		}
+	})
+}
+
+// TestFloat32CodecPredictions checks the practical contract: on a training
+// set whose class structure sits far above the quantization error, the
+// float32-replicated model predicts identically to the original.
+func TestFloat32CodecPredictions(t *testing.T) {
+	train := codecTrainSet(t, 120)
+	probes := codecProbes(200)
+	models := []struct {
+		name  string
+		model Cloner
+	}{
+		{"knn", NewKNN(5)},
+		{"centroid", NewNearestCentroid()},
+		{"svm", NewSVM(SVMConfig{Kernel: LinearKernel{}, C: 2, Seed: 9})},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.model.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			decoded := roundTripFloat32(t, tc.model)
+			assertIdenticalPredictions(t, tc.model, decoded, probes)
+		})
+	}
+}
+
+// TestFloat32CodecHalvesBlob pins the size win that justifies the mode: the
+// float32 blob of a record-heavy model is at most ~55% of the float64 blob
+// (the packed matrix halves; gob framing is shared overhead).
+func TestFloat32CodecHalvesBlob(t *testing.T) {
+	knn := NewKNN(3)
+	if err := knn.Fit(codecTrainSet(t, 400)); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := EncodeModel(knn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := EncodeModelFloat32(knn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(packed)) > 0.55*float64(len(plain)) {
+		t.Fatalf("float32 blob is %d bytes vs %d plain — wanted at most 55%%",
+			len(packed), len(plain))
+	}
+}

@@ -116,6 +116,10 @@ type Node struct {
 	aeEvery time.Duration // <= 0: durability gossip disabled
 	grace   time.Duration // <= 0: failover disabled
 	hosted  []string      // hosted groups, table order (fixed for the node's lifetime)
+	// f32 marks the hosted groups opted into float32 wire payloads
+	// (GroupSpec.Float32): their model syncs ship packed-float32 blobs to
+	// replicas that advertise the capability. Immutable after construction.
+	f32 map[string]bool
 
 	// Dynamic cluster state, all guarded by mu: this node's per-group rows
 	// (each carrying its own epoch; failover adoption replaces individual
@@ -217,6 +221,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		notify:   make(chan struct{}, 1),
 		gossipQ:  make(chan protocol.SyncGossip, gossipQueueDepth),
 		lagBase:  make(map[string]*atomic.Int64),
+		f32:      make(map[string]bool),
 	}
 	for _, e := range cfg.Table.Entries() {
 		n.base = append(n.base, copyRow(e))
@@ -244,6 +249,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.hosted = append(n.hosted, spec.ID)
 		n.rows[spec.ID] = route
 		n.lagBase[spec.ID] = &atomic.Int64{}
+		n.f32[spec.ID] = spec.Float32
 	}
 	if len(hosted) == 0 {
 		return nil, fmt.Errorf("%w: table routes nothing to %q", ErrNoGroups, cfg.Name)
@@ -586,15 +592,20 @@ func (n *Node) publishPending(ctx context.Context) {
 		replicas := append([]string(nil), row.Replicas...)
 		n.mu.Unlock()
 
-		blob, err := classify.EncodeModel(ps.model)
+		blobs := newSyncBlobs(ps.model, n.f32[group])
+		blob, err := blobs.plain()
 		if err != nil {
 			n.mSyncErrors.Inc()
 			continue
 		}
 		allSent := true
 		for _, replica := range replicas {
+			// Frame per the replica's advertised capabilities: compression
+			// when both sides opted in, and the packed-float32 blob (half the
+			// bytes) when the group opted in and the replica accepts it.
+			opts := n.svc.FrameOptsFor(replica, n.f32[group])
 			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
-			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blob)
+			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
 			scancel()
 			if err != nil {
 				n.mSyncErrors.Inc()
@@ -629,7 +640,8 @@ func (n *Node) publishPending(ctx context.Context) {
 		if err != nil {
 			continue
 		}
-		blob, err := classify.EncodeModel(model)
+		blobs := newSyncBlobs(model, n.f32[group])
+		blob, err := blobs.plain()
 		if err != nil {
 			n.mSyncErrors.Inc()
 			continue
@@ -638,8 +650,9 @@ func (n *Node) publishPending(ctx context.Context) {
 			if !contains(row.Replicas, replica) {
 				continue
 			}
+			opts := n.svc.FrameOptsFor(replica, n.f32[group])
 			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
-			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blob)
+			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
 			scancel()
 			if err != nil {
 				n.mSyncErrors.Inc()
@@ -649,6 +662,58 @@ func (n *Node) publishPending(ctx context.Context) {
 			n.noteSyncSent(group, replica)
 		}
 	}
+}
+
+// syncBlobs lazily encodes the wire forms of one model being replicated: the
+// float64 blob always (every replica decodes it), the packed-float32 variant
+// only once the first float32-capable replica actually needs it. Encoding
+// once per publish round, not per replica, keeps wide fan-outs cheap.
+type syncBlobs struct {
+	model             classify.Classifier
+	f32OK             bool // the group opted into float32 payloads
+	plain64, packed32 []byte
+}
+
+func newSyncBlobs(model classify.Classifier, f32OK bool) *syncBlobs {
+	return &syncBlobs{model: model, f32OK: f32OK}
+}
+
+// plain returns (encoding on first use) the float64 blob.
+func (b *syncBlobs) plain() ([]byte, error) {
+	if b.plain64 == nil {
+		blob, err := classify.EncodeModel(b.model)
+		if err != nil {
+			return nil, err
+		}
+		b.plain64 = blob
+	}
+	return b.plain64, nil
+}
+
+// forOpts picks the blob variant for one replica's negotiated options,
+// falling back to the given plain blob when float32 is not in play (or the
+// float32 encoding fails, which the plain path then covers).
+func (b *syncBlobs) forOpts(opts protocol.FrameOpts, plain []byte) []byte {
+	if !opts.Float32 || !b.f32OK {
+		return plain
+	}
+	if b.packed32 == nil {
+		blob, err := classify.EncodeModelFloat32(b.model)
+		if err != nil {
+			b.packed32 = plain
+		} else {
+			b.packed32 = blob
+		}
+	}
+	return b.packed32
+}
+
+// gossipOpts resolves the negotiated wire features for one gossip frame
+// toward a peer: compression when both sides opted in (the frame also stamps
+// this node's capability mask, so fire-and-forget gossip keeps teaching
+// peers what this node accepts even though no response flows back).
+func (n *Node) gossipOpts(peer, group string) protocol.FrameOpts {
+	return n.svc.FrameOptsFor(peer, n.f32[group])
 }
 
 // noteSyncSent stamps the last model-sync send to one replica (see lastSync).
@@ -731,7 +796,7 @@ func (n *Node) gossipRound(ctx context.Context) {
 	for _, h := range hellos {
 		for _, to := range h.row.Replicas {
 			sctx, cancel := n.sendCtx(ctx)
-			_ = protocol.SendSyncHello(sctx, n.conn, to, h.group, h.seq, h.row.Epoch, h.cov, h.row)
+			_ = protocol.SendSyncHello(sctx, n.conn, to, h.group, h.seq, h.row.Epoch, h.cov, h.row, n.gossipOpts(to, h.group))
 			cancel()
 		}
 	}
@@ -742,7 +807,7 @@ func (n *Node) gossipRound(ctx context.Context) {
 		}
 		cov, _ := n.svc.GroupSyncCovered(s.group)
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncState(sctx, n.conn, s.to, s.group, seq, s.row.Epoch, cov, s.row)
+		_ = protocol.SendSyncState(sctx, n.conn, s.to, s.group, seq, s.row.Epoch, cov, s.row, n.gossipOpts(s.to, s.group))
 		cancel()
 	}
 }
@@ -822,7 +887,7 @@ func (n *Node) handleGossip(ctx context.Context, g protocol.SyncGossip) {
 		myRow := n.rows[g.Group]
 		n.mu.Unlock()
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, myRow.Epoch, myCov, myRow)
+		_ = protocol.SendSyncState(sctx, n.conn, g.From, g.Group, mySeq, myRow.Epoch, myCov, myRow, n.gossipOpts(g.From, g.Group))
 		cancel()
 		return
 	}
@@ -879,7 +944,7 @@ func (n *Node) teachLocked(ctx context.Context, to, group string) {
 	sctx, cancel := n.sendCtx(ctx)
 	defer cancel()
 	if iLead {
-		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, row.Epoch, cov, row)
+		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, row.Epoch, cov, row, n.gossipOpts(to, group))
 		return
 	}
 	mySeq, err := n.svc.GroupSyncSeq(group)
@@ -887,7 +952,7 @@ func (n *Node) teachLocked(ctx context.Context, to, group string) {
 		return
 	}
 	myCov, _ := n.svc.GroupSyncCovered(group)
-	_ = protocol.SendSyncState(sctx, n.conn, to, group, mySeq, row.Epoch, myCov, row)
+	_ = protocol.SendSyncState(sctx, n.conn, to, group, mySeq, row.Epoch, myCov, row, n.gossipOpts(to, group))
 }
 
 // adoptRowLocked installs a fresher (or tie-break-winning) row for one
@@ -993,7 +1058,7 @@ func (n *Node) promote(ctx context.Context, group string) {
 
 	for _, to := range promoted.Replicas {
 		sctx, cancel := n.sendCtx(ctx)
-		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, promoted.Epoch, cov, promoted)
+		_ = protocol.SendSyncHello(sctx, n.conn, to, group, seq, promoted.Epoch, cov, promoted, n.gossipOpts(to, group))
 		cancel()
 	}
 }

@@ -28,6 +28,69 @@ func (m *Dense) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
+// PackFloat32Rows packs a rectangular record set (each row dim wide) into
+// little-endian float32 bytes, 4 per value — half the width of float64 and
+// well under half its gob footprint. It is the wire form of the protocol
+// layer's optional float32 payload mode: precision narrows to float32
+// (~7 significant digits), which perturbed mining payloads tolerate by
+// construction (the paper's noise floor dwarfs the quantization error).
+// Returns the packed bytes and the per-row dimension; an empty or ragged
+// (non-rectangular) set returns (nil, 0), letting callers fall back to the
+// float64 form and leave shape validation to the receiver.
+func PackFloat32Rows(rows [][]float64) ([]byte, int) {
+	if len(rows) == 0 {
+		return nil, 0
+	}
+	dim := len(rows[0])
+	if dim == 0 {
+		return nil, 0
+	}
+	for _, row := range rows {
+		if len(row) != dim {
+			return nil, 0
+		}
+	}
+	buf := make([]byte, 4*len(rows)*dim)
+	off := 0
+	for _, row := range rows {
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
+			off += 4
+		}
+	}
+	return buf, dim
+}
+
+// UnpackFloat32Rows is the inverse of PackFloat32Rows: it expands packed
+// little-endian float32 bytes into rows of dim float64 values each. All rows
+// share one flat backing allocation. It validates the byte length against
+// dim and rejects ragged or torn encodings.
+func UnpackFloat32Rows(data []byte, dim int) ([][]float64, error) {
+	if len(data) == 0 && dim == 0 {
+		return nil, nil
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: float32 rows with dimension %d", ErrBadEncoding, dim)
+	}
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("%w: float32 payload of %d bytes is torn", ErrBadEncoding, len(data))
+	}
+	total := len(data) / 4
+	if total%dim != 0 {
+		return nil, fmt.Errorf("%w: %d float32 values do not divide into rows of %d", ErrBadEncoding, total, dim)
+	}
+	n := total / dim
+	flat := make([]float64, total)
+	for i := range flat {
+		flat[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows, nil
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (m *Dense) UnmarshalBinary(data []byte) error {
 	if len(data) < 12 {

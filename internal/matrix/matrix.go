@@ -142,6 +142,27 @@ func (m *Dense) Col(j int) []float64 {
 	return out
 }
 
+// Columns returns every column as its own slice — the bulk form of calling
+// Col(j) for each j. All column slices share one flat backing allocation, and
+// the matrix data is traversed once in row-major (sequential) order with
+// strided writes, instead of cols× strided read passes; callers rebuilding
+// record sets from a d×N feature matrix get O(1) allocations instead of one
+// per record. The columns are copies; mutating them leaves m untouched.
+func (m *Dense) Columns() [][]float64 {
+	out := make([][]float64, m.cols)
+	flat := make([]float64, m.rows*m.cols)
+	for j := range out {
+		out[j] = flat[j*m.rows : (j+1)*m.rows : (j+1)*m.rows]
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
 // SetRow copies v into row i.
 func (m *Dense) SetRow(i int, v []float64) {
 	if len(v) != m.cols {

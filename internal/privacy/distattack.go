@@ -107,10 +107,7 @@ func (a *DistanceInferenceAttack) identifyImages(xk, y *matrix.Dense) ([]int, er
 	}
 	tol := a.cfg.Tolerance * anchorDist
 
-	yCols := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		yCols[i] = y.Col(i)
-	}
+	yCols := y.Columns()
 
 	// Rank all compatible pairs by anchor-distance mismatch and keep the
 	// best few: in the noiseless case the true image pair has mismatch ~0
@@ -207,10 +204,7 @@ func (a *DistanceInferenceAttack) identifyImages(xk, y *matrix.Dense) ([]int, er
 // pairwiseDistances returns the m×m distance table of a d×m column set.
 func pairwiseDistances(m *matrix.Dense) [][]float64 {
 	k := m.Cols()
-	cols := make([][]float64, k)
-	for i := 0; i < k; i++ {
-		cols[i] = m.Col(i)
-	}
+	cols := m.Columns()
 	out := make([][]float64, k)
 	for i := range out {
 		out[i] = make([]float64, k)

@@ -1,0 +1,134 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+)
+
+// benchWireBatch builds a realistic perturbed batch: full-entropy mantissas,
+// as the perturbation layer produces (gob's trailing-zero-byte float
+// compression flatters synthetic round numbers).
+func benchWireBatch(records, dim int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([][]float64, records)
+	y := make([]int, records)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = i % 3
+	}
+	return x, y
+}
+
+// BenchmarkWireBytes measures the encoded size of the hot-path frames —
+// stream-ingest chunks and model-sync replication — under each negotiable
+// wire format: classic float64, DEFLATE, packed float32, and both. The
+// headline metric is bytes/frame (ns/op tracks the encode cost of the
+// saved bytes); the float32+deflate row is the issue's ≥2x reduction bound.
+func BenchmarkWireBytes(b *testing.B) {
+	batch, labels := benchWireBatch(256, 8)
+	train, err := dataset.New("bench", batch, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	knn := classify.NewKNN(3)
+	if err := knn.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	plainModel, err := classify.EncodeModel(knn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packedModel, err := classify.EncodeModelFloat32(knn)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	variants := []struct {
+		name string
+		opts frameOpts
+	}{
+		{"plain", frameOpts{}},
+		{"deflate", frameOpts{deflate: true}},
+		{"float32", frameOpts{f32: true}},
+		{"deflate+float32", frameOpts{deflate: true, f32: true}},
+	}
+
+	for _, v := range variants {
+		ingest := &serviceWire{ID: 1, Kind: kindIngest, Group: "alpha",
+			Batch: batch, Labels: labels, Accept: acceptFloat32 | acceptDeflate}
+		b.Run(fmt.Sprintf("ingest/%s", v.name), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				payload, err := encodeServiceFrame(ingest, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(payload)
+			}
+			b.ReportMetric(float64(size), "bytes/frame")
+		})
+	}
+
+	for _, v := range variants {
+		// Model sync: float32 selects the packed model blob (what the
+		// cluster publisher sends to float32-accepting replicas); the
+		// frame-level f32 flag has no batch to act on.
+		model := plainModel
+		if v.opts.f32 {
+			model = packedModel
+		}
+		sync := &serviceWire{Kind: kindModelSync, Group: "alpha", Seq: 3,
+			Covered: 256, Model: model, Accept: acceptFloat32 | acceptDeflate}
+		b.Run(fmt.Sprintf("modelsync/%s", v.name), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				payload, err := encodeServiceFrame(sync, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(payload)
+			}
+			b.ReportMetric(float64(size), "bytes/frame")
+		})
+	}
+}
+
+// BenchmarkFrameDecode measures the decode side of each wire format on the
+// same ingest frame, pooled inflater and float32 expansion included.
+func BenchmarkFrameDecode(b *testing.B) {
+	batch, labels := benchWireBatch(256, 8)
+	variants := []struct {
+		name string
+		opts frameOpts
+	}{
+		{"plain", frameOpts{}},
+		{"deflate", frameOpts{deflate: true}},
+		{"float32", frameOpts{f32: true}},
+		{"deflate+float32", frameOpts{deflate: true, f32: true}},
+	}
+	for _, v := range variants {
+		payload, err := encodeServiceFrame(&serviceWire{ID: 1, Kind: kindIngest,
+			Group: "alpha", Batch: batch, Labels: labels}, v.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := decodeServiceWire(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(w.Batch) != len(batch) {
+					b.Fatalf("decoded %d records, want %d", len(w.Batch), len(batch))
+				}
+			}
+		})
+	}
+}

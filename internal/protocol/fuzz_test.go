@@ -7,7 +7,8 @@ import (
 )
 
 // FuzzDecodeFrame hardens service wire-frame decoding against arbitrary
-// payloads: real frames of every spoken version (v1–v5, cluster admin
+// payloads: real frames of every spoken version (v1–v6 classic and the
+// flagged v7 format with compressed and float32 bodies, cluster admin
 // frames included), truncated and
 // bit-flipped frames, oversized version claims, and plain garbage. The
 // decoder must never panic and must keep its contract — a typed
@@ -35,21 +36,37 @@ func FuzzDecodeFrame(f *testing.F) {
 		Model: []byte{'C', 0xde, 0xad, 0xbe, 0xef}}
 	notLeader := &serviceWire{ID: 13, Kind: kindIngest, Group: "alpha", Response: true,
 		Code: codeNotLeader, Err: `group "alpha" is a read replica synced from "n1"`}
+	flagged := func(w *serviceWire, o frameOpts) []byte {
+		payload, err := encodeServiceFrame(w, o)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return payload
+	}
 	for _, w := range []*serviceWire{classify, ingest, response, rejection,
 		routesReq, routesResp, modelSync, notLeader} {
-		for _, version := range []byte{1, 2, 3, 4, ServiceWireVersion} {
+		for _, version := range []byte{1, 2, 3, 4, serviceWireClassicVersion} {
 			f.Add(seed(w, version))
 		}
+		// The flagged v7 format, in every body encoding it can negotiate.
+		f.Add(flagged(w, frameOpts{deflate: true}))
+		f.Add(flagged(w, frameOpts{f32: true}))
+		f.Add(flagged(w, frameOpts{deflate: true, f32: true}))
 	}
-	full := seed(classify, ServiceWireVersion)
-	f.Add(full[:2])                                                   // header only
-	f.Add(full[:len(full)/2])                                         // truncated mid-gob
-	f.Add(seed(classify, 0))                                          // below the spoken range
-	f.Add(seed(classify, 99))                                         // far-future version
-	f.Add([]byte{})                                                   // empty
-	f.Add([]byte{serviceMagic})                                       // magic alone
-	f.Add([]byte("not a service frame"))                              // foreign payload
-	f.Add(bytes.Repeat([]byte{serviceMagic, ServiceWireVersion}, 64)) // garbage gob body
+	full := seed(classify, serviceWireClassicVersion)
+	f.Add(full[:2])                                                          // header only
+	f.Add(full[:len(full)/2])                                                // truncated mid-gob
+	f.Add(seed(classify, 0))                                                 // below the spoken range
+	f.Add(seed(classify, 99))                                                // far-future version
+	f.Add([]byte{})                                                          // empty
+	f.Add([]byte{serviceMagic})                                              // magic alone
+	f.Add([]byte("not a service frame"))                                     // foreign payload
+	f.Add(bytes.Repeat([]byte{serviceMagic, serviceWireClassicVersion}, 64)) // garbage gob body
+	compressed := flagged(classify, frameOpts{deflate: true, f32: true})
+	f.Add(compressed[:len(compressed)-3])                 // torn deflate stream
+	f.Add([]byte{serviceMagic, ServiceWireVersion})       // v7 header without flags
+	f.Add([]byte{serviceMagic, ServiceWireVersion, 0xFF}) // unknown flag bits
+	f.Add([]byte{serviceMagic, ServiceWireVersion, 0x01}) // deflate flag, empty body
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		w, err := decodeServiceWire(payload)

@@ -111,11 +111,17 @@ type SlotAdaptor struct {
 }
 
 func encodeWire(w *wire) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+	// Shares the service encoder's buffer pool (encBufPool): encode into a
+	// recycled buffer, hand back an exact-size copy. SAP frames carry whole
+	// perturbed datasets, so recycling the grown buffers saves the encoder's
+	// doubling reallocations on every hop of the exchange.
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("protocol: encode %v: %w", w.Kind, err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 func decodeWire(payload []byte) (*wire, error) {
@@ -150,11 +156,10 @@ func decodeDatasetPayload(features []byte, labels []int, name string) (*dataset.
 			return nil, fmt.Errorf("%w: negative label", ErrBadMessage)
 		}
 	}
-	x := make([][]float64, m.Cols())
-	for i := range x {
-		x[i] = m.Col(i)
-	}
-	return dataset.New(name, x, labels)
+	// Bulk column extraction: one flat allocation and a single sequential
+	// pass over the matrix, instead of a per-record Col copy with a strided
+	// read each (O(rows×cols) cache-hostile traffic on every dataset hop).
+	return dataset.New(name, m.Columns(), labels)
 }
 
 // decodeAdaptor unpacks and re-validates an adaptor from untrusted bytes.

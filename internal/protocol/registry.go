@@ -92,6 +92,15 @@ type GroupSpec struct {
 	// is the initial one; failover may flip it at runtime via SetGroupLead /
 	// SetGroupFollow.
 	SyncFrom string
+	// Float32 opts this group into float32 wire payloads where the peer
+	// accepts them: the cluster layer replicates the group's models as
+	// packed-float32 blobs (classify.EncodeModelFloat32) and clients built
+	// from a WithFloat32Payloads session pack their batches the same way.
+	// Precision narrows to float32 (~7 significant digits) on those frames;
+	// the group's perturbed data tolerates it by construction (the paper's
+	// noise floor dwarfs the quantization error), but the opt-in is per
+	// group so precision-sensitive contracts stay on float64.
+	Float32 bool
 }
 
 // modelShard is one group's independent serving state. The served model
@@ -357,6 +366,13 @@ type MiningService struct {
 	// (ServiceConfig.Routes, copied at construction; empty when standalone).
 	routes []RouteEntry
 
+	// peerCaps records the last wire-capability mask (serviceWire.Accept)
+	// each peer advertised, keyed by transport endpoint name. The serve loop
+	// writes it for every decoded frame carrying a non-zero mask; the
+	// response path and the cluster layer (FrameOptsFor) read it to decide
+	// which peers may be sent v7 compressed/float32 frames.
+	peerCaps sync.Map // string -> uint8
+
 	// mUnknownGroup counts frames addressed to groups this service does not
 	// host — the one rejection with no shard namespace to land in.
 	mUnknownGroup metrics.Counter
@@ -510,6 +526,60 @@ func (s *MiningService) ReportSyncLag(group string, records int64) error {
 	return nil
 }
 
+// PeerAccept returns the last wire-capability mask the named peer advertised
+// (0 for peers never seen or older than v7). Safe to call concurrently with
+// Serve; the cluster layer keys its replication framing off it.
+func (s *MiningService) PeerAccept(peer string) uint8 {
+	v, ok := s.peerCaps.Load(peer)
+	if !ok {
+		return 0
+	}
+	return v.(uint8)
+}
+
+// acceptMask is the capability advertisement this service stamps on every
+// response: float32 decoding is always safe; deflate is advertised only when
+// compression is enabled (both sides must opt in before frames compress).
+func (s *MiningService) acceptMask() uint8 {
+	m := acceptFloat32
+	if s.cfg.Compression {
+		m |= acceptDeflate
+	}
+	return m
+}
+
+// noteAccept records a peer's advertised capability mask. Zero masks are not
+// recorded (old peers advertise nothing), so a capable mask, once observed,
+// is never clobbered by pre-upgrade traffic still in flight.
+func (s *MiningService) noteAccept(peer string, mask uint8) {
+	if mask != 0 && peer != "" {
+		s.peerCaps.Store(peer, mask)
+	}
+}
+
+// FrameOptsFor resolves the wire features to use toward one peer: the
+// intersection of this service's configuration (and, for float32, the
+// caller's per-group opt-in) with what the peer has advertised. Unseen or
+// pre-v7 peers resolve to the zero FrameOpts — classic plain frames.
+func (s *MiningService) FrameOptsFor(peer string, wantFloat32 bool) FrameOpts {
+	caps := s.PeerAccept(peer)
+	return FrameOpts{
+		Compress: s.cfg.Compression && caps&acceptDeflate != 0,
+		Float32:  wantFloat32 && caps&acceptFloat32 != 0,
+		accept:   s.acceptMask(),
+	}
+}
+
+// encodeResponse frames one response toward the peer that sent req: the
+// response advertises this service's capabilities and compresses only when
+// both sides opted in (req carried acceptDeflate and Compression is on).
+// req may be nil (undecodable-version rejections), which forces classic.
+func (s *MiningService) encodeResponse(req, resp *serviceWire) ([]byte, error) {
+	resp.Accept = s.acceptMask()
+	deflate := s.cfg.Compression && req != nil && req.Accept&acceptDeflate != 0
+	return encodeServiceFrame(resp, frameOpts{deflate: deflate})
+}
+
 // serviceJob is one accepted request travelling from the receive loop to the
 // addressed shard's prediction pool (classify) or ingest goroutine (ingest).
 type serviceJob struct {
@@ -620,7 +690,7 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			go func(sh *modelShard) {
 				defer workerWg.Done()
 				for j := range sh.jobs {
-					payload, err := encodeServiceWire(sh.handle(j.req))
+					payload, err := s.encodeResponse(j.req, sh.handle(j.req))
 					if err != nil {
 						continue
 					}
@@ -661,7 +731,7 @@ func (s *MiningService) Serve(ctx context.Context) error {
 				if resp == nil {
 					continue
 				}
-				payload, err := encodeServiceWire(resp)
+				payload, err := s.encodeResponse(j.req, resp)
 				if err != nil {
 					continue
 				}
@@ -721,13 +791,17 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			if req != nil {
 				resp.ID, resp.Kind, resp.Group = req.ID, req.Kind, req.Group
 			}
-			if payload, encErr := encodeServiceWire(resp); encErr == nil {
+			if payload, encErr := s.encodeResponse(req, resp); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
 			}
 			continue
 		case err != nil || req.Response:
 			continue // undecodable or stray response frame; drop
 		}
+		// Every valid frame doubles as the sender's capability hello; record
+		// it before any branch so responses (and later cluster sends) to this
+		// peer can use the features it accepts.
+		s.noteAccept(env.From, req.Accept)
 		if req.Kind == kindRoutes {
 			// Discovery is service-wide, not group-routed: any node answers
 			// with the cluster table it was configured with (empty when
@@ -740,7 +814,7 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			}
 			resp := &serviceWire{ID: req.ID, Kind: kindRoutes, Response: true,
 				Routes: entries, Epoch: epoch}
-			if payload, encErr := encodeServiceWire(resp); encErr == nil {
+			if payload, encErr := s.encodeResponse(req, resp); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
 			}
 			continue
@@ -768,7 +842,7 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			reject = shard.dispatch(req, env.From)
 		}
 		if reject != nil {
-			if payload, encErr := encodeServiceWire(reject); encErr == nil {
+			if payload, encErr := s.encodeResponse(req, reject); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
 			}
 		}

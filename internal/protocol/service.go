@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/transport"
 )
@@ -76,13 +77,48 @@ const serviceMagic = 0x53 // 'S'
 // leader-to-replica model sync (kindModelSync) — with their Routes, Model
 // and Seq fields; version 6 adds the durability gossip (kindSyncHello,
 // kindSyncState) with the Epoch and Covered fields, and stamps routes
-// responses with the table epoch.
-const ServiceWireVersion = 6
+// responses with the table epoch; version 7 is the flagged frame format — a
+// flag byte between the header and the gob body selects per-frame DEFLATE
+// compression and marks packed-float32 batches.
+const ServiceWireVersion = 7
+
+// serviceWireClassicVersion is the version byte of unflagged frames. Plain
+// frames keep this byte forever: a v7-capable sender emits the flagged
+// format only toward peers that have advertised the matching capability
+// (serviceWire.Accept), so v1–v6 peers — which would reject or drop a v7
+// frame — only ever see classic frames. The Accept field itself rides the
+// classic gob body, which old decoders skip silently; negotiation therefore
+// costs zero errors against any older peer.
+const serviceWireClassicVersion = 6
 
 // serviceWireMinVersion is the oldest frame version the service still
 // decodes. Pre-v4 frames carry no Group field and route to DefaultGroup, so
 // single-group deployments keep working against a sharded miner unchanged.
 const serviceWireMinVersion = 1
+
+// Flag bits of a v7 frame's flag byte (the third header byte, present only
+// when the version byte is 7). Unknown bits reject the frame as malformed.
+const (
+	// frameFlagDeflate marks the gob body as DEFLATE-compressed.
+	frameFlagDeflate uint8 = 1 << 0
+	// frameFlagFloat32 marks the frame's batch as packed float32
+	// (serviceWire.Batch32); informational — decoding keys off the field.
+	frameFlagFloat32 uint8 = 1 << 1
+)
+
+// Capability bits of serviceWire.Accept: what the sender is able to decode.
+// A sender uses a capability toward a peer only after observing it in the
+// peer's advertised mask.
+const (
+	// acceptDeflate: the peer decodes DEFLATE-compressed v7 frames and wants
+	// them (advertised only when compression is enabled on its side, so both
+	// sides must opt in before any frame compresses).
+	acceptDeflate uint8 = 1 << 0
+	// acceptFloat32: the peer decodes packed-float32 batches and float32
+	// model blobs. Advertised unconditionally by v7 code — decoding is
+	// always safe; whether to *send* float32 stays the sender's choice.
+	acceptFloat32 uint8 = 1 << 1
+)
 
 // Wire error codes carried in service responses, mapped back to the typed
 // errors above by the client.
@@ -216,6 +252,19 @@ type serviceWire struct {
 	// sequence) covers; replicas derive staleness_records from the gap
 	// between a hello's Covered and their own installed coverage.
 	Covered int64
+	// Accept advertises the sender's wire capabilities (acceptDeflate,
+	// acceptFloat32) on every frame, making the first request/response pair
+	// double as the compression hello/ack. It rides the gob body, so v1–v6
+	// decoders skip it silently; its zero value (an old or plain peer) makes
+	// every capability decision fall back to classic plain frames.
+	Accept uint8
+	// Batch32 is the packed-float32 form of Batch (little-endian, Dim
+	// features per record), sent only to peers advertising acceptFloat32.
+	// The decoder expands it back into Batch and clears it, so everything
+	// past the frame codec sees one canonical batch representation.
+	Batch32 []byte
+	// Dim is the per-record feature count of Batch32.
+	Dim int
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
 	Code uint8
@@ -232,14 +281,81 @@ func IsServiceFrame(payload []byte) bool {
 	return len(payload) >= 2 && payload[0] == serviceMagic
 }
 
+// frameDeflate is the CompressCodec every compressed v7 frame body runs
+// through — the protocol-layer stacking of transport.CompressCodec inside
+// whatever link codec (AES on TCP) seals the frame afterwards. One shared
+// instance so its pooled flate writers/readers amortize across all
+// connections; its Open inherits the codec's zip-bomb frame cap.
+var frameDeflate = func() *transport.CompressCodec {
+	c, err := transport.NewCompressCodec(nil, transport.DefaultLevel)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+// encBufPool recycles the gob encode buffers of the service and SAP frame
+// encoders. Encoders write into a pooled buffer and copy the exact-size
+// payload out, so the steady state allocates one right-sized payload per
+// frame instead of re-growing a fresh bytes.Buffer through its doubling
+// schedule every time. (The gob encoder itself cannot be pooled: each frame
+// must be a self-contained gob stream, with its own type descriptors, for
+// the peer's independent per-frame decoder.)
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// frameOpts selects the wire features of one encoded frame. The zero value
+// is the classic v6 framing every peer decodes; non-zero options emit the
+// flagged v7 format and must only be used toward peers whose Accept mask
+// advertised the matching capability.
+type frameOpts struct {
+	deflate bool // DEFLATE-compress the gob body (v7 + frameFlagDeflate)
+	f32     bool // pack Batch as float32 (v7 + frameFlagFloat32)
+}
+
 func encodeServiceWire(w *serviceWire) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteByte(serviceMagic)
-	buf.WriteByte(ServiceWireVersion)
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+	return encodeServiceFrame(w, frameOpts{})
+}
+
+func encodeServiceFrame(w *serviceWire, o frameOpts) ([]byte, error) {
+	if o.f32 && len(w.Batch) > 0 {
+		if b32, dim := matrix.PackFloat32Rows(w.Batch); dim > 0 {
+			cp := *w // callers may retry with the same frame; never mutate it
+			cp.Batch32, cp.Dim = b32, dim
+			cp.Batch = nil
+			w = &cp
+		}
+	}
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("protocol: encode service frame: %w", err)
 	}
-	return buf.Bytes(), nil
+	body := buf.Bytes()
+	if o.deflate {
+		deflated, err := frameDeflate.Seal(body)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: compress service frame: %w", err)
+		}
+		body = deflated
+	}
+	flags := uint8(0)
+	if o.deflate {
+		flags |= frameFlagDeflate
+	}
+	if len(w.Batch32) > 0 {
+		flags |= frameFlagFloat32
+	}
+	if flags == 0 {
+		out := make([]byte, 2+len(body))
+		out[0], out[1] = serviceMagic, serviceWireClassicVersion
+		copy(out[2:], body)
+		return out, nil
+	}
+	out := make([]byte, 3+len(body))
+	out[0], out[1], out[2] = serviceMagic, ServiceWireVersion, flags
+	copy(out[3:], body)
+	return out, nil
 }
 
 // decodeServiceWire unpacks a service frame. A nil frame with a nil error
@@ -254,13 +370,46 @@ func decodeServiceWire(payload []byte) (*serviceWire, error) {
 	}
 	version := payload[1]
 	supported := version >= serviceWireMinVersion && version <= ServiceWireVersion
+	body := payload[2:]
+	if version == ServiceWireVersion {
+		// v7 frames interpose a flag byte between the header and the body.
+		if len(payload) < 3 {
+			return nil, fmt.Errorf("%w: v7 frame lacks its flag byte", ErrBadMessage)
+		}
+		flags := payload[2]
+		if flags&^(frameFlagDeflate|frameFlagFloat32) != 0 {
+			return nil, fmt.Errorf("%w: unknown v7 frame flags %#x", ErrBadMessage, flags)
+		}
+		body = payload[3:]
+		if flags&frameFlagDeflate != 0 {
+			inflated, err := frameDeflate.Open(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: inflate frame: %v", ErrBadMessage, err)
+			}
+			body = inflated
+		}
+	}
 	var w serviceWire
-	if err := gob.NewDecoder(bytes.NewReader(payload[2:])).Decode(&w); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&w); err != nil {
 		if !supported {
 			return nil, fmt.Errorf("%w: got v%d, speak v%d-v%d",
 				ErrWireVersion, version, serviceWireMinVersion, ServiceWireVersion)
 		}
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if len(w.Batch32) > 0 {
+		// Expand the packed-float32 batch so everything past the frame codec
+		// — shard handlers, clients, re-encoders — sees one canonical batch
+		// representation. Clearing the packed form keeps re-encoding from
+		// duplicating the payload.
+		batch, err := matrix.UnpackFloat32Rows(w.Batch32, w.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("%w: float32 batch: %v", ErrBadMessage, err)
+		}
+		if len(w.Batch) == 0 {
+			w.Batch = batch
+		}
+		w.Batch32, w.Dim = nil, 0
 	}
 	if !supported {
 		// The frame decoded (gob skips unknown fields) but the peer speaks
@@ -291,6 +440,13 @@ type ServiceConfig struct {
 	// set until the next triggered refit — useful when a deployment refits
 	// on its own schedule). GroupSpec.RefitEvery overrides it per group.
 	RefitEvery int
+	// Compression enables negotiated DEFLATE frame compression: the service
+	// advertises the capability on every response (serviceWire.Accept) and
+	// compresses responses to peers whose requests advertised it back.
+	// Off (the default), frames stay classic and the service never
+	// advertises — so a fleet upgrades one side at a time with zero errors,
+	// and v1–v6 peers are never shown a v7 frame either way.
+	Compression bool
 	// Metrics receives the service's instrumentation: per-group request,
 	// ingest and refit counters under the "service.<group>." namespace plus
 	// the service-wide unknown-group rejection count (see ARCHITECTURE.md
@@ -439,10 +595,16 @@ type ServiceClient struct {
 	// backoff is the busy-retry policy applied by ClassifyBatch and
 	// PushChunk; configured with SetBackoff before the first request.
 	backoff Backoff
+	// wire selects the negotiated wire features the client wants to use;
+	// configured with SetWireOptions before the first request. Each feature
+	// engages per miner only after that miner advertises the matching
+	// capability (caps), so the first request to any peer is always classic.
+	wire WireOptions
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *serviceWire
+	caps    map[string]uint8 // peer endpoint -> last advertised Accept mask
 	failed  bool
 	cause   error
 
@@ -475,6 +637,7 @@ func NewGroupServiceClient(conn transport.Conn, miner, group string) (*ServiceCl
 		miner:    miner,
 		group:    group,
 		pending:  make(map[uint64]chan *serviceWire),
+		caps:     make(map[string]uint8),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		stopRecv: stop,
@@ -492,6 +655,53 @@ func (c *ServiceClient) Group() string { return c.group }
 // the first rejection). Call it before issuing requests — it is not
 // synchronized against in-flight calls.
 func (c *ServiceClient) SetBackoff(b Backoff) { c.backoff = b }
+
+// WireOptions selects the negotiated wire features a ServiceClient wants to
+// use toward its miners. Each feature only engages per peer after that peer
+// advertises the matching capability on a response, so enabling options
+// against a v6 (or plain-configured) service changes nothing — frames stay
+// classic and no errors occur.
+type WireOptions struct {
+	// Compress asks for DEFLATE frame compression both ways: requests
+	// compress once the peer advertises support, and the client's own
+	// advertisement invites the peer to compress its responses.
+	Compress bool
+	// Float32 packs classify/ingest batches as float32 toward peers that
+	// accept it, halving batch bytes at float32 precision (~7 significant
+	// digits — see the WithFloat32Payloads precision contract).
+	Float32 bool
+}
+
+// SetWireOptions replaces the client's wire-feature selection. Call it
+// before issuing requests — it is not synchronized against in-flight calls.
+func (c *ServiceClient) SetWireOptions(o WireOptions) { c.wire = o }
+
+// acceptMask is the capability advertisement stamped on every request:
+// float32 decoding is always safe, deflate is advertised only when the
+// client itself opted into compression (both sides must opt in).
+func (c *ServiceClient) acceptMask() uint8 {
+	m := acceptFloat32
+	if c.wire.Compress {
+		m |= acceptDeflate
+	}
+	return m
+}
+
+// frameOptsFor resolves which negotiated features to use toward one miner:
+// the intersection of what the client wants (wire) and what that peer last
+// advertised (caps). An unseen peer gets classic frames.
+func (c *ServiceClient) frameOptsFor(miner string) frameOpts {
+	if !c.wire.Compress && !c.wire.Float32 {
+		return frameOpts{}
+	}
+	c.mu.Lock()
+	peer := c.caps[miner]
+	c.mu.Unlock()
+	return frameOpts{
+		deflate: c.wire.Compress && peer&acceptDeflate != 0,
+		f32:     c.wire.Float32 && peer&acceptFloat32 != 0,
+	}
+}
 
 // retryBusy runs one request attempt through the client's backoff policy:
 // busy rejections are retried with capped exponential delays, any other
@@ -544,6 +754,11 @@ func (c *ServiceClient) recvLoop(ctx context.Context) {
 			continue
 		}
 		c.mu.Lock()
+		if resp.Accept != 0 && env.From != "" {
+			// The response doubles as the capability ack: record what this
+			// peer can decode so the next request to it may use v7 features.
+			c.caps[env.From] = resp.Accept
+		}
 		ch, ok := c.pending[resp.ID]
 		if ok {
 			delete(c.pending, resp.ID)
@@ -658,7 +873,9 @@ func (c *ServiceClient) classifyBatchOnce(ctx context.Context, miner, group stri
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Group: group, Batch: batch})
+	payload, err := encodeServiceFrame(
+		&serviceWire{ID: id, Group: group, Batch: batch, Accept: c.acceptMask()},
+		c.frameOptsFor(miner))
 	if err != nil {
 		c.unregister(id)
 		return nil, err
@@ -703,7 +920,9 @@ func (c *ServiceClient) TableAt(ctx context.Context, node string) ([]RouteEntry,
 	if err != nil {
 		return nil, 0, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{ID: id, Kind: kindRoutes})
+	payload, err := encodeServiceFrame(
+		&serviceWire{ID: id, Kind: kindRoutes, Accept: c.acceptMask()},
+		c.frameOptsFor(node))
 	if err != nil {
 		c.unregister(id)
 		return nil, 0, err
@@ -768,8 +987,9 @@ func (c *ServiceClient) pushChunkOnce(ctx context.Context, miner, group string, 
 	if err != nil {
 		return 0, err
 	}
-	payload, err := encodeServiceWire(&serviceWire{
-		ID: id, Kind: kindIngest, Group: group, Batch: batch, Labels: labels})
+	payload, err := encodeServiceFrame(&serviceWire{
+		ID: id, Kind: kindIngest, Group: group, Batch: batch, Labels: labels,
+		Accept: c.acceptMask()}, c.frameOptsFor(miner))
 	if err != nil {
 		c.unregister(id)
 		return 0, err
@@ -823,6 +1043,25 @@ func responseErr(resp *serviceWire) error {
 	}
 }
 
+// FrameOpts selects the negotiated wire features for one outbound
+// fire-and-forget frame (SendModelSync, SendSyncHello, SendSyncState). The
+// zero value emits classic plain frames. Obtain non-zero options from
+// MiningService.FrameOptsFor, which intersects the service's own
+// configuration with what the target peer has advertised — hand-rolled
+// options toward an unverified peer can produce frames it cannot decode.
+type FrameOpts struct {
+	// Compress DEFLATE-compresses the frame body (v7 framing).
+	Compress bool
+	// Float32 reports that the target accepts float32 payloads; the frame
+	// batch (if any) packs to float32 and callers may select float32 model
+	// blobs (classify.EncodeModelFloat32).
+	Float32 bool
+	// accept is the sender's own capability mask, stamped on the frame so
+	// fire-and-forget gossip teaches the receiver the sender's capabilities
+	// even though no response will flow back.
+	accept uint8
+}
+
 // SendModelSync streams one encoded classifier (classify.EncodeModel format)
 // to a follower node as a fire-and-forget kindModelSync frame: ID 0 tells
 // the follower to send no response, so a downed or slow follower costs the
@@ -832,15 +1071,16 @@ func responseErr(resp *serviceWire) error {
 // count the model's fit covers, installed alongside it so staleness can be
 // measured in records. The cluster layer's replication publisher is the
 // intended caller.
-func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, covered int64, model []byte) error {
+func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, covered int64, model []byte, opts FrameOpts) error {
 	if group == "" {
 		return fmt.Errorf("%w: model sync without a group", ErrBadConfig)
 	}
 	if len(model) == 0 {
 		return fmt.Errorf("%w: model sync without a model", ErrBadConfig)
 	}
-	payload, err := encodeServiceWire(&serviceWire{
-		Kind: kindModelSync, Group: group, Seq: seq, Covered: covered, Model: model})
+	payload, err := encodeServiceFrame(&serviceWire{
+		Kind: kindModelSync, Group: group, Seq: seq, Covered: covered, Model: model,
+		Accept: opts.accept}, frameOpts{deflate: opts.Compress})
 	if err != nil {
 		return err
 	}
@@ -851,24 +1091,25 @@ func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, s
 // replica: its published sequence, table epoch, ingest coverage and current
 // routing-table row. Fire-and-forget (ID 0); the replica's answer, if any,
 // arrives as an independent kindSyncState frame.
-func SendSyncHello(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
-	return sendSyncGossip(ctx, conn, to, kindSyncHello, group, seq, epoch, covered, row)
+func SendSyncHello(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry, opts FrameOpts) error {
+	return sendSyncGossip(ctx, conn, to, kindSyncHello, group, seq, epoch, covered, row, opts)
 }
 
 // SendSyncState answers a replica's durability state for one group to its
 // leader: the last installed sequence, the replica's table epoch and row.
 // Fire-and-forget (ID 0).
-func SendSyncState(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
-	return sendSyncGossip(ctx, conn, to, kindSyncState, group, seq, epoch, covered, row)
+func SendSyncState(ctx context.Context, conn transport.Conn, to, group string, seq, epoch uint64, covered int64, row RouteEntry, opts FrameOpts) error {
+	return sendSyncGossip(ctx, conn, to, kindSyncState, group, seq, epoch, covered, row, opts)
 }
 
-func sendSyncGossip(ctx context.Context, conn transport.Conn, to string, kind uint8, group string, seq, epoch uint64, covered int64, row RouteEntry) error {
+func sendSyncGossip(ctx context.Context, conn transport.Conn, to string, kind uint8, group string, seq, epoch uint64, covered int64, row RouteEntry, opts FrameOpts) error {
 	if group == "" {
 		return fmt.Errorf("%w: sync gossip without a group", ErrBadConfig)
 	}
-	payload, err := encodeServiceWire(&serviceWire{
+	payload, err := encodeServiceFrame(&serviceWire{
 		Kind: kind, Group: group, Seq: seq, Epoch: epoch, Covered: covered,
-		Routes: []RouteEntry{row}})
+		Routes: []RouteEntry{row}, Accept: opts.accept},
+		frameOpts{deflate: opts.Compress})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,406 @@
+package protocol
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/transport"
+)
+
+// sniffConn wraps a transport endpoint and records a copy of every payload
+// it sends, so tests can assert which frame format actually hit the wire.
+type sniffConn struct {
+	transport.Conn
+	mu   sync.Mutex
+	sent [][]byte
+}
+
+func (c *sniffConn) Send(ctx context.Context, to string, payload []byte) error {
+	c.mu.Lock()
+	c.sent = append(c.sent, append([]byte(nil), payload...))
+	c.mu.Unlock()
+	return c.Conn.Send(ctx, to, payload)
+}
+
+// frames returns the recorded service-frame headers as (version, flags)
+// pairs; classic frames report flags 0.
+func (c *sniffConn) frames() [][2]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][2]byte, 0, len(c.sent))
+	for _, p := range c.sent {
+		if !IsServiceFrame(p) {
+			continue
+		}
+		h := [2]byte{p[1], 0}
+		if p[1] == ServiceWireVersion && len(p) > 2 {
+			h[1] = p[2]
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// startLegacyMiner stands up a pre-v7 peer double: it answers classify
+// requests correctly but frames every response classic and never advertises
+// a capability mask — exactly what a v6 binary looks like on the wire. It
+// fails the test if a flagged v7 frame ever reaches it, since a real v6
+// decoder would reject one.
+func startLegacyMiner(t *testing.T, conn transport.Conn) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			env, err := conn.Recv(ctx)
+			if err != nil {
+				return
+			}
+			if len(env.Payload) > 1 && env.Payload[0] == serviceMagic &&
+				env.Payload[1] == ServiceWireVersion {
+				t.Errorf("legacy miner received a v7 frame (flags %#x)", env.Payload[2])
+				continue
+			}
+			req, err := decodeServiceWire(env.Payload)
+			if err != nil || req == nil {
+				continue
+			}
+			labels := make([]int, len(req.Batch))
+			// A v6 peer has no Accept field: its responses carry mask 0.
+			payload, err := encodeServiceWire(&serviceWire{
+				ID: req.ID, Response: true, Labels: labels})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := conn.Send(ctx, env.From, payload); err != nil {
+				return
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		conn.Close()
+		<-done
+	}
+}
+
+// TestCompressionNegotiationUpgrades checks the full handshake: the first
+// request toward an unseen peer is classic (carrying the client's
+// advertisement), the response teaches the client the service's mask, and
+// every subsequent request rides the flagged v7 format with the deflate bit.
+func TestCompressionNegotiationUpgrades(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	raw, _ := net.Endpoint("client")
+	clientConn := &sniffConn{Conn: raw}
+	defer clientConn.Close()
+
+	_, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 8), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true})
+	defer stop()
+
+	client, err := NewGroupServiceClient(clientConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetWireOptions(WireOptions{Compress: true})
+
+	ctx := testCtx(t)
+	for i := 0; i < 3; i++ {
+		if _, err := client.ClassifyBatch(ctx, [][]float64{{0.3}}); err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+	}
+
+	frames := clientConn.frames()
+	if len(frames) != 3 {
+		t.Fatalf("recorded %d frames, want 3", len(frames))
+	}
+	if frames[0][0] != serviceWireClassicVersion {
+		t.Fatalf("first frame is v%d, want classic v%d before capabilities are known",
+			frames[0][0], serviceWireClassicVersion)
+	}
+	for i, h := range frames[1:] {
+		if h[0] != ServiceWireVersion || h[1]&frameFlagDeflate == 0 {
+			t.Fatalf("frame %d after negotiation is v%d flags %#x, want v7 with the deflate bit",
+				i+1, h[0], h[1])
+		}
+	}
+}
+
+// TestCompressingClientAgainstLegacyMiner checks the fallback half of the
+// negotiation contract: a client with every wire option on, pointed at a
+// v6-framed peer that never advertises, keeps the conversation classic for
+// its whole lifetime — zero errors, zero v7 frames.
+func TestCompressingClientAgainstLegacyMiner(t *testing.T) {
+	net := transport.NewMemNetwork()
+	minerConn, _ := net.Endpoint("old-miner")
+	stop := startLegacyMiner(t, minerConn)
+	defer stop()
+
+	raw, _ := net.Endpoint("client")
+	clientConn := &sniffConn{Conn: raw}
+	defer clientConn.Close()
+	client, err := NewServiceClient(clientConn, "old-miner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetWireOptions(WireOptions{Compress: true, Float32: true})
+
+	ctx := testCtx(t)
+	for i := 0; i < 4; i++ {
+		if _, err := client.ClassifyBatch(ctx, [][]float64{{0.1, 0.2}}); err != nil {
+			t.Fatalf("classify %d against the legacy miner: %v", i, err)
+		}
+	}
+	for i, h := range clientConn.frames() {
+		if h[0] != serviceWireClassicVersion {
+			t.Fatalf("frame %d toward the legacy miner is v%d, want classic v%d",
+				i, h[0], h[0])
+		}
+	}
+}
+
+// TestPlainClientAgainstCompressingService checks the mirror-image fallback:
+// a compression-enabled service never compresses toward a client that did
+// not advertise the capability, so a default-configured client works
+// unchanged against an upgraded miner.
+func TestPlainClientAgainstCompressingService(t *testing.T) {
+	net := transport.NewMemNetwork()
+	rawSvc, _ := net.Endpoint("svc")
+	svcConn := &sniffConn{Conn: rawSvc}
+	defer svcConn.Close()
+	clientConn, _ := net.Endpoint("client")
+	defer clientConn.Close()
+
+	_, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 8), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true})
+	defer stop()
+
+	client, err := NewGroupServiceClient(clientConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := testCtx(t)
+	for i := 0; i < 3; i++ {
+		if _, err := client.ClassifyBatch(ctx, [][]float64{{0.4}}); err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+	}
+	for i, h := range svcConn.frames() {
+		if h[1]&frameFlagDeflate != 0 {
+			t.Fatalf("response %d compressed toward a client that never asked (flags %#x)", i, h[1])
+		}
+	}
+}
+
+// TestFloat32BatchNegotiation checks the float32 payload mode end to end:
+// once the service's mask is known, batches ride the v7 float32 flag and
+// classification still attributes every record correctly.
+func TestFloat32BatchNegotiation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	raw, _ := net.Endpoint("client")
+	clientConn := &sniffConn{Conn: raw}
+	defer clientConn.Close()
+
+	// Wide records with full-entropy mantissas, as perturbed data has: gob
+	// suppresses trailing zero bytes of a float64, so only realistic values
+	// show the packed form's halved width through the gob overhead.
+	n, dim := 16, 8
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = (float64(i) + 1) / (float64(j)*3.1415926535 + 1.7320508)
+		}
+		y[i] = i
+	}
+	wide, err := dataset.New("wide-line", x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: wide, Model: classify.NewKNN(1)}},
+		ServiceConfig{})
+	defer stop()
+
+	client, err := NewGroupServiceClient(clientConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetWireOptions(WireOptions{Float32: true})
+
+	ctx := testCtx(t)
+	query := func(round int) {
+		t.Helper()
+		batch := make([][]float64, n)
+		for i := range batch {
+			batch[i] = append([]float64(nil), x[i]...)
+		}
+		labels, err := client.ClassifyBatch(ctx, batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, l := range labels {
+			if l != i {
+				t.Fatalf("round %d: record %d classified %d at float32 precision", round, i, l)
+			}
+		}
+	}
+	query(0)
+	query(1)
+
+	frames := clientConn.frames()
+	if len(frames) != 2 {
+		t.Fatalf("recorded %d frames, want 2", len(frames))
+	}
+	if frames[0][0] != serviceWireClassicVersion {
+		t.Fatalf("first frame is v%d, want classic before negotiation", frames[0][0])
+	}
+	if frames[1][0] != ServiceWireVersion || frames[1][1]&frameFlagFloat32 == 0 {
+		t.Fatalf("negotiated frame is v%d flags %#x, want v7 with the float32 bit",
+			frames[1][0], frames[1][1])
+	}
+	if len(clientConn.sent[1]) >= len(clientConn.sent[0]) {
+		t.Fatalf("float32 frame (%d bytes) is not smaller than the float64 frame (%d bytes)",
+			len(clientConn.sent[1]), len(clientConn.sent[0]))
+	}
+}
+
+// TestModelSyncPayloadReduction pins the issue's headline acceptance bound:
+// a replicated model-sync frame with float32 blobs and compression on is at
+// most half the bytes of the classic float64 frame.
+func TestModelSyncPayloadReduction(t *testing.T) {
+	d := labelledLine(t, 512)
+	// Widen the records so the payload is dominated by feature floats, as
+	// real perturbed datasets are.
+	wide := make([][]float64, d.Len())
+	for i := range wide {
+		wide[i] = []float64{d.X[i][0], d.X[i][0] * 0.7311, d.X[i][0] * 1.618, d.X[i][0] * 2.718}
+	}
+	wd, err := dataset.New("wide", wide, d.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := classify.NewKNN(1)
+	if err := model.Fit(wd); err != nil {
+		t.Fatal(err)
+	}
+
+	plainBlob, err := classify.EncodeModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBlob, err := classify.EncodeModelFloat32(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := encodeServiceFrame(&serviceWire{
+		Kind: kindModelSync, Group: "alpha", Seq: 1, Model: plainBlob}, frameOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := encodeServiceFrame(&serviceWire{
+		Kind: kindModelSync, Group: "alpha", Seq: 1, Model: packedBlob},
+		frameOpts{deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed)*2 > len(plain) {
+		t.Fatalf("compressed float32 sync frame is %d bytes vs %d plain — less than the promised 2x reduction",
+			len(packed), len(plain))
+	}
+
+	// The packed frame still round-trips into a model that classifies.
+	w, err := decodeServiceWire(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := classify.DecodeModel(w.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decoded.Predict(wide[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wd.Y[3] {
+		t.Fatalf("decoded float32 model classified record 3 as %d, want %d", got, wd.Y[3])
+	}
+}
+
+// TestServiceLearnsClientCapsFromGossip checks the fire-and-forget path
+// teaches capabilities too: a sync hello stamped with a sender mask makes
+// the service compress toward that peer on the next eligible send.
+func TestServiceLearnsClientCapsFromGossip(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	peerConn, _ := net.Endpoint("peer")
+	defer peerConn.Close()
+
+	svc, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 4), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true})
+	defer stop()
+
+	if opts := svc.FrameOptsFor("peer", true); opts.Compress || opts.Float32 {
+		t.Fatalf("unseen peer resolved to %+v, want classic", opts)
+	}
+
+	ctx := testCtx(t)
+	row := RouteEntry{Group: "alpha", Node: "peer"}
+	if err := SendSyncHello(ctx, peerConn, "svc", "alpha", 1, 1, 0, row,
+		FrameOpts{accept: acceptDeflate | acceptFloat32}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if opts := svc.FrameOptsFor("peer", true); opts.Compress && opts.Float32 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never recorded the gossiped capability mask")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEncodeServiceFrameRetrySafe checks the float32 packer never mutates
+// the caller's frame: retry loops re-encode the same *serviceWire, so the
+// original Batch must survive an earlier packed encoding.
+func TestEncodeServiceFrameRetrySafe(t *testing.T) {
+	w := &serviceWire{ID: 1, Group: "alpha", Batch: [][]float64{{0.25, 0.5}, {0.75, 1.0}}}
+	first, err := encodeServiceFrame(w, frameOpts{f32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Batch) != 2 || w.Batch32 != nil {
+		t.Fatalf("encode mutated the caller's frame: %+v", w)
+	}
+	second, err := encodeServiceFrame(w, frameOpts{f32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-encoding the same frame produced different bytes")
+	}
+}

@@ -336,10 +336,7 @@ func (p *Pipeline) emit(ctx context.Context, seq int, x [][]float64, y []int) (C
 		return Chunk{}, err
 	}
 
-	rows := make([][]float64, len(x))
-	for i := range rows {
-		rows[i] = adapted.Col(i)
-	}
+	rows := adapted.Columns()
 	name := fmt.Sprintf("stream-chunk-%d", seq)
 	data, err := dataset.New(name, rows, append([]int(nil), y...))
 	if err != nil {

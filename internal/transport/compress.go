@@ -5,30 +5,47 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 )
+
+// DefaultLevel selects flate.DefaultCompression explicitly. It exists so the
+// legal flate.NoCompression level (constant 0, stored/uncompressed blocks)
+// stays selectable: a zero level means exactly what compress/flate says it
+// means, and callers who want "whatever the library thinks is balanced" say
+// so by name.
+const DefaultLevel = flate.DefaultCompression
 
 // CompressCodec wraps another Codec with DEFLATE compression applied before
 // sealing. Perturbed datasets are dense float64 matrices whose byte-level
 // redundancy (shared exponents) compresses usefully, which matters when k
 // datasets take an extra provider hop before reaching the miner.
+//
+// The codec pools its flate writers, readers and decode scratch buffers, so
+// steady-state Seal/Open cycles allocate only the returned payloads — a
+// flate.Writer alone is ~650 KiB of window state, far too heavy to rebuild
+// per frame. A CompressCodec is safe for concurrent use.
 type CompressCodec struct {
 	inner Codec
 	level int
+
+	writers sync.Pool // *flate.Writer, reset per Seal
+	readers sync.Pool // io.ReadCloser + flate.Resetter, reset per Open
+	scratch sync.Pool // *bytes.Buffer, decode scratch
 }
 
 var _ Codec = (*CompressCodec)(nil)
 
 // NewCompressCodec wraps inner (nil means PlainCodec) with the given flate
-// level; level 0 selects flate.DefaultCompression.
+// level. Every compress/flate level is honored verbatim — including
+// flate.NoCompression (0, stored blocks) and flate.HuffmanOnly (-2); use
+// DefaultLevel to select flate.DefaultCompression by name.
 func NewCompressCodec(inner Codec, level int) (*CompressCodec, error) {
 	if inner == nil {
 		inner = PlainCodec{}
 	}
-	if level == 0 {
-		level = flate.DefaultCompression
-	}
 	if level < flate.HuffmanOnly || level > flate.BestCompression {
-		return nil, fmt.Errorf("transport: flate level %d out of range", level)
+		return nil, fmt.Errorf("transport: flate level %d out of range [%d, %d]",
+			level, flate.HuffmanOnly, flate.BestCompression)
 	}
 	return &CompressCodec{inner: inner, level: level}, nil
 }
@@ -36,9 +53,14 @@ func NewCompressCodec(inner Codec, level int) (*CompressCodec, error) {
 // Seal implements Codec: compress, then delegate to the inner codec.
 func (c *CompressCodec) Seal(plaintext []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, c.level)
-	if err != nil {
-		return nil, fmt.Errorf("transport: flate writer: %w", err)
+	w, _ := c.writers.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		if w, err = flate.NewWriter(&buf, c.level); err != nil {
+			return nil, fmt.Errorf("transport: flate writer: %w", err)
+		}
+	} else {
+		w.Reset(&buf)
 	}
 	if _, err := w.Write(plaintext); err != nil {
 		return nil, fmt.Errorf("transport: compress: %w", err)
@@ -46,6 +68,7 @@ func (c *CompressCodec) Seal(plaintext []byte) ([]byte, error) {
 	if err := w.Close(); err != nil {
 		return nil, fmt.Errorf("transport: compress close: %w", err)
 	}
+	c.writers.Put(w)
 	return c.inner.Seal(buf.Bytes())
 }
 
@@ -55,16 +78,32 @@ func (c *CompressCodec) Open(sealed []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := flate.NewReader(bytes.NewReader(compressed))
-	defer r.Close()
+	src := bytes.NewReader(compressed)
+	r, _ := c.readers.Get().(io.ReadCloser)
+	if r == nil {
+		r = flate.NewReader(src)
+	} else if err := r.(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, fmt.Errorf("%w: decompress reset: %v", ErrBadFrame, err)
+	}
+	buf, _ := c.scratch.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = new(bytes.Buffer)
+	}
+	buf.Reset()
 	// Guard decompression with the same frame cap as the wire format so a
 	// hostile peer cannot zip-bomb the receiver.
-	plain, err := io.ReadAll(io.LimitReader(r, maxFrameSize+1))
+	_, err = io.Copy(buf, io.LimitReader(r, maxFrameSize+1))
 	if err != nil {
+		c.scratch.Put(buf)
 		return nil, fmt.Errorf("%w: decompress: %v", ErrBadFrame, err)
 	}
-	if len(plain) > maxFrameSize {
+	r.Close()
+	c.readers.Put(r)
+	if buf.Len() > maxFrameSize {
+		c.scratch.Put(buf)
 		return nil, fmt.Errorf("%w: decompressed payload exceeds frame cap", ErrFrameTooLarge)
 	}
+	plain := append([]byte(nil), buf.Bytes()...)
+	c.scratch.Put(buf)
 	return plain, nil
 }

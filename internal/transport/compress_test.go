@@ -9,7 +9,7 @@ import (
 )
 
 func TestCompressCodecRoundTrip(t *testing.T) {
-	c, err := NewCompressCodec(nil, 0)
+	c, err := NewCompressCodec(nil, DefaultLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +62,75 @@ func TestCompressCodecOverAES(t *testing.T) {
 }
 
 func TestCompressCodecBadLevel(t *testing.T) {
-	if _, err := NewCompressCodec(nil, 42); err == nil {
+	_, err := NewCompressCodec(nil, 42)
+	if err == nil {
 		t.Fatal("bad level accepted")
+	}
+	want := "transport: flate level 42 out of range [-2, 9]"
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+	if _, err := NewCompressCodec(nil, -3); err == nil {
+		t.Fatal("level below HuffmanOnly accepted")
+	}
+}
+
+func TestCompressCodecHonorsNoCompression(t *testing.T) {
+	// flate.NoCompression is the constant 0: it must select stored
+	// (uncompressed) DEFLATE blocks, not silently degrade to the default
+	// level. Stored blocks never shrink the payload.
+	c, err := NewCompressCodec(nil, flate.NoCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("matrix row "), 200)
+	sealed, err := c.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) < len(msg) {
+		t.Fatalf("stored mode shrank a redundant payload: %d vs %d bytes — level 0 was not honored", len(sealed), len(msg))
+	}
+	plain, err := c.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatal("round trip mangled data")
+	}
+}
+
+func TestCompressCodecDefaultLevelSentinel(t *testing.T) {
+	if DefaultLevel != flate.DefaultCompression {
+		t.Fatalf("DefaultLevel = %d, want flate.DefaultCompression (%d)", DefaultLevel, flate.DefaultCompression)
+	}
+}
+
+func TestCompressCodecPooledReuse(t *testing.T) {
+	// Repeated Seal/Open cycles exercise the pooled flate writer/reader
+	// paths (the second iteration onward reuses state via Reset).
+	c, err := NewCompressCodec(nil, DefaultLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		msg := bytes.Repeat([]byte{byte('a' + i)}, 512+i)
+		sealed, err := c.Seal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := c.Open(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, msg) {
+			t.Fatalf("iteration %d mangled data", i)
+		}
 	}
 }
 
 func TestCompressCodecGarbage(t *testing.T) {
-	c, _ := NewCompressCodec(nil, 0)
+	c, _ := NewCompressCodec(nil, DefaultLevel)
 	if _, err := c.Open([]byte("definitely not deflate")); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("garbage err = %v", err)
 	}
@@ -76,7 +138,7 @@ func TestCompressCodecGarbage(t *testing.T) {
 
 func TestCompressCodecRandomPayload(t *testing.T) {
 	// Incompressible data must still round-trip correctly.
-	c, _ := NewCompressCodec(nil, 0)
+	c, _ := NewCompressCodec(nil, DefaultLevel)
 	rng := rand.New(rand.NewSource(1))
 	msg := make([]byte, 4096)
 	for i := range msg {
@@ -99,7 +161,7 @@ func TestCompressCodecOnTCP(t *testing.T) {
 	// Full stack: flate over AES over TCP frames.
 	ctx := testCtx(t)
 	aes, _ := NewAESCodec("stacked")
-	codec, err := NewCompressCodec(aes, 0)
+	codec, err := NewCompressCodec(aes, DefaultLevel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,6 +116,11 @@ type config struct {
 	downFor          time.Duration
 	failoverGrace    time.Duration
 	antiEntropyEvery time.Duration
+	// compress/float32Payloads tune the session's wire format
+	// (WithCompression / WithFloat32Payloads). Both are capability-gated:
+	// a peer that never advertised them keeps receiving classic frames.
+	compress        bool
+	float32Payloads bool
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -242,6 +247,34 @@ func WithGroupID(id string) Option {
 			return fmt.Errorf("%w: empty group id", ErrBadInput)
 		}
 		c.group = id
+		return nil
+	}
+}
+
+// WithCompression enables DEFLATE compression of this session's service
+// frames (classify batches, stream ingest, model replication). Compression
+// is negotiated per peer: both sides must carry the option, and the first
+// exchange with a peer that does not advertise it falls back to classic
+// uncompressed frames, so mixed-version deployments keep working. It rides
+// the serving session for the miner side and the querying session for the
+// client side.
+func WithCompression() Option {
+	return func(c *config) error {
+		c.compress = true
+		return nil
+	}
+}
+
+// WithFloat32Payloads halves this session's record payloads on the wire
+// (stream chunks, classify batches, replicated model blobs) by packing
+// features as float32 instead of float64. Precision narrows to ~7
+// significant digits — well inside the paper's perturbation noise floor —
+// and the mode is negotiated per peer exactly like WithCompression: peers
+// that never advertised it keep receiving float64 frames. On the serving
+// side it is per group, riding each group's own session.
+func WithFloat32Payloads() Option {
+	return func(c *config) error {
+		c.float32Payloads = true
 		return nil
 	}
 }
@@ -444,6 +477,8 @@ func (s *Session) NewGroupClient(conn Conn, miner, group string) (*Client, error
 	if err != nil {
 		return nil, err
 	}
+	inner.SetWireOptions(protocol.WireOptions{
+		Compress: s.cfg.compress, Float32: s.cfg.float32Payloads})
 	return &Client{inner: inner, target: s.Target()}, nil
 }
 
@@ -491,11 +526,7 @@ func transformRecords(target *perturb.Perturbation, batch [][]float64) ([][]floa
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]float64, len(batch))
-	for i := range out {
-		out[i] = y.Col(i)
-	}
-	return out, nil
+	return y.Columns(), nil
 }
 
 // privacyOptimizerConfig maps the facade option set to the internal

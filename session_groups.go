@@ -104,6 +104,7 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 			RefitEvery: g.Session.cfg.refitEvery,
 			Workers:    g.Session.cfg.workers,
 			MaxBatch:   g.Session.cfg.maxBatch,
+			Float32:    g.Session.cfg.float32Payloads,
 			Members:    append([]string(nil), g.Members...),
 		})
 	}
@@ -119,6 +120,16 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 	for _, g := range groups {
 		if m := g.Session.cfg.metrics; m != nil {
 			cfg.Metrics = m
+			break
+		}
+	}
+	// Compression is likewise a property of the miner process (it gates
+	// what the service advertises and accepts), so any group's
+	// WithCompression turns it on service-wide; float32 payloads stay per
+	// group via each spec's Float32.
+	for _, g := range groups {
+		if g.Session.cfg.compress {
+			cfg.Compression = true
 			break
 		}
 	}
