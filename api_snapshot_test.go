@@ -1,0 +1,192 @@
+package sap
+
+// The public API snapshot pins the exported surface of the root package to a
+// golden file, so a PR that widens, narrows or reshapes the facade does so in
+// a reviewed diff of testdata/api.txt rather than by accident. Regenerate a
+// deliberately changed surface with:
+//
+//	SAP_UPDATE_API=1 go test -run TestPublicAPISnapshot .
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiGolden = "testdata/api.txt"
+
+func TestPublicAPISnapshot(t *testing.T) {
+	got := renderPublicAPI(t)
+	if os.Getenv("SAP_UPDATE_API") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", apiGolden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run with SAP_UPDATE_API=1 to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the surface drift line by line, in both directions.
+	gotSet, wantSet := lineSet(got), lineSet(string(want))
+	for line := range gotSet {
+		if !wantSet[line] {
+			t.Errorf("not in snapshot: %s", line)
+		}
+	}
+	for line := range wantSet {
+		if !gotSet[line] {
+			t.Errorf("gone from API:   %s", line)
+		}
+	}
+	t.Error("public API drifted from testdata/api.txt — if intended, regenerate with SAP_UPDATE_API=1 go test -run TestPublicAPISnapshot .")
+}
+
+func lineSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// renderPublicAPI parses the package's non-test sources and prints every
+// exported declaration — functions, methods on exported receivers, types
+// (with unexported members elided), consts and vars — one normalized line
+// each, sorted.
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["sap"]
+	if !ok {
+		t.Fatalf("package sap not found in %v", pkgs)
+	}
+
+	var entries []string
+	add := func(node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, regexp.MustCompile(`\s+`).ReplaceAllString(buf.String(), " "))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !ast.IsExported(d.Name.Name) || !exportedReceiver(d.Recv) {
+					continue
+				}
+				d.Body = nil
+				d.Doc = nil
+				add(d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !ast.IsExported(s.Name.Name) {
+							continue
+						}
+						elideUnexported(s.Type)
+						add(&ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{s}})
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if !ast.IsExported(name.Name) {
+								continue
+							}
+							entry := d.Tok.String() + " " + name.Name
+							if s.Type != nil {
+								var buf bytes.Buffer
+								if err := printer.Fprint(&buf, fset, s.Type); err != nil {
+									t.Fatal(err)
+								}
+								entry += " " + buf.String()
+							}
+							entries = append(entries, entry)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver (nil for plain
+// functions) names an exported type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	ident, ok := typ.(*ast.Ident)
+	return ok && ast.IsExported(ident.Name)
+}
+
+// elideUnexported drops unexported struct fields and interface methods from a
+// type expression, so internal layout changes don't churn the snapshot.
+func elideUnexported(expr ast.Expr) {
+	switch typ := expr.(type) {
+	case *ast.StructType:
+		typ.Fields.List = filterFields(typ.Fields.List)
+	case *ast.InterfaceType:
+		typ.Methods.List = filterFields(typ.Methods.List)
+	}
+}
+
+func filterFields(fields []*ast.Field) []*ast.Field {
+	kept := fields[:0]
+	for _, f := range fields {
+		if len(f.Names) == 0 { // embedded: keep, its name is its type
+			kept = append(kept, f)
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if ast.IsExported(n.Name) {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			f.Names = names
+			f.Doc, f.Comment = nil, nil
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) < len(fields) {
+		// Mark the elision so the snapshot reads honestly.
+		kept = append(kept, &ast.Field{
+			Names: []*ast.Ident{ast.NewIdent("_")},
+			Type:  ast.NewIdent("unexported"),
+		})
+	}
+	return kept
+}

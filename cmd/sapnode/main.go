@@ -110,6 +110,10 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve operational metrics over HTTP on this address: GET /metrics returns the JSON snapshot, GET /healthz liveness (empty disables)")
 		compress    = fs.Bool("compress", false, "negotiate DEFLATE-compressed service frames with capable peers (both ends must carry the flag; v6 peers keep classic frames)")
 		f32         = fs.Bool("f32", false, "pack record payloads (queries, stream chunks, replicated models) as float32, halving wire bytes at ~7 significant digits of precision; negotiated like -compress")
+		adminCmd    = fs.String("admin", "", "run one admin call against a live mining service instead of a role: register, evict or list (needs -miner and -admin-token; register reads -group, -data, -model and the serving knobs; evict reads -group)")
+		adminToken  = fs.String("admin-token", "", "admin control-plane token: a serving miner arms its admin interface with it, -admin calls authenticate with it (empty leaves the admin plane disabled)")
+		quotaRate   = fs.Float64("quota", 0, "per-group ingest quota in records per second for -admin register (0: unlimited)")
+		quotaBurst  = fs.Int("quota-burst", 0, "ingest quota burst cap in records for -admin register (0 selects the rate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,6 +174,17 @@ func run(args []string) error {
 	// protocol clients, the miner side turns it into the service's
 	// advertised capabilities.
 	wire := protocol.WireOptions{Compress: *compress, Float32: *f32}
+
+	// Admin mode is a role of its own: one authenticated control-plane call
+	// against a live mining service, then exit.
+	if *adminCmd != "" {
+		if *role != "" {
+			return fmt.Errorf("-admin conflicts with -role (an admin call is its own mode)")
+		}
+		return runAdmin(ctx, node, *adminCmd, *miner, *adminToken, *group,
+			*dataPath, *modelName, *refitEvery, *workers, *maxBatch, *f32,
+			protocol.GroupQuota{RecordsPerSec: *quotaRate, Burst: *quotaBurst})
+	}
 
 	switch *role {
 	case "provider":
@@ -249,9 +264,9 @@ func run(args []string) error {
 			if *clusterFlag != "" {
 				return serveCluster(node, *name, *clusterFlag, *clusterReps,
 					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery,
-					*failGrace, *antiEntropy, *serveFor, sink, wire)
+					*failGrace, *antiEntropy, *serveFor, sink, wire, *adminToken)
 			}
-			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire)
+			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
 		}
 		// Queries racing the tail of the SAP run are stashed so they
 		// neither trip the protocol's violation checks nor get lost; the
@@ -286,7 +301,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire)
+			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
 		}
 		return nil
 
@@ -300,7 +315,7 @@ func run(args []string) error {
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
 // answered first. A non-empty group serves the model under that group id
 // instead of the default group.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
@@ -311,7 +326,7 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 	conn.beginServe()
 	svc, err := protocol.NewGroupedMiningService(conn,
 		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model, Float32: wire.Float32}},
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress, AdminToken: adminToken})
 	if err != nil {
 		return err
 	}
@@ -348,13 +363,13 @@ func parseGroups(spec, modelName string, float32Payloads bool) ([]protocol.Group
 // serveGroups stands up one model shard per id=unified.csv pair and serves
 // all of them from this process — the many-contract deployment: each stored
 // unified dataset is an earlier contract's result in its own target space.
-func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
+func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	groups, err := parseGroups(spec, modelName, wire.Float32)
 	if err != nil {
 		return err
 	}
 	svc, err := protocol.NewGroupedMiningService(conn, groups,
-		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress})
+		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress, AdminToken: adminToken})
 	if err != nil {
 		return err
 	}
@@ -370,7 +385,7 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 // forwarded client traffic can reach them.
 func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas int,
 	groupsSpec, modelName string, workers, maxBatch, refitEvery int,
-	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions) error {
+	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	groups, err := parseGroups(groupsSpec, modelName, wire.Float32)
 	if err != nil {
 		return err
@@ -402,7 +417,7 @@ func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas in
 	}
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Name: name, Conn: node, Table: table, Groups: groups,
-		Service:          protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress},
+		Service:          protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress, AdminToken: adminToken},
 		FailoverGrace:    failGrace,
 		AntiEntropyEvery: antiEntropy})
 	if err != nil {
@@ -410,6 +425,103 @@ func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas in
 	}
 	return serveLoop(n, fmt.Sprintf("cluster node online (%s model): leading %v, following %v of %d groups; serving queries…",
 		modelName, n.Leads(), n.Follows(), len(groups)), d)
+}
+
+// runAdmin executes one authenticated control-plane call against the live
+// mining service named by -miner: register stands a new group up from a
+// stored target-space CSV (the model is fitted locally first, proving the
+// spec trains before it ships), evict retires a serving group, list prints
+// every hosted group. The service must have been armed with the same
+// -admin-token.
+func runAdmin(ctx context.Context, conn transport.Conn, cmd, miner, token, group,
+	dataPath, modelName string, refitEvery, workers, maxBatch int, float32Payloads bool,
+	quota protocol.GroupQuota) error {
+	if miner == "" {
+		return fmt.Errorf("-admin needs -miner (the service endpoint to administer)")
+	}
+	if token == "" {
+		return fmt.Errorf("-admin needs -admin-token")
+	}
+	admin, err := protocol.NewAdminClient(conn, miner, token)
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+
+	switch cmd {
+	case "register":
+		if group == "" {
+			return fmt.Errorf("-admin register needs -group (the new group's id)")
+		}
+		if dataPath == "" {
+			return fmt.Errorf("-admin register needs -data (the group's target-space training CSV)")
+		}
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		data, err := dataset.ReadCSV(f, dataPath)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		model, err := buildModel(modelName)
+		if err != nil {
+			return err
+		}
+		if err := model.Fit(data.Clone()); err != nil {
+			return fmt.Errorf("group %q model does not train on %s: %w", group, dataPath, err)
+		}
+		blob, err := classify.EncodeModel(model)
+		if err != nil {
+			return err
+		}
+		if err := admin.RegisterGroup(ctx, protocol.AdminGroupSpec{
+			ID: group, X: data.X, Y: data.Y, Model: blob,
+			RefitEvery: refitEvery, Workers: workers, MaxBatch: maxBatch,
+			Float32: float32Payloads, Quota: quota,
+		}); err != nil {
+			return fmt.Errorf("register %q: %w", group, err)
+		}
+		fmt.Printf("group %q registered on %s (%d records, %s model)\n",
+			group, miner, data.Len(), modelName)
+		return nil
+
+	case "evict":
+		if group == "" {
+			return fmt.Errorf("-admin evict needs -group")
+		}
+		if err := admin.EvictGroup(ctx, group); err != nil {
+			return fmt.Errorf("evict %q: %w", group, err)
+		}
+		fmt.Printf("group %q evicted from %s\n", group, miner)
+		return nil
+
+	case "list":
+		infos, err := admin.ListGroups(ctx)
+		if err != nil {
+			return fmt.Errorf("list groups: %w", err)
+		}
+		fmt.Printf("%s hosts %d group(s)\n", miner, len(infos))
+		for _, info := range infos {
+			line := fmt.Sprintf("  %s: workers=%d maxbatch=%d refit=%d ingested=%d",
+				info.ID, info.Workers, info.MaxBatch, info.RefitEvery, info.Ingested)
+			if info.Quota.RecordsPerSec > 0 {
+				line += fmt.Sprintf(" quota=%g/s", info.Quota.RecordsPerSec)
+			}
+			if info.SyncFrom != "" {
+				line += " sync-from=" + info.SyncFrom
+			}
+			if len(info.Members) > 0 {
+				line += " members=" + strings.Join(info.Members, "+")
+			}
+			fmt.Println(line)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -admin command %q (want register, evict or list)", cmd)
+	}
 }
 
 // serveLoop runs a built service until the duration elapses (or, when

@@ -43,6 +43,11 @@
 //     WithFailoverGrace the next-ranked replica assumes leadership —
 //     clients follow the freshest routing-table epoch and skip downed
 //     nodes for WithDownFor.
+//   - A dynamic control plane: with WithAdminToken armed, an Admin client
+//     (NewAdmin) registers, evicts, reconfigures and lists serving groups
+//     on a live miner — no restart — with per-group records/s ingest
+//     quotas (WithQuota, typed ErrQuota answered in one round trip) and a
+//     registered group immediately discoverable by cluster clients.
 //   - Operational metrics: WithMetrics plugs a registry of atomic
 //     counters, gauges and timing histograms into the serving and
 //     streaming layers — per-group requests, batch sizes, ingest volume,
@@ -118,7 +123,30 @@
 //	)
 //	// Each session's clients stamp its group; foreign peers get
 //	// ErrNotMember, unregistered groups ErrUnknownGroup.
-//	client, _ := hospitals.NewClient(clinicConn, "mining-service")
+//	client, _ := hospitals.NewClient(clinicConn,
+//		sap.ClientConfig{Miner: "mining-service"})
+//
+// # Operating a live miner
+//
+//	// Miner side: arm the control plane with a shared token.
+//	sess, _ := sap.Run(ctx, sap.WithParties(parties...),
+//		sap.WithAdminToken("hunter2"))
+//	go sess.Serve(ctx, svcConn, sap.NewKNN(5))
+//
+//	// Operator side: register a new group on the running service —
+//	// fitted locally, quota-limited, serving the moment the call returns.
+//	admin, _ := sap.NewAdmin(opConn, "mining-service", "hunter2")
+//	_ = admin.RegisterGroup(ctx, sap.GroupConfig{
+//		ID: "ward-c", Data: unified, Model: sap.NewKNN(5),
+//		Quota: sap.Quota{RecordsPerSec: 100, Burst: 200},
+//	})
+//	// ... and later retire it; its clients get ErrUnknownGroup.
+//	_ = admin.EvictGroup(ctx, "ward-c")
+//
+// Over-quota ingest bounces with a typed ErrQuota in a single round trip
+// (quota is policy — clients do not retry it) and counts under the group's
+// rejects.quota instrument. The same plane is scriptable as
+// `sapnode -admin register|evict|list`.
 //
 // # Watching a deployment
 //
@@ -150,7 +178,7 @@
 //
 //	// Provider side: batched queries, one round trip.
 //	cliConn, _ := net.Endpoint("clinic")
-//	client, _ := sess.NewClient(cliConn, "mining-service")
+//	client, _ := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 //	labels, _ := client.ClassifyBatch(ctx, queries)
 //
 // See examples/ for complete programs and ARCHITECTURE.md for the layer

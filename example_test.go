@@ -102,7 +102,7 @@ func ExampleRun() {
 		log.Fatal(err)
 	}
 	defer cliConn.Close()
-	client, err := sess.NewClient(cliConn, "mining-service")
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		log.Fatal(err)
 	}

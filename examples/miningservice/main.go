@@ -73,7 +73,7 @@ func run() error {
 		return err
 	}
 	defer cliConn.Close()
-	client, err := sess.NewClient(cliConn, "mining-service")
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		return err
 	}

@@ -94,7 +94,7 @@ func run() error {
 		return err
 	}
 	defer clinicConn.Close()
-	clinic, err := hospitals.NewClient(clinicConn, "mining-service")
+	clinic, err := hospitals.NewClient(clinicConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		return err
 	}
@@ -105,7 +105,7 @@ func run() error {
 		return err
 	}
 	defer cellarConn.Close()
-	cellar, err := vintners.NewClient(cellarConn, "mining-service")
+	cellar, err := vintners.NewClient(cellarConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		return err
 	}
@@ -137,7 +137,7 @@ func run() error {
 	// record reaches the model. (The first client is closed first — a
 	// connection's receive side belongs to one client at a time.)
 	clinic.Close()
-	trespass, err := hospitals.NewGroupClient(clinicConn, "mining-service", "vintners")
+	trespass, err := hospitals.NewClient(clinicConn, sap.ClientConfig{Miner: "mining-service", Group: "vintners"})
 	if err != nil {
 		return err
 	}

@@ -115,19 +115,20 @@ type Node struct {
 	svc     *protocol.MiningService
 	aeEvery time.Duration // <= 0: durability gossip disabled
 	grace   time.Duration // <= 0: failover disabled
-	hosted  []string      // hosted groups, table order (fixed for the node's lifetime)
-	// f32 marks the hosted groups opted into float32 wire payloads
-	// (GroupSpec.Float32): their model syncs ship packed-float32 blobs to
-	// replicas that advertise the capability. Immutable after construction.
-	f32 map[string]bool
 
-	// Dynamic cluster state, all guarded by mu: this node's per-group rows
+	// Dynamic cluster state, all guarded by mu: the hosted-group list (table
+	// order, grown and shrunk at runtime by the admin control plane's
+	// register/evict hooks), the float32 payload preference per hosted group
+	// (GroupSpec.Float32: their model syncs ship packed-float32 blobs to
+	// replicas that advertise the capability), this node's per-group rows
 	// (each carrying its own epoch; failover adoption replaces individual
 	// rows), the leader-side sequence/coverage counters, the handshake floor
 	// state, the replication queues and the per-followed-group
 	// leader-contact clocks. base is the construction-time table, served
 	// verbatim for the groups this node does not host.
 	mu      sync.Mutex
+	hosted  []string
+	f32     map[string]bool
 	base    []protocol.RouteEntry
 	rows    map[string]protocol.RouteEntry
 	seq     map[string]uint64
@@ -279,6 +280,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.noteSyncContact(group, from)
 	}
+	prevReg := svcCfg.OnGroupRegistered
+	svcCfg.OnGroupRegistered = func(group string, f32 bool) {
+		if prevReg != nil {
+			prevReg(group, f32)
+		}
+		n.addGroup(group, f32)
+	}
+	prevEvict := svcCfg.OnGroupEvicted
+	svcCfg.OnGroupEvicted = func(group string) {
+		if prevEvict != nil {
+			prevEvict(group)
+		}
+		n.dropGroup(group)
+	}
 	svc, err := protocol.NewGroupedMiningService(cfg.Conn, hosted, svcCfg)
 	if err != nil {
 		return nil, err
@@ -328,6 +343,64 @@ func copyRow(e protocol.RouteEntry) protocol.RouteEntry {
 // Name returns the node's endpoint name.
 func (n *Node) Name() string { return n.name }
 
+// addGroup folds a runtime-registered group (the admin control plane's
+// OnGroupRegistered hook) into the node's cluster state: this node leads it
+// with no replicas, under a row epoch above every row this node serves, so
+// the new row outranks any stale assignment a peer or client may hold and
+// spreads through the existing gossip/refresh machinery — clients discover
+// the group on their next routes refresh, without any restart.
+func (n *Node) addGroup(group string, f32 bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var max uint64
+	for _, e := range n.base {
+		if e.Epoch > max {
+			max = e.Epoch
+		}
+	}
+	for _, row := range n.rows {
+		if row.Epoch > max {
+			max = row.Epoch
+		}
+	}
+	n.rows[group] = protocol.RouteEntry{Group: group, Node: n.name, Epoch: max + 1}
+	if !contains(n.hosted, group) {
+		n.hosted = append(n.hosted, group)
+	}
+	if n.lagBase[group] == nil {
+		n.lagBase[group] = &atomic.Int64{}
+	}
+	n.f32[group] = f32
+	// No replicas yet, so there is no installed numbering to handshake with:
+	// publishes start floored.
+	n.floored[group] = true
+}
+
+// dropGroup retires an evicted group (the admin control plane's
+// OnGroupEvicted hook) from the node's cluster state. The routing row goes
+// with it; a client still holding the stale row gets ErrUnknownGroup from
+// the shard-less service, exactly as the admin contract promises.
+func (n *Node) dropGroup(group string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.rows, group)
+	delete(n.seq, group)
+	delete(n.covered, group)
+	delete(n.modelSeq, group)
+	delete(n.modelCov, group)
+	delete(n.floored, group)
+	delete(n.floorBy, group)
+	delete(n.pending, group)
+	delete(n.repush, group)
+	delete(n.lastSync, group)
+	delete(n.contact, group)
+	delete(n.lagBase, group)
+	delete(n.f32, group)
+	if i := indexOf(n.hosted, group); i >= 0 {
+		n.hosted = append(n.hosted[:i], n.hosted[i+1:]...)
+	}
+}
+
 // Service exposes the node's underlying MiningService (ingest totals, group
 // listing) for operators and tests.
 func (n *Node) Service() *protocol.MiningService { return n.svc }
@@ -339,11 +412,15 @@ func (n *Node) Epoch() uint64 {
 	defer n.mu.Unlock()
 	var max uint64
 	for _, e := range n.base {
-		if row, ok := n.rows[e.Group]; ok {
-			e = row
-		}
 		if e.Epoch > max {
 			max = e.Epoch
+		}
+	}
+	// Hosted rows cover both overlays of base rows and runtime-registered
+	// groups with no base row at all.
+	for _, row := range n.rows {
+		if row.Epoch > max {
+			max = row.Epoch
 		}
 	}
 	return max
@@ -390,14 +467,28 @@ func (n *Node) routesSnapshot() ([]protocol.RouteEntry, uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	entries := make([]protocol.RouteEntry, 0, len(n.base))
+	seen := make(map[string]bool, len(n.base))
 	var max uint64
 	for _, e := range n.base {
 		if row, ok := n.rows[e.Group]; ok {
 			e = row
 		}
+		seen[e.Group] = true
 		entries = append(entries, e)
 		if e.Epoch > max {
 			max = e.Epoch
+		}
+	}
+	// Runtime-registered groups have no base row; serve their live rows after
+	// the table, in registration order.
+	for _, g := range n.hosted {
+		row, ok := n.rows[g]
+		if !ok || seen[g] {
+			continue
+		}
+		entries = append(entries, row)
+		if row.Epoch > max {
+			max = row.Epoch
 		}
 	}
 	return entries, max
@@ -421,22 +512,28 @@ func (n *Node) noteSyncContact(group, from string) {
 // the last fully replicated models do not cover. Zero means followers serve
 // fits as fresh as the leader's.
 func (n *Node) replicaLag() int64 {
+	type lagRow struct {
+		row  protocol.RouteEntry
+		base *atomic.Int64
+	}
 	n.mu.Lock()
-	rows := make([]protocol.RouteEntry, 0, len(n.hosted))
+	rows := make([]lagRow, 0, len(n.hosted))
 	for _, g := range n.hosted {
-		rows = append(rows, n.rows[g])
+		// The pointer is captured under the lock: a concurrent evict deletes
+		// the map entry, never the counter it pointed to.
+		rows = append(rows, lagRow{row: n.rows[g], base: n.lagBase[g]})
 	}
 	n.mu.Unlock()
 	var lag int64
-	for _, row := range rows {
-		if row.Node != n.name || len(row.Replicas) == 0 {
+	for _, r := range rows {
+		if r.row.Node != n.name || len(r.row.Replicas) == 0 || r.base == nil {
 			continue
 		}
-		ingested, err := n.svc.GroupIngested(row.Group)
+		ingested, err := n.svc.GroupIngested(r.row.Group)
 		if err != nil {
 			continue
 		}
-		if d := int64(ingested) - n.lagBase[row.Group].Load(); d > 0 {
+		if d := int64(ingested) - r.base.Load(); d > 0 {
 			lag += d
 		}
 	}
@@ -555,9 +652,10 @@ func (n *Node) publishPending(ctx context.Context) {
 	n.pending = make(map[string]pendingSync)
 	rep := n.repush
 	n.repush = make(map[string]map[string]struct{})
+	hosted := append([]string(nil), n.hosted...)
 	n.mu.Unlock()
 
-	for _, group := range n.hosted { // table order, for determinism
+	for _, group := range hosted { // table order, for determinism
 		ps, ok := batch[group]
 		if !ok {
 			continue
@@ -566,7 +664,7 @@ func (n *Node) publishPending(ctx context.Context) {
 		row := n.rows[group]
 		if row.Node != n.name || len(row.Replicas) == 0 {
 			n.mu.Unlock()
-			continue // demoted between enqueue and publish
+			continue // demoted (or evicted) between enqueue and publish
 		}
 		if !n.floored[group] && now.Before(n.floorBy[group]) {
 			// Handshake pending: park the model (unless a fresher one has
@@ -590,9 +688,11 @@ func (n *Node) publishPending(ctx context.Context) {
 		n.modelSeq[group] = seq
 		n.modelCov[group] = cov
 		replicas := append([]string(nil), row.Replicas...)
+		f32 := n.f32[group]
+		lagBase := n.lagBase[group]
 		n.mu.Unlock()
 
-		blobs := newSyncBlobs(ps.model, n.f32[group])
+		blobs := newSyncBlobs(ps.model, f32)
 		blob, err := blobs.plain()
 		if err != nil {
 			n.mSyncErrors.Inc()
@@ -603,7 +703,7 @@ func (n *Node) publishPending(ctx context.Context) {
 			// Frame per the replica's advertised capabilities: compression
 			// when both sides opted in, and the packed-float32 blob (half the
 			// bytes) when the group opted in and the replica accepts it.
-			opts := n.svc.FrameOptsFor(replica, n.f32[group])
+			opts := n.svc.FrameOptsFor(replica, f32)
 			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
 			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
 			scancel()
@@ -615,8 +715,8 @@ func (n *Node) publishPending(ctx context.Context) {
 			n.mSyncPublished.Inc()
 			n.noteSyncSent(group, replica)
 		}
-		if allSent {
-			n.lagBase[group].Store(ps.ingested)
+		if allSent && lagBase != nil {
+			lagBase.Store(ps.ingested)
 		}
 	}
 
@@ -632,6 +732,7 @@ func (n *Node) publishPending(ctx context.Context) {
 		row := n.rows[group]
 		seq := n.modelSeq[group]
 		cov := n.modelCov[group]
+		f32 := n.f32[group]
 		n.mu.Unlock()
 		if row.Node != n.name || seq == 0 {
 			continue
@@ -640,7 +741,7 @@ func (n *Node) publishPending(ctx context.Context) {
 		if err != nil {
 			continue
 		}
-		blobs := newSyncBlobs(model, n.f32[group])
+		blobs := newSyncBlobs(model, f32)
 		blob, err := blobs.plain()
 		if err != nil {
 			n.mSyncErrors.Inc()
@@ -650,7 +751,7 @@ func (n *Node) publishPending(ctx context.Context) {
 			if !contains(row.Replicas, replica) {
 				continue
 			}
-			opts := n.svc.FrameOptsFor(replica, n.f32[group])
+			opts := n.svc.FrameOptsFor(replica, f32)
 			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
 			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
 			scancel()
@@ -713,7 +814,10 @@ func (b *syncBlobs) forOpts(opts protocol.FrameOpts, plain []byte) []byte {
 // this node's capability mask, so fire-and-forget gossip keeps teaching
 // peers what this node accepts even though no response flows back).
 func (n *Node) gossipOpts(peer, group string) protocol.FrameOpts {
-	return n.svc.FrameOptsFor(peer, n.f32[group])
+	n.mu.Lock()
+	f32 := n.f32[group]
+	n.mu.Unlock()
+	return n.svc.FrameOptsFor(peer, f32)
 }
 
 // noteSyncSent stamps the last model-sync send to one replica (see lastSync).

@@ -1,0 +1,158 @@
+package protocol
+
+// Capability-mask TTL: a peer's advertised wire capabilities are honored only
+// as long as they keep being re-observed. A peer downgraded in place (rolled
+// back to a classic-only binary) goes silent on the capability channel, and
+// both halves — client and service — must stop sending it flagged v7 frames
+// once the last advertisement ages out.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/transport"
+)
+
+// TestClientCapTTLDowngradedMiner is the downgrade e2e: a client negotiates
+// flagged frames with a capable service, the service is then replaced in
+// place by a legacy (v6-framed, never-advertising) miner double, and after
+// the capability TTL passes the client's next frame is classic again — the
+// legacy peer, which would reject a flagged frame, never receives one.
+func TestClientCapTTLDowngradedMiner(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	raw, _ := net.Endpoint("client")
+	clientConn := &sniffConn{Conn: raw}
+	defer clientConn.Close()
+
+	_, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 8), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true})
+
+	client, err := NewGroupServiceClient(clientConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	const ttl = 150 * time.Millisecond
+	client.SetWireOptions(WireOptions{Compress: true, CapTTL: ttl})
+
+	ctx := testCtx(t)
+	for i := 0; i < 2; i++ {
+		if _, err := client.ClassifyBatch(ctx, [][]float64{{0.3}}); err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+	}
+	frames := clientConn.frames()
+	if len(frames) != 2 || frames[1][0] != serviceWireFlaggedVersion {
+		t.Fatalf("negotiation frames = %v, want the second flagged v%d",
+			frames, serviceWireFlaggedVersion)
+	}
+
+	// Downgrade in place: the capable service goes away and a legacy binary
+	// takes over the same endpoint. It advertises nothing and fails the test
+	// if a flagged frame ever reaches it.
+	stop()
+	svcConn.Close()
+	legacyConn, err := net.Endpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopLegacy := startLegacyMiner(t, legacyConn)
+	defer stopLegacy()
+
+	// Past the TTL the stale mask counts as zero: the next frame must be
+	// classic, which the legacy peer answers without trouble.
+	time.Sleep(ttl + 50*time.Millisecond)
+	if _, err := client.ClassifyBatch(ctx, [][]float64{{0.3}}); err != nil {
+		t.Fatalf("classify against the downgraded miner: %v", err)
+	}
+	frames = clientConn.frames()
+	last := frames[len(frames)-1]
+	if last[0] != serviceWireClassicVersion {
+		t.Fatalf("post-TTL frame is v%d, want classic v%d", last[0], serviceWireClassicVersion)
+	}
+}
+
+// TestClientCapTTLRefreshedByTraffic checks the inverse: an active peer never
+// expires, because every response refreshes the stamp. Requests spaced inside
+// the TTL keep riding flagged frames indefinitely.
+func TestClientCapTTLRefreshedByTraffic(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	raw, _ := net.Endpoint("client")
+	clientConn := &sniffConn{Conn: raw}
+	defer clientConn.Close()
+
+	_, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 8), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true})
+	defer stop()
+
+	client, err := NewGroupServiceClient(clientConn, "svc", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetWireOptions(WireOptions{Compress: true, CapTTL: 200 * time.Millisecond})
+
+	ctx := testCtx(t)
+	for i := 0; i < 4; i++ {
+		if _, err := client.ClassifyBatch(ctx, [][]float64{{0.3}}); err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+		time.Sleep(80 * time.Millisecond) // well inside the TTL
+	}
+	frames := clientConn.frames()
+	for i, h := range frames[1:] {
+		if h[0] != serviceWireFlaggedVersion {
+			t.Fatalf("frame %d is v%d, want flagged — traffic inside the TTL must keep the mask fresh",
+				i+1, h[0])
+		}
+	}
+}
+
+// TestServiceCapTTLExpiry checks the service half: a gossiped capability mask
+// ages out after ServiceConfig.CapTTL, so replication toward a peer that
+// stopped advertising falls back to classic frames.
+func TestServiceCapTTLExpiry(t *testing.T) {
+	net := transport.NewMemNetwork()
+	svcConn, _ := net.Endpoint("svc")
+	defer svcConn.Close()
+	peerConn, _ := net.Endpoint("peer")
+	defer peerConn.Close()
+
+	const ttl = 150 * time.Millisecond
+	svc, stop := startGroupedService(t, svcConn, []GroupSpec{{
+		ID: "alpha", Unified: labelledLine(t, 4), Model: classify.NewKNN(1)}},
+		ServiceConfig{Compression: true, CapTTL: ttl})
+	defer stop()
+
+	ctx := testCtx(t)
+	row := RouteEntry{Group: "alpha", Node: "peer"}
+	if err := SendSyncHello(ctx, peerConn, "svc", "alpha", 1, 1, 0, row,
+		FrameOpts{accept: acceptDeflate | acceptFloat32}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if opts := svc.FrameOptsFor("peer", true); opts.Compress && opts.Float32 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never recorded the gossiped capability mask")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The peer goes silent; past the TTL its mask counts as zero.
+	time.Sleep(ttl + 50*time.Millisecond)
+	if opts := svc.FrameOptsFor("peer", true); opts.Compress || opts.Float32 {
+		t.Fatalf("expired peer still resolves to %+v, want classic", opts)
+	}
+	if mask := svc.PeerAccept("peer"); mask != 0 {
+		t.Fatalf("expired peer mask = %#x, want 0", mask)
+	}
+}

@@ -36,6 +36,22 @@ func FuzzDecodeFrame(f *testing.F) {
 		Model: []byte{'C', 0xde, 0xad, 0xbe, 0xef}}
 	notLeader := &serviceWire{ID: 13, Kind: kindIngest, Group: "alpha", Response: true,
 		Code: codeNotLeader, Err: `group "alpha" is a read replica synced from "n1"`}
+	// The v8 admin control plane, request and response shapes.
+	adminRegister := &serviceWire{ID: 17, Kind: kindAdminRegister, Group: "gamma",
+		Token: "tok", Spec: &AdminGroupSpec{ID: "gamma", X: [][]float64{{0.5}}, Y: []int{1},
+			Model: []byte{'K', 0x01, 0x02}, Quota: GroupQuota{RecordsPerSec: 10, Burst: 20}}}
+	adminEvict := &serviceWire{ID: 18, Kind: kindAdminEvict, Group: "gamma", Token: "tok"}
+	adminUpdate := &serviceWire{ID: 19, Kind: kindAdminUpdate, Group: "gamma", Token: "tok",
+		Update: &AdminUpdate{SetQuota: true, Quota: GroupQuota{RecordsPerSec: 5}, SetMembers: true, Members: []string{"dp1"}}}
+	adminList := &serviceWire{ID: 20, Kind: kindAdminList, Token: "tok"}
+	adminBadToken := &serviceWire{ID: 21, Kind: kindAdminList, Token: "not-the-token"}
+	adminDenied := &serviceWire{ID: 21, Kind: kindAdminList, Response: true,
+		Code: codeAdminDenied, Err: "bad admin token"}
+	adminInfos := &serviceWire{ID: 20, Kind: kindAdminList, Response: true,
+		Infos: []AdminGroupInfo{{ID: "gamma", Workers: 2, MaxBatch: 64,
+			Quota: GroupQuota{RecordsPerSec: 10}, Ingested: 7}}}
+	quotaReject := &serviceWire{ID: 22, Kind: kindIngest, Group: "gamma", Response: true,
+		Code: codeQuota, Err: `group "gamma" ingest quota exhausted`}
 	flagged := func(w *serviceWire, o frameOpts) []byte {
 		payload, err := encodeServiceFrame(w, o)
 		if err != nil {
@@ -44,7 +60,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		return payload
 	}
 	for _, w := range []*serviceWire{classify, ingest, response, rejection,
-		routesReq, routesResp, modelSync, notLeader} {
+		routesReq, routesResp, modelSync, notLeader,
+		adminRegister, adminEvict, adminUpdate, adminList, adminBadToken,
+		adminDenied, adminInfos, quotaReject} {
 		for _, version := range []byte{1, 2, 3, 4, serviceWireClassicVersion} {
 			f.Add(seed(w, version))
 		}
@@ -63,10 +81,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte("not a service frame"))                                     // foreign payload
 	f.Add(bytes.Repeat([]byte{serviceMagic, serviceWireClassicVersion}, 64)) // garbage gob body
 	compressed := flagged(classify, frameOpts{deflate: true, f32: true})
-	f.Add(compressed[:len(compressed)-3])                 // torn deflate stream
-	f.Add([]byte{serviceMagic, ServiceWireVersion})       // v7 header without flags
-	f.Add([]byte{serviceMagic, ServiceWireVersion, 0xFF}) // unknown flag bits
-	f.Add([]byte{serviceMagic, ServiceWireVersion, 0x01}) // deflate flag, empty body
+	f.Add(compressed[:len(compressed)-3]) // torn deflate stream
+	regFrame := seed(adminRegister, ServiceWireVersion)
+	f.Add(regFrame[:len(regFrame)/2])                            // truncated admin register
+	f.Add(regFrame[:len(regFrame)-1])                            // admin register missing a byte
+	f.Add(seed(adminEvict, serviceWireClassicVersion))           // admin kind on a pre-v8 version byte
+	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion})       // v7 header without flags
+	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion, 0xFF}) // unknown flag bits
+	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion, 0x01}) // deflate flag, empty body
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		w, err := decodeServiceWire(payload)

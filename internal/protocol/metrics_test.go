@@ -61,18 +61,18 @@ func TestPerGroupWorkersAndMaxBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inherit.workers != 3 || inherit.maxBatch != 100 {
+	if inherit.workers != 3 || inherit.limits.Load().maxBatch != 100 {
 		t.Fatalf("inheriting shard got workers=%d maxBatch=%d, want 3/100",
-			inherit.workers, inherit.maxBatch)
+			inherit.workers, inherit.limits.Load().maxBatch)
 	}
 	override, err := newModelShard(
 		GroupSpec{ID: "o", Unified: d, Model: classify.NewKNN(1), Workers: 1, MaxBatch: 2}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if override.workers != 1 || override.maxBatch != 2 {
+	if override.workers != 1 || override.limits.Load().maxBatch != 2 {
 		t.Fatalf("overriding shard got workers=%d maxBatch=%d, want 1/2",
-			override.workers, override.maxBatch)
+			override.workers, override.limits.Load().maxBatch)
 	}
 }
 

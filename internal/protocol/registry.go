@@ -101,6 +101,17 @@ type GroupSpec struct {
 	// noise floor dwarfs the quantization error), but the opt-in is per
 	// group so precision-sensitive contracts stay on float64.
 	Float32 bool
+	// QueueDepth overrides the depth of the group's bounded ingest and
+	// classify queues (0 selects shardIngestQueueDepth and
+	// shardJobQueueDepth). Deeper queues absorb burstier traffic before the
+	// busy rejection fires; shallower ones fail faster.
+	QueueDepth int
+	// Quota rate-limits the group's ingest: chunks beyond the
+	// records-per-second token bucket answer a typed ErrQuota within one
+	// round trip (rejects.quota), before they ever occupy queue space. The
+	// zero value is unlimited. Updatable at runtime through the admin
+	// control plane.
+	Quota GroupQuota
 }
 
 // modelShard is one group's independent serving state. The served model
@@ -112,12 +123,20 @@ type GroupSpec struct {
 // loop and the shard is bounded and fail-fast: when it is full, the frame
 // is answered with a typed busy rejection instead of stalling the loop.
 type modelShard struct {
-	id         string
-	dim        int
-	maxBatch   int
-	refitEvery int
-	workers    int
-	members    map[string]struct{} // nil: open to any peer
+	id      string
+	dim     int
+	workers int
+	// queueDepth is the capacity both bounded queues were built with and f32
+	// the group's float32-payload preference; fixed for the shard's lifetime
+	// (unlike limits), reported by the admin list.
+	queueDepth int
+	f32        bool
+	// limits holds the shard's updatable serving limits — batch cap, refit
+	// cadence, members ACL, ingest quota — behind one atomic pointer: the
+	// admin control plane replaces the whole bundle in place while workers
+	// load it once per frame, lock-free, the same publish discipline the
+	// model itself uses.
+	limits atomic.Pointer[shardLimits]
 	// syncFrom is the leader endpoint this shard replicates from; empty for
 	// ordinary leader shards (see GroupSpec.SyncFrom). Behind an atomic
 	// pointer because failover flips roles at runtime (SetGroupLead /
@@ -187,6 +206,15 @@ type modelShard struct {
 	// be exercised.
 	ingestHold chan struct{}
 
+	// Per-shard goroutine accounting, so a single shard can be drained and
+	// stopped (admin evict) without touching its siblings: stop() closes the
+	// ingest queue first and waits it drained — queued chunks still fold in
+	// — then retires the refit and prediction goroutines.
+	workerWg sync.WaitGroup
+	ingestWg sync.WaitGroup
+	refitWg  sync.WaitGroup
+	stopOnce sync.Once
+
 	// Instruments, resolved once at construction under the group's metric
 	// namespace "service.<id>." so the hot path is a single atomic update.
 	mRequests      metrics.Counter   // classify frames answered
@@ -204,6 +232,65 @@ type modelShard struct {
 	mSyncInstalls  metrics.Counter   // model syncs installed (replicas only)
 	mSyncRejects   metrics.Counter   // model syncs refused (stale seq, bad blob)
 	mSyncSeq       metrics.Gauge     // sequence of the last installed sync
+	mQuota         metrics.Counter   // ingest frames refused by the group quota
+	mRefitRetries  metrics.Counter   // failed refits re-attempted by the retry timer
+}
+
+// shardLimits is the updatable half of a shard's configuration, published as
+// one immutable bundle (see modelShard.limits).
+type shardLimits struct {
+	maxBatch   int
+	refitEvery int
+	members    map[string]struct{} // nil: open to any peer
+	quota      *tokenBucket        // nil: unlimited
+	quotaCfg   GroupQuota          // the quota as configured, for admin listing
+}
+
+// applyUpdate publishes a new limits bundle per the update's Set flags.
+// Called only with the service's receive loop as the single writer (admin
+// updates are handled inline on it), so a plain load-copy-store suffices.
+func (sh *modelShard) applyUpdate(u *AdminUpdate) error {
+	next := *sh.limits.Load()
+	if u.SetMaxBatch {
+		if u.MaxBatch <= 0 {
+			return fmt.Errorf("group %q: non-positive batch cap %d", sh.id, u.MaxBatch)
+		}
+		next.maxBatch = u.MaxBatch
+	}
+	if u.SetRefitEvery {
+		if u.RefitEvery > 0 && sh.newModel == nil {
+			return fmt.Errorf("group %q cannot refit: no model factory or cloner", sh.id)
+		}
+		next.refitEvery = u.RefitEvery
+	}
+	if u.SetMembers {
+		members, err := memberSet(sh.id, u.Members)
+		if err != nil {
+			return err
+		}
+		next.members = members
+	}
+	if u.SetQuota {
+		next.quota = newTokenBucket(u.Quota)
+		next.quotaCfg = u.Quota
+	}
+	sh.limits.Store(&next)
+	return nil
+}
+
+// memberSet builds a Members ACL lookup set; empty input means no ACL (nil).
+func memberSet(group string, members []string) (map[string]struct{}, error) {
+	if len(members) == 0 {
+		return nil, nil
+	}
+	set := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("group %q has an empty member name", group)
+		}
+		set[m] = struct{}{}
+	}
+	return set, nil
 }
 
 // refitJob is one snapshot handoff from the ingest goroutine to the refit
@@ -232,6 +319,9 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	}
 	if spec.MaxBatch < 0 {
 		return nil, fmt.Errorf("%w: group %q has a negative batch cap %d", ErrBadConfig, spec.ID, spec.MaxBatch)
+	}
+	if spec.QueueDepth < 0 {
+		return nil, fmt.Errorf("%w: group %q has a negative queue depth %d", ErrBadConfig, spec.ID, spec.QueueDepth)
 	}
 	refitEvery := spec.RefitEvery
 	if refitEvery == 0 {
@@ -276,28 +366,25 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if maxBatch == 0 {
 		maxBatch = cfg.MaxBatch
 	}
-	var members map[string]struct{}
-	if len(spec.Members) > 0 {
-		members = make(map[string]struct{}, len(spec.Members))
-		for _, m := range spec.Members {
-			if m == "" {
-				return nil, fmt.Errorf("%w: group %q has an empty member name", ErrBadConfig, spec.ID)
-			}
-			members[m] = struct{}{}
-		}
+	members, err := memberSet(spec.ID, spec.Members)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	ingestDepth, jobDepth := shardIngestQueueDepth, shardJobQueueDepth
+	if spec.QueueDepth > 0 {
+		ingestDepth, jobDepth = spec.QueueDepth, spec.QueueDepth
 	}
 	ns := "service." + spec.ID + "."
 	sh := &modelShard{
 		id:         spec.ID,
 		dim:        training.Dim(),
-		maxBatch:   maxBatch,
-		refitEvery: refitEvery,
 		workers:    workers,
-		members:    members,
+		queueDepth: ingestDepth,
+		f32:        spec.Float32,
 		newModel:   newModel,
 		training:   training,
-		jobs:       make(chan serviceJob, shardJobQueueDepth),
-		ingestQ:    make(chan serviceJob, shardIngestQueueDepth),
+		jobs:       make(chan serviceJob, jobDepth),
+		ingestQ:    make(chan serviceJob, ingestDepth),
 		refitQ:     make(chan refitJob, 1),
 
 		mRequests:      cfg.Metrics.Counter(ns + "requests"),
@@ -315,7 +402,16 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		mSyncInstalls:  cfg.Metrics.Counter(ns + "sync.installs"),
 		mSyncRejects:   cfg.Metrics.Counter(ns + "sync.rejects"),
 		mSyncSeq:       cfg.Metrics.Gauge(ns + "sync.seq"),
+		mQuota:         cfg.Metrics.Counter(ns + "rejects.quota"),
+		mRefitRetries:  cfg.Metrics.Counter(ns + "refit.retries"),
 	}
+	sh.limits.Store(&shardLimits{
+		maxBatch:   maxBatch,
+		refitEvery: refitEvery,
+		members:    members,
+		quota:      newTokenBucket(spec.Quota),
+		quotaCfg:   spec.Quota,
+	})
 	if cfg.OnModelSwap != nil {
 		hook, group := cfg.OnModelSwap, spec.ID
 		sh.onSwap = func(m classify.Classifier) { hook(group, m) }
@@ -332,11 +428,30 @@ func (sh *modelShard) leader() string { return *sh.syncFrom.Load() }
 
 // admits reports whether the named peer may address this group.
 func (sh *modelShard) admits(peer string) bool {
-	if sh.members == nil {
+	members := sh.limits.Load().members
+	if members == nil {
 		return true
 	}
-	_, ok := sh.members[peer]
+	_, ok := members[peer]
 	return ok
+}
+
+// stop drains and retires the shard's lanes: the ingest queue closes and
+// drains first — queued chunks still fold in and answer — then the refit
+// and prediction goroutines finish their queues and exit. Idempotent. Must
+// not be called while new dispatches can still reach the shard (the caller
+// removes it from the routing map first, under the service's write lock).
+func (sh *modelShard) stop() {
+	sh.stopOnce.Do(func() {
+		close(sh.ingestQ)
+		sh.ingestWg.Wait()
+		// The ingest goroutine is the only refit scheduler; with it drained
+		// the refit queue can close, and a scheduled refit still completes.
+		close(sh.refitQ)
+		close(sh.jobs)
+		sh.workerWg.Wait()
+		sh.refitWg.Wait()
+	})
 }
 
 // MiningService is the miner-side classification endpoint: one model shard
@@ -357,25 +472,47 @@ func (sh *modelShard) admits(peer string) bool {
 // overflow is answered with a typed busy rejection instead of stalling the
 // shared receive loop.
 type MiningService struct {
-	conn   transport.Conn
-	cfg    ServiceConfig
-	shards map[string]*modelShard // immutable after construction
-	order  []string               // registration order, for Groups()
+	conn transport.Conn
+	cfg  ServiceConfig
+
+	// mu guards the shard registry (shards, order) and the serve-lifecycle
+	// flags: the receive loop holds the read lock across route + dispatch
+	// (both non-blocking), while the admin control plane takes the write
+	// lock to insert or remove a shard — so an evicted shard's queues close
+	// only after every in-flight dispatch to it has finished.
+	mu       sync.RWMutex
+	shards   map[string]*modelShard
+	order    []string // registration order, for Groups()
+	stopping bool     // set by shutdown; registers are refused past it
+
+	// out is the response channel into the single sender goroutine, set by
+	// Serve before any shard starts; admin goroutines respond through it.
+	out chan serviceOut
+	// adminWg tracks in-flight admin register/evict goroutines so shutdown
+	// waits them out before closing out.
+	adminWg sync.WaitGroup
 
 	// routes is the cluster routing table served to kindRoutes requests
 	// (ServiceConfig.Routes, copied at construction; empty when standalone).
 	routes []RouteEntry
 
 	// peerCaps records the last wire-capability mask (serviceWire.Accept)
-	// each peer advertised, keyed by transport endpoint name. The serve loop
-	// writes it for every decoded frame carrying a non-zero mask; the
-	// response path and the cluster layer (FrameOptsFor) read it to decide
-	// which peers may be sent v7 compressed/float32 frames.
-	peerCaps sync.Map // string -> uint8
+	// each peer advertised, keyed by transport endpoint name, stamped with
+	// when it was seen (masks older than cfg.CapTTL count as zero). The
+	// serve loop writes it for every decoded frame carrying a non-zero
+	// mask; the response path and the cluster layer (FrameOptsFor) read it
+	// to decide which peers may be sent v7 compressed/float32 frames.
+	peerCaps sync.Map // string -> capStamp
 
 	// mUnknownGroup counts frames addressed to groups this service does not
 	// host — the one rejection with no shard namespace to land in.
 	mUnknownGroup metrics.Counter
+	// Admin control-plane instruments (service-wide).
+	mAdminRegisters metrics.Counter // groups registered at runtime
+	mAdminEvicts    metrics.Counter // groups evicted at runtime
+	mAdminUpdates   metrics.Counter // in-place limit updates applied
+	mAdminLists     metrics.Counter // list requests answered
+	mAdminDenied    metrics.Counter // admin frames refused authentication
 }
 
 // NewMiningService trains the given classifier on the miner's unified
@@ -398,10 +535,15 @@ func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg Servic
 	}
 	cfg = cfg.withDefaults()
 	s := &MiningService{
-		conn:          conn,
-		cfg:           cfg,
-		shards:        make(map[string]*modelShard, len(groups)),
-		mUnknownGroup: cfg.Metrics.Counter("service.rejects.unknown_group"),
+		conn:            conn,
+		cfg:             cfg,
+		shards:          make(map[string]*modelShard, len(groups)),
+		mUnknownGroup:   cfg.Metrics.Counter("service.rejects.unknown_group"),
+		mAdminRegisters: cfg.Metrics.Counter("service.admin.registers"),
+		mAdminEvicts:    cfg.Metrics.Counter("service.admin.evicts"),
+		mAdminUpdates:   cfg.Metrics.Counter("service.admin.updates"),
+		mAdminLists:     cfg.Metrics.Counter("service.admin.lists"),
+		mAdminDenied:    cfg.Metrics.Counter("service.admin.denied"),
 	}
 	for _, r := range cfg.Routes {
 		s.routes = append(s.routes, RouteEntry{
@@ -422,13 +564,32 @@ func NewGroupedMiningService(conn transport.Conn, groups []GroupSpec, cfg Servic
 	return s, nil
 }
 
-// Groups returns the hosted group IDs in registration order.
-func (s *MiningService) Groups() []string { return append([]string(nil), s.order...) }
+// Groups returns the hosted group IDs in registration order. Safe to call
+// concurrently with Serve; the admin control plane may grow or shrink the
+// set at runtime.
+func (s *MiningService) Groups() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// shard looks a hosted group's shard up under the registry lock.
+func (s *MiningService) shard(group string) (*modelShard, error) {
+	s.mu.RLock()
+	sh, ok := s.shards[group]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return sh, nil
+}
 
 // Ingested returns the number of streamed records folded into training sets
 // so far, summed over all groups. It is safe to call concurrently with
 // Serve.
 func (s *MiningService) Ingested() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := 0
 	for _, sh := range s.shards {
 		total += int(sh.ingested.Load())
@@ -439,9 +600,9 @@ func (s *MiningService) Ingested() int {
 // GroupIngested returns one group's lifetime ingest count. It is safe to
 // call concurrently with Serve.
 func (s *MiningService) GroupIngested(group string) (int, error) {
-	sh, ok := s.shards[group]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return 0, err
 	}
 	return int(sh.ingested.Load()), nil
 }
@@ -451,9 +612,9 @@ func (s *MiningService) GroupIngested(group string) (int, error) {
 // callers may encode it concurrently with serving; the cluster layer does,
 // for anti-entropy re-pushes.
 func (s *MiningService) GroupModel(group string) (classify.Classifier, error) {
-	sh, ok := s.shards[group]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return nil, err
 	}
 	return *sh.model.Load(), nil
 }
@@ -463,9 +624,9 @@ func (s *MiningService) GroupModel(group string) (classify.Classifier, error) {
 // numbering at the sequences its replicas report. Safe to call concurrently
 // with Serve.
 func (s *MiningService) GroupSyncSeq(group string) (uint64, error) {
-	sh, ok := s.shards[group]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return 0, err
 	}
 	return sh.syncSeq.Load(), nil
 }
@@ -473,9 +634,9 @@ func (s *MiningService) GroupSyncSeq(group string) (uint64, error) {
 // GroupSyncCovered returns the leader ingest count the group's last
 // installed sync covered. Safe to call concurrently with Serve.
 func (s *MiningService) GroupSyncCovered(group string) (int64, error) {
-	sh, ok := s.shards[group]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return 0, err
 	}
 	return sh.syncCovered.Load(), nil
 }
@@ -485,9 +646,9 @@ func (s *MiningService) GroupSyncCovered(group string) (int64, error) {
 // cluster layer calls it when failover elects this node, or when a
 // higher-epoch row names it leader.
 func (s *MiningService) SetGroupLead(group string) error {
-	sh, ok := s.shards[group]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return err
 	}
 	leader := ""
 	sh.syncFrom.Store(&leader)
@@ -502,9 +663,9 @@ func (s *MiningService) SetGroupFollow(group, leader string) error {
 	if leader == "" {
 		return fmt.Errorf("%w: empty sync source for group %q", ErrBadConfig, group)
 	}
-	sh, ok := s.shards[group]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return err
 	}
 	sh.syncFrom.Store(&leader)
 	return nil
@@ -515,9 +676,9 @@ func (s *MiningService) SetGroupFollow(group, leader string) error {
 // hello's coverage and the replica's installed coverage; an install resets
 // the gauge to zero.
 func (s *MiningService) ReportSyncLag(group string, records int64) error {
-	sh, ok := s.shards[group]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	sh, err := s.shard(group)
+	if err != nil {
+		return err
 	}
 	if records < 0 {
 		records = 0
@@ -527,14 +688,20 @@ func (s *MiningService) ReportSyncLag(group string, records int64) error {
 }
 
 // PeerAccept returns the last wire-capability mask the named peer advertised
-// (0 for peers never seen or older than v7). Safe to call concurrently with
-// Serve; the cluster layer keys its replication framing off it.
+// (0 for peers never seen, older than v7, or whose advertisement has aged
+// past ServiceConfig.CapTTL — a peer downgraded in place goes classic again
+// once its last mask expires). Safe to call concurrently with Serve; the
+// cluster layer keys its replication framing off it.
 func (s *MiningService) PeerAccept(peer string) uint8 {
 	v, ok := s.peerCaps.Load(peer)
 	if !ok {
 		return 0
 	}
-	return v.(uint8)
+	stamp := v.(capStamp)
+	if stamp.expired(s.cfg.CapTTL) {
+		return 0
+	}
+	return stamp.mask
 }
 
 // acceptMask is the capability advertisement this service stamps on every
@@ -548,12 +715,14 @@ func (s *MiningService) acceptMask() uint8 {
 	return m
 }
 
-// noteAccept records a peer's advertised capability mask. Zero masks are not
-// recorded (old peers advertise nothing), so a capable mask, once observed,
-// is never clobbered by pre-upgrade traffic still in flight.
+// noteAccept records a peer's advertised capability mask with a fresh
+// timestamp (active peers never expire). Zero masks are not recorded (old
+// peers advertise nothing), so a capable mask, once observed, is never
+// clobbered by pre-upgrade traffic still in flight — only aged out by the
+// capability TTL once the peer stops advertising.
 func (s *MiningService) noteAccept(peer string, mask uint8) {
 	if mask != 0 && peer != "" {
-		s.peerCaps.Store(peer, mask)
+		s.peerCaps.Store(peer, capStamp{mask: mask, at: time.Now()})
 	}
 }
 
@@ -660,12 +829,19 @@ func suppressForSync(req, resp *serviceWire) *serviceWire {
 // Malformed frames are answered with a typed error response (or dropped
 // when they cannot be attributed) rather than terminating the service.
 func (s *MiningService) Serve(ctx context.Context) error {
-	// One response-buffer slot per prediction goroutine across all pools.
+	s.mu.Lock()
+	// One response-buffer slot per prediction goroutine across all pools,
+	// floored so runtime-registered shards (whose workers were unknown when
+	// the channel was sized) still get slack.
 	totalWorkers := 0
 	for _, sh := range s.shards {
 		totalWorkers += sh.workers
 	}
-	out := make(chan serviceOut, totalWorkers)
+	if totalWorkers < 64 {
+		totalWorkers = 64
+	}
+	s.out = make(chan serviceOut, totalWorkers)
+	out := s.out
 
 	var senderWg sync.WaitGroup
 	senderWg.Add(1)
@@ -683,89 +859,31 @@ func (s *MiningService) Serve(ctx context.Context) error {
 		}
 	}()
 
-	var workerWg sync.WaitGroup
 	for _, sh := range s.shards {
-		for i := 0; i < sh.workers; i++ {
-			workerWg.Add(1)
-			go func(sh *modelShard) {
-				defer workerWg.Done()
-				for j := range sh.jobs {
-					payload, err := s.encodeResponse(j.req, sh.handle(j.req))
-					if err != nil {
-						continue
-					}
-					out <- serviceOut{to: j.from, payload: payload}
-				}
-			}(sh)
-		}
+		s.startShard(sh)
 	}
-
-	var ingestWg sync.WaitGroup
-	for _, sh := range s.shards {
-		ingestWg.Add(1)
-		go func(sh *modelShard) {
-			defer ingestWg.Done()
-			for j := range sh.ingestQ {
-				if sh.ingestHold != nil {
-					<-sh.ingestHold // test seam; see modelShard.ingestHold
-				}
-				// Paired with the enqueue-side Add(1): deltas stay exact
-				// under concurrent enqueue/dequeue, where Set(len(chan))
-				// from two goroutines could leave a stale last write.
-				sh.mQueueDepth.Add(-1)
-				// Model syncs share the ingest lane so installs stay ordered
-				// with respect to each other; a nil response is a suppressed
-				// fire-and-forget acknowledgement.
-				var resp *serviceWire
-				if j.req.Kind == kindModelSync {
-					resp = sh.installSync(j.req)
-					// route() admitted the frame only from the shard's
-					// current sync source, so even a replayed sequence
-					// proves the leader is alive and publishing.
-					if s.cfg.OnModelSync != nil {
-						s.cfg.OnModelSync(sh.id, j.from, j.req.Seq)
-					}
-				} else {
-					resp = sh.ingest(j.req)
-				}
-				if resp == nil {
-					continue
-				}
-				payload, err := s.encodeResponse(j.req, resp)
-				if err != nil {
-					continue
-				}
-				out <- serviceOut{to: j.from, payload: payload}
-			}
-		}(sh)
-	}
-
-	var refitWg sync.WaitGroup
-	for _, sh := range s.shards {
-		refitWg.Add(1)
-		go func(sh *modelShard) {
-			defer refitWg.Done()
-			for job := range sh.refitQ {
-				sh.refit(job)
-			}
-		}(sh)
-	}
+	s.mu.Unlock()
 
 	shutdown := func() {
+		// Refuse new admin registrations, then wait out in-flight ones (they
+		// respond through out, which is about to close).
+		s.mu.Lock()
+		s.stopping = true
+		s.mu.Unlock()
+		s.adminWg.Wait()
+		s.mu.RLock()
+		shards := make([]*modelShard, 0, len(s.shards))
 		for _, sh := range s.shards {
-			close(sh.ingestQ)
-			close(sh.jobs)
+			shards = append(shards, sh)
 		}
-		// Ingest goroutines are the only refit schedulers, so the refit
-		// queues can close once they have drained; a scheduled refit still
-		// completes during shutdown, which keeps refit counts deterministic
-		// for callers that stop the service right after a push.
-		ingestWg.Wait()
-		for _, sh := range s.shards {
-			close(sh.refitQ)
+		s.mu.RUnlock()
+		// Per-shard stop drains each ingest queue before closing the refit
+		// queue, so a scheduled refit still completes during shutdown —
+		// refit counts stay deterministic for callers that stop the service
+		// right after a push.
+		for _, sh := range shards {
+			sh.stop()
 		}
-		workerWg.Wait()
-		refitWg.Wait()
 		close(out)
 		senderWg.Wait()
 	}
@@ -837,14 +955,132 @@ func (s *MiningService) Serve(ctx context.Context) error {
 			}
 			continue
 		}
+		if isAdminControl(req.Kind) {
+			s.handleAdmin(req, env.From)
+			continue
+		}
+		// The read lock spans route + dispatch (both non-blocking), so an
+		// admin evict — which needs the write lock to unmap the shard —
+		// cannot close the shard's queues while a dispatch to it is in
+		// flight.
+		s.mu.RLock()
 		shard, reject := s.route(req, env.From)
 		if shard != nil {
 			reject = shard.dispatch(req, env.From)
 		}
+		s.mu.RUnlock()
 		if reject != nil {
 			if payload, encErr := s.encodeResponse(req, reject); encErr == nil {
 				out <- serviceOut{to: env.From, payload: payload}
 			}
+		}
+	}
+}
+
+// startShard spawns one shard's serving goroutines — prediction pool,
+// ingest lane, refit loop — onto the shard's own wait groups, so the shard
+// can later be stopped individually (admin evict) or collectively
+// (shutdown). Called at Serve start for constructed shards and by the admin
+// control plane for runtime registrations.
+func (s *MiningService) startShard(sh *modelShard) {
+	out := s.out
+	for i := 0; i < sh.workers; i++ {
+		sh.workerWg.Add(1)
+		go func() {
+			defer sh.workerWg.Done()
+			for j := range sh.jobs {
+				payload, err := s.encodeResponse(j.req, sh.handle(j.req))
+				if err != nil {
+					continue
+				}
+				out <- serviceOut{to: j.from, payload: payload}
+			}
+		}()
+	}
+	sh.ingestWg.Add(1)
+	go func() {
+		defer sh.ingestWg.Done()
+		for j := range sh.ingestQ {
+			if sh.ingestHold != nil {
+				<-sh.ingestHold // test seam; see modelShard.ingestHold
+			}
+			// Paired with the enqueue-side Add(1): deltas stay exact
+			// under concurrent enqueue/dequeue, where Set(len(chan))
+			// from two goroutines could leave a stale last write.
+			sh.mQueueDepth.Add(-1)
+			// Model syncs share the ingest lane so installs stay ordered
+			// with respect to each other; a nil response is a suppressed
+			// fire-and-forget acknowledgement.
+			var resp *serviceWire
+			if j.req.Kind == kindModelSync {
+				resp = sh.installSync(j.req)
+				// route() admitted the frame only from the shard's
+				// current sync source, so even a replayed sequence
+				// proves the leader is alive and publishing.
+				if s.cfg.OnModelSync != nil {
+					s.cfg.OnModelSync(sh.id, j.from, j.req.Seq)
+				}
+			} else {
+				resp = sh.ingest(j.req)
+			}
+			if resp == nil {
+				continue
+			}
+			payload, err := s.encodeResponse(j.req, resp)
+			if err != nil {
+				continue
+			}
+			out <- serviceOut{to: j.from, payload: payload}
+		}
+	}()
+	sh.refitWg.Add(1)
+	go func() {
+		defer sh.refitWg.Done()
+		sh.refitLoop(s.cfg.RefitRetry)
+	}()
+}
+
+// refitLoop drains the shard's refit queue. A failed refit is parked and
+// re-attempted after the retry delay (refit.retries), so a transient fit
+// failure heals without waiting for the next ingest to cross the cadence; a
+// newer scheduled snapshot supersedes the parked one. Runs on the shard's
+// refit goroutine until the queue closes.
+func (sh *modelShard) refitLoop(retry time.Duration) {
+	var pending *refitJob
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	defer stopTimer()
+	run := func(job refitJob) {
+		if sh.refit(job) || retry <= 0 {
+			pending = nil
+			stopTimer()
+			return
+		}
+		pending = &job // the snapshot is this goroutine's own clone; retry re-fits it
+		stopTimer()
+		timer = time.NewTimer(retry)
+		timerC = timer.C
+	}
+	for {
+		select {
+		case job, ok := <-sh.refitQ:
+			if !ok {
+				return
+			}
+			run(job)
+		case <-timerC:
+			timer, timerC = nil, nil
+			if pending == nil {
+				continue
+			}
+			sh.mRefitRetries.Inc()
+			run(*pending)
 		}
 	}
 }
@@ -856,6 +1092,17 @@ func (s *MiningService) Serve(ctx context.Context) error {
 // backoff instead of every group's traffic queueing behind one group's
 // backlog.
 func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
+	if req.Kind == kindIngest {
+		// The quota gate runs before the queue, so an over-quota chunk answers
+		// a typed ErrQuota within one round trip and never occupies queue
+		// space a within-quota producer could use. Model syncs are exempt —
+		// replication is the service's own traffic, not a tenant's.
+		if q := sh.limits.Load().quota; q != nil && !q.take(float64(len(req.Batch))) {
+			sh.mQuota.Inc()
+			return &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
+				Code: codeQuota, Err: fmt.Sprintf("group %q ingest quota exhausted", sh.id)}
+		}
+	}
 	if req.Kind == kindIngest || req.Kind == kindModelSync {
 		// Increment before the send so the dequeuer's Add(-1) — which can
 		// only run after the send completes — never drives the gauge below
@@ -895,13 +1142,14 @@ func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
 // from the shard's ingest goroutine.
 func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Group: req.Group, Response: true}
+	lim := sh.limits.Load()
 	if len(req.Batch) == 0 {
 		resp.Code, resp.Err = codeBadChunk, "empty chunk"
 		return resp
 	}
-	if len(req.Batch) > sh.maxBatch {
+	if len(req.Batch) > lim.maxBatch {
 		resp.Code, resp.Err = codeBatchTooLarge,
-			fmt.Sprintf("chunk has %d records, cap is %d", len(req.Batch), sh.maxBatch)
+			fmt.Sprintf("chunk has %d records, cap is %d", len(req.Batch), lim.maxBatch)
 		return resp
 	}
 	if len(req.Labels) != len(req.Batch) {
@@ -942,7 +1190,7 @@ func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
 	if msg := sh.refitFail.Swap(nil); msg != nil {
 		resp.Code, resp.Err = codeRefit, *msg
 	}
-	if sh.refitEvery > 0 && sh.sinceRefit >= sh.refitEvery && sh.scheduleRefit() {
+	if lim.refitEvery > 0 && sh.sinceRefit >= lim.refitEvery && sh.scheduleRefit() {
 		sh.sinceRefit = 0
 	}
 	return resp
@@ -968,12 +1216,12 @@ func (sh *modelShard) scheduleRefit() bool {
 }
 
 // refit fits a fresh classifier instance on the snapshot and atomically
-// publishes it on success. The live model is read-only throughout — workers
-// keep predicting on the previous fit lock-free — and a failed fit leaves
-// it untouched by construction; the failure is recorded for the next ingest
-// response (codeRefit) and the refit.errors counter. Called only from the
-// shard's refit goroutine.
-func (sh *modelShard) refit(job refitJob) {
+// publishes it on success (true). The live model is read-only throughout —
+// workers keep predicting on the previous fit lock-free — and a failed fit
+// (false) leaves it untouched by construction; the failure is recorded for
+// the next ingest response (codeRefit), the refit.errors counter, and the
+// refit loop's retry timer. Called only from the shard's refit goroutine.
+func (sh *modelShard) refit(job refitJob) bool {
 	sh.mRefitInflight.Set(1)
 	defer sh.mRefitInflight.Set(0)
 	start := time.Now()
@@ -985,13 +1233,13 @@ func (sh *modelShard) refit(job refitJob) {
 		msg := fmt.Sprintf("protocol: refit group %q model: factory returned nil", sh.id)
 		sh.refitFail.Store(&msg)
 		sh.mRefitErrors.Inc()
-		return
+		return false
 	}
 	if err := fresh.Fit(job.snapshot); err != nil {
 		msg := fmt.Sprintf("protocol: refit group %q model: %v", sh.id, err)
 		sh.refitFail.Store(&msg)
 		sh.mRefitErrors.Inc()
-		return
+		return false
 	}
 	var model classify.Classifier = fresh
 	sh.model.Store(&model)
@@ -1007,6 +1255,7 @@ func (sh *modelShard) refit(job refitJob) {
 	if sh.onSwap != nil {
 		sh.onSwap(model)
 	}
+	return true
 }
 
 // installSync installs one leader-replicated model on a replica shard:
@@ -1053,9 +1302,9 @@ func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 		resp.Code, resp.Err = codeBadQuery, "empty batch"
 		return resp
 	}
-	if len(req.Batch) > sh.maxBatch {
+	if maxBatch := sh.limits.Load().maxBatch; len(req.Batch) > maxBatch {
 		resp.Code, resp.Err = codeBatchTooLarge,
-			fmt.Sprintf("batch has %d records, cap is %d", len(req.Batch), sh.maxBatch)
+			fmt.Sprintf("batch has %d records, cap is %d", len(req.Batch), maxBatch)
 		return resp
 	}
 	labels := make([]int, len(req.Batch))
@@ -1075,4 +1324,181 @@ func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 	}
 	resp.Labels = labels
 	return resp
+}
+
+// handleAdmin executes one authenticated admin control frame. List and
+// update are cheap and answer inline on the receive loop; register (which
+// fits a model) and evict (which drains queues) run on their own goroutine,
+// tracked by adminWg so shutdown waits out their responses. Called only from
+// the receive loop.
+func (s *MiningService) handleAdmin(req *serviceWire, from string) {
+	resp := &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true}
+	if !adminTokenOK(s.cfg.AdminToken, req.Token) {
+		s.mAdminDenied.Inc()
+		resp.Code = codeAdminDenied
+		if s.cfg.AdminToken == "" {
+			resp.Err = "admin interface disabled (no admin token configured)"
+		} else {
+			resp.Err = "bad admin token"
+		}
+		s.respond(req, from, resp)
+		return
+	}
+	switch req.Kind {
+	case kindAdminList:
+		s.mAdminLists.Inc()
+		resp.Infos = s.listGroups()
+		s.respond(req, from, resp)
+	case kindAdminUpdate:
+		s.adminUpdate(req, resp)
+		s.respond(req, from, resp)
+	case kindAdminRegister:
+		s.adminWg.Add(1)
+		go func() {
+			defer s.adminWg.Done()
+			s.adminRegister(req.Spec, resp)
+			s.respond(req, from, resp)
+		}()
+	case kindAdminEvict:
+		s.adminWg.Add(1)
+		go func() {
+			defer s.adminWg.Done()
+			s.adminEvict(req.Group, resp)
+			s.respond(req, from, resp)
+		}()
+	}
+}
+
+// respond encodes and queues one admin response toward its requester.
+func (s *MiningService) respond(req *serviceWire, to string, resp *serviceWire) {
+	if payload, err := s.encodeResponse(req, resp); err == nil {
+		s.out <- serviceOut{to: to, payload: payload}
+	}
+}
+
+// adminRegister stands a new group up at runtime: validate and fit off the
+// registry lock (the expensive part — the receive loop keeps serving), then
+// insert and start the shard under the write lock. The duplicate pre-check
+// is advisory; the post-fit re-check under the lock is authoritative.
+func (s *MiningService) adminRegister(spec *AdminGroupSpec, resp *serviceWire) {
+	if spec == nil {
+		resp.Code, resp.Err = codeBadQuery, "register without a group spec"
+		return
+	}
+	s.mu.RLock()
+	_, dup := s.shards[spec.ID]
+	s.mu.RUnlock()
+	if dup {
+		resp.Code, resp.Err = codeGroupExists, fmt.Sprintf("group %q already hosted", spec.ID)
+		return
+	}
+	gs, err := spec.groupSpec()
+	if err != nil {
+		resp.Code, resp.Err = codeBadQuery, err.Error()
+		return
+	}
+	sh, err := newModelShard(gs, s.cfg)
+	if err != nil {
+		resp.Code, resp.Err = codeBadQuery, err.Error()
+		return
+	}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		resp.Code, resp.Err = codeInternal, "service shutting down"
+		return
+	}
+	if _, dup := s.shards[sh.id]; dup {
+		s.mu.Unlock()
+		resp.Code, resp.Err = codeGroupExists, fmt.Sprintf("group %q already hosted", sh.id)
+		return
+	}
+	s.shards[sh.id] = sh
+	s.order = append(s.order, sh.id)
+	s.startShard(sh)
+	resp.Accepted = sh.training.Len()
+	s.mu.Unlock()
+	s.mAdminRegisters.Inc()
+	if s.cfg.OnGroupRegistered != nil {
+		s.cfg.OnGroupRegistered(sh.id, sh.f32)
+	}
+}
+
+// adminEvict removes a group at runtime: unmap it under the write lock — the
+// receive loop's read lock spans route + dispatch, so once the lock is ours
+// no new frame can reach the shard — then drain and stop its goroutines
+// outside any lock. Queued chunks still fold in before the shard dies.
+func (s *MiningService) adminEvict(group string, resp *serviceWire) {
+	if group == "" {
+		resp.Code, resp.Err = codeBadQuery, "evict without a group"
+		return
+	}
+	s.mu.Lock()
+	sh, ok := s.shards[group]
+	if ok {
+		delete(s.shards, group)
+		for i, id := range s.order {
+			if id == group {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		resp.Code, resp.Err = codeUnknownGroup, fmt.Sprintf("no serving group %q", group)
+		return
+	}
+	sh.stop()
+	s.mAdminEvicts.Inc()
+	if s.cfg.OnGroupEvicted != nil {
+		s.cfg.OnGroupEvicted(group)
+	}
+}
+
+// adminUpdate applies an in-place limits update to a live group. Cheap
+// enough to run inline on the receive loop, which also makes it the single
+// writer of every shard's limits pointer.
+func (s *MiningService) adminUpdate(req, resp *serviceWire) {
+	if req.Update == nil {
+		resp.Code, resp.Err = codeBadQuery, "update without changes"
+		return
+	}
+	s.mu.RLock()
+	sh, ok := s.shards[req.Group]
+	s.mu.RUnlock()
+	if !ok {
+		resp.Code, resp.Err = codeUnknownGroup, fmt.Sprintf("no serving group %q", req.Group)
+		return
+	}
+	if err := sh.applyUpdate(req.Update); err != nil {
+		resp.Code, resp.Err = codeBadQuery, err.Error()
+		return
+	}
+	s.mAdminUpdates.Inc()
+}
+
+// listGroups snapshots every hosted group for a kindAdminList answer, in
+// registration order.
+func (s *MiningService) listGroups() []AdminGroupInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]AdminGroupInfo, 0, len(s.order))
+	for _, id := range s.order {
+		sh := s.shards[id]
+		lim := sh.limits.Load()
+		infos = append(infos, AdminGroupInfo{
+			ID:         sh.id,
+			Workers:    sh.workers,
+			MaxBatch:   lim.maxBatch,
+			RefitEvery: lim.refitEvery,
+			QueueDepth: sh.queueDepth,
+			Members:    sortedMembers(lim.members),
+			SyncFrom:   sh.leader(),
+			Float32:    sh.f32,
+			Quota:      lim.quotaCfg,
+			Ingested:   sh.ingested.Load(),
+		})
+	}
+	return infos
 }

@@ -59,6 +59,19 @@ var (
 	// the group's leader node (the routing table names it), so the chunk was
 	// NOT folded in and must be re-sent to the leader.
 	ErrNotLeader = errors.New("protocol: group is a read replica here; push to its leader")
+	// ErrQuota flags an ingest chunk rejected because the group's
+	// records-per-second quota (GroupQuota) is exhausted. The chunk was NOT
+	// folded in. Unlike ErrBusy this is policy, not transient load: the
+	// client does not retry it, the caller backs off to the configured rate
+	// (or the operator raises the quota through the admin plane).
+	ErrQuota = errors.New("protocol: serving group ingest quota exhausted")
+	// ErrAdminDenied flags an admin frame that failed authentication: the
+	// token did not match, or the service runs with no admin token and the
+	// control plane is disabled.
+	ErrAdminDenied = errors.New("protocol: admin access denied")
+	// ErrGroupExists flags a register for a group ID the service already
+	// hosts. Evict it first to replace it.
+	ErrGroupExists = errors.New("protocol: serving group already registered")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -79,8 +92,20 @@ const serviceMagic = 0x53 // 'S'
 // kindSyncState) with the Epoch and Covered fields, and stamps routes
 // responses with the table epoch; version 7 is the flagged frame format — a
 // flag byte between the header and the gob body selects per-frame DEFLATE
-// compression and marks packed-float32 batches.
-const ServiceWireVersion = 7
+// compression and marks packed-float32 batches; version 8 adds the admin
+// control plane (kindAdminRegister through kindAdminList with the Token,
+// Spec, Update and Infos fields) for registering, evicting and reconfiguring
+// serving groups on a live service.
+const ServiceWireVersion = 8
+
+// serviceWireFlaggedVersion is the version byte of flagged frames (the
+// format with a flag byte between header and body). It stays pinned at 7:
+// flagged frames are only ever sent to peers that advertised the matching
+// capability, and those peers recognize the flag byte by this exact version
+// value — re-stamping flagged frames with each version bump would break
+// every already-deployed v7 peer for no wire-level gain. Version-8 frames
+// use the classic (flagless) layout.
+const serviceWireFlaggedVersion = 7
 
 // serviceWireClassicVersion is the version byte of unflagged frames. Plain
 // frames keep this byte forever: a v7-capable sender emits the flagged
@@ -96,8 +121,9 @@ const serviceWireClassicVersion = 6
 // single-group deployments keep working against a sharded miner unchanged.
 const serviceWireMinVersion = 1
 
-// Flag bits of a v7 frame's flag byte (the third header byte, present only
-// when the version byte is 7). Unknown bits reject the frame as malformed.
+// Flag bits of a flagged frame's flag byte (the third header byte, present
+// only when the version byte is serviceWireFlaggedVersion). Unknown bits
+// reject the frame as malformed.
 const (
 	// frameFlagDeflate marks the gob body as DEFLATE-compressed.
 	frameFlagDeflate uint8 = 1 << 0
@@ -140,6 +166,18 @@ const (
 	codeBusy
 	// codeNotLeader rejects an ingest frame addressed to a read replica.
 	codeNotLeader
+	// codeQuota rejects an ingest chunk that exhausted the group's
+	// records-per-second token bucket (GroupQuota). Unlike codeBusy it is
+	// not retried by the client's backoff: quota is policy, not transient
+	// load, and the operator raises it through the admin plane.
+	codeQuota
+	// codeAdminDenied rejects an admin frame whose Token does not match the
+	// service's configured admin token (or any admin frame when no token is
+	// configured, which disables the control plane entirely).
+	codeAdminDenied
+	// codeGroupExists rejects a register for a group ID the service already
+	// hosts.
+	codeGroupExists
 )
 
 // Frame kinds carried in serviceWire.Kind. The zero value is a
@@ -172,17 +210,46 @@ const (
 	// re-pushes the current model to any replica reporting an older one (the
 	// anti-entropy pull). Fire-and-forget (ID 0).
 	kindSyncState
+	// kindAdminRegister is the v8 control-plane frame that registers a new
+	// serving group on a live service: the request's Spec carries the group
+	// definition (training records, encoded model, cadence, queues, quota),
+	// authenticated by Token. The service fits the model off the serving
+	// loop, starts the group's lanes, and answers codeOK — or
+	// codeGroupExists, codeAdminDenied, codeBadQuery.
+	kindAdminRegister
+	// kindAdminEvict is the v8 control-plane frame that removes a serving
+	// group: its ingest queue drains, queued classifies answer, the refit
+	// goroutine stops, and subsequent frames for the group are rejected with
+	// codeUnknownGroup.
+	kindAdminEvict
+	// kindAdminUpdate is the v8 control-plane frame that reconfigures a live
+	// group in place: the request's Update names which limits change (quota,
+	// batch cap, refit cadence, members ACL) without touching the rest.
+	kindAdminUpdate
+	// kindAdminList is the v8 control-plane frame that asks a service for
+	// its hosted groups; the response's Infos describes each one.
+	kindAdminList
 )
+
+// isAdminControl reports whether a frame kind belongs to the v8 admin
+// control plane (authenticated, handled off the group router).
+func isAdminControl(kind uint8) bool {
+	return kind >= kindAdminRegister && kind <= kindAdminList
+}
 
 // Exported frame-kind values for tools that inspect raw frames (the faultnet
 // test harness matches sync traffic by kind via InspectFrame).
 const (
-	KindClassify  = kindClassify
-	KindIngest    = kindIngest
-	KindRoutes    = kindRoutes
-	KindModelSync = kindModelSync
-	KindSyncHello = kindSyncHello
-	KindSyncState = kindSyncState
+	KindClassify      = kindClassify
+	KindIngest        = kindIngest
+	KindRoutes        = kindRoutes
+	KindModelSync     = kindModelSync
+	KindSyncHello     = kindSyncHello
+	KindSyncState     = kindSyncState
+	KindAdminRegister = kindAdminRegister
+	KindAdminEvict    = kindAdminEvict
+	KindAdminUpdate   = kindAdminUpdate
+	KindAdminList     = kindAdminList
 )
 
 // RouteEntry is one row of the cluster routing table: the group's leader
@@ -265,6 +332,18 @@ type serviceWire struct {
 	Batch32 []byte
 	// Dim is the per-record feature count of Batch32.
 	Dim int
+	// Token authenticates v8 admin frames (kindAdminRegister through
+	// kindAdminList) against the service's configured admin token. Never set
+	// on serving frames.
+	Token string
+	// Spec carries the new group's definition on a kindAdminRegister
+	// request.
+	Spec *AdminGroupSpec
+	// Update carries the in-place limit changes of a kindAdminUpdate
+	// request.
+	Update *AdminUpdate
+	// Infos describes the hosted groups in a kindAdminList response.
+	Infos []AdminGroupInfo
 	// Code is a machine-readable failure class (response only, codeOK on
 	// success).
 	Code uint8
@@ -317,6 +396,12 @@ func encodeServiceWire(w *serviceWire) ([]byte, error) {
 }
 
 func encodeServiceFrame(w *serviceWire, o frameOpts) ([]byte, error) {
+	if isAdminControl(w.Kind) && !w.Response {
+		// Admin requests always ride the classic (flagless) layout so a
+		// pre-v8 peer can decode them far enough to reject them typed (see
+		// the version stamp below); negotiated compression never applies.
+		o = frameOpts{}
+	}
 	if o.f32 && len(w.Batch) > 0 {
 		if b32, dim := matrix.PackFloat32Rows(w.Batch); dim > 0 {
 			cp := *w // callers may retry with the same frame; never mutate it
@@ -347,13 +432,22 @@ func encodeServiceFrame(w *serviceWire, o frameOpts) ([]byte, error) {
 		flags |= frameFlagFloat32
 	}
 	if flags == 0 {
+		version := byte(serviceWireClassicVersion)
+		if isAdminControl(w.Kind) && !w.Response {
+			// Admin requests announce the version that introduced them. Old
+			// services still gob-decode the body (unknown fields skip), hit
+			// their unsupported-version path with the frame ID intact, and
+			// answer a typed codeWireVersion — so an admin client pointed at
+			// a pre-v8 miner gets ErrWireVersion, not a hang.
+			version = ServiceWireVersion
+		}
 		out := make([]byte, 2+len(body))
-		out[0], out[1] = serviceMagic, serviceWireClassicVersion
+		out[0], out[1] = serviceMagic, version
 		copy(out[2:], body)
 		return out, nil
 	}
 	out := make([]byte, 3+len(body))
-	out[0], out[1], out[2] = serviceMagic, ServiceWireVersion, flags
+	out[0], out[1], out[2] = serviceMagic, serviceWireFlaggedVersion, flags
 	copy(out[3:], body)
 	return out, nil
 }
@@ -371,8 +465,9 @@ func decodeServiceWire(payload []byte) (*serviceWire, error) {
 	version := payload[1]
 	supported := version >= serviceWireMinVersion && version <= ServiceWireVersion
 	body := payload[2:]
-	if version == ServiceWireVersion {
-		// v7 frames interpose a flag byte between the header and the body.
+	if version == serviceWireFlaggedVersion {
+		// Flagged frames interpose a flag byte between the header and the
+		// body. The layout is pinned to version 7; v8 frames are classic.
 		if len(payload) < 3 {
 			return nil, fmt.Errorf("%w: v7 frame lacks its flag byte", ErrBadMessage)
 		}
@@ -482,6 +577,37 @@ type ServiceConfig struct {
 	// dropped is not deposed while its models keep arriving. It runs on the
 	// group's ingest goroutine and must not block.
 	OnModelSync func(group, from string, seq uint64)
+	// AdminToken enables the v8 admin control plane: admin frames whose
+	// Token matches (constant-time compare) may register, evict, update and
+	// list serving groups at runtime. Empty (the default) disables the
+	// control plane entirely — every admin frame answers ErrAdminDenied —
+	// so a service is never administrable by accident.
+	AdminToken string
+	// CapTTL bounds how long a peer's advertised capability mask
+	// (serviceWire.Accept) is honored without being re-observed: after the
+	// TTL a peer downgraded in place — its name re-pointed at an older or
+	// plain-configured binary — stops receiving flagged v7 frames instead
+	// of receiving them until restart. Every frame from the peer refreshes
+	// the stamp, so active peers never expire. Zero selects DefaultCapTTL;
+	// negative disables expiry.
+	CapTTL time.Duration
+	// RefitRetry is how long a group waits after a failed background refit
+	// before re-attempting it from the same training snapshot, so a
+	// transient fit failure heals without waiting for the next ingest to
+	// cross the cadence. A newer scheduled refit supersedes the retry. Zero
+	// selects DefaultRefitRetry; negative disables retries.
+	RefitRetry time.Duration
+	// OnGroupRegistered, when set, is called after the admin control plane
+	// registers a new group, with the group ID and its float32-payload
+	// preference. The cluster layer hooks it to grow the routing table (the
+	// node leads the new group under an epoch-bumped row, so clients
+	// discover it without restart). Runs on an admin goroutine, off the
+	// serving loop.
+	OnGroupRegistered func(group string, float32Payloads bool)
+	// OnGroupEvicted, when set, is called after the admin control plane
+	// drains and removes a group. The cluster layer hooks it to drop the
+	// group's routing row and sync state.
+	OnGroupEvicted func(group string)
 }
 
 // SyncGossip is one durability-gossip observation handed to
@@ -516,6 +642,16 @@ const DefaultMaxBatch = 4096
 // DefaultRefitEvery is the ingest refit cadence applied when
 // ServiceConfig.RefitEvery is zero.
 const DefaultRefitEvery = 256
+
+// DefaultCapTTL is the capability-mask lifetime applied when
+// ServiceConfig.CapTTL (or WireOptions.CapTTL) is zero: long enough that a
+// chatty peer never expires mid-conversation, short enough that a peer
+// downgraded in place stops receiving flagged frames within minutes.
+const DefaultCapTTL = 10 * time.Minute
+
+// DefaultRefitRetry is the failed-refit retry delay applied when
+// ServiceConfig.RefitRetry is zero.
+const DefaultRefitRetry = 5 * time.Second
 
 // serviceSendTimeout bounds one response write so a peer that stops reading
 // cannot stall the serving loop's sender indefinitely.
@@ -573,6 +709,12 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.RefitEvery == 0 {
 		c.RefitEvery = DefaultRefitEvery
 	}
+	if c.CapTTL == 0 {
+		c.CapTTL = DefaultCapTTL
+	}
+	if c.RefitRetry == 0 {
+		c.RefitRetry = DefaultRefitRetry
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.Nop()
 	}
@@ -604,7 +746,7 @@ type ServiceClient struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *serviceWire
-	caps    map[string]uint8 // peer endpoint -> last advertised Accept mask
+	caps    map[string]capStamp // peer endpoint -> last advertised Accept mask
 	failed  bool
 	cause   error
 
@@ -637,7 +779,7 @@ func NewGroupServiceClient(conn transport.Conn, miner, group string) (*ServiceCl
 		miner:    miner,
 		group:    group,
 		pending:  make(map[uint64]chan *serviceWire),
-		caps:     make(map[string]uint8),
+		caps:     make(map[string]capStamp),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		stopRecv: stop,
@@ -670,6 +812,27 @@ type WireOptions struct {
 	// accept it, halving batch bytes at float32 precision (~7 significant
 	// digits — see the WithFloat32Payloads precision contract).
 	Float32 bool
+	// CapTTL bounds how long a peer's advertised capability mask is honored
+	// without being re-observed, so a miner downgraded in place stops
+	// receiving flagged frames once its last advertisement ages out. Zero
+	// selects DefaultCapTTL; negative disables expiry.
+	CapTTL time.Duration
+}
+
+// capStamp is one peer's last advertised capability mask and when it was
+// observed; masks older than the configured CapTTL count as zero.
+type capStamp struct {
+	mask uint8
+	at   time.Time
+}
+
+// expired reports whether the stamp has outlived ttl (zero ttl selects
+// DefaultCapTTL, negative never expires).
+func (s capStamp) expired(ttl time.Duration) bool {
+	if ttl == 0 {
+		ttl = DefaultCapTTL
+	}
+	return ttl > 0 && s.mask != 0 && time.Since(s.at) > ttl
 }
 
 // SetWireOptions replaces the client's wire-feature selection. Call it
@@ -689,7 +852,8 @@ func (c *ServiceClient) acceptMask() uint8 {
 
 // frameOptsFor resolves which negotiated features to use toward one miner:
 // the intersection of what the client wants (wire) and what that peer last
-// advertised (caps). An unseen peer gets classic frames.
+// advertised (caps). An unseen peer — or one whose advertisement has aged
+// past the capability TTL — gets classic frames.
 func (c *ServiceClient) frameOptsFor(miner string) frameOpts {
 	if !c.wire.Compress && !c.wire.Float32 {
 		return frameOpts{}
@@ -697,9 +861,13 @@ func (c *ServiceClient) frameOptsFor(miner string) frameOpts {
 	c.mu.Lock()
 	peer := c.caps[miner]
 	c.mu.Unlock()
+	mask := peer.mask
+	if peer.expired(c.wire.CapTTL) {
+		mask = 0
+	}
 	return frameOpts{
-		deflate: c.wire.Compress && peer&acceptDeflate != 0,
-		f32:     c.wire.Float32 && peer&acceptFloat32 != 0,
+		deflate: c.wire.Compress && mask&acceptDeflate != 0,
+		f32:     c.wire.Float32 && mask&acceptFloat32 != 0,
 	}
 }
 
@@ -757,7 +925,9 @@ func (c *ServiceClient) recvLoop(ctx context.Context) {
 		if resp.Accept != 0 && env.From != "" {
 			// The response doubles as the capability ack: record what this
 			// peer can decode so the next request to it may use v7 features.
-			c.caps[env.From] = resp.Accept
+			// The stamp refreshes on every response, so the TTL only expires
+			// peers that went silent (or stopped advertising).
+			c.caps[env.From] = capStamp{mask: resp.Accept, at: time.Now()}
 		}
 		ch, ok := c.pending[resp.ID]
 		if ok {
@@ -890,6 +1060,39 @@ func (c *ServiceClient) classifyBatchOnce(ctx context.Context, miner, group stri
 			return nil, c.terminalErr()
 		}
 		return decodeServiceResponse(resp, len(batch))
+	case <-ctx.Done():
+		c.unregister(id)
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, c.terminalErr()
+	}
+}
+
+// roundTrip sends one request frame to a peer and blocks for its response
+// frame: the ID is allocated and stamped here, as is the client's capability
+// advertisement. Callers own mapping the response's code to a typed error.
+func (c *ServiceClient) roundTrip(ctx context.Context, to string, w *serviceWire) (*serviceWire, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	w.ID = id
+	w.Accept = c.acceptMask()
+	payload, err := encodeServiceFrame(w, c.frameOptsFor(to))
+	if err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	if err := c.conn.Send(ctx, to, payload); err != nil {
+		c.unregister(id)
+		return nil, fmt.Errorf("%w: %v", ErrServiceClosed, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.terminalErr()
+		}
+		return resp, nil
 	case <-ctx.Done():
 		c.unregister(id)
 		return nil, ctx.Err()
@@ -1038,6 +1241,12 @@ func responseErr(resp *serviceWire) error {
 		return fmt.Errorf("%w: %s", ErrBusy, resp.Err)
 	case codeNotLeader:
 		return fmt.Errorf("%w: %s", ErrNotLeader, resp.Err)
+	case codeQuota:
+		return fmt.Errorf("%w: %s", ErrQuota, resp.Err)
+	case codeAdminDenied:
+		return fmt.Errorf("%w: %s", ErrAdminDenied, resp.Err)
+	case codeGroupExists:
+		return fmt.Errorf("%w: %s", ErrGroupExists, resp.Err)
 	default:
 		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
 	}

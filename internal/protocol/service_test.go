@@ -562,7 +562,7 @@ func TestServiceWireGarbageIgnored(t *testing.T) {
 	if err := cliConn.Send(ctx, "svc", []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cliConn.Send(ctx, "svc", []byte{serviceMagic, ServiceWireVersion, 0xff, 0x01}); err != nil {
+	if err := cliConn.Send(ctx, "svc", []byte{serviceMagic, serviceWireFlaggedVersion, 0xff, 0x01}); err != nil {
 		t.Fatal(err)
 	}
 	client, err := NewServiceClient(cliConn, "svc")

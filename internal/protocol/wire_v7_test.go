@@ -38,7 +38,7 @@ func (c *sniffConn) frames() [][2]byte {
 			continue
 		}
 		h := [2]byte{p[1], 0}
-		if p[1] == ServiceWireVersion && len(p) > 2 {
+		if p[1] == serviceWireFlaggedVersion && len(p) > 2 {
 			h[1] = p[2]
 		}
 		out = append(out, h)
@@ -63,7 +63,7 @@ func startLegacyMiner(t *testing.T, conn transport.Conn) func() {
 				return
 			}
 			if len(env.Payload) > 1 && env.Payload[0] == serviceMagic &&
-				env.Payload[1] == ServiceWireVersion {
+				env.Payload[1] == serviceWireFlaggedVersion {
 				t.Errorf("legacy miner received a v7 frame (flags %#x)", env.Payload[2])
 				continue
 			}
@@ -131,7 +131,7 @@ func TestCompressionNegotiationUpgrades(t *testing.T) {
 			frames[0][0], serviceWireClassicVersion)
 	}
 	for i, h := range frames[1:] {
-		if h[0] != ServiceWireVersion || h[1]&frameFlagDeflate == 0 {
+		if h[0] != serviceWireFlaggedVersion || h[1]&frameFlagDeflate == 0 {
 			t.Fatalf("frame %d after negotiation is v%d flags %#x, want v7 with the deflate bit",
 				i+1, h[0], h[1])
 		}
@@ -275,7 +275,7 @@ func TestFloat32BatchNegotiation(t *testing.T) {
 	if frames[0][0] != serviceWireClassicVersion {
 		t.Fatalf("first frame is v%d, want classic before negotiation", frames[0][0])
 	}
-	if frames[1][0] != ServiceWireVersion || frames[1][1]&frameFlagFloat32 == 0 {
+	if frames[1][0] != serviceWireFlaggedVersion || frames[1][1]&frameFlagFloat32 == 0 {
 		t.Fatalf("negotiated frame is v%d flags %#x, want v7 with the float32 bit",
 			frames[1][0], frames[1][1])
 	}

@@ -67,6 +67,17 @@ var (
 	// backoff before surfacing this error — seeing it means the group
 	// stayed saturated through the whole retry budget.
 	ErrBusy = protocol.ErrBusy
+	// ErrQuota flags an ingest chunk rejected by the group's records-per-
+	// second quota (WithQuota, Admin.UpdateGroup). Unlike ErrBusy it is not
+	// retried automatically — the quota is policy, not transient load — so
+	// it surfaces within one round trip.
+	ErrQuota = protocol.ErrQuota
+	// ErrAdminDenied flags an admin call that failed authentication: wrong
+	// token, or the service has no admin token configured at all.
+	ErrAdminDenied = protocol.ErrAdminDenied
+	// ErrGroupExists flags an Admin.RegisterGroup naming a group the service
+	// already hosts.
+	ErrGroupExists = protocol.ErrGroupExists
 )
 
 // DefaultGroupID is the serving group a session uses when WithGroupID is
@@ -121,6 +132,12 @@ type config struct {
 	// a peer that never advertised them keeps receiving classic frames.
 	compress        bool
 	float32Payloads bool
+	// adminToken arms the served process's admin control plane
+	// (WithAdminToken); quotaRate/quotaBurst rate-limit this session's
+	// group's ingest (WithQuota).
+	adminToken string
+	quotaRate  float64
+	quotaBurst int
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -275,6 +292,43 @@ func WithCompression() Option {
 func WithFloat32Payloads() Option {
 	return func(c *config) error {
 		c.float32Payloads = true
+		return nil
+	}
+}
+
+// WithAdminToken arms the admin control plane of the mining service this
+// session stands up (Serve, ServeGroups, ServeCluster): Admin clients
+// presenting this token may register, evict, update and list serving groups
+// at runtime. Without the option the admin interface is disabled — every
+// admin frame is refused with ErrAdminDenied. Like WithMetrics it is a
+// property of the miner process: the first session carrying it provides the
+// token.
+func WithAdminToken(token string) Option {
+	return func(c *config) error {
+		if token == "" {
+			return fmt.Errorf("%w: empty admin token", ErrBadInput)
+		}
+		c.adminToken = token
+		return nil
+	}
+}
+
+// WithQuota rate-limits this session's group's stream ingest: pushed chunks
+// beyond recordsPerSec (with bursts up to burst records; 0 sizes the burst
+// at one second's refill) are rejected with a typed ErrQuota within one
+// round trip, before they occupy any queue space. Per group — it rides this
+// session's spec like WithServiceRefitEvery — and updatable at runtime
+// through Admin.UpdateGroup.
+func WithQuota(recordsPerSec float64, burst int) Option {
+	return func(c *config) error {
+		if recordsPerSec <= 0 {
+			return fmt.Errorf("%w: non-positive quota rate %v", ErrBadInput, recordsPerSec)
+		}
+		if burst < 0 {
+			return fmt.Errorf("%w: negative quota burst %d", ErrBadInput, burst)
+		}
+		c.quotaRate = recordsPerSec
+		c.quotaBurst = burst
 		return nil
 	}
 }
@@ -452,34 +506,54 @@ func (s *Session) GroupID() string {
 	return s.cfg.group
 }
 
+// ClientConfig addresses a session client at a mining service. The zero
+// value of every optional field selects the session's own defaults, so most
+// callers set only Miner.
+type ClientConfig struct {
+	// Miner is the mining service's transport endpoint name. Required.
+	Miner string
+	// Group overrides the serving group the client addresses (default: the
+	// session's own GroupID). Queries are still transformed with this
+	// session's G_t, so a foreign group only makes sense when it shares that
+	// target space — the main use is proving a foreign group rejects you
+	// (ErrNotMember / ErrUnknownGroup).
+	Group string
+}
+
 // NewClient is the provider side of the serving lifecycle: a handle for
-// querying the mining service named miner over conn. The client owns the
+// querying the configured mining service over conn. The client owns the
 // connection's receive side (a background demultiplexer correlates
 // responses), so any number of goroutines may classify concurrently through
 // one client. Queries are given in clear space; the client transforms them
 // into the target space with the session's G_t before they leave the
 // provider, so the service never sees clear data. Close the client to
 // release it.
-func (s *Session) NewClient(conn Conn, miner string) (*Client, error) {
-	return s.NewGroupClient(conn, miner, s.GroupID())
-}
-
-// NewGroupClient is NewClient addressing an explicit serving group of a
-// sharded miner (see ServeGroups) instead of the session's own. Queries are
-// still transformed with this session's G_t, so the call only makes sense
-// against a group sharing that target space — its primary use is proving a
-// foreign group rejects you (ErrNotMember / ErrUnknownGroup).
-func (s *Session) NewGroupClient(conn Conn, miner, group string) (*Client, error) {
+func (s *Session) NewClient(conn Conn, cfg ClientConfig) (*Client, error) {
 	if err := s.requireRun(); err != nil {
 		return nil, err
 	}
-	inner, err := protocol.NewGroupServiceClient(conn, miner, group)
+	if cfg.Miner == "" {
+		return nil, fmt.Errorf("%w: no miner endpoint", ErrBadInput)
+	}
+	group := cfg.Group
+	if group == "" {
+		group = s.GroupID()
+	}
+	inner, err := protocol.NewGroupServiceClient(conn, cfg.Miner, group)
 	if err != nil {
 		return nil, err
 	}
 	inner.SetWireOptions(protocol.WireOptions{
 		Compress: s.cfg.compress, Float32: s.cfg.float32Payloads})
 	return &Client{inner: inner, target: s.Target()}, nil
+}
+
+// NewGroupClient is NewClient addressing an explicit serving group.
+//
+// Deprecated: use NewClient with ClientConfig{Miner: miner, Group: group};
+// positional string arguments do not scale with the client surface.
+func (s *Session) NewGroupClient(conn Conn, miner, group string) (*Client, error) {
+	return s.NewClient(conn, ClientConfig{Miner: miner, Group: group})
 }
 
 // Client queries a mining service stood up by Session.Serve. Safe for

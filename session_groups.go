@@ -106,6 +106,10 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 			MaxBatch:   g.Session.cfg.maxBatch,
 			Float32:    g.Session.cfg.float32Payloads,
 			Members:    append([]string(nil), g.Members...),
+			Quota: protocol.GroupQuota{
+				RecordsPerSec: g.Session.cfg.quotaRate,
+				Burst:         g.Session.cfg.quotaBurst,
+			},
 		})
 	}
 	// Workers, MaxBatch and RefitEvery are per group: each session's
@@ -130,6 +134,14 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 	for _, g := range groups {
 		if g.Session.cfg.compress {
 			cfg.Compression = true
+			break
+		}
+	}
+	// The admin token arms the whole process's control plane, so like the
+	// metrics sink it is first-carrier-wins across the groups.
+	for _, g := range groups {
+		if t := g.Session.cfg.adminToken; t != "" {
+			cfg.AdminToken = t
 			break
 		}
 	}

@@ -117,7 +117,7 @@ func TestServeGroupsTwoGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer connA.Close()
-	clientA, err := sessA.NewClient(connA, "mining-service")
+	clientA, err := sessA.NewClient(connA, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestServeGroupsTwoGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer connB.Close()
-	clientB, err := sessB.NewClient(connB, "mining-service")
+	clientB, err := sessB.NewClient(connB, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestServeGroupsTwoGroups(t *testing.T) {
 	// router refuses it before anything reaches ward-b's model; a group
 	// nobody registered is refused as unknown.
 	clientA.Close()
-	foreign, err := sessA.NewGroupClient(connA, "mining-service", "ward-b")
+	foreign, err := sessA.NewClient(connA, sap.ClientConfig{Miner: "mining-service", Group: "ward-b"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestServeGroupsTwoGroups(t *testing.T) {
 		t.Fatalf("cross-group err = %v, want ErrNotMember", err)
 	}
 	foreign.Close()
-	ghost, err := sessA.NewGroupClient(connA, "mining-service", "ward-z")
+	ghost, err := sessA.NewClient(connA, sap.ClientConfig{Miner: "mining-service", Group: "ward-z"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +209,11 @@ func TestServeGroupsOverTCP(t *testing.T) {
 		}
 	}()
 
-	clientA, err := sessA.NewClient(nodeA, "mining-service")
+	clientA, err := sessA.NewClient(nodeA, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	clientB, err := sessB.NewClient(nodeB, "mining-service")
+	clientB, err := sessB.NewClient(nodeB, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestServeGroupsOverTCP(t *testing.T) {
 
 	// client-a is not on the cellars member list.
 	clientA.Close()
-	foreign, err := sessA.NewGroupClient(nodeA, "mining-service", "cellars")
+	foreign, err := sessA.NewClient(nodeA, sap.ClientConfig{Miner: "mining-service", Group: "cellars"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestServeGroupsModelFactoryContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	client, err := sessRefit.NewClient(cliConn, "mining-service")
+	client, err := sessRefit.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestServeGroupsPerGroupRefitCadence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pushConn.Close()
-	liveClient, err := sessLive.NewClient(pushConn, "mining-service")
+	liveClient, err := sessLive.NewClient(pushConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestServeGroupsPerGroupRefitCadence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	frozenClient, err := sessFrozen.NewClient(cliConn, "mining-service")
+	frozenClient, err := sessFrozen.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestServeGroupsStreamIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	clientB, err := sessB.NewClient(cliConn, "mining-service")
+	clientB, err := sessB.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}

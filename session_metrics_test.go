@@ -41,7 +41,7 @@ func TestWithMetricsCountsServeQueryStreamOverTCP(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- sess.Serve(ctx, svcNode, sap.NewKNN(5)) }()
 
-	client, err := sess.NewClient(cliNode, "mining-service")
+	client, err := sess.NewClient(cliNode, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}

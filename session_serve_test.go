@@ -71,7 +71,7 @@ func TestSessionServeAndQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	client, err := sess.NewClient(cliConn, "mining-service")
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestSessionServeOverTCP(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- sess.Serve(ctx, svcNode, sap.NewKNN(5)) }()
 
-	client, err := sess.NewClient(cliNode, "mining-service")
+	client, err := sess.NewClient(cliNode, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestSessionClientRejectsBadDimension(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	client, err := sess.NewClient(cliConn, "mining-service")
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestSessionLifecycleGuards(t *testing.T) {
 	if err := sess.Serve(context.Background(), conn, sap.NewKNN(5)); !errors.Is(err, sap.ErrBadInput) {
 		t.Fatalf("Serve before Run err = %v, want ErrBadInput", err)
 	}
-	if _, err := sess.NewClient(conn, "svc"); !errors.Is(err, sap.ErrBadInput) {
+	if _, err := sess.NewClient(conn, sap.ClientConfig{Miner: "svc"}); !errors.Is(err, sap.ErrBadInput) {
 		t.Fatalf("NewClient before Run err = %v, want ErrBadInput", err)
 	}
 	if _, err := sess.TransformForInference(d); !errors.Is(err, sap.ErrBadInput) {

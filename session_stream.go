@@ -205,7 +205,7 @@ func (c *Client) Push(ctx context.Context, chunk StreamChunk) (int, error) {
 // such failure is returned alongside the full count after the source
 // drains.
 func (s *Session) StreamTo(ctx context.Context, conn Conn, miner string, source StreamSource, opts ...StreamOption) (int, error) {
-	client, err := s.NewClient(conn, miner)
+	client, err := s.NewClient(conn, ClientConfig{Miner: miner})
 	if err != nil {
 		return 0, err
 	}

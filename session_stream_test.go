@@ -126,7 +126,7 @@ func TestStreamToGrowsService(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cliConn.Close()
-	client, err := sess.NewClient(cliConn, "mining-service")
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
 	if err != nil {
 		t.Fatal(err)
 	}
