@@ -24,6 +24,13 @@ type (
 	GroupUpdate = protocol.AdminUpdate
 	// GroupInfo describes one hosted group in an Admin.ListGroups answer.
 	GroupInfo = protocol.AdminGroupInfo
+	// GroupViewInfo describes one trust view of a multi-level group in an
+	// Admin.ListGroups answer (GroupInfo.Views; empty for single-view
+	// groups).
+	GroupViewInfo = protocol.AdminViewInfo
+	// GroupViewMembers names one trust view's replacement member list in a
+	// GroupUpdate (SetViewMembers/ViewMembers).
+	GroupViewMembers = protocol.AdminViewMembers
 )
 
 // GroupConfig describes a serving group to stand up on a live service via
@@ -57,6 +64,14 @@ type GroupConfig struct {
 	Float32 bool
 	// Quota rate-limits the group's ingest (zero: unlimited).
 	Quota Quota
+	// Views optionally splits the group into ordered multi-level trust
+	// views, with the same semantics and validation as WithTrustViews.
+	// Model then acts as the per-view prototype and must be a
+	// classify.Cloner (all built-in classifiers are): RegisterGroup fits
+	// one clone per view to prove the spec trains, and the service refits
+	// every view from the delivered records under the group's correlated
+	// noise ladder.
+	Views []ViewConfig
 }
 
 // Admin drives the admin control plane of one live mining service:
@@ -99,18 +114,10 @@ func (a *Admin) RegisterGroup(ctx context.Context, cfg GroupConfig) error {
 	if cfg.Model == nil {
 		return fmt.Errorf("%w: group %q has no model", ErrBadInput, cfg.ID)
 	}
-	if err := cfg.Model.Fit(cfg.Data.Clone()); err != nil {
-		return fmt.Errorf("%w: group %q model does not train on its data: %v", ErrBadInput, cfg.ID, err)
-	}
-	blob, err := classify.EncodeModel(cfg.Model)
-	if err != nil {
-		return fmt.Errorf("%w: group %q model: %v", ErrBadInput, cfg.ID, err)
-	}
-	return a.inner.RegisterGroup(ctx, protocol.AdminGroupSpec{
+	spec := protocol.AdminGroupSpec{
 		ID:         cfg.ID,
 		X:          cfg.Data.X,
 		Y:          cfg.Data.Y,
-		Model:      blob,
 		RefitEvery: cfg.RefitEvery,
 		Workers:    cfg.Workers,
 		MaxBatch:   cfg.MaxBatch,
@@ -118,7 +125,46 @@ func (a *Admin) RegisterGroup(ctx context.Context, cfg GroupConfig) error {
 		Members:    append([]string(nil), cfg.Members...),
 		Float32:    cfg.Float32,
 		Quota:      cfg.Quota,
-	})
+	}
+	if len(cfg.Views) > 0 {
+		// Reuse the option's validation so admin-registered view lists obey
+		// exactly the WithTrustViews contract.
+		if err := WithTrustViews(cfg.Views...)(&config{}); err != nil {
+			return fmt.Errorf("group %q: %w", cfg.ID, err)
+		}
+		cloner, ok := cfg.Model.(classify.Cloner)
+		if !ok {
+			return fmt.Errorf("%w: group %q uses trust views but its model is not a classify.Cloner; every view needs its own instance",
+				ErrBadInput, cfg.ID)
+		}
+		for _, v := range cfg.Views {
+			m := cloner.Clone()
+			if err := m.Fit(cfg.Data.Clone()); err != nil {
+				return fmt.Errorf("%w: group %q view %d model does not train on its data: %v",
+					ErrBadInput, cfg.ID, v.Level, err)
+			}
+			blob, err := classify.EncodeModel(m)
+			if err != nil {
+				return fmt.Errorf("%w: group %q view %d model: %v", ErrBadInput, cfg.ID, v.Level, err)
+			}
+			spec.Views = append(spec.Views, protocol.AdminViewSpec{
+				Level:      v.Level,
+				NoiseSigma: v.NoiseSigma,
+				Model:      blob,
+				Members:    append([]string(nil), v.Members...),
+			})
+		}
+		return a.inner.RegisterGroup(ctx, spec)
+	}
+	if err := cfg.Model.Fit(cfg.Data.Clone()); err != nil {
+		return fmt.Errorf("%w: group %q model does not train on its data: %v", ErrBadInput, cfg.ID, err)
+	}
+	blob, err := classify.EncodeModel(cfg.Model)
+	if err != nil {
+		return fmt.Errorf("%w: group %q model: %v", ErrBadInput, cfg.ID, err)
+	}
+	spec.Model = blob
+	return a.inner.RegisterGroup(ctx, spec)
 }
 
 // EvictGroup removes a serving group from the live service: its queues

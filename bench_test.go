@@ -704,6 +704,93 @@ func BenchmarkMultiGroupThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiViewClassify tracks one group's serving QPS as its model
+// set deepens from 1 to 2 to 4 trust views, with clients pinned round-robin
+// across the levels. Comparing against BenchmarkMultiGroupThroughput's
+// groups=1 case shows what the per-view resolution and per-view model
+// pointers cost on top of flat single-model serving.
+func BenchmarkMultiViewClassify(b *testing.B) {
+	const records, dim, batch = 64, 4, 16
+	rng := rand.New(rand.NewSource(31))
+	x := make([][]float64, records)
+	y := make([]int, records)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i % 4
+	}
+	d, err := dataset.New("views", x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nViews := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("views=%d", nViews), func(b *testing.B) {
+			net := transport.NewMemNetwork()
+			svcConn, err := net.Endpoint("svc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svcConn.Close()
+			views := make([]protocol.ViewSpec, nViews)
+			for v := range views {
+				views[v] = protocol.ViewSpec{
+					Level:      v + 1,
+					NoiseSigma: 0.1 * float64(v),
+					Model:      classify.NewKNN(1),
+				}
+			}
+			spec := protocol.GroupSpec{ID: "g", Unified: d, Views: views}
+			svc, err := protocol.NewGroupedMiningService(svcConn, []protocol.GroupSpec{spec}, protocol.ServiceConfig{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- svc.Serve(ctx) }()
+			clients := make([]*protocol.ServiceClient, nViews)
+			for v := range clients {
+				conn, err := net.Endpoint(fmt.Sprintf("cli%d", v))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				clients[v], err = protocol.NewGroupServiceClient(conn, "svc", "g")
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[v].SetView(v + 1)
+			}
+			queries := make([][]float64, batch)
+			for i := range queries {
+				queries[i] = x[i%records]
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					client := clients[int(next.Add(1))%nViews]
+					if _, err := client.ClassifyBatch(ctx, queries); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/s")
+			for _, client := range clients {
+				client.Close()
+			}
+			cancel()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // latencyModel is a KNN whose every Predict also burns a fixed wall-clock
 // cost, emulating a production model whose inference latency — not CPU —
 // bounds a single node's serving rate. It makes the cluster benchmark

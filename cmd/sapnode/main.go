@@ -16,6 +16,14 @@
 // -group. A miner serving its own run's result under a named group uses
 // -group too.
 //
+// A serving group can be split into multi-level trust views with -views
+// level[:sigma][=member;member...],...: one model per trust level, each
+// trained under that level's slice of a correlated noise ladder (so no
+// coalition of views can pool its way below the most-trusted member's
+// privacy level — the miner prints the per-view guarantees and the
+// coalition headline before serving). Levels without an explicit sigma
+// default to (level-1)×-view-sigma.
+//
 // Any role can expose its operational metrics with -metrics-addr: GET
 // /metrics returns the per-group request/ingest/refit counters (miner) or
 // the streaming pipeline's chunk/drift counters (provider) as a JSON
@@ -43,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net"
@@ -114,6 +123,8 @@ func run(args []string) error {
 		adminToken  = fs.String("admin-token", "", "admin control-plane token: a serving miner arms its admin interface with it, -admin calls authenticate with it (empty leaves the admin plane disabled)")
 		quotaRate   = fs.Float64("quota", 0, "per-group ingest quota in records per second for -admin register (0: unlimited)")
 		quotaBurst  = fs.Int("quota-burst", 0, "ingest quota burst cap in records for -admin register (0 selects the rate)")
+		viewsFlag   = fs.String("views", "", "comma-separated multi-level trust view list level[:sigma][=member;member...] (miner with -serve): each served group splits into one model per trust level, lower levels trained under less noise; members restrict a view to the named endpoints; sigma defaults to (level-1)×-view-sigma")
+		viewSigma   = fs.Float64("view-sigma", 0.1, "per-level noise step for -views entries without an explicit sigma: level ℓ defaults to (ℓ-1)×step")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -174,6 +185,10 @@ func run(args []string) error {
 	// protocol clients, the miner side turns it into the service's
 	// advertised capabilities.
 	wire := protocol.WireOptions{Compress: *compress, Float32: *f32}
+
+	if *viewsFlag != "" && *role != "miner" {
+		return fmt.Errorf("-views is a miner serving flag (got -role %q)", *role)
+	}
 
 	// Admin mode is a role of its own: one authenticated control-plane call
 	// against a live mining service, then exit.
@@ -249,6 +264,13 @@ func run(args []string) error {
 				return err
 			}
 		}
+		views, err := parseViews(*viewsFlag, *viewSigma)
+		if err != nil {
+			return err
+		}
+		if len(views) > 0 && *serveFor == 0 {
+			return fmt.Errorf("-views requires -serve (trust views are a serving concept)")
+		}
 		if *clusterFlag != "" && *groupsFlag == "" {
 			return fmt.Errorf("-cluster requires -groups (the cluster partitions the id=csv group list)")
 		}
@@ -263,10 +285,10 @@ func run(args []string) error {
 			}
 			if *clusterFlag != "" {
 				return serveCluster(node, *name, *clusterFlag, *clusterReps,
-					*groupsFlag, *modelName, *workers, *maxBatch, *refitEvery,
+					*groupsFlag, *modelName, views, *workers, *maxBatch, *refitEvery,
 					*failGrace, *antiEntropy, *serveFor, sink, wire, *adminToken)
 			}
-			return serveGroups(node, *groupsFlag, *modelName, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
+			return serveGroups(node, *groupsFlag, *modelName, views, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
 		}
 		// Queries racing the tail of the SAP run are stashed so they
 		// neither trip the protocol's violation checks nor get lost; the
@@ -301,7 +323,7 @@ func run(args []string) error {
 			fmt.Printf("unified dataset written to %s\n", *outPath)
 		}
 		if *serveFor != 0 {
-			return serveService(conn, res, *modelName, *group, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
+			return serveService(conn, res, *modelName, *group, views, *workers, *maxBatch, *refitEvery, *serveFor, sink, wire, *adminToken)
 		}
 		return nil
 
@@ -314,8 +336,9 @@ func run(args []string) error {
 // classification queries until the duration elapses (or, when negative,
 // until SIGINT/SIGTERM). Queries stashed during the protocol phase are
 // answered first. A non-empty group serves the model under that group id
-// instead of the default group.
-func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
+// instead of the default group; -views splits it into multi-level trust
+// views, one model per level.
+func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, group string, views []viewDef, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	model, err := buildModel(modelName)
 	if err != nil {
 		return err
@@ -323,14 +346,143 @@ func serveService(conn *serviceStash, res *protocol.MinerResult, modelName, grou
 	if group == "" {
 		group = protocol.DefaultGroup
 	}
+	spec := protocol.GroupSpec{ID: group, Unified: res.Unified, Model: model, Float32: wire.Float32}
+	if err := attachViews(&spec, views, modelName); err != nil {
+		return err
+	}
+	reportViewPrivacy(spec)
 	conn.beginServe()
 	svc, err := protocol.NewGroupedMiningService(conn,
-		[]protocol.GroupSpec{{ID: group, Unified: res.Unified, Model: model, Float32: wire.Float32}},
+		[]protocol.GroupSpec{spec},
 		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress, AdminToken: adminToken})
 	if err != nil {
 		return err
 	}
-	return serveLoop(svc, fmt.Sprintf("mining service online (%s model, group %q); serving queries…", modelName, group), d)
+	return serveLoop(svc, fmt.Sprintf("mining service online (%s model, group %q, %d view(s)); serving queries…",
+		modelName, group, max(1, len(views))), d)
+}
+
+// viewDef is one parsed -views entry.
+type viewDef struct {
+	level   int
+	sigma   float64
+	members []string
+}
+
+// parseViews maps the -views flag — comma-separated entries of the form
+// level[:sigma][=member;member...] — to view definitions. An entry without
+// an explicit sigma defaults to (level-1)×step, so "1,2,3" is a ready-made
+// three-level ladder.
+func parseViews(spec string, step float64) ([]viewDef, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("negative -view-sigma %v", step)
+	}
+	var out []viewDef
+	for _, entry := range strings.Split(spec, ",") {
+		head, memberPart, hasMembers := strings.Cut(entry, "=")
+		levelPart, sigmaPart, hasSigma := strings.Cut(head, ":")
+		var vd viewDef
+		if _, err := fmt.Sscanf(levelPart, "%d", &vd.level); err != nil || vd.level <= 0 {
+			return nil, fmt.Errorf("bad -views entry %q (want level[:sigma][=member;member...] with a positive level)", entry)
+		}
+		if hasSigma {
+			if _, err := fmt.Sscanf(sigmaPart, "%g", &vd.sigma); err != nil || vd.sigma < 0 {
+				return nil, fmt.Errorf("bad -views sigma in %q", entry)
+			}
+		} else {
+			vd.sigma = float64(vd.level-1) * step
+		}
+		if hasMembers && memberPart != "" {
+			vd.members = strings.Split(memberPart, ";")
+		}
+		if n := len(out); n > 0 {
+			if vd.level <= out[n-1].level {
+				return nil, fmt.Errorf("-views levels must be strictly increasing (%d after %d)", vd.level, out[n-1].level)
+			}
+			if vd.sigma < out[n-1].sigma {
+				return nil, fmt.Errorf("-views noise must be non-decreasing (%g after %g)", vd.sigma, out[n-1].sigma)
+			}
+		}
+		out = append(out, vd)
+	}
+	return out, nil
+}
+
+// attachViews expands -views definitions onto one group spec, building a
+// fresh model instance per view (GroupSpec.Views requires the group-level
+// model to move into the view list).
+func attachViews(spec *protocol.GroupSpec, views []viewDef, modelName string) error {
+	if len(views) == 0 {
+		return nil
+	}
+	spec.Model, spec.NewModel = nil, nil
+	spec.Views = nil
+	for _, vd := range views {
+		m, err := buildModel(modelName)
+		if err != nil {
+			return err
+		}
+		spec.Views = append(spec.Views, protocol.ViewSpec{
+			Level:      vd.level,
+			NoiseSigma: vd.sigma,
+			Model:      m,
+			Members:    append([]string(nil), vd.members...),
+		})
+	}
+	return nil
+}
+
+// viewReportSample caps the records the serve-time coalition report
+// evaluates: the attack suite is quadratic-ish in records, and a few
+// hundred suffice for the headline numbers.
+const viewReportSample = 300
+
+// reportViewPrivacy prints a multi-level group's per-view privacy levels
+// and the coalition (diversity-attack) headline before serving: each view's
+// minimum attack-suite guarantee on this group's data, and the largest
+// privacy gain any coalition of views achieves by pooling — which the
+// correlated noise ladder keeps at ~0. Best-effort: evaluation failures are
+// reported and serving proceeds.
+func reportViewPrivacy(spec protocol.GroupSpec) {
+	if len(spec.Views) == 0 {
+		return
+	}
+	x := spec.Unified.FeaturesT()
+	if x.Cols() > viewReportSample {
+		x = x.Slice(0, x.Rows(), 0, viewReportSample)
+	}
+	sigmas := make([]float64, len(spec.Views))
+	for i, v := range spec.Views {
+		sigmas[i] = v.NoiseSigma
+	}
+	// The same deterministic seeding the serving shard uses, so the report
+	// describes the ladder the service actually draws from.
+	seed := fnv.New64a()
+	seed.Write([]byte(spec.ID))
+	rng := rand.New(rand.NewSource(int64(seed.Sum64())))
+	ladder, err := perturb.NoiseLadder(rng, x.Rows(), x.Cols(), sigmas)
+	if err != nil {
+		fmt.Printf("group %q: view privacy report skipped: %v\n", spec.ID, err)
+		return
+	}
+	views := make([]privacy.TrustView, len(spec.Views))
+	for i, v := range spec.Views {
+		views[i] = privacy.TrustView{Level: v.Level, Sigma: v.NoiseSigma, Data: x.Add(ladder[i])}
+	}
+	rep, err := privacy.FastEvaluator().EvaluateCoalitions(x, views, privacy.Knowledge{})
+	if err != nil {
+		fmt.Printf("group %q: view privacy report skipped: %v\n", spec.ID, err)
+		return
+	}
+	for _, v := range rep.Views {
+		fmt.Printf("group %q view %d: σ=%.3g privacy guarantee %.4f\n",
+			spec.ID, v.Level, v.Sigma, v.Report.MinGuarantee)
+	}
+	fmt.Printf("group %q: max coalition gain over weakest member %.4f across %d coalition(s) (correlated ladder bounds this at ~0)\n",
+		spec.ID, rep.MaxGain, len(rep.Coalitions))
 }
 
 // parseGroups maps a -groups id=unified.csv list to protocol group specs,
@@ -363,10 +515,18 @@ func parseGroups(spec, modelName string, float32Payloads bool) ([]protocol.Group
 // serveGroups stands up one model shard per id=unified.csv pair and serves
 // all of them from this process — the many-contract deployment: each stored
 // unified dataset is an earlier contract's result in its own target space.
-func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
+// A -views list applies to every group: each splits into the same
+// multi-level trust structure over its own data.
+func serveGroups(conn transport.Conn, spec, modelName string, views []viewDef, workers, maxBatch, refitEvery int, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	groups, err := parseGroups(spec, modelName, wire.Float32)
 	if err != nil {
 		return err
+	}
+	for i := range groups {
+		if err := attachViews(&groups[i], views, modelName); err != nil {
+			return err
+		}
+		reportViewPrivacy(groups[i])
 	}
 	svc, err := protocol.NewGroupedMiningService(conn, groups,
 		protocol.ServiceConfig{Workers: workers, MaxBatch: maxBatch, RefitEvery: refitEvery, Metrics: sink, Compression: wire.Compress, AdminToken: adminToken})
@@ -384,11 +544,17 @@ func serveGroups(conn transport.Conn, spec, modelName string, workers, maxBatch,
 // other cluster nodes are added as transport peers so replication and
 // forwarded client traffic can reach them.
 func serveCluster(node *transport.TCPNode, name, clusterSpec string, replicas int,
-	groupsSpec, modelName string, workers, maxBatch, refitEvery int,
+	groupsSpec, modelName string, views []viewDef, workers, maxBatch, refitEvery int,
 	failGrace, antiEntropy, d time.Duration, sink metrics.Metrics, wire protocol.WireOptions, adminToken string) error {
 	groups, err := parseGroups(groupsSpec, modelName, wire.Float32)
 	if err != nil {
 		return err
+	}
+	for i := range groups {
+		if err := attachViews(&groups[i], views, modelName); err != nil {
+			return err
+		}
+		reportViewPrivacy(groups[i])
 	}
 	var names []string
 	member := false

@@ -43,6 +43,15 @@
 //     WithFailoverGrace the next-ranked replica assumes leadership —
 //     clients follow the freshest routing-table epoch and skip downed
 //     nodes for WithDownFor.
+//   - Multi-level trust serving: WithTrustViews splits a group into
+//     ordered trust views — one model per level, each trained on the
+//     shared records blurred to the view's noise, with a correlated noise
+//     ladder (every view is the view above plus independent noise) so
+//     colluding recipients pooling their views learn no more than the
+//     least-noisy member alone. Clients pin a view with ClientConfig.View
+//     or are routed to the best view their endpoint is on; views answer
+//     outsiders with ErrNotMember and unserved levels with the typed
+//     ErrUnknownView.
 //   - A dynamic control plane: with WithAdminToken armed, an Admin client
 //     (NewAdmin) registers, evicts, reconfigures and lists serving groups
 //     on a live miner — no restart — with per-group records/s ingest

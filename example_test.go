@@ -119,6 +119,73 @@ func ExampleRun() {
 	fmt.Printf("one label per held-out record: %v\n", len(labels) == holdout.Len())
 }
 
+// ExampleWithTrustViews serves one group as ordered multi-level trust
+// views: the level-1 view answers its inner circle with the unblurred fit,
+// the level-2 view answers a wider audience with a model trained under
+// noise, and the correlated noise ladder keeps any coalition of views from
+// learning more than the least-noisy member alone.
+func ExampleWithTrustViews() {
+	pool, err := sap.GenerateDataset("Iris", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := sap.Run(ctx,
+		sap.WithParties(parties...),
+		sap.WithSeed(4),
+		sap.WithOptimizer(2, 1),
+		sap.WithTrustViews(
+			sap.ViewConfig{Level: 1, NoiseSigma: 0, Members: []string{"analyst"}},
+			sap.ViewConfig{Level: 2, NoiseSigma: 0.4},
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svcConn.Close()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(serveCtx, svcConn, sap.NewKNN(5)) }()
+
+	// The analyst is routed to the unblurred level-1 view; everyone else
+	// lands on level 2 (no member list admits any peer).
+	cliConn, err := net.Endpoint("analyst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cliConn.Close()
+	client, err := sess.NewClient(cliConn, sap.ClientConfig{Miner: "mining-service"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	labels, err := client.ClassifyBatch(ctx, holdout.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stopServe()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inner view answered every record: %v\n", len(labels) == holdout.Len())
+	// Output: inner view answered every record: true
+}
+
 // ExampleSession_Stream shows the local half of continuous ingestion: a
 // completed session opens a streaming pipeline that perturbs incrementally
 // arriving records into the target space, chunk by chunk, with backpressure.

@@ -1,0 +1,147 @@
+// Multitrust: one serving group split into multi-level trust views. A
+// consortium unifies its data once, then serves three models of the same
+// training set — an inner circle's unblurred fit, a partner tier trained
+// under moderate noise, and a public tier under heavy noise
+// (sap.WithTrustViews). Every lower tier's training noise is derived from
+// the tier above plus an independent increment, so partners and the public
+// pooling their views together still learn no more than the partner view
+// alone — the diversity attack of multi-level trust serving gains nothing.
+// Clients pick their tier with ClientConfig.View or are routed to the best
+// tier their endpoint is authorized for; tiers they are not on refuse them.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	sap "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Phase 1: one consortium unifies its data — a single SAP run, a single
+	// target space, a single unified training set.
+	pool, err := sap.GenerateDataset("Iris", 7)
+	if err != nil {
+		return err
+	}
+	train, holdout, err := sap.TrainTestSplit(pool, 0.25, 8)
+	if err != nil {
+		return err
+	}
+	parties, err := sap.Split(train, 3, sap.PartitionUniform, 9)
+	if err != nil {
+		return err
+	}
+	sess, err := sap.Run(ctx,
+		sap.WithParties(parties...),
+		sap.WithSeed(10),
+		sap.WithOptimizer(4, 4),
+		sap.WithGroupID("consortium"),
+		// Three trust tiers over the same data: the level-1 view serves the
+		// unblurred fit to the inner circle, level 2 a moderately noised fit
+		// to partners, level 3 a heavily noised fit to anyone else listed.
+		sap.WithTrustViews(
+			sap.ViewConfig{Level: 1, NoiseSigma: 0, Members: []string{"analyst"}},
+			sap.ViewConfig{Level: 2, NoiseSigma: 0.25, Members: []string{"analyst", "partner"}},
+			sap.ViewConfig{Level: 3, NoiseSigma: 0.6, Members: []string{"analyst", "partner", "public"}},
+		),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consortium unified: %d records, 3 trust views\n", sess.Unified().Len())
+
+	// Phase 2: one miner serves all three views of the group.
+	net := sap.NewMemNetwork()
+	svcConn, err := net.Endpoint("mining-service")
+	if err != nil {
+		return err
+	}
+	defer svcConn.Close()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sess.Serve(serveCtx, svcConn, sap.NewKNN(5)) }()
+
+	// Phase 3: each tier queries. Unpinned clients are routed to the best
+	// view their endpoint is on, so the analyst gets the unblurred model and
+	// the public endpoint the heavily noised one — same wire, same group.
+	score := func(endpoint string, view int) (float64, error) {
+		conn, err := net.Endpoint(endpoint)
+		if err != nil {
+			return 0, err
+		}
+		defer conn.Close()
+		client, err := sess.NewClient(conn, sap.ClientConfig{Miner: "mining-service", View: view})
+		if err != nil {
+			return 0, err
+		}
+		defer client.Close()
+		labels, err := client.ClassifyBatch(ctx, holdout.X)
+		if err != nil {
+			return 0, err
+		}
+		agree := 0
+		for i, label := range labels {
+			if label == holdout.Y[i] {
+				agree++
+			}
+		}
+		return float64(agree) / float64(len(labels)), nil
+	}
+
+	inner, err := score("analyst", 0) // routed to view 1
+	if err != nil {
+		return err
+	}
+	public, err := score("public", 0) // routed to view 3
+	if err != nil {
+		return err
+	}
+	fmt.Printf("holdout accuracy: inner circle %.3f, public tier %.3f (noise costs accuracy, by design)\n",
+		inner, public)
+
+	// Phase 4: authorization. The public endpoint asking for the inner
+	// view is refused; a view nobody serves is a typed unknown-view error.
+	conn, err := net.Endpoint("public")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	client, err := sess.NewClient(conn, sap.ClientConfig{Miner: "mining-service", View: 1})
+	if err != nil {
+		return err
+	}
+	if _, err := client.Classify(ctx, holdout.X[0]); errors.Is(err, sap.ErrNotMember) {
+		fmt.Println("public query for the inner view refused: not a member")
+	} else {
+		client.Close()
+		return fmt.Errorf("inner-view query was not refused (err = %v)", err)
+	}
+	client.Close()
+	probe, err := sess.NewClient(conn, sap.ClientConfig{Miner: "mining-service", View: 9})
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	if _, err := probe.Classify(ctx, holdout.X[0]); errors.Is(err, sap.ErrUnknownView) {
+		fmt.Println("query for an unserved view refused: unknown view")
+	} else {
+		return fmt.Errorf("unknown-view query was not refused (err = %v)", err)
+	}
+
+	stopServe()
+	return <-serveDone
+}

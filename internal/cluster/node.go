@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,11 +82,16 @@ type NodeConfig struct {
 	FailoverGrace time.Duration
 }
 
-// pendingSync is one group's latest unreplicated model: the classifier the
-// refit just published plus the leader's ingest count at publication, the
-// coverage mark the lag gauge measures against.
+// pendingSync is one group's latest unreplicated fit: per trust view, the
+// classifier the refit just published (latest wins per view — a fresher
+// swap for the same view replaces an unsent one), plus the leader's ingest
+// count at publication, the coverage mark the lag gauge measures against.
+// Views use the wire convention of ServiceConfig.OnModelSwap: real levels
+// for explicit multi-view groups, 0 for a single-view group's sole implicit
+// view — the level is stamped on the sync frame verbatim, so single-view
+// groups keep their pre-view wire bytes.
 type pendingSync struct {
-	model    classify.Classifier
+	models   map[int]classify.Classifier
 	ingested int64
 }
 
@@ -260,11 +266,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	svcCfg.Routes = nil
 	svcCfg.RoutesFunc = n.routesSnapshot
 	prevSwap := svcCfg.OnModelSwap
-	svcCfg.OnModelSwap = func(group string, model classify.Classifier) {
+	svcCfg.OnModelSwap = func(group string, view int, model classify.Classifier) {
 		if prevSwap != nil {
-			prevSwap(group, model)
+			prevSwap(group, view, model)
 		}
-		n.enqueueSync(group, model)
+		n.enqueueSync(group, view, model)
 	}
 	prevGossip := svcCfg.OnSyncGossip
 	svcCfg.OnSyncGossip = func(g protocol.SyncGossip) {
@@ -540,12 +546,14 @@ func (n *Node) replicaLag() int64 {
 	return lag
 }
 
-// enqueueSync records a freshly swapped classifier for replication. It runs
-// on the group's refit goroutine and must not block: it parks the model in
-// the latest-wins pending map and nudges the publisher. Swaps in groups this
-// node does not currently lead, or leads without replicas, have nowhere to
-// go and are dropped here.
-func (n *Node) enqueueSync(group string, model classify.Classifier) {
+// enqueueSync records one freshly swapped view classifier for replication.
+// It runs on the group's refit goroutine and must not block: it parks the
+// model in the latest-wins pending map (per view — a multi-view refit fires
+// the hook once per view, and all of one fit round's views accumulate into
+// the same pending entry, so followers receive the whole consistent set)
+// and nudges the publisher. Swaps in groups this node does not currently
+// lead, or leads without replicas, have nowhere to go and are dropped here.
+func (n *Node) enqueueSync(group string, view int, model classify.Classifier) {
 	ingested, _ := n.svc.GroupIngested(group)
 	n.mu.Lock()
 	row, ok := n.rows[group]
@@ -553,7 +561,15 @@ func (n *Node) enqueueSync(group string, model classify.Classifier) {
 		n.mu.Unlock()
 		return
 	}
-	n.pending[group] = pendingSync{model: model, ingested: int64(ingested)}
+	ps, ok := n.pending[group]
+	if !ok {
+		ps = pendingSync{models: make(map[int]classify.Classifier)}
+	}
+	ps.models[view] = model
+	if int64(ingested) > ps.ingested {
+		ps.ingested = int64(ingested)
+	}
+	n.pending[group] = ps
 	n.mu.Unlock()
 	n.nudge()
 }
@@ -667,11 +683,23 @@ func (n *Node) publishPending(ctx context.Context) {
 			continue // demoted (or evicted) between enqueue and publish
 		}
 		if !n.floored[group] && now.Before(n.floorBy[group]) {
-			// Handshake pending: park the model (unless a fresher one has
-			// already been enqueued) so a restarted leader's first publish
-			// cannot collide with the replicas' installed numbering.
-			if _, fresher := n.pending[group]; !fresher {
+			// Handshake pending: park the models so a restarted leader's
+			// first publish cannot collide with the replicas' installed
+			// numbering. Merge per view — a fresher swap enqueued meanwhile
+			// wins its view, parked views it did not refresh are kept.
+			fresher, ok := n.pending[group]
+			if !ok {
 				n.pending[group] = ps
+			} else {
+				for view, model := range ps.models {
+					if _, refreshed := fresher.models[view]; !refreshed {
+						fresher.models[view] = model
+					}
+				}
+				if ps.ingested > fresher.ingested {
+					fresher.ingested = ps.ingested
+				}
+				n.pending[group] = fresher
 			}
 			n.mu.Unlock()
 			continue
@@ -682,9 +710,12 @@ func (n *Node) publishPending(ctx context.Context) {
 			n.covered[group] = ps.ingested
 		}
 		cov := n.covered[group]
-		// The model being published is the one the service now serves (the
-		// swap hook fired after the atomic publish), so this sequence is the
-		// one anti-entropy may re-offer the served model under.
+		// The models being published are the ones the service now serves (the
+		// swap hooks fired after the atomic publishes), so this sequence is
+		// the one anti-entropy may re-offer the served models under. One
+		// sequence covers the whole round: every view of one fit advances
+		// together, and the per-view install guards on the replica treat the
+		// shared number independently.
 		n.modelSeq[group] = seq
 		n.modelCov[group] = cov
 		replicas := append([]string(nil), row.Replicas...)
@@ -692,41 +723,47 @@ func (n *Node) publishPending(ctx context.Context) {
 		lagBase := n.lagBase[group]
 		n.mu.Unlock()
 
-		blobs := newSyncBlobs(ps.model, f32)
-		blob, err := blobs.plain()
-		if err != nil {
-			n.mSyncErrors.Inc()
-			continue
-		}
+		views := sortedViews(ps.models)
 		allSent := true
-		for _, replica := range replicas {
-			// Frame per the replica's advertised capabilities: compression
-			// when both sides opted in, and the packed-float32 blob (half the
-			// bytes) when the group opted in and the replica accepts it.
-			opts := n.svc.FrameOptsFor(replica, f32)
-			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
-			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
-			scancel()
+		for _, view := range views {
+			blobs := newSyncBlobs(ps.models[view], f32)
+			blob, err := blobs.plain()
 			if err != nil {
 				n.mSyncErrors.Inc()
 				allSent = false
 				continue
 			}
-			n.mSyncPublished.Inc()
-			n.noteSyncSent(group, replica)
+			for _, replica := range replicas {
+				// Frame per the replica's advertised capabilities:
+				// compression when both sides opted in, and the packed-
+				// float32 blob (half the bytes) when the group opted in and
+				// the replica accepts it.
+				opts := n.svc.FrameOptsFor(replica, f32)
+				sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
+				err := protocol.SendModelSync(sctx, n.conn, replica, group, view, seq, cov, blobs.forOpts(opts, blob), opts)
+				scancel()
+				if err != nil {
+					n.mSyncErrors.Inc()
+					allSent = false
+					continue
+				}
+				n.mSyncPublished.Inc()
+				n.noteSyncSent(group, replica)
+			}
 		}
 		if allSent && lagBase != nil {
 			lagBase.Store(ps.ingested)
 		}
 	}
 
-	// Anti-entropy: re-push the current model — at the sequence that model
-	// was actually published or installed under, never the handshake-floored
-	// counter — to the replicas whose state answers reported an older one. A
-	// zero modelSeq means the served model is this process's freshly
-	// constructed one, which no replica should ever regress to: the repair
-	// then waits for the next refit's publish instead. Replicas at or above
-	// modelSeq reject the re-push idempotently.
+	// Anti-entropy: re-push the currently served models — every trust view,
+	// at the sequence they were actually published or installed under, never
+	// the handshake-floored counter — to the replicas whose state answers
+	// reported an older one. A zero modelSeq means the served models are
+	// this process's freshly constructed ones, which no replica should ever
+	// regress to: the repair then waits for the next refit's publish
+	// instead. Replicas at or above modelSeq reject the re-push
+	// idempotently, per view.
 	for group, targets := range rep {
 		n.mu.Lock()
 		row := n.rows[group]
@@ -737,32 +774,45 @@ func (n *Node) publishPending(ctx context.Context) {
 		if row.Node != n.name || seq == 0 {
 			continue
 		}
-		model, err := n.svc.GroupModel(group)
+		views, err := n.svc.GroupViewModels(group)
 		if err != nil {
 			continue
 		}
-		blobs := newSyncBlobs(model, f32)
-		blob, err := blobs.plain()
-		if err != nil {
-			n.mSyncErrors.Inc()
-			continue
-		}
-		for replica := range targets {
-			if !contains(row.Replicas, replica) {
-				continue
-			}
-			opts := n.svc.FrameOptsFor(replica, f32)
-			sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
-			err := protocol.SendModelSync(sctx, n.conn, replica, group, seq, cov, blobs.forOpts(opts, blob), opts)
-			scancel()
+		for _, vm := range views {
+			blobs := newSyncBlobs(vm.Model, f32)
+			blob, err := blobs.plain()
 			if err != nil {
 				n.mSyncErrors.Inc()
 				continue
 			}
-			n.mAEPushes.Inc()
-			n.noteSyncSent(group, replica)
+			for replica := range targets {
+				if !contains(row.Replicas, replica) {
+					continue
+				}
+				opts := n.svc.FrameOptsFor(replica, f32)
+				sctx, scancel := context.WithTimeout(ctx, syncSendTimeout)
+				err := protocol.SendModelSync(sctx, n.conn, replica, group, vm.Level, seq, cov, blobs.forOpts(opts, blob), opts)
+				scancel()
+				if err != nil {
+					n.mSyncErrors.Inc()
+					continue
+				}
+				n.mAEPushes.Inc()
+				n.noteSyncSent(group, replica)
+			}
 		}
 	}
+}
+
+// sortedViews returns one pending entry's view levels ascending, so a
+// publish round's frames go out in a deterministic order.
+func sortedViews(models map[int]classify.Classifier) []int {
+	out := make([]int, 0, len(models))
+	for v := range models {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // syncBlobs lazily encodes the wire forms of one model being replicated: the

@@ -109,6 +109,26 @@ type AdminGroupSpec struct {
 	Float32 bool
 	// Quota is the group's ingest rate limit (zero: unlimited).
 	Quota GroupQuota
+	// Views optionally registers the group as a multi-level trust group:
+	// one served model per trust level, mirroring GroupSpec.Views. With
+	// Views set the group-level Model blob must be empty — each view
+	// carries its own. Nil registers a single-view group exactly as before.
+	Views []AdminViewSpec
+}
+
+// AdminViewSpec is the wire form of one trust view in a group registration.
+type AdminViewSpec struct {
+	// Level is the view's trust rank (positive, strictly increasing across
+	// the list; level 1 = most trusted).
+	Level int
+	// NoiseSigma is the view's absolute additive training-noise σ
+	// (non-decreasing across the list).
+	NoiseSigma float64
+	// Model is the view's classifier in classify.EncodeModel format.
+	Model []byte
+	// Members is the view's ACL on top of the group's (empty admits every
+	// group member).
+	Members []string
 }
 
 // AdminUpdate names the limits a kindAdminUpdate changes on a live group.
@@ -129,6 +149,18 @@ type AdminUpdate struct {
 	// SetMembers replaces the group's ACL (empty admits any peer).
 	SetMembers bool
 	Members    []string
+	// SetViewMembers replaces the per-view ACLs named in ViewMembers (one
+	// row per view level; an empty member list opens the view to every
+	// group member). Levels the group does not serve reject the whole
+	// update, applying nothing.
+	SetViewMembers bool
+	ViewMembers    []AdminViewMembers
+}
+
+// AdminViewMembers names one trust view's replacement ACL in an AdminUpdate.
+type AdminViewMembers struct {
+	Level   int
+	Members []string
 }
 
 // AdminGroupInfo describes one hosted group in a kindAdminList answer.
@@ -146,6 +178,16 @@ type AdminGroupInfo struct {
 	Quota    GroupQuota
 	// Ingested is the group's total stream-ingested record count.
 	Ingested int64
+	// Views describes a multi-level group's trust views in ascending level
+	// order; nil for single-view groups.
+	Views []AdminViewInfo
+}
+
+// AdminViewInfo describes one trust view of a hosted multi-level group.
+type AdminViewInfo struct {
+	Level      int
+	NoiseSigma float64
+	Members    []string
 }
 
 // groupSpec converts the wire spec into the registry's GroupSpec: the
@@ -159,17 +201,9 @@ func (w *AdminGroupSpec) groupSpec() (GroupSpec, error) {
 	if err != nil {
 		return GroupSpec{}, fmt.Errorf("group %q training set: %v", w.ID, err)
 	}
-	if len(w.Model) == 0 {
-		return GroupSpec{}, fmt.Errorf("group %q: no model blob", w.ID)
-	}
-	model, err := classify.DecodeModel(w.Model)
-	if err != nil {
-		return GroupSpec{}, fmt.Errorf("group %q model: %v", w.ID, err)
-	}
-	return GroupSpec{
+	spec := GroupSpec{
 		ID:         w.ID,
 		Unified:    ds,
-		Model:      model,
 		RefitEvery: w.RefitEvery,
 		Workers:    w.Workers,
 		MaxBatch:   w.MaxBatch,
@@ -177,7 +211,37 @@ func (w *AdminGroupSpec) groupSpec() (GroupSpec, error) {
 		Members:    w.Members,
 		Float32:    w.Float32,
 		Quota:      w.Quota,
-	}, nil
+	}
+	if len(w.Views) > 0 {
+		if len(w.Model) > 0 {
+			return GroupSpec{}, fmt.Errorf("group %q: both a group-level model blob and views", w.ID)
+		}
+		for _, vw := range w.Views {
+			if len(vw.Model) == 0 {
+				return GroupSpec{}, fmt.Errorf("group %q view %d: no model blob", w.ID, vw.Level)
+			}
+			model, err := classify.DecodeModel(vw.Model)
+			if err != nil {
+				return GroupSpec{}, fmt.Errorf("group %q view %d model: %v", w.ID, vw.Level, err)
+			}
+			spec.Views = append(spec.Views, ViewSpec{
+				Level:      vw.Level,
+				NoiseSigma: vw.NoiseSigma,
+				Model:      model,
+				Members:    vw.Members,
+			})
+		}
+		return spec, nil
+	}
+	if len(w.Model) == 0 {
+		return GroupSpec{}, fmt.Errorf("group %q: no model blob", w.ID)
+	}
+	model, err := classify.DecodeModel(w.Model)
+	if err != nil {
+		return GroupSpec{}, fmt.Errorf("group %q model: %v", w.ID, err)
+	}
+	spec.Model = model
+	return spec, nil
 }
 
 // adminTokenOK authenticates one admin frame against the configured token in
@@ -264,7 +328,7 @@ func (a *AdminClient) UpdateGroup(ctx context.Context, group string, u AdminUpda
 	if group == "" {
 		return fmt.Errorf("%w: update without a group", ErrBadConfig)
 	}
-	if !u.SetQuota && !u.SetMaxBatch && !u.SetRefitEvery && !u.SetMembers {
+	if !u.SetQuota && !u.SetMaxBatch && !u.SetRefitEvery && !u.SetMembers && !u.SetViewMembers {
 		return fmt.Errorf("%w: update changes nothing", ErrBadConfig)
 	}
 	_, err := a.call(ctx, &serviceWire{Kind: kindAdminUpdate, Group: group, Update: &u})

@@ -8,8 +8,8 @@ import (
 
 // FuzzDecodeFrame hardens service wire-frame decoding against arbitrary
 // payloads: real frames of every spoken version (v1–v6 classic and the
-// flagged v7 format with compressed and float32 bodies, cluster admin
-// frames included), truncated and
+// flagged v7 format with compressed and float32 bodies, cluster admin and
+// multi-level trust-view frames included), truncated and
 // bit-flipped frames, oversized version claims, and plain garbage. The
 // decoder must never panic and must keep its contract — a typed
 // ErrWireVersion outside the supported version range, nil/nil for
@@ -52,6 +52,24 @@ func FuzzDecodeFrame(f *testing.F) {
 			Quota: GroupQuota{RecordsPerSec: 10}, Ingested: 7}}}
 	quotaReject := &serviceWire{ID: 22, Kind: kindIngest, Group: "gamma", Response: true,
 		Code: codeQuota, Err: `group "gamma" ingest quota exhausted`}
+	// The multi-level trust surface (View rides the existing formats as a
+	// gob field, omitted when zero): view-stamped requests, per-view
+	// replication frames, view-carrying admin registrations and the typed
+	// unknown-view rejection.
+	viewClassify := &serviceWire{ID: 23, Group: "alpha", View: 2,
+		Batch: [][]float64{{0.25, 0.5}}}
+	viewIngest := &serviceWire{ID: 24, Kind: kindIngest, Group: "alpha", View: 3,
+		Batch: [][]float64{{0.1}}, Labels: []int{1}}
+	viewSync := &serviceWire{Kind: kindModelSync, Group: "alpha", View: 2, Seq: 6,
+		Model: []byte{'K', 0x03, 0x04}}
+	viewRegister := &serviceWire{ID: 25, Kind: kindAdminRegister, Group: "delta",
+		Token: "tok", Spec: &AdminGroupSpec{ID: "delta", X: [][]float64{{0.5}}, Y: []int{1},
+			Views: []AdminViewSpec{
+				{Level: 1, NoiseSigma: 0, Model: []byte{'K', 0x05}, Members: []string{"analyst"}},
+				{Level: 2, NoiseSigma: 0.3, Model: []byte{'K', 0x06}},
+			}}}
+	unknownView := &serviceWire{ID: 23, Response: true,
+		Code: codeUnknownView, Err: `group "alpha" serves no view 9`}
 	flagged := func(w *serviceWire, o frameOpts) []byte {
 		payload, err := encodeServiceFrame(w, o)
 		if err != nil {
@@ -62,7 +80,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	for _, w := range []*serviceWire{classify, ingest, response, rejection,
 		routesReq, routesResp, modelSync, notLeader,
 		adminRegister, adminEvict, adminUpdate, adminList, adminBadToken,
-		adminDenied, adminInfos, quotaReject} {
+		adminDenied, adminInfos, quotaReject,
+		viewClassify, viewIngest, viewSync, viewRegister, unknownView} {
 		for _, version := range []byte{1, 2, 3, 4, serviceWireClassicVersion} {
 			f.Add(seed(w, version))
 		}
@@ -89,6 +108,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion})       // v7 header without flags
 	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion, 0xFF}) // unknown flag bits
 	f.Add([]byte{serviceMagic, serviceWireFlaggedVersion, 0x01}) // deflate flag, empty body
+	viewFrame := seed(viewRegister, ServiceWireVersion)
+	f.Add(viewFrame[:len(viewFrame)/2])                  // truncated mid view list
+	f.Add(viewFrame[:len(viewFrame)-1])                  // view register missing a byte
+	f.Add(seed(viewClassify, serviceWireClassicVersion)) // view stamp on a pre-view version byte
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		w, err := decodeServiceWire(payload)
@@ -121,6 +144,7 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatalf("re-encoded frame does not decode: %v", decErr)
 			}
 			if w2.ID != w.ID || w2.Kind != w.Kind || w2.Group != w.Group ||
+				w2.View != w.View ||
 				w2.Code != w.Code || w2.Response != w.Response || w2.Seq != w.Seq ||
 				len(w2.Batch) != len(w.Batch) || len(w2.Labels) != len(w.Labels) ||
 				len(w2.Routes) != len(w.Routes) || !bytes.Equal(w2.Model, w.Model) {

@@ -12,13 +12,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/perturb"
 	"repro/internal/transport"
 )
 
@@ -112,6 +117,44 @@ type GroupSpec struct {
 	// zero value is unlimited. Updatable at runtime through the admin
 	// control plane.
 	Quota GroupQuota
+	// Views optionally splits the group into an ordered multi-level trust
+	// view list: one served model per trust level, every level fitted on
+	// the same training set under its own slice of a jointly drawn
+	// correlated noise ladder (perturb.NoiseLadder), so no coalition of
+	// views can pool its way below the least-noisy member's privacy level.
+	// Views must be listed in strictly increasing level order (level 1 =
+	// most trusted) with non-decreasing noise; with Views set, the
+	// group-level Model/NewModel must be nil (each view brings its own).
+	// Nil — the default — serves today's single implicit view with
+	// byte-identical wire behavior.
+	Views []ViewSpec
+}
+
+// ViewSpec describes one trust view of a multi-level serving group: the
+// classifier served at one trust level, fitted on the group's training data
+// blurred by that level's slice of the group's correlated noise ladder.
+type ViewSpec struct {
+	// Level is the view's trust rank: positive, unique within the group,
+	// listed in strictly increasing order. Smaller levels are more trusted
+	// and see less noise.
+	Level int
+	// NoiseSigma is the absolute per-element σ of the additive training
+	// noise this view's model is fitted under. Sigmas must be non-decreasing
+	// across the group's view list — lower trust never gets less noise —
+	// and every fit draws the whole ladder jointly from the next-higher
+	// view's noise plus an independent increment, never independently per
+	// view, which is what keeps coalitions of views from averaging the
+	// noise away (the diversity attack; see internal/privacy's coalition
+	// evaluator).
+	NoiseSigma float64
+	// Model and NewModel mirror GroupSpec.Model and GroupSpec.NewModel for
+	// this view; every view serves its own instances.
+	Model    classify.Classifier
+	NewModel func() classify.Classifier
+	// Members optionally restricts the view to the named transport
+	// endpoints, on top of the group's own ACL. Empty admits every peer
+	// the group admits.
+	Members []string
 }
 
 // modelShard is one group's independent serving state. The served model
@@ -142,27 +185,29 @@ type modelShard struct {
 	// pointer because failover flips roles at runtime (SetGroupLead /
 	// SetGroupFollow) while the serve loop authorizes frames against it.
 	syncFrom atomic.Pointer[string]
-	// syncSeq is the sequence of the last installed model sync. Installs are
-	// serialized by the shard's ingest goroutine; the atomic lets the cluster
-	// layer read it concurrently for the restart handshake.
-	syncSeq atomic.Uint64
-	// syncCovered is the leader ingest count the last installed sync covered;
-	// a hello's Covered minus this is the replica's staleness in records.
-	syncCovered atomic.Int64
-	// onSwap, when set, is called with each successfully refitted classifier
-	// right after its atomic publish (ServiceConfig.OnModelSwap, curried
-	// with the group ID). Runs on the refit goroutine.
-	onSwap func(model classify.Classifier)
+	// onSwap, when set, is called with each view's successfully refitted
+	// classifier right after its atomic publish (ServiceConfig.OnModelSwap,
+	// curried with the group ID). Runs on the refit goroutine.
+	onSwap func(level int, model classify.Classifier)
 
-	// model is the served classifier. Workers read it with a lock-free
-	// atomic load; only the initial fit (construction) and successful
-	// background refits store it, and the stored instance is never mutated
-	// afterwards.
-	model atomic.Pointer[classify.Classifier]
-	// newModel returns a fresh unfitted classifier for background refits
-	// (GroupSpec.NewModel, or the model's classify.Cloner implementation).
-	// Nil only when refits are disabled.
-	newModel func() classify.Classifier
+	// views are the group's trust views in ascending level order; views[0]
+	// is the primary (highest-trust) view. Groups without GroupSpec.Views
+	// get one implicit open view at level 1 and behave exactly as before.
+	// The slice is fixed for the shard's lifetime; per-view mutable state
+	// (model, members, sync cursor) lives behind each view's own atomics.
+	views []*viewShard
+	// explicitViews records whether the spec asked for multi-level views.
+	// Implicit groups skip the noise ladder, the per-view metric namespace
+	// and all View-field stamping, keeping their wire bytes identical to
+	// the pre-view service.
+	explicitViews bool
+	// viewRng draws the correlated noise ladder for multi-view fits,
+	// deterministically seeded from the group ID. Touched only during
+	// construction and then on the refit goroutine, strictly sequentially.
+	viewRng *rand.Rand
+	// canRefit is true when every view has a fresh-instance source
+	// (ViewSpec.NewModel or a classify.Cloner model).
+	canRefit bool
 
 	// The growing training set and the count of records ingested since the
 	// last scheduled refit; both are touched only by the shard's ingest
@@ -234,6 +279,52 @@ type modelShard struct {
 	mSyncSeq       metrics.Gauge     // sequence of the last installed sync
 	mQuota         metrics.Counter   // ingest frames refused by the group quota
 	mRefitRetries  metrics.Counter   // failed refits re-attempted by the retry timer
+	mUnknownView   metrics.Counter   // frames addressing a view the group does not serve
+}
+
+// viewShard is one trust view's serving state within a group shard: its own
+// atomically published model and replication cursor, its own ACL on top of
+// the group's, and its slice of the group's correlated noise ladder. All
+// views share the group's training set, queues and refit cadence — a refit
+// fits every view from one coalesced snapshot.
+type viewShard struct {
+	level int
+	sigma float64
+	// members is the view's own ACL (nil admits every peer the group
+	// admits), behind an atomic pointer so the admin plane can replace it
+	// while the receive loop resolves views lock-free. The stored pointer
+	// is never nil; the map it points to may be.
+	members atomic.Pointer[map[string]struct{}]
+	// newModel returns a fresh unfitted classifier for this view's refits;
+	// nil only when refits are disabled for the group.
+	newModel func() classify.Classifier
+	// model is the view's served classifier, published with the same
+	// store-only-on-success atomic discipline the single-model shard used.
+	model atomic.Pointer[classify.Classifier]
+	// syncSeq / syncCovered are the view's replication cursor: each view
+	// replicates independently, and a promoted or restarted leader floors
+	// its numbering at the minimum across views (GroupSyncSeq).
+	syncSeq     atomic.Uint64
+	syncCovered atomic.Int64
+
+	// Per-view instruments under "service.<group>.view.<level>.". No-ops
+	// for implicit single-view groups, whose flat group namespace stays
+	// the complete catalogue.
+	mRequests     metrics.Counter // classify frames answered by this view
+	mRefits       metrics.Counter // refit publishes of this view's model
+	mSyncInstalls metrics.Counter // model syncs installed into this view
+	mSyncSeq      metrics.Gauge   // sequence of this view's last installed sync
+}
+
+// admits reports whether the named peer may address this view (on top of
+// the group ACL, which the router checks first).
+func (v *viewShard) admits(peer string) bool {
+	members := *v.members.Load()
+	if members == nil {
+		return true
+	}
+	_, ok := members[peer]
+	return ok
 }
 
 // shardLimits is the updatable half of a shard's configuration, published as
@@ -258,7 +349,7 @@ func (sh *modelShard) applyUpdate(u *AdminUpdate) error {
 		next.maxBatch = u.MaxBatch
 	}
 	if u.SetRefitEvery {
-		if u.RefitEvery > 0 && sh.newModel == nil {
+		if u.RefitEvery > 0 && !sh.canRefit {
 			return fmt.Errorf("group %q cannot refit: no model factory or cloner", sh.id)
 		}
 		next.refitEvery = u.RefitEvery
@@ -274,8 +365,112 @@ func (sh *modelShard) applyUpdate(u *AdminUpdate) error {
 		next.quota = newTokenBucket(u.Quota)
 		next.quotaCfg = u.Quota
 	}
+	if u.SetViewMembers {
+		// Validate every row before storing any, so a bad update leaves all
+		// view ACLs untouched rather than half-applied.
+		type viewACL struct {
+			view *viewShard
+			set  map[string]struct{}
+		}
+		pending := make([]viewACL, 0, len(u.ViewMembers))
+		for _, vm := range u.ViewMembers {
+			v := sh.viewAt(vm.Level)
+			if v == nil {
+				return fmt.Errorf("group %q has no view %d", sh.id, vm.Level)
+			}
+			set, err := memberSet(sh.id, vm.Members)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, viewACL{view: v, set: set})
+		}
+		for _, p := range pending {
+			set := p.set
+			p.view.members.Store(&set)
+		}
+	}
 	sh.limits.Store(&next)
 	return nil
+}
+
+// primary returns the group's highest-trust view (the only view of an
+// implicit single-level group).
+func (sh *modelShard) primary() *viewShard { return sh.views[0] }
+
+// viewAt returns the view serving the given trust level, or nil. The view
+// list is tiny and fixed, so a linear scan beats any map on the hot path.
+func (sh *modelShard) viewAt(level int) *viewShard {
+	for _, v := range sh.views {
+		if v.level == level {
+			return v
+		}
+	}
+	return nil
+}
+
+// resolveView normalizes a classify/ingest frame's View field to a concrete
+// view the sender may address, mutating req.View in place. An explicit level
+// must exist (codeUnknownView) and admit the sender (codeNotMember); level 0
+// resolves to the sender's highest-authorized view — except on implicit
+// single-view groups, where it stays 0 so every response byte matches the
+// pre-view service. Returns a zero code on success.
+func (sh *modelShard) resolveView(req *serviceWire, from string) (code uint8, msg string) {
+	if req.View == 0 {
+		if !sh.explicitViews {
+			return 0, ""
+		}
+		for _, v := range sh.views {
+			if v.admits(from) {
+				req.View = v.level
+				return 0, ""
+			}
+		}
+		return codeNotMember, fmt.Sprintf("peer %q is not a member of any view of group %q", from, sh.id)
+	}
+	v := sh.viewAt(req.View)
+	if v == nil {
+		return codeUnknownView, fmt.Sprintf("group %q has no view %d", sh.id, req.View)
+	}
+	if !v.admits(from) {
+		return codeNotMember, fmt.Sprintf("peer %q is not a member of view %d of group %q", from, req.View, sh.id)
+	}
+	return 0, ""
+}
+
+// wireLevel is the view level replication stamps on wire frames: the real
+// level for explicit multi-view groups, 0 for the implicit single view —
+// gob omits zero-valued fields, so single-view groups' sync frames stay
+// byte-identical to the pre-view service.
+func (sh *modelShard) wireLevel(v *viewShard) int {
+	if !sh.explicitViews {
+		return 0
+	}
+	return v.level
+}
+
+// minSyncSeq is the group's replication low-water mark: the smallest last
+// installed sync sequence across its views. A restarted leader flooring its
+// numbering here can never skip a view that lagged the others.
+func (sh *modelShard) minSyncSeq() uint64 {
+	min := sh.views[0].syncSeq.Load()
+	for _, v := range sh.views[1:] {
+		if s := v.syncSeq.Load(); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// minSyncCovered is the smallest installed sync coverage across the group's
+// views, the conservative staleness base.
+func (sh *modelShard) minSyncCovered() int64 {
+	min := sh.views[0].syncCovered.Load()
+	for _, v := range sh.views[1:] {
+		if c := v.syncCovered.Load(); c < min {
+			min = c
+		}
+	}
+	return min
 }
 
 // memberSet builds a Members ACL lookup set; empty input means no ACL (nil).
@@ -302,8 +497,87 @@ type refitJob struct {
 	stale    int64
 }
 
-// newModelShard validates one group spec, trains its initial model on its
-// unified dataset and assembles the shard.
+// viewSpecsFor normalizes a group spec's view list: explicit views are
+// validated (positive strictly increasing levels, non-negative non-decreasing
+// sigmas, a classifier source per view, no group-level model alongside);
+// a nil list becomes the single implicit level-1 view carrying the group's
+// own model fields.
+func viewSpecsFor(spec GroupSpec) ([]ViewSpec, bool, error) {
+	if len(spec.Views) == 0 {
+		if spec.Model == nil && spec.NewModel == nil {
+			return nil, false, fmt.Errorf("%w: group %q has a nil classifier", ErrBadConfig, spec.ID)
+		}
+		return []ViewSpec{{Level: 1, Model: spec.Model, NewModel: spec.NewModel}}, false, nil
+	}
+	if spec.Model != nil || spec.NewModel != nil {
+		return nil, false, fmt.Errorf(
+			"%w: group %q sets both a group-level model and Views; multi-level groups carry per-view models only",
+			ErrBadConfig, spec.ID)
+	}
+	prevLevel, prevSigma := 0, 0.0
+	for _, vs := range spec.Views {
+		if vs.Level <= prevLevel {
+			return nil, false, fmt.Errorf(
+				"%w: group %q view levels must be positive and strictly increasing (level %d after %d)",
+				ErrBadConfig, spec.ID, vs.Level, prevLevel)
+		}
+		if vs.NoiseSigma < 0 || vs.NoiseSigma < prevSigma {
+			return nil, false, fmt.Errorf(
+				"%w: group %q view noise must be non-negative and non-decreasing (view %d has σ=%v after σ=%v)",
+				ErrBadConfig, spec.ID, vs.Level, vs.NoiseSigma, prevSigma)
+		}
+		if vs.Model == nil && vs.NewModel == nil {
+			return nil, false, fmt.Errorf("%w: group %q view %d has a nil classifier", ErrBadConfig, spec.ID, vs.Level)
+		}
+		prevLevel, prevSigma = vs.Level, vs.NoiseSigma
+	}
+	return spec.Views, true, nil
+}
+
+// viewTrainingSets derives every view's training data from one coalesced
+// snapshot: the group's correlated noise ladder is drawn over the snapshot
+// once (perturb.NoiseLadder — lower-trust noise is higher-trust noise plus
+// an independent increment, never an independent draw) and view i trains on
+// snapshot + Δ_i. The snapshot itself is treated read-only; every returned
+// dataset is the caller's to own. Single-view zero-noise groups skip the
+// ladder entirely.
+func viewTrainingSets(rng *rand.Rand, views []*viewShard, snapshot *dataset.Dataset) ([]*dataset.Dataset, error) {
+	sigmas := make([]float64, len(views))
+	noised := false
+	for i, v := range views {
+		sigmas[i] = v.sigma
+		if v.sigma > 0 {
+			noised = true
+		}
+	}
+	var ladder []*matrix.Dense
+	if noised {
+		var err error
+		ladder, err = perturb.NoiseLadder(rng, snapshot.Dim(), snapshot.Len(), sigmas)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*dataset.Dataset, len(views))
+	for i, v := range views {
+		ds := snapshot.Clone()
+		if ladder != nil && v.sigma > 0 {
+			// Ladder matrices are d×N columns-per-record; dataset rows are
+			// records, so record r takes ladder column r.
+			noise := ladder[i]
+			for r := range ds.X {
+				for c := range ds.X[r] {
+					ds.X[r][c] += noise.At(c, r)
+				}
+			}
+		}
+		out[i] = ds
+	}
+	return out, nil
+}
+
+// newModelShard validates one group spec, trains its initial per-view models
+// on its unified dataset and assembles the shard.
 func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.ID == "" {
 		return nil, fmt.Errorf("%w: empty group id", ErrBadConfig)
@@ -311,8 +585,9 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if spec.Unified == nil || spec.Unified.Len() == 0 {
 		return nil, fmt.Errorf("%w: group %q has no unified dataset", ErrBadConfig, spec.ID)
 	}
-	if spec.Model == nil && spec.NewModel == nil {
-		return nil, fmt.Errorf("%w: group %q has a nil classifier", ErrBadConfig, spec.ID)
+	viewSpecs, explicit, err := viewSpecsFor(spec)
+	if err != nil {
+		return nil, err
 	}
 	if spec.Workers < 0 {
 		return nil, fmt.Errorf("%w: group %q has a negative worker count %d", ErrBadConfig, spec.ID, spec.Workers)
@@ -327,17 +602,32 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	if refitEvery == 0 {
 		refitEvery = cfg.RefitEvery
 	}
-	// Resolve the fresh-instance source for background refits: an explicit
-	// factory wins, a cloneable model works too. With refits enabled one of
-	// the two is required — retraining the live instance in place would
-	// reintroduce the corruption-on-failed-fit bug the swap design kills.
-	newModel := spec.NewModel
-	if newModel == nil {
-		if cloner, ok := spec.Model.(classify.Cloner); ok {
-			newModel = cloner.Clone
+	// Assemble the view shards and resolve each view's fresh-instance source
+	// for background refits: an explicit factory wins, a cloneable model
+	// works too. With refits enabled every view needs one — retraining a
+	// live instance in place would reintroduce the corruption-on-failed-fit
+	// bug the swap design kills.
+	views := make([]*viewShard, len(viewSpecs))
+	canRefit := true
+	for i, vs := range viewSpecs {
+		newModel := vs.NewModel
+		if newModel == nil {
+			if cloner, ok := vs.Model.(classify.Cloner); ok {
+				newModel = cloner.Clone
+			}
 		}
+		if newModel == nil {
+			canRefit = false
+		}
+		viewMembers, err := memberSet(spec.ID, vs.Members)
+		if err != nil {
+			return nil, fmt.Errorf("%w: view %d: %v", ErrBadConfig, vs.Level, err)
+		}
+		v := &viewShard{level: vs.Level, sigma: vs.NoiseSigma, newModel: newModel}
+		v.members.Store(&viewMembers)
+		views[i] = v
 	}
-	if refitEvery > 0 && newModel == nil {
+	if refitEvery > 0 && !canRefit {
 		if spec.SyncFrom == "" {
 			return nil, fmt.Errorf(
 				"%w: group %q model cannot refit in the background: set GroupSpec.NewModel or implement classify.Cloner (or disable refits)",
@@ -348,15 +638,30 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		// the spec (the shard still serves and installs syncs).
 		refitEvery = -1
 	}
-	model := spec.Model
-	if model == nil {
-		if model = newModel(); model == nil {
-			return nil, fmt.Errorf("%w: group %q model factory returned nil", ErrBadConfig, spec.ID)
-		}
-	}
+	// The noise ladder's RNG is seeded from the group ID alone, so a group's
+	// replicas (and its restarts) draw identical ladders for identical
+	// snapshots — per-view model divergence across a cluster stays a matter
+	// of replication lag, never of noise luck.
+	seed := fnv.New64a()
+	seed.Write([]byte(spec.ID))
+	viewRng := rand.New(rand.NewSource(int64(seed.Sum64())))
+
 	training := spec.Unified.Clone()
-	if err := model.Fit(training.Clone()); err != nil {
-		return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
+	viewSets, err := viewTrainingSets(viewRng, views, training)
+	if err != nil {
+		return nil, fmt.Errorf("%w: group %q views: %v", ErrBadConfig, spec.ID, err)
+	}
+	for i, vs := range viewSpecs {
+		model := vs.Model
+		if model == nil {
+			if model = views[i].newModel(); model == nil {
+				return nil, fmt.Errorf("%w: group %q model factory returned nil", ErrBadConfig, spec.ID)
+			}
+		}
+		if err := model.Fit(viewSets[i]); err != nil {
+			return nil, fmt.Errorf("protocol: train group %q model: %w", spec.ID, err)
+		}
+		views[i].model.Store(&model)
 	}
 	workers := spec.Workers
 	if workers == 0 {
@@ -376,16 +681,19 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	}
 	ns := "service." + spec.ID + "."
 	sh := &modelShard{
-		id:         spec.ID,
-		dim:        training.Dim(),
-		workers:    workers,
-		queueDepth: ingestDepth,
-		f32:        spec.Float32,
-		newModel:   newModel,
-		training:   training,
-		jobs:       make(chan serviceJob, jobDepth),
-		ingestQ:    make(chan serviceJob, ingestDepth),
-		refitQ:     make(chan refitJob, 1),
+		id:            spec.ID,
+		dim:           training.Dim(),
+		workers:       workers,
+		queueDepth:    ingestDepth,
+		f32:           spec.Float32,
+		views:         views,
+		explicitViews: explicit,
+		viewRng:       viewRng,
+		canRefit:      canRefit,
+		training:      training,
+		jobs:          make(chan serviceJob, jobDepth),
+		ingestQ:       make(chan serviceJob, ingestDepth),
+		refitQ:        make(chan refitJob, 1),
 
 		mRequests:      cfg.Metrics.Counter(ns + "requests"),
 		mBatchSize:     cfg.Metrics.Histogram(ns + "batch_size"),
@@ -404,6 +712,20 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 		mSyncSeq:       cfg.Metrics.Gauge(ns + "sync.seq"),
 		mQuota:         cfg.Metrics.Counter(ns + "rejects.quota"),
 		mRefitRetries:  cfg.Metrics.Counter(ns + "refit.retries"),
+		mUnknownView:   cfg.Metrics.Counter(ns + "rejects.unknown_view"),
+	}
+	// Per-view instruments exist only for explicit multi-level groups;
+	// implicit single-view groups keep their flat namespace unchanged.
+	viewMetrics := metrics.Nop()
+	if explicit {
+		viewMetrics = cfg.Metrics
+	}
+	for _, v := range views {
+		vns := ns + "view." + strconv.Itoa(v.level) + "."
+		v.mRequests = viewMetrics.Counter(vns + "requests")
+		v.mRefits = viewMetrics.Counter(vns + "refit.count")
+		v.mSyncInstalls = viewMetrics.Counter(vns + "sync.installs")
+		v.mSyncSeq = viewMetrics.Gauge(vns + "sync.seq")
 	}
 	sh.limits.Store(&shardLimits{
 		maxBatch:   maxBatch,
@@ -414,11 +736,10 @@ func newModelShard(spec GroupSpec, cfg ServiceConfig) (*modelShard, error) {
 	})
 	if cfg.OnModelSwap != nil {
 		hook, group := cfg.OnModelSwap, spec.ID
-		sh.onSwap = func(m classify.Classifier) { hook(group, m) }
+		sh.onSwap = func(level int, m classify.Classifier) { hook(group, level, m) }
 	}
 	leader := spec.SyncFrom
 	sh.syncFrom.Store(&leader)
-	sh.model.Store(&model)
 	return sh, nil
 }
 
@@ -607,38 +928,67 @@ func (s *MiningService) GroupIngested(group string) (int, error) {
 	return int(sh.ingested.Load()), nil
 }
 
-// GroupModel returns one group's currently served classifier (the atomic the
-// prediction workers load). The instance is never mutated after publish, so
-// callers may encode it concurrently with serving; the cluster layer does,
-// for anti-entropy re-pushes.
+// GroupModel returns one group's currently served primary-view classifier
+// (the atomic the prediction workers load; multi-level groups' lower views
+// come from GroupViewModels). The instance is never mutated after publish,
+// so callers may encode it concurrently with serving; the cluster layer
+// does, for anti-entropy re-pushes.
 func (s *MiningService) GroupModel(group string) (classify.Classifier, error) {
 	sh, err := s.shard(group)
 	if err != nil {
 		return nil, err
 	}
-	return *sh.model.Load(), nil
+	return *sh.primary().model.Load(), nil
+}
+
+// GroupViewModel pairs one trust view's level with its currently served
+// classifier.
+type GroupViewModel struct {
+	Level int
+	Model classify.Classifier
+}
+
+// GroupViewModels returns every view's currently served classifier in
+// ascending level order. Levels follow the wire convention OnModelSwap
+// uses: explicit multi-view groups report their real levels, single-view
+// groups one entry at level 0, stampable on sync frames verbatim. The
+// instances are never mutated after publish; the cluster layer encodes them
+// concurrently with serving for per-view replication and anti-entropy
+// re-pushes.
+func (s *MiningService) GroupViewModels(group string) ([]GroupViewModel, error) {
+	sh, err := s.shard(group)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupViewModel, len(sh.views))
+	for i, v := range sh.views {
+		out[i] = GroupViewModel{Level: sh.wireLevel(v), Model: *v.model.Load()}
+	}
+	return out, nil
 }
 
 // GroupSyncSeq returns the sequence of the last model sync one group
-// installed (0 if none). A promoted or restarted leader floors its own
-// numbering at the sequences its replicas report. Safe to call concurrently
-// with Serve.
+// installed across all of its views — the minimum per-view sequence, so a
+// view that lagged the others is never skipped (0 if none). A promoted or
+// restarted leader floors its own numbering at the sequences its replicas
+// report. Safe to call concurrently with Serve.
 func (s *MiningService) GroupSyncSeq(group string) (uint64, error) {
 	sh, err := s.shard(group)
 	if err != nil {
 		return 0, err
 	}
-	return sh.syncSeq.Load(), nil
+	return sh.minSyncSeq(), nil
 }
 
 // GroupSyncCovered returns the leader ingest count the group's last
-// installed sync covered. Safe to call concurrently with Serve.
+// installed sync covered (the minimum across views). Safe to call
+// concurrently with Serve.
 func (s *MiningService) GroupSyncCovered(group string) (int64, error) {
 	sh, err := s.shard(group)
 	if err != nil {
 		return 0, err
 	}
-	return sh.syncCovered.Load(), nil
+	return sh.minSyncCovered(), nil
 }
 
 // SetGroupLead promotes one group's shard to leader at runtime: ingest is
@@ -788,6 +1138,20 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 				ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 				Code: codeNotMember, Err: fmt.Sprintf("peer %q is not group %q's sync source", from, group)})
 		}
+		// The blob must name a view the group serves; view 0 installs to
+		// the primary view (stamped here so installSync need not re-resolve,
+		// but only on explicit multi-level groups — implicit groups keep
+		// their frames untouched).
+		if req.View != 0 && sh.viewAt(req.View) == nil {
+			sh.mSyncRejects.Inc()
+			sh.mUnknownView.Inc()
+			return nil, suppressForSync(req, &serviceWire{
+				ID: req.ID, Kind: req.Kind, Group: req.Group, View: req.View, Response: true,
+				Code: codeUnknownView, Err: fmt.Sprintf("group %q has no view %d", group, req.View)})
+		}
+		if req.View == 0 && sh.explicitViews {
+			req.View = sh.primary().level
+		}
 		return sh, nil
 	}
 	if !sh.admits(from) {
@@ -800,6 +1164,18 @@ func (s *MiningService) route(req *serviceWire, from string) (*modelShard, *serv
 			return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true,
 				Code: codeNotLeader, Err: fmt.Sprintf("group %q is a read replica synced from %q", group, leader)}
 		}
+	}
+	// Classify and ingest frames additionally resolve the trust view they
+	// address — an explicit level must exist and admit the sender, level 0
+	// routes to the sender's highest-authorized view.
+	if code, msg := sh.resolveView(req, from); code != 0 {
+		if code == codeUnknownView {
+			sh.mUnknownView.Inc()
+		} else {
+			sh.mNotMember.Inc()
+		}
+		return nil, &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, View: req.View,
+			Response: true, Code: code, Err: msg}
 	}
 	return sh, nil
 }
@@ -1141,7 +1517,9 @@ func (sh *modelShard) dispatch(req *serviceWire, from string) *serviceWire {
 // latency stays flat no matter how slow the model's Fit is. Called only
 // from the shard's ingest goroutine.
 func (sh *modelShard) ingest(req *serviceWire) *serviceWire {
-	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Group: req.Group, Response: true}
+	// Ingest feeds the group's shared training set, so the resolved view
+	// (stamped by route) only matters for authorization and the echo here.
+	resp := &serviceWire{ID: req.ID, Kind: kindIngest, Group: req.Group, View: req.View, Response: true}
 	lim := sh.limits.Load()
 	if len(req.Batch) == 0 {
 		resp.Code, resp.Err = codeBadChunk, "empty chunk"
@@ -1215,37 +1593,56 @@ func (sh *modelShard) scheduleRefit() bool {
 	return true
 }
 
-// refit fits a fresh classifier instance on the snapshot and atomically
-// publishes it on success (true). The live model is read-only throughout —
-// workers keep predicting on the previous fit lock-free — and a failed fit
-// (false) leaves it untouched by construction; the failure is recorded for
-// the next ingest response (codeRefit), the refit.errors counter, and the
-// refit loop's retry timer. Called only from the shard's refit goroutine.
+// refit fits a fresh classifier instance per view on the snapshot — every
+// view from the same coalesced snapshot under one jointly drawn noise ladder
+// — and atomically publishes them on success (true). The live models are
+// read-only throughout — workers keep predicting on the previous fits
+// lock-free — and a failed fit (false) publishes nothing: either all views
+// advance together or none does, so no coalition ever sees views fitted on
+// different data rounds. The failure is recorded for the next ingest
+// response (codeRefit), the refit.errors counter, and the refit loop's retry
+// timer. Called only from the shard's refit goroutine.
 func (sh *modelShard) refit(job refitJob) bool {
 	sh.mRefitInflight.Set(1)
 	defer sh.mRefitInflight.Set(0)
 	start := time.Now()
-	fresh := sh.newModel()
-	if fresh == nil {
-		// Record the pending report before bumping the counter, so anyone
-		// who observed the counter is guaranteed to find (or have raced
-		// another reader for) the report.
-		msg := fmt.Sprintf("protocol: refit group %q model: factory returned nil", sh.id)
+	// Record the pending report before bumping the counter, so anyone who
+	// observed the counter is guaranteed to find (or have raced another
+	// reader for) the report.
+	fail := func(msg string) bool {
 		sh.refitFail.Store(&msg)
 		sh.mRefitErrors.Inc()
 		return false
 	}
-	if err := fresh.Fit(job.snapshot); err != nil {
-		msg := fmt.Sprintf("protocol: refit group %q model: %v", sh.id, err)
-		sh.refitFail.Store(&msg)
-		sh.mRefitErrors.Inc()
-		return false
+	viewSets, err := viewTrainingSets(sh.viewRng, sh.views, job.snapshot)
+	if err != nil {
+		return fail(fmt.Sprintf("protocol: refit group %q views: %v", sh.id, err))
 	}
-	var model classify.Classifier = fresh
-	sh.model.Store(&model)
+	fresh := make([]classify.Classifier, len(sh.views))
+	for i, v := range sh.views {
+		var model classify.Classifier
+		if v.newModel != nil {
+			model = v.newModel()
+		}
+		if model == nil {
+			return fail(fmt.Sprintf("protocol: refit group %q model: factory returned nil", sh.id))
+		}
+		if err := model.Fit(viewSets[i]); err != nil {
+			return fail(fmt.Sprintf("protocol: refit group %q model: %v", sh.id, err))
+		}
+		fresh[i] = model
+	}
+	// Publish every view, then fire the swap hooks: a replicator draining
+	// the hooks always observes one consistent fit round.
+	for i, v := range sh.views {
+		m := fresh[i]
+		v.model.Store(&m)
+		v.mRefits.Inc()
+	}
 	sh.refitFail.Store(nil)
-	// The fresh fit covers the snapshot's records: retire them from the
-	// staleness gauge, leaving only what streamed in while it was fitting.
+	// The fresh fits cover the snapshot's records: retire them from the
+	// staleness gauge, leaving only what streamed in while they were
+	// fitting.
 	sh.stale.Add(-job.stale)
 	sh.mStaleness.Add(-job.stale)
 	// Count and time only completed refits, so refit.ns.sum/refit.count is
@@ -1253,7 +1650,9 @@ func (sh *modelShard) refit(job refitJob) bool {
 	sh.mRefits.Inc()
 	metrics.Time(sh.mRefitNanos, start)
 	if sh.onSwap != nil {
-		sh.onSwap(model)
+		for i, v := range sh.views {
+			sh.onSwap(sh.wireLevel(v), fresh[i])
+		}
 	}
 	return true
 }
@@ -1266,8 +1665,15 @@ func (sh *modelShard) refit(job refitJob) bool {
 // ingest goroutine, which serializes installs. A nil response means the
 // frame was fire-and-forget (ID 0) and expects no answer.
 func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
-	resp := &serviceWire{ID: req.ID, Kind: kindModelSync, Group: req.Group, Response: true}
-	if req.Seq <= sh.syncSeq.Load() {
+	resp := &serviceWire{ID: req.ID, Kind: kindModelSync, Group: req.Group, View: req.View, Response: true}
+	// route() already verified an explicit view exists and normalized view 0
+	// on multi-level groups; the primary fallback covers implicit groups
+	// (whose frames keep View 0 end to end).
+	v := sh.viewAt(req.View)
+	if v == nil {
+		v = sh.primary()
+	}
+	if req.Seq <= v.syncSeq.Load() {
 		// Re-delivered or reordered frame: the newer model is already live,
 		// so this is an idempotent success, not an error.
 		sh.mSyncRejects.Inc()
@@ -1279,11 +1685,15 @@ func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
 		resp.Code, resp.Err = codeBadChunk, fmt.Sprintf("model sync: %v", err)
 		return suppressForSync(req, resp)
 	}
-	sh.model.Store(&model)
-	sh.syncSeq.Store(req.Seq)
-	sh.syncCovered.Store(req.Covered)
+	v.model.Store(&model)
+	v.syncSeq.Store(req.Seq)
+	v.syncCovered.Store(req.Covered)
 	sh.mSyncInstalls.Inc()
-	sh.mSyncSeq.Set(int64(req.Seq))
+	v.mSyncInstalls.Inc()
+	v.mSyncSeq.Set(int64(req.Seq))
+	// The group-level gauge tracks the low-water mark across views, the
+	// same conservative cursor the restart handshake reports.
+	sh.mSyncSeq.Set(int64(sh.minSyncSeq()))
 	// An install catches the replica up to the leader's published fit: any
 	// staleness a hello reported is covered now.
 	sh.mStaleness.Set(0)
@@ -1297,7 +1707,14 @@ func (sh *modelShard) installSync(req *serviceWire) *serviceWire {
 func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 	sh.mRequests.Inc()
 	sh.mBatchSize.Observe(int64(len(req.Batch)))
-	resp := &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, Response: true}
+	// route() resolved and stamped the view; the primary fallback covers
+	// implicit groups, whose frames keep View 0 end to end.
+	view := sh.viewAt(req.View)
+	if view == nil {
+		view = sh.primary()
+	}
+	view.mRequests.Inc()
+	resp := &serviceWire{ID: req.ID, Kind: req.Kind, Group: req.Group, View: req.View, Response: true}
 	if len(req.Batch) == 0 {
 		resp.Code, resp.Err = codeBadQuery, "empty batch"
 		return resp
@@ -1308,7 +1725,7 @@ func (sh *modelShard) handle(req *serviceWire) *serviceWire {
 		return resp
 	}
 	labels := make([]int, len(req.Batch))
-	model := *sh.model.Load()
+	model := *view.model.Load()
 	for i, rec := range req.Batch {
 		if len(rec) != sh.dim {
 			resp.Code, resp.Err = codeBadQuery,
@@ -1487,7 +1904,7 @@ func (s *MiningService) listGroups() []AdminGroupInfo {
 	for _, id := range s.order {
 		sh := s.shards[id]
 		lim := sh.limits.Load()
-		infos = append(infos, AdminGroupInfo{
+		info := AdminGroupInfo{
 			ID:         sh.id,
 			Workers:    sh.workers,
 			MaxBatch:   lim.maxBatch,
@@ -1498,7 +1915,17 @@ func (s *MiningService) listGroups() []AdminGroupInfo {
 			Float32:    sh.f32,
 			Quota:      lim.quotaCfg,
 			Ingested:   sh.ingested.Load(),
-		})
+		}
+		if sh.explicitViews {
+			for _, v := range sh.views {
+				info.Views = append(info.Views, AdminViewInfo{
+					Level:      v.level,
+					NoiseSigma: v.sigma,
+					Members:    sortedMembers(*v.members.Load()),
+				})
+			}
+		}
+		infos = append(infos, info)
 	}
 	return infos
 }

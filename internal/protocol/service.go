@@ -72,6 +72,10 @@ var (
 	// ErrGroupExists flags a register for a group ID the service already
 	// hosts. Evict it first to replace it.
 	ErrGroupExists = errors.New("protocol: serving group already registered")
+	// ErrUnknownView flags a frame addressing a trust view (level) the
+	// group does not serve. Distinct from ErrNotMember: the view does not
+	// exist for anyone, rather than existing but excluding this peer.
+	ErrUnknownView = errors.New("protocol: unknown trust view for serving group")
 )
 
 // serviceMagic prefixes every service frame so serving traffic is
@@ -178,6 +182,11 @@ const (
 	// codeGroupExists rejects a register for a group ID the service already
 	// hosts.
 	codeGroupExists
+	// codeUnknownView rejects a frame addressing a trust view (level) the
+	// group does not serve. Like codeBusy it extends the code set without a
+	// wire-version bump: old clients map it to ErrServiceClosed, and the
+	// View field itself rides the gob body old decoders skip.
+	codeUnknownView
 )
 
 // Frame kinds carried in serviceWire.Kind. The zero value is a
@@ -287,6 +296,13 @@ type serviceWire struct {
 	// on pre-v4 frames and on clients of single-group services; the router
 	// maps it to DefaultGroup.
 	Group string
+	// View names the trust level the frame addresses within a multi-level
+	// group (GroupSpec.Views). Zero — the wire default, which gob omits —
+	// routes to the sender's highest-authorized view, so every frame from a
+	// view-unaware client keeps its exact pre-view bytes and behavior. It
+	// rides the gob body, silently skipped by old decoders; no wire-version
+	// bump. On kindModelSync frames it names the view the blob installs to.
+	View int
 	// Batch carries the records, already transformed into the group's
 	// target space by the caller (providers know G_t; the miner never sees
 	// clear data). For classify frames it is the query; for ingest frames
@@ -558,11 +574,15 @@ type ServiceConfig struct {
 	// loop and must not block.
 	RoutesFunc func() ([]RouteEntry, uint64)
 	// OnModelSwap, when set, is called after every successful background
-	// refit swap with the group ID and the freshly published classifier. The
-	// cluster layer hooks it to replicate the new model to the group's read
-	// replicas. It runs on the group's refit goroutine, so it must not
-	// block; hand the model off and return.
-	OnModelSwap func(group string, model classify.Classifier)
+	// refit swap — once per trust view, with the group ID, the view's level
+	// and its freshly published classifier. Groups without explicit
+	// GroupSpec.Views report view 0 (their sole implicit view), so a
+	// replicator may stamp the reported value on sync frames verbatim:
+	// single-view groups keep their pre-view wire bytes. The cluster layer
+	// hooks it to replicate the new models to the group's read replicas. It
+	// runs on the group's refit goroutine, so it must not block; hand the
+	// model off and return.
+	OnModelSwap func(group string, view int, model classify.Classifier)
 	// OnSyncGossip, when set, receives every durability-gossip frame
 	// (kindSyncHello, kindSyncState) addressed to this service. The cluster
 	// layer hooks it to run the sequence handshake, anti-entropy re-push and
@@ -734,6 +754,10 @@ type ServiceClient struct {
 	conn  transport.Conn
 	miner string
 	group string
+	// view is the trust level stamped on classify/ingest frames (0 routes
+	// to the caller's highest-authorized view); configured with SetView
+	// before the first request.
+	view int
 	// backoff is the busy-retry policy applied by ClassifyBatch and
 	// PushChunk; configured with SetBackoff before the first request.
 	backoff Backoff
@@ -797,6 +821,18 @@ func (c *ServiceClient) Group() string { return c.group }
 // the first rejection). Call it before issuing requests — it is not
 // synchronized against in-flight calls.
 func (c *ServiceClient) SetBackoff(b Backoff) { c.backoff = b }
+
+// SetView pins the trust level the client's classify and ingest frames
+// address within a multi-level group (GroupSpec.Views). Zero — the default —
+// routes each frame to the caller's highest-authorized view; a level the
+// group does not serve answers ErrUnknownView, one the caller is not
+// admitted to answers ErrNotMember. Call it before issuing requests — it is
+// not synchronized against in-flight calls.
+func (c *ServiceClient) SetView(level int) { c.view = level }
+
+// View returns the trust level the client addresses (0 means the caller's
+// highest-authorized view).
+func (c *ServiceClient) View() int { return c.view }
 
 // WireOptions selects the negotiated wire features a ServiceClient wants to
 // use toward its miners. Each feature only engages per peer after that peer
@@ -1044,7 +1080,7 @@ func (c *ServiceClient) classifyBatchOnce(ctx context.Context, miner, group stri
 		return nil, err
 	}
 	payload, err := encodeServiceFrame(
-		&serviceWire{ID: id, Group: group, Batch: batch, Accept: c.acceptMask()},
+		&serviceWire{ID: id, Group: group, View: c.view, Batch: batch, Accept: c.acceptMask()},
 		c.frameOptsFor(miner))
 	if err != nil {
 		c.unregister(id)
@@ -1191,8 +1227,8 @@ func (c *ServiceClient) pushChunkOnce(ctx context.Context, miner, group string, 
 		return 0, err
 	}
 	payload, err := encodeServiceFrame(&serviceWire{
-		ID: id, Kind: kindIngest, Group: group, Batch: batch, Labels: labels,
-		Accept: c.acceptMask()}, c.frameOptsFor(miner))
+		ID: id, Kind: kindIngest, Group: group, View: c.view, Batch: batch,
+		Labels: labels, Accept: c.acceptMask()}, c.frameOptsFor(miner))
 	if err != nil {
 		c.unregister(id)
 		return 0, err
@@ -1247,6 +1283,8 @@ func responseErr(resp *serviceWire) error {
 		return fmt.Errorf("%w: %s", ErrAdminDenied, resp.Err)
 	case codeGroupExists:
 		return fmt.Errorf("%w: %s", ErrGroupExists, resp.Err)
+	case codeUnknownView:
+		return fmt.Errorf("%w: %s", ErrUnknownView, resp.Err)
 	default:
 		return fmt.Errorf("%w: %s", ErrServiceClosed, resp.Err)
 	}
@@ -1275,12 +1313,14 @@ type FrameOpts struct {
 // to a follower node as a fire-and-forget kindModelSync frame: ID 0 tells
 // the follower to send no response, so a downed or slow follower costs the
 // sender one failed send, never a blocked wait. seq must increase per group;
-// the follower ignores frames at or below its last installed sequence, which
-// makes re-sends and reordering idempotent. covered is the leader ingest
+// the follower ignores frames at or below its last installed sequence per
+// view, which makes re-sends and reordering idempotent. view names the trust
+// level the blob installs to (0 installs to the group's primary view, which
+// is the only view single-level groups have). covered is the leader ingest
 // count the model's fit covers, installed alongside it so staleness can be
 // measured in records. The cluster layer's replication publisher is the
 // intended caller.
-func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, seq uint64, covered int64, model []byte, opts FrameOpts) error {
+func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, view int, seq uint64, covered int64, model []byte, opts FrameOpts) error {
 	if group == "" {
 		return fmt.Errorf("%w: model sync without a group", ErrBadConfig)
 	}
@@ -1288,8 +1328,8 @@ func SendModelSync(ctx context.Context, conn transport.Conn, to, group string, s
 		return fmt.Errorf("%w: model sync without a model", ErrBadConfig)
 	}
 	payload, err := encodeServiceFrame(&serviceWire{
-		Kind: kindModelSync, Group: group, Seq: seq, Covered: covered, Model: model,
-		Accept: opts.accept}, frameOpts{deflate: opts.Compress})
+		Kind: kindModelSync, Group: group, View: view, Seq: seq, Covered: covered,
+		Model: model, Accept: opts.accept}, frameOpts{deflate: opts.Compress})
 	if err != nil {
 		return err
 	}
@@ -1332,6 +1372,7 @@ type FrameInfo struct {
 	ID       uint64
 	Kind     uint8
 	Group    string
+	View     int
 	Seq      uint64
 	Epoch    uint64
 	Response bool
@@ -1351,6 +1392,7 @@ func InspectFrame(payload []byte) (FrameInfo, bool) {
 		ID:       w.ID,
 		Kind:     w.Kind,
 		Group:    w.Group,
+		View:     w.View,
 		Seq:      w.Seq,
 		Epoch:    w.Epoch,
 		Response: w.Response,

@@ -1,0 +1,112 @@
+package stat
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// WindowedCov maintains the covariance of (approximately) the most recent
+// window observations of a stream, at chunk granularity: each AddChunk
+// becomes one bucket in a deque of CovAccumulators, and whole buckets are
+// evicted from the front once the remaining ones still cover the window on
+// their own. The streaming pipeline uses it so its drift statistic tracks
+// the CURRENT input distribution — with the lifetime accumulator it
+// replaced, a long stable prefix dominated the running covariance and
+// arbitrarily delayed the detection of late drift.
+//
+// Because eviction is bucket-whole, the retained count is in
+// [window, window + maxChunk). While the stream is shorter than the window
+// nothing is evicted and Covariance equals the batch statistic over every
+// record seen, exactly (the buckets merge with the same pairwise
+// combination a single accumulator's updates factor through).
+//
+// The zero value is not ready to use; construct with NewWindowedCov. All
+// methods are single-goroutine; wrap externally for concurrent use.
+type WindowedCov struct {
+	dim    int
+	window int
+	// buckets is the chunk deque, oldest first; total is the retained
+	// record count (the sum of the buckets' N).
+	buckets []*CovAccumulator
+	total   int
+}
+
+// NewWindowedCov returns an empty windowed accumulator for d-dimensional
+// observations retaining at least window records. window <= 0 disables
+// eviction: the accumulator keeps lifetime moments, matching the pre-window
+// pipeline behaviour.
+func NewWindowedCov(d, window int) (*WindowedCov, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("stat: windowed accumulator dimension %d", d)
+	}
+	return &WindowedCov{dim: d, window: window}, nil
+}
+
+// Dim returns the observation dimensionality.
+func (w *WindowedCov) Dim() int { return w.dim }
+
+// N returns the number of retained observations: everything seen, until the
+// stream outgrows the window; then at least window and less than
+// window + the largest retained chunk.
+func (w *WindowedCov) N() int { return w.total }
+
+// Window returns the configured minimum retention (<= 0: unbounded).
+func (w *WindowedCov) Window() int { return w.window }
+
+// AddChunk folds a d×N chunk (one record per column) in as one bucket and
+// evicts the oldest buckets that the window no longer needs. Empty chunks
+// are accepted and ignored.
+func (w *WindowedCov) AddChunk(chunk *matrix.Dense) error {
+	if chunk.Rows() != w.dim {
+		return fmt.Errorf("stat: chunk is %dx%d, windowed accumulator dim %d",
+			chunk.Rows(), chunk.Cols(), w.dim)
+	}
+	if chunk.Cols() == 0 {
+		return nil
+	}
+	acc, err := NewCovAccumulator(w.dim)
+	if err != nil {
+		return err
+	}
+	if err := acc.AddChunk(chunk); err != nil {
+		return err
+	}
+	w.buckets = append(w.buckets, acc)
+	w.total += acc.N()
+	if w.window > 0 {
+		// Evict whole buckets from the front while the rest still cover the
+		// window without them; the last bucket always survives.
+		for len(w.buckets) > 1 && w.total-w.buckets[0].N() >= w.window {
+			w.total -= w.buckets[0].N()
+			w.buckets[0] = nil
+			w.buckets = w.buckets[1:]
+		}
+	}
+	return nil
+}
+
+// Covariance returns the population covariance over the retained window by
+// pairwise-merging the buckets into a fresh accumulator. It returns
+// ErrEmpty until at least two observations are retained.
+func (w *WindowedCov) Covariance() (*matrix.Dense, error) {
+	if w.total < 2 {
+		return nil, ErrEmpty
+	}
+	merged, err := NewCovAccumulator(w.dim)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range w.buckets {
+		if err := merged.Merge(b); err != nil {
+			return nil, err
+		}
+	}
+	return merged.Covariance()
+}
+
+// Reset empties the accumulator, keeping its dimension and window.
+func (w *WindowedCov) Reset() {
+	w.buckets = nil
+	w.total = 0
+}

@@ -1,0 +1,246 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// randChunk draws a d×n chunk whose columns come from a shifted, scaled
+// normal so covariance estimates are non-trivial.
+func randChunk(rng *rand.Rand, d, n int, shift, scale float64) *matrix.Dense {
+	m := matrix.New(d, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < d; i++ {
+			m.Set(i, j, shift+scale*rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// batchCov computes the reference statistic over a set of chunks with a
+// single lifetime accumulator.
+func batchCov(t *testing.T, d int, chunks []*matrix.Dense) *matrix.Dense {
+	t.Helper()
+	acc, err := NewCovAccumulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if err := acc.AddChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cov, err := acc.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cov
+}
+
+func maxAbsDiff(a, b *matrix.Dense) float64 {
+	worst := 0.0
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Property: while the stream fits inside the window (and with eviction
+// disabled, always), the windowed covariance IS the batch covariance over
+// everything seen, to merge-roundoff precision, for random chunk sizes.
+func TestWindowedCovMatchesBatchWithinWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(5)
+		window := 200 + rng.Intn(400)
+		win, err := NewWindowedCov(d, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unbounded, err := NewWindowedCov(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chunks []*matrix.Dense
+		total := 0
+		for total < window {
+			n := 1 + rng.Intn(50)
+			if total+n > window {
+				n = window - total
+			}
+			c := randChunk(rng, d, n, rng.Float64(), 0.5+rng.Float64())
+			chunks = append(chunks, c)
+			total += n
+			for _, w := range []*WindowedCov{win, unbounded} {
+				if err := w.AddChunk(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := batchCov(t, d, chunks)
+		for name, w := range map[string]*WindowedCov{"windowed": win, "unbounded": unbounded} {
+			if w.N() != total {
+				t.Fatalf("trial %d: %s retained %d of %d records inside the window", trial, name, w.N(), total)
+			}
+			got, err := w.Covariance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := maxAbsDiff(want, got); diff > 1e-10 {
+				t.Fatalf("trial %d: %s covariance differs from batch by %g inside the window", trial, name, diff)
+			}
+		}
+	}
+}
+
+// Property: past the window, the windowed covariance equals the batch
+// statistic over exactly the retained suffix of chunks — eviction is
+// bucket-whole, so the suffix is identifiable and the comparison exact.
+func TestWindowedCovMatchesBatchOverRetainedSuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(4)
+		window := 100 + rng.Intn(200)
+		win, err := NewWindowedCov(d, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chunks []*matrix.Dense
+		var sizes []int
+		total := 0
+		for total < 4*window {
+			n := 1 + rng.Intn(80)
+			// Shift the distribution as the stream ages so a stale window
+			// would be visibly wrong, not accidentally equal.
+			c := randChunk(rng, d, n, float64(len(chunks))*0.1, 0.5+rng.Float64())
+			chunks = append(chunks, c)
+			sizes = append(sizes, n)
+			total += n
+			if err := win.AddChunk(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Replay the eviction rule to find the retained suffix.
+		start, retained := 0, total
+		for start < len(sizes)-1 && retained-sizes[start] >= window {
+			retained -= sizes[start]
+			start++
+		}
+		if win.N() != retained {
+			t.Fatalf("trial %d: retained %d records, expected %d", trial, win.N(), retained)
+		}
+		if retained < window {
+			t.Fatalf("trial %d: window underrun — retained %d < window %d", trial, retained, window)
+		}
+		want := batchCov(t, d, chunks[start:])
+		got, err := win.Covariance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxAbsDiff(want, got); diff > 1e-10 {
+			t.Fatalf("trial %d: windowed covariance differs from suffix batch by %g", trial, diff)
+		}
+	}
+}
+
+// Property: after drift, the windowed statistic converges to the new
+// distribution while the lifetime statistic stays anchored to the old one —
+// the reason the pipeline moved to a window.
+func TestWindowedCovForgetsOldRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d, window, chunk = 3, 512, 64
+	win, err := NewWindowedCov(d, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life, err := NewWindowedCov(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regime A: unit scale. Regime B: 3x scale, shifted.
+	feed := func(shift, scale float64, n int) {
+		for k := 0; k < n; k++ {
+			c := randChunk(rng, d, chunk, shift, scale)
+			if err := win.AddChunk(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := life.AddChunk(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(0, 1, 64)
+	feed(2, 3, 64)
+	// Reference: regime B alone.
+	refAcc, err := NewCovAccumulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRng := rand.New(rand.NewSource(8))
+	if err := refAcc.AddChunk(randChunk(refRng, d, 8192, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refAcc.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wCov, err := win.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lCov, err := life.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wDrift, err := CovarianceDrift(ref, wCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lDrift, err := CovarianceDrift(ref, lCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wDrift > 0.2 {
+		t.Fatalf("windowed statistic did not converge to the new regime: drift %v", wDrift)
+	}
+	if lDrift < 2*wDrift {
+		t.Fatalf("lifetime statistic (drift %v) tracked the new regime as well as the window (drift %v); the window buys nothing",
+			lDrift, wDrift)
+	}
+}
+
+func TestWindowedCovErrors(t *testing.T) {
+	if _, err := NewWindowedCov(0, 10); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+	w, err := NewWindowedCov(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Covariance(); err != ErrEmpty {
+		t.Fatalf("empty covariance error = %v, want ErrEmpty", err)
+	}
+	if err := w.AddChunk(matrix.New(2, 4)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := w.AddChunk(matrix.New(3, 0)); err != nil {
+		t.Fatalf("empty chunk rejected: %v", err)
+	}
+	if w.N() != 0 {
+		t.Fatalf("empty chunk counted: N=%d", w.N())
+	}
+	if err := w.AddChunk(matrix.New(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	w.Reset()
+	if w.N() != 0 || w.Window() != 10 || w.Dim() != 3 {
+		t.Fatalf("reset lost shape: N=%d window=%d dim=%d", w.N(), w.Window(), w.Dim())
+	}
+}

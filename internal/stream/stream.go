@@ -11,11 +11,12 @@
 // clear data. Emission goes through a bounded buffer: a slow consumer
 // backpressures the producer instead of growing memory without bound.
 //
-// While streaming, the pipeline maintains the running mean and covariance of
-// the clear input (stat.CovAccumulator, Welford/rank-1 updates). When the
-// covariance has drifted from the snapshot taken at the last derivation by
-// more than a configured relative Frobenius threshold, the pipeline
-// re-derives: it draws a fresh G_s′ and a fresh adaptor A_s′t, and bumps the
+// While streaming, the pipeline maintains the covariance of the most recent
+// window of clear input (stat.WindowedCov — a deque of Welford/rank-1 chunk
+// accumulators with whole-chunk eviction, Config.DriftWindow). When that
+// windowed covariance has drifted from the snapshot taken at the last
+// derivation by more than a configured relative Frobenius threshold, the
+// pipeline re-derives: it draws a fresh G_s′ and a fresh adaptor A_s′t, and bumps the
 // chunk epoch. Re-derivation changes which rotated noise the target space
 // inherits — the defensive posture follows the data — but every epoch still
 // lands in the same target space, so downstream consumers are oblivious.
@@ -55,6 +56,9 @@ const (
 	// DefaultBufferDepth is the emitted-chunk buffer capacity when
 	// Config.BufferDepth is zero.
 	DefaultBufferDepth = 4
+	// DefaultDriftWindow is the drift statistic's record window when
+	// Config.DriftWindow is zero.
+	DefaultDriftWindow = 4096
 )
 
 // Errors returned by the streaming pipeline.
@@ -123,6 +127,13 @@ type Config struct {
 	// DriftThreshold is the relative covariance drift that triggers a
 	// transform re-derivation; 0 disables re-derivation.
 	DriftThreshold float64
+	// DriftWindow bounds how many recent records the drift statistic is
+	// computed over (default DefaultDriftWindow; chunk-granular, so up to
+	// one extra chunk is retained). A windowed statistic keeps late drift
+	// detectable on old streams — a lifetime covariance is dominated by a
+	// long stable prefix. Negative restores the unbounded lifetime
+	// accumulator of earlier releases.
+	DriftWindow int
 	// BufferDepth is the emitted-chunk buffer capacity (default
 	// DefaultBufferDepth). A full buffer blocks the producer.
 	BufferDepth int
@@ -139,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.BufferDepth <= 0 {
 		c.BufferDepth = DefaultBufferDepth
 	}
+	if c.DriftWindow == 0 {
+		c.DriftWindow = DefaultDriftWindow
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.Nop()
 	}
@@ -152,7 +166,7 @@ type Pipeline struct {
 	cfg     Config
 	pert    *perturb.Perturbation
 	adaptor *perturb.Adaptor
-	acc     *stat.CovAccumulator
+	acc     *stat.WindowedCov
 	// ref is the covariance snapshot at the last derivation (nil until the
 	// first measurable covariance after a derivation).
 	ref *matrix.Dense
@@ -189,7 +203,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc, err := stat.NewCovAccumulator(cfg.Perturbation.Dim())
+	acc, err := stat.NewWindowedCov(cfg.Perturbation.Dim(), cfg.DriftWindow)
 	if err != nil {
 		return nil, err
 	}
@@ -364,11 +378,10 @@ func (p *Pipeline) measureDrift() (float64, error) {
 }
 
 // rederive draws a fresh stream-space perturbation (same σ) plus its target
-// adaptor, restarts the drift statistics, and bumps the epoch. The
-// accumulator is reset so each epoch measures the covariance of its own
-// records — without the reset a shift arriving after a long calm stretch
-// would be diluted by the lifetime history and detection latency would grow
-// with stream age.
+// adaptor, restarts the drift statistics, and bumps the epoch. The window is
+// reset so each epoch measures the covariance of its own records — records
+// retained from before the re-derivation belong to the regime that triggered
+// it and would re-trigger against the fresh reference.
 func (p *Pipeline) rederive() error {
 	fresh, err := perturb.NewRandom(p.cfg.Rng, p.Dim(), p.pert.NoiseSigma)
 	if err != nil {

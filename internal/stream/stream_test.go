@@ -213,6 +213,35 @@ func TestStreamDriftRederivation(t *testing.T) {
 	}
 }
 
+// TestStreamWindowedDriftCatchesLateShift pins the reason the drift
+// statistic moved to a sliding window: after a long stable prefix, a
+// variance jump in the tail must trigger re-derivation under the windowed
+// statistic, while the legacy lifetime accumulator (DriftWindow < 0)
+// dilutes the same jump below the threshold and never reacts.
+func TestStreamWindowedDriftCatchesLateShift(t *testing.T) {
+	run := func(window int) int {
+		rng := rand.New(rand.NewSource(11))
+		calm := mkData(t, rng, "calm", 6000, 3, 0)
+		tail := mkData(t, rng, "tail", 600, 3, 0)
+		for _, row := range tail.X {
+			for j := range row {
+				row[j] *= 2 // variance x4 in the tail regime
+			}
+		}
+		p := mkPipeline(t, rng, 3, 0, Config{ChunkSize: 64, DriftThreshold: 0.8, DriftWindow: window})
+		if _, err := drain(t, p, &sliceSource{parts: []*dataset.Dataset{calm, tail}}); err != nil {
+			t.Fatal(err)
+		}
+		return p.Epoch()
+	}
+	if got := run(512); got == 0 {
+		t.Fatal("windowed drift statistic missed a late variance jump")
+	}
+	if got := run(-1); got != 0 {
+		t.Fatalf("lifetime statistic re-derived %d time(s); the fixture no longer isolates the window's effect", got)
+	}
+}
+
 func seqInts(start, n int) []int {
 	out := make([]int, n)
 	for i := range out {

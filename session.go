@@ -78,6 +78,10 @@ var (
 	// ErrGroupExists flags an Admin.RegisterGroup naming a group the service
 	// already hosts.
 	ErrGroupExists = protocol.ErrGroupExists
+	// ErrUnknownView flags a request addressing a trust view the group does
+	// not serve (ClientConfig.View naming a level outside the group's
+	// WithTrustViews list).
+	ErrUnknownView = protocol.ErrUnknownView
 )
 
 // DefaultGroupID is the serving group a session uses when WithGroupID is
@@ -138,6 +142,10 @@ type config struct {
 	adminToken string
 	quotaRate  float64
 	quotaBurst int
+	// views splits this session's serving group into an ordered multi-level
+	// trust view list (WithTrustViews); empty serves the classic single
+	// view.
+	views []ViewConfig
 }
 
 // Option configures New, Run and OptimizePerturbation. Options replace the
@@ -333,6 +341,64 @@ func WithQuota(recordsPerSec float64, burst int) Option {
 	}
 }
 
+// ViewConfig describes one trust view of a multi-level serving group
+// (WithTrustViews): the trust level it serves, the absolute additive noise
+// σ its model is trained under, and optionally the transport endpoints
+// allowed to query it.
+type ViewConfig struct {
+	// Level is the view's trust rank: positive, unique within the group,
+	// listed in strictly increasing order. Smaller levels are more trusted
+	// and see models trained under less noise.
+	Level int
+	// NoiseSigma is the absolute per-element σ of the view's training
+	// noise. Sigmas must be non-decreasing across the list — lower trust
+	// never gets less noise. Level 1 with σ 0 serves the unblurred fit.
+	NoiseSigma float64
+	// Members optionally restricts the view to the named transport
+	// endpoints, on top of the group's own member list. Empty admits every
+	// peer the group admits.
+	Members []string
+}
+
+// WithTrustViews splits the session's serving group into ordered
+// multi-level trust views: one served model per trust level, every level
+// fitted on the same unified training set under its own slice of a jointly
+// drawn correlated noise ladder. Because each lower-trust view's noise is
+// derived from the next-higher view's plus an independent increment — never
+// drawn independently — any coalition of views that pools its models'
+// training data learns no more than the coalition's most-trusted member
+// already knew: the diversity attack of the multi-level trust literature
+// gains nothing (see internal/privacy's coalition evaluator). Clients pick
+// their view with ClientConfig.View, or are routed to their
+// highest-authorized view by default. Views ride the session's group spec:
+// they apply to Serve, ServeGroups and ServeCluster alike.
+func WithTrustViews(views ...ViewConfig) Option {
+	return func(c *config) error {
+		if len(views) == 0 {
+			return fmt.Errorf("%w: no trust views", ErrBadInput)
+		}
+		for i, v := range views {
+			if v.Level <= 0 {
+				return fmt.Errorf("%w: trust view %d has non-positive level %d", ErrBadInput, i, v.Level)
+			}
+			if i > 0 && v.Level <= views[i-1].Level {
+				return fmt.Errorf("%w: trust view levels must be strictly increasing (%d after %d)",
+					ErrBadInput, v.Level, views[i-1].Level)
+			}
+			if v.NoiseSigma < 0 {
+				return fmt.Errorf("%w: trust view level %d has negative noise sigma %v",
+					ErrBadInput, v.Level, v.NoiseSigma)
+			}
+			if i > 0 && v.NoiseSigma < views[i-1].NoiseSigma {
+				return fmt.Errorf("%w: trust view noise must be non-decreasing (%v after %v at level %d)",
+					ErrBadInput, v.NoiseSigma, views[i-1].NoiseSigma, v.Level)
+			}
+		}
+		c.views = append([]ViewConfig(nil), views...)
+		return nil
+	}
+}
+
 // Session is the unit of the facade's lifecycle: configure with New, execute
 // the Space Adaptation Protocol once with Run, then serve the unified model
 // for the contract's lifetime with Serve while contracted parties query it
@@ -518,6 +584,13 @@ type ClientConfig struct {
 	// target space — the main use is proving a foreign group rejects you
 	// (ErrNotMember / ErrUnknownGroup).
 	Group string
+	// View pins the trust view (WithTrustViews level) the client's queries
+	// and pushes address. Zero — the default — routes each request to the
+	// client's highest-authorized view, which on single-view groups is the
+	// classic behavior. A level the group does not serve answers
+	// ErrUnknownView; a served level whose member list excludes this client
+	// answers ErrNotMember.
+	View int
 }
 
 // NewClient is the provider side of the serving lifecycle: a handle for
@@ -545,15 +618,11 @@ func (s *Session) NewClient(conn Conn, cfg ClientConfig) (*Client, error) {
 	}
 	inner.SetWireOptions(protocol.WireOptions{
 		Compress: s.cfg.compress, Float32: s.cfg.float32Payloads})
+	if cfg.View < 0 {
+		return nil, fmt.Errorf("%w: negative trust view %d", ErrBadInput, cfg.View)
+	}
+	inner.SetView(cfg.View)
 	return &Client{inner: inner, target: s.Target()}, nil
-}
-
-// NewGroupClient is NewClient addressing an explicit serving group.
-//
-// Deprecated: use NewClient with ClientConfig{Miner: miner, Group: group};
-// positional string arguments do not scale with the client surface.
-func (s *Session) NewGroupClient(conn Conn, miner, group string) (*Client, error) {
-	return s.NewClient(conn, ClientConfig{Miner: miner, Group: group})
 }
 
 // Client queries a mining service stood up by Session.Serve. Safe for

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/classify"
 	"repro/internal/protocol"
 )
 
@@ -69,6 +70,34 @@ func (s *Session) ServeGroups(ctx context.Context, conn Conn, model Classifier, 
 	return ServeGroups(ctx, conn, append([]Group{{Session: s, Model: model}}, more...)...)
 }
 
+// viewSpecs expands one group's WithTrustViews list into protocol view
+// specs, giving every view its own classifier instances derived from the
+// group's prototype: the NewModel factory when the group carries one, a
+// Cloner clone otherwise. Option-level validation (levels, sigmas) already
+// ran in WithTrustViews; here only the instance question can fail.
+func viewSpecs(id string, g Group, views []ViewConfig) ([]protocol.ViewSpec, error) {
+	cloner, _ := g.Model.(classify.Cloner)
+	if g.NewModel == nil && cloner == nil {
+		return nil, fmt.Errorf("%w: group %q uses trust views but its model is not a classify.Cloner and has no NewModel factory; every view needs its own instance",
+			ErrBadInput, id)
+	}
+	out := make([]protocol.ViewSpec, 0, len(views))
+	for _, v := range views {
+		vs := protocol.ViewSpec{
+			Level:      v.Level,
+			NoiseSigma: v.NoiseSigma,
+			Members:    append([]string(nil), v.Members...),
+		}
+		if g.NewModel != nil {
+			vs.NewModel = g.NewModel
+		} else {
+			vs.Model = cloner.Clone()
+		}
+		out = append(out, vs)
+	}
+	return out, nil
+}
+
 // groupSpecs validates the facade groups and maps them to protocol specs.
 // ID validation (empty sessions, duplicate group IDs) runs before the
 // ran-state check so configuration mistakes surface even on unrun sessions.
@@ -96,7 +125,7 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 		if err := g.Session.requireRun(); err != nil {
 			return nil, cfg, fmt.Errorf("group %q: %w", g.Session.GroupID(), err)
 		}
-		specs = append(specs, protocol.GroupSpec{
+		spec := protocol.GroupSpec{
 			ID:         g.Session.GroupID(),
 			Unified:    g.Session.Unified(),
 			Model:      g.Model,
@@ -110,7 +139,19 @@ func groupSpecs(groups []Group) ([]protocol.GroupSpec, protocol.ServiceConfig, e
 				RecordsPerSec: g.Session.cfg.quotaRate,
 				Burst:         g.Session.cfg.quotaBurst,
 			},
-		})
+		}
+		if views := g.Session.cfg.views; len(views) > 0 {
+			vs, err := viewSpecs(spec.ID, g, views)
+			if err != nil {
+				return nil, cfg, err
+			}
+			// Each view brings its own model instances; the group-level
+			// prototype moves into the view list (GroupSpec.Views requires
+			// the group-level Model/NewModel to be nil).
+			spec.Model, spec.NewModel = nil, nil
+			spec.Views = vs
+		}
+		specs = append(specs, spec)
 	}
 	// Workers, MaxBatch and RefitEvery are per group: each session's
 	// WithServiceWorkers/WithServiceMaxBatch/WithServiceRefitEvery ride its

@@ -37,9 +37,10 @@ func DatasetSource(d *Dataset) StreamSource { return stream.DatasetSource(d) }
 
 // streamConfig is the resolved option set of one Session.Stream call.
 type streamConfig struct {
-	chunkSize int
-	drift     float64
-	buffer    int
+	chunkSize   int
+	drift       float64
+	driftWindow int
+	buffer      int
 }
 
 // StreamOption configures Session.Stream and Session.StreamTo.
@@ -67,6 +68,21 @@ func WithDriftThreshold(x float64) StreamOption {
 			return fmt.Errorf("%w: negative drift threshold %v", ErrBadInput, x)
 		}
 		c.drift = x
+		return nil
+	}
+}
+
+// WithDriftWindow bounds how many recent records the drift statistic of
+// WithDriftThreshold is computed over (default 4096; chunk-granular, so up
+// to one extra chunk is retained). A windowed statistic keeps late drift
+// detectable on long-lived streams; negative n restores the unbounded
+// lifetime accumulator of earlier releases.
+func WithDriftWindow(n int) StreamOption {
+	return func(c *streamConfig) error {
+		if n == 0 {
+			return nil // keep the default, like the zero Config field
+		}
+		c.driftWindow = n
 		return nil
 	}
 }
@@ -125,8 +141,10 @@ func (st *Stream) Epoch() int { return st.pipe.Epoch() }
 // stream-local perturbation (drawn deterministically from the session seed,
 // with the session's noise σ) and adapted into the session's target space
 // with the §3 space adaptor. With WithDriftThreshold set, the pipeline
-// watches the running covariance of the clear input (Welford/rank-1
-// accumulators) and re-derives its transform when the distribution drifts.
+// watches the covariance of the most recent window of clear input
+// (Welford/rank-1 accumulators over a sliding record window, see
+// WithDriftWindow) and re-derives its transform when the distribution
+// drifts.
 //
 // Privacy note: the stream-space perturbation is a seed-derived random
 // draw, not an output of the attack-suite optimizer, so streamed records
@@ -163,6 +181,7 @@ func (s *Session) Stream(ctx context.Context, source StreamSource, opts ...Strea
 		Rng:            rng,
 		ChunkSize:      cfg.chunkSize,
 		DriftThreshold: cfg.drift,
+		DriftWindow:    cfg.driftWindow,
 		BufferDepth:    cfg.buffer,
 		Metrics:        s.cfg.metrics,
 	})

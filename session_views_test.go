@@ -1,0 +1,126 @@
+package sap_test
+
+// End-to-end multi-level trust serving: one group split into ordered trust
+// views (sap.WithTrustViews), served over real TCP sockets. The acceptance
+// contract: every view serves its own model of the shared training set,
+// higher trust is measurably more accurate (less training noise), a view
+// refuses endpoints outside its member list with ErrNotMember, and a view
+// nobody serves answers ErrUnknownView — all end to end through the wire.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	sap "repro"
+)
+
+func TestMultiViewServeOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	sess, holdout := runSmallSession(t,
+		sap.WithGroupID("consortium"),
+		sap.WithTrustViews(
+			sap.ViewConfig{Level: 1, NoiseSigma: 0, Members: []string{"analyst"}},
+			sap.ViewConfig{Level: 2, NoiseSigma: 0.3, Members: []string{"analyst", "partner"}},
+			sap.ViewConfig{Level: 3, NoiseSigma: 1.5, Members: []string{"analyst", "partner", "public"}},
+		),
+	)
+
+	svcNode, err := sap.NewTCPNode("mining-service", "127.0.0.1:0", "view-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcNode.Close()
+	nodes := map[string]*sap.TCPNode{}
+	for _, name := range []string{"analyst", "public"} {
+		n, err := sap.NewTCPNode(name, "127.0.0.1:0", "view-key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		svcNode.AddPeer(name, n.Addr())
+		n.AddPeer("mining-service", svcNode.Addr())
+		nodes[name] = n
+	}
+
+	ctx, cancel := context.WithCancel(runCtx(t))
+	done := make(chan error, 1)
+	go func() { done <- sess.Serve(ctx, svcNode, sap.NewKNN(5)) }()
+
+	// classify scores the holdout from one endpoint, pinned to one view
+	// (0: routed to the best view the endpoint is on).
+	classifyAs := func(endpoint string, view int) ([]int, error) {
+		client, err := sess.NewClient(nodes[endpoint], sap.ClientConfig{Miner: "mining-service", View: view})
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		return client.ClassifyBatch(runCtx(t), holdout.X)
+	}
+	accuracy := func(labels []int) float64 {
+		agree := 0
+		for i, label := range labels {
+			if label == holdout.Y[i] {
+				agree++
+			}
+		}
+		return float64(agree) / float64(len(labels))
+	}
+
+	// Routing: unpinned clients land on the best view their endpoint is on —
+	// the analyst on the unblurred level 1, the public endpoint on the
+	// heavily noised level 3.
+	innerLabels, err := classifyAs("analyst", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerLabels, err := classifyAs("public", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, outer := accuracy(innerLabels), accuracy(outerLabels)
+	if inner < 0.6 {
+		t.Errorf("inner-view accuracy %.3f too low for an unblurred model", inner)
+	}
+	if outer >= inner {
+		t.Errorf("outer view (σ=1.5) accuracy %.3f not below inner view %.3f; views are not serving distinct models", outer, inner)
+	}
+	distinct := false
+	for i := range innerLabels {
+		if innerLabels[i] != outerLabels[i] {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("inner and outer views answered identically on every record")
+	}
+
+	// A pinned middle view answers its own members.
+	midLabels, err := classifyAs("analyst", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(midLabels) != holdout.Len() {
+		t.Fatalf("view 2 answered %d labels for %d records", len(midLabels), holdout.Len())
+	}
+
+	// Authorization: the public endpoint is not on the inner views.
+	for _, view := range []int{1, 2} {
+		if _, err := classifyAs("public", view); !errors.Is(err, sap.ErrNotMember) {
+			t.Errorf("public query for view %d: err = %v, want ErrNotMember", view, err)
+		}
+	}
+	// A view nobody serves is a typed unknown-view rejection, even for the
+	// best-placed member.
+	if _, err := classifyAs("analyst", 9); !errors.Is(err, sap.ErrUnknownView) {
+		t.Errorf("unserved view: err = %v, want ErrUnknownView", err)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
